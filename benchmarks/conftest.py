@@ -1,0 +1,9 @@
+"""Shared fixtures for the benchmark harness."""
+
+import pytest
+
+
+def print_block(title: str, text: str) -> None:
+    """Emit a figure/table reproduction block to the terminal."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}\n{text}\n")

@@ -1,0 +1,59 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation disables one capability of the new algorithm and measures
+the consequence on (a) how many subscript-array properties survive and
+(b) the predicted 16-core performance of the three Experiment-1 apps.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import print_block
+
+from repro.analysis import AnalysisConfig, analyze_program
+from repro.benchmarks import get_benchmark
+from repro.parallelizer import parallelize
+from repro.runtime.simulate import plan_from_decisions, simulate_app
+
+ABLATIONS = {
+    "full": AnalysisConfig.new_algorithm(),
+    "no-intermittent": dataclasses.replace(AnalysisConfig.new_algorithm(), intermittent=False),
+    "no-multidim": dataclasses.replace(AnalysisConfig.new_algorithm(), multidim=False),
+    "base-only": AnalysisConfig.base_algorithm(),
+}
+
+APPS = ["AMGmk", "SDDMM", "UA(transf)"]
+
+
+def run_ablation():
+    rows = []
+    for abl_name, cfg in ABLATIONS.items():
+        for app in APPS:
+            bench = get_benchmark(app)
+            result = parallelize(bench.source, cfg)
+            perf = bench.perf_model(bench.default_dataset)
+            plan = plan_from_decisions(perf, result)
+            t = simulate_app(perf, plan, 16)
+            n_props = len(result.analysis.properties)
+            rows.append((abl_name, app, n_props, perf.serial_time_target / t))
+    return rows
+
+
+def test_ablation(benchmark):
+    rows = benchmark(run_ablation)
+    table = {(a, b): (n, s) for a, b, n, s in rows}
+
+    # intermittent monotonicity is what carries AMGmk and SDDMM
+    assert table[("full", "AMGmk")][1] > 2.0
+    assert table[("no-intermittent", "AMGmk")][1] < 1.0
+    assert table[("no-intermittent", "SDDMM")][1] < 1.0
+    # multi-dimensional monotonicity is what carries UA
+    assert table[("full", "UA(transf)")][1] > 2.0
+    assert table[("no-multidim", "UA(transf)")][1] < 1.0
+    # but disabling multidim must NOT hurt AMGmk/SDDMM
+    assert table[("no-multidim", "AMGmk")][1] == pytest.approx(table[("full", "AMGmk")][1])
+
+    lines = [f"{'ablation':<16} {'app':<12} {'#props':>7} {'speedup@16':>11}"]
+    for (a, b), (n, s) in table.items():
+        lines.append(f"{a:<16} {b:<12} {n:>7} {s:>11.2f}")
+    print_block("Ablation — capability knockouts of the new algorithm", "\n".join(lines))

@@ -1,0 +1,53 @@
+"""Benchmark: compile-time cost of the analysis itself.
+
+The paper's technique is compile-time only — its selling point over
+inspector/executor and speculation is zero run-time overhead.  These
+benchmarks measure what the compile-time cost actually is, per pipeline
+stage, on the three worked examples.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_program
+from repro.analysis.loopinfo import find_loop_nests
+from repro.analysis.normalize import normalize_program
+from repro.analysis.phase1 import run_phase1
+from repro.benchmarks import get_benchmark
+from repro.lang.cparser import parse_program
+from repro.parallelizer import parallelize
+
+APPS = ["AMGmk", "SDDMM", "UA(transf)", "CHOLMOD-Supernodal"]
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_parse_speed(benchmark, name):
+    src = get_benchmark(name).source
+    prog = benchmark(parse_program, src)
+    assert prog.stmts
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_phase1_speed(benchmark, name):
+    src = get_benchmark(name).source
+    prog = normalize_program(parse_program(src))
+    nests = [n for n in find_loop_nests(prog) if n.eligible]
+
+    def run():
+        return [run_phase1(n, {}) for n in nests]
+
+    out = benchmark(run)
+    assert out
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_full_analysis_speed(benchmark, name):
+    src = get_benchmark(name).source
+    res = benchmark(analyze_program, src, AnalysisConfig.new_algorithm())
+    assert res.nests
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_full_parallelization_speed(benchmark, name):
+    src = get_benchmark(name).source
+    res = benchmark(parallelize, src, AnalysisConfig.new_algorithm())
+    assert res.decisions

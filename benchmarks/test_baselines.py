@@ -1,0 +1,21 @@
+"""Benchmark: extension experiment — compile-time analysis vs the
+run-time baselines of the paper's related work (inspector-executor,
+LRPD speculation).  Reproduces §5's amortization argument: even a
+simplified inspector needs the executor to run ~40-60 times to pay for
+itself on these kernels, while the compile-time approach has no run-time
+overhead at all."""
+
+from conftest import print_block
+
+from repro.experiments.baselines import baseline_cells, format_baselines
+
+
+def test_baselines(benchmark):
+    cells = benchmark(baseline_cells)
+    for c in cells:
+        assert c.t_compile_time <= c.t_inspector
+        assert c.t_compile_time <= c.t_speculative
+    print_block(
+        "Extension — compile-time vs inspector-executor vs speculation",
+        format_baselines(cells),
+    )

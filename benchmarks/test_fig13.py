@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 13 (improvement with vs without
+subscripted-subscript analysis; AMGmk/SDDMM/UA on 4/8/16 cores)."""
+
+from conftest import print_block
+
+from repro.experiments.fig13 import fig13_cells, format_fig13
+
+
+def test_fig13(benchmark):
+    cells = benchmark(fig13_cells)
+    assert all(c.improvement > 1.0 for c in cells)
+    print_block("Figure 13 — with vs without subscripted-subscript analysis", format_fig13(cells))

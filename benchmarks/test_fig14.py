@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 14 (parallel with analysis vs serial)."""
+
+from conftest import print_block
+
+from repro.experiments.fig14 import fig14_cells, format_fig14
+
+
+def test_fig14(benchmark):
+    cells = benchmark(fig14_cells)
+    assert all(c.improvement > 1.0 for c in cells)
+    print_block("Figure 14 — parallel (with analysis) vs serial", format_fig14(cells))

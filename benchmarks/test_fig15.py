@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 15 (parallel efficiency)."""
+
+from conftest import print_block
+
+from repro.experiments.fig15 import fig15_cells, format_fig15
+
+
+def test_fig15(benchmark):
+    cells = benchmark(fig15_cells)
+    assert all(0 < c.efficiency <= 100 for c in cells)
+    print_block("Figure 15 — parallel efficiency (%)", format_fig15(cells))

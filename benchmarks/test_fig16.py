@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 16 (dynamic vs static scheduling, SDDMM)."""
+
+from conftest import print_block
+
+from repro.experiments.fig16 import fig16_cells, format_fig16
+
+
+def test_fig16(benchmark):
+    cells = benchmark(fig16_cells)
+    per = {(c.dataset, c.cores, c.schedule): c.improvement for c in cells}
+    # the paper's qualitative result: dynamic wins for the skewed matrices,
+    # static wins for af_shell1
+    assert per[("gsm_106857", 16, "dynamic")] > per[("gsm_106857", 16, "static")]
+    assert per[("af_shell1", 16, "static")] >= per[("af_shell1", 16, "dynamic")]
+    print_block("Figure 16 — SDDMM dynamic vs static scheduling", format_fig16(cells))

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 17 (12 benchmarks x 3 pipelines, 16 cores).
+
+This is the paper's headline result: classical Cetus improves 6/12
+benchmarks, +BaseAlgo 7/12, +NewAlgo 10/12 (83.33%)."""
+
+from conftest import print_block
+
+from repro.experiments.fig17 import fig17_cells, format_fig17, improved_counts
+
+
+def test_fig17(benchmark):
+    cells = benchmark(fig17_cells)
+    counts = improved_counts(cells)
+    assert counts["Cetus"] == 6
+    assert counts["Cetus+BaseAlgo"] == 7
+    assert counts["Cetus+NewAlgo"] == 10
+    print_block("Figure 17 — pipeline comparison on 16 cores", format_fig17(cells))

@@ -1,0 +1,14 @@
+"""Benchmark: cost-model sensitivity of the Figure-17 headline result."""
+
+from conftest import print_block
+
+from repro.experiments.sensitivity import format_sensitivity, sensitivity_cells
+
+
+def test_sensitivity(benchmark):
+    cells = benchmark(sensitivity_cells)
+    for c in cells:
+        assert c.counts["Cetus"] == 6
+        assert c.counts["Cetus+BaseAlgo"] == 7
+        assert c.counts["Cetus+NewAlgo"] == 10
+    print_block("Sensitivity — Fig. 17 counts under model perturbation", format_sensitivity(cells))

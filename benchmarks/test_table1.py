@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 1 (benchmarks, datasets, serial times).
+
+Run with ``pytest benchmarks/ --benchmark-only``.  The benchmark measures
+the cost of building every performance model (workload generation +
+calibration); the table itself is printed for comparison with the paper.
+"""
+
+from conftest import print_block
+
+from repro.experiments.table1 import format_table1, table1_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) >= 20
+    print_block("Table 1 — benchmarks, input datasets, serial times", format_table1())

@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Print Table 1 (benchmarks, input datasets, serial execution times) and
+the Figure 17 pipeline comparison — the paper's summary artifacts."""
+
+from repro.experiments.fig17 import format_fig17
+from repro.experiments.table1 import format_table1
+
+
+def main() -> None:
+    print(format_table1())
+    print()
+    print(format_fig17())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Multi-dimensional monotonicity walk-through (paper §3.3, Figure 12).
+
+Shows the per-level aggregation the Phase-2 algorithm performs on the UA
+benchmark's ``idel`` fill nest: at the two inner levels no property can be
+determined; the expressions are simplified and the loops collapsed; at the
+outermost level LEMMA 2 fires and proves #(SMA;0).
+"""
+
+from repro.analysis import AnalysisConfig, analyze_program
+from repro.benchmarks import get_benchmark
+from repro.lang import parse_program
+from repro.runtime.interp import run_program
+
+FILL = """
+for(iel = 0; iel < LELT; iel++) {
+    ntemp = 125*iel;
+    for(j = 0; j < 5; j++) {
+        for(i = 0; i < 5; i++) {
+            idel[iel][0][j][i] = ntemp + i*5 + j*25 + 4;
+            idel[iel][1][j][i] = ntemp + i*5 + j*25;
+            idel[iel][2][j][i] = ntemp + i + j*25 + 20;
+            idel[iel][3][j][i] = ntemp + i + j*25;
+            idel[iel][4][j][i] = ntemp + i + j*5 + 100;
+            idel[iel][5][j][i] = ntemp + i + j*5;
+        }
+    }
+}
+"""
+
+
+def main() -> None:
+    res = analyze_program(FILL, AnalysisConfig.new_algorithm())
+
+    print("=== Per-level aggregation (inside-out) ===")
+    for loop_id, p2 in res.loop_results.items():
+        cl = p2.collapsed
+        print(f"loop {loop_id} (index {cl.index}, trip {cl.trip_count}):")
+        for arr, recs in cl.array_effects.items():
+            for rec in recs[:2]:
+                print(f"    {arr}{rec}")
+            if len(recs) > 2:
+                print(f"    ... {len(recs) - 2} more store sites")
+        if p2.mono_arrays:
+            for arr, m in p2.mono_arrays.items():
+                print(f"    => {arr} monotonic: {m.kind} w.r.t. dim {m.dim} "
+                      f"(alpha={m.alpha}, rem={m.rem_range})")
+        else:
+            print("    => no property at this level (expressions simplified, loop collapsed)")
+        print()
+
+    print("=== Final property (paper: idel[0:LELT-1][...] = [0:125*(LELT-1)]#(SMA;0)+[0:124]) ===")
+    for prop in res.properties.all_properties():
+        print(f"  {prop}")
+    print()
+
+    print("=== Concrete verification on LELT=4 ===")
+    env = {"LELT": 4, "idel": __import__("numpy").zeros((4, 6, 5, 5), dtype=int)}
+    out = run_program(parse_program(FILL), env)
+    for iel in range(4):
+        v = out["idel"][iel].reshape(-1)
+        print(f"  iel={iel}: values span [{v.min()}, {v.max()}]")
+    print("ranges are disjoint and increasing -> strictly Range-Monotonic w.r.t. dim 0")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — reproduction of "Recurrence Analysis for Automatic
+Parallelization of Subscripted Subscripts" (PPoPP 2024).
+
+Public API
+----------
+
+Analysis:
+    >>> from repro import AnalysisConfig, analyze_program
+    >>> res = analyze_program(c_source, AnalysisConfig.new_algorithm())
+    >>> res.properties.all_properties()
+
+Parallelization:
+    >>> from repro import parallelize
+    >>> result = parallelize(c_source)
+    >>> print(result.to_c())          # OpenMP-annotated output
+
+Benchmarks / experiments:
+    >>> from repro.benchmarks import get_benchmark
+    >>> from repro.experiments.harness import run_benchmark
+
+See README.md for the walkthrough and DESIGN.md for the module map.
+"""
+
+from repro.analysis import (
+    AnalysisConfig,
+    ArrayProperty,
+    MonoKind,
+    PropertyStore,
+    analyze_program,
+)
+from repro.parallelizer import LoopDecision, ParallelizationResult, format_report, parallelize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "ArrayProperty",
+    "MonoKind",
+    "PropertyStore",
+    "analyze_program",
+    "LoopDecision",
+    "ParallelizationResult",
+    "format_report",
+    "parallelize",
+    "__version__",
+]

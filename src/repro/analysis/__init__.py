@@ -1,0 +1,36 @@
+"""Compile-time subscript-array analysis (the paper's core contribution).
+
+Pipeline (paper §2.2): loops are analyzed in program order, each nest from
+the inside out.  At every loop level:
+
+* :mod:`repro.analysis.normalize` brings the loop into Cetus-normalized
+  form (one assignment per statement, ``++``/compound ops lowered,
+  iteration space 0..N-1 stride 1).
+* :mod:`repro.analysis.phase1` symbolically executes one arbitrary
+  iteration of the loop body, producing a Symbolic Value Dictionary
+  (:mod:`repro.analysis.svd`) of loop-variant variables at the end of the
+  iteration, with values assigned under ``if`` conditions *tagged*.
+* :mod:`repro.analysis.phase2` (Algorithm 1) aggregates those values over
+  the iteration space, recognizing SSR variables, SRA assignments,
+  intermittent monotonic arrays and monotonic multi-dimensional arrays
+  (Algorithm 2, :mod:`repro.analysis.monotonic`), then collapses the loop.
+* :mod:`repro.analysis.analyzer` drives whole programs and records array
+  properties (:mod:`repro.analysis.properties`) consumed by the dependence
+  pass.
+
+The Base Algorithm of Bhosale & Eigenmann (ICS'21) is exposed through
+:class:`repro.analysis.config.AnalysisConfig` feature flags.
+"""
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.properties import ArrayProperty, MonoKind, PropertyStore
+from repro.analysis.analyzer import ProgramAnalyzer, analyze_program
+
+__all__ = [
+    "AnalysisConfig",
+    "ArrayProperty",
+    "MonoKind",
+    "PropertyStore",
+    "ProgramAnalyzer",
+    "analyze_program",
+]

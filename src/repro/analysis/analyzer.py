@@ -1,0 +1,332 @@
+"""Program-level analysis driver.
+
+Proceeds in program order (paper §2.2): straight-line statements update a
+program-level value state (so facts like ``irownnz = 0`` or
+``col_ptr[0] = 0`` are available); each loop nest is analyzed from the
+inside out — Phase-1 then Phase-2 per level, collapsing as it goes — and
+the aggregated effects are applied back to the program state.  Array
+properties proven inside a nest are *resolved* against the program state
+(``Λ`` markers replaced by pre-loop values) and recorded in the
+:class:`~repro.analysis.properties.PropertyStore`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.irbridge import EMPTY_RESOLVER, eval_expr
+from repro.analysis.loopinfo import LoopNest, assigned_arrays, assigned_scalars, find_loop_nests
+from repro.analysis.normalize import normalize_program
+from repro.analysis.phase1 import Phase1Result, run_phase1
+from repro.analysis.phase2 import Phase2Result, run_phase2
+from repro.analysis.properties import ArrayProperty, MonoKind, PropertyStore
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import Sign, SymRange, sign_of
+from repro.ir.symbols import ArrayRef, BigLambda, Bottom, Expr, IntLit, Sym
+from repro.lang.astnodes import ArrayAccess, Assign, Compound, Decl, For, Id, Node, Program, Statement
+from repro.lang.cparser import parse_program
+
+
+class ProgramState:
+    """Known values of scalars and individual array elements between loops."""
+
+    def __init__(self):
+        self.scalars: Dict[str, SymRange] = {}
+        self.elements: Dict[Tuple, SymRange] = {}  # key: (array, subscript keys)
+
+    def set_scalar(self, name: str, r: SymRange) -> None:
+        self.scalars[name] = r
+
+    def kill_scalar(self, name: str) -> None:
+        self.scalars.pop(name, None)
+
+    def set_element(self, array: str, idx: Tuple[Expr, ...], r: SymRange) -> None:
+        self.elements[(array,) + tuple(k.key() for k in idx)] = r
+
+    def get_element(self, array: str, idx: Tuple[Expr, ...]) -> Optional[SymRange]:
+        return self.elements.get((array,) + tuple(k.key() for k in idx))
+
+    def kill_array(self, array: str) -> None:
+        for k in [k for k in self.elements if k[0] == array]:
+            del self.elements[k]
+
+
+class ProgramBounds:
+    """BoundsProvider over the program state (for Λ/element substitution)."""
+
+    def __init__(self, state: ProgramState):
+        self.state = state
+
+    def range_of(self, sym) -> Optional[SymRange]:
+        if isinstance(sym, BigLambda):
+            return self.state.scalars.get(sym.var)
+        if isinstance(sym, Sym):
+            return self.state.scalars.get(sym.name)
+        if isinstance(sym, ArrayRef):
+            return self.state.get_element(sym.name, tuple(sym.subs_))
+        return None
+
+    # MarkerBounds-compatible callable
+    def resolve(self, name: str) -> Optional[SymRange]:
+        return self.state.scalars.get(name)
+
+
+@dataclasses.dataclass
+class AnalysisResult:
+    """Whole-program analysis output."""
+
+    program: Program
+    config: AnalysisConfig
+    properties: PropertyStore
+    nests: List[LoopNest]
+    #: per-loop Phase-2 results keyed by loop_id
+    loop_results: Dict[str, Phase2Result]
+    #: per-loop Phase-1 results keyed by loop_id (for inspection/tests)
+    phase1_results: Dict[str, Phase1Result]
+    #: facts usable by downstream passes (counter_max ranges etc.)
+    facts: RangeDict
+    state: ProgramState
+
+
+class ProgramAnalyzer:
+    """Drives normalization, Phase-1/Phase-2 per nest, and property resolution."""
+
+    def __init__(self, config: Optional[AnalysisConfig] = None):
+        self.config = config or AnalysisConfig.new_algorithm()
+
+    # -- public API -----------------------------------------------------------
+
+    def analyze(self, prog: Union[str, Program]) -> AnalysisResult:
+        """Analyze a program (source text or parsed AST)."""
+        if isinstance(prog, str):
+            prog = parse_program(prog)
+        prog = normalize_program(prog)
+        state = ProgramState()
+        store = PropertyStore()
+        loop_results: Dict[str, Phase2Result] = {}
+        phase1_results: Dict[str, Phase1Result] = {}
+        facts = RangeDict()
+        nests = find_loop_nests(prog)
+        nest_by_loop = {id(n.loop): n for nst in nests for n in nst.walk()}
+
+        for stmt in prog.stmts:
+            if isinstance(stmt, For):
+                nest = nest_by_loop[id(stmt)]
+                entry_facts = self._facts_from_state(state, facts)
+                cl = self._analyze_nest(nest, loop_results, phase1_results, entry_facts)
+                facts = self._apply_collapsed_to_state(cl, state, store, facts)
+            else:
+                self._exec_straightline(stmt, state, store)
+
+        return AnalysisResult(
+            program=prog,
+            config=self.config,
+            properties=store,
+            nests=nests,
+            loop_results=loop_results,
+            phase1_results=phase1_results,
+            facts=facts,
+            state=state,
+        )
+
+    # -- nest analysis (inside-out) -------------------------------------------
+
+    def _facts_from_state(self, state: ProgramState, facts: RangeDict) -> RangeDict:
+        """Known program values exposed as sign/bounds facts for Phase-2."""
+        out = facts
+        for name, r in state.scalars.items():
+            out = out.set(Sym(name), r)
+        for key, r in state.elements.items():
+            pass  # element facts resolve via ProgramBounds at property time
+        return out
+
+    def _analyze_nest(
+        self,
+        nest: LoopNest,
+        loop_results: Dict[str, Phase2Result],
+        phase1_results: Dict[str, Phase1Result],
+        entry_facts: Optional[RangeDict] = None,
+        depth: int = 0,
+    ) -> CollapsedLoop:
+        loop_id = nest.loop.loop_id or "L?"
+        if not nest.eligible or depth >= self.config.max_depth:
+            return CollapsedLoop(
+                loop_id=loop_id,
+                index=nest.index or "?",
+                trip_count=None,
+                assigned_scalars=frozenset(assigned_scalars(nest.loop.body))
+                | ({nest.index} if nest.index else set()),
+                assigned_arrays=frozenset(assigned_arrays(nest.loop.body)),
+                analyzed=False,
+            )
+        collapsed: Dict[str, CollapsedLoop] = {}
+        for inner in nest.inner:
+            cl = self._analyze_nest(inner, loop_results, phase1_results, entry_facts, depth + 1)
+            if cl.analyzed:
+                collapsed[cl.loop_id] = cl
+        p1 = run_phase1(nest, collapsed)
+        p2 = run_phase2(nest, p1, self.config, entry_facts or RangeDict())
+        loop_results[loop_id] = p2
+        phase1_results[loop_id] = p1
+        return p2.collapsed
+
+    # -- program-state updates ----------------------------------------------------
+
+    def _apply_collapsed_to_state(
+        self,
+        cl: CollapsedLoop,
+        state: ProgramState,
+        store: PropertyStore,
+        facts: RangeDict,
+    ) -> RangeDict:
+        bounds = ProgramBounds(state)
+        markers = MarkerBounds(bounds.resolve)
+
+        # resolve and record properties BEFORE updating scalar state (Λ
+        # markers refer to pre-loop values)
+        for prop in cl.properties:
+            resolved = self._resolve_property(prop, cl, state, bounds)
+            if resolved is not None:
+                store.record(resolved)
+                if resolved.counter_max is not None and resolved.counter_var is not None:
+                    eff = cl.scalar_effects.get(resolved.counter_var)
+                    if eff is not None:
+                        facts = facts.set(resolved.counter_max, subst_range(eff, markers))
+
+        # arrays written by this loop lose stale properties / element facts
+        for arr in cl.assigned_arrays:
+            state.kill_array(arr)
+            established = {p.array for p in cl.properties}
+            if arr not in established:
+                store.kill(arr)
+
+        # scalar effects
+        new_vals: Dict[str, SymRange] = {}
+        for name, eff in cl.scalar_effects.items():
+            new_vals[name] = subst_range(eff, markers)
+        for name in cl.assigned_scalars:
+            if name in new_vals and not new_vals[name].is_unknown:
+                state.set_scalar(name, new_vals[name])
+            else:
+                state.kill_scalar(name)
+        return facts
+
+    def _resolve_property(
+        self,
+        prop: ArrayProperty,
+        cl: CollapsedLoop,
+        state: ProgramState,
+        bounds: ProgramBounds,
+    ) -> Optional[ArrayProperty]:
+        markers = MarkerBounds(bounds.resolve)
+        region = subst_range(prop.region, markers) if prop.region is not None else None
+        value_range = subst_range(prop.value_range, markers) if prop.value_range is not None else None
+        kind = prop.kind
+
+        # prefix extension: if elements below the region's start have known
+        # values not exceeding the stored values, the property extends to
+        # them (e.g. SDDMM's `col_ptr[0] = 0` before the fill loop)
+        if (
+            region is not None
+            and region.has_lb
+            and isinstance(region.lb, IntLit)
+            and region.lb.value > 0
+            and prop.dim == 0
+            and value_range is not None
+            and value_range.has_lb
+        ):
+            lo = region.lb.value
+            prefix_ok = True
+            strict_ok = True
+            prev = None
+            for j in range(lo):
+                ev = state.get_element(prop.array, (IntLit(j),))
+                if ev is None or not ev.has_ub:
+                    prefix_ok = False
+                    break
+                if prev is not None and not prev.le(ev):
+                    prefix_ok = False
+                    break
+                if prev is not None and not prev.lt(ev):
+                    strict_ok = False
+                prev = ev
+            if prefix_ok and prev is not None:
+                gap = sign_of(_sub_expr(value_range.lb, prev.ub))
+                if gap is Sign.POSITIVE:
+                    pass  # strict gap: kind unchanged
+                elif gap.is_pnn:
+                    kind = kind.meet(MonoKind.MA)
+                    prefix_ok = True
+                else:
+                    prefix_ok = False
+            if prefix_ok and prev is not None:
+                if not strict_ok:
+                    kind = kind.meet(MonoKind.MA)
+                region = SymRange(IntLit(0), region.ub)
+
+        return ArrayProperty(
+            array=prop.array,
+            kind=kind,
+            dim=prop.dim,
+            region=region,
+            value_range=value_range,
+            intermittent=prop.intermittent,
+            counter_max=prop.counter_max,
+            counter_var=prop.counter_var,
+            source_loop=prop.source_loop,
+        )
+
+    def _exec_straightline(self, stmt: Statement, state: ProgramState, store: PropertyStore) -> None:
+        if isinstance(stmt, Compound):
+            for s in stmt.stmts:
+                self._exec_straightline(s, state, store)
+            return
+        if isinstance(stmt, Decl) and stmt.init is not None and not stmt.dims:
+            state.set_scalar(stmt.name, eval_expr(stmt.init, _StateResolver(state)))
+            return
+        if isinstance(stmt, Assign):
+            resolver = _StateResolver(state)
+            val = eval_expr(stmt.rhs, resolver)
+            if isinstance(stmt.lhs, Id):
+                if val.is_unknown:
+                    state.kill_scalar(stmt.lhs.name)
+                else:
+                    state.set_scalar(stmt.lhs.name, val)
+            elif isinstance(stmt.lhs, ArrayAccess):
+                idx = [eval_expr(i, resolver) for i in stmt.lhs.indices]
+                if all(i.is_point for i in idx):
+                    state.set_element(stmt.lhs.name, tuple(i.lb for i in idx), val)
+                else:
+                    state.kill_array(stmt.lhs.name)
+                    store.kill(stmt.lhs.name)
+
+
+class _StateResolver:
+    """ScalarResolver over the program state (straight-line execution)."""
+
+    def __init__(self, state: ProgramState):
+        self.state = state
+
+    def resolve(self, name: str) -> Optional[SymRange]:
+        return self.state.scalars.get(name)
+
+    def resolve_array_read(self, name: str, idx) -> Optional[SymRange]:
+        if all(i.is_point for i in idx):
+            return self.state.get_element(name, tuple(i.lb for i in idx))
+        return None
+
+
+def _sub_expr(a: Expr, b: Expr) -> Expr:
+    from repro.ir.symbols import sub as _sub
+
+    return _sub(a, b)
+
+
+def analyze_program(
+    prog: Union[str, Program], config: Optional[AnalysisConfig] = None
+) -> AnalysisResult:
+    """Convenience wrapper: analyze source text or an AST."""
+    return ProgramAnalyzer(config).analyze(prog)

@@ -1,0 +1,147 @@
+"""Control-flow graph of a loop body (paper §2.3).
+
+The body of an eligible, normalized loop is a *structured* statement list
+(assignments, ``if``/``else``, inner loops), so its CFG is a DAG.  Inner
+loops are represented by a single **collapsed node** whose effects are
+supplied by the enclosing analysis after the inner loop's Phase-2 has run
+(paper: "Inner loops are represented by a single, collapsed node").
+
+Each node records the ``guards`` under which it executes — the stack of
+(branch-node, polarity) pairs introduced by the ``if`` statements that
+dominate it.  Phase-1 turns those into value *tags*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lang.astnodes import (
+    Assign,
+    Compound,
+    Decl,
+    Expression,
+    ExprStmt,
+    For,
+    If,
+    Node,
+    Pragma,
+    Statement,
+)
+
+
+class NodeKind(enum.Enum):
+    ENTRY = "entry"
+    EXIT = "exit"
+    STMT = "stmt"
+    BRANCH = "branch"
+    MERGE = "merge"
+    LOOP = "loop"  # collapsed inner loop
+
+
+@dataclasses.dataclass
+class CFGNode:
+    """One CFG node."""
+
+    nid: int
+    kind: NodeKind
+    stmt: Optional[Node] = None  # STMT: the statement; LOOP: the For node
+    cond: Optional[Expression] = None  # BRANCH: the condition
+    guards: Tuple[Tuple["CFGNode", bool], ...] = ()
+    preds: List["CFGNode"] = dataclasses.field(default_factory=list)
+    succs: List["CFGNode"] = dataclasses.field(default_factory=list)
+
+    def __hash__(self):
+        return self.nid
+
+    def __eq__(self, other):
+        return isinstance(other, CFGNode) and other.nid == self.nid
+
+    def __repr__(self):  # pragma: no cover
+        return f"<{self.kind.value}#{self.nid}>"
+
+
+class CFG:
+    """DAG over the statements of one loop body."""
+
+    def __init__(self):
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(NodeKind.ENTRY)
+        self.exit: Optional[CFGNode] = None
+
+    def _new(self, kind: NodeKind, **kw) -> CFGNode:
+        n = CFGNode(nid=len(self.nodes), kind=kind, **kw)
+        self.nodes.append(n)
+        return n
+
+    def _edge(self, a: CFGNode, b: CFGNode) -> None:
+        a.succs.append(b)
+        b.preds.append(a)
+
+    def topological(self) -> List[CFGNode]:
+        """Topological order (construction order is already topological)."""
+        return list(self.nodes)
+
+
+def build_cfg(body: Statement) -> CFG:
+    """Build the acyclic CFG of a normalized loop body."""
+    cfg = CFG()
+    tails = _build_stmts(cfg, _stmt_list(body), [cfg.entry], ())
+    cfg.exit = cfg._new(NodeKind.EXIT)
+    for t in tails:
+        cfg._edge(t, cfg.exit)
+    return cfg
+
+
+def _stmt_list(s: Statement) -> List[Statement]:
+    if isinstance(s, Compound):
+        return list(s.stmts)
+    return [s]
+
+
+def _build_stmts(
+    cfg: CFG,
+    stmts: Sequence[Statement],
+    preds: List[CFGNode],
+    guards: Tuple[Tuple[CFGNode, bool], ...],
+) -> List[CFGNode]:
+    cur = preds
+    for s in stmts:
+        cur = _build_one(cfg, s, cur, guards)
+    return cur
+
+
+def _build_one(
+    cfg: CFG,
+    s: Statement,
+    preds: List[CFGNode],
+    guards: Tuple[Tuple[CFGNode, bool], ...],
+) -> List[CFGNode]:
+    if isinstance(s, Compound):
+        return _build_stmts(cfg, s.stmts, preds, guards)
+    if isinstance(s, Pragma):
+        return preds
+    if isinstance(s, If):
+        br = cfg._new(NodeKind.BRANCH, cond=s.cond, guards=guards)
+        for p in preds:
+            cfg._edge(p, br)
+        then_tails = _build_stmts(cfg, _stmt_list(s.then), [br], guards + ((br, True),))
+        if s.els is not None:
+            else_tails = _build_stmts(cfg, _stmt_list(s.els), [br], guards + ((br, False),))
+        else:
+            else_tails = [br]
+        merge = cfg._new(NodeKind.MERGE, guards=guards)
+        for t in then_tails + else_tails:
+            cfg._edge(t, merge)
+        return [merge]
+    if isinstance(s, For):
+        node = cfg._new(NodeKind.LOOP, stmt=s, guards=guards)
+        for p in preds:
+            cfg._edge(p, node)
+        return [node]
+    # plain statement (Assign / ExprStmt / Decl / Break …)
+    node = cfg._new(NodeKind.STMT, stmt=s, guards=guards)
+    for p in preds:
+        cfg._edge(p, node)
+    return [node]

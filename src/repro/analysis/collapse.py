@@ -1,0 +1,89 @@
+"""Collapsed-loop representation (Algorithm 1, lines 21-24).
+
+After Phase-2 finishes for a loop, the loop is replaced by a single node
+holding a sequence of assignments — the aggregated effect of the whole loop
+on each LVV.  When the *enclosing* loop's Phase-1 reaches that node it
+applies these effects, substituting each ``Λ_x`` marker with the current
+(outer-iteration) value of ``x``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.analysis.properties import ArrayProperty
+from repro.analysis.svd import StoreRec
+from repro.ir.ranges import SymRange, range_eval
+from repro.ir.symbols import BOTTOM, BigLambda, Bottom, Expr, Sym
+
+
+@dataclasses.dataclass
+class CollapsedLoop:
+    """The aggregated effect of one analyzed loop.
+
+    Values use ``Λ_x`` (:class:`~repro.ir.symbols.BigLambda`) markers for the
+    loop-entry values of the loop's own LVVs and plain ``Sym`` for symbols
+    that were loop-invariant at this level (which may be LVVs one level up).
+    """
+
+    loop_id: str
+    index: str
+    #: symbolic trip count (in loop-invariant symbols), None if unknown
+    trip_count: Optional[Expr]
+    #: per-scalar aggregated value after the loop
+    scalar_effects: Dict[str, SymRange] = dataclasses.field(default_factory=dict)
+    #: per-array aggregated region stores
+    array_effects: Dict[str, List[StoreRec]] = dataclasses.field(default_factory=dict)
+    #: properties proven for subscript arrays at this level
+    properties: List[ArrayProperty] = dataclasses.field(default_factory=list)
+    #: scalars this loop assigns (effects may be unknown => kills)
+    assigned_scalars: FrozenSet[str] = frozenset()
+    #: arrays this loop stores to
+    assigned_arrays: FrozenSet[str] = frozenset()
+    #: whether the analysis succeeded (ineligible loops collapse to kills)
+    analyzed: bool = True
+
+
+class MarkerBounds:
+    """BoundsProvider that maps Λ-markers / outer-LVV syms to current values.
+
+    Used when applying a collapsed inner loop during the outer Phase-1:
+    ``Λ_x`` (value of x when the inner loop started) is exactly the current
+    value of ``x`` at this point of the outer iteration.
+    """
+
+    def __init__(self, resolve_scalar):
+        # resolve_scalar(name) -> Optional[SymRange] (current outer value)
+        self._resolve = resolve_scalar
+
+    def range_of(self, sym: Expr) -> Optional[SymRange]:
+        if isinstance(sym, BigLambda):
+            r = self._resolve(sym.var)
+            if r is not None:
+                return r
+            return SymRange.point(Sym(sym.var))
+        if isinstance(sym, Sym):
+            return self._resolve(sym.name)
+        return None
+
+
+def subst_range(sr: SymRange, bounds: MarkerBounds) -> SymRange:
+    """Substitute marker values into both bounds of a range.
+
+    The lower bound of the result is the lower bound of the interval
+    evaluation of ``sr.lb`` (and symmetrically for the upper bound), which
+    is sound because :func:`repro.ir.ranges.range_eval` respects coefficient
+    signs.
+    """
+    if not sr.has_lb and not sr.has_ub:
+        return sr
+    lo = BOTTOM
+    hi = BOTTOM
+    if sr.has_lb:
+        r = range_eval(sr.lb, bounds)
+        lo = r.lb if r.has_lb else BOTTOM
+    if sr.has_ub:
+        r = range_eval(sr.ub, bounds)
+        hi = r.ub if r.has_ub else BOTTOM
+    return SymRange(lo, hi)

@@ -1,0 +1,62 @@
+"""Feature configuration selecting which analysis generation runs.
+
+The paper's Experiment 2 compares three compiler configurations:
+
+* **Cetus** — classical automatic parallelization only (no subscript-array
+  property analysis at all).
+* **Cetus + BaseAlgo** — the ICS'21 Base Algorithm: Simple Scalar
+  Recurrences and Scalar Recurrence Array Assignments, i.e. *continuous*
+  monotonicity of one-dimensional arrays.
+* **Cetus + NewAlgo** — this paper: adds intermittent monotonicity
+  (LEMMA 1) and monotonic multi-dimensional arrays (LEMMA 2).
+
+:class:`AnalysisConfig` encodes those capability sets as flags so a single
+implementation serves all three bars of Figure 17 plus the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisConfig:
+    """Capability flags for the subscript-array analysis."""
+
+    #: run the array property analysis at all (False = classical Cetus only)
+    array_analysis: bool = True
+    #: recognize intermittent monotonic sequences (LEMMA 1, new algorithm)
+    intermittent: bool = True
+    #: recognize monotonic multi-dimensional arrays (LEMMA 2, new algorithm)
+    multidim: bool = True
+    #: aggressive symbolic simplification of multi-value Phase-1 expressions
+    #: (required for the UA example's per-level range fusion)
+    simplify_aggregates: bool = True
+    #: maximum loop-nest depth analyzed (safety valve)
+    max_depth: int = 8
+
+    @staticmethod
+    def classical() -> "AnalysisConfig":
+        """Classical Cetus: no subscript-array analysis."""
+        return AnalysisConfig(array_analysis=False, intermittent=False, multidim=False)
+
+    @staticmethod
+    def base_algorithm() -> "AnalysisConfig":
+        """The ICS'21 Base Algorithm (continuous 1-D monotonicity only)."""
+        return AnalysisConfig(array_analysis=True, intermittent=False, multidim=False)
+
+    @staticmethod
+    def new_algorithm() -> "AnalysisConfig":
+        """The PPoPP'24 algorithm (this paper)."""
+        return AnalysisConfig(array_analysis=True, intermittent=True, multidim=True)
+
+    @property
+    def name(self) -> str:
+        if not self.array_analysis:
+            return "Cetus"
+        if self.intermittent and self.multidim:
+            return "Cetus+NewAlgo"
+        if not self.intermittent and not self.multidim:
+            return "Cetus+BaseAlgo"
+        return "Cetus+custom"

@@ -1,0 +1,247 @@
+"""Bridge from AST expressions to symbolic IR.
+
+Phase-1 evaluates right-hand sides and subscripts *symbolically*: every
+identifier is either a loop-variant variable — whose current value comes
+from the Symbolic Value Dictionary — or a loop-invariant symbol.  This
+module provides that evaluation plus the canonical representation of
+``if``-condition *tags* used to mark conditionally-assigned values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional, Sequence, Tuple, Union
+
+from repro.ir.ranges import SymRange
+from repro.ir.simplify import simplify
+from repro.ir.symbols import (
+    BOTTOM,
+    ArrayRef,
+    Bottom,
+    Div,
+    Expr,
+    IntLit,
+    LambdaVal,
+    Mod,
+    Sym,
+    add,
+    mul,
+    neg,
+    sub,
+)
+from repro.lang.astnodes import (
+    ArrayAccess,
+    BinOp,
+    Call,
+    Expression,
+    FloatNum,
+    Id,
+    IncDec,
+    Num,
+    StrLit,
+    Ternary,
+    UnOp,
+)
+
+#: C standard library calls Cetus treats as side-effect free (paper §2.2).
+SIDE_EFFECT_FREE_CALLS = frozenset(
+    {
+        "exp", "log", "log2", "log10", "sqrt", "fabs", "abs", "pow", "sin",
+        "cos", "tan", "floor", "ceil", "fmax", "fmin", "max", "min",
+    }
+)
+
+
+class ScalarResolver:
+    """Resolves the current symbolic value of an identifier.
+
+    ``resolve(name)`` returns:
+
+    * a :class:`SymRange` — the variable is loop-variant and its current
+      value (possibly a range) is known to the SVD;
+    * ``None`` — the variable is loop-invariant; callers use ``Sym(name)``.
+    """
+
+    def resolve(self, name: str) -> Optional[SymRange]:  # pragma: no cover
+        raise NotImplementedError
+
+    def resolve_array_read(self, name: str, idx: Tuple[SymRange, ...]) -> Optional[SymRange]:
+        """Current value of an array element, if the SVD tracks it."""
+        return None
+
+
+class _EmptyResolver(ScalarResolver):
+    def resolve(self, name: str) -> Optional[SymRange]:
+        return None
+
+
+EMPTY_RESOLVER = _EmptyResolver()
+
+
+def eval_expr(e: Expression, resolver: ScalarResolver = EMPTY_RESOLVER) -> SymRange:
+    """Symbolically evaluate an AST expression to a :class:`SymRange`.
+
+    Unanalyzable constructs (floating literals, unknown calls, logical
+    results used as values) evaluate to the unknown range.
+    """
+    if isinstance(e, Num):
+        return SymRange.point(IntLit(e.value))
+    if isinstance(e, (FloatNum, StrLit)):
+        return SymRange.unknown()
+    if isinstance(e, Id):
+        r = resolver.resolve(e.name)
+        return r if r is not None else SymRange.point(Sym(e.name))
+    if isinstance(e, ArrayAccess):
+        idx = tuple(eval_expr(i, resolver) for i in e.indices)
+        hit = resolver.resolve_array_read(e.name, idx)
+        if hit is not None:
+            return hit
+        if all(i.is_point for i in idx):
+            return SymRange.point(ArrayRef(e.name, [i.lb for i in idx]))
+        return SymRange.unknown()
+    if isinstance(e, UnOp):
+        v = eval_expr(e.operand, resolver)
+        if e.op == "+":
+            return v
+        if e.op == "-":
+            return SymRange.point(0) - v
+        return SymRange.unknown()  # ! and ~ are not integer-analyzable here
+    if isinstance(e, BinOp):
+        a = eval_expr(e.lhs, resolver)
+        b = eval_expr(e.rhs, resolver)
+        if e.op == "+":
+            return a + b
+        if e.op == "-":
+            return a - b
+        if e.op == "*":
+            if a.is_point and b.is_point:
+                return SymRange.point(simplify(mul(a.lb, b.lb)))
+            if a.is_point:
+                return b.scale(a.lb)
+            if b.is_point:
+                return a.scale(b.lb)
+            return SymRange.unknown()
+        if e.op == "/":
+            if a.is_point and b.is_point and not isinstance(a.lb, Bottom) and not isinstance(b.lb, Bottom):
+                return SymRange.point(simplify(Div(a.lb, b.lb)))
+            return SymRange.unknown()
+        if e.op == "%":
+            if a.is_point and b.is_point:
+                return SymRange.point(simplify(Mod(a.lb, b.lb)))
+            return SymRange.unknown()
+        return SymRange.unknown()  # relational/logical values
+    if isinstance(e, Call):
+        return SymRange.unknown()
+    if isinstance(e, Ternary):
+        t = eval_expr(e.then, resolver)
+        f = eval_expr(e.els, resolver)
+        return t.union(f)
+    if isinstance(e, IncDec):
+        raise ValueError("IncDec must be lowered by normalization before analysis")
+    return SymRange.unknown()
+
+
+# ---------------------------------------------------------------------------
+# condition tags
+# ---------------------------------------------------------------------------
+
+CondKey = Tuple  # nested tuples of strings/Expr keys — hashable & comparable
+
+
+def cond_key(e: Expression, resolver: ScalarResolver = EMPTY_RESOLVER) -> CondKey:
+    """Canonical hashable key for an ``if``-condition expression.
+
+    Operand sub-expressions are symbolically evaluated (through the current
+    SVD) so that conditions over the *same values* compare equal even if
+    they are spelled through normalization temporaries.  Point values embed
+    their canonical IR; non-point operands embed the raw structure.
+    """
+    if isinstance(e, BinOp):
+        return ("bin", e.op, cond_key(e.lhs, resolver), cond_key(e.rhs, resolver))
+    if isinstance(e, UnOp):
+        return ("un", e.op, cond_key(e.operand, resolver))
+    if isinstance(e, Call):
+        return ("call", e.name, tuple(cond_key(a, resolver) for a in e.args))
+    if isinstance(e, FloatNum):
+        return ("float", e.value)
+    if isinstance(e, StrLit):
+        return ("str", e.value)
+    v = eval_expr(e, resolver)
+    if v.is_point:
+        return ("val", v.lb.key())
+    if isinstance(e, Id):
+        return ("id", e.name)
+    if isinstance(e, ArrayAccess):
+        return ("arr", e.name, tuple(cond_key(i, resolver) for i in e.indices))
+    if isinstance(e, Num):
+        return ("int", e.value)
+    return ("opaque", id(e))
+
+
+def cond_is_loop_variant(
+    e: Expression,
+    loop_index: str,
+    lvvs: FrozenSet[str],
+    invariant_arrays: Optional[FrozenSet[str]] = None,
+) -> bool:
+    """True if the condition's value can change from iteration to iteration.
+
+    A condition is loop-variant if it references the loop index, any
+    loop-variant scalar, or an array element (array contents are unknown
+    and may differ per element unless the subscript is loop-invariant).
+    """
+    for node in e.walk():
+        if isinstance(node, Id) and (node.name == loop_index or node.name in lvvs):
+            return True
+        if isinstance(node, ArrayAccess):
+            # a read of an array at a loop-variant subscript varies
+            for idx in node.indices:
+                if cond_is_loop_variant(idx, loop_index, lvvs, invariant_arrays):
+                    return True
+    return False
+
+
+class Tag:
+    """A conjunction of (condition, branch-polarity) pairs.
+
+    Phase-1 tags every value assigned inside an ``if`` with the governing
+    conditions (paper Figure 5's ``⟨expr⟩`` notation).  Tags compare
+    structurally; LEMMA 1 requires the tags of the array assignment and of
+    the counter increment to be *equal and loop variant*.
+    """
+
+    __slots__ = ("conds",)
+
+    def __init__(self, conds: Tuple[Tuple[CondKey, bool, bool], ...] = ()):
+        # each entry: (condition key, polarity, loop_variant)
+        self.conds = conds
+
+    @property
+    def empty(self) -> bool:
+        return not self.conds
+
+    def extend(self, key: CondKey, polarity: bool, loop_variant: bool) -> "Tag":
+        return Tag(self.conds + ((key, polarity, loop_variant),))
+
+    @property
+    def loop_variant(self) -> bool:
+        """True if any conjunct is loop-variant."""
+        return any(lv for (_, _, lv) in self.conds)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Tag):
+            return NotImplemented
+        return self.conds == other.conds
+
+    def __hash__(self) -> int:
+        return hash(self.conds)
+
+    def __str__(self) -> str:
+        if not self.conds:
+            return ""
+        return "|".join(("" if pol else "!") + f"c{abs(hash(k)) % 10_000}" for k, pol, _ in self.conds)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Tag({len(self.conds)} conds, variant={self.loop_variant})"
+
+
+EMPTY_TAG = Tag()

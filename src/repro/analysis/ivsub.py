@@ -1,0 +1,214 @@
+"""Induction-variable substitution (part of Cetus normalization, §2.2).
+
+The paper's preconditions include "induction variables having been
+substituted": a scalar updated *unconditionally* once per iteration by a
+loop-invariant amount — ``k = k + c`` — is replaced by its closed form
+``k0 + c*i`` so later passes see affine subscripts instead of scalar
+recurrences.  (Counters updated under a condition are exactly what the new
+analysis handles and are left alone.)
+
+The pass is conservative: it only rewrites when
+
+* the variable has exactly one update statement, at the top level of the
+  loop body (not under any ``if`` or inner loop);
+* the increment is loop-invariant;
+* the variable is not the loop index and not otherwise assigned.
+
+Uses *before* the update in the body read ``k0 + c*i``; uses *after* it
+read ``k0 + c*(i+1)``; after the loop the variable holds ``k0 + c*N``
+(re-materialized with a final assignment so the transformation is a
+drop-in statement rewrite).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.loopinfo import assigned_scalars
+from repro.analysis.normalize import LoopHeader, match_header
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Call,
+    Compound,
+    Expression,
+    For,
+    Id,
+    If,
+    Node,
+    Num,
+    Statement,
+    Ternary,
+    UnOp,
+    While,
+)
+
+
+@dataclasses.dataclass
+class InductionVar:
+    """A recognized unconditional induction variable."""
+
+    name: str
+    increment: Expression  # loop-invariant AST expression
+    update_stmt: Assign
+
+
+def _is_invariant_expr(e: Expression, variant: Set[str]) -> bool:
+    for n in e.walk():
+        if isinstance(n, Id) and n.name in variant:
+            return False
+        if isinstance(n, (ArrayAccess, Call)):
+            return False  # array contents / call results may vary
+    return True
+
+
+def find_induction_vars(loop: For, header: LoopHeader) -> List[InductionVar]:
+    """Recognize ``k = k + c`` updates at the body's top statement level."""
+    body = loop.body
+    stmts = body.stmts if isinstance(body, Compound) else [body]
+    variant = assigned_scalars(loop.body) | {header.index}
+    counts: Dict[str, int] = {}
+    for node in loop.body.walk():
+        if isinstance(node, Assign) and isinstance(node.lhs, Id):
+            counts[node.lhs.name] = counts.get(node.lhs.name, 0) + 1
+
+    out: List[InductionVar] = []
+    for s in stmts:
+        if not (isinstance(s, Assign) and isinstance(s.lhs, Id) and s.op == "="):
+            continue
+        name = s.lhs.name
+        if name == header.index or counts.get(name, 0) != 1:
+            continue
+        inc = _match_increment(s.rhs, name)
+        if inc is None:
+            continue
+        if not _is_invariant_expr(inc, variant - {name}):
+            continue
+        out.append(InductionVar(name=name, increment=inc, update_stmt=s))
+    return out
+
+
+def _match_increment(rhs: Expression, name: str) -> Optional[Expression]:
+    """Match ``name + c`` / ``c + name``; returns c."""
+    if not (isinstance(rhs, BinOp) and rhs.op == "+"):
+        return None
+    if isinstance(rhs.lhs, Id) and rhs.lhs.name == name:
+        other = rhs.rhs
+    elif isinstance(rhs.rhs, Id) and rhs.rhs.name == name:
+        other = rhs.lhs
+    else:
+        return None
+    if any(isinstance(n, Id) and n.name == name for n in other.walk()):
+        return None
+    return other
+
+
+def substitute_induction_vars(loop: For) -> List[InductionVar]:
+    """Rewrite the loop in place; returns the variables substituted.
+
+    Each IV use becomes ``name@pre + c*i`` (before the update point) or
+    ``name@pre + c*(i+1)`` (after); the update statement itself is removed
+    and a closing assignment ``name = name + c`` is appended so the
+    post-loop value is preserved.  ``name@pre`` is represented by a fresh
+    scalar initialized right before the loop — the caller receives the IVs
+    and is responsible for placing ``<name>_0 = <name>;`` ahead of the loop
+    (see :func:`substitute_in_program`).
+    """
+    header = match_header(loop)
+    if header is None:
+        return []
+    ivs = find_induction_vars(loop, header)
+    if not ivs:
+        return []
+    body = loop.body if isinstance(loop.body, Compound) else Compound([loop.body])
+    loop.body = body
+
+    for iv in ivs:
+        base = Id(f"{iv.name}_0")
+        idx = Id(header.index)
+        before = BinOp("+", base.clone(), BinOp("*", iv.increment.clone(), idx.clone()))
+        after = BinOp(
+            "+",
+            base.clone(),
+            BinOp("*", iv.increment.clone(), BinOp("+", idx.clone(), Num(1))),
+        )
+        seen_update = [False]
+
+        def rewrite(stmt: Node):
+            if stmt is iv.update_stmt:
+                seen_update[0] = True
+                return
+            _replace_uses(stmt, iv.name, after if seen_update[0] else before)
+
+        for s in body.stmts:
+            rewrite(s)
+        body.stmts = [s for s in body.stmts if s is not iv.update_stmt]
+        # keep the scalar live-out: name = name_0 + c * N  is appended by
+        # substitute_in_program (it knows the loop bounds textually)
+    return ivs
+
+
+def _replace_uses(node: Node, name: str, replacement: Expression) -> None:
+    """Replace reads of ``name`` inside ``node`` (writes are left alone)."""
+    for attr in ("rhs", "cond", "operand", "then", "els", "expr", "init", "step"):
+        child = getattr(node, attr, None)
+        if isinstance(child, Id) and child.name == name:
+            setattr(node, attr, replacement.clone())
+        elif isinstance(child, Node):
+            _replace_uses(child, name, replacement)
+    # lhs: only subscripts are reads
+    lhs = getattr(node, "lhs", None)
+    if isinstance(lhs, ArrayAccess):
+        _replace_uses(lhs, name, replacement)
+    for attr in ("indices", "args", "stmts"):
+        lst = getattr(node, attr, None)
+        if lst is not None:
+            for i, child in enumerate(lst):
+                if isinstance(child, Id) and child.name == name and attr != "stmts":
+                    lst[i] = replacement.clone()
+                elif isinstance(child, Node):
+                    _replace_uses(child, name, replacement)
+    body = getattr(node, "body", None)
+    if isinstance(body, Node):
+        _replace_uses(body, name, replacement)
+
+
+def substitute_in_program(prog) -> Dict[str, List[InductionVar]]:
+    """Apply IV substitution to every canonical loop of a program.
+
+    Inserts ``<name>_0 = <name>;`` before each rewritten loop and
+    ``<name> = <name>_0 + c * <trip>;`` after it.  Returns the substituted
+    IVs per loop_id.
+    """
+    out: Dict[str, List[InductionVar]] = {}
+    new_stmts: List[Statement] = []
+    for stmt in prog.stmts:
+        if isinstance(stmt, For):
+            header = match_header(stmt)
+            ivs = substitute_induction_vars(stmt)
+            if ivs and header is not None:
+                for iv in ivs:
+                    new_stmts.append(Assign(Id(f"{iv.name}_0"), "=", Id(iv.name)))
+                new_stmts.append(stmt)
+                trip = BinOp("-", header.ub_expr.clone(), header.lb.clone())
+                if header.inclusive:
+                    trip = BinOp("+", trip, Num(1))
+                for iv in ivs:
+                    new_stmts.append(
+                        Assign(
+                            Id(iv.name),
+                            "=",
+                            BinOp(
+                                "+",
+                                Id(f"{iv.name}_0"),
+                                BinOp("*", iv.increment.clone(), trip),
+                            ),
+                        )
+                    )
+                out[stmt.loop_id or ""] = ivs
+                continue
+        new_stmts.append(stmt)
+    prog.stmts = new_stmts
+    return out

@@ -1,0 +1,126 @@
+"""Loop discovery and eligibility (paper §2.2).
+
+Loops containing function calls with side effects or ``break`` statements
+are ineligible for the subscript-array analysis (certain C standard library
+calls are considered side-effect free, mirroring Cetus).  ``while`` loops
+and non-canonical ``for`` headers are likewise skipped.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.irbridge import SIDE_EFFECT_FREE_CALLS
+from repro.analysis.normalize import LoopHeader, match_header
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    Break,
+    Call,
+    Compound,
+    Decl,
+    For,
+    Id,
+    If,
+    Node,
+    Program,
+    Statement,
+    While,
+)
+
+_loop_counter = itertools.count()
+
+
+@dataclasses.dataclass
+class LoopNest:
+    """A loop and its directly nested loops."""
+
+    loop: For
+    header: Optional[LoopHeader]
+    inner: List["LoopNest"]
+    eligible: bool
+    reason: str = ""
+
+    @property
+    def index(self) -> Optional[str]:
+        return self.header.index if self.header else None
+
+    def walk(self) -> Iterator["LoopNest"]:
+        yield self
+        for n in self.inner:
+            yield from n.walk()
+
+    def depth(self) -> int:
+        if not self.inner:
+            return 1
+        return 1 + max(n.depth() for n in self.inner)
+
+
+def direct_inner_loops(body: Statement) -> List[For]:
+    """``for`` loops nested directly inside ``body`` (not through other fors)."""
+    out: List[For] = []
+
+    def rec(s: Node):
+        if isinstance(s, For):
+            out.append(s)
+            return  # don't descend: those are deeper levels
+        for c in s.children():
+            rec(c)
+
+    rec(body)
+    return out
+
+
+def build_nest(loop: For) -> LoopNest:
+    """Build the :class:`LoopNest` tree rooted at ``loop``."""
+    if loop.loop_id is None:
+        loop.loop_id = f"L{next(_loop_counter)}"
+    header = match_header(loop)
+    inner = [build_nest(l) for l in direct_inner_loops(loop.body)]
+    eligible, reason = _check_eligible(loop, header)
+    return LoopNest(loop, header, inner, eligible, reason)
+
+
+def find_loop_nests(prog: Program) -> List[LoopNest]:
+    """Top-level loop nests of the program, in program order."""
+    return [build_nest(l) for l in direct_inner_loops(Compound(prog.stmts))]
+
+
+def _check_eligible(loop: For, header: Optional[LoopHeader]) -> tuple:
+    if header is None:
+        return False, "non-canonical loop header"
+    for node in loop.body.walk():
+        if isinstance(node, Break):
+            return False, "loop contains break"
+        if isinstance(node, While):
+            return False, "loop contains while"
+        if isinstance(node, Call) and node.name not in SIDE_EFFECT_FREE_CALLS:
+            return False, f"call to {node.name}() may have side effects"
+    # the index must not be assigned in the body
+    idx = header.index
+    for node in loop.body.walk():
+        if isinstance(node, Assign) and isinstance(node.lhs, Id) and node.lhs.name == idx:
+            return False, "loop index assigned in body"
+    return True, ""
+
+
+def assigned_scalars(body: Node) -> Set[str]:
+    """Scalar names assigned anywhere in ``body`` (including loop headers)."""
+    out: Set[str] = set()
+    for node in body.walk():
+        if isinstance(node, Assign) and isinstance(node.lhs, Id):
+            out.add(node.lhs.name)
+        elif isinstance(node, Decl) and node.init is not None and not node.dims:
+            out.add(node.name)
+    return out
+
+
+def assigned_arrays(body: Node) -> Set[str]:
+    """Array names stored to anywhere in ``body``."""
+    out: Set[str] = set()
+    for node in body.walk():
+        if isinstance(node, Assign) and isinstance(node.lhs, ArrayAccess):
+            out.add(node.lhs.name)
+    return out

@@ -1,0 +1,395 @@
+"""SSR / SRA / is_Mono_Array — the recognition core of Phase-2.
+
+Implements the paper's state-of-the-art concepts (§2.4.1):
+
+* **SSR** — Simple Scalar Recurrence ``sc = sc + k`` with loop-invariant
+  PNN ``k`` (or PNN range, covering conditional increments);
+* **SRA** — Scalar Recurrence Array Assignment ``ar[i] = ssr_expr`` in
+  contiguous iterations, plus the Figure 2(b) chain recurrence
+  ``a[f(i)] = a[f(i)-1] + k``;
+
+and the two novel concepts (§2.4.2, Algorithm 2):
+
+* **intermittent monotonicity** (LEMMA 1) — ``inseq[ic] = j; ic = ic + 1``
+  under one loop-variant condition;
+* **monotonic multi-dimensional arrays** (LEMMA 2) —
+  ``ax[i][*]…[*] = α·i + [rl:ru]`` with PNN ``[rl:ru]`` and ``α+rl ≥ ru``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.irbridge import Tag
+from repro.analysis.properties import MonoKind
+from repro.analysis.svd import SVD, StoreRec, ValueSet, VItem
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import Sign, SymRange, sign_of
+from repro.ir.simplify import decompose_affine, simplify
+from repro.ir.symbols import (
+    ArrayRef,
+    Bottom,
+    Expr,
+    IntLit,
+    LambdaVal,
+    Sym,
+    add,
+    sub,
+)
+
+
+# ---------------------------------------------------------------------------
+# loop-invariance tests
+# ---------------------------------------------------------------------------
+
+
+def is_loop_invariant(e: Expr, index: str) -> bool:
+    """No λ markers and no occurrence of the loop index."""
+    for n in e.walk():
+        if isinstance(n, LambdaVal):
+            return False
+        if isinstance(n, Sym) and n.name == index:
+            return False
+    return True
+
+
+def range_is_loop_invariant(r: SymRange, index: str) -> bool:
+    if r.has_lb and not is_loop_invariant(r.lb, index):
+        return False
+    if r.has_ub and not is_loop_invariant(r.ub, index):
+        return False
+    return r.has_lb or r.has_ub
+
+
+# ---------------------------------------------------------------------------
+# SSR recognition
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SSRInfo:
+    """A recognized Simple Scalar Recurrence."""
+
+    var: str
+    kind: MonoKind
+    #: per-iteration increment range [k_lb : k_ub] (loop-invariant, PNN)
+    k: SymRange
+    #: True when some path leaves the variable unchanged (conditional SSR)
+    conditional: bool
+
+
+def is_ssr(var: str, vs: ValueSet, index: str, facts: RangeDict) -> Optional[SSRInfo]:
+    """Recognize ``var = var + k`` (k loop-invariant PNN value or range).
+
+    Every alternative in the value set must contribute a loop-invariant PNN
+    increment; an untagged ``λ_var`` alternative contributes ``k = 0``
+    (the no-change path of a conditional increment).
+    """
+    lam = LambdaVal(var)
+    k_union: Optional[SymRange] = None
+    conditional = False
+    strict = True
+    for item in vs.items:
+        v = item.value
+        if v.is_point:
+            k_expr = simplify(sub(v.lb, lam))
+            if not is_loop_invariant(k_expr, index):
+                return None
+            k_r = SymRange.point(k_expr)
+        else:
+            if not v.has_lb or not v.has_ub:
+                return None
+            k_lb = simplify(sub(v.lb, lam))
+            k_ub = simplify(sub(v.ub, lam))
+            if not is_loop_invariant(k_lb, index) or not is_loop_invariant(k_ub, index):
+                return None
+            k_r = SymRange(k_lb, k_ub)
+        if not k_r.is_pnn(facts):
+            return None
+        if not k_r.is_positive(facts):
+            strict = False
+        if isinstance(k_r.lb, IntLit) and k_r.lb.value == 0 and not item.tagged and v.is_point:
+            conditional = conditional or len(vs.items) > 1
+        k_union = k_r if k_union is None else k_union.union(k_r)
+    if k_union is None:
+        return None
+    # conditional when multiple alternatives exist (some path may skip)
+    if len(vs.items) > 1:
+        conditional = True
+        # the skip path contributes k = 0
+        k_union = k_union.union(SymRange.point(0))
+        strict = strict and False
+    kind = MonoKind.SMA if strict else MonoKind.MA
+    return SSRInfo(var=var, kind=kind, k=k_union, conditional=conditional)
+
+
+# ---------------------------------------------------------------------------
+# SSR-expression decomposition (values assigned to arrays)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class SSRExpr:
+    """A value of the form ``c * ssr_var + rem`` (c > 0, rem invariant)."""
+
+    ssr_var: str  # variable name; the loop index when is_index
+    is_index: bool
+    coeff: Expr
+    rem: Expr
+    kind: MonoKind  # monotonicity of the underlying SSR variable
+
+
+def match_ssr_expr(
+    value: SymRange,
+    index: str,
+    ssr_vars: Dict[str, SSRInfo],
+    facts: RangeDict,
+) -> Optional[SSRExpr]:
+    """Match a stored value against ``ssr_var (+ const)`` (eq. (1)/(3)).
+
+    Candidates are the loop index (a strictly monotonic SSR variable by
+    definition) and every recognized SSR scalar; the coefficient must be a
+    provably positive loop-invariant and the remainder loop-invariant.
+    """
+    if not value.is_point:
+        return None
+    e = value.lb
+    # candidate atoms present in the expression
+    cands: List[Tuple[Expr, str, bool, MonoKind]] = []
+    for n in e.walk():
+        if isinstance(n, Sym) and n.name == index:
+            cands.append((n, index, True, MonoKind.SMA))
+        elif isinstance(n, LambdaVal) and n.var in ssr_vars:
+            cands.append((n, n.var, False, ssr_vars[n.var].kind))
+    for atom, name, is_index, kind in cands:
+        dec = decompose_affine(e, atom)
+        if dec is None:
+            continue
+        coeff, rem = dec
+        if not is_loop_invariant(coeff, index) or not is_loop_invariant(rem, index):
+            continue
+        if sign_of(coeff, facts) is not Sign.POSITIVE:
+            continue
+        return SSRExpr(ssr_var=name, is_index=is_index, coeff=coeff, rem=rem, kind=kind)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 2 — is_Mono_Array
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class MonoArrayResult:
+    """Outcome of Algorithm 2 for one array."""
+
+    kind: MonoKind
+    dim: int
+    intermittent: bool = False
+    counter_var: Optional[str] = None
+    #: the SSR expression stored (1-D cases)
+    ssr_expr: Optional[SSRExpr] = None
+    #: LEMMA 2 components (multi-dimensional case)
+    alpha: Optional[Expr] = None
+    rem_range: Optional[SymRange] = None
+    #: Figure 2(b) chain recurrence
+    chain: bool = False
+
+
+def subscript_is_simple(s: SymRange, index: str) -> Optional[Expr]:
+    """Simple subscript test: ``i + k`` (k loop-invariant); returns k."""
+    if not s.is_point:
+        return None
+    dec = decompose_affine(s.lb, Sym(index))
+    if dec is None:
+        return None
+    coeff, rem = dec
+    if not (isinstance(coeff, IntLit) and coeff.value == 1):
+        return None
+    if not is_loop_invariant(rem, index):
+        return None
+    return rem
+
+
+def is_mono_array(
+    array: str,
+    recs: Sequence[StoreRec],
+    svd: SVD,
+    index: str,
+    ssr_vars: Dict[str, SSRInfo],
+    facts: RangeDict,
+    *,
+    allow_intermittent: bool = True,
+    allow_multidim: bool = True,
+) -> Optional[MonoArrayResult]:
+    """Algorithm 2: detect (intermittent / multi-dimensional) monotonicity.
+
+    Returns None when no property can be proven (the paper's ``false``).
+    """
+    if not recs:
+        return None
+    ndim = len(recs[0].subs)
+    if any(len(r.subs) != ndim for r in recs):
+        return None
+
+    if ndim == 1:
+        if len(recs) != 1:
+            return None  # multiple 1-D store sites: conservative
+        rec = recs[0]
+        s = rec.subs[0]
+
+        # ---- counter-subscripted stores ---------------------------------
+        # inseq[ic] = expr; ic = ic + 1.  With an empty tag this is the
+        # contiguous fill Cetus' induction-variable substitution exposes
+        # (base capability); under matching loop-variant tags it is the
+        # intermittent monotonic array of LEMMA 1 (new algorithm).
+        counter = rec.sub_vars[0]
+        if counter is not None:
+            r_s = svd.get_scalar(counter)
+            inc = _incremented_by_one(r_s, counter) if r_s is not None else None
+            if inc is not None:
+                tag_s = inc
+                tag_v = _store_tag(rec)
+                if tag_v is not None and tag_s == tag_v:
+                    conditional = not tag_v.empty
+                    if conditional and not (allow_intermittent and tag_v.loop_variant):
+                        return None
+                    sexpr = match_ssr_expr(rec.value_range(), index, ssr_vars, facts)
+                    if sexpr is not None:
+                        return MonoArrayResult(
+                            kind=sexpr.kind,
+                            dim=0,
+                            intermittent=conditional,
+                            counter_var=counter,
+                            ssr_expr=sexpr,
+                        )
+            return None
+
+        # ---- contiguous SRA (base algorithm) ------------------------------
+        k = subscript_is_simple(s, index)
+        if k is not None:
+            # chain recurrence a[f(i)] = a[f(i)-1] + c  (Figure 2(b))
+            chain = _match_chain(array, rec, facts)
+            if chain is not None:
+                return chain
+            sexpr = match_ssr_expr(rec.value_range(), index, ssr_vars, facts)
+            if sexpr is not None:
+                kind = sexpr.kind
+                if sexpr.is_index:
+                    # value α·i + rem: strictness needs α > 0 (already checked)
+                    kind = MonoKind.SMA
+                return MonoArrayResult(kind=kind, dim=0, ssr_expr=sexpr)
+        return None
+
+    # ---- multi-dimensional arrays (LEMMA 2) ---------------------------------
+    if not allow_multidim:
+        return None
+    dim = _find_index_dim(recs, index)
+    if dim is None:
+        return None
+    # aggregate the value range across all store sites (Definition 1 ranges
+    # over every other dimension)
+    union: Optional[SymRange] = None
+    for r in recs:
+        vr = r.value_range()
+        union = vr if union is None else union.union(vr)
+    assert union is not None
+    if not union.has_lb or not union.has_ub:
+        return None
+    atom = Sym(index)
+    dlb = decompose_affine(union.lb, atom)
+    dub = decompose_affine(union.ub, atom)
+    if dlb is None or dub is None:
+        return None
+    alpha, rl = dlb
+    alpha2, ru = dub
+    if simplify(alpha) != simplify(alpha2):
+        return None
+    if not is_loop_invariant(alpha, index) or not is_loop_invariant(rl, index) or not is_loop_invariant(ru, index):
+        return None
+    rem = SymRange(rl, ru)
+    if not rem.is_pnn(facts):
+        return None
+    # α + rl ≥ ru  (LEMMA 2); strict if >
+    gap = simplify(add(alpha, sub(rl, ru)))
+    sgn = sign_of(gap, facts)
+    if sgn is Sign.POSITIVE:
+        kind = MonoKind.SMA
+    elif sgn.is_pnn:
+        kind = MonoKind.MA
+    else:
+        return None
+    return MonoArrayResult(kind=kind, dim=dim, alpha=alpha, rem_range=rem)
+
+
+def _incremented_by_one(vs: ValueSet, var: str) -> Optional[Tag]:
+    """If some alternative is ``λ_var + 1``, return its tag (R_s check)."""
+    lam = LambdaVal(var)
+    for item in vs.items:
+        if item.value.is_point:
+            k = simplify(sub(item.value.lb, lam))
+            if isinstance(k, IntLit) and k.value == 1:
+                return item.tag
+    return None
+
+
+def _store_tag(rec: StoreRec) -> Optional[Tag]:
+    """The single tag under which the store happens (None if untagged mix)."""
+    tags = {v.tag for v in rec.values}
+    if len(tags) == 1:
+        return next(iter(tags))
+    return None
+
+
+def _match_chain(array: str, rec: StoreRec, facts: RangeDict) -> Optional[MonoArrayResult]:
+    """Figure 2(b): ``a[s] = a[s-1] + k`` with k loop-invariant PNN."""
+    v = rec.value_range()
+    if not v.is_point or not rec.subs[0].is_point:
+        return None
+    s = rec.subs[0].lb
+    prev = ArrayRef(array, [simplify(sub(s, IntLit(1)))])
+    dec = decompose_affine(v.lb, prev)
+    if dec is None:
+        return None
+    coeff, k = dec
+    if not (isinstance(coeff, IntLit) and coeff.value == 1):
+        return None
+    if any(isinstance(n, (LambdaVal, ArrayRef)) for n in k.walk()):
+        return None
+    sgn = sign_of(k, facts)
+    if sgn is Sign.POSITIVE:
+        return MonoArrayResult(kind=MonoKind.SMA, dim=0, chain=True)
+    if sgn.is_pnn:
+        return MonoArrayResult(kind=MonoKind.MA, dim=0, chain=True)
+    return None
+
+
+def _find_index_dim(recs: Sequence[StoreRec], index: str) -> Optional[int]:
+    """The unique dimension subscripted by the loop index in every store.
+
+    All other dimensions must be free of the index (loop-invariant points,
+    constants, or covered regions from collapsed inner loops).
+    """
+    ndim = len(recs[0].subs)
+    dim: Optional[int] = None
+    for d in range(ndim):
+        if all(subscript_is_simple(r.subs[d], index) is not None for r in recs):
+            if dim is not None:
+                return None  # index appears in two dimensions
+            dim = d
+        else:
+            for r in recs:
+                if _range_mentions(r.subs[d], index):
+                    return None
+    return dim
+
+
+def _range_mentions(r: SymRange, index: str) -> bool:
+    for b in (r.lb, r.ub):
+        if isinstance(b, Bottom):
+            continue
+        for n in b.walk():
+            if isinstance(n, Sym) and n.name == index:
+                return True
+    return False

@@ -1,0 +1,242 @@
+"""Cetus-style loop/statement normalization (paper §2.2, Figure 4b).
+
+Eligible loops are normalized so that
+
+* each statement makes at most one assignment — embedded ``x++``/``--x``
+  and compound assignments are lowered, introducing ``_temp_k`` scalars
+  exactly like Cetus does in the paper's Figure 4(b);
+* ``for`` headers have the shape ``i = lb; i < ub (or <=); i = i + 1``;
+* the analysis treats the loop variable as the iteration number (iteration
+  spaces are interpreted as 0-based by recording the header's lower bound).
+
+The pass rewrites the AST in place and returns a fresh tree; it is a
+prerequisite of Phase-1.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Compound,
+    Decl,
+    Expression,
+    ExprStmt,
+    For,
+    Id,
+    If,
+    IncDec,
+    Node,
+    Num,
+    Pragma,
+    Program,
+    Statement,
+    UnOp,
+    While,
+)
+
+
+class TempFactory:
+    """Generates the ``_temp_k`` names Cetus uses during normalization."""
+
+    def __init__(self, start: int = 0):
+        self.counter = start
+
+    def fresh(self) -> str:
+        name = f"_temp_{self.counter}"
+        self.counter += 1
+        return name
+
+
+class Normalizer:
+    """Statement/loop normalizer.  Use :func:`normalize_program`."""
+
+    def __init__(self):
+        self.temps = TempFactory()
+
+    # -- expression lowering -------------------------------------------------
+
+    def _lower_expr(self, e: Expression, pre: List[Statement]) -> Expression:
+        """Remove IncDec side effects from ``e``, appending statements to pre."""
+        if isinstance(e, IncDec):
+            target = self._lower_expr(e.target, pre)
+            delta = Num(1) if e.op == "++" else Num(-1)
+            if e.prefix:
+                # ++x  =>  x = x + 1; use x
+                pre.append(Assign(_clone(target), "=", BinOp("+", _clone(target), delta), e.pos))
+                return target
+            # x++  =>  _temp = x; x = x + 1; use _temp
+            tmp = self.temps.fresh()
+            pre.append(Assign(Id(tmp, e.pos), "=", _clone(target), e.pos))
+            pre.append(Assign(_clone(target), "=", BinOp("+", _clone(target), delta), e.pos))
+            return Id(tmp, e.pos)
+        if isinstance(e, BinOp):
+            e.lhs = self._lower_expr(e.lhs, pre)
+            e.rhs = self._lower_expr(e.rhs, pre)
+            return e
+        if isinstance(e, UnOp):
+            e.operand = self._lower_expr(e.operand, pre)
+            return e
+        if isinstance(e, ArrayAccess):
+            e.indices = [self._lower_expr(i, pre) for i in e.indices]
+            return e
+        if isinstance(e, Call):
+            e.args = [self._lower_expr(a, pre) for a in e.args]
+            return e
+        return e
+
+    # -- statement normalization ------------------------------------------------
+
+    def norm_stmt(self, s: Statement) -> List[Statement]:
+        """Normalize one statement into an equivalent statement list."""
+        if isinstance(s, Compound):
+            out: List[Statement] = []
+            for x in s.stmts:
+                out.extend(self.norm_stmt(x))
+            return [Compound(out, s.pos)]
+        if isinstance(s, Decl):
+            if s.init is not None:
+                pre: List[Statement] = []
+                s.init = self._lower_expr(s.init, pre)
+                decl = Decl(s.ctype, s.name, s.dims, None, s.pos)
+                return [decl] + pre + [Assign(Id(s.name, s.pos), "=", s.init, s.pos)] if pre else [s]
+            return [s]
+        if isinstance(s, Assign):
+            pre: List[Statement] = []
+            # lower subscripts on the LHS and the whole RHS
+            if isinstance(s.lhs, ArrayAccess):
+                s.lhs.indices = [self._lower_expr(i, pre) for i in s.lhs.indices]
+            rhs = self._lower_expr(s.rhs, pre)
+            if s.op != "=":
+                # x op= e  =>  x = x op e  (LHS re-read is safe: side effects
+                # were hoisted into `pre` above)
+                bin_op = s.op[:-1]
+                rhs = BinOp(bin_op, _clone(s.lhs), rhs, s.pos)
+            stmt = Assign(s.lhs, "=", rhs, s.pos)
+            return pre + [stmt]
+        if isinstance(s, ExprStmt):
+            pre: List[Statement] = []
+            e = s.expr
+            # `x++;` as a whole statement avoids the temp
+            if isinstance(e, IncDec):
+                delta = Num(1) if e.op == "++" else Num(-1)
+                tgt = self._lower_expr(e.target, pre)
+                return pre + [Assign(tgt, "=", BinOp("+", _clone(tgt), delta), s.pos)]
+            e = self._lower_expr(e, pre)
+            return pre + [ExprStmt(e, s.pos)]
+        if isinstance(s, If):
+            pre: List[Statement] = []
+            s.cond = self._lower_expr(s.cond, pre)
+            s.then = _single(self.norm_stmt(s.then))
+            if s.els is not None:
+                s.els = _single(self.norm_stmt(s.els))
+            return pre + [s]
+        if isinstance(s, For):
+            return [self.norm_for(s)]
+        if isinstance(s, While):
+            pre: List[Statement] = []
+            s.cond = self._lower_expr(s.cond, pre)
+            s.body = _single(self.norm_stmt(s.body))
+            return pre + [s]
+        return [s]
+
+    def norm_for(self, loop: For) -> For:
+        """Normalize a ``for`` loop header and body."""
+        # header init
+        if loop.init is not None:
+            init_stmts = self.norm_stmt(loop.init)
+            if len(init_stmts) == 1:
+                loop.init = init_stmts[0]
+            else:
+                # hoisting inside a for-header is not expressible; keep a block
+                loop.init = Compound(init_stmts, loop.pos)
+        # step: lower i++ / i+=1 to i = i + 1
+        if loop.step is not None:
+            step_stmts = self.norm_stmt(loop.step)
+            loop.step = step_stmts[-1]
+        loop.body = _single(self.norm_stmt(loop.body))
+        return loop
+
+
+def _single(stmts: List[Statement]) -> Statement:
+    if len(stmts) == 1:
+        return stmts[0]
+    return Compound(stmts)
+
+
+def _clone(e: Expression) -> Expression:
+    return e.clone()  # type: ignore[return-value]
+
+
+def normalize_program(prog: Program) -> Program:
+    """Normalize a whole program (returns a deep-copied, rewritten tree)."""
+    prog = prog.clone()  # type: ignore[assignment]
+    n = Normalizer()
+    out: List[Statement] = []
+    for s in prog.stmts:
+        out.extend(n.norm_stmt(s))
+    prog.stmts = out
+    return prog
+
+
+# ---------------------------------------------------------------------------
+# loop header recognition
+# ---------------------------------------------------------------------------
+
+
+class LoopHeader:
+    """Recognized canonical loop header ``for (i = lb; i < ub; i = i + 1)``.
+
+    ``n_iters`` is the symbolic iteration count (``ub - lb`` for ``<``,
+    ``ub - lb + 1`` for ``<=``).  ``index_range`` is the value range of the
+    index *inside* the loop.
+    """
+
+    __slots__ = ("index", "lb", "ub_expr", "inclusive", "loop")
+
+    def __init__(self, loop: For, index: str, lb: Expression, ub_expr: Expression, inclusive: bool):
+        self.loop = loop
+        self.index = index
+        self.lb = lb
+        self.ub_expr = ub_expr
+        self.inclusive = inclusive
+
+
+def match_header(loop: For) -> Optional[LoopHeader]:
+    """Match a normalized canonical header; None if the loop is irregular."""
+    # init: i = lb   (Assign or Decl with init)
+    if isinstance(loop.init, Assign) and isinstance(loop.init.lhs, Id) and loop.init.op == "=":
+        index = loop.init.lhs.name
+        lb = loop.init.rhs
+    elif isinstance(loop.init, Decl) and loop.init.init is not None and not loop.init.dims:
+        index = loop.init.name
+        lb = loop.init.init
+    else:
+        return None
+    # cond: i < ub  or  i <= ub
+    c = loop.cond
+    if not isinstance(c, BinOp) or c.op not in ("<", "<="):
+        return None
+    if not isinstance(c.lhs, Id) or c.lhs.name != index:
+        return None
+    # step: i = i + 1 (after normalization)
+    s = loop.step
+    if not (isinstance(s, Assign) and isinstance(s.lhs, Id) and s.lhs.name == index and s.op == "="):
+        return None
+    r = s.rhs
+    ok = (
+        isinstance(r, BinOp)
+        and r.op == "+"
+        and (
+            (isinstance(r.lhs, Id) and r.lhs.name == index and isinstance(r.rhs, Num) and r.rhs.value == 1)
+            or (isinstance(r.rhs, Id) and r.rhs.name == index and isinstance(r.lhs, Num) and r.lhs.value == 1)
+        )
+    )
+    if not ok:
+        return None
+    return LoopHeader(loop, index, lb, c.rhs, inclusive=(c.op == "<="))

@@ -1,0 +1,238 @@
+"""Phase-1: symbolic execution of one arbitrary loop iteration (paper §2.3).
+
+The algorithm performs a forward dataflow traversal of the loop body's CFG
+in topological order.  At the entry node every Loop-Variant Variable (LVV)
+is initialized to its ``λ`` marker — the value at the beginning of the
+iteration.  Each statement node updates the Symbolic Value Dictionary (SVD);
+control-flow merge points take the conservative union of predecessor SVDs;
+values assigned under an ``if`` are tagged with the governing condition
+(the paper's ``⟨expr⟩`` notation, Figure 5).
+
+The output is the SVD at the loop body's exit node: for every LVV, the
+symbolic value at the *end* of the iteration relative to its beginning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG, CFGNode, NodeKind, build_cfg
+from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
+from repro.analysis.irbridge import (
+    EMPTY_TAG,
+    ScalarResolver,
+    Tag,
+    cond_is_loop_variant,
+    cond_key,
+    eval_expr,
+)
+from repro.analysis.loopinfo import LoopNest, assigned_arrays, assigned_scalars
+from repro.analysis.normalize import LoopHeader
+from repro.analysis.svd import SVD, StoreRec, ValueSet, VItem
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import Expr, LambdaVal, Sym
+from repro.lang.astnodes import ArrayAccess, Assign, Decl, ExprStmt, For, Id
+
+
+class SVDResolver(ScalarResolver):
+    """Resolves identifiers against the current SVD.
+
+    * the loop index is invariant within one iteration → ``Sym(idx)``;
+    * LVV scalars resolve to their current value set (flattened to a
+      conservative range when multiple alternatives exist);
+    * everything else is a loop-invariant symbol.
+    """
+
+    def __init__(self, svd: SVD, index: str, lvv_scalars: FrozenSet[str], lvv_arrays: FrozenSet[str]):
+        self.svd = svd
+        self.index = index
+        self.lvv_scalars = lvv_scalars
+        self.lvv_arrays = lvv_arrays
+
+    def resolve(self, name: str) -> Optional[SymRange]:
+        if name == self.index:
+            return None  # plain symbol
+        vs = self.svd.get_scalar(name)
+        if vs is not None:
+            single = vs.single_value()
+            return single if single is not None else vs.flat_range()
+        if name in self.lvv_scalars:
+            return SymRange.point(LambdaVal(name))
+        return None
+
+    def resolve_array_read(self, name: str, idx: Tuple[SymRange, ...]) -> Optional[SymRange]:
+        recs = self.svd.arrays.get(name)
+        if not recs:
+            return None
+        for rec in reversed(recs):
+            if len(rec.subs) != len(idx):
+                continue
+            if all(a == b for a, b in zip(rec.subs, idx)):
+                if all(not v.tag.conds for v in rec.values):
+                    return rec.value_range()
+                return None  # conditionally stored: old-or-new, unknown
+        return None
+
+
+@dataclasses.dataclass
+class Phase1Result:
+    """Output of Phase-1 for one loop."""
+
+    header: LoopHeader
+    cfg: CFG
+    svd: SVD  # SVD of the final statement (SVD_stn)
+    lvv_scalars: FrozenSet[str]
+    lvv_arrays: FrozenSet[str]
+    #: evaluated condition keys per BRANCH node (key, loop_variant)
+    branch_info: Dict[int, Tuple[object, bool]]
+    #: trip-count expressions of collapsed inner loops (assumed >= 0, the
+    #: standard nonnegative-trip assumption; Phase-2 registers them as facts)
+    inner_trips: Tuple[Expr, ...] = ()
+
+
+def run_phase1(
+    nest: LoopNest,
+    collapsed: Dict[str, CollapsedLoop],
+) -> Phase1Result:
+    """Run Phase-1 over ``nest.loop``'s body.
+
+    ``collapsed`` maps ``loop_id`` of every *direct inner loop* to its
+    :class:`CollapsedLoop` effects (inner loops must have been analyzed
+    first — the driver works inside-out).
+    """
+    header = nest.header
+    assert header is not None, "run_phase1 requires a canonical loop"
+    loop = nest.loop
+    idx = header.index
+
+    # ---- LVV discovery ----------------------------------------------------
+    lvv_scalars: Set[str] = set(assigned_scalars(loop.body))
+    lvv_arrays: Set[str] = set(assigned_arrays(loop.body))
+    for cl in collapsed.values():
+        lvv_scalars |= set(cl.assigned_scalars)
+        lvv_arrays |= set(cl.assigned_arrays)
+    lvv_scalars.discard(idx)
+    lvvs = frozenset(lvv_scalars)
+    arrs = frozenset(lvv_arrays)
+
+    # ---- forward dataflow over the CFG -------------------------------------
+    cfg = build_cfg(loop.body)
+    out: Dict[int, SVD] = {}
+    branch_info: Dict[int, Tuple[object, bool]] = {}
+
+    for node in cfg.topological():
+        # input state: merge of predecessors
+        if node.kind is NodeKind.ENTRY:
+            svd = SVD()
+            for v in sorted(lvvs):
+                svd.set_scalar(v, ValueSet.lam(v))
+        else:
+            svd = None
+            for p in node.preds:
+                ps = out[p.nid]
+                svd = ps.copy() if svd is None else svd.merge(ps)
+            assert svd is not None, f"unreachable node {node!r}"
+
+        resolver = SVDResolver(svd, idx, lvvs, arrs)
+
+        if node.kind is NodeKind.BRANCH:
+            key = cond_key(node.cond, resolver)
+            lv = cond_is_loop_variant(node.cond, idx, lvvs)
+            branch_info[node.nid] = (key, lv)
+        elif node.kind is NodeKind.STMT:
+            tag = _tag_of(node, branch_info)
+            _exec_stmt(node.stmt, svd, tag, resolver)
+        elif node.kind is NodeKind.LOOP:
+            tag = _tag_of(node, branch_info)
+            inner: For = node.stmt  # type: ignore[assignment]
+            cl = collapsed.get(inner.loop_id or "")
+            if cl is not None:
+                _apply_collapsed(cl, svd, tag, resolver)
+            else:
+                _kill_loop_effects(inner, svd, tag)
+        out[node.nid] = svd
+
+    assert cfg.exit is not None
+    inner_trips = tuple(
+        cl.trip_count for cl in collapsed.values() if cl.trip_count is not None
+    )
+    return Phase1Result(
+        header=header,
+        cfg=cfg,
+        svd=out[cfg.exit.nid],
+        lvv_scalars=lvvs,
+        lvv_arrays=arrs,
+        branch_info=branch_info,
+        inner_trips=inner_trips,
+    )
+
+
+def _tag_of(node: CFGNode, branch_info: Dict[int, Tuple[object, bool]]) -> Tag:
+    tag = EMPTY_TAG
+    for br, polarity in node.guards:
+        key, lv = branch_info[br.nid]
+        tag = tag.extend(key, polarity, lv)
+    return tag
+
+
+def _exec_stmt(stmt, svd: SVD, tag: Tag, resolver: SVDResolver) -> None:
+    if isinstance(stmt, Assign):
+        val = eval_expr(stmt.rhs, resolver)
+        if isinstance(stmt.lhs, Id):
+            svd.set_scalar(stmt.lhs.name, ValueSet.single(val, tag))
+        elif isinstance(stmt.lhs, ArrayAccess):
+            subs: List[SymRange] = []
+            sub_vars: List[Optional[str]] = []
+            for ix in stmt.lhs.indices:
+                r = eval_expr(ix, resolver)
+                subs.append(r)
+                sub_vars.append(_subscript_var(r))
+            rec = StoreRec(tuple(subs), tuple(sub_vars), (VItem(val, tag),))
+            svd.add_store(stmt.lhs.name, rec)
+    elif isinstance(stmt, Decl):
+        if not stmt.dims:
+            val = eval_expr(stmt.init, resolver) if stmt.init is not None else SymRange.unknown()
+            svd.set_scalar(stmt.name, ValueSet.single(val, tag))
+    elif isinstance(stmt, ExprStmt):
+        pass  # side-effect-free calls only (eligibility guarantees this)
+
+
+def _subscript_var(r: SymRange) -> Optional[str]:
+    """If the subscript value is exactly ``λ_x``, report ``x``.
+
+    This identifies the counter scalar of LEMMA 1: the store's subscript is
+    the pre-increment value of the counter.
+    """
+    if r.is_point and isinstance(r.lb, LambdaVal):
+        return r.lb.var
+    return None
+
+
+def _apply_collapsed(cl: CollapsedLoop, svd: SVD, tag: Tag, resolver: SVDResolver) -> None:
+    """Apply a collapsed inner loop's effects at the current CFG point."""
+    bounds = MarkerBounds(resolver.resolve)
+    for name, eff in cl.scalar_effects.items():
+        val = subst_range(eff, bounds)
+        svd.set_scalar(name, ValueSet.single(val, tag))
+    # scalars assigned by the inner loop without a usable effect: kill
+    for name in cl.assigned_scalars:
+        if name not in cl.scalar_effects:
+            svd.set_scalar(name, ValueSet.single(SymRange.unknown(), tag))
+    for arr, recs in cl.array_effects.items():
+        for rec in recs:
+            new_subs = tuple(subst_range(s, bounds) for s in rec.subs)
+            new_vals = tuple(VItem(subst_range(v.value, bounds), tag) for v in rec.values)
+            svd.add_store(arr, StoreRec(new_subs, rec.sub_vars, new_vals, rec.covers))
+    for arr in cl.assigned_arrays:
+        if arr not in cl.array_effects:
+            # unknown region written: record an unknown store
+            svd.add_store(arr, StoreRec((SymRange.unknown(),), (None,), (VItem(SymRange.unknown(), tag),)))
+
+
+def _kill_loop_effects(loop: For, svd: SVD, tag: Tag) -> None:
+    """Conservative effects for an unanalyzed inner loop: kill assignments."""
+    for name in assigned_scalars(loop.body):
+        svd.set_scalar(name, ValueSet.single(SymRange.unknown(), tag))
+    for arr in assigned_arrays(loop.body):
+        svd.add_store(arr, StoreRec((SymRange.unknown(),), (None,), (VItem(SymRange.unknown(), tag),)))

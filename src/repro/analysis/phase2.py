@@ -1,0 +1,391 @@
+"""Phase-2: aggregation over the iteration space (paper §2.5, Algorithm 1).
+
+Phase-2 consumes the Phase-1 SVD of the loop's final statement and
+
+1. recognizes SSR scalars and aggregates them
+   (``sc = Λ_sc + N·[k_lb:k_ub]``, eq. (2));
+2. calls ``is_Mono_Array`` (Algorithm 2, :mod:`repro.analysis.monotonic`)
+   on every array LVV and aggregates monotonic arrays
+   (``#MA`` / ``#SMA`` / ``#(SMA;DIM)``, eqs. (3)-(5));
+3. aggregates every remaining LVV conservatively by substituting the loop
+   index's range (Algorithm 1 line 19);
+4. collapses the loop into a single node carrying those aggregated
+   assignments for the enclosing loop's Phase-1 (lines 21-24).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.irbridge import eval_expr
+from repro.analysis.loopinfo import LoopNest
+from repro.analysis.monotonic import (
+    MonoArrayResult,
+    SSRInfo,
+    is_loop_invariant,
+    is_mono_array,
+    is_ssr,
+    subscript_is_simple,
+)
+from repro.analysis.phase1 import Phase1Result
+from repro.analysis.properties import ArrayProperty, MonoKind
+from repro.analysis.svd import StoreRec, VItem
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import SymRange, range_eval
+from repro.ir.symbols import (
+    BOTTOM,
+    BigLambda,
+    Bottom,
+    Expr,
+    IntLit,
+    LambdaVal,
+    Sym,
+    add,
+    mul,
+    sub,
+)
+from repro.ir.simplify import simplify
+
+
+#: cap on tracked store sites per array; beyond this, aggregation gives up
+MAX_STORE_RECS = 64
+
+
+@dataclasses.dataclass
+class Phase2Result:
+    """Output of Phase-2 for one loop."""
+
+    collapsed: CollapsedLoop
+    ssr_vars: Dict[str, SSRInfo]
+    mono_arrays: Dict[str, MonoArrayResult]
+    properties: List[ArrayProperty]
+    #: loop index range and trip count (IR)
+    index_range: SymRange
+    trip_count: Optional[Expr]
+
+
+class _IdxBounds:
+    """BoundsProvider substituting the loop index by its range."""
+
+    def __init__(self, index: str, lir: SymRange):
+        self.index = index
+        self.lir = lir
+
+    def range_of(self, sym):
+        if isinstance(sym, Sym) and sym.name == self.index:
+            return self.lir
+        return None
+
+
+def run_phase2(
+    nest: LoopNest,
+    p1: Phase1Result,
+    config: AnalysisConfig,
+    facts: RangeDict,
+) -> Phase2Result:
+    """Run Algorithm 1 on the Phase-1 result of ``nest.loop``."""
+    header = p1.header
+    idx = header.index
+    svd = p1.svd
+
+    # ---- loop index range (LIR) and trip count -----------------------------
+    lb_r = eval_expr(header.lb)
+    ub_r = eval_expr(header.ub_expr)
+    lir = SymRange.unknown()
+    trip: Optional[Expr] = None
+    if lb_r.is_point and ub_r.is_point:
+        last = ub_r.lb if header.inclusive else simplify(sub(ub_r.lb, IntLit(1)))
+        lir = SymRange(lb_r.lb, last)
+        trip = simplify(add(sub(ub_r.lb, lb_r.lb), IntLit(1) if header.inclusive else IntLit(0)))
+
+    facts = facts.set(Sym(idx), lir)
+    if trip is not None and not isinstance(trip, IntLit):
+        # assume a non-negative trip count (the loop body only executes when
+        # lb < ub); recorded as a fact for sign reasoning
+        facts = facts.set(trip, SymRange(IntLit(0), BOTTOM))
+    for itrip in p1.inner_trips:
+        # inner loops' trip counts carry the same nonnegativity assumption;
+        # their collapsed effects (e.g. p = Λ_p + m) rely on it
+        if not isinstance(itrip, IntLit):
+            facts = facts.set(itrip, SymRange(IntLit(0), BOTTOM))
+
+    # ---- Algorithm 1, scalar pass: SSR recognition --------------------------
+    ssr_vars: Dict[str, SSRInfo] = {}
+    for name, vs in svd.scalars.items():
+        if name == idx:
+            continue
+        info = is_ssr(name, vs, idx, facts)
+        if info is not None:
+            ssr_vars[name] = info
+
+    # ---- Algorithm 1, array pass: is_Mono_Array ----------------------------
+    mono_arrays: Dict[str, MonoArrayResult] = {}
+    if config.array_analysis:
+        for arr, recs in svd.arrays.items():
+            if len(recs) > MAX_STORE_RECS:
+                continue
+            res = is_mono_array(
+                arr,
+                recs,
+                svd,
+                idx,
+                ssr_vars,
+                facts,
+                allow_intermittent=config.intermittent,
+                allow_multidim=config.multidim,
+            )
+            if res is not None:
+                mono_arrays[arr] = res
+
+    # ---- aggregation --------------------------------------------------------
+    idx_bounds = _IdxBounds(idx, lir)
+    scalar_effects: Dict[str, SymRange] = {}
+    for name, vs in svd.scalars.items():
+        if name == idx:
+            continue
+        eff = _aggregate_scalar(name, vs, ssr_vars.get(name), trip, idx_bounds)
+        if eff is not None:
+            scalar_effects[name] = eff
+    # the loop index's value after the loop
+    if ub_r.is_point:
+        final_idx = ub_r.lb if not header.inclusive else simplify(add(ub_r.lb, IntLit(1)))
+        scalar_effects[idx] = SymRange.point(final_idx)
+
+    array_effects: Dict[str, List[StoreRec]] = {}
+    for arr, recs in svd.arrays.items():
+        if len(recs) > MAX_STORE_RECS:
+            continue
+        out: List[StoreRec] = []
+        for rec in recs:
+            agg = _aggregate_store(rec, idx, lir, idx_bounds, config)
+            if agg is not None:
+                out.append(agg)
+        if out:
+            array_effects[arr] = out
+
+    # ---- properties ----------------------------------------------------------
+    properties: List[ArrayProperty] = []
+    loop_id = nest.loop.loop_id or "L?"
+    for arr, res in mono_arrays.items():
+        prop = _build_property(arr, res, svd, idx, lir, trip, ssr_vars, loop_id, p1)
+        if prop is not None:
+            properties.append(prop)
+
+    collapsed = CollapsedLoop(
+        loop_id=loop_id,
+        index=idx,
+        trip_count=trip,
+        scalar_effects=scalar_effects,
+        array_effects=array_effects,
+        properties=properties,
+        assigned_scalars=frozenset(p1.lvv_scalars) | {idx},
+        assigned_arrays=frozenset(p1.lvv_arrays),
+        analyzed=True,
+    )
+    return Phase2Result(
+        collapsed=collapsed,
+        ssr_vars=ssr_vars,
+        mono_arrays=mono_arrays,
+        properties=properties,
+        index_range=lir,
+        trip_count=trip,
+    )
+
+
+# ---------------------------------------------------------------------------
+# aggregation helpers
+# ---------------------------------------------------------------------------
+
+
+def _lam_to_biglam(e: Expr) -> Expr:
+    """Rewrite λ_x markers into Λ_x (iteration-entry → loop-entry)."""
+    mapping = {lam: BigLambda(lam.var) for lam in e.lambda_vals()}
+    return e.subs(mapping) if mapping else e
+
+
+def _aggregate_scalar(
+    name: str,
+    vs,
+    ssr: Optional[SSRInfo],
+    trip: Optional[Expr],
+    idx_bounds: _IdxBounds,
+) -> Optional[SymRange]:
+    """Aggregated value of one scalar after the loop (eq. (2) / line 19)."""
+    if ssr is not None:
+        lam = BigLambda(name)
+        if trip is None:
+            # unbounded number of PNN increments: only the lower bound holds
+            lo = lam if not ssr.conditional else lam
+            return SymRange(lo, BOTTOM)
+        k = ssr.k
+        lo = add(lam, mul(trip, k.lb)) if k.has_lb else BOTTOM
+        hi = add(lam, mul(trip, k.ub)) if k.has_ub else BOTTOM
+        return SymRange(lo, hi)
+    # Algorithm 1, line 19: substitute LVVs / index range, else unknown
+    flat = vs.flat_range()
+    if _mentions_lambda(flat):
+        # a recurrence we did not recognize: λ_x of *other* vars => unknown
+        return SymRange.unknown()
+    return subst_range(flat, _wrap(idx_bounds))
+
+
+def _aggregate_store(
+    rec: StoreRec,
+    idx: str,
+    lir: SymRange,
+    idx_bounds: _IdxBounds,
+    config: AnalysisConfig,
+) -> Optional[StoreRec]:
+    """Rewrite one store record to cover the whole iteration space."""
+    bounds = _wrap(idx_bounds)
+    new_subs: List[SymRange] = []
+    new_covers: List[bool] = []
+    for d, s in enumerate(rec.subs):
+        k = subscript_is_simple(s, idx)
+        if k is not None:
+            # the index dimension: the loop sweeps it => covered region
+            region = lir + SymRange.point(_lam_to_biglam(k))
+            new_subs.append(region)
+            new_covers.append(True)
+        else:
+            sr = subst_range(s, bounds)
+            new_subs.append(SymRange(_lam_to_biglam_b(sr.lb), _lam_to_biglam_b(sr.ub)))
+            new_covers.append(rec.covers[d])
+    new_vals: List[VItem] = []
+    for v in rec.values:
+        sr = subst_range(v.value, bounds)
+        sr = SymRange(_lam_to_biglam_b(sr.lb), _lam_to_biglam_b(sr.ub))
+        new_vals.append(VItem(sr))  # tags do not survive aggregation
+    return StoreRec(tuple(new_subs), rec.sub_vars, tuple(new_vals), tuple(new_covers))
+
+
+def _build_property(
+    arr: str,
+    res: MonoArrayResult,
+    svd,
+    idx: str,
+    lir: SymRange,
+    trip: Optional[Expr],
+    ssr_vars: Dict[str, SSRInfo],
+    loop_id: str,
+    p1: Phase1Result,
+) -> Optional[ArrayProperty]:
+    """Materialize an :class:`ArrayProperty` from an Algorithm-2 hit."""
+    if res.counter_var is not None:
+        # counter-subscripted fill: region [Λ_c : c_max]
+        cmax = Sym(f"{res.counter_var}_max")
+        region = SymRange(BigLambda(res.counter_var), cmax)
+        value_range = _ssr_expr_range(res, lir, trip, ssr_vars)
+        return ArrayProperty(
+            array=arr,
+            kind=res.kind,
+            dim=0,
+            region=region,
+            value_range=value_range,
+            intermittent=res.intermittent,
+            counter_max=cmax,
+            counter_var=res.counter_var,
+            source_loop=loop_id,
+        )
+    if res.chain:
+        recs = svd.arrays[arr]
+        k = subscript_is_simple(recs[0].subs[0], idx)
+        region = lir + SymRange.point(_lam_to_biglam(k)) if k is not None else lir
+        # a[f(i)] = a[f(i)-1] + k also orders the base element read at
+        # f(lb)-1, so the monotone region extends one position below the
+        # first write
+        if region.has_lb:
+            region = SymRange(simplify(sub(region.lb, IntLit(1))), region.ub)
+        return ArrayProperty(
+            array=arr, kind=res.kind, dim=0, region=region, value_range=None, source_loop=loop_id
+        )
+    if res.alpha is not None:
+        # LEMMA 2 multi-dimensional property
+        recs = svd.arrays[arr]
+        region: Optional[SymRange] = None
+        for rec in recs:
+            k = subscript_is_simple(rec.subs[res.dim], idx)
+            r = lir + SymRange.point(_lam_to_biglam(k)) if k is not None else lir
+            region = r if region is None else region.union(r)
+        value_range = lir.scale(res.alpha) + (res.rem_range or SymRange.point(0))
+        value_range = SymRange(_lam_to_biglam_b(value_range.lb), _lam_to_biglam_b(value_range.ub))
+        return ArrayProperty(
+            array=arr,
+            kind=res.kind,
+            dim=res.dim,
+            region=region,
+            value_range=value_range,
+            source_loop=loop_id,
+        )
+    # contiguous SRA: region is the subscript sweep
+    recs = svd.arrays[arr]
+    k = subscript_is_simple(recs[0].subs[0], idx)
+    region = lir + SymRange.point(_lam_to_biglam(k)) if k is not None else lir
+    value_range = _ssr_expr_range(res, lir, trip, ssr_vars)
+    return ArrayProperty(
+        array=arr, kind=res.kind, dim=0, region=region, value_range=value_range, source_loop=loop_id
+    )
+
+
+def _ssr_expr_range(
+    res: MonoArrayResult,
+    lir: SymRange,
+    trip: Optional[Expr],
+    ssr_vars: Dict[str, SSRInfo],
+) -> Optional[SymRange]:
+    """Range of values a stored SSR expression takes across the loop."""
+    se = res.ssr_expr
+    if se is None:
+        return None
+    if se.is_index:
+        base = lir
+    else:
+        info = ssr_vars.get(se.ssr_var)
+        if info is None:
+            return None
+        lam = BigLambda(se.ssr_var)
+        if trip is None or not info.k.has_ub:
+            base = SymRange(lam, BOTTOM)
+        else:
+            # values observed before the final increment: stay within
+            # [Λ : Λ + N*k_ub]
+            base = SymRange(lam, add(lam, mul(trip, info.k.ub)))
+    out = base.scale(se.coeff) + SymRange.point(_lam_to_biglam(se.rem))
+    return SymRange(_lam_to_biglam_b(out.lb), _lam_to_biglam_b(out.ub))
+
+
+def _mentions_lambda(r: SymRange) -> bool:
+    for b in (r.lb, r.ub):
+        if isinstance(b, Bottom):
+            continue
+        if b.lambda_vals():
+            return True
+    return False
+
+
+def _lam_to_biglam_b(e: Expr) -> Expr:
+    if isinstance(e, Bottom):
+        return e
+    return _lam_to_biglam(e)
+
+
+class _Wrapped:
+    """BoundsProvider chaining: index range first, λ→Λ afterwards."""
+
+    def __init__(self, idx_bounds: _IdxBounds):
+        self._idx = idx_bounds
+
+    def range_of(self, sym):
+        r = self._idx.range_of(sym)
+        if r is not None:
+            return r
+        if isinstance(sym, LambdaVal):
+            return SymRange.point(BigLambda(sym.var))
+        return None
+
+
+def _wrap(idx_bounds: _IdxBounds) -> _Wrapped:
+    return _Wrapped(idx_bounds)

@@ -1,0 +1,154 @@
+"""Subscript-array properties derived by the analysis (paper §2.1).
+
+The analysis proves *monotonicity* facts about index arrays:
+
+* :attr:`MonoKind.MA` — monotonic (non-strict): ``a[i] <= a[i+1]``;
+* :attr:`MonoKind.SMA` — strictly monotonic: ``a[i] < a[i+1]`` (hence
+  injective), written ``#SMA`` in the paper;
+* for multi-dimensional arrays the property is *Range-Monotonicity* with
+  respect to one dimension ``DIM`` (Definition 1): the value range of the
+  sub-array at index ``i`` of that dimension lies (strictly) below the value
+  range at any ``i' > i``.
+
+An :class:`ArrayProperty` also records *where* the property holds (the
+subscript region, e.g. ``[0 : irownnz_max]`` for an intermittent fill) and
+the aggregated value range, which downstream consumers (the extended
+dependence test) use to emit run-time checks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import Expr, Sym
+
+
+class MonoKind(enum.Enum):
+    """Monotonicity lattice: NONE < MA < SMA."""
+
+    NONE = 0
+    MA = 1  # monotonic (non-strict)
+    SMA = 2  # strictly monotonic (injective)
+
+    @property
+    def monotonic(self) -> bool:
+        return self is not MonoKind.NONE
+
+    @property
+    def strict(self) -> bool:
+        return self is MonoKind.SMA
+
+    def meet(self, other: "MonoKind") -> "MonoKind":
+        """Weaker of the two kinds."""
+        return self if self.value <= other.value else other
+
+    def __str__(self) -> str:
+        return {MonoKind.NONE: "⊥", MonoKind.MA: "MA", MonoKind.SMA: "SMA"}[self]
+
+
+@dataclasses.dataclass
+class ArrayProperty:
+    """A proven monotonicity property of a subscript array.
+
+    Attributes
+    ----------
+    array:
+        Array name.
+    kind:
+        MA / SMA.
+    dim:
+        Dimension index the monotonicity is with respect to (the paper's
+        ``DIM``; 0 for one-dimensional arrays).
+    region:
+        Subscript range (along ``dim``) over which the property holds, e.g.
+        ``[0 : irownnz_max]`` — symbolic bounds.
+    value_range:
+        Aggregated range of stored values, e.g. ``[0 : num_rows-1]``.
+    intermittent:
+        True when proven via LEMMA 1 (values arrive at irregular intervals).
+    counter_max:
+        For intermittent fills, the symbol denoting the counter's post-loop
+        value (``ic_max``); run-time checks compare against it.
+    counter_var:
+        Name of the counter scalar (``irownnz``/``holder``/…).
+    source_loop:
+        ``loop_id`` of the fill loop that established the property.
+    """
+
+    array: str
+    kind: MonoKind
+    dim: int = 0
+    region: Optional[SymRange] = None
+    value_range: Optional[SymRange] = None
+    intermittent: bool = False
+    counter_max: Optional[Sym] = None
+    counter_var: Optional[str] = None
+    source_loop: Optional[str] = None
+
+    @property
+    def injective(self) -> bool:
+        """Strict monotonicity implies injectivity (within the region)."""
+        return self.kind is MonoKind.SMA
+
+    def annotation(self) -> str:
+        """The paper's ``#MA`` / ``#SMA`` / ``#(SMA;DIM)`` notation."""
+        if self.kind is MonoKind.NONE:
+            return "⊥"
+        body = str(self.kind)
+        if self.dim != 0 or self.intermittent is False and self.dim is not None and self._multi():
+            return f"#({body};{self.dim})"
+        return f"#{body}"
+
+    def _multi(self) -> bool:
+        return self.dim is not None and self.dim >= 0
+
+    def __str__(self) -> str:
+        region = f"[{self.region}]" if self.region is not None else ""
+        vals = f"={self.value_range}" if self.value_range is not None else ""
+        extra = " (intermittent)" if self.intermittent else ""
+        return f"{self.array}{region}{vals}#{self.kind}{';dim=' + str(self.dim) if self.dim else ''}{extra}"
+
+
+class PropertyStore:
+    """Program-level registry of proven array properties.
+
+    One property per (array, dim); re-registration keeps the *stronger*
+    property unless the array was re-filled (the analyzer kills properties
+    when an array is overwritten by an unanalyzable loop).
+    """
+
+    def __init__(self):
+        self._props: Dict[Tuple[str, int], ArrayProperty] = {}
+
+    def record(self, prop: ArrayProperty) -> None:
+        key = (prop.array, prop.dim)
+        old = self._props.get(key)
+        if old is None or prop.kind.value >= old.kind.value:
+            self._props[key] = prop
+
+    def kill(self, array: str) -> None:
+        """Remove all properties of ``array`` (it was overwritten)."""
+        for key in [k for k in self._props if k[0] == array]:
+            del self._props[key]
+
+    def property_of(self, array: str, dim: int = 0) -> Optional[ArrayProperty]:
+        return self._props.get((array, dim))
+
+    def any_property_of(self, array: str) -> Optional[ArrayProperty]:
+        """Property of ``array`` w.r.t. any dimension (strongest first)."""
+        cands = [p for (a, _), p in self._props.items() if a == array]
+        if not cands:
+            return None
+        return max(cands, key=lambda p: p.kind.value)
+
+    def all_properties(self) -> List[ArrayProperty]:
+        return list(self._props.values())
+
+    def __len__(self) -> int:
+        return len(self._props)
+
+    def __str__(self) -> str:
+        return "\n".join(str(p) for p in self._props.values())

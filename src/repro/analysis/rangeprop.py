@@ -1,0 +1,168 @@
+"""Symbolic range propagation over a loop body (Blume & Eigenmann).
+
+The paper's SVD "is an extension of the Range Dictionary used by Cetus'
+Range Analysis capability [7]" and "makes use of the symbolic range
+propagation scheme, which collects and propagates variable ranges through
+the program".  This module implements that scheme for a single (acyclic)
+loop-body CFG:
+
+* assignments update the target's range via interval evaluation;
+* an ``if (x < e)`` branch *refines* ``x``'s range on each edge
+  (``x ∈ [lb : e-1]`` on the true side, ``x ∈ [e : ub]`` on the false
+  side, and symmetrically for the other comparison operators);
+* merge points take the conservative union.
+
+Downstream uses: sign queries under branch contexts (e.g. inside
+``if (adiag > 0)`` the range of ``adiag`` is ``[1:∞]``) and bounds for
+run-time-check simplification.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Tuple
+
+from repro.analysis.cfg import CFG, CFGNode, NodeKind, build_cfg
+from repro.analysis.irbridge import ScalarResolver, eval_expr
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import BOTTOM, Expr, IntLit, Sym, add, sub
+from repro.lang.astnodes import Assign, BinOp, Decl, Expression, Id, Statement, UnOp
+
+
+class _DictResolver(ScalarResolver):
+    """Resolve identifiers through the current range dictionary."""
+
+    def __init__(self, rd: RangeDict):
+        self.rd = rd
+
+    def resolve(self, name: str) -> Optional[SymRange]:
+        return self.rd.range_of(Sym(name))
+
+
+@dataclasses.dataclass
+class RangePropResult:
+    """Per-node range dictionaries after propagation."""
+
+    cfg: CFG
+    at_node: Dict[int, RangeDict]
+
+    @property
+    def at_exit(self) -> RangeDict:
+        assert self.cfg.exit is not None
+        return self.at_node[self.cfg.exit.nid]
+
+
+def propagate_ranges(
+    body: Statement,
+    initial: Optional[RangeDict] = None,
+) -> RangePropResult:
+    """Run range propagation over ``body``'s CFG."""
+    cfg = build_cfg(body)
+    out: Dict[int, RangeDict] = {}
+    # per (branch_nid, polarity) refined dictionaries
+    branch_out: Dict[Tuple[int, bool], RangeDict] = {}
+
+    for node in cfg.topological():
+        if node.kind is NodeKind.ENTRY:
+            rd = initial or RangeDict()
+        else:
+            rd = None
+            for p in node.preds:
+                # take the branch-refined dictionary when this node hangs
+                # off a branch edge
+                prd = _incoming(p, node, out, branch_out)
+                rd = prd if rd is None else rd.merge(prd)
+            assert rd is not None
+
+        if node.kind is NodeKind.STMT:
+            rd = _transfer(node.stmt, rd)
+        elif node.kind is NodeKind.BRANCH:
+            assert node.cond is not None
+            branch_out[(node.nid, True)] = refine_by_condition(rd, node.cond, True)
+            branch_out[(node.nid, False)] = refine_by_condition(rd, node.cond, False)
+        elif node.kind is NodeKind.LOOP:
+            # conservative: kill everything an inner loop assigns
+            from repro.analysis.loopinfo import assigned_scalars
+
+            for name in assigned_scalars(node.stmt):
+                rd = rd.remove(Sym(name))
+        out[node.nid] = rd
+
+    return RangePropResult(cfg=cfg, at_node=out)
+
+
+def _incoming(
+    pred: CFGNode,
+    node: CFGNode,
+    out: Dict[int, RangeDict],
+    branch_out: Dict[Tuple[int, bool], RangeDict],
+) -> RangeDict:
+    if pred.kind is NodeKind.BRANCH:
+        # which polarity leads to `node`?  reconstructed from guards: the
+        # successor's guards extend the branch's guards by (branch, pol);
+        # merge nodes hang off the false edge when there is no else.
+        for (g, pol) in node.guards[::-1]:
+            if g.nid == pred.nid:
+                return branch_out.get((pred.nid, pol), out[pred.nid])
+        # merge directly attached to the branch: the false path
+        return branch_out.get((pred.nid, False), out[pred.nid])
+    return out[pred.nid]
+
+
+def _transfer(stmt, rd: RangeDict) -> RangeDict:
+    if isinstance(stmt, Assign) and isinstance(stmt.lhs, Id):
+        val = eval_expr(stmt.rhs, _DictResolver(rd))
+        if val.is_unknown:
+            return rd.remove(Sym(stmt.lhs.name))
+        return rd.set(Sym(stmt.lhs.name), val)
+    if isinstance(stmt, Decl) and not stmt.dims:
+        if stmt.init is not None:
+            val = eval_expr(stmt.init, _DictResolver(rd))
+            return rd.set(Sym(stmt.name), val)
+        return rd.remove(Sym(stmt.name))
+    return rd
+
+
+def refine_by_condition(rd: RangeDict, cond: Expression, polarity: bool) -> RangeDict:
+    """Refine ranges under ``cond == polarity``.
+
+    Handles ``x REL e`` / ``e REL x`` for a scalar ``x`` and an
+    interval-evaluable ``e``, plus conjunctions on the true side.
+    """
+    if isinstance(cond, BinOp) and cond.op == "&&" and polarity:
+        return refine_by_condition(refine_by_condition(rd, cond.lhs, True), cond.rhs, True)
+    if isinstance(cond, BinOp) and cond.op == "||" and not polarity:
+        return refine_by_condition(refine_by_condition(rd, cond.lhs, False), cond.rhs, False)
+    if isinstance(cond, UnOp) and cond.op == "!":
+        return refine_by_condition(rd, cond.operand, not polarity)
+    if not isinstance(cond, BinOp) or cond.op not in ("<", "<=", ">", ">=", "=="):
+        return rd
+
+    op = cond.op
+    lhs, rhs = cond.lhs, cond.rhs
+    # normalize to  x OP e
+    if isinstance(rhs, Id) and not isinstance(lhs, Id):
+        lhs, rhs = rhs, lhs
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}[op]
+    if not isinstance(lhs, Id):
+        return rd
+    x = Sym(lhs.name)
+    e = eval_expr(rhs, _DictResolver(rd))
+    if not e.is_point:
+        return rd
+    v = e.lb
+
+    if not polarity:
+        op = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!="}[op]
+    if op == "<":
+        return rd.refine(x, SymRange(BOTTOM, sub(v, IntLit(1))))
+    if op == "<=":
+        return rd.refine(x, SymRange(BOTTOM, v))
+    if op == ">":
+        return rd.refine(x, SymRange(add(v, IntLit(1)), BOTTOM))
+    if op == ">=":
+        return rd.refine(x, SymRange(v, BOTTOM))
+    if op == "==":
+        return rd.refine(x, SymRange(v, v))
+    return rd  # != carries no interval information

@@ -1,0 +1,208 @@
+"""Symbolic Value Dictionary (SVD).
+
+The SVD extends Cetus' Range Dictionary (paper §2.3): it maps each
+Loop-Variant Variable to the set of symbolic values it may hold at the
+current CFG point of the iteration being analyzed.  Values are expressed in
+terms of
+
+* ``λ_x`` markers — the value of LVV ``x`` at the *top* of the iteration,
+* loop-invariant symbols, and
+* the loop index.
+
+A value set holds one or more :class:`VItem` alternatives; items assigned
+under an ``if`` carry a :class:`~repro.analysis.irbridge.Tag` (the paper's
+``⟨expr⟩`` notation).  Arrays are tracked as lists of :class:`StoreRec`
+records — one per (merged) store site — because Phase-2 needs both the
+symbolic subscript and, when the subscript is a plain scalar counter, the
+*name* of that counter (LEMMA 1 inspects the counter's own value set).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.irbridge import EMPTY_TAG, Tag
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import Expr, LambdaVal
+
+
+@dataclasses.dataclass(frozen=True)
+class VItem:
+    """One alternative value: a symbolic range plus an optional tag."""
+
+    value: SymRange
+    tag: Tag = EMPTY_TAG
+
+    @property
+    def tagged(self) -> bool:
+        return not self.tag.empty
+
+    def __str__(self) -> str:
+        if self.tagged:
+            return f"⟨{self.value}⟩"
+        return str(self.value)
+
+
+class ValueSet:
+    """Ordered set of :class:`VItem` alternatives for one scalar LVV."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: Sequence[VItem] = ()):
+        uniq: List[VItem] = []
+        for it in items:
+            if it not in uniq:
+                uniq.append(it)
+        self.items = tuple(uniq)
+
+    @staticmethod
+    def single(value: SymRange, tag: Tag = EMPTY_TAG) -> "ValueSet":
+        return ValueSet((VItem(value, tag),))
+
+    @staticmethod
+    def lam(var: str) -> "ValueSet":
+        """The initial value set {λ_var}."""
+        return ValueSet.single(SymRange.point(LambdaVal(var)))
+
+    def union(self, other: "ValueSet") -> "ValueSet":
+        return ValueSet(self.items + other.items)
+
+    def with_tag(self, key, polarity: bool, loop_variant: bool) -> "ValueSet":
+        """Extend every item's tag with one more conjunct."""
+        return ValueSet(
+            tuple(VItem(it.value, it.tag.extend(key, polarity, loop_variant)) for it in self.items)
+        )
+
+    @property
+    def tagged_items(self) -> Tuple[VItem, ...]:
+        return tuple(it for it in self.items if it.tagged)
+
+    @property
+    def untagged_items(self) -> Tuple[VItem, ...]:
+        return tuple(it for it in self.items if not it.tagged)
+
+    def single_value(self) -> Optional[SymRange]:
+        """The unique value when the set has exactly one alternative."""
+        if len(self.items) == 1:
+            return self.items[0].value
+        return None
+
+    def flat_range(self) -> SymRange:
+        """Conservative union of all alternatives."""
+        out: Optional[SymRange] = None
+        for it in self.items:
+            out = it.value if out is None else out.union(it.value)
+        return out if out is not None else SymRange.unknown()
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueSet):
+            return NotImplemented
+        return self.items == other.items
+
+    def __str__(self) -> str:
+        if len(self.items) == 1:
+            return str(self.items[0])
+        return "[" + ", ".join(str(i) for i in self.items) + "]"
+
+
+@dataclasses.dataclass(frozen=True)
+class StoreRec:
+    """A (possibly merged) store to an array during the analyzed iteration.
+
+    ``subs`` are the symbolic subscript ranges at store time; ``sub_vars``
+    remembers, per dimension, which plain scalar LVV the subscript came from
+    (LEMMA 1's counter variable) or None.  ``values`` is the set of values
+    stored; ``covers`` marks dimensions whose subscript range represents a
+    *region* (a collapsed inner loop wrote the whole range) rather than a
+    single unknown point within it.
+    """
+
+    subs: Tuple[SymRange, ...]
+    sub_vars: Tuple[Optional[str], ...]
+    values: Tuple[VItem, ...]
+    covers: Tuple[bool, ...] = ()
+
+    def __post_init__(self):
+        if not self.covers:
+            object.__setattr__(self, "covers", tuple(False for _ in self.subs))
+
+    def value_range(self) -> SymRange:
+        out: Optional[SymRange] = None
+        for it in self.values:
+            out = it.value if out is None else out.union(it.value)
+        return out if out is not None else SymRange.unknown()
+
+    def __str__(self) -> str:
+        subs = "".join(f"[{s}]" for s in self.subs)
+        vals = ", ".join(str(v) for v in self.values)
+        return f"{subs} = {vals if len(self.values) == 1 else '[' + vals + ']'}"
+
+
+class SVD:
+    """Symbolic Value Dictionary for one CFG point."""
+
+    __slots__ = ("scalars", "arrays")
+
+    def __init__(
+        self,
+        scalars: Optional[Dict[str, ValueSet]] = None,
+        arrays: Optional[Dict[str, List[StoreRec]]] = None,
+    ):
+        self.scalars: Dict[str, ValueSet] = dict(scalars or {})
+        self.arrays: Dict[str, List[StoreRec]] = {k: list(v) for k, v in (arrays or {}).items()}
+
+    def copy(self) -> "SVD":
+        return SVD(self.scalars, self.arrays)
+
+    # -- updates ----------------------------------------------------------
+
+    def set_scalar(self, name: str, vs: ValueSet) -> None:
+        self.scalars[name] = vs
+
+    def get_scalar(self, name: str) -> Optional[ValueSet]:
+        return self.scalars.get(name)
+
+    def add_store(self, array: str, rec: StoreRec) -> None:
+        self.arrays.setdefault(array, [])
+        if rec not in self.arrays[array]:
+            self.arrays[array].append(rec)
+
+    # -- merge (control-flow join, may semantics) ---------------------------
+
+    def merge(self, other: "SVD") -> "SVD":
+        out = SVD()
+        names = set(self.scalars) | set(other.scalars)
+        for n in names:
+            a = self.scalars.get(n)
+            b = other.scalars.get(n)
+            if a is None:
+                out.scalars[n] = b  # type: ignore[assignment]
+            elif b is None:
+                out.scalars[n] = a
+            else:
+                out.scalars[n] = a.union(b)
+        arrays = set(self.arrays) | set(other.arrays)
+        for n in arrays:
+            recs: List[StoreRec] = []
+            for rec in self.arrays.get(n, []) + other.arrays.get(n, []):
+                if rec not in recs:
+                    recs.append(rec)
+            out.arrays[n] = recs
+        return out
+
+    def __str__(self) -> str:
+        parts = [f"{k} = {v}" for k, v in sorted(self.scalars.items())]
+        for arr, recs in sorted(self.arrays.items()):
+            for r in recs:
+                parts.append(f"{arr}{r}")
+        return "{" + ", ".join(parts) + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SVD({self})"

@@ -1,0 +1,17 @@
+"""The paper's twelve-benchmark suite (Table 1).
+
+Each module defines one :class:`~repro.benchmarks.base.Benchmark`: the
+inlined mini-C kernel source (what the compiler analyzes — the paper also
+inline-expands so fill loops and compute loops share a routine, §4.1), the
+input datasets, a performance model (per-iteration work on the actual
+input + bandwidth character), and a small interpreter environment for
+correctness/race validation.
+
+Use :func:`repro.benchmarks.registry.get_benchmark` /
+:func:`repro.benchmarks.registry.all_benchmarks`.
+"""
+
+from repro.benchmarks.base import Benchmark
+from repro.benchmarks.registry import all_benchmarks, get_benchmark, BENCHMARK_NAMES
+
+__all__ = ["Benchmark", "all_benchmarks", "get_benchmark", "BENCHMARK_NAMES"]

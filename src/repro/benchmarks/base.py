@@ -1,0 +1,52 @@
+"""Common benchmark definition."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.runtime.simulate import PerfModel
+
+
+@dataclasses.dataclass
+class Benchmark:
+    """One benchmark of the paper's suite.
+
+    Attributes
+    ----------
+    name / suite:
+        Table 1 identifiers.
+    source:
+        Inlined mini-C kernel text, analyzed by the compiler.
+    datasets:
+        Dataset names (Table 1 rows).
+    default_dataset:
+        The Experiment-2 dataset (paper §4.1).
+    perf_model:
+        ``dataset -> PerfModel`` with measured/analytic work profiles.
+    small_env:
+        ``() -> env dict`` for interpreter-level validation (small input
+        exercising the same source end-to-end).
+    expected_levels:
+        pipeline name -> expected parallelization level of the *main*
+        kernel component ('outer' | 'inner' | 'serial'); used by tests to
+        pin the Figure-17 qualitative outcomes.
+    main_component:
+        name of the main kernel component in the perf model.
+    notes:
+        reproduction notes / substitutions.
+    """
+
+    name: str
+    suite: str
+    source: str
+    datasets: List[str]
+    default_dataset: str
+    perf_model: Callable[[str], PerfModel]
+    small_env: Callable[[], Dict[str, Any]]
+    expected_levels: Dict[str, str]
+    main_component: str
+    notes: str = ""
+
+    def serial_time(self, dataset: Optional[str] = None) -> float:
+        return self.perf_model(dataset or self.default_dataset).serial_time_target

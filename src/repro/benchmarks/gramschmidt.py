@@ -1,0 +1,97 @@
+"""PolyBench gramschmidt — modified Gram-Schmidt QR.
+
+The outer ``k`` loop is inherently serial (each column is orthogonalized
+against all previous ones); the inner normalization and update loops are
+classically parallel.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark
+from repro.runtime.simulate import KernelComponent, PerfModel
+from repro.workloads.polybench import POLYBENCH_EXTRALARGE
+
+SOURCE = """
+for (k = 0; k < n; k++){
+    nrm = 0;
+    for (i = 0; i < m; i++)
+        nrm = nrm + A[i][k] * A[i][k];
+    rkk = sqrt(nrm);
+    R[k][k] = rkk;
+    for (i = 0; i < m; i++)
+        Q[i][k] = A[i][k] / rkk;
+    for (j = k+1; j < n; j++){
+        rkj = 0;
+        for (i = 0; i < m; i++)
+            rkj = rkj + Q[i][k] * A[i][j];
+        R[k][j] = rkj;
+        for (i = 0; i < m; i++)
+            A[i][j] = A[i][j] - Q[i][k] * rkj;
+    }
+}
+"""
+
+
+def perf_model(dataset: str) -> PerfModel:
+    spec = POLYBENCH_EXTRALARGE["gramschmidt"]
+    m, n = spec.params["M"], spec.params["N"]
+    # work under outer iteration k: 2m (norm) + m (scale) + 4m(n-k-1)
+    k = np.arange(n, dtype=np.float64)
+    work = 3.0 * m + 4.0 * m * (n - k - 1)
+    qr = KernelComponent(
+        name="qr",
+        nest_path=(0,),
+        work=work,
+        reps=1,
+        level_trips=(n, m),
+        contention=0.111,
+    )
+    return PerfModel(components=[qr], serial_time_target=spec.serial_time)
+
+
+def small_env() -> Dict[str, Any]:
+    rng = np.random.default_rng(9)
+    m, n = 10, 6
+    return {
+        "m": m,
+        "n": n,
+        "A": rng.standard_normal((m, n)) + np.eye(m, n) * 4,
+        "Q": np.zeros((m, n)),
+        "R": np.zeros((n, n)),
+    }
+
+
+def reference(env: Dict[str, Any]) -> Dict[str, np.ndarray]:
+    A = env["A"].copy()
+    m, n = env["m"], env["n"]
+    Q = np.zeros((m, n))
+    R = np.zeros((n, n))
+    for k in range(n):
+        R[k, k] = np.sqrt(A[:, k] @ A[:, k])
+        Q[:, k] = A[:, k] / R[k, k]
+        for j in range(k + 1, n):
+            R[k, j] = Q[:, k] @ A[:, j]
+            A[:, j] -= Q[:, k] * R[k, j]
+    return {"A": A, "Q": Q, "R": R}
+
+
+BENCHMARK = Benchmark(
+    name="gramschmidt",
+    suite="PolyBench-4.2",
+    source=SOURCE,
+    datasets=["EXTRALARGE"],
+    default_dataset="EXTRALARGE",
+    perf_model=perf_model,
+    small_env=small_env,
+    expected_levels={
+        "Cetus": "inner",
+        "Cetus+BaseAlgo": "inner",
+        "Cetus+NewAlgo": "inner",
+    },
+    main_component="qr",
+    notes="Outer k loop serial by data flow; inner loops classically parallel.",
+)

@@ -1,0 +1,95 @@
+"""Incomplete Cholesky (SparseLib++, C version).
+
+The factor's index arrays (``ia``/``ja``/``dia``) come from the input
+matrix; they are never filled inside the program, so no monotonicity can
+be established at compile time — the paper lists Incomplete Cholesky as
+the benchmark whose subscript arrays "depend on the program input data"
+and reports no improvement for any pipeline (Figure 17).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark
+from repro.runtime.simulate import KernelComponent, PerfModel
+from repro.workloads.sparse import row_counts_only
+from repro.workloads.suitesparse import SUITESPARSE_PROFILES
+
+SOURCE = """
+for (kcol = 0; kcol < n; kcol++){
+    val[dia[kcol]] = sqrt(fabs(val[dia[kcol]]));
+    for (i = dia[kcol]+1; i < ia[kcol+1]; i++)
+        val[i] = val[i] / val[dia[kcol]];
+    for (i = dia[kcol]+1; i < ia[kcol+1]; i++){
+        z = val[i];
+        for (j = dia[ja[i]]; j < ia[ja[i]+1]; j++)
+            val[j] = val[j] - z * val[i];
+    }
+}
+"""
+
+
+def perf_model(dataset: str) -> PerfModel:
+    prof = SUITESPARSE_PROFILES[dataset]
+    n = prof.n_rows
+    col_nnz = row_counts_only("skewed", n, prof.nnz / n, 0.8, seed=31)
+    # the whole factorization is serial under every pipeline
+    total = float((col_nnz.astype(np.float64) ** 2 / 4.0 + col_nnz * 2.0).sum())
+    return PerfModel(
+        components=[
+            KernelComponent(
+                name="factor",
+                nest_path=(0,),
+                work=np.array([0.0]),  # never parallelized; kept for shape
+                reps=1,
+                level_trips=(n,),
+                contention=0.30,
+            )
+        ],
+        serial_time_target=prof.serial_time,
+        serial_extra_ops=total,
+    )
+
+
+def small_env() -> Dict[str, Any]:
+    rng = np.random.default_rng(17)
+    n = 6
+    counts = rng.integers(2, 5, size=n)
+    ia = np.zeros(n + 2, dtype=np.int64)
+    np.cumsum(counts, out=ia[1 : n + 1])
+    ia[n + 1] = ia[n]
+    nnz = int(ia[n])
+    dia = ia[:n].copy()  # diagonal first in each column
+    ja = np.minimum(n - 1, rng.integers(0, n, size=nnz)).astype(np.int64)
+    return {
+        "n": n,
+        "ia": ia,
+        "ja": ja,
+        "dia": dia,
+        "val": rng.standard_normal(nnz) + 3.0,
+        "z": 0.0,
+    }
+
+
+BENCHMARK = Benchmark(
+    name="Incomplete-Cholesky",
+    suite="Sparselib++",
+    source=SOURCE,
+    datasets=["crankseg_1"],
+    default_dataset="crankseg_1",
+    perf_model=perf_model,
+    small_env=small_env,
+    expected_levels={
+        "Cetus": "serial",
+        "Cetus+BaseAlgo": "serial",
+        "Cetus+NewAlgo": "serial",
+    },
+    main_component="factor",
+    notes=(
+        "ia/ja/dia are input data: no fill loop exists in the program, so "
+        "no property can be proven — all pipelines stay serial (~1x)."
+    ),
+)

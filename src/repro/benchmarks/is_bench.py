@@ -1,0 +1,93 @@
+"""NPB IS — integer sort (bucket histogram).
+
+The histogram write ``bucket[key[i]]++`` is a subscripted subscript whose
+index array comes from program *input*, so no compile-time property exists
+— the paper reports that IS's patterns are "too complex to be analyzed at
+compile-time" and no technique improves it (Figure 17).  The key-density
+prefix sum is a serial recurrence as well.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark
+from repro.runtime.simulate import KernelComponent, PerfModel
+from repro.workloads.npb import IS_CLASSES
+
+SOURCE = """
+for (it = 0; it < niter; it++){
+    for (i = 0; i < max_key; i++)
+        bucket[i] = 0;
+    for (i = 0; i < nkeys; i++)
+        bucket[key[i]] = bucket[key[i]] + 1;
+    sum = 0;
+    for (i = 0; i < max_key; i++){
+        sum = sum + bucket[i];
+        keyden[i] = sum;
+    }
+}
+"""
+
+
+def perf_model(dataset: str) -> PerfModel:
+    ds = IS_CLASSES[dataset]
+    # histogram + prefix dominate; both serial.  The zeroing loop is
+    # classically parallel but is a small slice of the work.
+    zero_work = np.full(ds.niter, float(ds.max_key))
+    rank_ops = float(ds.total_keys) * 3.0 + float(ds.max_key) * 3.0
+    zeroing = KernelComponent(
+        name="zeroing",
+        nest_path=(0,),
+        work=zero_work,
+        reps=1,
+        level_trips=(ds.niter, ds.max_key),
+        contention=0.30,
+    )
+    return PerfModel(
+        components=[zeroing],
+        serial_time_target=ds.serial_time,
+        serial_extra_ops=rank_ops * ds.niter,
+    )
+
+
+def small_env() -> Dict[str, Any]:
+    rng = np.random.default_rng(21)
+    nkeys, max_key = 200, 32
+    return {
+        "niter": 2,
+        "nkeys": nkeys,
+        "max_key": max_key,
+        "key": rng.integers(0, max_key, size=nkeys).astype(np.int64),
+        "bucket": np.zeros(max_key, dtype=np.int64),
+        "keyden": np.zeros(max_key, dtype=np.int64),
+        "sum": 0,
+    }
+
+
+def reference(env: Dict[str, Any]) -> np.ndarray:
+    bucket = np.bincount(env["key"], minlength=env["max_key"])
+    return np.cumsum(bucket)
+
+
+BENCHMARK = Benchmark(
+    name="IS",
+    suite="NPB3.3",
+    source=SOURCE,
+    datasets=list(IS_CLASSES),
+    default_dataset="C",
+    perf_model=perf_model,
+    small_env=small_env,
+    expected_levels={
+        "Cetus": "inner",  # only the cheap zeroing loop parallelizes
+        "Cetus+BaseAlgo": "inner",
+        "Cetus+NewAlgo": "inner",
+    },
+    main_component="zeroing",
+    notes=(
+        "Histogram writes through input-data keys defeat compile-time "
+        "analysis; no pipeline gains (paper Fig. 17 shows ~1x for all)."
+    ),
+)

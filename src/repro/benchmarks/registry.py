@@ -1,0 +1,52 @@
+"""Benchmark registry (the Table 1 suite)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.benchmarks.base import Benchmark
+from repro.benchmarks import (
+    amgmk,
+    cg,
+    cholmod,
+    fdtd2d,
+    gramschmidt,
+    heat3d,
+    icholesky,
+    is_bench,
+    mg,
+    sddmm,
+    syrk,
+    ua_transf,
+)
+
+_ALL: List[Benchmark] = [
+    amgmk.BENCHMARK,
+    cholmod.BENCHMARK,
+    sddmm.BENCHMARK,
+    ua_transf.BENCHMARK,
+    cg.BENCHMARK,
+    heat3d.BENCHMARK,
+    fdtd2d.BENCHMARK,
+    gramschmidt.BENCHMARK,
+    syrk.BENCHMARK,
+    mg.BENCHMARK,
+    is_bench.BENCHMARK,
+    icholesky.BENCHMARK,
+]
+
+_BY_NAME: Dict[str, Benchmark] = {b.name: b for b in _ALL}
+
+BENCHMARK_NAMES: List[str] = [b.name for b in _ALL]
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """All twelve benchmarks, Table 1 order."""
+    return list(_ALL)
+
+
+def get_benchmark(name: str) -> Benchmark:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; known: {BENCHMARK_NAMES}") from None

@@ -1,0 +1,80 @@
+"""PolyBench syrk — symmetric rank-k update (triangular), classically
+parallel at the outer row loop with triangular load imbalance."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark
+from repro.runtime.simulate import KernelComponent, PerfModel
+from repro.workloads.polybench import POLYBENCH_EXTRALARGE
+
+SOURCE = """
+for (i = 0; i < n; i++){
+    for (j = 0; j <= i; j++)
+        C[i][j] = C[i][j] * beta;
+    for (kx = 0; kx < m; kx++)
+        for (j = 0; j <= i; j++)
+            C[i][j] = C[i][j] + alpha * A[i][kx] * A[j][kx];
+}
+"""
+
+
+def perf_model(dataset: str) -> PerfModel:
+    spec = POLYBENCH_EXTRALARGE["syrk"]
+    n, m = spec.params["N"], spec.params["M"]
+    i = np.arange(n, dtype=np.float64)
+    work = (i + 1.0) * (2.0 * m + 1.0)  # triangular row work
+    upd = KernelComponent(
+        name="update",
+        nest_path=(0,),
+        work=work,
+        reps=1,
+        level_trips=(n, m),
+        contention=0.02,  # compute-bound
+    )
+    return PerfModel(components=[upd], serial_time_target=spec.serial_time)
+
+
+def small_env() -> Dict[str, Any]:
+    rng = np.random.default_rng(6)
+    n, m = 8, 5
+    return {
+        "n": n,
+        "m": m,
+        "alpha": 2,
+        "beta": 3,
+        "A": rng.standard_normal((n, m)),
+        "C": rng.standard_normal((n, n)),
+    }
+
+
+def reference(env: Dict[str, Any]) -> np.ndarray:
+    C = env["C"].copy()
+    A = env["A"]
+    n = env["n"]
+    alpha, beta = env["alpha"], env["beta"]
+    for i in range(n):
+        C[i, : i + 1] *= beta
+        C[i, : i + 1] += alpha * (A[: i + 1] @ A[i])
+    return C
+
+
+BENCHMARK = Benchmark(
+    name="syrk",
+    suite="PolyBench-4.2",
+    source=SOURCE,
+    datasets=["EXTRALARGE"],
+    default_dataset="EXTRALARGE",
+    perf_model=perf_model,
+    small_env=small_env,
+    expected_levels={
+        "Cetus": "outer",
+        "Cetus+BaseAlgo": "outer",
+        "Cetus+NewAlgo": "outer",
+    },
+    main_component="update",
+    notes="Row-disjoint triangular update; static schedule suffers mild imbalance.",
+)

@@ -1,0 +1,140 @@
+"""UA (NPB 3.3.1) kernel ``transf`` — paper Example 3 (Figure 12).
+
+``transf`` transfers mortar-point values onto element faces through the
+four-dimensional index array ``idel`` (filled in Figure 12's loop nest).
+``idel`` is proven Range-Monotonic w.r.t. its first (element) dimension —
+LEMMA 2 — so distinct elements touch disjoint ranges of the target array
+and the outer element loop parallelizes.  Classical Cetus only finds the
+small per-element face loop (trip 6), forking once per element.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.benchmarks.base import Benchmark
+from repro.runtime.simulate import KernelComponent, PerfModel
+from repro.workloads.npb import UA_CLASSES
+
+SOURCE = """
+for(iel = 0; iel < LELT; iel++) {
+    ntemp = 125*iel;
+    for(j = 0; j < 5; j++) {
+        for(i = 0; i < 5; i++) {
+            idel[iel][0][j][i] = ntemp + i*5 + j*25 + 4;
+            idel[iel][1][j][i] = ntemp + i*5 + j*25;
+            idel[iel][2][j][i] = ntemp + i + j*25 + 20;
+            idel[iel][3][j][i] = ntemp + i + j*25;
+            idel[iel][4][j][i] = ntemp + i + j*5 + 100;
+            idel[iel][5][j][i] = ntemp + i + j*5;
+        }
+    }
+}
+for(iel = 0; iel < LELT; iel++) {
+    for(c = 0; c < 6; c++) {
+        for(j = 0; j < 5; j++) {
+            for(i = 0; i < 5; i++) {
+                u[iel][c][j][i] = u[iel][c][j][i] * wt[j] * wt[i];
+            }
+        }
+    }
+    for(j = 0; j < 5; j++) {
+        for(i = 0; i < 5; i++) {
+            for(c = 0; c < 6; c++) {
+                il = idel[iel][c][j][i];
+                tx[il] = tx[il] + tmort[il] * u[iel][c][j][i];
+            }
+        }
+    }
+}
+"""
+
+
+def perf_model(dataset: str) -> PerfModel:
+    ds = UA_CLASSES[dataset]
+    # per element: 6 faces x 25 points of weighting (3 ops) + 150 transfer
+    # ops (load/mul/add through the indirection)
+    per_elem = 6 * 25 * 3.0 + 6 * 25 * 6.0
+    work = np.full(ds.lelt, per_elem)
+    transf = KernelComponent(
+        name="transf",
+        nest_path=(1,),
+        work=work,
+        reps=ds.niter,
+        level_trips=(ds.lelt, 6),  # classical parallelizes the face loop
+        contention={"A": 0.10, "B": 0.08, "C": 0.075, "D": 0.07}[dataset],
+    )
+    fill_ops = float(ds.lelt) * 6 * 25 * 4.0
+    return PerfModel(
+        components=[transf],
+        serial_time_target=ds.serial_time,
+        serial_extra_ops=fill_ops,
+    )
+
+
+def small_env() -> Dict[str, Any]:
+    rng = np.random.default_rng(3)
+    lelt = 6
+    npts = 125 * lelt
+    return {
+        "LELT": lelt,
+        "idel": np.zeros((lelt, 6, 5, 5), dtype=np.int64),
+        "u": rng.standard_normal((lelt, 6, 5, 5)),
+        "wt": rng.standard_normal(5) + 2.0,
+        "tx": np.zeros(npts),
+        "tmort": rng.standard_normal(npts),
+    }
+
+
+def reference(env: Dict[str, Any]) -> np.ndarray:
+    """NumPy ground truth for tx after transf."""
+    lelt = env["LELT"]
+    wt = env["wt"]
+    u = env["u"].copy()
+    tx = env["tx"].copy()
+    tmort = env["tmort"]
+    offs = _idel_offsets()
+    for iel in range(lelt):
+        ntemp = 125 * iel
+        u[iel] = u[iel] * wt[None, :, None] * wt[None, None, :]
+        for j in range(5):
+            for i in range(5):
+                for c in range(6):
+                    il = ntemp + offs[c](i, j)
+                    tx[il] += tmort[il] * u[iel, c, j, i]
+    return tx
+
+
+def _idel_offsets():
+    return [
+        lambda i, j: i * 5 + j * 25 + 4,
+        lambda i, j: i * 5 + j * 25,
+        lambda i, j: i + j * 25 + 20,
+        lambda i, j: i + j * 25,
+        lambda i, j: i + j * 5 + 100,
+        lambda i, j: i + j * 5,
+    ]
+
+
+BENCHMARK = Benchmark(
+    name="UA(transf)",
+    suite="NPB3.3",
+    source=SOURCE,
+    datasets=list(UA_CLASSES),
+    default_dataset="A",
+    perf_model=perf_model,
+    small_env=small_env,
+    expected_levels={
+        "Cetus": "inner",
+        "Cetus+BaseAlgo": "inner",
+        "Cetus+NewAlgo": "outer",
+    },
+    main_component="transf",
+    notes=(
+        "Fill loop = paper Figure 12. idel is proven #(SMA;0) by LEMMA 2 "
+        "through per-level aggregation; the transfer loop's indirect "
+        "writes tx[idel[iel][c][j][i]] are disjoint across elements."
+    ),
+)

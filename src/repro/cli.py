@@ -1,0 +1,135 @@
+"""Command-line interface.
+
+::
+
+    python -m repro parallelize kernel.c              # annotated C to stdout
+    python -m repro parallelize kernel.c --pipeline base --schedule dynamic
+    python -m repro report kernel.c                   # per-loop decisions
+    python -m repro properties kernel.c               # subscript-array facts
+    python -m repro figures                           # regenerate §4 tables
+
+Pipelines: ``classical`` (Cetus), ``base`` (ICS'21), ``new`` (default,
+this paper).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis import AnalysisConfig, analyze_program
+from repro.parallelizer import format_report, parallelize
+from repro.parallelizer.codegen import emit_openmp
+
+PIPELINES = {
+    "classical": AnalysisConfig.classical,
+    "base": AnalysisConfig.base_algorithm,
+    "new": AnalysisConfig.new_algorithm,
+}
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read()
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Subscripted-subscript recurrence analysis & parallelization (PPoPP'24 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_common(sp):
+        sp.add_argument("source", help="C source file ('-' for stdin)")
+        sp.add_argument(
+            "--pipeline",
+            choices=sorted(PIPELINES),
+            default="new",
+            help="analysis capability set (default: new)",
+        )
+
+    sp = sub.add_parser("parallelize", help="emit the OpenMP-annotated program")
+    add_common(sp)
+    sp.add_argument("--schedule", choices=["static", "dynamic", "guided"], default=None)
+    sp.add_argument("--chunk", type=int, default=None)
+
+    sp = sub.add_parser("report", help="print per-loop parallelization decisions")
+    add_common(sp)
+
+    sp = sub.add_parser("properties", help="print proven subscript-array properties")
+    add_common(sp)
+
+    sp = sub.add_parser("explain", help="detailed per-loop compile log (SVDs, dependences)")
+    add_common(sp)
+    sp.add_argument("--loop", default=None, help="explain only this loop id")
+
+    sub.add_parser("figures", help="regenerate the paper's Table 1 and Figures 13-17")
+    return p
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "figures":
+        from repro.experiments.fig13 import format_fig13
+        from repro.experiments.fig14 import format_fig14
+        from repro.experiments.fig15 import format_fig15
+        from repro.experiments.fig16 import format_fig16
+        from repro.experiments.fig17 import format_fig17
+        from repro.experiments.table1 import format_table1
+
+        for block in (
+            format_table1(),
+            format_fig13(),
+            format_fig14(),
+            format_fig15(),
+            format_fig16(),
+            format_fig17(),
+        ):
+            print(block)
+            print()
+        return 0
+
+    src = _read_source(args.source)
+    config = PIPELINES[args.pipeline]()
+
+    # multi-function files are inline-expanded first (paper §4.1)
+    from repro.lang.functions import parse_translation_unit, inline_program
+
+    unit = parse_translation_unit(src)
+    program = inline_program(unit) if unit.functions else None
+
+    if args.command == "properties":
+        res = analyze_program(program if program is not None else src, config)
+        props = res.properties.all_properties()
+        if not props:
+            print("(no subscript-array properties proven)")
+        for prop in props:
+            print(prop)
+        return 0
+
+    result = parallelize(program if program is not None else src, config)
+    if args.command == "report":
+        print(format_report(result))
+        return 0
+
+    if args.command == "explain":
+        from repro.parallelizer.explain import explain_all, explain_loop
+
+        if args.loop:
+            print(explain_loop(result, args.loop))
+        else:
+            print(explain_all(result))
+        return 0
+
+    # parallelize
+    print(emit_openmp(result, schedule=args.schedule, chunk=args.chunk), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

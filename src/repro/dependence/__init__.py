@@ -1,0 +1,30 @@
+"""Data-dependence analysis for loop parallelization.
+
+* :mod:`repro.dependence.accesses` — collects the array accesses of a
+  candidate loop, forward-substituting single-definition scalars so that
+  indirection through copies (``m = A_rownnz[i]; … y_data[m] …``) is
+  visible to the tests.
+* :mod:`repro.dependence.classic` — classical subscript tests (equal-form,
+  GCD, Banerjee-style bounds) used by the "Cetus" configuration.
+* :mod:`repro.dependence.privatize` — scalar privatization and reduction
+  recognition.
+* :mod:`repro.dependence.extended` — the extended test that consumes the
+  monotonicity properties of subscript arrays (paper §3) and emits run-time
+  checks such as ``-1+num_rownnz <= irownnz_max``.
+"""
+
+from repro.dependence.accesses import AccessInfo, collect_accesses, build_copy_env
+from repro.dependence.classic import classic_independent
+from repro.dependence.privatize import ScalarClass, classify_scalars
+from repro.dependence.extended import extended_independent, RuntimeCheck
+
+__all__ = [
+    "AccessInfo",
+    "collect_accesses",
+    "build_copy_env",
+    "classic_independent",
+    "ScalarClass",
+    "classify_scalars",
+    "extended_independent",
+    "RuntimeCheck",
+]

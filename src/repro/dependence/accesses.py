@@ -1,0 +1,306 @@
+"""Array-access collection for a candidate parallel loop.
+
+For each array reference inside the loop body this module records, per
+subscript dimension, an affine decomposition in the candidate loop index and
+(after forward substitution of single-definition scalars) any *indirection*
+— a read of another array — appearing in the subscript.  The classical and
+extended dependence tests both consume :class:`AccessInfo`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.normalize import LoopHeader, match_header
+from repro.ir.simplify import decompose_affine, simplify
+from repro.ir.symbols import ArrayRef, Expr, IntLit, Sym
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Call,
+    Compound,
+    Decl,
+    Expression,
+    ExprStmt,
+    For,
+    Id,
+    If,
+    Node,
+    Num,
+    Statement,
+    Ternary,
+    UnOp,
+    While,
+)
+
+
+@dataclasses.dataclass
+class InnerLoopInfo:
+    """An inner loop's index and (AST) bounds, for bound-indirection tests."""
+
+    index: str
+    lb: Expression
+    ub: Expression
+    inclusive: bool
+
+
+@dataclasses.dataclass
+class SubscriptInfo:
+    """One subscript dimension of one access."""
+
+    #: the raw (copy-propagated) AST expression
+    expr: Expression
+    #: affine decomposition in the candidate index: (coeff, offset) or None
+    affine: Optional[Tuple[Expr, Expr]]
+    #: indirection: the subscript *is* (affine in) a read b[...]: (array, idx asts)
+    indirection: Optional[Tuple[str, List[Expression]]]
+    #: the subscript is exactly an inner loop's index variable
+    inner_index: Optional[str]
+
+
+@dataclasses.dataclass
+class AccessInfo:
+    """One array reference inside the candidate loop."""
+
+    array: str
+    is_write: bool
+    subs: List[SubscriptInfo]
+    guarded: bool  # under some if-condition
+
+    def __str__(self) -> str:  # pragma: no cover
+        rw = "W" if self.is_write else "R"
+        return f"{rw} {self.array}[{len(self.subs)} dims]"
+
+
+def build_copy_env(body: Statement, index: str) -> Dict[str, Expression]:
+    """Forward-substitution environment for single-definition scalars.
+
+    A scalar qualifies when it is assigned exactly once in the body, not
+    under a loop-variant guard nested deeper than the top level, and its
+    definition precedes all uses (statement order).  This exposes
+    ``m = A_rownnz[i]`` to the subscript analysis of ``y_data[m]``.
+    """
+    defs: Dict[str, List[Expression]] = {}
+    counts: Dict[str, int] = {}
+
+    def scan(s: Node, depth_guarded: bool):
+        if isinstance(s, Compound):
+            for x in s.stmts:
+                scan(x, depth_guarded)
+        elif isinstance(s, If):
+            scan(s.then, True)
+            if s.els is not None:
+                scan(s.els, True)
+        elif isinstance(s, (For, While)):
+            scan(s.body, depth_guarded)
+            if isinstance(s, For):
+                for part in (s.init, s.step):
+                    if part is not None:
+                        scan(part, depth_guarded)
+        elif isinstance(s, Assign) and isinstance(s.lhs, Id):
+            counts[s.lhs.name] = counts.get(s.lhs.name, 0) + 1
+            if not depth_guarded:
+                defs.setdefault(s.lhs.name, []).append(s.rhs)
+        elif isinstance(s, Decl) and s.init is not None and not s.dims:
+            counts[s.name] = counts.get(s.name, 0) + 1
+            if not depth_guarded:
+                defs.setdefault(s.name, []).append(s.init)
+
+    scan(body, False)
+    env: Dict[str, Expression] = {}
+    for name, rhss in defs.items():
+        if counts.get(name) == 1 and len(rhss) == 1:
+            rhs = rhss[0]
+            # the definition must not be self-referential
+            if not any(isinstance(n, Id) and n.name == name for n in rhs.walk()):
+                env[name] = rhs
+    # transitively close (bounded)
+    for _ in range(3):
+        changed = False
+        for name, rhs in list(env.items()):
+            new = _subst_ids(rhs, {k: v for k, v in env.items() if k != name})
+            if new is not rhs:
+                env[name] = new
+                changed = True
+        if not changed:
+            break
+    return env
+
+
+def _subst_ids(e: Expression, env: Dict[str, Expression]) -> Expression:
+    if isinstance(e, Id) and e.name in env:
+        return env[e.name].clone()  # type: ignore[return-value]
+    changed = False
+    e2 = e.clone()
+    _subst_in_place(e2, env)
+    return e2
+
+
+def _subst_in_place(e: Node, env: Dict[str, Expression]) -> None:
+    for attr in ("lhs", "rhs", "operand", "cond", "then", "els"):
+        child = getattr(e, attr, None)
+        if isinstance(child, Id) and child.name in env:
+            setattr(e, attr, env[child.name].clone())
+        elif isinstance(child, Node):
+            _subst_in_place(child, env)
+    for attr in ("indices", "args"):
+        lst = getattr(e, attr, None)
+        if lst is not None:
+            for i, child in enumerate(lst):
+                if isinstance(child, Id) and child.name in env:
+                    lst[i] = env[child.name].clone()
+                elif isinstance(child, Node):
+                    _subst_in_place(child, env)
+
+
+def collect_inner_loops(body: Statement) -> Dict[str, InnerLoopInfo]:
+    """All nested loops' headers keyed by index name."""
+    out: Dict[str, InnerLoopInfo] = {}
+    for node in body.walk():
+        if isinstance(node, For):
+            h = match_header(node)
+            if h is not None:
+                out[h.index] = InnerLoopInfo(h.index, h.lb, h.ub_expr, h.inclusive)
+    return out
+
+
+def collect_accesses(
+    body: Statement,
+    index: str,
+    copy_env: Optional[Dict[str, Expression]] = None,
+) -> List[AccessInfo]:
+    """All array accesses in ``body``, with subscripts analyzed.
+
+    ``index`` is the candidate parallel loop's index.  Subscripts are
+    copy-propagated through ``copy_env`` before decomposition.
+    """
+    env = copy_env if copy_env is not None else build_copy_env(body, index)
+    inner = collect_inner_loops(body)
+    from repro.analysis.loopinfo import assigned_scalars
+
+    variant = (set(assigned_scalars(body)) | set(inner)) - {index}
+    accesses: List[AccessInfo] = []
+
+    def visit_expr(e: Node, guarded: bool, in_write: bool = False):
+        if isinstance(e, ArrayAccess):
+            accesses.append(_make_access(e, index, env, inner, variant, guarded, in_write))
+            for idx_e in e.indices:
+                visit_expr(idx_e, guarded)
+            return
+        for c in e.children():
+            visit_expr(c, guarded)
+
+    def visit_stmt(s: Node, guarded: bool):
+        if isinstance(s, Compound):
+            for x in s.stmts:
+                visit_stmt(x, guarded)
+        elif isinstance(s, If):
+            visit_expr(s.cond, guarded)
+            visit_stmt(s.then, True)
+            if s.els is not None:
+                visit_stmt(s.els, True)
+        elif isinstance(s, For):
+            if s.init is not None:
+                visit_stmt(s.init, guarded)
+            if s.cond is not None:
+                visit_expr(s.cond, guarded)
+            if s.step is not None:
+                visit_stmt(s.step, guarded)
+            visit_stmt(s.body, guarded)
+        elif isinstance(s, While):
+            visit_expr(s.cond, guarded)
+            visit_stmt(s.body, guarded)
+        elif isinstance(s, Assign):
+            if isinstance(s.lhs, ArrayAccess):
+                visit_expr(s.lhs, guarded, in_write=True)
+            visit_expr(s.rhs, guarded)
+            if s.op != "=" and isinstance(s.lhs, ArrayAccess):
+                # compound assignment also reads the element
+                accesses.append(_make_access(s.lhs, index, env, inner, guarded, False))
+        elif isinstance(s, ExprStmt):
+            visit_expr(s.expr, guarded)
+        elif isinstance(s, Decl) and s.init is not None:
+            visit_expr(s.init, guarded)
+
+    visit_stmt(body, False)
+    return accesses
+
+
+def _make_access(
+    e: ArrayAccess,
+    index: str,
+    env: Dict[str, Expression],
+    inner: Dict[str, InnerLoopInfo],
+    variant: Set[str],
+    guarded: bool,
+    is_write: bool,
+) -> AccessInfo:
+    subs: List[SubscriptInfo] = []
+    for raw in e.indices:
+        prop = _subst_ids(raw, env)
+        subs.append(_analyze_subscript(prop, index, inner, variant))
+    return AccessInfo(array=e.name, is_write=is_write, subs=subs, guarded=guarded)
+
+
+def _analyze_subscript(
+    e: Expression, index: str, inner: Dict[str, InnerLoopInfo], variant: Optional[Set[str]] = None
+) -> SubscriptInfo:
+    indirection: Optional[Tuple[str, List[Expression]]] = None
+    inner_index: Optional[str] = None
+
+    # exact inner-loop index?
+    if isinstance(e, Id) and e.name in inner:
+        inner_index = e.name
+
+    # an indirection anywhere in the subscript
+    for n in e.walk():
+        if isinstance(n, ArrayAccess):
+            indirection = (n.name, list(n.indices))
+            break
+
+    affine: Optional[Tuple[Expr, Expr]] = None
+    ir = _to_ir(e)
+    if ir is not None:
+        dec = decompose_affine(ir, Sym(index))
+        if dec is not None:
+            coeff, off = dec
+            # the decomposition is a function of the candidate index only if
+            # coefficient and offset are free of loop-variant symbols (inner
+            # loop indices, scalars assigned in the body)
+            names = {s.name for part in (coeff, off) for s in part.free_symbols()}
+            if not variant or not (names & variant):
+                affine = (coeff, off)
+    return SubscriptInfo(expr=e, affine=affine, indirection=indirection, inner_index=inner_index)
+
+
+def _to_ir(e: Expression) -> Optional[Expr]:
+    """Best-effort conversion of a subscript AST to IR (None if opaque)."""
+    from repro.ir.symbols import add, mul, sub
+
+    if isinstance(e, Num):
+        return IntLit(e.value)
+    if isinstance(e, Id):
+        return Sym(e.name)
+    if isinstance(e, ArrayAccess):
+        idx = [_to_ir(i) for i in e.indices]
+        if any(i is None for i in idx):
+            return None
+        return ArrayRef(e.name, [i for i in idx if i is not None])
+    if isinstance(e, UnOp) and e.op == "-":
+        inner = _to_ir(e.operand)
+        return None if inner is None else simplify(mul(IntLit(-1), inner))
+    if isinstance(e, UnOp) and e.op == "+":
+        return _to_ir(e.operand)
+    if isinstance(e, BinOp) and e.op in ("+", "-", "*"):
+        a = _to_ir(e.lhs)
+        b = _to_ir(e.rhs)
+        if a is None or b is None:
+            return None
+        if e.op == "+":
+            return simplify(add(a, b))
+        if e.op == "-":
+            return simplify(sub(a, b))
+        return simplify(mul(a, b))
+    return None

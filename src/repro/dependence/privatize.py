@@ -1,0 +1,208 @@
+"""Scalar privatization and reduction recognition.
+
+For a candidate parallel loop, each scalar assigned in the body is
+classified as
+
+* **PRIVATE** — written before any read on every iteration (each thread
+  gets its own copy; inner-loop indices are always private);
+* **REDUCTION** — every write has the shape ``s = s + e`` / ``s = s * e``
+  (with ``e`` free of ``s``) and ``s`` is not otherwise read;
+* **SERIAL** — a genuine loop-carried scalar dependence (read of the
+  previous iteration's value), which blocks parallelization.
+
+Scalars that are only read are shared and harmless.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.normalize import match_header
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Call,
+    Compound,
+    Decl,
+    Expression,
+    ExprStmt,
+    For,
+    Id,
+    If,
+    Node,
+    Statement,
+    While,
+)
+
+
+class ScalarClass(enum.Enum):
+    PRIVATE = "private"
+    REDUCTION_ADD = "reduction(+)"
+    REDUCTION_MUL = "reduction(*)"
+    SERIAL = "serial"
+    READ_ONLY = "shared"
+
+
+@dataclasses.dataclass
+class ScalarReport:
+    classes: Dict[str, ScalarClass]
+
+    @property
+    def serial_scalars(self) -> List[str]:
+        return [n for n, c in self.classes.items() if c is ScalarClass.SERIAL]
+
+    @property
+    def private(self) -> List[str]:
+        return sorted(n for n, c in self.classes.items() if c is ScalarClass.PRIVATE)
+
+    @property
+    def reductions(self) -> List[Tuple[str, str]]:
+        out = []
+        for n, c in self.classes.items():
+            if c is ScalarClass.REDUCTION_ADD:
+                out.append(("+", n))
+            elif c is ScalarClass.REDUCTION_MUL:
+                out.append(("*", n))
+        return sorted(out, key=lambda t: t[1])
+
+
+def _linear_events(body: Statement) -> List[Tuple[str, str, Optional[Assign]]]:
+    """Flatten body into (event, scalar, stmt) in textual order.
+
+    Events: 'r' read, 'w' write.  Reads inside a write's own RHS come first.
+    Inner-loop headers contribute their index writes and bound reads.
+    """
+    events: List[Tuple[str, str, Optional[Assign]]] = []
+
+    def reads_of(e: Node):
+        for n in e.walk():
+            if isinstance(n, Id):
+                events.append(("r", n.name, None))
+
+    def visit(s: Node):
+        if isinstance(s, Compound):
+            for x in s.stmts:
+                visit(x)
+        elif isinstance(s, If):
+            reads_of(s.cond)
+            visit(s.then)
+            if s.els is not None:
+                visit(s.els)
+        elif isinstance(s, For):
+            h = match_header(s)
+            if s.init is not None:
+                visit(s.init)
+            if s.cond is not None:
+                reads_of(s.cond)
+            visit(s.body)
+            if s.step is not None:
+                visit(s.step)
+        elif isinstance(s, While):
+            reads_of(s.cond)
+            visit(s.body)
+        elif isinstance(s, Assign):
+            reads_of(s.rhs)
+            if isinstance(s.lhs, ArrayAccess):
+                for ix in s.lhs.indices:
+                    reads_of(ix)
+                if s.op != "=":
+                    pass  # element read; scalars unaffected
+            if s.op != "=" and isinstance(s.lhs, Id):
+                events.append(("r", s.lhs.name, None))
+            if isinstance(s.lhs, Id):
+                events.append(("w", s.lhs.name, s))
+        elif isinstance(s, ExprStmt):
+            reads_of(s.expr)
+        elif isinstance(s, Decl):
+            if s.init is not None:
+                reads_of(s.init)
+            if not s.dims:
+                events.append(("w", s.name, None))
+
+    visit(body)
+    return events
+
+
+def _is_reduction_write(stmt: Optional[Assign], name: str) -> Optional[str]:
+    """Does ``stmt`` have the shape ``name = name op e`` (op in +, *)?"""
+    if stmt is None or not isinstance(stmt.lhs, Id):
+        return None
+    rhs = stmt.rhs
+    if stmt.op in ("+=",):
+        return "+"
+    if stmt.op in ("*=",):
+        return "*"
+    if stmt.op != "=" or not isinstance(rhs, BinOp) or rhs.op not in ("+", "*"):
+        return None
+    lhs_is = lambda e: isinstance(e, Id) and e.name == name
+    other = None
+    if lhs_is(rhs.lhs):
+        other = rhs.rhs
+    elif lhs_is(rhs.rhs) and rhs.op == "+":
+        other = rhs.lhs
+    elif lhs_is(rhs.rhs) and rhs.op == "*":
+        other = rhs.lhs
+    if other is None:
+        return None
+    if any(isinstance(n, Id) and n.name == name for n in other.walk()):
+        return None
+    return rhs.op
+
+
+def classify_scalars(body: Statement, index: str) -> ScalarReport:
+    """Classify every scalar assigned in the loop body."""
+    events = _linear_events(body)
+    inner_indices: Set[str] = set()
+    for node in body.walk():
+        if isinstance(node, For):
+            h = match_header(node)
+            if h is not None:
+                inner_indices.add(h.index)
+
+    written: Set[str] = {n for ev, n, _ in events if ev == "w"}
+    classes: Dict[str, ScalarClass] = {}
+    for name in sorted(written):
+        if name == index:
+            continue
+        if name in inner_indices:
+            classes[name] = ScalarClass.PRIVATE
+            continue
+        # reduction check: every write is a reduction write of one operator
+        ops = set()
+        pure_reduction = True
+        for ev, n, stmt in events:
+            if n != name or ev != "w":
+                continue
+            op = _is_reduction_write(stmt, name)
+            if op is None:
+                pure_reduction = False
+                break
+            ops.add(op)
+        reads_outside_own_write = _reads_outside_reduction(events, name)
+        if pure_reduction and len(ops) == 1 and not reads_outside_own_write:
+            classes[name] = (
+                ScalarClass.REDUCTION_ADD if "+" in ops else ScalarClass.REDUCTION_MUL
+            )
+            continue
+        # privatization: the first event must be a write
+        first = next((ev for ev, n, _ in events if n == name), None)
+        if first == "w":
+            classes[name] = ScalarClass.PRIVATE
+        else:
+            classes[name] = ScalarClass.SERIAL
+    return ScalarReport(classes)
+
+
+def _reads_outside_reduction(events, name: str) -> bool:
+    """Reads of ``name`` not accounted for by its own reduction writes.
+
+    The event stream interleaves each write's RHS reads *before* the write
+    event; a pure reduction contributes exactly one read directly before
+    each write.  Any other read disqualifies the reduction.
+    """
+    reads = sum(1 for ev, n, _ in events if n == name and ev == "r")
+    writes = sum(1 for ev, n, _ in events if n == name and ev == "w")
+    return reads > writes

@@ -1,0 +1,15 @@
+"""Experiment harnesses regenerating every table and figure of §4.
+
+* :mod:`repro.experiments.harness` — shared compile→plan→simulate runner.
+* :mod:`repro.experiments.table1` — benchmark/dataset/serial-time table.
+* :mod:`repro.experiments.fig13` — parallel with vs without subscripted-
+  subscript analysis (AMGmk, SDDMM, UA; 4/8/16 cores).
+* :mod:`repro.experiments.fig14` — parallel (with the technique) vs serial.
+* :mod:`repro.experiments.fig15` — parallel efficiency.
+* :mod:`repro.experiments.fig16` — dynamic vs static scheduling (SDDMM).
+* :mod:`repro.experiments.fig17` — 12 benchmarks x 3 pipelines on 16 cores.
+"""
+
+from repro.experiments.harness import BenchRun, run_benchmark, speedup_table
+
+__all__ = ["BenchRun", "run_benchmark", "speedup_table"]

@@ -1,0 +1,41 @@
+"""Figure 15 — parallel efficiency (speedup / cores) of the three
+Experiment-1 applications."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.experiments.fig14 import fig14_cells
+
+
+@dataclasses.dataclass
+class Fig15Cell:
+    app: str
+    dataset: str
+    cores: int
+    efficiency: float  # percent
+
+
+def fig15_cells() -> List[Fig15Cell]:
+    return [
+        Fig15Cell(c.app, c.dataset, c.cores, 100.0 * c.improvement / c.cores)
+        for c in fig14_cells()
+    ]
+
+
+def format_fig15(cells=None) -> str:
+    cells = cells or fig15_cells()
+    lines = ["Figure 15: parallel efficiency (%)"]
+    lines.append(f"{'app':<12} {'dataset':<18}" + "".join(f"{c:>9} c" for c in (4, 8, 16)))
+    seen = {}
+    for c in cells:
+        seen.setdefault((c.app, c.dataset), {})[c.cores] = c.efficiency
+    for (app, ds), per_core in seen.items():
+        vals = "".join(f"{per_core.get(p, float('nan')):>9.1f}%" for p in (4, 8, 16))
+        lines.append(f"{app:<12} {ds:<18}{vals}")
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_fig15())

@@ -1,0 +1,127 @@
+"""Shared experiment runner: compile → plan → simulate.
+
+``run_benchmark`` runs one (benchmark, dataset, pipeline, cores, schedule)
+cell: it parallelizes the benchmark's source under the pipeline's
+:class:`~repro.analysis.config.AnalysisConfig`, derives the execution plan
+from the per-loop decisions, and predicts serial/parallel times with the
+machine model.  All figures are tables of these cells.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.config import AnalysisConfig
+from repro.benchmarks.base import Benchmark
+from repro.parallelizer.driver import ParallelizationResult, parallelize
+from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
+from repro.runtime.simulate import ParallelPlan, PerfModel, plan_from_decisions, simulate_app
+
+PIPELINES: Dict[str, AnalysisConfig] = {
+    "Cetus": AnalysisConfig.classical(),
+    "Cetus+BaseAlgo": AnalysisConfig.base_algorithm(),
+    "Cetus+NewAlgo": AnalysisConfig.new_algorithm(),
+}
+
+
+@dataclasses.dataclass
+class BenchRun:
+    """One experiment cell."""
+
+    benchmark: str
+    dataset: str
+    pipeline: str
+    cores: int
+    schedule: str
+    serial_time: float
+    parallel_time: float
+    plan_level: str  # level of the main kernel component
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_time / self.parallel_time
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.cores
+
+
+@functools.lru_cache(maxsize=256)
+def _compile(bench_name: str, pipeline: str) -> ParallelizationResult:
+    from repro.benchmarks.registry import get_benchmark
+
+    bench = get_benchmark(bench_name)
+    return parallelize(bench.source, PIPELINES[pipeline])
+
+
+def run_benchmark(
+    bench: Benchmark,
+    dataset: Optional[str] = None,
+    pipeline: str = "Cetus+NewAlgo",
+    cores: int = 16,
+    schedule: str = "static",
+    chunk: int = 1,
+    machine: MachineModel = DEFAULT_MACHINE,
+) -> BenchRun:
+    """Run one experiment cell."""
+    dataset = dataset or bench.default_dataset
+    result = _compile(bench.name, pipeline)
+    perf = bench.perf_model(dataset)
+    plan = plan_from_decisions(perf, result)
+    t_serial = perf.serial_time_target
+    t_par = simulate_app(perf, plan, cores, machine, schedule, chunk)
+    main = plan.per_component.get(bench.main_component)
+    return BenchRun(
+        benchmark=bench.name,
+        dataset=dataset,
+        pipeline=pipeline,
+        cores=cores,
+        schedule=schedule,
+        serial_time=t_serial,
+        parallel_time=t_par,
+        plan_level=main.level if main else "serial",
+    )
+
+
+def speedup_table(
+    bench: Benchmark,
+    datasets: List[str],
+    pipelines: List[str],
+    cores_list: List[int],
+    schedule: str = "static",
+) -> List[BenchRun]:
+    """Cartesian sweep over datasets x pipelines x core counts."""
+    out: List[BenchRun] = []
+    for ds in datasets:
+        for pipe in pipelines:
+            for p in cores_list:
+                out.append(run_benchmark(bench, ds, pipe, p, schedule))
+    return out
+
+
+def format_runs(runs: List[BenchRun], metric: str = "speedup") -> str:
+    """Plain-text table of runs (one row per dataset/pipeline, cols=cores)."""
+    rows: Dict[Tuple[str, str, str], Dict[int, BenchRun]] = {}
+    cores: List[int] = []
+    for r in runs:
+        rows.setdefault((r.benchmark, r.dataset, r.pipeline), {})[r.cores] = r
+        if r.cores not in cores:
+            cores.append(r.cores)
+    lines = []
+    header = f"{'benchmark':<20} {'dataset':<16} {'pipeline':<16}" + "".join(
+        f"{c:>10}" for c in sorted(cores)
+    )
+    lines.append(header)
+    for (b, d, p), cells in rows.items():
+        vals = []
+        for c in sorted(cores):
+            r = cells.get(c)
+            if r is None:
+                vals.append(f"{'-':>10}")
+            else:
+                v = getattr(r, metric)
+                vals.append(f"{v:>10.2f}")
+        lines.append(f"{b:<20} {d:<16} {p:<16}" + "".join(vals))
+    return "\n".join(lines)

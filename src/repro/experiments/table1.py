@@ -1,0 +1,31 @@
+"""Table 1 — benchmarks, input datasets and serial execution times."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.benchmarks import all_benchmarks
+
+
+def table1_rows() -> List[Tuple[str, str, str, float]]:
+    """(benchmark, source suite, dataset, serial seconds) rows."""
+    rows: List[Tuple[str, str, str, float]] = []
+    for b in all_benchmarks():
+        for ds in b.datasets:
+            rows.append((b.name, b.suite, ds, b.perf_model(ds).serial_time_target))
+    return rows
+
+
+def format_table1() -> str:
+    lines = [f"{'Benchmark':<22} {'Source':<20} {'Input Dataset':<18} {'Serial time':>12}"]
+    prev = None
+    for name, suite, ds, t in table1_rows():
+        shown = name if name != prev else ""
+        suite_shown = suite if name != prev else ""
+        lines.append(f"{shown:<22} {suite_shown:<20} {ds:<18} {t:>10.3f} s")
+        prev = name
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_table1())

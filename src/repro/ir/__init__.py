@@ -1,0 +1,72 @@
+"""Symbolic intermediate representation used by the subscript-array analysis.
+
+This package is the Python equivalent of the symbolic infrastructure inside
+the Cetus compiler that the paper builds on:
+
+* :mod:`repro.ir.symbols` — immutable symbolic expression trees
+  (integers, symbols, sums, products, division, min/max, and the special
+  :class:`~repro.ir.symbols.LambdaVal` / :class:`~repro.ir.symbols.BigLambda`
+  markers the paper writes as ``λ_x`` and ``Λ_x``).
+* :mod:`repro.ir.simplify` — canonicalizing simplifier (flatten, constant
+  folding, like-term collection, distribution).
+* :mod:`repro.ir.ranges` — symbolic value ranges ``[lb:ub]`` with interval
+  arithmetic, unions, and provable comparisons.
+* :mod:`repro.ir.rangedict` — the Range Dictionary used by symbolic range
+  propagation (Blume & Eigenmann) mapping variables to known ranges.
+"""
+
+from repro.ir.symbols import (
+    Expr,
+    IntLit,
+    Sym,
+    Add,
+    Mul,
+    Div,
+    Mod,
+    Min,
+    Max,
+    LambdaVal,
+    BigLambda,
+    Bottom,
+    BOTTOM,
+    ArrayRef,
+    add,
+    mul,
+    sub,
+    neg,
+    as_expr,
+)
+from repro.ir.simplify import simplify, expand, coefficient_of, decompose_affine
+from repro.ir.ranges import SymRange, Sign, sign_of, value_union
+from repro.ir.rangedict import RangeDict
+
+__all__ = [
+    "Expr",
+    "IntLit",
+    "Sym",
+    "Add",
+    "Mul",
+    "Div",
+    "Mod",
+    "Min",
+    "Max",
+    "LambdaVal",
+    "BigLambda",
+    "Bottom",
+    "BOTTOM",
+    "ArrayRef",
+    "add",
+    "mul",
+    "sub",
+    "neg",
+    "as_expr",
+    "simplify",
+    "expand",
+    "coefficient_of",
+    "decompose_affine",
+    "SymRange",
+    "Sign",
+    "sign_of",
+    "value_union",
+    "RangeDict",
+]

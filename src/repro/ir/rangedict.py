@@ -1,0 +1,111 @@
+"""Range Dictionary — the store used by symbolic range propagation.
+
+The paper's Symbolic Value Dictionary extends Cetus' *Range Dictionary*
+(Blume & Eigenmann, "Symbolic Range Propagation").  This module provides the
+underlying dictionary: a mapping from symbols (or λ/Λ markers, or opaque
+array reads) to their currently-known :class:`~repro.ir.ranges.SymRange`.
+
+The dictionary implements the :class:`~repro.ir.ranges.BoundsProvider`
+protocol consumed by :func:`repro.ir.ranges.sign_of`, and supports scoped
+refinement (entering an ``if (cond)`` branch narrows ranges; leaving restores
+them) used by the range propagation pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Tuple
+
+from repro.ir.ranges import SymRange, value_union
+from repro.ir.symbols import Expr
+
+
+class RangeDict:
+    """Immutable-by-convention mapping from symbol expression to SymRange."""
+
+    __slots__ = ("_map",)
+
+    def __init__(self, entries: Optional[Mapping[Expr, SymRange]] = None):
+        self._map: Dict[Expr, SymRange] = dict(entries or {})
+
+    # -- BoundsProvider -------------------------------------------------------
+
+    def range_of(self, sym: Expr) -> Optional[SymRange]:
+        """Known range of ``sym``, or None."""
+        return self._map.get(sym)
+
+    # -- functional updates ----------------------------------------------------
+
+    def set(self, sym: Expr, r: SymRange) -> "RangeDict":
+        """Return a copy with ``sym`` bound to ``r``."""
+        new = dict(self._map)
+        new[sym] = r
+        return RangeDict(new)
+
+    def remove(self, sym: Expr) -> "RangeDict":
+        """Return a copy without ``sym`` (kills the binding)."""
+        if sym not in self._map:
+            return self
+        new = dict(self._map)
+        del new[sym]
+        return RangeDict(new)
+
+    def refine(self, sym: Expr, r: SymRange) -> "RangeDict":
+        """Intersect the existing range for ``sym`` with ``r``.
+
+        Used when entering a guarded region: the branch condition narrows
+        what is known.  Intersection of symbolic intervals keeps whichever
+        bounds exist (tighter reasoning is performed lazily by sign_of).
+        """
+        old = self._map.get(sym)
+        if old is None:
+            return self.set(sym, r)
+        lb = r.lb if r.has_lb else old.lb
+        ub = r.ub if r.has_ub else old.ub
+        return self.set(sym, SymRange(lb, ub))
+
+    def merge(self, other: "RangeDict") -> "RangeDict":
+        """Conservative union at a control-flow merge point.
+
+        Symbols present in both dictionaries take the union of their ranges;
+        symbols present in only one side are dropped (their value on the
+        other path is unknown).
+        """
+        out: Dict[Expr, SymRange] = {}
+        for sym, r in self._map.items():
+            r2 = other._map.get(sym)
+            if r2 is not None:
+                out[sym] = r.union(r2)
+        return RangeDict(out)
+
+    def widen(self, previous: "RangeDict") -> "RangeDict":
+        """Widen against a previous iterate (fixed-point acceleration)."""
+        out: Dict[Expr, SymRange] = {}
+        for sym, r in self._map.items():
+            prev = previous._map.get(sym)
+            if prev is None:
+                continue
+            out[sym] = r.widen_against(prev)
+        return RangeDict(out)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def items(self) -> Iterator[Tuple[Expr, SymRange]]:
+        return iter(self._map.items())
+
+    def __contains__(self, sym: Expr) -> bool:
+        return sym in self._map
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeDict):
+            return NotImplemented
+        return self._map == other._map
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k} = {v}" for k, v in sorted(self._map.items(), key=lambda kv: str(kv[0])))
+        return "{" + inner + "}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RangeDict({self})"

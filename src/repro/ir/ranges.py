@@ -1,0 +1,453 @@
+"""Symbolic value ranges ``[lb:ub]`` and sign/comparison reasoning.
+
+A :class:`SymRange` is the inclusive interval the paper writes as
+``[lb:ub]`` with symbolic bounds.  Ranges support interval arithmetic,
+conservative unions (the "may" semantics at control-flow merge points of the
+Phase-1 dataflow), and *provable* comparisons via :func:`sign_of`, which
+determines the sign of a symbolic expression given known ranges for its
+symbols.
+
+Sign reasoning is deliberately conservative: :data:`Sign.UNKNOWN` is returned
+whenever positivity/negativity cannot be proven, matching the paper's
+requirement that the analysis only report properties that hold for *all*
+executions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, List, Optional, Protocol, Sequence, Tuple, Union
+
+from repro.ir.symbols import (
+    BOTTOM,
+    Add,
+    ArrayRef,
+    BigLambda,
+    Bottom,
+    Div,
+    Expr,
+    IntLit,
+    LambdaVal,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Sym,
+    add,
+    as_expr,
+    mul,
+    smax,
+    smin,
+    sub,
+)
+from repro.ir.simplify import simplify
+
+
+class Sign(enum.Enum):
+    """Provable sign of a symbolic expression."""
+
+    ZERO = "zero"
+    POSITIVE = "positive"  # > 0
+    NEGATIVE = "negative"  # < 0
+    NONNEGATIVE = "nonnegative"  # >= 0
+    NONPOSITIVE = "nonpositive"  # <= 0
+    UNKNOWN = "unknown"
+
+    @property
+    def is_pnn(self) -> bool:
+        """Positive-or-Non-Negative — the paper's PNN predicate."""
+        return self in (Sign.ZERO, Sign.POSITIVE, Sign.NONNEGATIVE)
+
+    @property
+    def is_positive(self) -> bool:
+        return self is Sign.POSITIVE
+
+
+class BoundsProvider(Protocol):
+    """Anything that can report a known range for a symbol (RangeDict)."""
+
+    def range_of(self, sym: Expr) -> Optional["SymRange"]: ...
+
+
+class SymRange:
+    """Inclusive symbolic interval ``[lb:ub]``.
+
+    Either bound may be ``BOTTOM`` meaning unbounded/unknown on that side.
+    A degenerate range (lb == ub) represents a single symbolic value.
+    """
+
+    __slots__ = ("lb", "ub")
+
+    def __init__(self, lb: Union[Expr, int], ub: Union[Expr, int]):
+        self.lb = simplify(as_expr(lb)) if not isinstance(lb, Bottom) else BOTTOM
+        self.ub = simplify(as_expr(ub)) if not isinstance(ub, Bottom) else BOTTOM
+
+    @staticmethod
+    def point(e: Union[Expr, int]) -> "SymRange":
+        """Degenerate range holding exactly one value."""
+        e = as_expr(e)
+        return SymRange(e, e)
+
+    @staticmethod
+    def unknown() -> "SymRange":
+        return SymRange(BOTTOM, BOTTOM)
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_point(self) -> bool:
+        return (
+            not isinstance(self.lb, Bottom)
+            and not isinstance(self.ub, Bottom)
+            and self.lb == self.ub
+        )
+
+    @property
+    def is_unknown(self) -> bool:
+        return isinstance(self.lb, Bottom) and isinstance(self.ub, Bottom)
+
+    @property
+    def has_lb(self) -> bool:
+        return not isinstance(self.lb, Bottom)
+
+    @property
+    def has_ub(self) -> bool:
+        return not isinstance(self.ub, Bottom)
+
+    def is_pnn(self, bounds: Optional[BoundsProvider] = None) -> bool:
+        """True if every value in the range is provably >= 0 (paper's PNN)."""
+        if not self.has_lb:
+            return False
+        return sign_of(self.lb, bounds).is_pnn
+
+    def is_positive(self, bounds: Optional[BoundsProvider] = None) -> bool:
+        """True if every value in the range is provably > 0."""
+        if not self.has_lb:
+            return False
+        return sign_of(self.lb, bounds) is Sign.POSITIVE
+
+    # -- arithmetic ----------------------------------------------------------
+
+    def _bin(self, other: "SymRange", f) -> "SymRange":
+        lo = BOTTOM if (not self.has_lb or not other.has_lb) else f(self.lb, other.lb)
+        hi = BOTTOM if (not self.has_ub or not other.has_ub) else f(self.ub, other.ub)
+        return SymRange(lo, hi)
+
+    def __add__(self, other: Union["SymRange", Expr, int]) -> "SymRange":
+        other = _as_range(other)
+        return self._bin(other, add)
+
+    def __sub__(self, other: Union["SymRange", Expr, int]) -> "SymRange":
+        other = _as_range(other)
+        lo = BOTTOM if (not self.has_lb or not other.has_ub) else sub(self.lb, other.ub)
+        hi = BOTTOM if (not self.has_ub or not other.has_lb) else sub(self.ub, other.lb)
+        return SymRange(lo, hi)
+
+    def scale(self, k: Union[Expr, int], bounds: Optional[BoundsProvider] = None) -> "SymRange":
+        """Multiply by a loop-invariant factor of known sign."""
+        k = as_expr(k)
+        sgn = sign_of(k, bounds)
+        if sgn in (Sign.POSITIVE, Sign.NONNEGATIVE, Sign.ZERO):
+            lo = BOTTOM if not self.has_lb else mul(k, self.lb)
+            hi = BOTTOM if not self.has_ub else mul(k, self.ub)
+            return SymRange(lo, hi)
+        if sgn in (Sign.NEGATIVE, Sign.NONPOSITIVE):
+            lo = BOTTOM if not self.has_ub else mul(k, self.ub)
+            hi = BOTTOM if not self.has_lb else mul(k, self.lb)
+            return SymRange(lo, hi)
+        return SymRange.unknown()
+
+    def union(self, other: "SymRange") -> "SymRange":
+        """Conservative union: [min(lb,lb'), max(ub,ub')].
+
+        Bounds whose difference has a provable sign are folded so unions of
+        e.g. ``λ_m`` and ``λ_m + 1`` stay Min/Max-free.
+        """
+        lo = BOTTOM if (not self.has_lb or not other.has_lb) else _fold_min(self.lb, other.lb)
+        hi = BOTTOM if (not self.has_ub or not other.has_ub) else _fold_max(self.ub, other.ub)
+        return SymRange(lo, hi)
+
+    def widen_against(self, other: "SymRange") -> "SymRange":
+        """Widening: drop any bound that is not stable across ``other``."""
+        lo = self.lb if (self.has_lb and other.has_lb and self.lb == other.lb) else BOTTOM
+        hi = self.ub if (self.has_ub and other.has_ub and self.ub == other.ub) else BOTTOM
+        return SymRange(lo, hi)
+
+    # -- provable comparisons -------------------------------------------------
+
+    def lt(self, other: "SymRange", bounds: Optional[BoundsProvider] = None) -> bool:
+        """Provably ``[lb:ub] < [lb':ub']`` i.e. ub < lb' (Definition 1)."""
+        if not self.has_ub or not other.has_lb:
+            return False
+        return sign_of(sub(other.lb, self.ub), bounds) is Sign.POSITIVE
+
+    def le(self, other: "SymRange", bounds: Optional[BoundsProvider] = None) -> bool:
+        """Provably ``ub <= lb'``."""
+        if not self.has_ub or not other.has_lb:
+            return False
+        return sign_of(sub(other.lb, self.ub), bounds).is_pnn
+
+    def subs(self, mapping) -> "SymRange":
+        lo = self.lb if not self.has_lb else self.lb.subs(mapping)
+        hi = self.ub if not self.has_ub else self.ub.subs(mapping)
+        return SymRange(lo, hi)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SymRange):
+            return NotImplemented
+        return self.lb == other.lb and self.ub == other.ub
+
+    def __hash__(self) -> int:
+        return hash((self.lb, self.ub))
+
+    def __str__(self) -> str:
+        if self.is_point:
+            return str(self.lb)
+        return f"[{self.lb}:{self.ub}]"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SymRange({self})"
+
+
+def _fold_min(a: Expr, b: Expr) -> Expr:
+    """min(a,b) folded when a-b has a provable sign."""
+    s = sign_of(sub(a, b))
+    if s.is_pnn:
+        return b
+    if s in (Sign.NEGATIVE, Sign.NONPOSITIVE):
+        return a
+    return smin(a, b)
+
+
+def _fold_max(a: Expr, b: Expr) -> Expr:
+    """max(a,b) folded when a-b has a provable sign."""
+    s = sign_of(sub(a, b))
+    if s.is_pnn:
+        return a
+    if s in (Sign.NEGATIVE, Sign.NONPOSITIVE):
+        return b
+    return smax(a, b)
+
+
+def _as_range(x: Union[SymRange, Expr, int]) -> SymRange:
+    if isinstance(x, SymRange):
+        return x
+    return SymRange.point(as_expr(x))
+
+
+def value_union(ranges: Iterable[SymRange]) -> SymRange:
+    """Union of several ranges (used at CFG merge points)."""
+    it = iter(ranges)
+    try:
+        out = next(it)
+    except StopIteration:
+        return SymRange.unknown()
+    for r in it:
+        out = out.union(r)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# sign determination
+# ---------------------------------------------------------------------------
+
+
+def _combine_add(signs: Sequence[Sign]) -> Sign:
+    if all(s is Sign.ZERO for s in signs):
+        return Sign.ZERO
+    if all(s.is_pnn for s in signs):
+        if any(s is Sign.POSITIVE for s in signs):
+            return Sign.POSITIVE
+        return Sign.NONNEGATIVE
+    if all(s in (Sign.ZERO, Sign.NEGATIVE, Sign.NONPOSITIVE) for s in signs):
+        if any(s is Sign.NEGATIVE for s in signs):
+            return Sign.NEGATIVE
+        return Sign.NONPOSITIVE
+    return Sign.UNKNOWN
+
+
+def _combine_mul(signs: Sequence[Sign]) -> Sign:
+    if any(s is Sign.ZERO for s in signs):
+        return Sign.ZERO
+    neg_parity = 0
+    weak = False
+    for s in signs:
+        if s is Sign.POSITIVE:
+            pass
+        elif s is Sign.NEGATIVE:
+            neg_parity ^= 1
+        elif s is Sign.NONNEGATIVE:
+            weak = True
+        elif s is Sign.NONPOSITIVE:
+            weak = True
+            neg_parity ^= 1
+        else:
+            return Sign.UNKNOWN
+    if neg_parity == 0:
+        return Sign.NONNEGATIVE if weak else Sign.POSITIVE
+    return Sign.NONPOSITIVE if weak else Sign.NEGATIVE
+
+
+def sign_of(e: Expr, bounds: Optional[BoundsProvider] = None) -> Sign:
+    """Determine the provable sign of ``e`` given optional symbol bounds.
+
+    ``bounds`` is typically a :class:`repro.ir.rangedict.RangeDict`; it is
+    consulted for :class:`Sym`, :class:`LambdaVal` and :class:`BigLambda`
+    leaves and may bound them (e.g. a loop index known to lie in ``[0:n-1]``).
+    """
+    e = simplify(as_expr(e))
+    return _sign_rec(e, bounds, depth=0)
+
+
+def _sign_rec(e: Expr, bounds: Optional[BoundsProvider], depth: int) -> Sign:
+    if depth > 12:
+        return Sign.UNKNOWN
+    if isinstance(e, Bottom):
+        return Sign.UNKNOWN
+    # whole-expression facts (e.g. an assumed-nonnegative trip count) may be
+    # registered for compound expressions, not just leaves
+    if bounds is not None and not isinstance(e, IntLit) and e.children():
+        r = bounds.range_of(e)
+        if r is not None:
+            s = _sign_from_range(r, bounds, depth)
+            if s is not Sign.UNKNOWN:
+                return s
+    if isinstance(e, IntLit):
+        if e.value == 0:
+            return Sign.ZERO
+        return Sign.POSITIVE if e.value > 0 else Sign.NEGATIVE
+    if isinstance(e, (Sym, LambdaVal, BigLambda, ArrayRef)):
+        if bounds is not None:
+            r = bounds.range_of(e)
+            if r is not None:
+                return _sign_from_range(r, bounds, depth)
+        return Sign.UNKNOWN
+    if isinstance(e, Add):
+        signs = [_sign_rec(o, bounds, depth + 1) for o in e.operands]
+        s = _combine_add(signs)
+        if s is not Sign.UNKNOWN:
+            return s
+        # fall back: bound every operand via the range dictionary
+        if bounds is not None:
+            r = range_eval(e, bounds)
+            return _sign_from_range(r, None, depth)
+        return Sign.UNKNOWN
+    if isinstance(e, Mul):
+        return _combine_mul([_sign_rec(o, bounds, depth + 1) for o in e.operands])
+    if isinstance(e, Div):
+        n = _sign_rec(e.num, bounds, depth + 1)
+        d = _sign_rec(e.den, bounds, depth + 1)
+        # C division truncates toward zero: sign follows multiplication but
+        # positivity weakens to non-negativity (e.g. 1/2 == 0).
+        s = _combine_mul([n, d])
+        if s is Sign.POSITIVE:
+            return Sign.NONNEGATIVE
+        if s is Sign.NEGATIVE:
+            return Sign.NONPOSITIVE
+        return s
+    if isinstance(e, Min):
+        signs = [_sign_rec(o, bounds, depth + 1) for o in e.operands]
+        # min <= every operand, min >= the pointwise property of all operands
+        if all(s is Sign.POSITIVE for s in signs):
+            return Sign.POSITIVE
+        if all(s.is_pnn for s in signs):
+            return Sign.NONNEGATIVE
+        if any(s is Sign.NEGATIVE for s in signs):
+            return Sign.NEGATIVE
+        if any(s in (Sign.NONPOSITIVE, Sign.ZERO) for s in signs):
+            return Sign.NONPOSITIVE
+        return Sign.UNKNOWN
+    if isinstance(e, Max):
+        signs = [_sign_rec(o, bounds, depth + 1) for o in e.operands]
+        # max >= every operand
+        if any(s is Sign.POSITIVE for s in signs):
+            return Sign.POSITIVE
+        if any(s.is_pnn for s in signs):
+            return Sign.NONNEGATIVE
+        if all(s is Sign.NEGATIVE for s in signs):
+            return Sign.NEGATIVE
+        if all(s in (Sign.NEGATIVE, Sign.NONPOSITIVE, Sign.ZERO) for s in signs):
+            return Sign.NONPOSITIVE
+        return Sign.UNKNOWN
+    if isinstance(e, Mod):
+        d = _sign_rec(e.den, bounds, depth + 1)
+        n = _sign_rec(e.num, bounds, depth + 1)
+        if n.is_pnn:
+            return Sign.NONNEGATIVE  # C: nonneg % anything >= 0
+        return Sign.UNKNOWN
+    return Sign.UNKNOWN
+
+
+def _sign_from_range(r: SymRange, bounds: Optional[BoundsProvider], depth: int) -> Sign:
+    lo_sign = _sign_rec(r.lb, bounds, depth + 1) if r.has_lb else Sign.UNKNOWN
+    hi_sign = _sign_rec(r.ub, bounds, depth + 1) if r.has_ub else Sign.UNKNOWN
+    if lo_sign is Sign.POSITIVE:
+        return Sign.POSITIVE
+    if lo_sign is Sign.ZERO:
+        if hi_sign is Sign.ZERO:
+            return Sign.ZERO
+        return Sign.NONNEGATIVE
+    if lo_sign.is_pnn:
+        return Sign.NONNEGATIVE
+    if hi_sign is Sign.NEGATIVE:
+        return Sign.NEGATIVE
+    if hi_sign in (Sign.ZERO, Sign.NONPOSITIVE, Sign.NEGATIVE):
+        return Sign.NONPOSITIVE
+    return Sign.UNKNOWN
+
+
+def range_eval(e: Expr, bounds: BoundsProvider) -> SymRange:
+    """Bound ``e`` by an interval, substituting symbol ranges recursively."""
+    e = simplify(as_expr(e))
+    if isinstance(e, Bottom):
+        return SymRange.unknown()
+    if isinstance(e, IntLit):
+        return SymRange.point(e)
+    if isinstance(e, (Sym, LambdaVal, BigLambda)):
+        r = bounds.range_of(e)
+        return r if r is not None else SymRange.point(e)
+    if isinstance(e, ArrayRef):
+        r = bounds.range_of(e)
+        if r is not None:
+            return r
+        # substitute point values into the subscripts; a non-point subscript
+        # makes the element read unknown
+        new_subs = []
+        for s in e.subs_:
+            sr = range_eval(s, bounds)
+            if not sr.is_point:
+                return SymRange.unknown()
+            new_subs.append(sr.lb)
+        return SymRange.point(ArrayRef(e.name, new_subs))
+    if isinstance(e, Add):
+        out = SymRange.point(0)
+        for o in e.operands:
+            out = out + range_eval(o, bounds)
+        return out
+    if isinstance(e, Mul):
+        # separate the constant factor; require the rest to be a single atom
+        const = 1
+        rest: List[Expr] = []
+        for o in e.operands:
+            if isinstance(o, IntLit):
+                const *= o.value
+            else:
+                rest.append(o)
+        if not rest:
+            return SymRange.point(const)
+        if len(rest) == 1:
+            return range_eval(rest[0], bounds).scale(const)
+        return SymRange.point(e)  # opaque product: treat as its own symbol
+    if isinstance(e, Min):
+        rs = [range_eval(o, bounds) for o in e.operands]
+        lo = smin(*[r.lb for r in rs]) if all(r.has_lb for r in rs) else BOTTOM
+        hi = smin(*[r.ub for r in rs]) if all(r.has_ub for r in rs) else BOTTOM
+        return SymRange(lo, hi)
+    if isinstance(e, Max):
+        rs = [range_eval(o, bounds) for o in e.operands]
+        lo = smax(*[r.lb for r in rs]) if all(r.has_lb for r in rs) else BOTTOM
+        hi = smax(*[r.ub for r in rs]) if all(r.has_ub for r in rs) else BOTTOM
+        return SymRange(lo, hi)
+    return SymRange.point(e)

@@ -1,0 +1,599 @@
+"""Immutable symbolic expression trees.
+
+The analysis in the paper manipulates *symbolic range expressions* whose
+leaves are integer literals, program symbols, and two special markers:
+
+* ``λ_x`` (:class:`LambdaVal`) — the value of variable ``x`` at the
+  *beginning of an arbitrary loop iteration* (Phase-1 initial value).
+* ``Λ_x`` (:class:`BigLambda`) — the value of ``x`` at the *beginning of the
+  loop* (used by Phase-2 aggregation).
+
+Expressions are immutable, hashable and totally ordered by a canonical key so
+that the simplifier can sort n-ary operands deterministically.  Construction
+through the helper functions :func:`add`, :func:`mul`, :func:`sub` and
+:func:`neg` performs light-weight canonicalization (flattening and constant
+folding); the full canonical form lives in :mod:`repro.ir.simplify`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+Number = int
+ExprLike = Union["Expr", int]
+
+
+class Expr:
+    """Base class for all symbolic expressions.
+
+    Subclasses must be immutable; equality and hashing are structural via
+    :meth:`key`.  Python operators are overloaded for convenience so that
+    ``a + b * 2`` builds (lightly canonicalized) expression trees.
+    """
+
+    __slots__ = ("_hash",)
+
+    #: class-level sort rank used to order heterogeneous nodes canonically.
+    _rank = 99
+
+    def key(self) -> tuple:
+        """Canonical, totally-ordered sort key (structural identity)."""
+        raise NotImplementedError
+
+    def children(self) -> Tuple["Expr", ...]:
+        """Immediate sub-expressions (empty for leaves)."""
+        return ()
+
+    def rebuild(self, children: Sequence["Expr"]) -> "Expr":
+        """Construct the same node kind over new children."""
+        if children:
+            raise ValueError(f"{type(self).__name__} is a leaf")
+        return self
+
+    # -- traversal helpers -------------------------------------------------
+
+    def walk(self) -> Iterator["Expr"]:
+        """Yield this node and all descendants, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+
+    def free_symbols(self) -> frozenset:
+        """All :class:`Sym` leaves in the tree (not λ/Λ markers)."""
+        return frozenset(n for n in self.walk() if isinstance(n, Sym))
+
+    def lambda_vals(self) -> frozenset:
+        """All :class:`LambdaVal` markers in the tree."""
+        return frozenset(n for n in self.walk() if isinstance(n, LambdaVal))
+
+    def contains(self, other: "Expr") -> bool:
+        """Structural containment test."""
+        return any(n == other for n in self.walk())
+
+    def subs(self, mapping: Mapping["Expr", ExprLike]) -> "Expr":
+        """Simultaneous structural substitution.
+
+        ``mapping`` maps sub-expressions to replacements.  Matching is
+        structural and performed top-down: if a node itself matches it is
+        replaced without descending further.
+        """
+        if not mapping:
+            return self
+        hit = mapping.get(self)
+        if hit is not None:
+            return as_expr(hit)
+        kids = self.children()
+        if not kids:
+            return self
+        new_kids = tuple(k.subs(mapping) for k in kids)
+        if all(a is b for a, b in zip(kids, new_kids)):
+            return self
+        return self.rebuild(new_kids)
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        """Numerically evaluate with ``env`` mapping symbol names to ints.
+
+        λ/Λ markers evaluate through their ``spelled`` name (``lambda_x`` /
+        ``Lambda_x``) so tests can drive them numerically.
+        """
+        raise NotImplementedError
+
+    # -- operator sugar ----------------------------------------------------
+
+    def __add__(self, other: ExprLike) -> "Expr":
+        return add(self, other)
+
+    def __radd__(self, other: ExprLike) -> "Expr":
+        return add(other, self)
+
+    def __sub__(self, other: ExprLike) -> "Expr":
+        return sub(self, other)
+
+    def __rsub__(self, other: ExprLike) -> "Expr":
+        return sub(other, self)
+
+    def __mul__(self, other: ExprLike) -> "Expr":
+        return mul(self, other)
+
+    def __rmul__(self, other: ExprLike) -> "Expr":
+        return mul(other, self)
+
+    def __neg__(self) -> "Expr":
+        return neg(self)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Expr):
+            return NotImplemented
+        return self.key() == other.key()
+
+    def __ne__(self, other: object) -> bool:
+        eq = self.__eq__(other)
+        if eq is NotImplemented:
+            return NotImplemented
+        return not eq
+
+    def __lt__(self, other: "Expr") -> bool:
+        return self.key() < other.key()
+
+    def __hash__(self) -> int:
+        h = getattr(self, "_hash", None)
+        if h is None:
+            h = hash(self.key())
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self})"
+
+
+class IntLit(Expr):
+    """Integer literal."""
+
+    __slots__ = ("value",)
+    _rank = 0
+
+    def __init__(self, value: int):
+        if not isinstance(value, int):
+            raise TypeError(f"IntLit requires int, got {type(value).__name__}")
+        object.__setattr__(self, "value", value)
+
+    def key(self) -> tuple:
+        return (self._rank, self.value)
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        return self.value
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+    def __setattr__(self, *a):  # immutability guard
+        raise AttributeError("IntLit is immutable")
+
+
+class Sym(Expr):
+    """A named program symbol (scalar variable or loop-invariant constant)."""
+
+    __slots__ = ("name",)
+    _rank = 1
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("Sym requires a non-empty name")
+        object.__setattr__(self, "name", name)
+
+    def key(self) -> tuple:
+        return (self._rank, self.name)
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise KeyError(f"no value for symbol {self.name!r}") from None
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __setattr__(self, *a):
+        raise AttributeError("Sym is immutable")
+
+
+class LambdaVal(Expr):
+    """``λ_x`` — value of ``x`` at the start of an arbitrary loop iteration."""
+
+    __slots__ = ("var",)
+    _rank = 2
+
+    def __init__(self, var: str):
+        object.__setattr__(self, "var", var)
+
+    @property
+    def spelled(self) -> str:
+        return f"lambda_{self.var}"
+
+    def key(self) -> tuple:
+        return (self._rank, self.var)
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        try:
+            return env[self.spelled]
+        except KeyError:
+            raise KeyError(f"no value for {self.spelled!r}") from None
+
+    def __str__(self) -> str:
+        return f"λ_{self.var}"
+
+    def __setattr__(self, *a):
+        raise AttributeError("LambdaVal is immutable")
+
+
+class BigLambda(Expr):
+    """``Λ_x`` — value of ``x`` at the beginning of the loop (pre-loop)."""
+
+    __slots__ = ("var",)
+    _rank = 3
+
+    def __init__(self, var: str):
+        object.__setattr__(self, "var", var)
+
+    @property
+    def spelled(self) -> str:
+        return f"Lambda_{self.var}"
+
+    def key(self) -> tuple:
+        return (self._rank, self.var)
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        try:
+            return env[self.spelled]
+        except KeyError:
+            raise KeyError(f"no value for {self.spelled!r}") from None
+
+    def __str__(self) -> str:
+        return f"Λ_{self.var}"
+
+    def __setattr__(self, *a):
+        raise AttributeError("BigLambda is immutable")
+
+
+class Bottom(Expr):
+    """``⊥`` — unknown value.  Absorbing element for all arithmetic."""
+
+    __slots__ = ()
+    _rank = 98
+
+    def key(self) -> tuple:
+        return (self._rank,)
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        raise ValueError("cannot evaluate bottom (unknown value)")
+
+    def __str__(self) -> str:
+        return "⊥"
+
+
+#: The singleton unknown value.
+BOTTOM = Bottom()
+
+
+class ArrayRef(Expr):
+    """A symbolic array element read, e.g. ``A_i[i+1]``.
+
+    Appears in analysis expressions when a loop reads array values whose
+    contents are not modeled (for instance ``adiag = A_i[i+1] - A_i[i]`` in
+    the AMGmk fill loop).  The subscripts are themselves expressions.
+    """
+
+    __slots__ = ("name", "subs_")
+    _rank = 4
+
+    def __init__(self, name: str, subscripts: Sequence[Expr]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "subs_", tuple(as_expr(s) for s in subscripts))
+
+    def key(self) -> tuple:
+        return (self._rank, self.name, tuple(s.key() for s in self.subs_))
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.subs_
+
+    def rebuild(self, children: Sequence[Expr]) -> "ArrayRef":
+        return ArrayRef(self.name, tuple(children))
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        arr = env.get(self.name)
+        if arr is None:
+            raise KeyError(f"no value for array {self.name!r}")
+        idx = tuple(s.evaluate(env) for s in self.subs_)
+        if len(idx) == 1:
+            return int(arr[idx[0]])
+        return int(arr[idx])
+
+    def __str__(self) -> str:
+        return self.name + "".join(f"[{s}]" for s in self.subs_)
+
+    def __setattr__(self, *a):
+        raise AttributeError("ArrayRef is immutable")
+
+
+class _NAry(Expr):
+    """Shared base for n-ary commutative operators (Add, Mul, Min, Max)."""
+
+    __slots__ = ("operands",)
+    _op = "?"
+
+    def __init__(self, operands: Sequence[Expr]):
+        ops = tuple(as_expr(o) for o in operands)
+        if len(ops) < 2:
+            raise ValueError(f"{type(self).__name__} requires >= 2 operands")
+        object.__setattr__(self, "operands", ops)
+
+    def key(self) -> tuple:
+        return (self._rank, tuple(o.key() for o in self.operands))
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.operands
+
+    def rebuild(self, children: Sequence[Expr]) -> Expr:
+        kids = tuple(children)
+        if len(kids) == 1:
+            return kids[0]
+        # rebuild through the folding constructors so substitution results
+        # stay canonical (constants folded, nesting flattened)
+        ctor = _NARY_CTORS[type(self)]
+        return ctor(*kids)
+
+    def __setattr__(self, *a):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+
+class Add(_NAry):
+    """N-ary sum."""
+
+    __slots__ = ()
+    _rank = 10
+    _op = "+"
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        return sum(o.evaluate(env) for o in self.operands)
+
+    def __str__(self) -> str:
+        parts = []
+        for o in self.operands:
+            s = str(o)
+            if parts and not s.startswith("-"):
+                parts.append("+")
+            elif parts:
+                parts.append("")
+            parts.append(s)
+        return "".join(parts)
+
+
+class Mul(_NAry):
+    """N-ary product."""
+
+    __slots__ = ()
+    _rank = 11
+    _op = "*"
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        out = 1
+        for o in self.operands:
+            out *= o.evaluate(env)
+        return out
+
+    def __str__(self) -> str:
+        def wrap(o: Expr) -> str:
+            return f"({o})" if isinstance(o, Add) else str(o)
+
+        return "*".join(wrap(o) for o in self.operands)
+
+
+class Div(Expr):
+    """Integer (C-style, truncating) division ``num / den``."""
+
+    __slots__ = ("num", "den")
+    _rank = 12
+
+    def __init__(self, num: ExprLike, den: ExprLike):
+        object.__setattr__(self, "num", as_expr(num))
+        object.__setattr__(self, "den", as_expr(den))
+
+    def key(self) -> tuple:
+        return (self._rank, self.num.key(), self.den.key())
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.num, self.den)
+
+    def rebuild(self, children: Sequence[Expr]) -> "Div":
+        return Div(children[0], children[1])
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        n, d = self.num.evaluate(env), self.den.evaluate(env)
+        q = abs(n) // abs(d)
+        return q if (n >= 0) == (d > 0) else -q
+
+    def __str__(self) -> str:
+        def wrap(o: Expr) -> str:
+            return f"({o})" if isinstance(o, (Add, Mul, Div, Mod)) else str(o)
+
+        return f"{wrap(self.num)}/{wrap(self.den)}"
+
+    def __setattr__(self, *a):
+        raise AttributeError("Div is immutable")
+
+
+class Mod(Expr):
+    """C-style remainder ``num % den``."""
+
+    __slots__ = ("num", "den")
+    _rank = 13
+
+    def __init__(self, num: ExprLike, den: ExprLike):
+        object.__setattr__(self, "num", as_expr(num))
+        object.__setattr__(self, "den", as_expr(den))
+
+    def key(self) -> tuple:
+        return (self._rank, self.num.key(), self.den.key())
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.num, self.den)
+
+    def rebuild(self, children: Sequence[Expr]) -> "Mod":
+        return Mod(children[0], children[1])
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        n, d = self.num.evaluate(env), self.den.evaluate(env)
+        q = abs(n) // abs(d)
+        q = q if (n >= 0) == (d > 0) else -q
+        return n - d * q
+
+    def __str__(self) -> str:
+        return f"({self.num})%({self.den})"
+
+    def __setattr__(self, *a):
+        raise AttributeError("Mod is immutable")
+
+
+class Min(_NAry):
+    """N-ary minimum."""
+
+    __slots__ = ()
+    _rank = 14
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        return min(o.evaluate(env) for o in self.operands)
+
+    def __str__(self) -> str:
+        return "min(" + ", ".join(str(o) for o in self.operands) + ")"
+
+
+class Max(_NAry):
+    """N-ary maximum."""
+
+    __slots__ = ()
+    _rank = 15
+
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
+        return max(o.evaluate(env) for o in self.operands)
+
+    def __str__(self) -> str:
+        return "max(" + ", ".join(str(o) for o in self.operands) + ")"
+
+
+# ---------------------------------------------------------------------------
+# constructors with light-weight canonicalization
+# ---------------------------------------------------------------------------
+
+ZERO = IntLit(0)
+ONE = IntLit(1)
+NEG_ONE = IntLit(-1)
+
+
+def as_expr(x: ExprLike) -> Expr:
+    """Coerce a Python int (or Expr) into an :class:`Expr`."""
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, bool):
+        raise TypeError("bool is not a symbolic value")
+    if isinstance(x, int):
+        return IntLit(x)
+    raise TypeError(f"cannot convert {type(x).__name__} to Expr")
+
+
+def _flatten(cls, operands: Iterable[ExprLike]) -> list:
+    out = []
+    for o in operands:
+        e = as_expr(o)
+        if isinstance(e, cls):
+            out.extend(e.operands)
+        else:
+            out.append(e)
+    return out
+
+
+def add(*operands: ExprLike) -> Expr:
+    """Build a sum, flattening nested sums and folding integer literals."""
+    flat = _flatten(Add, operands)
+    if any(isinstance(o, Bottom) for o in flat):
+        return BOTTOM
+    const = 0
+    rest = []
+    for o in flat:
+        if isinstance(o, IntLit):
+            const += o.value
+        else:
+            rest.append(o)
+    if const != 0 or not rest:
+        rest.append(IntLit(const))
+    if len(rest) == 1:
+        return rest[0]
+    return Add(tuple(sorted(rest, key=lambda e: e.key())))
+
+
+def mul(*operands: ExprLike) -> Expr:
+    """Build a product, flattening nested products and folding literals."""
+    flat = _flatten(Mul, operands)
+    if any(isinstance(o, Bottom) for o in flat):
+        return BOTTOM
+    const = 1
+    rest = []
+    for o in flat:
+        if isinstance(o, IntLit):
+            const *= o.value
+        else:
+            rest.append(o)
+    if const == 0:
+        return ZERO
+    if const != 1:
+        rest.append(IntLit(const))
+    if not rest:
+        return ONE
+    if len(rest) == 1:
+        return rest[0]
+    return Mul(tuple(sorted(rest, key=lambda e: e.key())))
+
+
+def neg(x: ExprLike) -> Expr:
+    """Negate (represented as multiplication by -1)."""
+    return mul(NEG_ONE, x)
+
+
+def sub(a: ExprLike, b: ExprLike) -> Expr:
+    """Difference ``a - b``."""
+    return add(a, neg(b))
+
+
+def smin(*operands: ExprLike) -> Expr:
+    """Build a min, folding literals and duplicates."""
+    flat = _flatten(Min, operands)
+    if any(isinstance(o, Bottom) for o in flat):
+        return BOTTOM
+    lits = [o.value for o in flat if isinstance(o, IntLit)]
+    rest = sorted({o for o in flat if not isinstance(o, IntLit)}, key=lambda e: e.key())
+    if lits:
+        rest.append(IntLit(min(lits)))
+    if len(rest) == 1:
+        return rest[0]
+    return Min(tuple(rest))
+
+
+def smax(*operands: ExprLike) -> Expr:
+    """Build a max, folding literals and duplicates."""
+    flat = _flatten(Max, operands)
+    if any(isinstance(o, Bottom) for o in flat):
+        return BOTTOM
+    lits = [o.value for o in flat if isinstance(o, IntLit)]
+    rest = sorted({o for o in flat if not isinstance(o, IntLit)}, key=lambda e: e.key())
+    if lits:
+        rest.append(IntLit(max(lits)))
+    if len(rest) == 1:
+        return rest[0]
+    return Max(tuple(rest))
+
+
+#: constructor table used by _NAry.rebuild (defined after the constructors)
+_NARY_CTORS = {Add: add, Mul: mul, Min: smin, Max: smax}

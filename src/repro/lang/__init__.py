@@ -1,0 +1,76 @@
+"""A C-subset frontend (the Cetus-frontend stand-in).
+
+The paper's implementation lives inside the Cetus source-to-source C
+compiler.  This package provides the minimum frontend needed to feed the
+same analysis: a lexer (:mod:`repro.lang.lexer`), a recursive-descent parser
+(:mod:`repro.lang.cparser`) for the statement/expression subset the
+benchmarks use, the AST (:mod:`repro.lang.astnodes`), and a C pretty-printer
+(:mod:`repro.lang.printer`) used to emit OpenMP-annotated output.
+"""
+
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Compound,
+    Decl,
+    ExprStmt,
+    FloatNum,
+    For,
+    Id,
+    If,
+    IncDec,
+    Node,
+    Num,
+    Pragma,
+    Program,
+    Ternary,
+    UnOp,
+    While,
+)
+from repro.lang.cparser import parse_program, parse_expr, parse_stmt, ParseError
+from repro.lang.functions import (
+    FuncDef,
+    InlineError,
+    TranslationUnit,
+    inline_program,
+    parse_and_inline,
+    parse_translation_unit,
+)
+from repro.lang.printer import to_c
+
+__all__ = [
+    "ArrayAccess",
+    "Assign",
+    "BinOp",
+    "Break",
+    "Call",
+    "Compound",
+    "Decl",
+    "ExprStmt",
+    "FloatNum",
+    "For",
+    "Id",
+    "If",
+    "IncDec",
+    "Node",
+    "Num",
+    "Pragma",
+    "Program",
+    "Ternary",
+    "UnOp",
+    "While",
+    "parse_program",
+    "parse_expr",
+    "parse_stmt",
+    "ParseError",
+    "FuncDef",
+    "InlineError",
+    "TranslationUnit",
+    "inline_program",
+    "parse_and_inline",
+    "parse_translation_unit",
+    "to_c",
+]

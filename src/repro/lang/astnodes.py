@@ -1,0 +1,443 @@
+"""AST node definitions for the C subset.
+
+Nodes are mutable (passes rewrite them in place or rebuild subtrees) but
+small and uniform: every node exposes ``children()`` for generic traversal
+and ``clone()`` for deep copies.  Source positions are carried for error
+reporting.
+
+The subset covers everything the paper's twelve benchmarks and examples
+need: declarations, assignments (including compound assignment and ``++``),
+``for``/``while`` loops, ``if``/``else``, ``break``, function calls,
+multi-dimensional array accesses, and the usual scalar operators.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+
+class Node:
+    """Base class of all AST nodes."""
+
+    __slots__ = ("pos",)
+
+    def __init__(self, pos: Tuple[int, int] = (0, 0)):
+        self.pos = pos
+
+    def children(self) -> List["Node"]:
+        """Direct child nodes, in source order."""
+        return []
+
+    def clone(self) -> "Node":
+        """Deep copy of the subtree."""
+        return copy.deepcopy(self)
+
+    def walk(self) -> Iterator["Node"]:
+        """Pre-order traversal of the subtree."""
+        yield self
+        for c in self.children():
+            yield from c.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.lang.printer import to_c
+
+        return f"<{type(self).__name__}: {to_c(self).strip()}>"
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+
+
+class Expression(Node):
+    """Marker base class for expressions."""
+
+    __slots__ = ()
+
+
+class Id(Expression):
+    """Identifier reference."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, pos=(0, 0)):
+        super().__init__(pos)
+        self.name = name
+
+    def __eq__(self, other):
+        return isinstance(other, Id) and other.name == self.name
+
+    def __hash__(self):
+        return hash(("Id", self.name))
+
+
+class Num(Expression):
+    """Integer literal."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int, pos=(0, 0)):
+        super().__init__(pos)
+        self.value = int(value)
+
+    def __eq__(self, other):
+        return isinstance(other, Num) and other.value == self.value
+
+    def __hash__(self):
+        return hash(("Num", self.value))
+
+
+class FloatNum(Expression):
+    """Floating-point literal (kept opaque by the integer analysis)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float, pos=(0, 0)):
+        super().__init__(pos)
+        self.value = float(value)
+
+
+class StrLit(Expression):
+    """String literal (only appears in calls like printf)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str, pos=(0, 0)):
+        super().__init__(pos)
+        self.value = value
+
+
+class ArrayAccess(Expression):
+    """Multi-dimensional array access ``name[i][j]...``."""
+
+    __slots__ = ("name", "indices")
+
+    def __init__(self, name: str, indices: Sequence[Expression], pos=(0, 0)):
+        super().__init__(pos)
+        self.name = name
+        self.indices = list(indices)
+
+    def children(self):
+        return list(self.indices)
+
+
+class BinOp(Expression):
+    """Binary operator."""
+
+    __slots__ = ("op", "lhs", "rhs")
+
+    #: arithmetic / relational / logical operators accepted by the parser
+    OPS = ("+", "-", "*", "/", "%", "<", "<=", ">", ">=", "==", "!=", "&&", "||", "&", "|", "^", "<<", ">>")
+
+    def __init__(self, op: str, lhs: Expression, rhs: Expression, pos=(0, 0)):
+        super().__init__(pos)
+        if op not in self.OPS:
+            raise ValueError(f"unknown binary operator {op!r}")
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def children(self):
+        return [self.lhs, self.rhs]
+
+
+class UnOp(Expression):
+    """Unary operator (prefix)."""
+
+    __slots__ = ("op", "operand")
+
+    OPS = ("-", "+", "!", "~")
+
+    def __init__(self, op: str, operand: Expression, pos=(0, 0)):
+        super().__init__(pos)
+        if op not in self.OPS:
+            raise ValueError(f"unknown unary operator {op!r}")
+        self.op = op
+        self.operand = operand
+
+    def children(self):
+        return [self.operand]
+
+
+class IncDec(Expression):
+    """``x++ / x-- / ++x / --x`` over an lvalue (Id or ArrayAccess).
+
+    Normalization lowers these to explicit assignments; they only survive
+    parsing.
+    """
+
+    __slots__ = ("op", "target", "prefix")
+
+    def __init__(self, op: str, target: Expression, prefix: bool, pos=(0, 0)):
+        super().__init__(pos)
+        if op not in ("++", "--"):
+            raise ValueError(f"unknown inc/dec operator {op!r}")
+        self.op = op
+        self.target = target
+        self.prefix = prefix
+
+    def children(self):
+        return [self.target]
+
+
+class Call(Expression):
+    """Function call."""
+
+    __slots__ = ("name", "args")
+
+    def __init__(self, name: str, args: Sequence[Expression], pos=(0, 0)):
+        super().__init__(pos)
+        self.name = name
+        self.args = list(args)
+
+    def children(self):
+        return list(self.args)
+
+
+class Ternary(Expression):
+    """``cond ? a : b``."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expression, then: Expression, els: Expression, pos=(0, 0)):
+        super().__init__(pos)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+    def children(self):
+        return [self.cond, self.then, self.els]
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+
+
+class Statement(Node):
+    """Marker base class for statements."""
+
+    __slots__ = ()
+
+
+class Decl(Statement):
+    """Variable declaration ``type name[dims] = init;`` (one declarator)."""
+
+    __slots__ = ("ctype", "name", "dims", "init")
+
+    def __init__(
+        self,
+        ctype: str,
+        name: str,
+        dims: Optional[Sequence[Optional[Expression]]] = None,
+        init: Optional[Expression] = None,
+        pos=(0, 0),
+    ):
+        super().__init__(pos)
+        self.ctype = ctype
+        self.name = name
+        self.dims = list(dims) if dims else []
+        self.init = init
+
+    def children(self):
+        out = [d for d in self.dims if d is not None]
+        if self.init is not None:
+            out.append(self.init)
+        return out
+
+
+class Assign(Statement):
+    """Assignment statement ``lhs op rhs;`` with op in =, +=, -=, *=, /=, %=."""
+
+    __slots__ = ("lhs", "op", "rhs")
+
+    OPS = ("=", "+=", "-=", "*=", "/=", "%=")
+
+    def __init__(self, lhs: Expression, op: str, rhs: Expression, pos=(0, 0)):
+        super().__init__(pos)
+        if op not in self.OPS:
+            raise ValueError(f"unknown assignment operator {op!r}")
+        self.lhs = lhs
+        self.op = op
+        self.rhs = rhs
+
+    def children(self):
+        return [self.lhs, self.rhs]
+
+
+class ExprStmt(Statement):
+    """Expression evaluated for side effects (e.g. ``m++;`` or a call)."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: Expression, pos=(0, 0)):
+        super().__init__(pos)
+        self.expr = expr
+
+    def children(self):
+        return [self.expr]
+
+
+class Compound(Statement):
+    """``{ ... }`` block."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Statement], pos=(0, 0)):
+        super().__init__(pos)
+        self.stmts = list(stmts)
+
+    def children(self):
+        return list(self.stmts)
+
+
+class If(Statement):
+    """``if (cond) then [else els]``."""
+
+    __slots__ = ("cond", "then", "els")
+
+    def __init__(self, cond: Expression, then: Statement, els: Optional[Statement] = None, pos=(0, 0)):
+        super().__init__(pos)
+        self.cond = cond
+        self.then = then
+        self.els = els
+
+    def children(self):
+        out = [self.cond, self.then]
+        if self.els is not None:
+            out.append(self.els)
+        return out
+
+
+class For(Statement):
+    """``for (init; cond; step) body``.
+
+    ``init`` and ``step`` are statements (Assign/ExprStmt/Decl) or None;
+    ``cond`` is an expression or None.  Loop-level annotations (OpenMP
+    pragmas attached by the parallelizer) live in ``pragmas``.
+    """
+
+    __slots__ = ("init", "cond", "step", "body", "pragmas", "loop_id")
+
+    def __init__(
+        self,
+        init: Optional[Statement],
+        cond: Optional[Expression],
+        step: Optional[Statement],
+        body: Statement,
+        pos=(0, 0),
+    ):
+        super().__init__(pos)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+        self.pragmas: List[str] = []
+        self.loop_id: Optional[str] = None
+
+    def children(self):
+        out = []
+        if self.init is not None:
+            out.append(self.init)
+        if self.cond is not None:
+            out.append(self.cond)
+        if self.step is not None:
+            out.append(self.step)
+        out.append(self.body)
+        return out
+
+
+class While(Statement):
+    """``while (cond) body`` (analyzed conservatively: ineligible loops)."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: Expression, body: Statement, pos=(0, 0)):
+        super().__init__(pos)
+        self.cond = cond
+        self.body = body
+
+    def children(self):
+        return [self.cond, self.body]
+
+
+class Break(Statement):
+    """``break;`` — renders the enclosing loop ineligible for analysis."""
+
+    __slots__ = ()
+
+
+class Pragma(Statement):
+    """A free-standing ``#pragma`` line preserved through the pipeline."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str, pos=(0, 0)):
+        super().__init__(pos)
+        self.text = text
+
+
+class Program(Node):
+    """A translation unit: an ordered list of top-level statements.
+
+    The reproduction analyzes straight-line kernels (the paper inlines all
+    benchmarks into a single routine before analysis, see §4.1), so a
+    program is simply a statement list.
+    """
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Statement], pos=(0, 0)):
+        super().__init__(pos)
+        self.stmts = list(stmts)
+
+    def children(self):
+        return list(self.stmts)
+
+
+def is_lvalue(e: Node) -> bool:
+    """True for expressions assignable on the left-hand side."""
+    return isinstance(e, (Id, ArrayAccess))
+
+
+def attach_pragmas(prog: "Program") -> "Program":
+    """Fold free-standing ``#pragma`` statements onto the loop they precede.
+
+    The printer emits a parallel loop's pragmas as lines before the
+    ``for``; re-parsing produces Pragma statements.  This pass restores the
+    attached form so annotated output round-trips.
+    """
+
+    def fold(stmts):
+        out = []
+        pending = []
+        for s in stmts:
+            if isinstance(s, Pragma):
+                pending.append(s.text)
+                continue
+            if isinstance(s, For) and pending:
+                s.pragmas = pending + s.pragmas
+                pending = []
+            elif pending:
+                out.extend(Pragma(t) for t in pending)
+                pending = []
+            if isinstance(s, Compound):
+                s.stmts = fold(s.stmts)
+            elif isinstance(s, If):
+                s.then = _fold_single(s.then)
+                if s.els is not None:
+                    s.els = _fold_single(s.els)
+            elif isinstance(s, (For, While)):
+                s.body = _fold_single(s.body)
+            out.append(s)
+        out.extend(Pragma(t) for t in pending)
+        return out
+
+    def _fold_single(s):
+        if isinstance(s, Compound):
+            s.stmts = fold(s.stmts)
+        return s
+
+    prog.stmts = fold(prog.stmts)
+    return prog

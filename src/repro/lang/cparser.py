@@ -1,0 +1,365 @@
+"""Recursive-descent parser for the C subset.
+
+Produces :mod:`repro.lang.astnodes` trees.  The grammar intentionally covers
+the loop/assignment/expression subset found in the paper's benchmarks; it is
+not a general C parser (no pointers-to-functions, typedefs, casts beyond
+``(int)``/``(double)``, or struct member chains — those constructs do not
+appear in the inlined kernels the analysis consumes).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Compound,
+    Decl,
+    Expression,
+    ExprStmt,
+    FloatNum,
+    For,
+    Id,
+    If,
+    IncDec,
+    Num,
+    Pragma,
+    Program,
+    Statement,
+    StrLit,
+    Ternary,
+    UnOp,
+    While,
+    is_lvalue,
+)
+from repro.lang.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on a syntax error with source position."""
+
+    def __init__(self, msg: str, tok: Token):
+        super().__init__(f"{msg} (got {tok.kind} {tok.text!r} at {tok.line}:{tok.col})")
+        self.token = tok
+
+
+#: binary operator precedence, loosest to tightest
+_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_TYPE_KWS = {"int", "long", "unsigned", "double", "float", "char", "void", "const", "static"}
+
+
+class _Parser:
+    def __init__(self, toks: List[Token]):
+        self.toks = toks
+        self.i = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.toks[self.i]
+
+    def peek(self, k: int = 1) -> Token:
+        j = min(self.i + k, len(self.toks) - 1)
+        return self.toks[j]
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        t = self.cur
+        return t.kind == kind and (text is None or t.text == text)
+
+    def at_punct(self, text: str) -> bool:
+        return self.at("PUNCT", text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            t = self.cur
+            self.i += 1
+            return t
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        t = self.accept(kind, text)
+        if t is None:
+            raise ParseError(f"expected {text or kind}", self.cur)
+        return t
+
+    # -- expressions -------------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self._ternary()
+
+    def _ternary(self) -> Expression:
+        cond = self._binary(1)
+        if self.accept("PUNCT", "?"):
+            then = self.parse_expression()
+            self.expect("PUNCT", ":")
+            els = self.parse_expression()
+            return Ternary(cond, then, els, cond.pos)
+        return cond
+
+    def _binary(self, min_prec: int) -> Expression:
+        lhs = self._unary()
+        while True:
+            t = self.cur
+            if t.kind != "PUNCT":
+                break
+            prec = _PREC.get(t.text)
+            if prec is None or prec < min_prec:
+                break
+            self.i += 1
+            rhs = self._binary(prec + 1)
+            lhs = BinOp(t.text, lhs, rhs, (t.line, t.col))
+        return lhs
+
+    def _unary(self) -> Expression:
+        t = self.cur
+        if t.kind == "PUNCT" and t.text in ("-", "+", "!", "~"):
+            self.i += 1
+            return UnOp(t.text, self._unary(), (t.line, t.col))
+        if t.kind == "PUNCT" and t.text in ("++", "--"):
+            self.i += 1
+            target = self._unary()
+            if not is_lvalue(target):
+                raise ParseError("++/-- requires an lvalue", t)
+            return IncDec(t.text, target, prefix=True, pos=(t.line, t.col))
+        # cast like (int) or (double)
+        if (
+            t.kind == "PUNCT"
+            and t.text == "("
+            and self.peek().kind == "KW"
+            and self.peek().text in _TYPE_KWS
+            and self.peek(2).kind == "PUNCT"
+            and self.peek(2).text == ")"
+        ):
+            self.i += 3  # casts are dropped: the analysis is integer-typed
+            return self._unary()
+        return self._postfix()
+
+    def _postfix(self) -> Expression:
+        e = self._primary()
+        while True:
+            t = self.cur
+            if self.at_punct("["):
+                indices = []
+                while self.accept("PUNCT", "["):
+                    indices.append(self.parse_expression())
+                    self.expect("PUNCT", "]")
+                if isinstance(e, Id):
+                    e = ArrayAccess(e.name, indices, e.pos)
+                elif isinstance(e, ArrayAccess):
+                    e.indices.extend(indices)
+                else:
+                    raise ParseError("cannot subscript this expression", t)
+            elif t.kind == "PUNCT" and t.text in ("++", "--"):
+                self.i += 1
+                if not is_lvalue(e):
+                    raise ParseError("++/-- requires an lvalue", t)
+                e = IncDec(t.text, e, prefix=False, pos=(t.line, t.col))
+            else:
+                break
+        return e
+
+    def _primary(self) -> Expression:
+        t = self.cur
+        if t.kind == "INT":
+            self.i += 1
+            return Num(int(t.text, 0), (t.line, t.col))
+        if t.kind == "FLOAT":
+            self.i += 1
+            return FloatNum(float(t.text), (t.line, t.col))
+        if t.kind == "STR":
+            self.i += 1
+            return StrLit(t.text, (t.line, t.col))
+        if t.kind == "ID":
+            name = t.text
+            self.i += 1
+            if self.at_punct("("):
+                self.i += 1
+                args = []
+                if not self.at_punct(")"):
+                    args.append(self.parse_expression())
+                    while self.accept("PUNCT", ","):
+                        args.append(self.parse_expression())
+                self.expect("PUNCT", ")")
+                return Call(name, args, (t.line, t.col))
+            return Id(name, (t.line, t.col))
+        if self.accept("PUNCT", "("):
+            e = self.parse_expression()
+            self.expect("PUNCT", ")")
+            return e
+        raise ParseError("expected expression", t)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        t = self.cur
+        if t.kind == "PRAGMA":
+            self.i += 1
+            return Pragma(t.text, (t.line, t.col))
+        if self.at_punct("{"):
+            return self._compound()
+        if self.at("KW", "for"):
+            return self._for()
+        if self.at("KW", "while"):
+            return self._while()
+        if self.at("KW", "if"):
+            return self._if()
+        if self.accept("KW", "break"):
+            self.expect("PUNCT", ";")
+            return Break((t.line, t.col))
+        if self.accept("KW", "continue"):
+            raise ParseError("continue is not supported by the analysis subset", t)
+        if self.at("KW") and t.text in _TYPE_KWS:
+            return self._decl()
+        if self.accept("PUNCT", ";"):
+            return Compound([], (t.line, t.col))
+        return self._simple_stmt(terminator=";")
+
+    def _compound(self) -> Compound:
+        t = self.expect("PUNCT", "{")
+        stmts: List[Statement] = []
+        while not self.at_punct("}"):
+            if self.at("EOF"):
+                raise ParseError("unterminated block", self.cur)
+            stmts.append(self.parse_statement())
+        self.expect("PUNCT", "}")
+        return Compound(stmts, (t.line, t.col))
+
+    def _decl(self) -> Statement:
+        t = self.cur
+        ctype_parts = []
+        while self.at("KW") and self.cur.text in _TYPE_KWS:
+            ctype_parts.append(self.cur.text)
+            self.i += 1
+        ctype = " ".join(ctype_parts)
+        while self.accept("PUNCT", "*"):
+            ctype += "*"
+        decls: List[Statement] = []
+        while True:
+            name_tok = self.expect("ID")
+            dims: List[Optional[Expression]] = []
+            while self.accept("PUNCT", "["):
+                if self.at_punct("]"):
+                    dims.append(None)
+                else:
+                    dims.append(self.parse_expression())
+                self.expect("PUNCT", "]")
+            init = None
+            if self.accept("PUNCT", "="):
+                init = self.parse_expression()
+            decls.append(Decl(ctype, name_tok.text, dims, init, (name_tok.line, name_tok.col)))
+            if not self.accept("PUNCT", ","):
+                break
+        self.expect("PUNCT", ";")
+        if len(decls) == 1:
+            return decls[0]
+        return Compound(decls, (t.line, t.col))
+
+    def _simple_stmt(self, terminator: Optional[str]) -> Statement:
+        """An assignment or expression statement (no trailing ';' if None)."""
+        t = self.cur
+        e = self.parse_expression()
+        if self.cur.kind == "PUNCT" and self.cur.text in Assign.OPS:
+            op = self.cur.text
+            self.i += 1
+            rhs = self.parse_expression()
+            if not is_lvalue(e):
+                raise ParseError("assignment target must be an lvalue", t)
+            stmt: Statement = Assign(e, op, rhs, (t.line, t.col))
+        else:
+            stmt = ExprStmt(e, (t.line, t.col))
+        if terminator:
+            self.expect("PUNCT", terminator)
+        return stmt
+
+    def _for(self) -> For:
+        t = self.expect("KW", "for")
+        self.expect("PUNCT", "(")
+        init: Optional[Statement] = None
+        if not self.at_punct(";"):
+            if self.at("KW") and self.cur.text in _TYPE_KWS:
+                init = self._decl()  # consumes ';'
+            else:
+                init = self._simple_stmt(terminator=";")
+        else:
+            self.expect("PUNCT", ";")
+        cond = None
+        if not self.at_punct(";"):
+            cond = self.parse_expression()
+        self.expect("PUNCT", ";")
+        step: Optional[Statement] = None
+        if not self.at_punct(")"):
+            step = self._simple_stmt(terminator=None)
+        self.expect("PUNCT", ")")
+        body = self.parse_statement()
+        return For(init, cond, step, body, (t.line, t.col))
+
+    def _while(self) -> While:
+        t = self.expect("KW", "while")
+        self.expect("PUNCT", "(")
+        cond = self.parse_expression()
+        self.expect("PUNCT", ")")
+        body = self.parse_statement()
+        return While(cond, body, (t.line, t.col))
+
+    def _if(self) -> If:
+        t = self.expect("KW", "if")
+        self.expect("PUNCT", "(")
+        cond = self.parse_expression()
+        self.expect("PUNCT", ")")
+        then = self.parse_statement()
+        els = None
+        if self.accept("KW", "else"):
+            els = self.parse_statement()
+        return If(cond, then, els, (t.line, t.col))
+
+    def parse_program(self) -> Program:
+        stmts: List[Statement] = []
+        while not self.at("EOF"):
+            stmts.append(self.parse_statement())
+        return Program(stmts)
+
+
+def parse_program(src: str) -> Program:
+    """Parse a translation unit (statement list) from C source text."""
+    return _Parser(tokenize(src)).parse_program()
+
+
+def parse_stmt(src: str) -> Statement:
+    """Parse a single statement."""
+    p = _Parser(tokenize(src))
+    s = p.parse_statement()
+    p.expect("EOF")
+    return s
+
+
+def parse_expr(src: str) -> Expression:
+    """Parse a single expression."""
+    p = _Parser(tokenize(src))
+    e = p.parse_expression()
+    p.expect("EOF")
+    return e

@@ -1,0 +1,269 @@
+"""Function definitions and inline expansion (paper §4.1).
+
+The analysis operates intraprocedurally; the paper prepares its benchmarks
+by *inline expansion* "so that the to-be parallelized subscripted subscript
+loops appear in the same subroutine as the loops that define the subscript
+array".  This module provides that preprocessing:
+
+* :func:`parse_translation_unit` — parse a C file containing function
+  definitions (plus top-level statements);
+* :func:`inline_program` — expand every call to a defined function into
+  the caller, renaming locals and substituting arguments, producing the
+  single-routine statement list the analyzer consumes.
+
+The subset has no pointers: array parameters bind by name (aliasing the
+caller's array, as C arrays-decay-to-pointers behave for whole-array
+arguments) and scalar parameters bind by value via an initialization
+assignment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    Call,
+    Compound,
+    Decl,
+    Expression,
+    ExprStmt,
+    For,
+    Id,
+    If,
+    Node,
+    Program,
+    Statement,
+    While,
+)
+from repro.lang.cparser import ParseError, _Parser, _TYPE_KWS
+from repro.lang.lexer import tokenize
+
+
+@dataclasses.dataclass
+class Param:
+    """One formal parameter."""
+
+    ctype: str
+    name: str
+    is_array: bool
+
+
+@dataclasses.dataclass
+class FuncDef:
+    """A function definition."""
+
+    ret_type: str
+    name: str
+    params: List[Param]
+    body: Compound
+
+
+@dataclasses.dataclass
+class TranslationUnit:
+    """Functions plus any top-level statements, in source order."""
+
+    functions: Dict[str, FuncDef]
+    top_level: List[Statement]
+
+    def main_body(self) -> List[Statement]:
+        if "main" in self.functions:
+            return list(self.functions["main"].body.stmts)
+        return list(self.top_level)
+
+
+class _UnitParser(_Parser):
+    """Extends the statement parser with function definitions."""
+
+    def parse_unit(self) -> TranslationUnit:
+        functions: Dict[str, FuncDef] = {}
+        top: List[Statement] = []
+        while not self.at("EOF"):
+            fn = self._try_function()
+            if fn is not None:
+                functions[fn.name] = fn
+            else:
+                top.append(self.parse_statement())
+        return TranslationUnit(functions=functions, top_level=top)
+
+    def _try_function(self) -> Optional[FuncDef]:
+        # lookahead: TYPE+ ID '(' … ')' '{'
+        start = self.i
+        if not (self.at("KW") and self.cur.text in _TYPE_KWS):
+            return None
+        ret_parts = []
+        while self.at("KW") and self.cur.text in _TYPE_KWS:
+            ret_parts.append(self.cur.text)
+            self.i += 1
+        while self.at_punct("*"):
+            ret_parts.append("*")
+            self.i += 1
+        if not self.at("ID"):
+            self.i = start
+            return None
+        name = self.cur.text
+        self.i += 1
+        if not self.at_punct("("):
+            self.i = start
+            return None
+        self.i += 1
+        params: List[Param] = []
+        if not self.at_punct(")"):
+            while True:
+                params.append(self._parse_param())
+                if not self.accept("PUNCT", ","):
+                    break
+        self.expect("PUNCT", ")")
+        if not self.at_punct("{"):
+            self.i = start
+            return None  # a prototype; treat as top-level statement instead
+        body = self._compound()
+        return FuncDef(ret_type=" ".join(ret_parts), name=name, params=params, body=body)
+
+    def _parse_param(self) -> Param:
+        if self.accept("KW", "void"):
+            if self.at_punct(")"):
+                return Param("void", "", False)
+            ctype = ["void"]
+        else:
+            ctype = []
+        while self.at("KW") and self.cur.text in _TYPE_KWS:
+            ctype.append(self.cur.text)
+            self.i += 1
+        is_array = False
+        while self.accept("PUNCT", "*"):
+            is_array = True
+        name_tok = self.expect("ID")
+        while self.accept("PUNCT", "["):
+            is_array = True
+            if not self.at_punct("]"):
+                self.parse_expression()
+            self.expect("PUNCT", "]")
+        return Param(" ".join(ctype) or "int", name_tok.text, is_array)
+
+
+def parse_translation_unit(src: str) -> TranslationUnit:
+    """Parse functions + top-level statements."""
+    p = _UnitParser(tokenize(src))
+    return p.parse_unit()
+
+
+# ---------------------------------------------------------------------------
+# inline expansion
+# ---------------------------------------------------------------------------
+
+
+class InlineError(Exception):
+    """Raised for constructs the inliner cannot expand (recursion, value
+    returns used in expressions)."""
+
+
+def inline_program(unit: TranslationUnit, entry: str = "main", max_depth: int = 8) -> Program:
+    """Expand calls to defined functions, producing one flat Program.
+
+    Only *statement-level* calls (``f(a, b);``) are inlined — the benchmark
+    subroutines are void kernels, exactly the case §4.1 needs.  Calls to
+    undefined names (math library) are left intact.
+    """
+    body = unit.main_body()
+    counter = [0]
+    out = _inline_stmts(body, unit, counter, depth=0, max_depth=max_depth)
+    return Program(out)
+
+
+def _inline_stmts(
+    stmts: Sequence[Statement], unit: TranslationUnit, counter: List[int], depth: int, max_depth: int
+) -> List[Statement]:
+    out: List[Statement] = []
+    for s in stmts:
+        out.extend(_inline_one(s, unit, counter, depth, max_depth))
+    return out
+
+
+def _inline_one(
+    s: Statement, unit: TranslationUnit, counter: List[int], depth: int, max_depth: int
+) -> List[Statement]:
+    if isinstance(s, ExprStmt) and isinstance(s.expr, Call) and s.expr.name in unit.functions:
+        if depth >= max_depth:
+            raise InlineError(f"inline depth exceeded at call to {s.expr.name}()")
+        return _expand_call(s.expr, unit, counter, depth, max_depth)
+    if isinstance(s, Compound):
+        return [Compound(_inline_stmts(s.stmts, unit, counter, depth, max_depth), s.pos)]
+    if isinstance(s, If):
+        s.then = _single(_inline_one(s.then, unit, counter, depth, max_depth))
+        if s.els is not None:
+            s.els = _single(_inline_one(s.els, unit, counter, depth, max_depth))
+        return [s]
+    if isinstance(s, (For, While)):
+        s.body = _single(_inline_one(s.body, unit, counter, depth, max_depth))
+        return [s]
+    return [s]
+
+
+def _single(stmts: List[Statement]) -> Statement:
+    if len(stmts) == 1:
+        return stmts[0]
+    return Compound(stmts)
+
+
+def _expand_call(
+    call: Call, unit: TranslationUnit, counter: List[int], depth: int, max_depth: int
+) -> List[Statement]:
+    fn = unit.functions[call.name]
+    params = [p for p in fn.params if p.name]
+    if len(call.args) != len(params):
+        raise InlineError(
+            f"call to {call.name}() passes {len(call.args)} args, expects {len(params)}"
+        )
+    k = counter[0]
+    counter[0] += 1
+    suffix = f"_{call.name}{k}" if k else f"_{call.name}"
+
+    body = fn.body.clone()
+    assert isinstance(body, Compound)
+
+    # rename locals (declared inside the body) to avoid capture
+    locals_: Set[str] = set()
+    for node in body.walk():
+        if isinstance(node, Decl):
+            locals_.add(node.name)
+    rename: Dict[str, str] = {name: name + suffix for name in locals_}
+
+    # bind parameters
+    prologue: List[Statement] = []
+    for p, arg in zip(params, call.args):
+        if p.is_array:
+            if not isinstance(arg, Id):
+                raise InlineError(
+                    f"array argument to {call.name}() must be a plain array name"
+                )
+            rename[p.name] = arg.name  # alias
+        else:
+            if isinstance(arg, Id) and arg.name not in rename.values():
+                # scalar: bind by value through a fresh name
+                rename[p.name] = p.name + suffix
+                prologue.append(Assign(Id(p.name + suffix), "=", arg.clone()))
+            else:
+                rename[p.name] = p.name + suffix
+                prologue.append(Assign(Id(p.name + suffix), "=", arg.clone()))
+
+    _rename_in(body, rename)
+    inner = _inline_stmts(body.stmts, unit, counter, depth + 1, max_depth)
+    return prologue + inner
+
+
+def _rename_in(node: Node, rename: Dict[str, str]) -> None:
+    for n in node.walk():
+        if isinstance(n, Id) and n.name in rename:
+            n.name = rename[n.name]
+        elif isinstance(n, ArrayAccess) and n.name in rename:
+            n.name = rename[n.name]
+        elif isinstance(n, Decl) and n.name in rename:
+            n.name = rename[n.name]
+
+
+def parse_and_inline(src: str, entry: str = "main") -> Program:
+    """Convenience: parse a multi-function file and inline everything."""
+    return inline_program(parse_translation_unit(src), entry)

@@ -1,0 +1,195 @@
+"""Tokenizer for the C subset."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+
+class Token(NamedTuple):
+    """A lexical token with its source position (line, col)."""
+
+    kind: str  # ID, INT, FLOAT, STR, PUNCT, KW, PRAGMA, EOF
+    text: str
+    line: int
+    col: int
+
+
+KEYWORDS = frozenset(
+    {
+        "int",
+        "long",
+        "unsigned",
+        "double",
+        "float",
+        "char",
+        "void",
+        "const",
+        "for",
+        "while",
+        "if",
+        "else",
+        "break",
+        "continue",
+        "return",
+        "struct",
+        "static",
+    }
+)
+
+#: multi-character punctuators, longest first so maximal munch works
+_PUNCTS = [
+    "<<=",
+    ">>=",
+    "++",
+    "--",
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "%=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<<",
+    ">>",
+    "->",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "=",
+    "<",
+    ">",
+    "!",
+    "~",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ";",
+    ",",
+    "?",
+    ":",
+    ".",
+]
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character."""
+
+    def __init__(self, msg: str, line: int, col: int):
+        super().__init__(f"{msg} at {line}:{col}")
+        self.line = line
+        self.col = col
+
+
+def tokenize(src: str) -> List[Token]:
+    """Tokenize ``src`` into a list ending with an EOF token.
+
+    ``#pragma`` lines become single PRAGMA tokens (text excludes the
+    ``#pragma`` prefix); other preprocessor lines and comments are skipped.
+    """
+    toks: List[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(src)
+
+    def advance(k: int):
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and src[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = src[i]
+        # whitespace
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if src.startswith("//", i):
+            j = src.find("\n", i)
+            advance((j - i) if j != -1 else (n - i))
+            continue
+        if src.startswith("/*", i):
+            j = src.find("*/", i + 2)
+            if j == -1:
+                raise LexError("unterminated block comment", line, col)
+            advance(j + 2 - i)
+            continue
+        # preprocessor
+        if c == "#":
+            j = src.find("\n", i)
+            text = src[i : j if j != -1 else n]
+            if text.startswith("#pragma"):
+                toks.append(Token("PRAGMA", text[len("#pragma") :].strip(), line, col))
+            advance(len(text))
+            continue
+        # identifiers / keywords
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (src[j].isalnum() or src[j] == "_"):
+                j += 1
+            text = src[i:j]
+            kind = "KW" if text in KEYWORDS else "ID"
+            toks.append(Token(kind, text, line, col))
+            advance(j - i)
+            continue
+        # numbers
+        if c.isdigit() or (c == "." and i + 1 < n and src[i + 1].isdigit()):
+            j = i
+            is_float = False
+            while j < n and (src[j].isdigit() or src[j] in ".eExXaAbBcCdDfF+-uUlL"):
+                ch = src[j]
+                if ch in "+-" and src[j - 1] not in "eE":
+                    break
+                if ch == ".":
+                    is_float = True
+                if ch in "eE" and not src[i:j].lower().startswith("0x"):
+                    is_float = True
+                j += 1
+            text = src[i:j].rstrip("uUlLfF") or src[i:j]
+            if is_float and not text.lower().startswith("0x"):
+                toks.append(Token("FLOAT", text, line, col))
+            else:
+                toks.append(Token("INT", text, line, col))
+            advance(j - i)
+            continue
+        # string / char literals
+        if c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and src[j] != quote:
+                if src[j] == "\\":
+                    j += 1
+                j += 1
+            if j >= n:
+                raise LexError("unterminated literal", line, col)
+            toks.append(Token("STR", src[i : j + 1], line, col))
+            advance(j + 1 - i)
+            continue
+        # punctuators
+        for p in _PUNCTS:
+            if src.startswith(p, i):
+                toks.append(Token("PUNCT", p, line, col))
+                advance(len(p))
+                break
+        else:
+            raise LexError(f"unexpected character {c!r}", line, col)
+
+    toks.append(Token("EOF", "", line, col))
+    return toks

@@ -1,0 +1,150 @@
+"""C pretty-printer for the AST.
+
+Used to emit the OpenMP-annotated output program and for debugging/test
+round-trips.  ``to_c`` renders any node; statements are indented with four
+spaces per level.
+"""
+
+from __future__ import annotations
+
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Compound,
+    Decl,
+    ExprStmt,
+    FloatNum,
+    For,
+    Id,
+    If,
+    IncDec,
+    Node,
+    Num,
+    Pragma,
+    Program,
+    StrLit,
+    Ternary,
+    UnOp,
+    While,
+)
+
+_PREC = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+
+def _expr(e: Node, parent_prec: int = 0) -> str:
+    if isinstance(e, Num):
+        return str(e.value)
+    if isinstance(e, FloatNum):
+        return repr(e.value)
+    if isinstance(e, StrLit):
+        return e.value
+    if isinstance(e, Id):
+        return e.name
+    if isinstance(e, ArrayAccess):
+        return e.name + "".join(f"[{_expr(i)}]" for i in e.indices)
+    if isinstance(e, BinOp):
+        prec = _PREC[e.op]
+        s = f"{_expr(e.lhs, prec)} {e.op} {_expr(e.rhs, prec + 1)}"
+        return f"({s})" if prec < parent_prec else s
+    if isinstance(e, UnOp):
+        inner = _expr(e.operand, 11)
+        # avoid `--x` / `++x` lexing as inc/dec tokens
+        if e.op in ("-", "+") and inner.startswith(e.op):
+            inner = f"({inner})"
+        return f"{e.op}{inner}"
+    if isinstance(e, IncDec):
+        t = _expr(e.target, 11)
+        return f"{e.op}{t}" if e.prefix else f"{t}{e.op}"
+    if isinstance(e, Call):
+        return f"{e.name}(" + ", ".join(_expr(a) for a in e.args) + ")"
+    if isinstance(e, Ternary):
+        s = f"{_expr(e.cond, 1)} ? {_expr(e.then)} : {_expr(e.els)}"
+        return f"({s})" if parent_prec > 0 else s
+    raise TypeError(f"not an expression node: {type(e).__name__}")
+
+
+def _stmt(s: Node, indent: int) -> str:
+    pad = "    " * indent
+    if isinstance(s, Compound):
+        inner = "".join(_stmt(x, indent + 1) for x in s.stmts)
+        return f"{pad}{{\n{inner}{pad}}}\n"
+    if isinstance(s, Decl):
+        dims = "".join(f"[{_expr(d) if d is not None else ''}]" for d in s.dims)
+        init = f" = {_expr(s.init)}" if s.init is not None else ""
+        return f"{pad}{s.ctype} {s.name}{dims}{init};\n"
+    if isinstance(s, Assign):
+        return f"{pad}{_expr(s.lhs)} {s.op} {_expr(s.rhs)};\n"
+    if isinstance(s, ExprStmt):
+        return f"{pad}{_expr(s.expr)};\n"
+    if isinstance(s, If):
+        then = s.then
+        # brace the then-branch when an else follows, so a nested elseless
+        # `if` cannot capture this statement's else on re-parse
+        if s.els is not None and not isinstance(then, Compound):
+            then = Compound([then])
+        out = f"{pad}if ({_expr(s.cond)})\n{_stmt_block(then, indent)}"
+        if s.els is not None:
+            out += f"{pad}else\n{_stmt_block(s.els, indent)}"
+        return out
+    if isinstance(s, For):
+        init = _inline_stmt(s.init)
+        cond = _expr(s.cond) if s.cond is not None else ""
+        step = _inline_stmt(s.step)
+        out = ""
+        for p in s.pragmas:
+            out += f"{pad}#pragma {p}\n"
+        out += f"{pad}for ({init}; {cond}; {step})\n{_stmt_block(s.body, indent)}"
+        return out
+    if isinstance(s, While):
+        return f"{pad}while ({_expr(s.cond)})\n{_stmt_block(s.body, indent)}"
+    if isinstance(s, Break):
+        return f"{pad}break;\n"
+    if isinstance(s, Pragma):
+        return f"{pad}#pragma {s.text}\n"
+    if isinstance(s, Program):
+        return "".join(_stmt(x, indent) for x in s.stmts)
+    raise TypeError(f"not a statement node: {type(s).__name__}")
+
+
+def _stmt_block(s: Node, indent: int) -> str:
+    if isinstance(s, Compound):
+        return _stmt(s, indent)
+    return _stmt(s, indent + 1)
+
+
+def _inline_stmt(s) -> str:
+    if s is None:
+        return ""
+    text = _stmt(s, 0).strip()
+    return text[:-1] if text.endswith(";") else text
+
+
+def to_c(node: Node) -> str:
+    """Render any AST node back to C source text."""
+    from repro.lang.astnodes import Expression
+
+    if isinstance(node, Expression):
+        return _expr(node)
+    return _stmt(node, 0)

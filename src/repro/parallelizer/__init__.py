@@ -1,0 +1,13 @@
+"""Automatic parallelization driver (the Cetus pass pipeline stand-in).
+
+:func:`repro.parallelizer.driver.parallelize` runs one of three pipelines
+over a program — classical Cetus, Cetus + Base Algorithm, Cetus + New
+Algorithm (paper §4) — and annotates parallelizable loops with OpenMP
+``parallel for`` pragmas, including ``private``/``reduction`` clauses and
+the run-time ``if`` checks the extended dependence test requires.
+"""
+
+from repro.parallelizer.driver import LoopDecision, ParallelizationResult, parallelize
+from repro.parallelizer.report import format_report
+
+__all__ = ["LoopDecision", "ParallelizationResult", "parallelize", "format_report"]

@@ -1,0 +1,215 @@
+"""Parallelization decisions per loop nest.
+
+The driver analyzes the whole program first (populating the property store
+under the configured capability set), then visits every loop nest outermost
+first: the outermost parallelizable loop of each nest gets the OpenMP
+annotation; loops enclosed by a parallel loop are left serial (their
+parallelism is subsumed); when an outer loop cannot be parallelized the
+driver descends and tries the inner loops — this is exactly what produces
+the paper's "fork-join overhead" effect when classical Cetus can only
+parallelize the inner loops of AMGmk/SDDMM/UA (Figure 13 discussion).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.analysis.analyzer import AnalysisResult, analyze_program
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.irbridge import eval_expr
+from repro.analysis.loopinfo import LoopNest
+from repro.dependence.accesses import collect_accesses, collect_inner_loops
+from repro.dependence.classic import classic_independent
+from repro.dependence.extended import RuntimeCheck, extended_independent
+from repro.dependence.privatize import classify_scalars
+from repro.ir.simplify import simplify
+from repro.ir.symbols import Expr, IntLit, sub
+from repro.lang.astnodes import Program
+from repro.lang.printer import to_c
+
+
+@dataclasses.dataclass
+class LoopDecision:
+    """Outcome for one loop."""
+
+    loop_id: str
+    index: str
+    depth: int  # 0 = outermost of its nest
+    parallel: bool
+    reason: str
+    private: List[str] = dataclasses.field(default_factory=list)
+    reductions: List[Tuple[str, str]] = dataclasses.field(default_factory=list)
+    checks: List[RuntimeCheck] = dataclasses.field(default_factory=list)
+    enclosed_by_parallel: bool = False
+
+    @property
+    def pragma(self) -> Optional[str]:
+        if not self.parallel:
+            return None
+        parts = ["omp parallel for"]
+        if self.checks:
+            cond = " && ".join(c.text for c in self.checks)
+            parts.append(f"if({cond})")
+        if self.private:
+            parts.append("private(" + ", ".join(self.private) + ")")
+        for op, var in self.reductions:
+            parts.append(f"reduction({op}:{var})")
+        return " ".join(parts)
+
+
+@dataclasses.dataclass
+class ParallelizationResult:
+    """Annotated program plus all per-loop decisions."""
+
+    program: Program
+    config: AnalysisConfig
+    decisions: Dict[str, LoopDecision]
+    analysis: AnalysisResult
+
+    @property
+    def parallel_loops(self) -> List[LoopDecision]:
+        return [d for d in self.decisions.values() if d.parallel]
+
+    def decision_for(self, loop_id: str) -> Optional[LoopDecision]:
+        return self.decisions.get(loop_id)
+
+    def to_c(self) -> str:
+        """The OpenMP-annotated output program."""
+        return to_c(self.program)
+
+
+def parallelize(
+    prog: Union[str, Program], config: Optional[AnalysisConfig] = None
+) -> ParallelizationResult:
+    """Run the configured pipeline and annotate the program."""
+    config = config or AnalysisConfig.new_algorithm()
+    analysis = analyze_program(prog, config)
+    decisions: Dict[str, LoopDecision] = {}
+    for nest in analysis.nests:
+        _decide_nest(nest, 0, False, config, analysis, decisions)
+    # attach pragmas to the AST
+    for nest in analysis.nests:
+        for sub_nest in nest.walk():
+            d = decisions.get(sub_nest.loop.loop_id or "")
+            if d is not None and d.parallel:
+                p = d.pragma
+                if p and p not in sub_nest.loop.pragmas:
+                    sub_nest.loop.pragmas.append(p)
+    return ParallelizationResult(
+        program=analysis.program, config=config, decisions=decisions, analysis=analysis
+    )
+
+
+def _decide_nest(
+    nest: LoopNest,
+    depth: int,
+    enclosed: bool,
+    config: AnalysisConfig,
+    analysis: AnalysisResult,
+    decisions: Dict[str, LoopDecision],
+    scope_properties=None,
+) -> None:
+    loop_id = nest.loop.loop_id or f"L?{depth}"
+    if enclosed:
+        decisions[loop_id] = LoopDecision(
+            loop_id=loop_id,
+            index=nest.index or "?",
+            depth=depth,
+            parallel=False,
+            reason="enclosed by a parallel loop",
+            enclosed_by_parallel=True,
+        )
+        for inner in nest.inner:
+            _decide_nest(inner, depth + 1, True, config, analysis, decisions)
+        return
+
+    props = scope_properties if scope_properties is not None else analysis.properties
+    d = _try_loop(nest, depth, config, analysis, props)
+    decisions[loop_id] = d
+    inner_scope = props
+    if not d.parallel and config.array_analysis and nest.inner:
+        # the paper inlines fill loops next to their consumers (§4.1); when
+        # those live inside an outer serial loop (e.g. a time loop), the
+        # fill's property holds for the consumer within each outer
+        # iteration — re-analyze the body as a statement sequence so inner
+        # kernels see their sibling fills' properties
+        inner_scope = _body_scope_properties(nest, config, props)
+    for inner in nest.inner:
+        _decide_nest(inner, depth + 1, d.parallel, config, analysis, decisions, inner_scope)
+
+
+def _body_scope_properties(nest: LoopNest, config: AnalysisConfig, parent):
+    """Properties established by the loop body's own statement sequence."""
+    from repro.analysis.analyzer import ProgramAnalyzer
+    from repro.analysis.properties import PropertyStore
+    from repro.lang.astnodes import Compound, Program
+
+    body = nest.loop.body
+    stmts = body.stmts if isinstance(body, Compound) else [body]
+    try:
+        body_analysis = ProgramAnalyzer(config).analyze(Program([s.clone() for s in stmts]))
+    except Exception:
+        return parent
+    merged = PropertyStore()
+    for p in parent.all_properties():
+        merged.record(p)
+    for p in body_analysis.properties.all_properties():
+        merged.record(p)
+    return merged
+
+
+def _try_loop(
+    nest: LoopNest,
+    depth: int,
+    config: AnalysisConfig,
+    analysis: AnalysisResult,
+    properties=None,
+) -> LoopDecision:
+    properties = properties if properties is not None else analysis.properties
+    loop_id = nest.loop.loop_id or f"L?{depth}"
+    index = nest.index or "?"
+    base = lambda ok, why, **kw: LoopDecision(
+        loop_id=loop_id, index=index, depth=depth, parallel=ok, reason=why, **kw
+    )
+    if not nest.eligible:
+        return base(False, f"ineligible: {nest.reason}")
+    assert nest.header is not None
+
+    # scalar dependences
+    scalars = classify_scalars(nest.loop.body, index)
+    if scalars.serial_scalars:
+        return base(False, "loop-carried scalar dependence on " + ", ".join(scalars.serial_scalars))
+
+    # array dependences
+    accesses = collect_accesses(nest.loop.body, index)
+    ok, reasons = classic_independent(accesses)
+    if ok:
+        return base(
+            True,
+            "classical dependence test passed",
+            private=scalars.private,
+            reductions=scalars.reductions,
+        )
+    if not config.array_analysis:
+        return base(False, "; ".join(reasons))
+
+    # extended test with subscript-array properties
+    lo = eval_expr(nest.header.lb)
+    hi = eval_expr(nest.header.ub_expr)
+    if not (lo.is_point and hi.is_point):
+        return base(False, "; ".join(reasons))
+    last = hi.lb if nest.header.inclusive else simplify(sub(hi.lb, IntLit(1)))
+    inner = collect_inner_loops(nest.loop.body)
+    ok2, checks, reasons2 = extended_independent(
+        accesses, index, (lo.lb, last), properties, inner
+    )
+    if ok2:
+        return base(
+            True,
+            "extended subscripted-subscript test passed",
+            private=scalars.private,
+            reductions=scalars.reductions,
+            checks=checks,
+        )
+    return base(False, "; ".join(reasons + reasons2))

@@ -1,0 +1,133 @@
+"""Per-loop explanation reports ("why is this loop (not) parallel?").
+
+Combines the Phase-1 SVD, the Phase-2 aggregation, the property store and
+the dependence graph into one compile log per loop — the moral equivalent
+of Cetus' verbose dependence-test output, and the first thing to read when
+a kernel unexpectedly stays serial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.irbridge import eval_expr
+from repro.analysis.loopinfo import LoopNest
+from repro.dependence.accesses import collect_accesses, collect_inner_loops
+from repro.dependence.ddgraph import build_dependence_graph
+from repro.dependence.privatize import classify_scalars
+from repro.ir.simplify import simplify
+from repro.ir.symbols import IntLit, sub
+from repro.parallelizer.driver import ParallelizationResult
+
+
+def explain_loop(result: ParallelizationResult, loop_id: str) -> str:
+    """A multi-section report for one loop of a parallelization result."""
+    decision = result.decisions.get(loop_id)
+    if decision is None:
+        return f"no such loop: {loop_id}"
+    nest = _find_nest(result, loop_id)
+    lines: List[str] = []
+    add = lines.append
+
+    add(f"loop {loop_id} (index {decision.index}, depth {decision.depth})")
+    add("=" * 60)
+    verdict = "PARALLEL" if decision.parallel else "serial"
+    add(f"decision : {verdict} — {decision.reason}")
+    if decision.parallel:
+        if decision.checks:
+            add("run-time : if(" + " && ".join(c.text for c in decision.checks) + ")")
+        if decision.private:
+            add("private  : " + ", ".join(decision.private))
+        if decision.reductions:
+            add("reduction: " + ", ".join(f"{op}:{v}" for op, v in decision.reductions))
+        add("pragma   : #pragma " + (decision.pragma or ""))
+
+    if nest is None or nest.header is None:
+        add("(loop header not canonical — no further analysis available)")
+        return "\n".join(lines)
+
+    # Phase-1 SVD, when this loop was analyzed
+    p1 = result.analysis.phase1_results.get(loop_id)
+    if p1 is not None:
+        add("")
+        add("Phase-1 SVD of the final statement:")
+        add(f"  {p1.svd}")
+    p2 = result.analysis.loop_results.get(loop_id)
+    if p2 is not None:
+        add("")
+        add(f"Phase-2: index range {p2.index_range}, trip count {p2.trip_count}")
+        if p2.ssr_vars:
+            add("  SSR variables: " + ", ".join(
+                f"{v} ({info.kind}, k={info.k})" for v, info in p2.ssr_vars.items()
+            ))
+        for arr, m in p2.mono_arrays.items():
+            extra = " intermittent" if m.intermittent else ""
+            add(f"  monotonic array: {arr} {m.kind} dim {m.dim}{extra}")
+
+    # scalar classification
+    add("")
+    add("scalar classification:")
+    scalars = classify_scalars(nest.loop.body, nest.header.index)
+    if scalars.classes:
+        for name, cls in sorted(scalars.classes.items()):
+            add(f"  {name:<12} {cls.value}")
+    else:
+        add("  (no scalars assigned)")
+
+    # dependence graph
+    idx = nest.header.index
+    accesses = collect_accesses(nest.loop.body, idx)
+    lo = eval_expr(nest.header.lb)
+    hi = eval_expr(nest.header.ub_expr)
+    add("")
+    add(f"array accesses ({len(accesses)}):")
+    for a in accesses:
+        kind = "write" if a.is_write else "read "
+        dims = []
+        for sd in a.subs:
+            if sd.indirection is not None:
+                dims.append(f"via {sd.indirection[0]}[…]")
+            elif sd.inner_index is not None:
+                dims.append(f"inner idx {sd.inner_index}")
+            elif sd.affine is not None:
+                c, o = sd.affine
+                dims.append(f"{c}*{idx}+{o}")
+            else:
+                dims.append("opaque")
+        guard = " (guarded)" if a.guarded else ""
+        add(f"  {kind} {a.array}[{' , '.join(dims)}]{guard}")
+    if lo.is_point and hi.is_point:
+        last = simplify(sub(hi.lb, IntLit(1))) if not nest.header.inclusive else hi.lb
+        inner = collect_inner_loops(nest.loop.body)
+        g = build_dependence_graph(
+            accesses, idx, (lo.lb, last), result.analysis.properties, inner
+        )
+        add("")
+        add("dependence graph: " + ("clean" if g.parallel else g.summary()))
+
+    # relevant properties
+    props = result.analysis.properties.all_properties()
+    used = [p for p in props if any(p.array in str(a.array) or _mentions(a, p.array) for a in accesses)]
+    if used:
+        add("")
+        add("subscript-array properties in scope:")
+        for p in used:
+            add(f"  {p}")
+    return "\n".join(lines)
+
+
+def _mentions(access, array: str) -> bool:
+    return any(sd.indirection is not None and sd.indirection[0] == array for sd in access.subs)
+
+
+def _find_nest(result: ParallelizationResult, loop_id: str) -> Optional[LoopNest]:
+    for nest in result.analysis.nests:
+        for sub_nest in nest.walk():
+            if sub_nest.loop.loop_id == loop_id:
+                return sub_nest
+    return None
+
+
+def explain_all(result: ParallelizationResult) -> str:
+    """Concatenated explanations for every loop, program order."""
+    return "\n\n".join(explain_loop(result, lid) for lid in sorted(result.decisions))

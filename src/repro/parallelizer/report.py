@@ -1,0 +1,30 @@
+"""Human-readable parallelization reports."""
+
+from __future__ import annotations
+
+from repro.parallelizer.driver import ParallelizationResult
+
+
+def format_report(result: ParallelizationResult) -> str:
+    """Tabular summary of per-loop decisions for one pipeline run."""
+    lines = [f"pipeline: {result.config.name}"]
+    props = result.analysis.properties.all_properties()
+    if props:
+        lines.append("subscript-array properties:")
+        for p in props:
+            lines.append(f"  {p}")
+    lines.append("loop decisions:")
+    for loop_id, d in sorted(result.decisions.items()):
+        status = "PARALLEL" if d.parallel else "serial  "
+        extra = ""
+        if d.parallel:
+            clauses = []
+            if d.checks:
+                clauses.append("if(" + " && ".join(c.text for c in d.checks) + ")")
+            if d.private:
+                clauses.append(f"private[{len(d.private)}]")
+            if d.reductions:
+                clauses.append("reduction(" + ",".join(v for _, v in d.reductions) + ")")
+            extra = " " + " ".join(clauses)
+        lines.append(f"  {loop_id:<6} idx={d.index:<8} depth={d.depth} {status} — {d.reason}{extra}")
+    return "\n".join(lines)

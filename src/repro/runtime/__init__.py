@@ -1,0 +1,65 @@
+"""Execution substrate: interpreter, race checking and performance model.
+
+The paper evaluates on a 20-core Xeon with GCC/OpenMP.  This package
+substitutes that testbed (see DESIGN.md §2):
+
+* :mod:`repro.runtime.interp` — a tree-walking interpreter that executes
+  the mini-C benchmark kernels on real NumPy arrays.  It provides ground
+  truth for correctness tests and per-iteration work metering.
+* :mod:`repro.runtime.racecheck` — dynamic cross-iteration conflict
+  detection validating every loop the compiler declares parallel.
+* :mod:`repro.runtime.machine` / :mod:`repro.runtime.scheduler` /
+  :mod:`repro.runtime.simulate` — a calibrated cost model of OpenMP
+  execution (fork-join overhead, static/dynamic scheduling, bandwidth
+  saturation) driven by measured per-iteration work, which regenerates the
+  *shape* of the paper's Figures 13-17.
+"""
+
+from repro.runtime.interp import Interpreter, run_program
+from repro.runtime.racecheck import RaceReport, check_loop_races
+from repro.runtime.machine import MachineModel
+from repro.runtime.scheduler import static_chunks, dynamic_assign, max_thread_work
+from repro.runtime.simulate import (
+    ComponentPlan,
+    KernelComponent,
+    ParallelPlan,
+    PerfModel,
+    plan_from_decisions,
+    serial_time,
+    simulate_app,
+    simulate_component,
+)
+from repro.runtime.workmeter import meter_loop_work
+from repro.runtime.parexec import execute_shuffled, states_equivalent
+from repro.runtime.inspector import (
+    InspectionResult,
+    InspectorExecutorModel,
+    SpeculativeModel,
+    inspect_monotonicity,
+)
+
+__all__ = [
+    "Interpreter",
+    "run_program",
+    "RaceReport",
+    "check_loop_races",
+    "MachineModel",
+    "static_chunks",
+    "dynamic_assign",
+    "max_thread_work",
+    "ComponentPlan",
+    "KernelComponent",
+    "ParallelPlan",
+    "PerfModel",
+    "plan_from_decisions",
+    "serial_time",
+    "simulate_app",
+    "simulate_component",
+    "meter_loop_work",
+    "execute_shuffled",
+    "states_equivalent",
+    "InspectionResult",
+    "InspectorExecutorModel",
+    "SpeculativeModel",
+    "inspect_monotonicity",
+]

@@ -1,0 +1,153 @@
+"""Run-time baselines from the paper's related work (§1, §5).
+
+The paper's pitch is that compile-time analysis avoids the overheads of the
+two classic run-time alternatives:
+
+* **inspector-executor** (Saltz/Strout): before running the kernel in
+  parallel, *inspect* the index array — an O(region) scan proving
+  monotonicity/injectivity — then dispatch the parallel executor.  Cheap
+  per element, but the paper notes simplified inspectors still need the
+  executor to run 40-60 times to amortize (§5).
+* **speculative execution** (LRPD): run the loop in parallel immediately
+  while logging accesses; validate afterwards; on conflict, discard and
+  re-execute serially.  Every invocation pays the logging tax.
+
+This module provides (a) a *real* inspector over NumPy index arrays — used
+to validate compile-time claims — and (b) cost models for both schemes so
+the break-even experiment can be reproduced.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
+from repro.runtime.simulate import ComponentPlan, ParallelPlan, PerfModel, simulate_app
+
+
+@dataclasses.dataclass
+class InspectionResult:
+    """Outcome of inspecting an index array region at run time."""
+
+    monotonic: bool
+    strict: bool
+    elements_scanned: int
+
+    @property
+    def injective(self) -> bool:
+        return self.strict
+
+
+def inspect_monotonicity(arr: np.ndarray, lo: int = 0, hi: Optional[int] = None) -> InspectionResult:
+    """O(n) scan of ``arr[lo:hi]`` for (strict) monotonicity.
+
+    This is the run-time ground truth the compile-time analysis predicts;
+    tests cross-check every proven property against it.
+    """
+    hi = len(arr) if hi is None else hi
+    region = np.asarray(arr[lo:hi])
+    n = len(region)
+    if n <= 1:
+        return InspectionResult(monotonic=True, strict=True, elements_scanned=n)
+    diffs = np.diff(region)
+    return InspectionResult(
+        monotonic=bool(np.all(diffs >= 0)),
+        strict=bool(np.all(diffs > 0)),
+        elements_scanned=n,
+    )
+
+
+# ---------------------------------------------------------------------------
+# cost models
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class InspectorExecutorModel:
+    """Cost model for inspector-executor parallelization.
+
+    The inspector scans the subscript array (``inspect_ops_per_elem`` ops
+    per element, typically several times the cost of the consuming
+    kernel's per-element work because it builds wavefront/conflict
+    structures); the executor then runs the kernel with the compile-time
+    plan's parallel layout.  The inspection re-runs whenever the index
+    array changes (``inspections`` per ``runs`` kernel invocations).
+    """
+
+    inspect_ops_per_elem: float = 12.0
+
+    def time(
+        self,
+        perf: PerfModel,
+        plan: ParallelPlan,
+        threads: int,
+        runs: int,
+        index_len: int,
+        inspections: int = 1,
+        machine: MachineModel = DEFAULT_MACHINE,
+    ) -> float:
+        t_kernel = simulate_app(perf, plan, threads, machine)
+        t_inspect = index_len * self.inspect_ops_per_elem * perf.c_op
+        return inspections * t_inspect + runs * t_kernel
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeculativeModel:
+    """Cost model for LRPD-style speculative parallelization.
+
+    Every invocation pays a logging/validation multiplier on the parallel
+    compute; a failed run additionally pays the discarded attempt plus a
+    serial re-execution.
+    """
+
+    logging_factor: float = 1.55
+    validation_ops_per_elem: float = 2.0
+
+    def time(
+        self,
+        perf: PerfModel,
+        plan: ParallelPlan,
+        threads: int,
+        runs: int,
+        touched_elems: int,
+        failure_rate: float = 0.0,
+        machine: MachineModel = DEFAULT_MACHINE,
+    ) -> float:
+        t_par = simulate_app(perf, plan, threads, machine) * self.logging_factor
+        t_par += touched_elems * self.validation_ops_per_elem * perf.c_op
+        t_serial = perf.serial_time_target
+        per_run = (1.0 - failure_rate) * t_par + failure_rate * (t_par + t_serial)
+        return runs * per_run
+
+
+def compile_time_model_time(
+    perf: PerfModel, plan: ParallelPlan, threads: int, runs: int,
+    machine: MachineModel = DEFAULT_MACHINE,
+) -> float:
+    """The paper's approach: zero run-time overhead beyond the if-clause."""
+    return runs * simulate_app(perf, plan, threads, machine)
+
+
+def break_even_runs(
+    perf: PerfModel,
+    plan: ParallelPlan,
+    threads: int,
+    index_len: int,
+    inspector: InspectorExecutorModel = InspectorExecutorModel(),
+    machine: MachineModel = DEFAULT_MACHINE,
+    max_runs: int = 10_000,
+) -> Optional[int]:
+    """Smallest run count where inspector-executor beats SERIAL execution.
+
+    (The paper's §5 point: simplified inspectors still need the executor to
+    run tens of times before inspection pays for itself on small kernels.)
+    """
+    for runs in range(1, max_runs + 1):
+        t_ie = inspector.time(perf, plan, threads, runs, index_len)
+        t_serial = runs * perf.serial_time_target
+        if t_ie < t_serial:
+            return runs
+    return None

@@ -1,0 +1,314 @@
+"""Tree-walking interpreter for the mini-C AST.
+
+Executes programs over an environment of Python scalars and NumPy arrays.
+Used to
+
+* validate that compiler transformations preserve semantics,
+* obtain ground-truth outputs for benchmark kernels on small inputs,
+* meter per-iteration work (operation counts) for the performance model,
+* drive the dynamic race checker.
+
+The interpreter is intentionally simple — clarity over speed; large
+workloads use the NumPy reference implementations of each benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Compound,
+    Decl,
+    Expression,
+    ExprStmt,
+    FloatNum,
+    For,
+    Id,
+    If,
+    IncDec,
+    Node,
+    Num,
+    Pragma,
+    Program,
+    Statement,
+    StrLit,
+    Ternary,
+    UnOp,
+    While,
+)
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class InterpError(Exception):
+    """Raised on runtime errors (unknown identifier, bad subscript, ...)."""
+
+
+_MATH_FUNCS: Dict[str, Callable] = {
+    "exp": math.exp,
+    "log": math.log,
+    "log2": math.log2,
+    "log10": math.log10,
+    "sqrt": math.sqrt,
+    "fabs": abs,
+    "abs": abs,
+    "pow": pow,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "fmax": max,
+    "fmin": min,
+    "max": max,
+    "min": min,
+}
+
+
+class Interpreter:
+    """Executes statements against an environment.
+
+    ``env`` maps names to Python ints/floats or NumPy arrays.  Optional
+    hooks observe loop iterations (work metering) and array accesses (race
+    checking).
+    """
+
+    def __init__(
+        self,
+        env: Optional[Dict[str, Any]] = None,
+        *,
+        access_hook: Optional[Callable[[str, Tuple[int, ...], bool], None]] = None,
+        op_counter: bool = False,
+    ):
+        self.env: Dict[str, Any] = dict(env or {})
+        self.access_hook = access_hook
+        self.ops = 0
+        self._count_ops = op_counter
+        #: per-loop iteration hooks: loop_id -> callable(iter_value)
+        self.iter_hooks: Dict[str, Callable[[int], None]] = {}
+
+    # -- statements --------------------------------------------------------
+
+    def run(self, node: Node) -> None:
+        """Execute a program or statement."""
+        if isinstance(node, Program):
+            for s in node.stmts:
+                self.exec_stmt(s)
+        else:
+            self.exec_stmt(node)
+
+    def exec_stmt(self, s: Statement) -> None:
+        if isinstance(s, Compound):
+            for x in s.stmts:
+                self.exec_stmt(x)
+        elif isinstance(s, Assign):
+            self._assign(s)
+        elif isinstance(s, ExprStmt):
+            self.eval(s.expr)
+        elif isinstance(s, Decl):
+            self._declare(s)
+        elif isinstance(s, If):
+            if self.eval(s.cond):
+                self.exec_stmt(s.then)
+            elif s.els is not None:
+                self.exec_stmt(s.els)
+        elif isinstance(s, For):
+            self._run_for(s)
+        elif isinstance(s, While):
+            guard = 0
+            while self.eval(s.cond):
+                try:
+                    self.exec_stmt(s.body)
+                except _BreakSignal:
+                    break
+                guard += 1
+                if guard > 100_000_000:  # pragma: no cover - safety valve
+                    raise InterpError("while loop exceeded iteration guard")
+        elif isinstance(s, Break):
+            raise _BreakSignal()
+        elif isinstance(s, Pragma):
+            pass
+        else:  # pragma: no cover
+            raise InterpError(f"cannot execute {type(s).__name__}")
+
+    def _run_for(self, s: For) -> None:
+        if s.init is not None:
+            self.exec_stmt(s.init)
+        hook = self.iter_hooks.get(s.loop_id or "")
+        idx_name = None
+        if isinstance(s.init, Assign) and isinstance(s.init.lhs, Id):
+            idx_name = s.init.lhs.name
+        elif isinstance(s.init, Decl):
+            idx_name = s.init.name
+        while s.cond is None or self.eval(s.cond):
+            if hook is not None and idx_name is not None:
+                hook(self.env.get(idx_name, 0))
+            try:
+                self.exec_stmt(s.body)
+            except _BreakSignal:
+                return
+            if s.step is not None:
+                self.exec_stmt(s.step)
+
+    def _declare(self, s: Decl) -> None:
+        if s.dims:
+            dims = tuple(int(self.eval(d)) for d in s.dims if d is not None)
+            dtype = np.float64 if s.ctype in ("double", "float") else np.int64
+            self.env[s.name] = np.zeros(dims, dtype=dtype)
+        else:
+            self.env[s.name] = self.eval(s.init) if s.init is not None else 0
+
+    def _assign(self, s: Assign) -> None:
+        val = self.eval(s.rhs)
+        if s.op != "=":
+            old = self.eval(s.lhs)
+            op = s.op[:-1]
+            val = _apply_binop(op, old, val)
+            if self._count_ops:
+                self.ops += 1
+        if isinstance(s.lhs, Id):
+            self.env[s.lhs.name] = val
+        elif isinstance(s.lhs, ArrayAccess):
+            arr = self._array(s.lhs.name)
+            idx = tuple(int(self.eval(i)) for i in s.lhs.indices)
+            if self.access_hook is not None:
+                self.access_hook(s.lhs.name, idx, True)
+            try:
+                arr[idx if len(idx) > 1 else idx[0]] = val
+            except (IndexError, ValueError) as exc:
+                raise InterpError(f"store {s.lhs.name}{list(idx)}: {exc}") from None
+        else:  # pragma: no cover
+            raise InterpError("bad assignment target")
+
+    # -- expressions --------------------------------------------------------
+
+    def eval(self, e: Expression) -> Any:
+        if isinstance(e, Num):
+            return e.value
+        if isinstance(e, FloatNum):
+            return e.value
+        if isinstance(e, StrLit):
+            return e.value
+        if isinstance(e, Id):
+            try:
+                return self.env[e.name]
+            except KeyError:
+                raise InterpError(f"undefined variable {e.name!r}") from None
+        if isinstance(e, ArrayAccess):
+            arr = self._array(e.name)
+            idx = tuple(int(self.eval(i)) for i in e.indices)
+            if self.access_hook is not None:
+                self.access_hook(e.name, idx, False)
+            try:
+                v = arr[idx if len(idx) > 1 else idx[0]]
+            except (IndexError, ValueError) as exc:
+                raise InterpError(f"load {e.name}{list(idx)}: {exc}") from None
+            return v.item() if hasattr(v, "item") else v
+        if isinstance(e, BinOp):
+            if e.op == "&&":
+                return 1 if (self.eval(e.lhs) and self.eval(e.rhs)) else 0
+            if e.op == "||":
+                return 1 if (self.eval(e.lhs) or self.eval(e.rhs)) else 0
+            a = self.eval(e.lhs)
+            b = self.eval(e.rhs)
+            if self._count_ops:
+                self.ops += 1
+            return _apply_binop(e.op, a, b)
+        if isinstance(e, UnOp):
+            v = self.eval(e.operand)
+            if e.op == "-":
+                return -v
+            if e.op == "+":
+                return v
+            if e.op == "!":
+                return 0 if v else 1
+            if e.op == "~":
+                return ~int(v)
+        if isinstance(e, IncDec):
+            tgt = e.target
+            old = self.eval(tgt)
+            new = old + (1 if e.op == "++" else -1)
+            if isinstance(tgt, Id):
+                self.env[tgt.name] = new
+            elif isinstance(tgt, ArrayAccess):
+                arr = self._array(tgt.name)
+                idx = tuple(int(self.eval(i)) for i in tgt.indices)
+                arr[idx if len(idx) > 1 else idx[0]] = new
+            return new if e.prefix else old
+        if isinstance(e, Call):
+            fn = _MATH_FUNCS.get(e.name)
+            if fn is None:
+                raise InterpError(f"unknown function {e.name!r}")
+            args = [self.eval(a) for a in e.args]
+            if self._count_ops:
+                self.ops += 1
+            return fn(*args)
+        if isinstance(e, Ternary):
+            return self.eval(e.then) if self.eval(e.cond) else self.eval(e.els)
+        raise InterpError(f"cannot evaluate {type(e).__name__}")  # pragma: no cover
+
+    def _array(self, name: str) -> np.ndarray:
+        arr = self.env.get(name)
+        if arr is None:
+            raise InterpError(f"undefined array {name!r}")
+        if not isinstance(arr, np.ndarray):
+            raise InterpError(f"{name!r} is not an array")
+        return arr
+
+
+def _apply_binop(op: str, a: Any, b: Any) -> Any:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        if isinstance(a, int) and isinstance(b, int):
+            q = abs(a) // abs(b)
+            return q if (a >= 0) == (b > 0) else -q
+        return a / b
+    if op == "%":
+        q = abs(int(a)) // abs(int(b))
+        q = q if (a >= 0) == (b > 0) else -q
+        return a - b * q
+    if op == "<":
+        return 1 if a < b else 0
+    if op == "<=":
+        return 1 if a <= b else 0
+    if op == ">":
+        return 1 if a > b else 0
+    if op == ">=":
+        return 1 if a >= b else 0
+    if op == "==":
+        return 1 if a == b else 0
+    if op == "!=":
+        return 1 if a != b else 0
+    if op == "&":
+        return int(a) & int(b)
+    if op == "|":
+        return int(a) | int(b)
+    if op == "^":
+        return int(a) ^ int(b)
+    if op == "<<":
+        return int(a) << int(b)
+    if op == ">>":
+        return int(a) >> int(b)
+    raise InterpError(f"unknown operator {op!r}")
+
+
+def run_program(prog: Program, env: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute ``prog`` over ``env`` and return the final environment."""
+    it = Interpreter(env)
+    it.run(prog)
+    return it.env

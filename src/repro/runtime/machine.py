@@ -1,0 +1,50 @@
+"""Machine cost model.
+
+Calibrated to reproduce the *shape* of the paper's testbed results (dual
+socket 20-core Xeon Gold 6230, GCC -O3, OpenMP): the absolute constants are
+not the point — the relations are:
+
+* forking/joining a parallel region costs microseconds and grows mildly
+  with the thread count (this is what makes inner-loop parallelization of
+  AMGmk/SDDMM/UA *slower* than serial, the Figure 13 "anomaly");
+* memory-bound kernels stop scaling once the sockets' bandwidth saturates
+  (AMGmk's SpMV caps near 3-4x, paper Figure 14/15);
+* dynamic scheduling costs a small per-chunk fee but fixes load imbalance
+  from skewed sparsity (Figure 16).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class MachineModel:
+    """Cost-model constants (seconds)."""
+
+    #: maximum hardware threads used in the evaluation
+    max_cores: int = 16
+    #: fixed cost of entering+leaving one parallel region
+    fork_base: float = 2.2e-6
+    #: additional fork cost per participating thread
+    fork_per_thread: float = 0.07e-6
+    #: per-chunk dispatch cost under dynamic scheduling
+    dynamic_chunk_cost: float = 0.10e-6
+    #: per-iteration scheduling cost under static scheduling (amortized ~0)
+    static_iter_cost: float = 0.0
+
+    def fork_cost(self, threads: int) -> float:
+        """Cost of one parallel-region invocation on ``threads`` threads."""
+        if threads <= 1:
+            return 0.0
+        return self.fork_base + self.fork_per_thread * threads
+
+    def validate(self) -> None:
+        if self.max_cores < 1:
+            raise ValueError("max_cores must be >= 1")
+        if self.fork_base < 0 or self.fork_per_thread < 0:
+            raise ValueError("fork costs must be non-negative")
+
+
+#: the default model used by all experiments
+DEFAULT_MACHINE = MachineModel()

@@ -1,0 +1,119 @@
+"""Out-of-order execution of compiler-parallelized loops.
+
+The race checker validates that parallel-declared loops touch disjoint
+array elements; this module validates the *scalar* side of the OpenMP
+contract: it executes the loop's iterations in a random order with the
+decision's ``private`` scalars isolated per iteration (reads of an
+uninitialized private raise — catching privatization misclassifications)
+and checks that the final state matches serial execution.
+
+If the compiler's decision is correct, a parallel loop's semantics cannot
+depend on iteration order; running shuffled is therefore a behavioral
+differential test of the whole decision (dependence test + privatization
++ reduction recognition).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.lang.astnodes import Assign, Decl, For, Id, Program
+from repro.runtime.interp import InterpError, Interpreter
+
+
+def _index_of(loop: For) -> str:
+    if isinstance(loop.init, Assign) and isinstance(loop.init.lhs, Id):
+        return loop.init.lhs.name
+    if isinstance(loop.init, Decl):
+        return loop.init.name
+    raise ValueError("cannot identify loop index")
+
+
+def execute_shuffled(
+    prog: Program,
+    loop: For,
+    decision,
+    env: Dict[str, Any],
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Execute ``prog`` with ``loop``'s iterations in a random order.
+
+    ``decision`` is the :class:`~repro.parallelizer.driver.LoopDecision`
+    for ``loop``; its ``private`` scalars are deleted before every
+    iteration (so a read-before-write inside an iteration raises
+    :class:`InterpError`) and after the loop (their value is unspecified
+    under OpenMP).  Reduction variables accumulate normally — their
+    operators are commutative, so order must not matter.
+    """
+    interp = Interpreter(env)
+    for s in prog.stmts:
+        if s is loop:
+            break
+        interp.exec_stmt(s)
+    else:
+        raise ValueError("loop is not a top-level statement of prog")
+
+    idx = _index_of(loop)
+    privates = set(decision.private) - {idx}
+
+    # enumerate the iteration values by running init/cond/step without body
+    interp.exec_stmt(loop.init)
+    values = []
+    while loop.cond is None or interp.eval(loop.cond):
+        values.append(interp.env[idx])
+        interp.exec_stmt(loop.step)
+    final_idx = interp.env[idx]  # past-the-end, as serial execution leaves it
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(values))
+
+    for k in order:
+        for p in privates:
+            interp.env.pop(p, None)
+        interp.env[idx] = values[int(k)]
+        interp.exec_stmt(loop.body)
+
+    # post-loop state: index past the end (as serial), privates unspecified
+    interp.env[idx] = final_idx
+    for p in privates:
+        interp.env.pop(p, None)
+    # continue with whatever follows the loop
+    seen = False
+    for s in prog.stmts:
+        if s is loop:
+            seen = True
+            continue
+        if seen:
+            interp.exec_stmt(s)
+    return interp.env
+
+
+def states_equivalent(
+    serial: Dict[str, Any],
+    shuffled: Dict[str, Any],
+    ignore: Iterable[str] = (),
+    rtol: float = 1e-9,
+) -> bool:
+    """Compare two final environments (arrays exactly/approx, scalars)."""
+    ignore = set(ignore)
+    keys = (set(serial) | set(shuffled)) - ignore
+    for k in keys:
+        a = serial.get(k)
+        b = shuffled.get(k)
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            if a is None or b is None:
+                return False
+            if a.dtype.kind == "f" or b.dtype.kind == "f":
+                if not np.allclose(a, b, rtol=rtol, atol=1e-12):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        elif isinstance(a, float) or isinstance(b, float):
+            if a is None or b is None:
+                return False
+            if not np.isclose(a, b, rtol=rtol):
+                return False
+        elif a != b:
+            return False
+    return True

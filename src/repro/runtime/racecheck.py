@@ -1,0 +1,130 @@
+"""Dynamic cross-iteration conflict detection.
+
+Validates the compiler end-to-end: a loop the parallelizer declared
+parallel must exhibit **no** cross-iteration write-write or write-read
+conflicts when executed on a real input (modulo privatized scalars and
+recognized reductions, which OpenMP handles).
+
+The checker runs the candidate loop iteration by iteration through the
+interpreter, logging every array element access together with the current
+iteration number, then reports any element touched by two different
+iterations where at least one touch is a write.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.lang.astnodes import Assign, Decl, For, Id, Program
+from repro.runtime.interp import Interpreter
+
+
+@dataclasses.dataclass
+class Conflict:
+    """One detected cross-iteration conflict."""
+
+    array: str
+    element: Tuple[int, ...]
+    iter_a: int
+    iter_b: int
+    kinds: Tuple[bool, bool]  # is_write flags
+
+    def __str__(self) -> str:
+        k = {(True, True): "W-W", (True, False): "W-R", (False, True): "R-W"}.get(
+            self.kinds, "R-R"
+        )
+        return f"{k} on {self.array}{list(self.element)} between iterations {self.iter_a} and {self.iter_b}"
+
+
+@dataclasses.dataclass
+class RaceReport:
+    """Result of one race check."""
+
+    loop_index: str
+    iterations: int
+    conflicts: List[Conflict]
+
+    @property
+    def clean(self) -> bool:
+        return not self.conflicts
+
+
+def check_loop_races(
+    prog: Program,
+    loop: For,
+    env: Dict[str, Any],
+    *,
+    ignore_arrays: Optional[Set[str]] = None,
+    max_conflicts: int = 10,
+) -> RaceReport:
+    """Execute ``prog`` and check ``loop`` for cross-iteration conflicts.
+
+    ``prog`` is run normally until ``loop`` is reached (it must be a
+    top-level statement or reachable deterministically); all accesses inside
+    the loop are logged per iteration.  Arrays in ``ignore_arrays`` (e.g.
+    privatized buffers) are skipped.
+    """
+    ignore = ignore_arrays or set()
+    interp = Interpreter(env)
+
+    # execute everything before the loop
+    for s in prog.stmts:
+        if s is loop:
+            break
+        interp.exec_stmt(s)
+    else:
+        raise ValueError("loop is not a top-level statement of prog")
+
+    # identify the index variable
+    idx_name = None
+    if isinstance(loop.init, Assign) and isinstance(loop.init.lhs, Id):
+        idx_name = loop.init.lhs.name
+    elif isinstance(loop.init, Decl):
+        idx_name = loop.init.name
+    if idx_name is None:
+        raise ValueError("cannot identify loop index")
+
+    # writers[array][element] = (iteration, wrote)
+    first_touch: Dict[Tuple, Tuple[int, bool]] = {}
+    conflicts: List[Conflict] = []
+    current_iter = [0]
+
+    def hook(array: str, element: Tuple[int, ...], is_write: bool):
+        if array in ignore:
+            return
+        key = (array,) + element
+        prev = first_touch.get(key)
+        if prev is None:
+            if is_write:
+                first_touch[key] = (current_iter[0], True)
+            else:
+                first_touch[key] = (current_iter[0], False)
+            return
+        prev_iter, prev_write = prev
+        if prev_iter != current_iter[0] and (prev_write or is_write):
+            if len(conflicts) < max_conflicts:
+                conflicts.append(
+                    Conflict(array, element, prev_iter, current_iter[0], (prev_write, is_write))
+                )
+        # keep the strongest record (a write dominates)
+        if is_write and not prev_write:
+            first_touch[key] = (current_iter[0], True)
+
+    interp.access_hook = hook
+
+    # drive the loop manually, one iteration at a time
+    interp.exec_stmt(loop.init)
+    n_iters = 0
+    while loop.cond is None or interp.eval(loop.cond):
+        current_iter[0] = int(interp.env[idx_name])
+        interp.exec_stmt(loop.body)
+        if loop.step is not None:
+            interp.access_hook = None  # the step itself is not part of the body
+            interp.exec_stmt(loop.step)
+            interp.access_hook = hook
+        n_iters += 1
+        if n_iters > 10_000_000:  # pragma: no cover - safety valve
+            raise RuntimeError("race check iteration guard exceeded")
+
+    return RaceReport(loop_index=idx_name, iterations=n_iters, conflicts=conflicts)

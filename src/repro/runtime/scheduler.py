@@ -1,0 +1,78 @@
+"""OpenMP loop-scheduling simulation.
+
+Given the per-iteration work of a parallel loop, compute how static
+(contiguous blocks, OpenMP's default) and dynamic (first-come chunk
+dispatch) scheduling distribute that work over ``p`` threads.  The maximum
+per-thread total determines the parallel region's compute time.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def static_chunks(n: int, p: int) -> List[Tuple[int, int]]:
+    """OpenMP static schedule: ``p`` contiguous [start, end) blocks."""
+    if p <= 0:
+        raise ValueError("thread count must be positive")
+    base = n // p
+    rem = n % p
+    out = []
+    start = 0
+    for t in range(p):
+        size = base + (1 if t < rem else 0)
+        out.append((start, start + size))
+        start += size
+    return out
+
+
+def static_max_work(work: np.ndarray, p: int) -> float:
+    """Max per-thread work under the static schedule."""
+    n = len(work)
+    if n == 0:
+        return 0.0
+    if p >= n:
+        return float(work.max())
+    csum = np.concatenate(([0.0], np.cumsum(work)))
+    best = 0.0
+    for s, e in static_chunks(n, p):
+        best = max(best, float(csum[e] - csum[s]))
+    return best
+
+
+def dynamic_assign(work: np.ndarray, p: int, chunk: int = 1) -> Tuple[float, int]:
+    """Simulate OpenMP ``schedule(dynamic, chunk)``.
+
+    Chunks of ``chunk`` consecutive iterations are handed to whichever
+    thread becomes free first.  Returns ``(makespan_work, n_chunks)`` where
+    makespan_work is the finishing thread-time in work units.
+    """
+    n = len(work)
+    if n == 0:
+        return 0.0, 0
+    if p <= 1:
+        return float(work.sum()), (n + chunk - 1) // chunk
+    # chunk sums
+    sums: List[float] = []
+    for s in range(0, n, chunk):
+        sums.append(float(work[s : s + chunk].sum()))
+    heap = [0.0] * min(p, len(sums))
+    heapq.heapify(heap)
+    for w in sums:
+        t = heapq.heappop(heap)
+        heapq.heappush(heap, t + w)
+    return max(heap), len(sums)
+
+
+def max_thread_work(
+    work: np.ndarray, p: int, schedule: str = "static", chunk: int = 1
+) -> Tuple[float, int]:
+    """Max per-thread work and dispatched chunk count for a schedule."""
+    if schedule == "static":
+        return static_max_work(np.asarray(work, dtype=np.float64), p), p
+    if schedule == "dynamic":
+        return dynamic_assign(np.asarray(work, dtype=np.float64), p, chunk)
+    raise ValueError(f"unknown schedule {schedule!r}")

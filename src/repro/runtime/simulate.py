@@ -1,0 +1,207 @@
+"""Application performance simulation.
+
+Combines (a) the compiler's per-loop parallelization decisions, (b) the
+measured per-iteration work profile of each kernel on the actual input,
+and (c) the :class:`~repro.runtime.machine.MachineModel` into predicted
+execution times:
+
+``T_serial  = reps · Σ work[i] · c_op``
+
+``T_outer   = reps · (fork(p) + max(max_thread_chunk, Σwork / bw_sat) · c_op)``
+
+``T_inner   = reps · Σ_i (fork(p) + per-invocation distributed work · c_op)``
+
+``c_op`` is calibrated per benchmark so the serial time lands on Table 1's
+measurement; all speedups then follow from structure (who forks where, how
+work balances, where bandwidth saturates) — the quantities the paper's
+figures compare.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
+from repro.runtime.scheduler import max_thread_work
+
+
+@dataclasses.dataclass
+class KernelComponent:
+    """One timed loop nest of a benchmark.
+
+    ``nest_path`` locates the component's outermost loop in the program:
+    ``(k,)`` is the k-th top-level loop nest, ``(k, 0)`` its first inner
+    loop, etc.  ``work[i]`` is the operation count of outer iteration ``i``
+    on the actual input; ``level_trips`` gives the trip counts of the
+    successively nested loops (used when parallelization lands on an inner
+    level); ``contention`` models bandwidth saturation: effective
+    throughput on p threads is ``p / (1 + (p-1)·contention)``.
+    """
+
+    name: str
+    nest_path: Tuple[int, ...]
+    work: np.ndarray
+    reps: int = 1
+    level_trips: Tuple[int, ...] = ()
+    #: memory-contention factor β: p threads deliver p/(1+(p-1)β) throughput
+    contention: float = 0.0
+    #: extra per-invocation cost when parallelized at an inner level
+    #: (models e.g. the OpenMP reduction join of AMGmk's accumulation loop)
+    inner_region_extra: float = 0.0
+
+    def total_ops(self) -> float:
+        return float(self.work.sum()) * self.reps
+
+    def slowdown(self, threads: int) -> float:
+        """Contention multiplier applied to compute time on p threads."""
+        if threads <= 1:
+            return 1.0
+        return 1.0 + (threads - 1) * self.contention
+
+
+@dataclasses.dataclass
+class PerfModel:
+    """A benchmark's performance description."""
+
+    components: List[KernelComponent]
+    #: Table 1 serial execution time used to calibrate c_op
+    serial_time_target: float
+    #: ops outside the modeled components (always serial)
+    serial_extra_ops: float = 0.0
+
+    def total_ops(self) -> float:
+        return sum(c.total_ops() for c in self.components) + self.serial_extra_ops
+
+    @property
+    def c_op(self) -> float:
+        total = self.total_ops()
+        if total <= 0:
+            raise ValueError("performance model has no work")
+        return self.serial_time_target / total
+
+
+@dataclasses.dataclass
+class ComponentPlan:
+    """How one component executes: serial, outer-parallel or inner-parallel."""
+
+    level: str  # 'serial' | 'outer' | 'inner'
+    depth: int = 0  # nesting depth of the parallel loop (inner only)
+    has_runtime_check: bool = False
+
+
+@dataclasses.dataclass
+class ParallelPlan:
+    """Execution plan for a whole application under one pipeline."""
+
+    per_component: Dict[str, ComponentPlan]
+
+    def level_of(self, comp: KernelComponent) -> ComponentPlan:
+        return self.per_component.get(comp.name, ComponentPlan("serial"))
+
+
+def plan_from_decisions(perf: PerfModel, result) -> ParallelPlan:
+    """Derive the execution plan from a ParallelizationResult.
+
+    For each component, walk from its outermost loop down the (first-child)
+    chain: the shallowest loop the compiler marked parallel determines the
+    execution level.
+    """
+    nests = result.analysis.nests
+    plans: Dict[str, ComponentPlan] = {}
+    for comp in perf.components:
+        nest = _resolve_nest(nests, comp.nest_path)
+        if nest is None:
+            plans[comp.name] = ComponentPlan("serial")
+            continue
+        found: Optional[ComponentPlan] = None
+        frontier = [(nest, 0)]
+        while frontier:
+            node, depth = frontier.pop(0)
+            d = result.decisions.get(node.loop.loop_id or "")
+            if d is not None and d.parallel:
+                level = "outer" if depth == 0 else "inner"
+                found = ComponentPlan(level, depth, has_runtime_check=bool(d.checks))
+                break
+            frontier.extend((inner, depth + 1) for inner in node.inner)
+        plans[comp.name] = found or ComponentPlan("serial")
+    return ParallelPlan(plans)
+
+
+def _resolve_nest(nests, path: Tuple[int, ...]):
+    try:
+        node = nests[path[0]]
+        for k in path[1:]:
+            node = node.inner[k]
+        return node
+    except (IndexError, TypeError):
+        return None
+
+
+def simulate_component(
+    comp: KernelComponent,
+    plan: ComponentPlan,
+    threads: int,
+    c_op: float,
+    machine: MachineModel = DEFAULT_MACHINE,
+    schedule: str = "static",
+    chunk: int = 1,
+) -> float:
+    """Predicted execution time (seconds) of one component."""
+    work = np.asarray(comp.work, dtype=np.float64)
+    total = float(work.sum())
+    if threads <= 1 or plan.level == "serial" or total == 0.0:
+        return total * c_op * comp.reps
+
+    if plan.level == "outer":
+        max_chunk, n_chunks = max_thread_work(work, threads, schedule, chunk)
+        compute = max_chunk * comp.slowdown(threads) * c_op
+        overhead = machine.fork_cost(threads)
+        if schedule == "dynamic":
+            overhead += machine.dynamic_chunk_cost * n_chunks
+        return comp.reps * (overhead + compute)
+
+    # inner-level parallelization: one fork per invocation of the parallel
+    # loop; work under each outer iteration splits across the inner trips
+    depth = max(1, plan.depth)
+    trips = comp.level_trips or ()
+    # invocations under one outer iteration and trip of the parallel loop
+    inner_invocs = 1
+    for t in trips[1:depth]:
+        inner_invocs *= max(1, t)
+    par_trip = trips[depth] if depth < len(trips) else max(1, int(round(total / max(len(work), 1))))
+    par_trip = max(1, par_trip)
+    eff_p = min(threads, par_trip)
+    quant = math.ceil(par_trip / eff_p) / par_trip  # iteration quantization
+    # per-invocation work for each outer iteration
+    w_invoc = work / inner_invocs
+    per_invoc_compute = w_invoc * quant * (1.0 + (eff_p - 1) * comp.contention) * c_op
+    fork = machine.fork_cost(threads) + comp.inner_region_extra
+    t_outer_iters = inner_invocs * (fork + per_invoc_compute)
+    return comp.reps * float(t_outer_iters.sum())
+
+
+def simulate_app(
+    perf: PerfModel,
+    plan: ParallelPlan,
+    threads: int,
+    machine: MachineModel = DEFAULT_MACHINE,
+    schedule: str = "static",
+    chunk: int = 1,
+) -> float:
+    """Predicted whole-application time under a plan."""
+    c_op = perf.c_op
+    t = perf.serial_extra_ops * c_op
+    for comp in perf.components:
+        t += simulate_component(
+            comp, plan.level_of(comp), threads, c_op, machine, schedule, chunk
+        )
+    return t
+
+
+def serial_time(perf: PerfModel) -> float:
+    """Serial execution time (equals the calibration target by design)."""
+    return perf.total_ops() * perf.c_op

@@ -1,0 +1,75 @@
+"""Per-iteration work metering.
+
+Executes a loop through the interpreter and records the number of abstract
+operations performed by each iteration of a chosen loop — the measured
+counterpart of the analytic ``work[i]`` profiles in the benchmarks'
+performance models.  Used by tests to validate that the analytic profiles
+have the right *shape* (proportional to nnz-per-row etc.) and by users to
+build profiles for new kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.lang.astnodes import Assign, Decl, For, Id, Program
+from repro.runtime.interp import Interpreter
+
+
+def meter_loop_work(
+    prog: Program,
+    loop: For,
+    env: Dict[str, Any],
+) -> np.ndarray:
+    """Execute ``prog`` and return ops-per-iteration for ``loop``.
+
+    ``loop`` must be a top-level statement of ``prog``; everything before
+    it runs normally.  The operation counter counts arithmetic/comparison
+    evaluations and compound updates (see
+    :class:`~repro.runtime.interp.Interpreter`).
+    """
+    interp = Interpreter(env, op_counter=True)
+    for s in prog.stmts:
+        if s is loop:
+            break
+        interp.exec_stmt(s)
+    else:
+        raise ValueError("loop is not a top-level statement of prog")
+
+    idx_name: Optional[str] = None
+    if isinstance(loop.init, Assign) and isinstance(loop.init.lhs, Id):
+        idx_name = loop.init.lhs.name
+    elif isinstance(loop.init, Decl):
+        idx_name = loop.init.name
+    if idx_name is None:
+        raise ValueError("cannot identify loop index")
+
+    counts: List[float] = []
+    interp.exec_stmt(loop.init)
+    while loop.cond is None or interp.eval(loop.cond):
+        before = interp.ops
+        interp.exec_stmt(loop.body)
+        counts.append(float(interp.ops - before))
+        if loop.step is not None:
+            interp.exec_stmt(loop.step)
+    return np.asarray(counts)
+
+
+def meter_benchmark_kernel(bench, nest_index: int = -1) -> np.ndarray:
+    """Meter a benchmark's kernel loop on its small environment.
+
+    ``nest_index`` selects the top-level loop (default: the last one, which
+    is the compute kernel for fill+kernel benchmarks).
+    """
+    from repro.lang.cparser import parse_program
+
+    prog = parse_program(bench.source)
+    loops = [s for s in prog.stmts if isinstance(s, For)]
+    loop = loops[nest_index]
+    env = {
+        k: (v.copy() if isinstance(v, np.ndarray) else v)
+        for k, v in bench.small_env().items()
+    }
+    return meter_loop_work(prog, loop, env)

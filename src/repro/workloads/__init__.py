@@ -1,0 +1,34 @@
+"""Workload generators standing in for the paper's input datasets.
+
+The SuiteSparse matrices the paper uses (spal_004, gsm_106857,
+dielFilterV2clx, af_shell1, inline_1, crankseg_1) are not redistributable
+here; :mod:`repro.workloads.suitesparse` generates synthetic matrices
+matched to each one's published dimensions, nnz and row/column-balance
+character, which is all the performance model consumes (the *analysis*
+result is input-independent, paper §2.1).  AMGmk's MATRIX1-5 and the NPB /
+PolyBench datasets are built-in scalable problems and are generated
+directly.
+"""
+
+from repro.workloads.sparse import CSRMatrix, banded_csr, skewed_csr, uniform_csr
+from repro.workloads.amg import amg_matrix, AMG_DATASETS
+from repro.workloads.suitesparse import suitesparse_profile, SUITESPARSE_PROFILES
+from repro.workloads.npb import NPB_CLASSES, ua_class, cg_class, mg_class, is_class
+from repro.workloads.polybench import POLYBENCH_EXTRALARGE
+
+__all__ = [
+    "CSRMatrix",
+    "banded_csr",
+    "skewed_csr",
+    "uniform_csr",
+    "amg_matrix",
+    "AMG_DATASETS",
+    "suitesparse_profile",
+    "SUITESPARSE_PROFILES",
+    "NPB_CLASSES",
+    "ua_class",
+    "cg_class",
+    "mg_class",
+    "is_class",
+    "POLYBENCH_EXTRALARGE",
+]

@@ -1,0 +1,101 @@
+"""NAS Parallel Benchmark problem classes (UA, CG, MG, IS).
+
+Class-size tables follow the NPB 3.3 specification; only the parameters
+the performance models consume are carried (element/row counts, iteration
+counts, Table 1 serial times).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class UASpec:
+    """UA: unstructured adaptive mesh, transf kernel."""
+
+    name: str
+    lelt: int  # maximum number of elements
+    niter: int  # time steps (each invokes transf)
+    serial_time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class CGSpec:
+    """CG: conjugate gradient with a random sparse matrix."""
+
+    name: str
+    na: int  # rows
+    nonzer: int  # nonzeros per row parameter
+    niter: int
+    serial_time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class MGSpec:
+    """MG: multigrid on a cubic grid."""
+
+    name: str
+    grid: int
+    niter: int
+    serial_time: float
+
+
+@dataclasses.dataclass(frozen=True)
+class ISSpec:
+    """IS: integer sort (bucket/histogram)."""
+
+    name: str
+    total_keys: int
+    max_key: int
+    niter: int
+    serial_time: float
+
+
+UA_CLASSES: Dict[str, UASpec] = {
+    "A": UASpec("A", lelt=8800, niter=200, serial_time=1.44),
+    "B": UASpec("B", lelt=8800 * 4, niter=200, serial_time=9.28),
+    "C": UASpec("C", lelt=8800 * 16, niter=200, serial_time=43.66),
+    "D": UASpec("D", lelt=8800 * 128, niter=250, serial_time=874.22),
+}
+
+CG_CLASSES: Dict[str, CGSpec] = {
+    "A": CGSpec("A", na=14000, nonzer=11, niter=15, serial_time=2.2),
+    "B": CGSpec("B", na=75000, nonzer=13, niter=75, serial_time=40.51),
+    "C": CGSpec("C", na=150000, nonzer=15, niter=75, serial_time=110.0),
+}
+
+MG_CLASSES: Dict[str, MGSpec] = {
+    "A": MGSpec("A", grid=256, niter=4, serial_time=1.4),
+    "B": MGSpec("B", grid=256, niter=20, serial_time=4.8),
+    "C": MGSpec("C", grid=512, niter=20, serial_time=40.0),
+}
+
+IS_CLASSES: Dict[str, ISSpec] = {
+    "B": ISSpec("B", total_keys=2**25, max_key=2**21, niter=10, serial_time=1.9),
+    "C": ISSpec("C", total_keys=2**27, max_key=2**23, niter=10, serial_time=7.662),
+}
+
+NPB_CLASSES = {
+    "UA": UA_CLASSES,
+    "CG": CG_CLASSES,
+    "MG": MG_CLASSES,
+    "IS": IS_CLASSES,
+}
+
+
+def ua_class(name: str) -> UASpec:
+    return UA_CLASSES[name]
+
+
+def cg_class(name: str) -> CGSpec:
+    return CG_CLASSES[name]
+
+
+def mg_class(name: str) -> MGSpec:
+    return MG_CLASSES[name]
+
+
+def is_class(name: str) -> ISSpec:
+    return IS_CLASSES[name]

@@ -1,0 +1,24 @@
+"""PolyBench 4.2.1 EXTRALARGE dataset sizes (heat-3d, fdtd-2d, gramschmidt,
+syrk) plus the paper's Table 1 serial times."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+
+@dataclasses.dataclass(frozen=True)
+class PolybenchSpec:
+    name: str
+    params: Dict[str, int]
+    serial_time: float  # Table 1 seconds
+
+
+POLYBENCH_EXTRALARGE: Dict[str, PolybenchSpec] = {
+    "heat-3d": PolybenchSpec("heat-3d", {"N": 200, "TSTEPS": 1000}, 27.85),
+    "fdtd-2d": PolybenchSpec(
+        "fdtd-2d", {"NX": 2000, "NY": 2600, "TMAX": 1000}, 22.83
+    ),
+    "gramschmidt": PolybenchSpec("gramschmidt", {"M": 2600, "N": 3000}, 17.14),
+    "syrk": PolybenchSpec("syrk", {"N": 3000, "M": 2600}, 7.53),
+}

@@ -1,0 +1,220 @@
+"""Program-level analyzer tests: the paper's three worked examples plus
+negative cases the analysis must reject."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, MonoKind, analyze_program
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import Sym, add, mul, sub
+
+NEW = AnalysisConfig.new_algorithm()
+BASE = AnalysisConfig.base_algorithm()
+
+AMG_FILL = """
+irownnz = 0;
+for (i = 0; i < num_rows; i++){
+    adiag = A_i[i+1] - A_i[i];
+    if (adiag > 0)
+        A_rownnz[irownnz++] = i;
+}
+"""
+
+SDDMM_FILL = """
+holder = 1; col_ptr[0] = 0; r = col_val[0];
+for (i = 0; i < nonzeros; i++){
+    if (col_val[i] != r){
+        col_ptr[holder++] = i;
+        r = col_val[i];
+    }
+}
+"""
+
+UA_FILL = """
+for(iel = 0; iel < LELT; iel++) {
+    ntemp = 125*iel;
+    for(j = 0; j < 5; j++) {
+        for(i = 0; i < 5; i++) {
+            idel[iel][0][j][i] = ntemp + i*5 + j*25 + 4;
+            idel[iel][1][j][i] = ntemp + i*5 + j*25;
+            idel[iel][2][j][i] = ntemp + i + j*25 + 20;
+            idel[iel][3][j][i] = ntemp + i + j*25;
+            idel[iel][4][j][i] = ntemp + i + j*5 + 100;
+            idel[iel][5][j][i] = ntemp + i + j*5;
+        }
+    }
+}
+"""
+
+
+class TestPaperExample1AMG:
+    def test_property(self):
+        res = analyze_program(AMG_FILL, NEW)
+        p = res.properties.property_of("A_rownnz")
+        assert p is not None
+        assert p.kind is MonoKind.SMA
+        assert p.intermittent
+        # region [0 : irownnz_max], values [0 : num_rows-1] (paper §3.1)
+        assert p.region == SymRange(0, Sym("irownnz_max"))
+        assert p.value_range == SymRange(0, sub(Sym("num_rows"), 1))
+
+    def test_counter_state_after_loop(self):
+        res = analyze_program(AMG_FILL, NEW)
+        assert res.state.scalars["irownnz"] == SymRange(0, Sym("num_rows"))
+
+    def test_counter_max_fact(self):
+        res = analyze_program(AMG_FILL, NEW)
+        assert res.facts.range_of(Sym("irownnz_max")) == SymRange(0, Sym("num_rows"))
+
+    def test_base_algorithm_fails(self):
+        res = analyze_program(AMG_FILL, BASE)
+        assert res.properties.property_of("A_rownnz") is None
+
+    def test_classical_config_finds_nothing(self):
+        res = analyze_program(AMG_FILL, AnalysisConfig.classical())
+        assert len(res.properties) == 0
+
+
+class TestPaperExample2SDDMM:
+    def test_property(self):
+        res = analyze_program(SDDMM_FILL, NEW)
+        p = res.properties.property_of("col_ptr")
+        assert p is not None
+        assert p.kind.monotonic
+        assert p.intermittent
+        # prefix-extended to [0 : holder_max] thanks to col_ptr[0] = 0
+        assert p.region == SymRange(0, Sym("holder_max"))
+        assert p.value_range == SymRange(0, sub(Sym("nonzeros"), 1))
+
+    def test_without_prefix_assignment_region_starts_at_1(self):
+        src = SDDMM_FILL.replace("col_ptr[0] = 0; ", "")
+        res = analyze_program(src, NEW)
+        p = res.properties.property_of("col_ptr")
+        assert p is not None
+        assert str(p.region.lb) == "1"
+
+
+class TestPaperExample3UA:
+    def test_property(self):
+        res = analyze_program(UA_FILL, NEW)
+        p = res.properties.any_property_of("idel")
+        assert p is not None
+        assert p.kind is MonoKind.SMA
+        assert p.dim == 0
+        assert p.region == SymRange(0, sub(Sym("LELT"), 1))
+        # values [0 : 125*LELT - 1] == [0 : 125*(LELT-1)] + [0:124]
+        assert p.value_range == SymRange(0, sub(mul(125, Sym("LELT")), 1))
+
+    def test_multidim_gated_off(self):
+        res = analyze_program(UA_FILL, BASE)
+        assert res.properties.any_property_of("idel") is None
+
+
+class TestChainRecurrence:
+    SRC = """
+    nscol = 48;
+    xsup[0] = 0;
+    for (s = 0; s < nsuper; s++){
+        xsup[s+1] = xsup[s] + nscol;
+    }
+    """
+
+    def test_base_algorithm_proves_chain(self):
+        res = analyze_program(self.SRC, BASE)
+        p = res.properties.property_of("xsup")
+        assert p is not None and p.kind is MonoKind.SMA
+        assert p.region == SymRange(0, Sym("nsuper"))
+
+    def test_chain_with_unknown_step_rejected(self):
+        src = self.SRC.replace("nscol = 48;", "")
+        res = analyze_program(src, NEW)
+        assert res.properties.property_of("xsup") is None
+
+    def test_chain_with_negative_step_rejected(self):
+        src = self.SRC.replace("nscol = 48;", "nscol = -1;")
+        res = analyze_program(src, NEW)
+        assert res.properties.property_of("xsup") is None
+
+
+class TestNegativeCases:
+    def test_decrementing_counter_rejected(self):
+        res = analyze_program(
+            """
+            for (i = 0; i < n; i++){
+                if (xs[i] > 0) { a[m] = i; m = m - 1; }
+            }
+            """,
+            NEW,
+        )
+        assert res.properties.property_of("a") is None
+
+    def test_non_monotonic_value_rejected(self):
+        res = analyze_program(
+            """
+            for (i = 0; i < n; i++){
+                if (xs[i] > 0) { a[m] = xs[i]; m = m + 1; }
+            }
+            """,
+            NEW,
+        )
+        assert res.properties.property_of("a") is None
+
+    def test_different_guards_rejected(self):
+        res = analyze_program(
+            """
+            for (i = 0; i < n; i++){
+                if (xs[i] > 0) { a[m] = i; }
+                if (ys[i] > 0) { m = m + 1; }
+            }
+            """,
+            NEW,
+        )
+        assert res.properties.property_of("a") is None
+
+    def test_counter_incremented_by_two_rejected(self):
+        res = analyze_program(
+            """
+            for (i = 0; i < n; i++){
+                if (xs[i] > 0) { a[m] = i; m = m + 2; }
+            }
+            """,
+            NEW,
+        )
+        assert res.properties.property_of("a") is None
+
+    def test_input_dependent_subscript_rejected(self):
+        """The Incomplete-Cholesky situation: no fill loop in the program."""
+        res = analyze_program("for (i = 0; i < n; i++){ val[ja[i]] = 0; }", NEW)
+        assert res.properties.property_of("val") is None
+        assert res.properties.property_of("ja") is None
+
+    def test_overwrite_kills_property(self):
+        src = (
+            AMG_FILL
+            + """
+        for (i = 0; i < num_rows; i++){
+            A_rownnz[perm[i]] = i;
+        }
+        """
+        )
+        res = analyze_program(src, NEW)
+        assert res.properties.property_of("A_rownnz") is None
+
+    def test_refill_reestablishes_property(self):
+        res = analyze_program(AMG_FILL + AMG_FILL, NEW)
+        assert res.properties.property_of("A_rownnz") is not None
+
+
+class TestProgramState:
+    def test_straightline_scalar_tracking(self):
+        res = analyze_program("x = 3; y = x + 2;", NEW)
+        assert res.state.scalars["y"] == SymRange.point(5)
+
+    def test_element_tracking(self):
+        res = analyze_program("a[0] = 7;", NEW)
+        from repro.ir.symbols import IntLit
+
+        assert res.state.get_element("a", (IntLit(0),)) == SymRange.point(7)
+
+    def test_loop_updates_state(self):
+        res = analyze_program("p = 0; for (i = 0; i < 10; i++) { p = p + 1; }", NEW)
+        assert res.state.scalars["p"] == SymRange.point(10)

@@ -1,0 +1,78 @@
+"""Tests for the loop-body CFG (paper §2.3 / Figure 5)."""
+
+from repro.analysis.cfg import NodeKind, build_cfg
+from repro.analysis.normalize import normalize_program
+from repro.lang.cparser import parse_program
+
+
+def cfg_of(body_src):
+    prog = normalize_program(parse_program(f"for (i = 0; i < n; i++) {{ {body_src} }}"))
+    return build_cfg(prog.stmts[0].body)
+
+
+def test_straight_line_chain():
+    g = cfg_of("a = 1; b = 2;")
+    kinds = [n.kind for n in g.topological()]
+    assert kinds[0] is NodeKind.ENTRY
+    assert kinds[-1] is NodeKind.EXIT
+    assert kinds.count(NodeKind.STMT) == 2
+
+
+def test_if_creates_branch_and_merge():
+    g = cfg_of("if (a > 0) x = 1;")
+    kinds = [n.kind for n in g.topological()]
+    assert NodeKind.BRANCH in kinds
+    assert NodeKind.MERGE in kinds
+
+
+def test_branch_guard_recorded_on_then_statements():
+    g = cfg_of("if (a > 0) x = 1;")
+    stmt_nodes = [n for n in g.topological() if n.kind is NodeKind.STMT]
+    assert len(stmt_nodes) == 1
+    (guard_branch, polarity) = stmt_nodes[0].guards[0]
+    assert guard_branch.kind is NodeKind.BRANCH
+    assert polarity is True
+
+
+def test_else_guard_polarity():
+    g = cfg_of("if (a > 0) x = 1; else x = 2;")
+    stmt_nodes = [n for n in g.topological() if n.kind is NodeKind.STMT]
+    polarities = sorted(n.guards[0][1] for n in stmt_nodes)
+    assert polarities == [False, True]
+
+
+def test_nested_if_accumulates_guards():
+    g = cfg_of("if (a > 0) { if (b > 0) x = 1; }")
+    stmt_nodes = [n for n in g.topological() if n.kind is NodeKind.STMT]
+    assert len(stmt_nodes[0].guards) == 2
+
+
+def test_inner_loop_collapses_to_single_node():
+    g = cfg_of("for (j = 0; j < m; j++) { s = s + 1; }")
+    kinds = [n.kind for n in g.topological()]
+    assert NodeKind.LOOP in kinds
+    # the inner body statement is NOT a node of this CFG
+    assert kinds.count(NodeKind.STMT) == 0
+
+
+def test_merge_has_two_predecessors():
+    g = cfg_of("if (a > 0) x = 1;")
+    merge = next(n for n in g.topological() if n.kind is NodeKind.MERGE)
+    assert len(merge.preds) == 2
+
+
+def test_topological_order_respects_edges():
+    g = cfg_of("a = 1; if (a > 0) { b = 2; } c = 3;")
+    order = {n.nid: k for k, n in enumerate(g.topological())}
+    for n in g.topological():
+        for s in n.succs:
+            assert order[n.nid] < order[s.nid]
+
+
+def test_dag_is_acyclic():
+    g = cfg_of("if (a>0) { if (b>0) x=1; else x=2; } y = x;")
+    seen = set()
+    for n in g.topological():
+        for p in n.preds:
+            assert p.nid in seen or p.nid < n.nid
+        seen.add(n.nid)

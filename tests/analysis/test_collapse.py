@@ -1,0 +1,54 @@
+"""Collapsed-loop application tests (Λ-marker substitution)."""
+
+from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import BOTTOM, BigLambda, IntLit, Sym, add, mul
+
+
+def make_bounds(values):
+    return MarkerBounds(lambda name: values.get(name))
+
+
+def test_biglambda_substitutes_current_value():
+    bounds = make_bounds({"p": SymRange.point(IntLit(7))})
+    r = subst_range(SymRange(BigLambda("p"), add(BigLambda("p"), 3)), bounds)
+    assert r == SymRange(7, 10)
+
+
+def test_unresolved_biglambda_falls_back_to_symbol():
+    bounds = make_bounds({})
+    r = subst_range(SymRange.point(BigLambda("p")), bounds)
+    assert r == SymRange.point(Sym("p"))
+
+
+def test_outer_lvv_symbol_substitutes():
+    # inner summary references Sym('ntemp'); the outer iteration knows it
+    bounds = make_bounds({"ntemp": SymRange.point(mul(125, Sym("iel")))})
+    r = subst_range(SymRange(Sym("ntemp"), add(Sym("ntemp"), 124)), bounds)
+    assert r == SymRange(mul(125, Sym("iel")), add(mul(125, Sym("iel")), 124))
+
+
+def test_range_valued_substitution_uses_outer_bounds():
+    # current value of p is itself a range: lb of result takes p's lb
+    bounds = make_bounds({"p": SymRange(0, Sym("n"))})
+    r = subst_range(SymRange(BigLambda("p"), add(BigLambda("p"), 1)), bounds)
+    assert r.lb == IntLit(0)
+    assert r.ub == add(Sym("n"), 1)
+
+
+def test_negative_coefficient_swaps_bounds():
+    bounds = make_bounds({"p": SymRange(0, 10)})
+    r = subst_range(SymRange(mul(-1, BigLambda("p")), mul(-1, BigLambda("p"))), bounds)
+    assert r == SymRange(-10, 0)
+
+
+def test_unknown_bounds_preserved():
+    bounds = make_bounds({})
+    r = subst_range(SymRange(BOTTOM, BOTTOM), bounds)
+    assert r.is_unknown
+
+
+def test_collapsed_loop_defaults():
+    cl = CollapsedLoop(loop_id="L0", index="i", trip_count=None)
+    assert cl.analyzed
+    assert not cl.scalar_effects and not cl.array_effects

@@ -1,0 +1,31 @@
+"""AnalysisConfig tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.config import AnalysisConfig
+
+
+def test_pipeline_names():
+    assert AnalysisConfig.classical().name == "Cetus"
+    assert AnalysisConfig.base_algorithm().name == "Cetus+BaseAlgo"
+    assert AnalysisConfig.new_algorithm().name == "Cetus+NewAlgo"
+
+
+def test_custom_mix_named():
+    cfg = dataclasses.replace(AnalysisConfig.new_algorithm(), multidim=False)
+    assert cfg.name == "Cetus+custom"
+
+
+def test_classical_disables_everything():
+    cfg = AnalysisConfig.classical()
+    assert not cfg.array_analysis
+    assert not cfg.intermittent
+    assert not cfg.multidim
+
+
+def test_config_is_frozen():
+    cfg = AnalysisConfig.new_algorithm()
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        cfg.intermittent = False

@@ -1,0 +1,119 @@
+"""Tests for AST→IR evaluation and condition tags."""
+
+from repro.analysis.irbridge import (
+    EMPTY_RESOLVER,
+    EMPTY_TAG,
+    Tag,
+    cond_is_loop_variant,
+    cond_key,
+    eval_expr,
+)
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import ArrayRef, IntLit, Sym, add, mul
+from repro.lang.cparser import parse_expr
+
+
+def ev(src):
+    return eval_expr(parse_expr(src))
+
+
+class TestEvalExpr:
+    def test_literal(self):
+        assert ev("42") == SymRange.point(42)
+
+    def test_identifier(self):
+        assert ev("n") == SymRange.point(Sym("n"))
+
+    def test_arith(self):
+        assert ev("2*i + 3") == SymRange.point(add(mul(2, Sym("i")), 3))
+
+    def test_point_times_point(self):
+        assert ev("125*iel") == SymRange.point(mul(125, Sym("iel")))
+
+    def test_array_read(self):
+        assert ev("A_i[i+1]") == SymRange.point(ArrayRef("A_i", [add(Sym("i"), 1)]))
+
+    def test_float_unknown(self):
+        assert ev("0.5 * x").is_unknown
+
+    def test_call_unknown(self):
+        assert ev("exp(x)").is_unknown
+
+    def test_relational_unknown(self):
+        assert ev("a < b").is_unknown
+
+    def test_unary_minus(self):
+        assert ev("-x") == SymRange.point(mul(-1, Sym("x")))
+
+    def test_division_points(self):
+        r = ev("10 / 2")
+        assert r == SymRange.point(5)
+
+    def test_ternary_unions(self):
+        r = ev("c ? 1 : 5")
+        assert r == SymRange(1, 5)
+
+
+class TestCondKey:
+    def test_equal_conditions_equal_keys(self):
+        a = cond_key(parse_expr("(xdos[j] - t) < width"))
+        b = cond_key(parse_expr("(xdos[j] - t) < width"))
+        assert a == b
+
+    def test_different_conditions_differ(self):
+        a = cond_key(parse_expr("x < 1"))
+        b = cond_key(parse_expr("x < 2"))
+        assert a != b
+
+    def test_keys_hashable(self):
+        k = cond_key(parse_expr("a[i] != r && b > 0"))
+        assert hash(k) is not None
+
+    def test_operand_values_canonicalized(self):
+        # i+1 and 1+i are the same value
+        a = cond_key(parse_expr("x[i+1] > 0"))
+        b = cond_key(parse_expr("x[1+i] > 0"))
+        assert a == b
+
+
+class TestLoopVariance:
+    def test_index_reference_variant(self):
+        e = parse_expr("xs[j] > 0")
+        assert cond_is_loop_variant(e, "j", frozenset())
+
+    def test_lvv_reference_variant(self):
+        e = parse_expr("r != c")
+        assert cond_is_loop_variant(e, "i", frozenset({"r"}))
+
+    def test_invariant_condition(self):
+        e = parse_expr("flag > 0")
+        assert not cond_is_loop_variant(e, "i", frozenset())
+
+    def test_array_at_variant_subscript(self):
+        e = parse_expr("col_val[i] != r")
+        assert cond_is_loop_variant(e, "i", frozenset())
+
+
+class TestTag:
+    def test_empty_tag(self):
+        assert EMPTY_TAG.empty
+        assert not EMPTY_TAG.loop_variant
+
+    def test_extend_and_equality(self):
+        t1 = EMPTY_TAG.extend(("k1",), True, True)
+        t2 = EMPTY_TAG.extend(("k1",), True, True)
+        assert t1 == t2 and hash(t1) == hash(t2)
+
+    def test_polarity_matters(self):
+        t1 = EMPTY_TAG.extend(("k1",), True, True)
+        t2 = EMPTY_TAG.extend(("k1",), False, True)
+        assert t1 != t2
+
+    def test_loop_variant_any_conjunct(self):
+        t = EMPTY_TAG.extend(("a",), True, False).extend(("b",), True, True)
+        assert t.loop_variant
+
+    def test_nesting_order_matters(self):
+        t1 = EMPTY_TAG.extend(("a",), True, True).extend(("b",), True, True)
+        t2 = EMPTY_TAG.extend(("b",), True, True).extend(("a",), True, True)
+        assert t1 != t2

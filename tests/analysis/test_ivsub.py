@@ -1,0 +1,112 @@
+"""Induction-variable substitution tests (semantics-preserving rewrites)."""
+
+import numpy as np
+
+from repro.analysis.ivsub import find_induction_vars, substitute_in_program
+from repro.analysis.loopinfo import find_loop_nests
+from repro.analysis.normalize import match_header, normalize_program
+from repro.lang.astnodes import For
+from repro.lang.cparser import parse_program
+from repro.lang.printer import to_c
+from repro.runtime.interp import run_program
+
+
+def prep(src):
+    return normalize_program(parse_program(src))
+
+
+def test_finds_unconditional_iv():
+    prog = prep("for (i = 0; i < n; i++) { a[k] = i; k = k + 3; }")
+    loop = prog.stmts[0]
+    ivs = find_induction_vars(loop, match_header(loop))
+    assert [iv.name for iv in ivs] == ["k"]
+    assert to_c(ivs[0].increment) == "3"
+
+
+def test_conditional_update_not_iv():
+    prog = prep("for (i = 0; i < n; i++) { if (c[i]) k = k + 1; }")
+    loop = prog.stmts[0]
+    assert find_induction_vars(loop, match_header(loop)) == []
+
+
+def test_two_updates_not_iv():
+    prog = prep("for (i = 0; i < n; i++) { k = k + 1; a[k] = i; k = k + 2; }")
+    loop = prog.stmts[0]
+    assert find_induction_vars(loop, match_header(loop)) == []
+
+
+def test_variant_increment_not_iv():
+    prog = prep("for (i = 0; i < n; i++) { k = k + c[i]; }")
+    loop = prog.stmts[0]
+    assert find_induction_vars(loop, match_header(loop)) == []
+
+
+def test_substitution_preserves_semantics():
+    src = """
+    k = 2;
+    for (i = 0; i < 7; i++) {
+        a[k] = i;
+        k = k + 3;
+    }
+    """
+    prog1 = prep(src)
+    prog2 = prep(src)
+    substitute_in_program(prog2)
+
+    def env():
+        return {"a": np.zeros(40, dtype=np.int64), "k": 0}
+
+    out1 = run_program(prog1, env())
+    out2 = run_program(prog2, env())
+    np.testing.assert_array_equal(out1["a"], out2["a"])
+    assert out1["k"] == out2["k"] == 2 + 21
+
+
+def test_substitution_makes_subscript_affine():
+    """After substitution, classical dependence testing sees an affine
+    subscript and parallelizes the fill."""
+    src = """
+    k = 0;
+    for (i = 0; i < n; i++) {
+        a[k] = b[i];
+        k = k + 1;
+    }
+    """
+    prog = prep(src)
+    substitute_in_program(prog)
+    loop = next(s for s in prog.stmts if isinstance(s, For))
+    text = to_c(loop)
+    assert "a[k_0 + 1 * i]" in text or "a[k_0 + i]" in text
+
+    from repro.dependence.accesses import collect_accesses
+    from repro.dependence.classic import classic_independent
+
+    nest = find_loop_nests(prog)[0]
+    ok, _ = classic_independent(collect_accesses(nest.loop.body, nest.header.index))
+    assert ok
+
+
+def test_uses_after_update_read_next_value():
+    src = """
+    k = 0;
+    for (i = 0; i < 5; i++) {
+        k = k + 2;
+        a[i] = k;
+    }
+    """
+    prog1 = prep(src)
+    prog2 = prep(src)
+    substitute_in_program(prog2)
+
+    def env():
+        return {"a": np.zeros(5, dtype=np.int64), "k": 0}
+
+    out1 = run_program(prog1, env())
+    out2 = run_program(prog2, env())
+    np.testing.assert_array_equal(out1["a"], out2["a"])
+
+
+def test_loop_index_never_substituted():
+    prog = prep("for (i = 0; i < n; i++) { a[i] = 0; }")
+    ivs = substitute_in_program(prog)
+    assert not ivs

@@ -1,0 +1,82 @@
+"""Tests for loop discovery and eligibility (paper §2.2)."""
+
+from repro.analysis.loopinfo import (
+    assigned_arrays,
+    assigned_scalars,
+    build_nest,
+    find_loop_nests,
+)
+from repro.analysis.normalize import normalize_program
+from repro.lang.cparser import parse_program
+
+
+def nests(src):
+    return find_loop_nests(normalize_program(parse_program(src)))
+
+
+def test_finds_top_level_nests_in_order():
+    ns = nests("for(i=0;i<n;i++){} for(j=0;j<m;j++){}")
+    assert len(ns) == 2
+    assert ns[0].index == "i" and ns[1].index == "j"
+
+
+def test_nest_structure():
+    ns = nests("for(i=0;i<n;i++){ for(j=0;j<m;j++){ for(k=0;k<p;k++){} } }")
+    assert len(ns) == 1
+    assert ns[0].depth() == 3
+    assert ns[0].inner[0].index == "j"
+
+
+def test_sibling_inner_loops():
+    ns = nests("for(i=0;i<n;i++){ for(j=0;j<m;j++){} for(k=0;k<p;k++){} }")
+    assert len(ns[0].inner) == 2
+
+
+def test_break_makes_ineligible():
+    ns = nests("for(i=0;i<n;i++){ if (a[i] > 0) break; }")
+    assert not ns[0].eligible
+    assert "break" in ns[0].reason
+
+
+def test_side_effect_call_makes_ineligible():
+    ns = nests("for(i=0;i<n;i++){ x = rand(); }")
+    assert not ns[0].eligible
+    assert "rand" in ns[0].reason
+
+
+def test_math_calls_are_fine():
+    ns = nests("for(i=0;i<n;i++){ a[i] = exp(b[i]) + sqrt(c[i]); }")
+    assert ns[0].eligible
+
+
+def test_while_inside_makes_ineligible():
+    ns = nests("for(i=0;i<n;i++){ while (x < 5) x = x + 1; }")
+    assert not ns[0].eligible
+
+
+def test_index_assignment_makes_ineligible():
+    ns = nests("for(i=0;i<n;i++){ i = i + 2; }")
+    assert not ns[0].eligible
+
+
+def test_non_canonical_header_ineligible():
+    ns = nests("for(i=n;i>0;i=i-1){ a[i] = 0; }")
+    assert not ns[0].eligible
+
+
+def test_assigned_scalars_includes_inner_indices():
+    ns = nests("for(i=0;i<n;i++){ s = 0; for(j=0;j<m;j++){ s = s + 1; } }")
+    body = ns[0].loop.body
+    got = assigned_scalars(body)
+    assert "s" in got and "j" in got
+
+
+def test_assigned_arrays():
+    ns = nests("for(i=0;i<n;i++){ a[i] = b[i]; c[i][0] = 1; }")
+    assert assigned_arrays(ns[0].loop.body) == {"a", "c"}
+
+
+def test_loop_ids_unique():
+    ns = nests("for(i=0;i<n;i++){ for(j=0;j<m;j++){} }")
+    ids = [x.loop.loop_id for x in ns[0].walk()]
+    assert len(ids) == len(set(ids))

@@ -1,0 +1,278 @@
+"""Unit tests for SSR / SRA / is_Mono_Array (paper §2.4, Algorithm 2)."""
+
+from repro.analysis.irbridge import EMPTY_TAG, Tag
+from repro.analysis.monotonic import (
+    SSRInfo,
+    is_loop_invariant,
+    is_mono_array,
+    is_ssr,
+    match_ssr_expr,
+    subscript_is_simple,
+)
+from repro.analysis.properties import MonoKind
+from repro.analysis.svd import SVD, StoreRec, ValueSet, VItem
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import ArrayRef, BOTTOM, IntLit, LambdaVal, Sym, add, mul, sub
+
+FACTS = RangeDict()
+IDX = "i"
+
+
+def vs(*items):
+    return ValueSet(items)
+
+
+def lam(name):
+    return SymRange.point(LambdaVal(name))
+
+
+def tag(variant=True, key=("k",)):
+    return EMPTY_TAG.extend(key, True, variant)
+
+
+class TestLoopInvariance:
+    def test_symbols_invariant(self):
+        assert is_loop_invariant(Sym("n"), IDX)
+
+    def test_index_not_invariant(self):
+        assert not is_loop_invariant(add(Sym("i"), 1), IDX)
+
+    def test_lambda_not_invariant(self):
+        assert not is_loop_invariant(LambdaVal("p"), IDX)
+
+
+class TestIsSSR:
+    def test_unconditional_positive_increment_is_strict(self):
+        v = vs(VItem(SymRange.point(add(LambdaVal("p"), 1))))
+        info = is_ssr("p", v, IDX, FACTS)
+        assert info is not None
+        assert info.kind is MonoKind.SMA
+        assert not info.conditional
+
+    def test_symbolic_pnn_increment(self):
+        facts = RangeDict().set(Sym("k"), SymRange(1, BOTTOM))
+        v = vs(VItem(SymRange.point(add(LambdaVal("p"), Sym("k")))))
+        info = is_ssr("p", v, IDX, facts)
+        assert info is not None and info.kind is MonoKind.SMA
+
+    def test_unknown_sign_increment_rejected(self):
+        v = vs(VItem(SymRange.point(add(LambdaVal("p"), Sym("k")))))
+        assert is_ssr("p", v, IDX, FACTS) is None
+
+    def test_negative_increment_rejected(self):
+        v = vs(VItem(SymRange.point(add(LambdaVal("p"), -1))))
+        assert is_ssr("p", v, IDX, FACTS) is None
+
+    def test_conditional_increment_is_nonstrict(self):
+        v = vs(VItem(lam("p")), VItem(SymRange.point(add(LambdaVal("p"), 1)), tag()))
+        info = is_ssr("p", v, IDX, FACTS)
+        assert info is not None
+        assert info.kind is MonoKind.MA
+        assert info.conditional
+
+    def test_increment_by_index_rejected(self):
+        v = vs(VItem(SymRange.point(add(LambdaVal("p"), Sym(IDX)))))
+        assert is_ssr("p", v, IDX, FACTS) is None
+
+    def test_range_increment(self):
+        # collapsed inner loop effect: p = λ_p + [0:m]
+        facts = RangeDict().set(Sym("m"), SymRange(0, BOTTOM))
+        v = vs(VItem(SymRange(LambdaVal("p"), add(LambdaVal("p"), Sym("m")))))
+        info = is_ssr("p", v, IDX, facts)
+        assert info is not None and info.kind is MonoKind.MA
+
+    def test_plain_assignment_rejected(self):
+        v = vs(VItem(SymRange.point(IntLit(0))))
+        assert is_ssr("p", v, IDX, FACTS) is None
+
+
+class TestMatchSSRExpr:
+    def test_loop_index(self):
+        got = match_ssr_expr(SymRange.point(Sym(IDX)), IDX, {}, FACTS)
+        assert got is not None and got.is_index and got.kind is MonoKind.SMA
+
+    def test_index_with_constant(self):
+        got = match_ssr_expr(SymRange.point(add(Sym(IDX), 7)), IDX, {}, FACTS)
+        assert got is not None and got.rem == IntLit(7)
+
+    def test_ssr_scalar(self):
+        ssr = {"p": SSRInfo("p", MonoKind.MA, SymRange(0, 1), True)}
+        got = match_ssr_expr(lam("p"), IDX, ssr, FACTS)
+        assert got is not None and got.ssr_var == "p" and got.kind is MonoKind.MA
+
+    def test_unknown_scalar_rejected(self):
+        got = match_ssr_expr(lam("q"), IDX, {}, FACTS)
+        assert got is None
+
+    def test_negative_coefficient_rejected(self):
+        got = match_ssr_expr(SymRange.point(mul(-1, Sym(IDX))), IDX, {}, FACTS)
+        assert got is None
+
+    def test_positive_coefficient_accepted(self):
+        got = match_ssr_expr(SymRange.point(mul(3, Sym(IDX))), IDX, {}, FACTS)
+        assert got is not None and got.coeff == IntLit(3)
+
+
+class TestSubscriptIsSimple:
+    def test_index(self):
+        assert subscript_is_simple(SymRange.point(Sym(IDX)), IDX) == IntLit(0)
+
+    def test_index_plus_const(self):
+        assert subscript_is_simple(SymRange.point(add(Sym(IDX), 1)), IDX) == IntLit(1)
+
+    def test_scaled_index_rejected(self):
+        assert subscript_is_simple(SymRange.point(mul(2, Sym(IDX))), IDX) is None
+
+    def test_range_rejected(self):
+        assert subscript_is_simple(SymRange(0, 4), IDX) is None
+
+
+def _counter_svd(cond_variant=True, same_tag=True, value=None):
+    """Build the Phase-1 state of LEMMA 1's canonical loop."""
+    t1 = tag(cond_variant, key=("c1",))
+    t2 = t1 if same_tag else tag(cond_variant, key=("c2",))
+    svd = SVD()
+    svd.set_scalar(
+        "ic", vs(VItem(lam("ic")), VItem(SymRange.point(add(LambdaVal("ic"), 1)), t1))
+    )
+    value = value if value is not None else SymRange.point(Sym(IDX))
+    rec = StoreRec((lam("ic"),), ("ic",), (VItem(value, t2),))
+    svd.add_store("inseq", rec)
+    return svd, svd.arrays["inseq"]
+
+
+class TestIsMonoArrayIntermittent:
+    def test_lemma1_detected_strict(self):
+        svd, recs = _counter_svd()
+        res = is_mono_array("inseq", recs, svd, IDX, {}, FACTS)
+        assert res is not None
+        assert res.intermittent
+        assert res.kind is MonoKind.SMA
+        assert res.counter_var == "ic"
+
+    def test_lemma1_requires_equal_tags(self):
+        svd, recs = _counter_svd(same_tag=False)
+        assert is_mono_array("inseq", recs, svd, IDX, {}, FACTS) is None
+
+    def test_lemma1_gated_by_config(self):
+        svd, recs = _counter_svd()
+        assert (
+            is_mono_array("inseq", recs, svd, IDX, {}, FACTS, allow_intermittent=False)
+            is None
+        )
+
+    def test_loop_invariant_condition_rejected(self):
+        # Algorithm 2 line 15: tags must be equal AND loop variant
+        svd, recs = _counter_svd(cond_variant=False)
+        assert is_mono_array("inseq", recs, svd, IDX, {}, FACTS) is None
+
+    def test_unconditional_counter_fill_continuous(self):
+        # inseq[ic] = i; ic = ic + 1 with NO condition: the contiguous fill
+        # Cetus' induction-variable substitution exposes (base capability)
+        svd = SVD()
+        svd.set_scalar(
+            "ic",
+            vs(VItem(SymRange.point(add(LambdaVal("ic"), 1)))),
+        )
+        rec = StoreRec((lam("ic"),), ("ic",), (VItem(SymRange.point(Sym(IDX))),))
+        svd.add_store("inseq", rec)
+        res = is_mono_array(
+            "inseq", svd.arrays["inseq"], svd, IDX, {}, FACTS, allow_intermittent=False
+        )
+        assert res is not None and not res.intermittent and res.kind is MonoKind.SMA
+
+    def test_non_ssr_value_rejected(self):
+        svd, recs = _counter_svd(value=SymRange.point(ArrayRef("xs", [Sym(IDX)])))
+        assert is_mono_array("inseq", recs, svd, IDX, {}, FACTS) is None
+
+
+class TestIsMonoArraySRA:
+    def test_sra_with_index_value(self):
+        svd = SVD()
+        svd.add_store("a", StoreRec((SymRange.point(Sym(IDX)),), (None,), (VItem(SymRange.point(Sym(IDX))),)))
+        res = is_mono_array("a", svd.arrays["a"], svd, IDX, {}, FACTS)
+        assert res is not None and res.kind is MonoKind.SMA
+
+    def test_sra_with_ssr_scalar(self):
+        ssr = {"p": SSRInfo("p", MonoKind.MA, SymRange(0, 1), True)}
+        svd = SVD()
+        svd.add_store("a", StoreRec((SymRange.point(Sym(IDX)),), (None,), (VItem(lam("p")),)))
+        res = is_mono_array("a", svd.arrays["a"], svd, IDX, ssr, FACTS)
+        assert res is not None and res.kind is MonoKind.MA
+
+    def test_multiple_store_sites_conservative(self):
+        svd = SVD()
+        svd.add_store("a", StoreRec((SymRange.point(Sym(IDX)),), (None,), (VItem(SymRange.point(Sym(IDX))),)))
+        svd.add_store("a", StoreRec((SymRange.point(add(Sym(IDX), 1)),), (None,), (VItem(SymRange.point(Sym(IDX))),)))
+        assert is_mono_array("a", svd.arrays["a"], svd, IDX, {}, FACTS) is None
+
+
+class TestIsMonoArrayChain:
+    def test_chain_positive_k(self):
+        facts = RangeDict().set(Sym("w"), SymRange(1, BOTTOM))
+        svd = SVD()
+        val = SymRange.point(add(ArrayRef("a", [Sym(IDX)]), Sym("w")))
+        svd.add_store("a", StoreRec((SymRange.point(add(Sym(IDX), 1)),), (None,), (VItem(val),)))
+        res = is_mono_array("a", svd.arrays["a"], svd, IDX, {}, facts)
+        assert res is not None and res.chain and res.kind is MonoKind.SMA
+
+    def test_chain_unknown_k_rejected(self):
+        svd = SVD()
+        val = SymRange.point(add(ArrayRef("a", [Sym(IDX)]), Sym("w")))
+        svd.add_store("a", StoreRec((SymRange.point(add(Sym(IDX), 1)),), (None,), (VItem(val),)))
+        assert is_mono_array("a", svd.arrays["a"], svd, IDX, {}, FACTS) is None
+
+
+class TestIsMonoArrayMultiDim:
+    def _recs(self, value_ranges, dim_subs=None):
+        svd = SVD()
+        for vr in value_ranges:
+            subs = dim_subs or (SymRange.point(Sym(IDX)), SymRange(0, 4))
+            covers = tuple(not s.is_point for s in subs)
+            svd.add_store("ax", StoreRec(subs, (None,) * len(subs), (VItem(vr),), covers))
+        return svd, svd.arrays["ax"]
+
+    def test_lemma2_strict(self):
+        # value = 125*i + [0:124]; α + rl = 125 > 124 = ru
+        vr = SymRange(mul(125, Sym(IDX)), add(mul(125, Sym(IDX)), 124))
+        svd, recs = self._recs([vr])
+        res = is_mono_array("ax", recs, svd, IDX, {}, FACTS)
+        assert res is not None and res.kind is MonoKind.SMA and res.dim == 0
+
+    def test_lemma2_nonstrict_boundary(self):
+        # α + rl == ru exactly: monotonic but not strict
+        vr = SymRange(mul(125, Sym(IDX)), add(mul(125, Sym(IDX)), 125))
+        svd, recs = self._recs([vr])
+        res = is_mono_array("ax", recs, svd, IDX, {}, FACTS)
+        assert res is not None and res.kind is MonoKind.MA
+
+    def test_lemma2_violated(self):
+        # ranges overlap: α + rl < ru
+        vr = SymRange(mul(100, Sym(IDX)), add(mul(100, Sym(IDX)), 150))
+        svd, recs = self._recs([vr])
+        assert is_mono_array("ax", recs, svd, IDX, {}, FACTS) is None
+
+    def test_lemma2_requires_pnn_remainder(self):
+        vr = SymRange(add(mul(125, Sym(IDX)), -5), add(mul(125, Sym(IDX)), 50))
+        svd, recs = self._recs([vr])
+        assert is_mono_array("ax", recs, svd, IDX, {}, FACTS) is None
+
+    def test_lemma2_union_across_stores(self):
+        # two store sites whose union still satisfies the inequality
+        v1 = SymRange(mul(125, Sym(IDX)), add(mul(125, Sym(IDX)), 24))
+        v2 = SymRange(add(mul(125, Sym(IDX)), 100), add(mul(125, Sym(IDX)), 124))
+        svd, recs = self._recs([v1, v2])
+        res = is_mono_array("ax", recs, svd, IDX, {}, FACTS)
+        assert res is not None and res.kind is MonoKind.SMA
+
+    def test_lemma2_gated_by_config(self):
+        vr = SymRange(mul(125, Sym(IDX)), add(mul(125, Sym(IDX)), 124))
+        svd, recs = self._recs([vr])
+        assert is_mono_array("ax", recs, svd, IDX, {}, FACTS, allow_multidim=False) is None
+
+    def test_index_in_two_dims_rejected(self):
+        subs = (SymRange.point(Sym(IDX)), SymRange.point(Sym(IDX)))
+        vr = SymRange(mul(125, Sym(IDX)), add(mul(125, Sym(IDX)), 124))
+        svd, recs = self._recs([vr], dim_subs=subs)
+        assert is_mono_array("ax", recs, svd, IDX, {}, FACTS) is None

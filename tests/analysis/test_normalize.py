@@ -1,0 +1,136 @@
+"""Tests for Cetus-style normalization (paper Figure 4b)."""
+
+from repro.lang.astnodes import Assign, BinOp, Compound, For, Id, If, Num
+from repro.lang.cparser import parse_program, parse_stmt
+from repro.lang.printer import to_c
+from repro.analysis.normalize import (
+    LoopHeader,
+    Normalizer,
+    match_header,
+    normalize_program,
+)
+
+
+def norm(src: str) -> str:
+    return to_c(normalize_program(parse_program(src)))
+
+
+def test_paper_figure4_normalization():
+    """The paper's Fig 4(a) -> Fig 4(b) transformation."""
+    out = norm(
+        """
+        m = 0;
+        for (j = 0; j < npts; j++) {
+            if ((xdos[j] - t) < width)
+                ind[m++] = j;
+        }
+        """
+    )
+    # _temp_0 = m; m = m + 1; ind[_temp_0] = j;  in that order
+    a = out.index("_temp_0 = m;")
+    b = out.index("m = m + 1;")
+    c = out.index("ind[_temp_0] = j;")
+    assert a < b < c
+
+
+def test_statement_incdec_needs_no_temp():
+    out = norm("m++;")
+    assert "_temp" not in out
+    assert "m = m + 1;" in out
+
+
+def test_prefix_incdec_in_subscript():
+    out = norm("a[++m] = 0;")
+    assert "m = m + 1;" in out
+    assert "a[m] = 0;" in out
+
+
+def test_decrement():
+    out = norm("a[m--] = 0;")
+    assert "m = m + -1;" in out or "m = m - 1;" in out
+
+
+def test_compound_assignment_lowered():
+    out = norm("x += y * 2;")
+    assert "x = x + y * 2;" in out
+
+
+def test_compound_assignment_array_element():
+    out = norm("a[i] *= 2;")
+    assert "a[i] = a[i] * 2;" in out
+
+
+def test_for_step_increment_lowered():
+    out = norm("for (i = 0; i < n; i++) { }")
+    assert "i = i + 1" in out
+
+
+def test_prefix_step_lowered():
+    out = norm("for (i = 0; i < n; ++i) { }")
+    assert "i = i + 1" in out
+
+
+def test_temps_are_fresh():
+    out = norm("a[m++] = b[k++];")
+    assert "_temp_0" in out and "_temp_1" in out
+
+
+def test_normalization_preserves_semantics():
+    """Interpret original and normalized programs: identical final state."""
+    import numpy as np
+
+    from repro.runtime.interp import run_program
+
+    src = """
+    m = 0;
+    for (j = 0; j < 10; j++) {
+        if (xs[j] > 4)
+            ind[m++] = j;
+    }
+    """
+    prog = parse_program(src)
+    env = lambda: {
+        "xs": np.arange(10),
+        "ind": np.zeros(10, dtype=np.int64),
+        "m": 0,
+    }
+    out1 = run_program(prog, env())
+    out2 = run_program(normalize_program(prog), env())
+    assert out1["m"] == out2["m"]
+    assert np.array_equal(out1["ind"], out2["ind"])
+
+
+class TestMatchHeader:
+    def test_canonical(self):
+        loop = normalize_program(parse_program("for (i = 0; i < n; i++) { }")).stmts[0]
+        h = match_header(loop)
+        assert h is not None
+        assert h.index == "i" and not h.inclusive
+
+    def test_inclusive(self):
+        loop = normalize_program(parse_program("for (j = 0; j <= i; j++) { }")).stmts[0]
+        h = match_header(loop)
+        assert h is not None and h.inclusive
+
+    def test_decl_init(self):
+        loop = normalize_program(parse_program("for (int i = 0; i < n; i++) { }")).stmts[0]
+        assert match_header(loop) is not None
+
+    def test_symbolic_lower_bound(self):
+        loop = normalize_program(
+            parse_program("for (j = col_ptr[r]; j < col_ptr[r+1]; j++) { }")
+        ).stmts[0]
+        h = match_header(loop)
+        assert h is not None
+
+    def test_non_unit_stride_rejected(self):
+        loop = parse_program("for (i = 0; i < n; i = i + 2) { }").stmts[0]
+        assert match_header(loop) is None
+
+    def test_downward_loop_rejected(self):
+        loop = parse_program("for (i = n; i > 0; i = i - 1) { }").stmts[0]
+        assert match_header(loop) is None
+
+    def test_wrong_cond_var_rejected(self):
+        loop = parse_program("for (i = 0; j < n; i = i + 1) { }").stmts[0]
+        assert match_header(loop) is None

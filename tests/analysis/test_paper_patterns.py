@@ -1,0 +1,251 @@
+"""Systematic coverage of the paper's generalized loop forms.
+
+Figure 2 (handled by the Base Algorithm):
+  (a) SRA: a[i1] = p with p an SSR updated in an inner loop;
+  (b) chain: a[f(i1)] = a[f(i1)-1] + k with f(i1) ∈ {i1, i1+1} (P1 ∈ {0,1}).
+
+Figure 3 (requires the new algorithm):
+  (a) intermittent: a[ind] = i1; ind = ind + 1 under a condition;
+  (b) multi-dimensional: a[i1]…[in] = α·i1 + [rl:ru] with α+rl ≥ ru.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisConfig, MonoKind, analyze_program
+
+BASE = AnalysisConfig.base_algorithm()
+NEW = AnalysisConfig.new_algorithm()
+
+
+class TestFigure2a:
+    def src(self, inner_cond=True):
+        body = "p = p + 1;" if not inner_cond else "if (cond[i2] > 0) { p = p + 1; }"
+        return f"""
+        p = 0;
+        for (i1 = 0; i1 < n; i1++) {{
+            a[i1] = p;
+            for (i2 = 0; i2 < m; i2++) {{ {body} }}
+        }}
+        """
+
+    def test_conditional_inner_increment(self):
+        res = analyze_program(self.src(True), BASE)
+        p = res.properties.property_of("a")
+        assert p is not None and p.kind is MonoKind.MA
+
+    def test_unconditional_inner_increment(self):
+        res = analyze_program(self.src(False), BASE)
+        p = res.properties.property_of("a")
+        assert p is not None and p.kind.monotonic
+
+    def test_store_after_update_still_monotonic(self):
+        src = """
+        p = 0;
+        for (i1 = 0; i1 < n; i1++) {
+            p = p + 2;
+            a[i1] = p;
+        }
+        """
+        res = analyze_program(src, BASE)
+        p = res.properties.property_of("a")
+        assert p is not None and p.kind is MonoKind.SMA
+
+    def test_negative_inner_increment_rejected(self):
+        src = self.src(True).replace("p = p + 1;", "p = p - 1;")
+        res = analyze_program(src, NEW)
+        assert res.properties.property_of("a") is None
+
+
+class TestFigure2b:
+    @pytest.mark.parametrize("p1", [0, 1])
+    def test_chain_with_both_initial_bounds(self, p1):
+        # f(i1) = i1+1 when P1 = 0; f(i1) = i1 when P1 = 1
+        f = "s+1" if p1 == 0 else "s"
+        src = f"""
+        kk = 5;
+        a[0] = 0;
+        for (s = {p1}; s < n; s++) {{
+            a[{f}] = a[{f}-1] + kk;
+        }}
+        """
+        res = analyze_program(src, BASE)
+        p = res.properties.property_of("a")
+        assert p is not None and p.kind is MonoKind.SMA
+
+    def test_chain_nonnegative_k_nonstrict(self):
+        src = """
+        kk = 0;
+        for (s = 0; s < n; s++) {
+            a[s+1] = a[s] + kk;
+        }
+        """
+        res = analyze_program(src, BASE)
+        p = res.properties.property_of("a")
+        assert p is not None and p.kind is MonoKind.MA
+
+    def test_chain_reading_wrong_neighbor_rejected(self):
+        src = """
+        kk = 5;
+        for (s = 0; s < n; s++) {
+            a[s+1] = a[s-1] + kk;
+        }
+        """
+        res = analyze_program(src, NEW)
+        assert res.properties.property_of("a") is None
+
+
+class TestFigure3a:
+    def test_canonical_intermittent(self):
+        src = """
+        ind = 0;
+        for (i1 = 0; i1 < n; i1++) {
+            if (c[i1] > 0) {
+                a[ind] = i1;
+                ind = ind + 1;
+            }
+        }
+        """
+        res = analyze_program(src, NEW)
+        p = res.properties.property_of("a")
+        assert p is not None and p.kind is MonoKind.SMA and p.intermittent
+
+    def test_value_with_positive_coefficient(self):
+        src = """
+        ind = 0;
+        for (i1 = 0; i1 < n; i1++) {
+            if (c[i1] > 0) {
+                a[ind] = 3*i1 + 7;
+                ind = ind + 1;
+            }
+        }
+        """
+        res = analyze_program(src, NEW)
+        p = res.properties.property_of("a")
+        assert p is not None and p.kind is MonoKind.SMA
+
+    def test_nested_condition_tags_match(self):
+        """Both statements under the SAME nested conditions still qualify."""
+        src = """
+        ind = 0;
+        for (i1 = 0; i1 < n; i1++) {
+            if (c[i1] > 0) {
+                if (d[i1] < 5) {
+                    a[ind] = i1;
+                    ind = ind + 1;
+                }
+            }
+        }
+        """
+        res = analyze_program(src, NEW)
+        p = res.properties.property_of("a")
+        assert p is not None and p.intermittent
+
+    def test_partially_nested_conditions_rejected(self):
+        """Store under two conditions, increment under one: tags differ."""
+        src = """
+        ind = 0;
+        for (i1 = 0; i1 < n; i1++) {
+            if (c[i1] > 0) {
+                if (d[i1] < 5) {
+                    a[ind] = i1;
+                }
+                ind = ind + 1;
+            }
+        }
+        """
+        res = analyze_program(src, NEW)
+        assert res.properties.property_of("a") is None
+
+    def test_else_branch_fill(self):
+        """A fill in the else branch carries the negated condition tag."""
+        src = """
+        ind = 0;
+        for (i1 = 0; i1 < n; i1++) {
+            if (c[i1] > 0) {
+                q = q + 1;
+            } else {
+                a[ind] = i1;
+                ind = ind + 1;
+            }
+        }
+        """
+        res = analyze_program(src, NEW)
+        p = res.properties.property_of("a")
+        assert p is not None and p.intermittent
+
+    def test_monotonic_nonindex_value_variable(self):
+        """inseq[ic] = j where j is a conditional SSR scalar (MA)."""
+        src = """
+        ind = 0;
+        jv = 0;
+        for (i1 = 0; i1 < n; i1++) {
+            if (c[i1] > 0) {
+                a[ind] = jv;
+                ind = ind + 1;
+            }
+            if (d[i1] > 0) { jv = jv + 1; }
+        }
+        """
+        res = analyze_program(src, NEW)
+        p = res.properties.property_of("a")
+        assert p is not None and p.kind is MonoKind.MA  # jv non-strict
+
+
+class TestFigure3b:
+    def test_boundary_inequality_exact(self):
+        """α + rl == ru gives MA; α + rl > ru gives SMA (LEMMA 2)."""
+        template = """
+        for (i1 = 0; i1 < n; i1++) {{
+            for (i2 = 0; i2 < {t}; i2++) {{
+                ax[i1][i2] = {alpha}*i1 + i2;
+            }}
+        }}
+        """
+        # rem range [0:t-1]; strict iff alpha > t-1
+        res = analyze_program(template.format(alpha=5, t=5), NEW)
+        assert res.properties.any_property_of("ax").kind is MonoKind.SMA
+        res = analyze_program(template.format(alpha=4, t=5), NEW)
+        assert res.properties.any_property_of("ax").kind is MonoKind.MA
+        res = analyze_program(template.format(alpha=3, t=5), NEW)
+        assert res.properties.any_property_of("ax") is None
+
+    def test_index_dimension_not_first(self):
+        """LEMMA 2: 'The same holds if the dimension indexed by i is in any
+        other than the first position.'"""
+        src = """
+        for (i1 = 0; i1 < n; i1++) {
+            for (i2 = 0; i2 < 4; i2++) {
+                ax[i2][i1] = 10*i1 + i2;
+            }
+        }
+        """
+        res = analyze_program(src, NEW)
+        p = res.properties.any_property_of("ax")
+        assert p is not None
+        assert p.dim == 1
+        assert p.kind is MonoKind.SMA
+
+    def test_three_dimensions(self):
+        src = """
+        for (i1 = 0; i1 < n; i1++) {
+            for (i2 = 0; i2 < 3; i2++) {
+                for (i3 = 0; i3 < 3; i3++) {
+                    ax[i1][i2][i3] = 9*i1 + 3*i2 + i3;
+                }
+            }
+        }
+        """
+        res = analyze_program(src, NEW)
+        p = res.properties.any_property_of("ax")
+        assert p is not None and p.kind is MonoKind.SMA and p.dim == 0
+
+    def test_negative_remainder_rejected(self):
+        src = """
+        for (i1 = 0; i1 < n; i1++) {
+            for (i2 = 0; i2 < 4; i2++) {
+                ax[i1][i2] = 10*i1 + i2 - 2;
+            }
+        }
+        """
+        res = analyze_program(src, NEW)
+        assert res.properties.any_property_of("ax") is None

@@ -1,0 +1,181 @@
+"""Tests for Phase-1 symbolic execution (paper §2.3, Figures 4/5)."""
+
+from repro.analysis.loopinfo import find_loop_nests
+from repro.analysis.normalize import normalize_program
+from repro.analysis.phase1 import run_phase1
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import ArrayRef, IntLit, LambdaVal, Sym, add, sub
+from repro.lang.cparser import parse_program
+
+
+def phase1(src, nest_index=0):
+    prog = normalize_program(parse_program(src))
+    nests = find_loop_nests(prog)
+    return run_phase1(nests[nest_index], {})
+
+
+def test_paper_figure5_svd():
+    """The SVD of the final node must match the paper's Figure 5:
+    {ind[m] = [λ_ind, ⟨j⟩], m = [λ_m, ⟨1+λ_m⟩]} (modulo the λ_ind item,
+    which we represent implicitly)."""
+    res = phase1(
+        """
+        m = 0;
+        for (j = 0; j < npts; j++) {
+            if ((xdos[j] - t) < width)
+                ind[m++] = j;
+        }
+        """
+    )
+    svd = res.svd
+    # m's value set: untagged λ_m and tagged λ_m + 1
+    m = svd.get_scalar("m")
+    values = {(it.value, it.tagged) for it in m.items}
+    lam_m = SymRange.point(LambdaVal("m"))
+    lam_m1 = SymRange.point(add(LambdaVal("m"), 1))
+    assert (lam_m, False) in values
+    assert (lam_m1, True) in values
+    # ind store: subscript λ_m (counter m), value ⟨j⟩
+    recs = svd.arrays["ind"]
+    assert len(recs) == 1
+    rec = recs[0]
+    assert rec.sub_vars == ("m",)
+    assert rec.subs[0] == lam_m
+    assert rec.values[0].value == SymRange.point(Sym("j"))
+    assert rec.values[0].tag.loop_variant
+
+
+def test_lvv_initialization_to_lambda():
+    # p is assigned in the body, so reads before the assignment see λ_p
+    res = phase1("p = 0; for (i = 0; i < n; i++) { a[i] = p; p = p + 1; }")
+    rec = res.svd.arrays["a"][0]
+    assert rec.values[0].value == SymRange.point(LambdaVal("p"))
+
+
+def test_non_lvv_scalar_stays_symbolic():
+    # p is never assigned in the loop: it is a loop-invariant symbol
+    res = phase1("p = 0; for (i = 0; i < n; i++) { a[i] = p; }")
+    rec = res.svd.arrays["a"][0]
+    assert rec.values[0].value == SymRange.point(Sym("p"))
+
+
+def test_unconditional_increment_untagged():
+    res = phase1("for (i = 0; i < n; i++) { p = p + 2; }")
+    p = res.svd.get_scalar("p")
+    assert len(p.items) == 1
+    assert not p.items[0].tagged
+    assert p.items[0].value == SymRange.point(add(LambdaVal("p"), 2))
+
+
+def test_sequential_updates_compose():
+    res = phase1("for (i = 0; i < n; i++) { p = p + 1; p = p + 2; }")
+    p = res.svd.get_scalar("p")
+    assert p.single_value() == SymRange.point(add(LambdaVal("p"), 3))
+
+
+def test_if_else_merge_unions_both_branches():
+    res = phase1(
+        "for (i = 0; i < n; i++) { if (c[i] > 0) p = p + 1; else p = p + 5; }"
+    )
+    p = res.svd.get_scalar("p")
+    assert len(p.items) == 2
+    assert all(it.tagged for it in p.items)
+
+
+def test_loop_invariant_read_stays_symbolic():
+    res = phase1("for (i = 0; i < n; i++) { a[i] = q * 2; }")
+    rec = res.svd.arrays["a"][0]
+    assert rec.values[0].value == SymRange.point(Sym("q") * 2)
+
+
+def test_array_read_becomes_arrayref():
+    res = phase1("for (i = 0; i < n; i++) { x = A_i[i+1]; }")
+    x = res.svd.get_scalar("x")
+    assert x.single_value() == SymRange.point(ArrayRef("A_i", [add(Sym("i"), 1)]))
+
+
+def test_amg_adiag_expression():
+    """Paper §3.1: adiag = A_i[i+1] - A_i[i]."""
+    res = phase1(
+        """
+        irownnz = 0;
+        for (i = 0; i < num_rows; i++){
+            adiag = A_i[i+1] - A_i[i];
+            if (adiag > 0)
+                A_rownnz[irownnz++] = i;
+        }
+        """
+    )
+    adiag = res.svd.get_scalar("adiag")
+    expected = sub(ArrayRef("A_i", [add(Sym("i"), 1)]), ArrayRef("A_i", [Sym("i")]))
+    from repro.ir.simplify import simplify
+
+    assert adiag.single_value() == SymRange.point(simplify(expected))
+    # the store is tagged with a loop-variant condition
+    rec = res.svd.arrays["A_rownnz"][0]
+    assert rec.values[0].tag.loop_variant
+
+
+def test_same_condition_produces_equal_tags():
+    """LEMMA 1 requires the counter increment and the store to carry EQUAL
+    tags."""
+    res = phase1(
+        """
+        m = 0;
+        for (j = 0; j < n; j++) {
+            if (xs[j] > 0) {
+                ind[m] = j;
+                m = m + 1;
+            }
+        }
+        """
+    )
+    svd = res.svd
+    rec = svd.arrays["ind"][0]
+    m_tagged = [it for it in svd.get_scalar("m").items if it.tagged]
+    assert len(m_tagged) == 1
+    assert rec.values[0].tag == m_tagged[0].tag
+
+
+def test_different_conditions_produce_different_tags():
+    res = phase1(
+        """
+        for (j = 0; j < n; j++) {
+            if (xs[j] > 0) { a[j] = 1; }
+            if (ys[j] > 0) { b[j] = 1; }
+        }
+        """
+    )
+    ta = res.svd.arrays["a"][0].values[0].tag
+    tb = res.svd.arrays["b"][0].values[0].tag
+    assert ta != tb
+
+
+def test_loop_invariant_condition_not_variant():
+    res = phase1("for (j = 0; j < n; j++) { if (flag > 0) p = p + 1; }")
+    p = res.svd.get_scalar("p")
+    tagged = [it for it in p.items if it.tagged]
+    assert tagged and not tagged[0].tag.loop_variant
+
+
+def test_unanalyzed_inner_loop_kills_effects():
+    """An ineligible inner loop conservatively clobbers what it assigns."""
+    res = phase1(
+        """
+        for (i = 0; i < n; i++) {
+            x = 5;
+            for (j = 0; j < m; j = j + 2) { x = x + 1; }
+        }
+        """
+    )
+    x = res.svd.get_scalar("x")
+    assert x.flat_range().is_unknown
+
+
+def test_multidim_store_records_all_subscripts():
+    res = phase1("for (i = 0; i < 5; i++) { idel[iel][0][i] = i * 5; }")
+    rec = res.svd.arrays["idel"][0]
+    assert len(rec.subs) == 3
+    assert rec.subs[0] == SymRange.point(Sym("iel"))
+    assert rec.subs[1] == SymRange.point(IntLit(0))
+    assert rec.subs[2] == SymRange.point(Sym("i"))

@@ -1,0 +1,182 @@
+"""Tests for Phase-2 aggregation (paper §2.5, Algorithm 1)."""
+
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.loopinfo import find_loop_nests
+from repro.analysis.normalize import normalize_program
+from repro.analysis.phase1 import run_phase1
+from repro.analysis.phase2 import run_phase2
+from repro.analysis.properties import MonoKind
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import BigLambda, IntLit, Sym, add, mul, sub
+from repro.lang.cparser import parse_program
+
+CFG = AnalysisConfig.new_algorithm()
+
+
+def phase2(src, config=CFG, facts=None):
+    prog = normalize_program(parse_program(src))
+    nests = find_loop_nests(prog)
+    collapsed = {}
+    results = {}
+
+    def rec(nest):
+        inner = {}
+        for x in nest.inner:
+            cl = rec(x)
+            inner[cl.loop_id] = cl
+        p1 = run_phase1(nest, inner)
+        p2 = run_phase2(nest, p1, config, facts or RangeDict())
+        results[nest.loop.loop_id] = p2
+        return p2.collapsed
+
+    top = rec(nests[0])
+    return top, results
+
+
+class TestScalarAggregation:
+    def test_ssr_unconditional(self):
+        """sc = sc + k aggregates to Λ_sc + N*k (paper eq. 2)."""
+        cl, _ = phase2("for (i = 0; i < n; i++) { p = p + 2; }")
+        eff = cl.scalar_effects["p"]
+        expected = SymRange(
+            add(BigLambda("p"), mul(2, Sym("n"))), add(BigLambda("p"), mul(2, Sym("n")))
+        )
+        assert eff == expected
+
+    def test_ssr_conditional_range(self):
+        """Conditional increments give [Λ : Λ + N] (paper §3.1 irownnz)."""
+        cl, _ = phase2("for (i = 0; i < n; i++) { if (c[i] > 0) p = p + 1; }")
+        eff = cl.scalar_effects["p"]
+        assert eff == SymRange(BigLambda("p"), add(BigLambda("p"), Sym("n")))
+
+    def test_index_final_value(self):
+        cl, _ = phase2("for (i = 0; i < n; i++) { a[i] = 0; }")
+        assert cl.scalar_effects["i"] == SymRange.point(Sym("n"))
+
+    def test_plain_assignment_ranges_over_index(self):
+        """ntemp = 125*iel aggregates to [0 : 125*(LELT-1)] (paper §3.3)."""
+        cl, _ = phase2("for (iel = 0; iel < LELT; iel++) { ntemp = 125*iel; }")
+        eff = cl.scalar_effects["ntemp"]
+        assert eff == SymRange(IntLit(0), mul(125, sub(Sym("LELT"), 1)))
+
+    def test_unrecognized_recurrence_unknown(self):
+        cl, _ = phase2("for (i = 0; i < n; i++) { p = p * 2; }")
+        assert "p" not in cl.scalar_effects or cl.scalar_effects["p"].is_unknown
+
+    def test_trip_count(self):
+        _, results = phase2("for (i = 3; i < n; i++) { a[i] = 0; }")
+        p2 = next(iter(results.values()))
+        assert p2.trip_count == sub(Sym("n"), 3)
+        assert p2.index_range == SymRange(3, sub(Sym("n"), 1))
+
+
+class TestArrayProperties:
+    def test_intermittent_property_emitted(self):
+        cl, _ = phase2(
+            """
+            for (i = 0; i < n; i++) {
+                if (xs[i] > 0) { inseq[ic] = i; ic = ic + 1; }
+            }
+            """
+        )
+        assert len(cl.properties) == 1
+        p = cl.properties[0]
+        assert p.array == "inseq"
+        assert p.kind is MonoKind.SMA
+        assert p.intermittent
+        assert p.counter_var == "ic"
+        assert p.counter_max == Sym("ic_max")
+        assert p.value_range == SymRange(0, sub(Sym("n"), 1))
+
+    def test_base_config_rejects_intermittent(self):
+        cl, _ = phase2(
+            """
+            for (i = 0; i < n; i++) {
+                if (xs[i] > 0) { inseq[ic] = i; ic = ic + 1; }
+            }
+            """,
+            config=AnalysisConfig.base_algorithm(),
+        )
+        assert not cl.properties
+
+    def test_sra_property(self):
+        cl, _ = phase2(
+            """
+            for (i1 = 0; i1 < n; i1++) {
+                a[i1] = p;
+                for (i2 = 0; i2 < m; i2++) { if (c[i2] > 0) p = p + 1; }
+            }
+            """
+        )
+        props = {p.array: p for p in cl.properties}
+        assert "a" in props
+        assert props["a"].kind is MonoKind.MA
+        assert props["a"].region == SymRange(0, sub(Sym("n"), 1))
+
+    def test_multidim_property_with_collapse(self):
+        """The UA pattern at reduced size: per-level collapse then LEMMA 2."""
+        cl, results = phase2(
+            """
+            for (iel = 0; iel < LELT; iel++) {
+                ntemp = 10*iel;
+                for (j = 0; j < 2; j++) {
+                    for (i = 0; i < 5; i++) {
+                        idel[iel][j][i] = ntemp + i + j*5;
+                    }
+                }
+            }
+            """
+        )
+        props = {p.array: p for p in cl.properties}
+        assert "idel" in props
+        p = props["idel"]
+        assert p.kind is MonoKind.SMA
+        assert p.dim == 0
+        assert p.value_range == SymRange(0, add(mul(10, sub(Sym("LELT"), 1)), 9))
+
+    def test_multidim_overlap_no_property(self):
+        cl, _ = phase2(
+            """
+            for (iel = 0; iel < LELT; iel++) {
+                for (i = 0; i < 5; i++) {
+                    idel[iel][i] = 3*iel + i;
+                }
+            }
+            """
+        )
+        # value = 3*iel + [0:4]: α + rl = 3 < 4 = ru — ranges overlap
+        assert not [p for p in cl.properties if p.array == "idel"]
+
+    def test_multidim_boundary_nonstrict(self):
+        cl, _ = phase2(
+            """
+            for (iel = 0; iel < LELT; iel++) {
+                for (i = 0; i < 5; i++) {
+                    idel[iel][i] = 4*iel + i;
+                }
+            }
+            """
+        )
+        props = {p.array: p for p in cl.properties}
+        assert props["idel"].kind is MonoKind.MA
+
+
+class TestCollapsedArrayEffects:
+    def test_store_region_covers_index_dim(self):
+        cl, _ = phase2("for (i = 0; i < n; i++) { a[i] = i; }")
+        recs = cl.array_effects["a"]
+        assert len(recs) == 1
+        assert recs[0].covers == (True,)
+        assert recs[0].subs[0] == SymRange(0, sub(Sym("n"), 1))
+
+    def test_value_substituted_over_index(self):
+        cl, _ = phase2("for (i = 0; i < n; i++) { a[i] = 2*i + 1; }")
+        rec = cl.array_effects["a"][0]
+        assert rec.values[0].value == SymRange(1, sub(mul(2, Sym("n")), 1))
+
+    def test_assigned_sets_tracked(self):
+        cl, _ = phase2("for (i = 0; i < n; i++) { a[i] = 0; q = i; }")
+        assert "a" in cl.assigned_arrays
+        assert "q" in cl.assigned_scalars
+        assert "i" in cl.assigned_scalars

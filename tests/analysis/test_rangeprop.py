@@ -1,0 +1,110 @@
+"""Symbolic range propagation tests."""
+
+from repro.analysis.cfg import NodeKind
+from repro.analysis.normalize import normalize_program
+from repro.analysis.rangeprop import propagate_ranges, refine_by_condition
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import Sign, SymRange, sign_of
+from repro.ir.symbols import BOTTOM, IntLit, Sym, add, sub
+from repro.lang.cparser import parse_expr, parse_program
+
+
+def body_of(src):
+    prog = normalize_program(parse_program(f"for (q_ = 0; q_ < 1; q_++) {{ {src} }}"))
+    return prog.stmts[0].body
+
+
+def test_constant_assignment():
+    res = propagate_ranges(body_of("x = 5;"))
+    assert res.at_exit.range_of(Sym("x")) == SymRange.point(5)
+
+
+def test_arith_propagation():
+    res = propagate_ranges(body_of("x = 2; y = x * 3 + 1;"))
+    assert res.at_exit.range_of(Sym("y")) == SymRange.point(7)
+
+
+def test_reassignment_kills_old_range():
+    res = propagate_ranges(body_of("x = 1; x = unknown_call_free;"))
+    # second assignment: symbolic but point
+    r = res.at_exit.range_of(Sym("x"))
+    assert r == SymRange.point(Sym("unknown_call_free"))
+
+
+def test_merge_unions_branches():
+    res = propagate_ranges(body_of("if (c > 0) x = 1; else x = 10;"))
+    assert res.at_exit.range_of(Sym("x")) == SymRange(1, 10)
+
+
+def test_branch_without_else_unions_with_entry():
+    res = propagate_ranges(body_of("x = 0; if (c > 0) x = 5;"))
+    assert res.at_exit.range_of(Sym("x")) == SymRange(0, 5)
+
+
+def test_condition_refines_inside_then():
+    """Inside `if (adiag > 0)` the range of adiag has lb 1."""
+    body = body_of("adiag = d; if (adiag > 0) { y = adiag; }")
+    res = propagate_ranges(body)
+    # find the STMT node for y = adiag (guards non-empty)
+    for node in res.cfg.topological():
+        if node.kind is NodeKind.STMT and node.guards:
+            rd = res.at_node[node.nid]
+            y = rd.range_of(Sym("y"))
+            if y is not None:
+                assert sign_of(y.lb) is Sign.POSITIVE
+                return
+    raise AssertionError("guarded statement not found")
+
+
+class TestRefineByCondition:
+    def setup_method(self):
+        self.rd = RangeDict().set(Sym("x"), SymRange(0, 100))
+
+    def refine(self, cond, pol=True):
+        return refine_by_condition(self.rd, parse_expr(cond), pol)
+
+    def test_less_than(self):
+        r = self.refine("x < 10").range_of(Sym("x"))
+        assert r == SymRange(0, 9)
+
+    def test_less_than_negated(self):
+        r = self.refine("x < 10", pol=False).range_of(Sym("x"))
+        assert r == SymRange(10, 100)
+
+    def test_greater_equal(self):
+        r = self.refine("x >= 50").range_of(Sym("x"))
+        assert r == SymRange(50, 100)
+
+    def test_equality(self):
+        r = self.refine("x == 7").range_of(Sym("x"))
+        assert r == SymRange(7, 7)
+
+    def test_flipped_operands(self):
+        r = self.refine("10 > x").range_of(Sym("x"))
+        assert r == SymRange(0, 9)
+
+    def test_conjunction(self):
+        r = self.refine("x > 5 && x < 20").range_of(Sym("x"))
+        assert r == SymRange(6, 19)
+
+    def test_negation_operator(self):
+        r = self.refine("!(x < 10)").range_of(Sym("x"))
+        assert r == SymRange(10, 100)
+
+    def test_symbolic_bound(self):
+        r = self.refine("x < n").range_of(Sym("x"))
+        assert r.ub == sub(Sym("n"), IntLit(1))
+
+    def test_not_equal_is_noop(self):
+        r = self.refine("x != 5").range_of(Sym("x"))
+        assert r == SymRange(0, 100)
+
+    def test_opaque_condition_is_noop(self):
+        r = self.refine("f[x] < 3").range_of(Sym("x"))
+        assert r == SymRange(0, 100)
+
+
+def test_inner_loop_kills_assigned_scalars():
+    body = body_of("x = 1; for (j = 0; j < m; j++) { x = x + 1; }")
+    res = propagate_ranges(body)
+    assert res.at_exit.range_of(Sym("x")) is None

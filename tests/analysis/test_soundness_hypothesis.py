@@ -1,0 +1,174 @@
+"""Property-based soundness harness for the whole analysis.
+
+Strategy: generate random fill-loop programs from a grammar spanning the
+paper's pattern space (conditional/unconditional counter fills, SRA,
+chains, multi-dimensional closed forms — plus *corrupted* variants with
+negative increments, skipped counters, non-monotone values).  For every
+program:
+
+1. run the analyzer;
+2. execute the program concretely through the interpreter;
+3. for every property the analyzer CLAIMED, check it numerically —
+   monotone (strictly, if SMA) over the claimed region, and for
+   multi-dimensional claims, Definition 1's range ordering.
+
+The analyzer may be as conservative as it likes (claiming nothing is always
+sound); it must never claim a property the execution violates.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import AnalysisConfig, MonoKind, analyze_program
+from repro.lang.cparser import parse_program
+from repro.runtime.interp import run_program
+
+N = 14
+
+
+@st.composite
+def counter_fill_programs(draw):
+    """inseq[m] = <val>; m = m + <inc>  — possibly guarded, possibly broken."""
+    guard = draw(st.booleans())
+    inc = draw(st.sampled_from([1, 1, 1, 2, -1]))
+    cond_const = draw(st.integers(0, 9))
+    val = draw(st.sampled_from(["i", "2*i + 1", "3*i", "xs[i]", "i - 5", "p"]))
+    inc_first = draw(st.booleans())
+    with_ssr = draw(st.booleans())
+    pc = draw(st.integers(-1, 3))
+
+    body = []
+    if with_ssr:
+        body.append(f"p = p + {pc};" if pc >= 0 else f"p = p - {-pc};")
+    fill = [f"a[m] = {val};", f"m = m + {inc};"]
+    if inc_first:
+        fill.reverse()
+    fill_text = " ".join(fill)
+    if guard:
+        body.append(f"if (xs[i] > {cond_const}) {{ {fill_text} }}")
+    else:
+        body.append(fill_text)
+    src = "m = 0;\np = 0;\nfor (i = 0; i < n; i++) {\n  " + "\n  ".join(body) + "\n}\n"
+    xs = draw(st.lists(st.integers(0, 9), min_size=N, max_size=N))
+    return src, xs
+
+
+@st.composite
+def multidim_fill_programs(draw):
+    """ax[i][j] = alpha*i + beta*j + c — LEMMA 2 space, overlaps included."""
+    alpha = draw(st.integers(-2, 12))
+    beta = draw(st.integers(-2, 4))
+    c = draw(st.integers(-3, 3))
+    jtrip = draw(st.integers(1, 4))
+    src = (
+        f"for (i = 0; i < n; i++) {{\n"
+        f"  for (j = 0; j < {jtrip}; j++) {{\n"
+        f"    ax[i][j] = {alpha}*i + {beta}*j + {c};\n"
+        f"  }}\n"
+        f"}}\n"
+    )
+    return src, jtrip
+
+
+def _run(src, xs=None):
+    env = {
+        "n": N,
+        "m": 0,
+        "p": 0,
+        "a": np.full(4 * N + 8, -(10**6), dtype=np.int64),
+        "ax": np.full((N, 8), -(10**6), dtype=np.int64),
+        "xs": np.array(xs if xs is not None else [0] * N, dtype=np.int64),
+    }
+    return run_program(parse_program(src), env)
+
+
+def _eval_bound(expr, out):
+    env = {"n": N}
+    for name, v in out.items():
+        if isinstance(v, (int, np.integer)):
+            env[name] = int(v)
+    # counter_max symbols bind to the final counter value
+    for name in list(env):
+        env[f"{name}_max"] = env[name]
+    try:
+        return expr.evaluate(env)
+    except (KeyError, ValueError):
+        return None
+
+
+@given(counter_fill_programs())
+@settings(max_examples=300, deadline=None)
+def test_counter_fill_claims_are_sound(case):
+    src, xs = case
+    res = analyze_program(src, AnalysisConfig.new_algorithm())
+    props = [p for p in res.properties.all_properties() if p.array == "a"]
+    if not props:
+        return  # conservative: always fine
+    out = _run(src, xs)
+    a = out["a"]
+    for prop in props:
+        assert prop.kind.monotonic
+        lo = _eval_bound(prop.region.lb, out) if prop.region is not None else 0
+        if prop.counter_var is not None:
+            hi = int(out[prop.counter_var]) - 1  # written slots
+        else:
+            hi = _eval_bound(prop.region.ub, out)
+        if lo is None or hi is None or hi < lo:
+            continue
+        written = a[lo : hi + 1]
+        # every claimed slot must actually have been written
+        assert np.all(written != -(10**6)), (src, lo, hi, written)
+        diffs = np.diff(written)
+        if prop.kind is MonoKind.SMA:
+            assert np.all(diffs > 0), (src, written)
+        else:
+            assert np.all(diffs >= 0), (src, written)
+
+
+@given(multidim_fill_programs())
+@settings(max_examples=200, deadline=None)
+def test_multidim_claims_are_sound(case):
+    src, jtrip = case
+    res = analyze_program(src, AnalysisConfig.new_algorithm())
+    props = [p for p in res.properties.all_properties() if p.array == "ax"]
+    if not props:
+        return
+    out = _run(src)
+    ax = out["ax"][:, :jtrip]
+    for prop in props:
+        assert prop.dim == 0
+        # Definition 1: ranges along dim 0 are ordered
+        mins = ax.min(axis=1)
+        maxs = ax.max(axis=1)
+        if prop.kind is MonoKind.SMA:
+            assert np.all(maxs[:-1] < mins[1:]), (src, ax)
+        else:
+            assert np.all(maxs[:-1] <= mins[1:]), (src, ax)
+
+
+@given(counter_fill_programs())
+@settings(max_examples=200, deadline=None)
+def test_base_algorithm_is_a_subset(case):
+    """Anything the base algorithm proves, the new algorithm proves too
+    (capability monotonicity)."""
+    src, _ = case
+    base = analyze_program(src, AnalysisConfig.base_algorithm())
+    new = analyze_program(src, AnalysisConfig.new_algorithm())
+    for p in base.properties.all_properties():
+        q = new.properties.property_of(p.array, p.dim)
+        assert q is not None
+        assert q.kind.value >= p.kind.value
+
+
+def test_known_negative_is_never_claimed():
+    """A decrementing counter fill must never earn a property (regression
+    anchor for the generator's corrupted variants)."""
+    src = """
+    m = 0;
+    for (i = 0; i < n; i++) {
+        if (xs[i] > 3) { a[m] = i; m = m - 1; }
+    }
+    """
+    res = analyze_program(src, AnalysisConfig.new_algorithm())
+    assert res.properties.property_of("a") is None

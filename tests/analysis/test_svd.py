@@ -1,0 +1,92 @@
+"""Tests for the Symbolic Value Dictionary containers."""
+
+from repro.analysis.irbridge import EMPTY_TAG
+from repro.analysis.svd import SVD, StoreRec, ValueSet, VItem
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import IntLit, LambdaVal, Sym, add
+
+
+def tag():
+    return EMPTY_TAG.extend(("c",), True, True)
+
+
+def test_valueset_dedupes():
+    item = VItem(SymRange.point(1))
+    vs = ValueSet([item, item])
+    assert len(vs) == 1
+
+
+def test_valueset_lam():
+    vs = ValueSet.lam("m")
+    assert vs.single_value() == SymRange.point(LambdaVal("m"))
+
+
+def test_valueset_union():
+    a = ValueSet.single(SymRange.point(1))
+    b = ValueSet.single(SymRange.point(2))
+    u = a.union(b)
+    assert len(u) == 2
+
+
+def test_tagged_partition():
+    vs = ValueSet([VItem(SymRange.point(1)), VItem(SymRange.point(2), tag())])
+    assert len(vs.tagged_items) == 1
+    assert len(vs.untagged_items) == 1
+
+
+def test_flat_range():
+    vs = ValueSet([VItem(SymRange.point(1)), VItem(SymRange.point(5))])
+    assert vs.flat_range() == SymRange(1, 5)
+
+
+def test_single_value_none_when_multiple():
+    vs = ValueSet([VItem(SymRange.point(1)), VItem(SymRange.point(2))])
+    assert vs.single_value() is None
+
+
+def test_storerec_defaults_covers():
+    rec = StoreRec((SymRange.point(Sym("i")),), (None,), (VItem(SymRange.point(0)),))
+    assert rec.covers == (False,)
+
+
+def test_storerec_value_range():
+    rec = StoreRec(
+        (SymRange.point(Sym("i")),),
+        (None,),
+        (VItem(SymRange.point(0)), VItem(SymRange.point(9))),
+    )
+    assert rec.value_range() == SymRange(0, 9)
+
+
+def test_svd_merge_scalars():
+    a = SVD()
+    a.set_scalar("m", ValueSet.lam("m"))
+    b = SVD()
+    b.set_scalar("m", ValueSet.single(SymRange.point(add(LambdaVal("m"), 1)), tag()))
+    m = a.merge(b).get_scalar("m")
+    assert len(m) == 2
+
+
+def test_svd_merge_keeps_one_sided_entries():
+    a = SVD()
+    a.set_scalar("x", ValueSet.single(SymRange.point(1)))
+    merged = a.merge(SVD())
+    assert merged.get_scalar("x") is not None
+
+
+def test_svd_merge_dedupes_stores():
+    rec = StoreRec((SymRange.point(Sym("i")),), (None,), (VItem(SymRange.point(0)),))
+    a = SVD()
+    a.add_store("arr", rec)
+    b = SVD()
+    b.add_store("arr", rec)
+    merged = a.merge(b)
+    assert len(merged.arrays["arr"]) == 1
+
+
+def test_svd_copy_is_independent():
+    a = SVD()
+    a.set_scalar("x", ValueSet.single(SymRange.point(1)))
+    c = a.copy()
+    c.set_scalar("x", ValueSet.single(SymRange.point(2)))
+    assert a.get_scalar("x").single_value() == SymRange.point(1)

@@ -1,0 +1,171 @@
+"""Per-benchmark validation: sources compile, decisions match Figure 17,
+kernels execute correctly against their NumPy references."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import all_benchmarks, get_benchmark
+from repro.benchmarks import (
+    amgmk,
+    cg,
+    cholmod,
+    fdtd2d,
+    gramschmidt,
+    heat3d,
+    mg,
+    sddmm,
+    syrk,
+    ua_transf,
+)
+from repro.experiments.harness import PIPELINES, _compile
+from repro.lang.cparser import parse_program
+from repro.runtime.interp import run_program
+from repro.runtime.simulate import plan_from_decisions
+
+ALL = all_benchmarks()
+
+
+def deep_env(env):
+    """Deep-copy an interpreter environment (arrays are mutated in place)."""
+    return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+
+
+@pytest.mark.parametrize("bench", ALL, ids=lambda b: b.name)
+def test_source_parses(bench):
+    prog = parse_program(bench.source)
+    assert prog.stmts
+
+
+@pytest.mark.parametrize("bench", ALL, ids=lambda b: b.name)
+@pytest.mark.parametrize("pipeline", list(PIPELINES))
+def test_parallelization_levels_match_figure17(bench, pipeline):
+    """The qualitative Figure-17 outcome per benchmark and pipeline."""
+    result = _compile(bench.name, pipeline)
+    perf = bench.perf_model(bench.default_dataset)
+    plan = plan_from_decisions(perf, result)
+    main = plan.per_component.get(bench.main_component)
+    level = main.level if main else "serial"
+    assert level == bench.expected_levels[pipeline]
+
+
+@pytest.mark.parametrize("bench", ALL, ids=lambda b: b.name)
+def test_perf_model_sanity(bench):
+    for ds in bench.datasets:
+        perf = bench.perf_model(ds)
+        assert perf.total_ops() > 0
+        assert perf.serial_time_target > 0
+        assert perf.c_op > 0
+        for comp in perf.components:
+            assert comp.work.min() >= 0
+            assert 0.0 <= comp.contention <= 1.0
+
+
+@pytest.mark.parametrize("bench", ALL, ids=lambda b: b.name)
+def test_small_env_executes(bench):
+    env = bench.small_env()
+    out = run_program(parse_program(bench.source), deep_env(env))
+    assert out is not None
+
+
+def test_amgmk_matches_reference():
+    env = amgmk.small_env()
+    out = run_program(parse_program(amgmk.SOURCE), deep_env(env))
+    np.testing.assert_allclose(out["y_data"], amgmk.reference(env), rtol=1e-12)
+
+
+def test_sddmm_matches_reference():
+    env = sddmm.small_env()
+    out = run_program(parse_program(sddmm.SOURCE), deep_env(env))
+    np.testing.assert_allclose(out["p"], sddmm.reference(env), rtol=1e-12)
+
+
+def test_ua_transf_matches_reference():
+    env = ua_transf.small_env()
+    out = run_program(parse_program(ua_transf.SOURCE), deep_env(env))
+    np.testing.assert_allclose(out["tx"], ua_transf.reference(env), rtol=1e-12)
+
+
+def test_ua_idel_fill_matches_paper_figure12():
+    env = ua_transf.small_env()
+    out = run_program(parse_program(ua_transf.SOURCE), deep_env(env))
+    idel = out["idel"]
+    # strict Range-Monotonicity w.r.t. dim 0: ranges [125*iel, 125*iel+124]
+    for iel in range(env["LELT"]):
+        vals = idel[iel].reshape(-1)
+        assert vals.min() == 125 * iel
+        assert vals.max() == 125 * iel + 124
+
+
+def test_cholmod_matches_reference():
+    env = cholmod.small_env()
+    out = run_program(parse_program(cholmod.SOURCE), deep_env(env))
+    np.testing.assert_allclose(out["diagL"], cholmod.reference(env), rtol=1e-12)
+
+
+def test_cholmod_xsup_is_strictly_monotonic():
+    env = cholmod.small_env()
+    out = run_program(parse_program(cholmod.SOURCE), deep_env(env))
+    assert np.all(np.diff(out["xsup"]) > 0)
+
+
+def test_cg_matches_reference():
+    env = cg.small_env()
+    out = run_program(parse_program(cg.SOURCE), deep_env(env))
+    np.testing.assert_allclose(out["w"], cg.reference(env), rtol=1e-12)
+
+
+def test_heat3d_matches_reference():
+    env = heat3d.small_env()
+    out = run_program(parse_program(heat3d.SOURCE), deep_env(env))
+    np.testing.assert_allclose(out["A"], heat3d.reference(env), rtol=1e-9)
+
+
+def test_fdtd2d_matches_reference():
+    env = fdtd2d.small_env()
+    out = run_program(parse_program(fdtd2d.SOURCE), deep_env(env))
+    ref = fdtd2d.reference(env)
+    for key in ("ex", "ey", "hz"):
+        np.testing.assert_allclose(out[key], ref[key], rtol=1e-9)
+
+
+def test_gramschmidt_matches_reference():
+    env = gramschmidt.small_env()
+    out = run_program(parse_program(gramschmidt.SOURCE), deep_env(env))
+    ref = gramschmidt.reference(env)
+    np.testing.assert_allclose(out["Q"], ref["Q"], rtol=1e-9)
+    np.testing.assert_allclose(out["R"], ref["R"], rtol=1e-9, atol=1e-12)
+
+
+def test_syrk_matches_reference():
+    env = syrk.small_env()
+    out = run_program(parse_program(syrk.SOURCE), deep_env(env))
+    np.testing.assert_allclose(out["C"], syrk.reference(env), rtol=1e-9)
+
+
+def test_mg_matches_reference():
+    env = mg.small_env()
+    out = run_program(parse_program(mg.SOURCE), deep_env(env))
+    np.testing.assert_allclose(out["u"], mg.reference(env), rtol=1e-9)
+
+
+def test_is_histogram_matches_reference():
+    from repro.benchmarks import is_bench
+
+    env = is_bench.small_env()
+    out = run_program(parse_program(is_bench.SOURCE), deep_env(env))
+    np.testing.assert_array_equal(out["keyden"], is_bench.reference(env))
+
+
+def test_registry():
+    assert len(ALL) == 12
+    assert get_benchmark("AMGmk").name == "AMGmk"
+    with pytest.raises(KeyError):
+        get_benchmark("nope")
+
+
+def test_serial_times_cover_table1():
+    table = {(b.name, ds): b.perf_model(ds).serial_time_target for b in ALL for ds in b.datasets}
+    assert table[("AMGmk", "MATRIX5")] == 28.66
+    assert table[("SDDMM", "af_shell1")] == 0.755
+    assert table[("UA(transf)", "D")] == 874.22
+    assert table[("Incomplete-Cholesky", "crankseg_1")] == 27.59

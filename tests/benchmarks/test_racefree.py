@@ -1,0 +1,79 @@
+"""End-to-end soundness: every loop the NewAlgo pipeline parallelizes must
+be free of cross-iteration conflicts when executed on a real (small) input.
+
+This closes the loop between the compile-time proof (monotonicity ⇒ no
+dependence) and actual behavior — the strongest validation the repository
+offers for the paper's central claim.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.benchmarks import all_benchmarks, get_benchmark
+from repro.lang.astnodes import For
+from repro.parallelizer import parallelize
+from repro.runtime.racecheck import check_loop_races
+
+
+def deep_env(env):
+    return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+
+
+def parallel_top_loops(result):
+    """Top-level loops the pipeline marked parallel, in program order."""
+    out = []
+    for stmt in result.program.stmts:
+        if isinstance(stmt, For):
+            d = result.decisions.get(stmt.loop_id or "")
+            if d is not None and d.parallel:
+                out.append(stmt)
+    return out
+
+
+@pytest.mark.parametrize(
+    "name",
+    [b.name for b in all_benchmarks()],
+)
+def test_newalgo_parallel_loops_are_race_free(name):
+    bench = get_benchmark(name)
+    result = parallelize(bench.source, AnalysisConfig.new_algorithm())
+    loops = parallel_top_loops(result)
+    if not loops:
+        pytest.skip("no top-level parallel loop under NewAlgo")
+    for loop in loops:
+        rep = check_loop_races(result.program, loop, deep_env(bench.small_env()))
+        assert rep.clean, f"{name}: " + "; ".join(str(c) for c in rep.conflicts)
+        assert rep.iterations > 0
+
+
+def test_is_histogram_would_race():
+    """Negative control: the loop every pipeline REFUSES to parallelize
+    (IS's histogram) does exhibit real races."""
+    bench = get_benchmark("IS")
+    result = parallelize(bench.source, AnalysisConfig.new_algorithm())
+    prog = result.program
+    # the histogram loop is the second loop inside the it-loop's body
+    it_loop = next(s for s in prog.stmts if isinstance(s, For))
+    inner = [s for s in it_loop.body.walk() if isinstance(s, For)]
+    hist = inner[1]
+    d = result.decisions.get(hist.loop_id or "")
+    assert d is not None and not d.parallel
+    # run the histogram body standalone to confirm actual conflicts
+    from repro.lang.astnodes import Program
+
+    env = deep_env(bench.small_env())
+    standalone = Program([hist])
+    rep = check_loop_races(standalone, hist, env)
+    assert not rep.clean
+
+
+def test_incomplete_cholesky_never_parallel():
+    bench = get_benchmark("Incomplete-Cholesky")
+    for cfg in (
+        AnalysisConfig.classical(),
+        AnalysisConfig.base_algorithm(),
+        AnalysisConfig.new_algorithm(),
+    ):
+        result = parallelize(bench.source, cfg)
+        assert not result.parallel_loops

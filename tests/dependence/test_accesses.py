@@ -1,0 +1,95 @@
+"""Tests for access collection and copy propagation."""
+
+from repro.analysis.loopinfo import find_loop_nests
+from repro.analysis.normalize import normalize_program
+from repro.dependence.accesses import build_copy_env, collect_accesses, collect_inner_loops
+from repro.ir.symbols import IntLit
+from repro.lang.cparser import parse_program
+from repro.lang.printer import to_c
+
+
+def setup(src):
+    prog = normalize_program(parse_program(src))
+    nest = find_loop_nests(prog)[0]
+    return nest.loop.body, nest.header.index
+
+
+def test_collects_reads_and_writes():
+    body, idx = setup("for (i=0;i<n;i++){ a[i] = b[i] + c[i+1]; }")
+    acc = collect_accesses(body, idx)
+    names = {(a.array, a.is_write) for a in acc}
+    assert ("a", True) in names
+    assert ("b", False) in names
+    assert ("c", False) in names
+
+
+def test_compound_assignment_counts_read():
+    body, idx = setup("for (i=0;i<n;i++){ a[i] += 1; }")
+    acc = collect_accesses(body, idx)
+    kinds = sorted((a.array, a.is_write) for a in acc)
+    assert ("a", False) in kinds and ("a", True) in kinds
+
+
+def test_affine_decomposition():
+    body, idx = setup("for (i=0;i<n;i++){ a[2*i+3] = 0; }")
+    acc = collect_accesses(body, idx)
+    sub = acc[0].subs[0]
+    assert sub.affine is not None
+    coeff, off = sub.affine
+    assert coeff == IntLit(2) and off == IntLit(3)
+
+
+def test_variant_offset_not_affine():
+    body, idx = setup("for (i=0;i<n;i++){ for (j=0;j<m;j++){ a[j] = 0; } }")
+    acc = [a for a in collect_accesses(body, idx) if a.array == "a"]
+    assert acc[0].subs[0].affine is None
+    assert acc[0].subs[0].inner_index == "j"
+
+
+def test_copy_env_single_definition():
+    body, idx = setup("for (i=0;i<n;i++){ m = b[i]; y[m] = 1; }")
+    env = build_copy_env(body, idx)
+    assert "m" in env
+    assert to_c(env["m"]) == "b[i]"
+
+
+def test_copy_env_excludes_multiple_definitions():
+    body, idx = setup("for (i=0;i<n;i++){ m = b[i]; m = m + 1; y[m] = 1; }")
+    env = build_copy_env(body, idx)
+    assert "m" not in env
+
+
+def test_copy_env_excludes_guarded_defs():
+    body, idx = setup("for (i=0;i<n;i++){ if (c[i]) m = b[i]; y[m] = 1; }")
+    env = build_copy_env(body, idx)
+    assert "m" not in env
+
+
+def test_indirection_detected_through_copy():
+    body, idx = setup("for (i=0;i<n;i++){ m = b[i]; y[m] = 1; }")
+    acc = [a for a in collect_accesses(body, idx) if a.array == "y"]
+    ind = acc[0].subs[0].indirection
+    assert ind is not None and ind[0] == "b"
+
+
+def test_guarded_flag():
+    body, idx = setup("for (i=0;i<n;i++){ if (c[i] > 0) a[i] = 1; }")
+    acc = [a for a in collect_accesses(body, idx) if a.array == "a"]
+    assert acc[0].guarded
+
+
+def test_collect_inner_loops():
+    body, idx = setup(
+        "for (r=0;r<n;r++){ for (k=s[r];k<s[r+1];k++){ p[k]=0; } }"
+    )
+    inner = collect_inner_loops(body)
+    assert "k" in inner
+    assert to_c(inner["k"].lb) == "s[r]"
+    assert to_c(inner["k"].ub) == "s[r + 1]"
+
+
+def test_transitive_copy_env():
+    body, idx = setup("for (i=0;i<n;i++){ a2 = b[i]; m = a2 + 1; y[m] = 1; }")
+    env = build_copy_env(body, idx)
+    assert "m" in env
+    assert "b[i]" in to_c(env["m"])

@@ -1,0 +1,61 @@
+"""Dependence-graph tests."""
+
+from repro.analysis import AnalysisConfig, analyze_program
+from repro.analysis.irbridge import eval_expr
+from repro.analysis.loopinfo import find_loop_nests
+from repro.dependence.accesses import collect_accesses, collect_inner_loops
+from repro.dependence.ddgraph import build_dependence_graph
+from repro.ir.simplify import simplify
+from repro.ir.symbols import IntLit, sub
+
+
+def graph_for(src, nest_index=0, config=None):
+    res = analyze_program(src, config or AnalysisConfig.new_algorithm())
+    nest = res.nests[nest_index]
+    idx = nest.header.index
+    accesses = collect_accesses(nest.loop.body, idx)
+    inner = collect_inner_loops(nest.loop.body)
+    lo = eval_expr(nest.header.lb).lb
+    hi = simplify(sub(eval_expr(nest.header.ub_expr).lb, IntLit(1)))
+    return build_dependence_graph(accesses, idx, (lo, hi), res.properties, inner)
+
+
+def test_clean_loop_has_no_edges():
+    g = graph_for("for (i = 0; i < n; i++) { a[i] = b[i]; }")
+    assert g.parallel
+    assert g.summary() == "no loop-carried dependences"
+
+
+def test_recurrence_has_flow_edge():
+    g = graph_for("for (i = 1; i < n; i++) { a[i] = a[i-1]; }")
+    assert not g.parallel
+    assert any(e.kind in ("flow", "anti") for e in g.edges)
+    assert g.arrays_blocking() == ["a"]
+
+
+def test_output_dependence_on_indirect_write():
+    g = graph_for("for (i = 0; i < n; i++) { y[ind[i]] = i; }")
+    assert not g.parallel
+    assert all(e.kind == "output" for e in g.edges)
+
+
+def test_property_removes_edges():
+    src = """
+    m = 0;
+    for (i = 0; i < n; i++){
+        if (c[i] > 0) { b[m] = i; m = m + 1; }
+    }
+    for (i = 0; i < nw; i++){
+        y[b[i]] = i;
+    }
+    """
+    with_prop = graph_for(src, nest_index=1)
+    assert with_prop.parallel
+    without = graph_for(src, nest_index=1, config=AnalysisConfig.classical())
+    assert not without.parallel
+
+
+def test_edges_for_array():
+    g = graph_for("for (i = 0; i < n; i++) { a[0] = i; b[i] = i; }")
+    assert g.edges_for_array("a")
+    assert not g.edges_for_array("b")

@@ -1,0 +1,129 @@
+"""Tests for the extended (monotonicity-aware) dependence test."""
+
+from repro.analysis import AnalysisConfig, analyze_program
+from repro.analysis.loopinfo import find_loop_nests
+from repro.dependence.accesses import collect_accesses, collect_inner_loops
+from repro.dependence.extended import extended_independent
+from repro.ir.simplify import simplify
+from repro.ir.symbols import IntLit, Sym, sub
+
+
+def run_extended(full_src, kernel_nest_index):
+    """Analyze the program, then run the extended test on one nest."""
+    res = analyze_program(full_src, AnalysisConfig.new_algorithm())
+    nest = res.nests[kernel_nest_index]
+    idx = nest.header.index
+    accesses = collect_accesses(nest.loop.body, idx)
+    inner = collect_inner_loops(nest.loop.body)
+    from repro.analysis.irbridge import eval_expr
+
+    lo = eval_expr(nest.header.lb).lb
+    hi = simplify(sub(eval_expr(nest.header.ub_expr).lb, IntLit(1)))
+    return extended_independent(accesses, idx, (lo, hi), res.properties, inner)
+
+
+AMG = """
+irownnz = 0;
+for (i = 0; i < num_rows; i++){
+    adiag = A_i[i+1] - A_i[i];
+    if (adiag > 0)
+        A_rownnz[irownnz++] = i;
+}
+for (i = 0; i < num_rownnz; i++){
+    m = A_rownnz[i];
+    tempx = y_data[m];
+    for (jj = A_i[m]; jj < A_i[m+1]; jj++)
+        tempx += A_data[jj] * x_data[A_j[jj]];
+    y_data[m] = tempx;
+}
+"""
+
+
+def test_amg_direct_indirection_passes_with_check():
+    ok, checks, reasons = run_extended(AMG, 1)
+    assert ok, reasons
+    assert any("irownnz_max" in c.text for c in checks)
+    # the paper's exact check: -1+num_rownnz <= irownnz_max
+    assert checks[0].text == "-1+num_rownnz <= irownnz_max"
+
+
+def test_amg_without_property_fails():
+    # same kernel but no fill loop => no property => dependence assumed
+    kernel_only = AMG.split("}\n", 2)[-1]
+    src = AMG[AMG.index("for (i = 0; i < num_rownnz"):]
+    ok, checks, reasons = run_extended(src, 0)
+    assert not ok
+
+
+SDDMM = """
+holder = 1; col_ptr[0] = 0; r = col_val[0];
+for (i = 0; i < nonzeros; i++){
+    if (col_val[i] != r){
+        col_ptr[holder++] = i;
+        r = col_val[i];
+    }
+}
+for (r = 0; r < n_cols; ++r){
+    for (ind = col_ptr[r]; ind < col_ptr[r+1]; ++ind){
+        p[ind] = nnz_val[ind] * 2;
+    }
+}
+"""
+
+
+def test_sddmm_bound_indirection_passes_with_check():
+    ok, checks, reasons = run_extended(SDDMM, 1)
+    assert ok, reasons
+    assert checks[0].text == "-1+n_cols <= holder_max"
+
+
+def test_bound_indirection_requires_adjacent_pointers():
+    # upper bound reads col_ptr[r+2]: windows may overlap
+    src = SDDMM.replace("ind < col_ptr[r+1]", "ind < col_ptr[r+2]")
+    ok, _, _ = run_extended(src, 1)
+    assert not ok
+
+
+def test_mismatched_offsets_fail():
+    # write through b[i] vs read through b[i+1]: injectivity does not help
+    src = """
+    irownnz = 0;
+    for (i = 0; i < n; i++){
+        if (c[i] > 0) b[irownnz++] = i;
+    }
+    for (i = 0; i < nw; i++){
+        y[b[i]] = y[b[i+1]] + 1;
+    }
+    """
+    ok, _, _ = run_extended(src, 1)
+    assert not ok
+
+
+def test_same_constant_offset_passes():
+    src = """
+    irownnz = 0;
+    for (i = 0; i < n; i++){
+        if (c[i] > 0) b[irownnz++] = i;
+    }
+    for (i = 0; i < nw; i++){
+        y[b[i]+1] = y[b[i]+1] * 2;
+    }
+    """
+    ok, _, _ = run_extended(src, 1)
+    assert ok
+
+
+def test_nonstrict_property_insufficient_for_direct_writes():
+    """MA (non-injective) does not prove distinct elements for y[b[i]]."""
+    src = """
+    p = 0;
+    for (i1 = 0; i1 < n; i1++) {
+        b[i1] = p;
+        for (i2 = 0; i2 < m; i2++) { if (c[i2] > 0) p = p + 1; }
+    }
+    for (i = 0; i < n; i++){
+        y[b[i]] = i;
+    }
+    """
+    ok, _, _ = run_extended(src, 1)
+    assert not ok  # b is only MA: b[i] may equal b[i+1]

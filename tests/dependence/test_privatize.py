@@ -1,0 +1,87 @@
+"""Tests for scalar privatization and reduction recognition."""
+
+from repro.analysis.loopinfo import find_loop_nests
+from repro.analysis.normalize import normalize_program
+from repro.dependence.privatize import ScalarClass, classify_scalars
+from repro.lang.cparser import parse_program
+
+
+def classify(src):
+    prog = normalize_program(parse_program(src))
+    nest = find_loop_nests(prog)[0]
+    return classify_scalars(nest.loop.body, nest.header.index)
+
+
+def test_write_first_is_private():
+    rep = classify("for (i=0;i<n;i++){ t = a[i]; b[i] = t * 2; }")
+    assert rep.classes["t"] is ScalarClass.PRIVATE
+
+
+def test_read_first_is_serial():
+    rep = classify("for (i=0;i<n;i++){ b[i] = t; t = a[i]; }")
+    assert rep.classes["t"] is ScalarClass.SERIAL
+
+
+def test_sum_reduction():
+    rep = classify("for (i=0;i<n;i++){ s = s + a[i]; }")
+    assert rep.classes["s"] is ScalarClass.REDUCTION_ADD
+    assert ("+", "s") in rep.reductions
+
+
+def test_compound_add_reduction():
+    rep = classify("for (i=0;i<n;i++){ s += a[i]; }")
+    assert rep.classes["s"] is ScalarClass.REDUCTION_ADD
+
+
+def test_product_reduction():
+    rep = classify("for (i=0;i<n;i++){ s = s * a[i]; }")
+    assert rep.classes["s"] is ScalarClass.REDUCTION_MUL
+
+
+def test_mixed_operators_not_reduction():
+    rep = classify("for (i=0;i<n;i++){ s = s + a[i]; s = s * 2; }")
+    assert rep.classes["s"] is ScalarClass.SERIAL
+
+
+def test_reduction_variable_read_elsewhere_not_reduction():
+    rep = classify("for (i=0;i<n;i++){ s = s + a[i]; b[i] = s; }")
+    assert rep.classes["s"] is ScalarClass.SERIAL
+
+
+def test_self_referential_operand_not_reduction():
+    rep = classify("for (i=0;i<n;i++){ s = s + s; }")
+    assert rep.classes["s"] is ScalarClass.SERIAL
+
+
+def test_inner_loop_index_private():
+    rep = classify("for (i=0;i<n;i++){ for (j=0;j<m;j++){ a[i][j] = 0; } }")
+    assert rep.classes["j"] is ScalarClass.PRIVATE
+
+
+def test_recurrence_is_serial():
+    rep = classify("for (i=0;i<n;i++){ t = t / 2; }")
+    assert rep.classes["t"] is ScalarClass.SERIAL
+
+
+def test_amg_kernel_scalars():
+    """Paper Figure 8: m, tempx private; jj private (inner index)."""
+    rep = classify(
+        """
+        for (i = 0; i < num_rownnz; i++){
+            m = A_rownnz[i];
+            tempx = y_data[m];
+            for (jj = A_i[m]; jj < A_i[m+1]; jj++)
+                tempx += A_data[jj] * x_data[A_j[jj]];
+            y_data[m] = tempx;
+        }
+        """
+    )
+    assert rep.classes["m"] is ScalarClass.PRIVATE
+    assert rep.classes["tempx"] is ScalarClass.PRIVATE
+    assert rep.classes["jj"] is ScalarClass.PRIVATE
+    assert not rep.serial_scalars
+
+
+def test_private_list_sorted():
+    rep = classify("for (i=0;i<n;i++){ z = 1; a = 2; q[i] = z + a; }")
+    assert rep.private == sorted(rep.private)

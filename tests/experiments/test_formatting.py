@@ -1,0 +1,83 @@
+"""Formatting/reporting coverage for the experiment harnesses."""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.experiments.harness import format_runs, run_benchmark, speedup_table
+from repro.experiments.table1 import format_table1
+from repro.analysis.properties import ArrayProperty, MonoKind, PropertyStore
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import Sym
+
+
+class TestHarnessFormat:
+    def test_speedup_table_shape(self):
+        bench = get_benchmark("AMGmk")
+        runs = speedup_table(bench, ["MATRIX1"], ["Cetus+NewAlgo"], [4, 8])
+        assert len(runs) == 2
+        assert {r.cores for r in runs} == {4, 8}
+
+    def test_format_runs_speedup(self):
+        bench = get_benchmark("AMGmk")
+        runs = speedup_table(bench, ["MATRIX1"], ["Cetus+NewAlgo"], [4, 16])
+        text = format_runs(runs)
+        assert "AMGmk" in text and "MATRIX1" in text
+        assert text.count("\n") >= 1
+
+    def test_format_runs_efficiency_metric(self):
+        bench = get_benchmark("AMGmk")
+        runs = speedup_table(bench, ["MATRIX1"], ["Cetus+NewAlgo"], [4])
+        text = format_runs(runs, metric="efficiency")
+        assert "0." in text
+
+    def test_run_benchmark_default_dataset(self):
+        bench = get_benchmark("syrk")
+        run = run_benchmark(bench)
+        assert run.dataset == "EXTRALARGE"
+        assert run.pipeline == "Cetus+NewAlgo"
+
+    def test_table1_contains_all_benchmarks(self):
+        text = format_table1()
+        for name in ("AMGmk", "SDDMM", "UA(transf)", "Incomplete-Cholesky"):
+            assert name in text
+
+
+class TestPropertyDisplay:
+    def test_annotation_sma(self):
+        p = ArrayProperty("a", MonoKind.SMA, dim=0)
+        assert "SMA" in p.annotation()
+
+    def test_annotation_none(self):
+        p = ArrayProperty("a", MonoKind.NONE)
+        assert p.annotation() == "⊥"
+
+    def test_str_with_region(self):
+        p = ArrayProperty(
+            "a", MonoKind.MA, region=SymRange(0, Sym("m_max")), intermittent=True
+        )
+        s = str(p)
+        assert "a[" in s and "intermittent" in s
+
+    def test_store_keeps_stronger_kind(self):
+        store = PropertyStore()
+        store.record(ArrayProperty("a", MonoKind.SMA))
+        store.record(ArrayProperty("a", MonoKind.MA))
+        assert store.property_of("a").kind is MonoKind.SMA
+
+    def test_store_upgrade_allowed(self):
+        store = PropertyStore()
+        store.record(ArrayProperty("a", MonoKind.MA))
+        store.record(ArrayProperty("a", MonoKind.SMA))
+        assert store.property_of("a").kind is MonoKind.SMA
+
+    def test_kill_removes_all_dims(self):
+        store = PropertyStore()
+        store.record(ArrayProperty("a", MonoKind.SMA, dim=0))
+        store.record(ArrayProperty("a", MonoKind.MA, dim=1))
+        store.kill("a")
+        assert store.any_property_of("a") is None
+
+    def test_mono_kind_meet(self):
+        assert MonoKind.SMA.meet(MonoKind.MA) is MonoKind.MA
+        assert MonoKind.MA.meet(MonoKind.NONE) is MonoKind.NONE
+        assert MonoKind.SMA.meet(MonoKind.SMA) is MonoKind.SMA

@@ -1,0 +1,18 @@
+"""The headline 6/7/10 result must not depend on one calibration point."""
+
+from repro.experiments.sensitivity import improved_counts_under
+
+
+def test_counts_stable_at_double_fork_cost():
+    counts = improved_counts_under(2.0, 1.0)
+    assert (counts["Cetus"], counts["Cetus+BaseAlgo"], counts["Cetus+NewAlgo"]) == (6, 7, 10)
+
+
+def test_counts_stable_at_high_contention():
+    counts = improved_counts_under(1.0, 1.3)
+    assert (counts["Cetus"], counts["Cetus+BaseAlgo"], counts["Cetus+NewAlgo"]) == (6, 7, 10)
+
+
+def test_counts_stable_at_cheap_fork():
+    counts = improved_counts_under(0.5, 0.7)
+    assert (counts["Cetus"], counts["Cetus+BaseAlgo"], counts["Cetus+NewAlgo"]) == (6, 7, 10)

@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the symbolic core.
+
+The key soundness contracts:
+
+* simplification/expansion preserve numeric value on every environment;
+* affine decomposition reconstructs the original expression;
+* interval arithmetic is *containing*: if x ∈ [a] and y ∈ [b] then
+  x op y ∈ [a] op [b];
+* sign determination never claims a sign the expression can violate.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import Sign, SymRange, range_eval, sign_of
+from repro.ir.simplify import decompose_affine, expand, simplify
+from repro.ir.symbols import IntLit, Sym, add, mul, sub
+
+NAMES = ["i", "n", "k", "m"]
+
+
+@st.composite
+def exprs(draw, depth=0):
+    """Random integer expressions over a small symbol pool."""
+    if depth >= 3:
+        leaf = draw(st.sampled_from(["int", "sym"]))
+    else:
+        leaf = draw(st.sampled_from(["int", "sym", "add", "mul", "sub"]))
+    if leaf == "int":
+        return IntLit(draw(st.integers(-20, 20)))
+    if leaf == "sym":
+        return Sym(draw(st.sampled_from(NAMES)))
+    a = draw(exprs(depth=depth + 1))
+    b = draw(exprs(depth=depth + 1))
+    if leaf == "add":
+        return add(a, b)
+    if leaf == "sub":
+        return sub(a, b)
+    return mul(a, b)
+
+
+@st.composite
+def envs(draw):
+    return {n: draw(st.integers(-50, 50)) for n in NAMES}
+
+
+@given(exprs(), envs())
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_value(e, env):
+    assert simplify(e).evaluate(env) == e.evaluate(env)
+
+
+@given(exprs(), envs())
+@settings(max_examples=200, deadline=None)
+def test_expand_preserves_value(e, env):
+    assert expand(e).evaluate(env) == e.evaluate(env)
+
+
+@given(exprs(), envs())
+@settings(max_examples=150, deadline=None)
+def test_simplify_idempotent(e, env):
+    s = simplify(e)
+    assert simplify(s) == s
+
+
+@given(exprs(), envs())
+@settings(max_examples=150, deadline=None)
+def test_decompose_affine_reconstructs(e, env):
+    atom = Sym("i")
+    dec = decompose_affine(e, atom)
+    if dec is None:
+        return
+    coeff, rem = dec
+    rebuilt = add(mul(coeff, atom), rem)
+    assert rebuilt.evaluate(env) == e.evaluate(env)
+
+
+@given(
+    st.integers(-30, 30),
+    st.integers(0, 30),
+    st.integers(-30, 30),
+    st.integers(0, 30),
+    st.integers(-5, 5),
+)
+@settings(max_examples=200, deadline=None)
+def test_interval_arithmetic_containment(a_lo, a_w, b_lo, b_w, scale):
+    ra = SymRange(a_lo, a_lo + a_w)
+    rb = SymRange(b_lo, b_lo + b_w)
+    # sample endpoints and midpoints
+    for x in (a_lo, a_lo + a_w // 2, a_lo + a_w):
+        for y in (b_lo, b_lo + b_w // 2, b_lo + b_w):
+            s = ra + rb
+            assert s.lb.evaluate({}) <= x + y <= s.ub.evaluate({})
+            d = ra - rb
+            assert d.lb.evaluate({}) <= x - y <= d.ub.evaluate({})
+        m = ra.scale(scale)
+        if not m.is_unknown:
+            assert m.lb.evaluate({}) <= x * scale <= m.ub.evaluate({})
+
+
+@given(st.integers(-30, 30), st.integers(0, 30), st.integers(-30, 30), st.integers(0, 30))
+@settings(max_examples=200, deadline=None)
+def test_union_contains_both(a_lo, a_w, b_lo, b_w):
+    ra = SymRange(a_lo, a_lo + a_w)
+    rb = SymRange(b_lo, b_lo + b_w)
+    u = ra.union(rb)
+    lo, hi = u.lb.evaluate({}), u.ub.evaluate({})
+    assert lo <= a_lo and hi >= a_lo + a_w
+    assert lo <= b_lo and hi >= b_lo + b_w
+
+
+@given(exprs(), envs(), st.integers(0, 40))
+@settings(max_examples=200, deadline=None)
+def test_sign_of_is_sound(e, env, i_hi):
+    # constrain i to [0:i_hi] and test with a consistent sample
+    env = dict(env)
+    env["i"] = min(max(env["i"], 0), i_hi)
+    rd = RangeDict().set(Sym("i"), SymRange(0, i_hi))
+    s = sign_of(e, rd)
+    v = e.evaluate(env)
+    if s is Sign.POSITIVE:
+        assert v > 0
+    elif s is Sign.NEGATIVE:
+        assert v < 0
+    elif s is Sign.ZERO:
+        assert v == 0
+    elif s is Sign.NONNEGATIVE:
+        assert v >= 0
+    elif s is Sign.NONPOSITIVE:
+        assert v <= 0
+
+
+@given(exprs(), st.integers(0, 20), st.integers(0, 20))
+@settings(max_examples=150, deadline=None)
+def test_range_eval_contains_all_samples(e, i_hi, n_hi):
+    rd = RangeDict().set(Sym("i"), SymRange(0, i_hi)).set(Sym("n"), SymRange(0, n_hi))
+    r = range_eval(e, rd)
+    for iv in {0, i_hi // 2, i_hi}:
+        for nv in {0, n_hi // 2, n_hi}:
+            env = {"i": iv, "n": nv, "k": 0, "m": 0}
+            v = e.evaluate(env)
+            if r.has_lb:
+                assert r.lb.evaluate(env) <= v
+            if r.has_ub:
+                assert v <= r.ub.evaluate(env)

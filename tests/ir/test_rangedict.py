@@ -1,0 +1,61 @@
+"""Unit tests for the Range Dictionary."""
+
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import BOTTOM, IntLit, Sym
+
+i = Sym("i")
+n = Sym("n")
+
+
+def test_set_and_lookup():
+    rd = RangeDict().set(i, SymRange(0, 4))
+    assert rd.range_of(i) == SymRange(0, 4)
+    assert rd.range_of(n) is None
+
+
+def test_set_is_functional():
+    rd = RangeDict()
+    rd2 = rd.set(i, SymRange(0, 1))
+    assert i not in rd
+    assert i in rd2
+
+
+def test_remove():
+    rd = RangeDict().set(i, SymRange(0, 1))
+    assert rd.remove(i).range_of(i) is None
+    assert rd.remove(n) is rd  # no-op
+
+
+def test_refine_intersects_missing_bounds():
+    rd = RangeDict().set(i, SymRange(0, BOTTOM))
+    rd2 = rd.refine(i, SymRange(BOTTOM, 9))
+    assert rd2.range_of(i) == SymRange(0, 9)
+
+
+def test_refine_without_existing_sets():
+    rd = RangeDict().refine(i, SymRange(1, 2))
+    assert rd.range_of(i) == SymRange(1, 2)
+
+
+def test_merge_unions_common_symbols():
+    a = RangeDict().set(i, SymRange(0, 4)).set(n, SymRange(1, 1))
+    b = RangeDict().set(i, SymRange(2, 9))
+    m = a.merge(b)
+    assert m.range_of(i) == SymRange(0, 9)
+    assert m.range_of(n) is None  # only on one side: dropped
+
+
+def test_widen_keeps_stable_bounds():
+    prev = RangeDict().set(i, SymRange(0, 5))
+    cur = RangeDict().set(i, SymRange(0, 6))
+    w = cur.widen(prev)
+    r = w.range_of(i)
+    assert r.lb == IntLit(0)
+    assert not r.has_ub
+
+
+def test_len_and_str():
+    rd = RangeDict().set(i, SymRange(0, 1))
+    assert len(rd) == 1
+    assert "i" in str(rd)

@@ -1,0 +1,208 @@
+"""Unit tests for symbolic ranges and sign determination."""
+
+import pytest
+
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import Sign, SymRange, range_eval, sign_of, value_union
+from repro.ir.symbols import (
+    BOTTOM,
+    ArrayRef,
+    IntLit,
+    LambdaVal,
+    Min,
+    Sym,
+    add,
+    mul,
+    sub,
+)
+
+i = Sym("i")
+n = Sym("n")
+
+
+class TestSymRangeBasics:
+    def test_point(self):
+        r = SymRange.point(5)
+        assert r.is_point
+        assert r.lb == IntLit(5) and r.ub == IntLit(5)
+
+    def test_unknown(self):
+        r = SymRange.unknown()
+        assert r.is_unknown
+        assert not r.has_lb and not r.has_ub
+
+    def test_half_bounded(self):
+        r = SymRange(0, BOTTOM)
+        assert r.has_lb and not r.has_ub
+
+    def test_str(self):
+        assert str(SymRange(0, sub(n, 1))) == "[0:-1+n]"
+        assert str(SymRange.point(i)) == "i"
+
+    def test_eq_hash(self):
+        assert SymRange(0, n) == SymRange(0, n)
+        assert hash(SymRange(0, n)) == hash(SymRange(0, n))
+
+    def test_bounds_are_simplified(self):
+        r = SymRange(add(i, 1, -1), add(n, 0))
+        assert r.lb == i and r.ub == n
+
+
+class TestArithmetic:
+    def test_add_ranges(self):
+        r = SymRange(0, 4) + SymRange(1, 2)
+        assert r == SymRange(1, 6)
+
+    def test_add_expr(self):
+        r = SymRange(0, 4) + i
+        assert r == SymRange(i, add(i, 4))
+
+    def test_sub_ranges(self):
+        r = SymRange(5, 10) - SymRange(1, 2)
+        assert r == SymRange(3, 9)
+
+    def test_add_unknown_side(self):
+        r = SymRange(0, BOTTOM) + SymRange(1, 1)
+        assert r.lb == IntLit(1)
+        assert not r.has_ub
+
+    def test_scale_positive(self):
+        assert SymRange(1, 3).scale(5) == SymRange(5, 15)
+
+    def test_scale_negative_swaps(self):
+        assert SymRange(1, 3).scale(-2) == SymRange(-6, -2)
+
+    def test_scale_unknown_sign_gives_unknown(self):
+        assert SymRange(1, 3).scale(n).is_unknown
+
+    def test_scale_with_bounds_provider(self):
+        rd = RangeDict().set(n, SymRange(1, BOTTOM))
+        r = SymRange(0, 4).scale(n, rd)
+        assert r == SymRange(0, mul(4, n))
+
+
+class TestUnionWiden:
+    def test_union_constants(self):
+        assert SymRange(0, 4).union(SymRange(2, 9)) == SymRange(0, 9)
+
+    def test_union_folds_provable(self):
+        lam = LambdaVal("m")
+        u = SymRange.point(lam).union(SymRange.point(add(lam, 1)))
+        assert u == SymRange(lam, add(lam, 1))
+
+    def test_union_unprovable_keeps_min(self):
+        u = SymRange.point(i).union(SymRange.point(n))
+        assert isinstance(u.lb, Min)
+
+    def test_value_union(self):
+        u = value_union([SymRange(0, 1), SymRange(5, 9), SymRange(2, 3)])
+        assert u == SymRange(0, 9)
+
+    def test_value_union_empty(self):
+        assert value_union([]).is_unknown
+
+    def test_widen_drops_unstable_bounds(self):
+        a = SymRange(0, 5)
+        b = SymRange(0, 6)
+        w = a.widen_against(b)
+        assert w.lb == IntLit(0)
+        assert not w.has_ub
+
+
+class TestComparisons:
+    def test_lt_constants(self):
+        assert SymRange(0, 4).lt(SymRange(5, 9))
+        assert not SymRange(0, 5).lt(SymRange(5, 9))
+
+    def test_le(self):
+        assert SymRange(0, 5).le(SymRange(5, 9))
+        assert not SymRange(0, 6).le(SymRange(5, 9))
+
+    def test_lt_symbolic(self):
+        a = SymRange(i, add(i, 4))
+        b = SymRange(add(i, 5), add(i, 9))
+        assert a.lt(b)
+
+    def test_lt_unknown_bounds_false(self):
+        assert not SymRange(0, BOTTOM).lt(SymRange(5, 9))
+
+
+class TestSignOf:
+    def test_literals(self):
+        assert sign_of(IntLit(3)) is Sign.POSITIVE
+        assert sign_of(IntLit(0)) is Sign.ZERO
+        assert sign_of(IntLit(-2)) is Sign.NEGATIVE
+
+    def test_unknown_symbol(self):
+        assert sign_of(n) is Sign.UNKNOWN
+
+    def test_symbol_with_bounds(self):
+        rd = RangeDict().set(i, SymRange(0, sub(n, 1)))
+        assert sign_of(i, rd) is Sign.NONNEGATIVE
+        assert sign_of(add(i, 1), rd) is Sign.POSITIVE
+
+    def test_sum_rules(self):
+        rd = RangeDict().set(i, SymRange(0, BOTTOM))
+        assert sign_of(add(i, 5), rd) is Sign.POSITIVE
+        assert sign_of(add(mul(-1, i), -1), rd) is Sign.NEGATIVE
+
+    def test_product_rules(self):
+        rd = RangeDict().set(i, SymRange(1, BOTTOM)).set(n, SymRange(0, BOTTOM))
+        assert sign_of(mul(i, i), rd) is Sign.POSITIVE
+        assert sign_of(mul(i, n), rd) is Sign.NONNEGATIVE
+        assert sign_of(mul(IntLit(-1), i), rd) is Sign.NEGATIVE
+
+    def test_pnn_predicate(self):
+        assert Sign.POSITIVE.is_pnn
+        assert Sign.NONNEGATIVE.is_pnn
+        assert Sign.ZERO.is_pnn
+        assert not Sign.NEGATIVE.is_pnn
+        assert not Sign.UNKNOWN.is_pnn
+
+    def test_whole_expression_fact(self):
+        trip = sub(n, 1)
+        rd = RangeDict().set(trip, SymRange(0, BOTTOM))
+        assert sign_of(trip, rd).is_pnn
+
+    def test_min_max_signs(self):
+        rd = RangeDict().set(i, SymRange(1, BOTTOM))
+        from repro.ir.symbols import smax, smin
+
+        assert sign_of(smin(i, IntLit(3)), rd) is Sign.POSITIVE
+        assert sign_of(smax(n, IntLit(1)), rd) is Sign.POSITIVE
+        assert sign_of(smin(n, IntLit(-1)), rd) is Sign.NEGATIVE
+
+    def test_div_weakens_positive(self):
+        rd = RangeDict().set(i, SymRange(1, BOTTOM))
+        from repro.ir.symbols import Div
+
+        assert sign_of(Div(i, IntLit(2)), rd) is Sign.NONNEGATIVE
+
+
+class TestRangeEval:
+    def test_substitutes_symbol_range(self):
+        rd = RangeDict().set(i, SymRange(0, 4))
+        assert range_eval(add(mul(25, i), 3), rd) == SymRange(3, 103)
+
+    def test_negative_coefficient(self):
+        rd = RangeDict().set(i, SymRange(0, 4))
+        assert range_eval(mul(-2, i), rd) == SymRange(-8, 0)
+
+    def test_unknown_symbol_stays_symbolic(self):
+        r = range_eval(add(n, 1), RangeDict())
+        assert r == SymRange.point(add(n, 1))
+
+    def test_arrayref_subscript_substitution(self):
+        rd = RangeDict().set(LambdaVal("m"), SymRange.point(IntLit(2)))
+        r = range_eval(ArrayRef("A", [add(LambdaVal("m"), 1)]), rd)
+        assert r == SymRange.point(ArrayRef("A", [IntLit(3)]))
+
+    def test_arrayref_with_range_subscript_unknown(self):
+        rd = RangeDict().set(i, SymRange(0, 4))
+        r = range_eval(ArrayRef("A", [i]), rd)
+        assert r.is_unknown
+
+    def test_pnn_range(self):
+        assert SymRange(0, n).is_pnn()
+        assert SymRange(1, n).is_positive()
+        assert not SymRange(-1, n).is_pnn()

@@ -1,0 +1,154 @@
+"""Unit tests for the canonicalizing simplifier."""
+
+import pytest
+
+from repro.ir.simplify import (
+    coefficient_of,
+    collect,
+    decompose_affine,
+    equals,
+    expand,
+    is_const_int,
+    simplify,
+)
+from repro.ir.symbols import (
+    ArrayRef,
+    Div,
+    IntLit,
+    LambdaVal,
+    Mod,
+    Sym,
+    add,
+    mul,
+    smax,
+    smin,
+    sub,
+)
+
+i = Sym("i")
+n = Sym("n")
+k = Sym("k")
+
+
+class TestExpand:
+    def test_distributes_product_over_sum(self):
+        e = expand(mul(add(i, 1), add(n, 2)))
+        assert equals(e, add(mul(i, n), mul(i, 2), n, 2))
+
+    def test_nested_distribution(self):
+        e = expand(mul(add(i, 1), add(i, 1)))
+        assert equals(e, add(mul(i, i), mul(2, i), 1))
+
+    def test_leaves_leaf_alone(self):
+        assert expand(i) == i
+
+    def test_div_is_opaque(self):
+        e = Div(add(i, 1), IntLit(2))
+        assert isinstance(expand(e), Div)
+
+
+class TestCollect:
+    def test_collects_like_terms(self):
+        e = collect(add(mul(3, i), mul(2, i)))
+        assert e == mul(5, i)
+
+    def test_cancellation(self):
+        e = collect(add(i, mul(-1, i)))
+        assert e == IntLit(0)
+
+    def test_mixed_terms(self):
+        e = collect(add(i, n, i, 4))
+        assert equals(e, add(mul(2, i), n, 4))
+
+
+class TestSimplify:
+    def test_idempotent(self):
+        e = simplify(mul(add(i, 1), 5))
+        assert simplify(e) == e
+
+    def test_difference_of_equal_exprs(self):
+        a = mul(add(i, n), 2)
+        b = add(mul(2, i), mul(2, n))
+        assert simplify(sub(a, b)) == IntLit(0)
+
+    def test_div_by_one(self):
+        assert simplify(Div(i, IntLit(1))) == i
+
+    def test_div_by_minus_one(self):
+        assert simplify(Div(i, IntLit(-1))) == mul(-1, i)
+
+    def test_div_constants(self):
+        assert simplify(Div(IntLit(9), IntLit(2))) == IntLit(4)
+        assert simplify(Div(IntLit(-9), IntLit(2))) == IntLit(-4)
+
+    def test_div_self(self):
+        assert simplify(Div(add(i, 1), add(i, 1))) == IntLit(1)
+
+    def test_zero_numerator(self):
+        assert simplify(Div(IntLit(0), n)) == IntLit(0)
+
+    def test_mod_constants(self):
+        assert simplify(Mod(IntLit(7), IntLit(3))) == IntLit(1)
+
+    def test_mod_by_one(self):
+        assert simplify(Mod(i, IntLit(1))) == IntLit(0)
+
+    def test_mod_self(self):
+        assert simplify(Mod(add(i, 2), add(i, 2))) == IntLit(0)
+
+    def test_min_max_folding(self):
+        assert simplify(smin(IntLit(3), IntLit(5))) == IntLit(3)
+        assert simplify(smax(IntLit(3), IntLit(5))) == IntLit(5)
+
+    def test_simplify_through_arrayref(self):
+        e = ArrayRef("A", [add(i, 1, -1)])
+        assert simplify(e) == ArrayRef("A", [i])
+
+    def test_lambda_arith(self):
+        lam = LambdaVal("m")
+        assert simplify(sub(add(lam, 1), lam)) == IntLit(1)
+
+
+class TestDecomposeAffine:
+    def test_simple(self):
+        coeff, rem = decompose_affine(add(mul(5, i), 3), i)
+        assert coeff == IntLit(5)
+        assert rem == IntLit(3)
+
+    def test_symbolic_coefficient(self):
+        coeff, rem = decompose_affine(add(mul(n, i), k), i)
+        assert coeff == n
+        assert rem == k
+
+    def test_zero_coefficient(self):
+        coeff, rem = decompose_affine(add(n, 2), i)
+        assert coeff == IntLit(0)
+        assert equals(rem, add(n, 2))
+
+    def test_quadratic_rejected(self):
+        assert decompose_affine(mul(i, i), i) is None
+
+    def test_nested_in_arrayref_rejected(self):
+        e = ArrayRef("A", [i])
+        assert decompose_affine(e, i) is None
+        assert decompose_affine(add(e, 1), i) is None
+
+    def test_lambda_atom(self):
+        lam = LambdaVal("p")
+        coeff, rem = decompose_affine(add(lam, 1), lam)
+        assert coeff == IntLit(1)
+        assert rem == IntLit(1)
+
+    def test_coefficient_of(self):
+        assert coefficient_of(add(mul(125, i), 3), i) == IntLit(125)
+        assert coefficient_of(mul(i, i), i) is None
+
+
+class TestHelpers:
+    def test_is_const_int(self):
+        assert is_const_int(add(2, 3)) == 5
+        assert is_const_int(i) is None
+
+    def test_equals(self):
+        assert equals(mul(2, add(i, 1)), add(mul(2, i), 2))
+        assert not equals(i, n)

@@ -1,0 +1,230 @@
+"""Unit tests for the symbolic expression core."""
+
+import pytest
+
+from repro.ir.symbols import (
+    BOTTOM,
+    Add,
+    ArrayRef,
+    BigLambda,
+    Bottom,
+    Div,
+    IntLit,
+    LambdaVal,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Sym,
+    add,
+    as_expr,
+    mul,
+    neg,
+    smax,
+    smin,
+    sub,
+)
+
+
+class TestLeaves:
+    def test_intlit_value(self):
+        assert IntLit(5).value == 5
+
+    def test_intlit_equality(self):
+        assert IntLit(3) == IntLit(3)
+        assert IntLit(3) != IntLit(4)
+
+    def test_intlit_rejects_non_int(self):
+        with pytest.raises(TypeError):
+            IntLit("x")
+
+    def test_intlit_str(self):
+        assert str(IntLit(-7)) == "-7"
+
+    def test_sym_name(self):
+        assert Sym("n").name == "n"
+        assert str(Sym("n")) == "n"
+
+    def test_sym_requires_name(self):
+        with pytest.raises(ValueError):
+            Sym("")
+
+    def test_sym_equality_and_hash(self):
+        assert Sym("a") == Sym("a")
+        assert hash(Sym("a")) == hash(Sym("a"))
+        assert Sym("a") != Sym("b")
+
+    def test_lambda_str_and_spelled(self):
+        lam = LambdaVal("m")
+        assert str(lam) == "λ_m"
+        assert lam.spelled == "lambda_m"
+
+    def test_biglambda_str_and_spelled(self):
+        big = BigLambda("sc")
+        assert str(big) == "Λ_sc"
+        assert big.spelled == "Lambda_sc"
+
+    def test_lambda_vs_biglambda_distinct(self):
+        assert LambdaVal("x") != BigLambda("x")
+
+    def test_bottom_singleton_semantics(self):
+        assert BOTTOM == Bottom()
+        assert str(BOTTOM) == "⊥"
+
+    def test_bottom_cannot_evaluate(self):
+        with pytest.raises(ValueError):
+            BOTTOM.evaluate({})
+
+    def test_immutability(self):
+        with pytest.raises(AttributeError):
+            IntLit(1).value = 2
+        with pytest.raises(AttributeError):
+            Sym("x").name = "y"
+
+
+class TestConstructors:
+    def test_as_expr_int(self):
+        assert as_expr(5) == IntLit(5)
+
+    def test_as_expr_passthrough(self):
+        e = Sym("x")
+        assert as_expr(e) is e
+
+    def test_as_expr_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+    def test_add_folds_constants(self):
+        assert add(2, 3) == IntLit(5)
+
+    def test_add_flattens(self):
+        e = add(Sym("a"), add(Sym("b"), 1), 2)
+        assert isinstance(e, Add)
+        assert IntLit(3) in e.operands
+
+    def test_add_drops_zero(self):
+        assert add(Sym("a"), 0) == Sym("a")
+
+    def test_add_bottom_absorbs(self):
+        assert add(Sym("a"), BOTTOM) == BOTTOM
+
+    def test_mul_folds_constants(self):
+        assert mul(2, 3) == IntLit(6)
+
+    def test_mul_zero_annihilates(self):
+        assert mul(Sym("a"), 0) == IntLit(0)
+
+    def test_mul_one_identity(self):
+        assert mul(Sym("a"), 1) == Sym("a")
+
+    def test_mul_bottom_absorbs(self):
+        assert mul(Sym("a"), BOTTOM) == BOTTOM
+
+    def test_neg(self):
+        assert neg(IntLit(4)) == IntLit(-4)
+
+    def test_sub_self_is_zero_after_simplify(self):
+        from repro.ir.simplify import simplify
+
+        assert simplify(sub(Sym("x"), Sym("x"))) == IntLit(0)
+
+    def test_smin_folds_literals(self):
+        assert smin(3, 7) == IntLit(3)
+
+    def test_smax_folds_literals(self):
+        assert smax(3, 7) == IntLit(7)
+
+    def test_smin_dedupes(self):
+        assert smin(Sym("a"), Sym("a")) == Sym("a")
+
+    def test_smin_keeps_symbolic(self):
+        e = smin(Sym("a"), 4)
+        assert isinstance(e, Min)
+
+    def test_operator_sugar(self):
+        i = Sym("i")
+        e = (i + 1) * 2 - i
+        from repro.ir.simplify import simplify
+
+        assert simplify(e) == simplify(add(Sym("i"), 2))
+
+
+class TestStructure:
+    def test_walk_yields_all_nodes(self):
+        e = add(mul(Sym("a"), Sym("b")), 3)
+        names = {n.name for n in e.walk() if isinstance(n, Sym)}
+        assert names == {"a", "b"}
+
+    def test_free_symbols(self):
+        e = add(Sym("a"), LambdaVal("m"), IntLit(2))
+        assert e.free_symbols() == frozenset({Sym("a")})
+
+    def test_lambda_vals(self):
+        e = add(LambdaVal("m"), Sym("x"))
+        assert e.lambda_vals() == frozenset({LambdaVal("m")})
+
+    def test_contains(self):
+        e = mul(add(Sym("i"), 1), Sym("k"))
+        assert e.contains(Sym("i"))
+        assert not e.contains(Sym("z"))
+
+    def test_subs_replaces_leaf(self):
+        e = add(Sym("i"), 1)
+        assert e.subs({Sym("i"): IntLit(4)}) == IntLit(5)
+
+    def test_subs_top_level_match(self):
+        e = Sym("i")
+        assert e.subs({Sym("i"): Sym("j")}) == Sym("j")
+
+    def test_subs_no_match_returns_same(self):
+        e = add(Sym("i"), 1)
+        assert e.subs({Sym("q"): IntLit(0)}) is e
+
+    def test_arrayref_children_and_rebuild(self):
+        r = ArrayRef("A", [Sym("i"), IntLit(0)])
+        assert r.children() == (Sym("i"), IntLit(0))
+        r2 = r.rebuild((IntLit(1), IntLit(0)))
+        assert r2 == ArrayRef("A", [IntLit(1), IntLit(0)])
+
+    def test_arrayref_str(self):
+        assert str(ArrayRef("A_i", [add(Sym("i"), 1)])) == "A_i[1+i]"
+
+    def test_ordering_is_total(self):
+        exprs = [IntLit(3), Sym("a"), LambdaVal("x"), add(Sym("a"), 1)]
+        assert sorted(exprs, key=lambda e: e.key())
+
+
+class TestEvaluate:
+    def test_arith(self):
+        e = add(mul(Sym("a"), 3), 2)
+        assert e.evaluate({"a": 4}) == 14
+
+    def test_lambda_markers(self):
+        e = add(LambdaVal("m"), 1)
+        assert e.evaluate({"lambda_m": 9}) == 10
+
+    def test_biglambda_markers(self):
+        assert BigLambda("m").evaluate({"Lambda_m": 3}) == 3
+
+    def test_missing_symbol_raises(self):
+        with pytest.raises(KeyError):
+            Sym("q").evaluate({})
+
+    def test_div_truncates_toward_zero(self):
+        assert Div(IntLit(-7), IntLit(2)).evaluate({}) == -3
+        assert Div(IntLit(7), IntLit(2)).evaluate({}) == 3
+
+    def test_mod_c_semantics(self):
+        assert Mod(IntLit(-7), IntLit(2)).evaluate({}) == -1
+        assert Mod(IntLit(7), IntLit(-2)).evaluate({}) == 1
+
+    def test_min_max(self):
+        env = {"a": 2, "b": 5}
+        assert smin(Sym("a"), Sym("b")).evaluate(env) == 2
+        assert smax(Sym("a"), Sym("b")).evaluate(env) == 5
+
+    def test_arrayref_evaluate(self):
+        import numpy as np
+
+        e = ArrayRef("A", [IntLit(2)])
+        assert e.evaluate({"A": np.array([10, 20, 30])}) == 30

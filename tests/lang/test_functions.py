@@ -1,0 +1,153 @@
+"""Function parsing + inline-expansion tests (paper §4.1 preprocessing)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.lang.functions import (
+    InlineError,
+    inline_program,
+    parse_and_inline,
+    parse_translation_unit,
+)
+from repro.lang.printer import to_c
+from repro.parallelizer import parallelize
+from repro.runtime.interp import run_program
+
+AMG_SPLIT = """
+void fill_rownnz(int num_rows, int A_i[], int A_rownnz[]) {
+    int irownnz = 0;
+    int i;
+    for (i = 0; i < num_rows; i++){
+        if (A_i[i+1] - A_i[i] > 0)
+            A_rownnz[irownnz++] = i;
+    }
+}
+
+void spmv(int num_rownnz, int A_rownnz[], int A_i[], int A_j[],
+          double A_data[], double x_data[], double y_data[]) {
+    int i;
+    for (i = 0; i < num_rownnz; i++){
+        int m = A_rownnz[i];
+        double tempx = y_data[m];
+        int jj;
+        for (jj = A_i[m]; jj < A_i[m+1]; jj++)
+            tempx += A_data[jj] * x_data[A_j[jj]];
+        y_data[m] = tempx;
+    }
+}
+
+void main() {
+    fill_rownnz(num_rows, A_i, A_rownnz);
+    spmv(num_rownnz, A_rownnz, A_i, A_j, A_data, x_data, y_data);
+}
+"""
+
+
+class TestParsing:
+    def test_functions_recognized(self):
+        unit = parse_translation_unit(AMG_SPLIT)
+        assert set(unit.functions) == {"fill_rownnz", "spmv", "main"}
+
+    def test_param_kinds(self):
+        unit = parse_translation_unit(AMG_SPLIT)
+        fill = unit.functions["fill_rownnz"]
+        assert [p.is_array for p in fill.params] == [False, True, True]
+
+    def test_top_level_statements_still_allowed(self):
+        unit = parse_translation_unit("x = 1;\nvoid f() { y = 2; }\nz = 3;")
+        assert len(unit.top_level) == 2
+        assert "f" in unit.functions
+
+    def test_main_body_fallback(self):
+        unit = parse_translation_unit("x = 1; y = 2;")
+        assert len(unit.main_body()) == 2
+
+
+class TestInlining:
+    def test_amg_split_inlines_flat(self):
+        prog = parse_and_inline(AMG_SPLIT)
+        text = to_c(prog)
+        assert "fill_rownnz(" not in text
+        assert "spmv(" not in text
+        assert "A_rownnz[" in text
+
+    def test_inlined_version_analyzes_like_handwritten(self):
+        """The whole point of §4.1: after inlining, the analysis sees the
+        fill and the kernel together and parallelizes the kernel."""
+        prog = parse_and_inline(AMG_SPLIT)
+        result = parallelize(prog, AnalysisConfig.new_algorithm())
+        par = [d for d in result.decisions.values() if d.parallel and d.depth == 0]
+        assert len(par) == 1
+        assert any("num_rownnz" in c.text for c in par[0].checks)
+
+    def test_inlined_execution_matches_handwritten(self):
+        prog = parse_and_inline(AMG_SPLIT)
+        indptr = np.array([0, 2, 2, 5, 9])
+        env = {
+            "num_rows": 4,
+            "num_rownnz": 3,
+            "A_i": indptr,
+            "A_j": np.arange(9) % 4,
+            "A_data": np.ones(9),
+            "x_data": np.ones(4),
+            "y_data": np.zeros(4),
+            "A_rownnz": np.zeros(4, dtype=np.int64),
+        }
+        out = run_program(prog, env)
+        assert list(out["A_rownnz"][:3]) == [0, 2, 3]
+        assert out["y_data"][0] == 2.0
+
+    def test_scalar_args_bind_by_value(self):
+        src = """
+        void bump(int v) { v = v + 1; q = v; }
+        void main() { x = 5; bump(x); }
+        """
+        prog = parse_and_inline(src)
+        out = run_program(prog, {})
+        assert out["x"] == 5  # caller's x unchanged
+        assert out["q"] == 6
+
+    def test_locals_renamed_no_capture(self):
+        src = """
+        void f(int a[]) { int t; t = 1; a[0] = t; }
+        void main() { t = 99; f(arr); keep = t; }
+        """
+        prog = parse_and_inline(src)
+        out = run_program(prog, {"arr": np.zeros(2, dtype=np.int64)})
+        assert out["keep"] == 99
+
+    def test_two_calls_get_distinct_locals(self):
+        src = """
+        void f(int a[], int base) { int i; for (i = 0; i < 3; i++) a[i] = base + i; }
+        void main() { f(u, 0); f(v, 10); }
+        """
+        prog = parse_and_inline(src)
+        out = run_program(prog, {"u": np.zeros(3, dtype=np.int64), "v": np.zeros(3, dtype=np.int64)})
+        assert list(out["u"]) == [0, 1, 2]
+        assert list(out["v"]) == [10, 11, 12]
+
+    def test_math_calls_left_intact(self):
+        src = "void main() { x = sqrt(4.0); }"
+        prog = parse_and_inline(src)
+        out = run_program(prog, {})
+        assert out["x"] == 2.0
+
+    def test_recursion_guard(self):
+        src = "void f() { f(); } void main() { f(); }"
+        with pytest.raises(InlineError):
+            parse_and_inline(src)
+
+    def test_arity_mismatch_rejected(self):
+        src = "void f(int a) { q = a; } void main() { f(1, 2); }"
+        with pytest.raises(InlineError):
+            parse_and_inline(src)
+
+    def test_nested_call_in_loop_inlined(self):
+        src = """
+        void work(int a[], int i) { a[i] = i * 2; }
+        void main() { for (i = 0; i < 4; i++) { work(arr, i); } }
+        """
+        prog = parse_and_inline(src)
+        out = run_program(prog, {"arr": np.zeros(4, dtype=np.int64)})
+        assert list(out["arr"]) == [0, 2, 4, 6]

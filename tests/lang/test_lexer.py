@@ -1,0 +1,86 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.lang.lexer import LexError, Token, tokenize
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "EOF"]
+
+
+def test_identifiers_and_keywords():
+    assert kinds("for foo int _bar") == [
+        ("KW", "for"),
+        ("ID", "foo"),
+        ("KW", "int"),
+        ("ID", "_bar"),
+    ]
+
+
+def test_integers():
+    assert kinds("0 42 007") == [("INT", "0"), ("INT", "42"), ("INT", "007")]
+
+
+def test_floats():
+    out = kinds("1.5 2e3 0.25")
+    assert [k for k, _ in out] == ["FLOAT", "FLOAT", "FLOAT"]
+
+
+def test_float_with_signed_exponent():
+    out = kinds("1e-5")
+    assert out[0][0] == "FLOAT"
+
+
+def test_multichar_punctuators_maximal_munch():
+    assert kinds("++ += <= == && <<") == [
+        ("PUNCT", "++"),
+        ("PUNCT", "+="),
+        ("PUNCT", "<="),
+        ("PUNCT", "=="),
+        ("PUNCT", "&&"),
+        ("PUNCT", "<<"),
+    ]
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment\n b") == [("ID", "a"), ("ID", "b")]
+
+
+def test_block_comment_skipped():
+    assert kinds("a /* x\n y */ b") == [("ID", "a"), ("ID", "b")]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_pragma_token():
+    toks = tokenize("#pragma omp parallel for\nx;")
+    assert toks[0].kind == "PRAGMA"
+    assert toks[0].text == "omp parallel for"
+
+
+def test_other_preprocessor_skipped():
+    assert kinds("#include <x.h>\na") == [("ID", "a")]
+
+
+def test_string_literal():
+    out = kinds('printf("hi %d", x)')
+    assert ("STR", '"hi %d"') in out
+
+
+def test_positions_tracked():
+    toks = tokenize("a\n  b")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_unknown_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_eof_token_always_last():
+    assert tokenize("")[-1].kind == "EOF"

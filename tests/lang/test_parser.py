@@ -1,0 +1,204 @@
+"""Unit tests for the C-subset parser."""
+
+import pytest
+
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Compound,
+    Decl,
+    ExprStmt,
+    FloatNum,
+    For,
+    Id,
+    If,
+    IncDec,
+    Num,
+    Pragma,
+    Ternary,
+    UnOp,
+    While,
+)
+from repro.lang.cparser import ParseError, parse_expr, parse_program, parse_stmt
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expr("a + b * c")
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert isinstance(e.rhs, BinOp) and e.rhs.op == "*"
+
+    def test_parentheses(self):
+        e = parse_expr("(a + b) * c")
+        assert e.op == "*"
+        assert isinstance(e.lhs, BinOp) and e.lhs.op == "+"
+
+    def test_left_associativity(self):
+        e = parse_expr("a - b - c")
+        assert e.op == "-"
+        assert isinstance(e.lhs, BinOp) and e.lhs.op == "-"
+        assert isinstance(e.rhs, Id) and e.rhs.name == "c"
+
+    def test_relational_and_logical(self):
+        e = parse_expr("a < b && c >= d")
+        assert e.op == "&&"
+        assert e.lhs.op == "<"
+        assert e.rhs.op == ">="
+
+    def test_unary_minus(self):
+        e = parse_expr("-a + b")
+        assert e.op == "+"
+        assert isinstance(e.lhs, UnOp) and e.lhs.op == "-"
+
+    def test_multidim_array_access_collapsed(self):
+        e = parse_expr("idel[iel][0][j][i]")
+        assert isinstance(e, ArrayAccess)
+        assert e.name == "idel"
+        assert len(e.indices) == 4
+
+    def test_postfix_increment(self):
+        e = parse_expr("m++")
+        assert isinstance(e, IncDec) and not e.prefix and e.op == "++"
+
+    def test_prefix_increment(self):
+        e = parse_expr("++m")
+        assert isinstance(e, IncDec) and e.prefix
+
+    def test_incdec_inside_subscript(self):
+        e = parse_expr("ind[m++]")
+        assert isinstance(e, ArrayAccess)
+        assert isinstance(e.indices[0], IncDec)
+
+    def test_incdec_requires_lvalue(self):
+        with pytest.raises(ParseError):
+            parse_expr("5++")
+
+    def test_call(self):
+        e = parse_expr("sqrt(x + 1)")
+        assert isinstance(e, Call) and e.name == "sqrt" and len(e.args) == 1
+
+    def test_call_multiple_args(self):
+        e = parse_expr("pow(a, 2)")
+        assert len(e.args) == 2
+
+    def test_ternary(self):
+        e = parse_expr("a < b ? a : b")
+        assert isinstance(e, Ternary)
+
+    def test_cast_dropped(self):
+        e = parse_expr("(int)(a / b)")
+        assert isinstance(e, BinOp) and e.op == "/"
+
+    def test_float_literal(self):
+        e = parse_expr("0.5")
+        assert isinstance(e, FloatNum)
+
+    def test_hex_literal(self):
+        e = parse_expr("0x10")
+        assert isinstance(e, Num) and e.value == 16
+
+
+class TestStatements:
+    def test_assignment(self):
+        s = parse_stmt("x = 1;")
+        assert isinstance(s, Assign) and s.op == "="
+
+    def test_compound_assignment(self):
+        s = parse_stmt("x += y * 2;")
+        assert isinstance(s, Assign) and s.op == "+="
+
+    def test_assignment_requires_lvalue(self):
+        with pytest.raises(ParseError):
+            parse_stmt("1 = x;")
+
+    def test_array_assignment(self):
+        s = parse_stmt("a[i][j] = 0;")
+        assert isinstance(s.lhs, ArrayAccess)
+
+    def test_expression_statement(self):
+        s = parse_stmt("m++;")
+        assert isinstance(s, ExprStmt) and isinstance(s.expr, IncDec)
+
+    def test_declaration_scalar(self):
+        s = parse_stmt("int x = 5;")
+        assert isinstance(s, Decl) and s.name == "x" and isinstance(s.init, Num)
+
+    def test_declaration_array(self):
+        s = parse_stmt("double a[10][20];")
+        assert isinstance(s, Decl) and len(s.dims) == 2
+
+    def test_declaration_multiple(self):
+        s = parse_stmt("int a, b;")
+        assert isinstance(s, Compound) and len(s.stmts) == 2
+
+    def test_for_loop(self):
+        s = parse_stmt("for (i = 0; i < n; i++) x = x + 1;")
+        assert isinstance(s, For)
+        assert isinstance(s.init, Assign)
+        assert isinstance(s.cond, BinOp)
+
+    def test_for_with_decl_init(self):
+        s = parse_stmt("for (int i = 0; i < n; ++i) { }")
+        assert isinstance(s.init, Decl)
+
+    def test_if_else(self):
+        s = parse_stmt("if (a > 0) x = 1; else x = 2;")
+        assert isinstance(s, If) and s.els is not None
+
+    def test_dangling_else_binds_inner(self):
+        s = parse_stmt("if (a) if (b) x = 1; else x = 2;")
+        assert s.els is None
+        assert isinstance(s.then, If) and s.then.els is not None
+
+    def test_while(self):
+        s = parse_stmt("while (a < b) a = a + 1;")
+        assert isinstance(s, While)
+
+    def test_break(self):
+        s = parse_stmt("{ break; }")
+        assert isinstance(s.stmts[0], Break)
+
+    def test_pragma(self):
+        s = parse_stmt("#pragma omp parallel for")
+        assert isinstance(s, Pragma) and "omp" in s.text
+
+    def test_empty_statement(self):
+        s = parse_stmt(";")
+        assert isinstance(s, Compound) and not s.stmts
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse_stmt("{ x = 1;")
+
+    def test_continue_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("continue;")
+
+
+class TestPrograms:
+    def test_paper_figure4(self):
+        src = """
+        m = 0;
+        for (j = 0; j < npts; j++) {
+            if ((xdos[j] - t) < width)
+                ind[m++] = j;
+        }
+        """
+        p = parse_program(src)
+        assert len(p.stmts) == 2
+        assert isinstance(p.stmts[1], For)
+
+    def test_nested_loops(self):
+        src = "for(i=0;i<n;i++){for(j=0;j<m;j++){a[i][j]=0;}}"
+        p = parse_program(src)
+        loop = p.stmts[0]
+        assert isinstance(loop.body.stmts[0], For)
+
+    def test_clone_is_deep(self):
+        p = parse_program("x = a + 1;")
+        q = p.clone()
+        q.stmts[0].rhs = Num(0)
+        assert isinstance(p.stmts[0].rhs, BinOp)

@@ -1,0 +1,76 @@
+"""Printer tests: rendering and parse/print round-trips."""
+
+import pytest
+
+from repro.lang.cparser import parse_expr, parse_program, parse_stmt
+from repro.lang.printer import to_c
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        "a + b * c",
+        "(a + b) * c",
+        "a[i][j]",
+        "f(x, y + 1)",
+        "-a",
+        "a < b && c != d",
+        "a / (b - c)",
+    ],
+)
+def test_expr_round_trip(src):
+    e = parse_expr(src)
+    printed = to_c(e)
+    # re-parsing the printed form gives a structurally identical tree
+    assert to_c(parse_expr(printed)) == printed
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        "x = a + 1;",
+        "a[i] += b[i];",
+        "for (i = 0; i < n; i = i + 1)\n{\n}\n",
+        "if (a > 0)\n    x = 1;\nelse\n    x = 2;\n",
+        "while (a < b)\n    a = a + 1;\n",
+        "int x = 5;",
+        "break;",
+    ],
+)
+def test_stmt_round_trip(src):
+    s = parse_stmt(src)
+    printed = to_c(s)
+    assert to_c(parse_stmt(printed)) == printed
+
+
+def test_program_round_trip_paper_loop():
+    src = """
+    irownnz = 0;
+    for (i = 0; i < num_rows; i++){
+        if (A_i[i+1] - A_i[i] > 0)
+            A_rownnz[irownnz++] = i;
+    }
+    """
+    p = parse_program(src)
+    printed = to_c(p)
+    assert to_c(parse_program(printed)) == printed
+
+
+def test_pragmas_are_emitted_before_loop():
+    p = parse_program("for (i = 0; i < n; i++) { a[i] = 0; }")
+    loop = p.stmts[0]
+    loop.pragmas.append("omp parallel for private(i)")
+    out = to_c(p)
+    assert out.index("#pragma omp parallel for") < out.index("for (")
+
+
+def test_precedence_parens_minimal():
+    e = parse_expr("a * (b + c)")
+    assert to_c(e) == "a * (b + c)"
+    e2 = parse_expr("a * b + c")
+    assert to_c(e2) == "a * b + c"
+
+
+def test_nested_subscript_print():
+    e = parse_expr("y[ind[j]]")
+    assert to_c(e) == "y[ind[j]]"

@@ -1,0 +1,111 @@
+"""End-to-end parallelizer tests: the paper's examples, pragma emission,
+and the three pipelines' differing outcomes."""
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.parallelizer import format_report, parallelize
+
+AMG = """
+irownnz = 0;
+for (i = 0; i < num_rows; i++){
+    adiag = A_i[i+1] - A_i[i];
+    if (adiag > 0)
+        A_rownnz[irownnz++] = i;
+}
+for (i = 0; i < num_rownnz; i++){
+    m = A_rownnz[i];
+    tempx = y_data[m];
+    for (jj = A_i[m]; jj < A_i[m+1]; jj++)
+        tempx += A_data[jj] * x_data[A_j[jj]];
+    y_data[m] = tempx;
+}
+"""
+
+
+def decisions_by_depth(res):
+    return {(d.depth, d.index): d for d in res.decisions.values()}
+
+
+class TestAMG:
+    def test_new_algorithm_parallelizes_outer(self):
+        res = parallelize(AMG, AnalysisConfig.new_algorithm())
+        kernel = [
+            d
+            for d in res.decisions.values()
+            if d.depth == 0 and d.parallel and d.checks
+        ]
+        assert len(kernel) == 1
+        d = kernel[0]
+        assert d.checks[0].text == "-1+num_rownnz <= irownnz_max"
+        assert set(d.private) >= {"jj", "m", "tempx"}
+        assert ("+", "tempx") not in d.reductions  # tempx is private, not reduction
+
+    def test_pragma_text_matches_paper_shape(self):
+        """Paper Figure 8's directive: parallel for + if + private."""
+        res = parallelize(AMG, AnalysisConfig.new_algorithm())
+        out = res.to_c()
+        assert "#pragma omp parallel for if(-1+num_rownnz <= irownnz_max)" in out
+        assert "private(" in out
+
+    def test_classical_parallelizes_inner_reduction(self):
+        res = parallelize(AMG, AnalysisConfig.classical())
+        inner = [d for d in res.decisions.values() if d.parallel]
+        assert len(inner) == 1
+        assert inner[0].depth == 1
+        assert ("+", "tempx") in inner[0].reductions
+
+    def test_fill_loop_stays_serial(self):
+        res = parallelize(AMG, AnalysisConfig.new_algorithm())
+        fills = [
+            d
+            for d in res.decisions.values()
+            if d.depth == 0 and not d.parallel and "irownnz" in d.reason
+        ]
+        assert fills
+
+
+class TestEnclosedLoops:
+    def test_inner_marked_enclosed_when_outer_parallel(self):
+        res = parallelize(
+            "for (i=0;i<n;i++){ for (j=0;j<m;j++){ a[i][j] = 0; } }",
+            AnalysisConfig.classical(),
+        )
+        inner = [d for d in res.decisions.values() if d.depth == 1]
+        assert inner[0].enclosed_by_parallel
+        assert not inner[0].parallel
+
+
+class TestPragmas:
+    def test_reduction_clause_emitted(self):
+        res = parallelize(
+            "for (i=0;i<n;i++){ s = s + a[i]; }", AnalysisConfig.classical()
+        )
+        out = res.to_c()
+        assert "reduction(+:s)" in out
+
+    def test_no_pragma_on_serial_loops(self):
+        res = parallelize(
+            "for (i=1;i<n;i++){ a[i] = a[i-1]; }", AnalysisConfig.classical()
+        )
+        assert "#pragma" not in res.to_c()
+
+    def test_ineligible_loop_reported(self):
+        res = parallelize(
+            "for (i=0;i<n;i++){ x = rand(); }", AnalysisConfig.new_algorithm()
+        )
+        d = list(res.decisions.values())[0]
+        assert not d.parallel and "ineligible" in d.reason
+
+
+class TestReport:
+    def test_format_report_contains_decisions(self):
+        res = parallelize(AMG, AnalysisConfig.new_algorithm())
+        text = format_report(res)
+        assert "PARALLEL" in text
+        assert "Cetus+NewAlgo" in text
+        assert "A_rownnz" in text  # the property is listed
+
+    def test_parallel_loops_accessor(self):
+        res = parallelize(AMG, AnalysisConfig.new_algorithm())
+        assert len(res.parallel_loops) == 1

@@ -1,0 +1,61 @@
+"""Explanation-report tests."""
+
+from repro.analysis import AnalysisConfig
+from repro.benchmarks import get_benchmark
+from repro.parallelizer import parallelize
+from repro.parallelizer.explain import explain_all, explain_loop
+
+AMG = get_benchmark("AMGmk").source
+
+
+def result():
+    return parallelize(AMG, AnalysisConfig.new_algorithm())
+
+
+def test_explain_parallel_loop_mentions_everything():
+    res = result()
+    lid = next(l for l, d in res.decisions.items() if d.parallel)
+    text = explain_loop(res, lid)
+    assert "PARALLEL" in text
+    assert "irownnz_max" in text
+    assert "private" in text
+    assert "dependence graph: clean" in text
+    assert "A_rownnz" in text  # property in scope
+    assert "#pragma" in text
+
+
+def test_explain_serial_loop_names_blocker():
+    res = result()
+    lid = next(
+        l for l, d in res.decisions.items() if not d.parallel and d.depth == 0
+    )
+    text = explain_loop(res, lid)
+    assert "serial" in text
+    assert "irownnz" in text  # the blocking scalar
+    assert "Phase-1 SVD" in text
+
+
+def test_explain_includes_scalar_classes():
+    res = result()
+    lid = next(l for l, d in res.decisions.items() if d.parallel)
+    text = explain_loop(res, lid)
+    assert "tempx" in text and "private" in text
+
+
+def test_explain_unknown_loop():
+    res = result()
+    assert "no such loop" in explain_loop(res, "L9999")
+
+
+def test_explain_all_covers_every_loop():
+    res = result()
+    text = explain_all(res)
+    for lid in res.decisions:
+        assert lid in text
+
+
+def test_explain_indirection_rendered():
+    res = result()
+    lid = next(l for l, d in res.decisions.items() if d.parallel)
+    text = explain_loop(res, lid)
+    assert "via A_rownnz" in text

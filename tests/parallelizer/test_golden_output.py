@@ -1,0 +1,71 @@
+"""Golden-output tests: the annotated AMG program, end to end.
+
+Guards against codegen/printer/decision regressions: the full annotated
+output for the paper's flagship example is pinned, and annotated output
+round-trips through the parser with pragma re-attachment.
+"""
+
+from repro.analysis import AnalysisConfig
+from repro.benchmarks import get_benchmark
+from repro.lang import parse_program, to_c
+from repro.lang.astnodes import For, attach_pragmas
+from repro.parallelizer import parallelize
+
+GOLDEN = """\
+irownnz = 0;
+for (i = 0; i < num_rows; i = i + 1)
+{
+    adiag = A_i[i + 1] - A_i[i];
+    if (adiag > 0)
+    {
+        _temp_0 = irownnz;
+        irownnz = irownnz + 1;
+        A_rownnz[_temp_0] = i;
+    }
+}
+#pragma omp parallel for if(-1+num_rownnz <= irownnz_max) private(jj, m, tempx)
+for (i = 0; i < num_rownnz; i = i + 1)
+{
+    m = A_rownnz[i];
+    tempx = y_data[m];
+    for (jj = A_i[m]; jj < A_i[m + 1]; jj = jj + 1)
+        tempx = tempx + A_data[jj] * x_data[A_j[jj]];
+    y_data[m] = tempx;
+}
+"""
+
+
+def test_amg_annotated_output_is_golden():
+    result = parallelize(get_benchmark("AMGmk").source, AnalysisConfig.new_algorithm())
+    assert result.to_c() == GOLDEN
+
+
+def test_annotated_output_round_trips_with_pragma_attachment():
+    result = parallelize(get_benchmark("AMGmk").source, AnalysisConfig.new_algorithm())
+    text = result.to_c()
+    reparsed = attach_pragmas(parse_program(text))
+    assert to_c(reparsed) == text
+    loops = [s for s in reparsed.stmts if isinstance(s, For)]
+    assert loops[1].pragmas and loops[1].pragmas[0].startswith("omp parallel for")
+    assert not loops[0].pragmas
+
+
+def test_pragma_attachment_inside_nested_blocks():
+    src = """
+    for (t = 0; t < T; t++) {
+        #pragma omp parallel for
+        for (i = 0; i < n; i++) { a[i] = 0; }
+    }
+    """
+    prog = attach_pragmas(parse_program(src))
+    outer = prog.stmts[0]
+    inner = outer.body.stmts[0]
+    assert isinstance(inner, For)
+    assert inner.pragmas == ["omp parallel for"]
+
+
+def test_trailing_pragma_preserved():
+    prog = attach_pragmas(parse_program("x = 1;\n#pragma once\n"))
+    from repro.lang.astnodes import Pragma
+
+    assert isinstance(prog.stmts[-1], Pragma)

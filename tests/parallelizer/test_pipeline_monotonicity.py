@@ -1,0 +1,85 @@
+"""Pipeline capability monotonicity (differential testing).
+
+The three pipelines form a capability chain: anything classical Cetus
+parallelizes, Cetus+BaseAlgo must too; anything +BaseAlgo parallelizes,
++NewAlgo must too.  Verified on random fill+consumer programs and on the
+whole benchmark suite.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import AnalysisConfig
+from repro.benchmarks import all_benchmarks
+from repro.parallelizer import parallelize
+
+CONFIGS = [
+    AnalysisConfig.classical(),
+    AnalysisConfig.base_algorithm(),
+    AnalysisConfig.new_algorithm(),
+]
+
+
+def covered_count(src) -> list:
+    """Loops that execute inside SOME parallel region (parallel themselves
+    or enclosed by a parallel ancestor)."""
+    counts = []
+    for cfg in CONFIGS:
+        res = parallelize(src, cfg)
+        counts.append(
+            sum(1 for d in res.decisions.values() if d.parallel or d.enclosed_by_parallel)
+        )
+    return counts
+
+
+@st.composite
+def programs(draw):
+    inc = draw(st.sampled_from([1, 2, -1]))
+    guard = draw(st.booleans())
+    val = draw(st.sampled_from(["i", "2*i", "xs[i]"]))
+    consumer = draw(st.sampled_from(["direct", "bounds", "affine"]))
+    fill = f"b[m] = {val}; m = m + {inc};"
+    if guard:
+        fill = f"if (xs[i] > 2) {{ {fill} }}"
+    src = f"m = 0;\nfor (i = 0; i < n; i++) {{ {fill} }}\n"
+    if consumer == "direct":
+        src += "for (q = 0; q < nw; q++) { y[b[q]] = q; }\n"
+    elif consumer == "bounds":
+        src += "for (q = 0; q < nw; q++) { for (k = b[q]; k < b[q+1]; k++) { y[k] = q; } }\n"
+    else:
+        src += "for (q = 0; q < nw; q++) { y[q] = b[q]; }\n"
+    return src
+
+
+@given(programs())
+@settings(max_examples=120, deadline=None)
+def test_random_programs_capability_chain(src):
+    c, b, n = covered_count(src)
+    assert c <= b <= n
+
+
+def test_benchmark_suite_capability_chain():
+    for bench in all_benchmarks():
+        c, b, n = covered_count(bench.source)
+        assert c <= b <= n, bench.name
+
+
+def test_every_parallel_loop_stays_covered():
+    """Per-loop: a loop parallel under a weaker pipeline is parallel OR
+    enclosed by a parallel ancestor under every stronger pipeline (the new
+    algorithm may hoist the parallelism outward, never drop it)."""
+    for bench in all_benchmarks():
+        per_cfg = {}
+        for cfg in CONFIGS:
+            res = parallelize(bench.source, cfg)
+            # identify loops positionally (loop ids are per-run)
+            flat = [
+                (d.parallel, d.parallel or d.enclosed_by_parallel)
+                for _, d in sorted(res.decisions.items())
+            ]
+            per_cfg[cfg.name] = flat
+        for (a, _), (_, b_cov) in zip(per_cfg["Cetus"], per_cfg["Cetus+BaseAlgo"]):
+            assert (not a) or b_cov, bench.name
+        for (a, _), (_, b_cov) in zip(
+            per_cfg["Cetus+BaseAlgo"], per_cfg["Cetus+NewAlgo"]
+        ):
+            assert (not a) or b_cov, bench.name

@@ -1,0 +1,59 @@
+"""Body-scoped property analysis: fill + consumer inside a serial outer
+loop (the inlined pattern of paper §4.1 when kernels run per time step)."""
+
+from repro.analysis import AnalysisConfig
+from repro.parallelizer import parallelize
+
+TIMELOOP = """
+for (t = 0; t < T; t++){
+    irownnz = 0;
+    for (i = 0; i < num_rows; i++){
+        if (A_i[i+1] - A_i[i] > 0)
+            A_rownnz[irownnz++] = i;
+    }
+    for (i = 0; i < num_rownnz; i++){
+        m = A_rownnz[i];
+        y_data[m] = y_data[m] + x_data[m];
+    }
+}
+"""
+
+
+def test_consumer_inside_time_loop_parallelized():
+    res = parallelize(TIMELOOP, AnalysisConfig.new_algorithm())
+    par = [d for d in res.decisions.values() if d.parallel]
+    assert len(par) == 1
+    d = par[0]
+    assert d.depth == 1
+    assert d.checks and "irownnz_max" in d.checks[0].text
+
+
+def test_time_loop_itself_stays_serial():
+    res = parallelize(TIMELOOP, AnalysisConfig.new_algorithm())
+    outer = [d for d in res.decisions.values() if d.depth == 0]
+    assert outer and not outer[0].parallel
+
+
+def test_classical_finds_nothing_inside():
+    res = parallelize(TIMELOOP, AnalysisConfig.classical())
+    assert not res.parallel_loops
+
+
+def test_property_does_not_leak_to_unrelated_loop():
+    """A consumer in a DIFFERENT outer loop (after the array was clobbered)
+    must not reuse the stale property."""
+    src = TIMELOOP + """
+    for (q = 0; q < num_rows; q++){
+        A_rownnz[perm[q]] = q;
+    }
+    for (q = 0; q < num_rownnz; q++){
+        z[A_rownnz[q]] = q;
+    }
+    """
+    res = parallelize(src, AnalysisConfig.new_algorithm())
+    last = max(res.decisions.values(), key=lambda d: d.loop_id)
+    # the z-loop (uses clobbered A_rownnz) must be serial
+    z_loops = [
+        d for d in res.decisions.values() if d.depth == 0 and d.index == "q" and not d.parallel
+    ]
+    assert len(z_loops) == 2  # both the clobber loop and the consumer

@@ -1,0 +1,137 @@
+"""Interpreter tests."""
+
+import numpy as np
+import pytest
+
+from repro.lang.cparser import parse_program
+from repro.runtime.interp import InterpError, Interpreter, run_program
+
+
+def run(src, env):
+    return run_program(parse_program(src), env)
+
+
+def test_scalar_arith():
+    out = run("x = 2 + 3 * 4;", {})
+    assert out["x"] == 14
+
+
+def test_integer_division_truncates_toward_zero():
+    out = run("a = -7 / 2; b = 7 / 2;", {})
+    assert out["a"] == -3 and out["b"] == 3
+
+
+def test_modulo_c_semantics():
+    out = run("a = -7 % 2;", {})
+    assert out["a"] == -1
+
+
+def test_for_loop_sum():
+    out = run("s = 0; for (i = 0; i < 10; i++) s = s + i;", {})
+    assert out["s"] == 45
+
+
+def test_inclusive_loop():
+    out = run("s = 0; for (i = 1; i <= 5; i++) s = s + i;", {})
+    assert out["s"] == 15
+
+
+def test_if_else():
+    out = run("if (x > 0) y = 1; else y = 2;", {"x": -1})
+    assert out["y"] == 2
+
+
+def test_while_and_break():
+    out = run("x = 0; while (1) { x = x + 1; if (x > 4) break; }", {})
+    assert out["x"] == 5
+
+
+def test_array_store_load():
+    env = {"a": np.zeros(5, dtype=np.int64)}
+    out = run("for (i = 0; i < 5; i++) a[i] = i * i;", env)
+    assert list(out["a"]) == [0, 1, 4, 9, 16]
+
+
+def test_multidim_arrays():
+    env = {"m": np.zeros((3, 3))}
+    out = run("for (i=0;i<3;i++) for (j=0;j<3;j++) m[i][j] = i*10 + j;", env)
+    assert out["m"][2][1] == 21
+
+
+def test_postfix_increment_value():
+    env = {"a": np.zeros(3, dtype=np.int64), "m": 0}
+    out = run("a[m++] = 7; a[m++] = 8;", env)
+    assert list(out["a"][:2]) == [7, 8]
+    assert out["m"] == 2
+
+
+def test_declaration_allocates():
+    out = run("double buf[4]; buf[2] = 1.5; int k = 3;", {})
+    assert out["buf"][2] == 1.5
+    assert out["k"] == 3
+
+
+def test_math_calls():
+    out = run("x = sqrt(16.0) + fabs(-2.0);", {})
+    assert out["x"] == 6.0
+
+
+def test_unknown_function_raises():
+    with pytest.raises(InterpError):
+        run("x = mystery(1);", {})
+
+
+def test_undefined_variable_raises():
+    with pytest.raises(InterpError):
+        run("x = y + 1;", {})
+
+
+def test_out_of_bounds_raises():
+    with pytest.raises(InterpError):
+        run("a[10] = 1;", {"a": np.zeros(3)})
+
+
+def test_compound_assignment():
+    env = {"a": np.ones(3)}
+    out = run("for (i=0;i<3;i++) a[i] += 2;", env)
+    assert list(out["a"]) == [3.0, 3.0, 3.0]
+
+
+def test_logical_short_circuit():
+    # second operand would fault if evaluated
+    out = run("x = 0; if (x != 0 && a[5] > 0) y = 1; else y = 2;", {"a": np.zeros(2)})
+    assert out["y"] == 2
+
+
+def test_ternary():
+    out = run("y = x > 0 ? 10 : 20;", {"x": 5})
+    assert out["y"] == 10
+
+
+def test_op_counter():
+    it = Interpreter({"s": 0}, op_counter=True)
+    it.run(parse_program("for (i = 0; i < 4; i++) s = s + i;"))
+    assert it.ops > 0
+
+
+def test_paper_figure4_execution():
+    env = {
+        "xdos": np.array([1.0, 9.0, 2.0, 8.0, 3.0]),
+        "t": 0.0,
+        "width": 5.0,
+        "npts": 5,
+        "ind": np.zeros(5, dtype=np.int64),
+        "m": 0,
+    }
+    out = run(
+        """
+        m = 0;
+        for (j = 0; j < npts; j++) {
+            if ((xdos[j] - t) < width)
+                ind[m++] = j;
+        }
+        """,
+        env,
+    )
+    assert out["m"] == 3
+    assert list(out["ind"][:3]) == [0, 2, 4]  # strictly monotonic!

@@ -1,0 +1,116 @@
+"""Out-of-order execution tests: parallel-declared loops must be
+order-insensitive; order-dependent loops must be caught."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.benchmarks import all_benchmarks, get_benchmark
+from repro.lang.astnodes import For
+from repro.parallelizer import parallelize
+from repro.runtime.interp import InterpError, run_program
+from repro.runtime.parexec import execute_shuffled, states_equivalent
+
+
+def deep_env(env):
+    return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+
+
+def run_both(src, env, seed=1):
+    result = parallelize(src, AnalysisConfig.new_algorithm())
+    loops = [
+        s
+        for s in result.program.stmts
+        if isinstance(s, For) and result.decisions[s.loop_id].parallel
+    ]
+    assert loops, "no top-level parallel loop"
+    loop = loops[0]
+    d = result.decisions[loop.loop_id]
+    serial = run_program(result.program, deep_env(env))
+    shuffled = execute_shuffled(result.program, loop, d, deep_env(env), seed=seed)
+    return serial, shuffled, d
+
+
+def test_simple_parallel_loop_order_insensitive():
+    src = "for (i = 0; i < 10; i++) { a[i] = i * 2; }"
+    serial, shuffled, d = run_both(src, {"a": np.zeros(10, dtype=np.int64)})
+    assert states_equivalent(serial, shuffled, ignore=set(d.private))
+
+
+def test_privates_isolated_per_iteration():
+    src = "for (i = 0; i < 10; i++) { t = b[i] * 2; a[i] = t + 1; }"
+    env = {"a": np.zeros(10), "b": np.arange(10.0)}
+    serial, shuffled, d = run_both(src, env)
+    assert "t" in d.private
+    assert states_equivalent(serial, shuffled, ignore={"t"})
+
+
+def test_reduction_order_insensitive():
+    src = "for (i = 0; i < 12; i++) { s = s + a[i]; }"
+    env = {"a": np.arange(12, dtype=np.int64), "s": 0}
+    serial, shuffled, d = run_both(src, env)
+    assert ("+", "s") in d.reductions
+    assert serial["s"] == shuffled["s"]
+
+
+def test_misclassified_private_would_raise():
+    """If a SERIAL scalar were (wrongly) treated as private, the shuffled
+    executor would hit a read of an uninitialized private.  Simulate the
+    misclassification directly."""
+    from repro.analysis.loopinfo import find_loop_nests
+    from repro.analysis.normalize import normalize_program
+    from repro.lang.cparser import parse_program
+
+    src = "t = 0; for (i = 0; i < 5; i++) { a[i] = t; t = b[i]; }"
+    prog = normalize_program(parse_program(src))
+    loop = find_loop_nests(prog)[0].loop
+
+    class FakeDecision:
+        private = ["t"]  # WRONG: t carries a loop-carried dependence
+
+    env = {"a": np.zeros(5), "b": np.arange(5.0), "t": 0.0}
+    with pytest.raises(InterpError):
+        execute_shuffled(prog, loop, FakeDecision, env, seed=3)
+
+
+def test_order_dependent_loop_differs_when_forced():
+    """Sanity: a genuinely serial loop gives different results shuffled
+    (this is what the compiler protects against)."""
+    from repro.analysis.loopinfo import find_loop_nests
+    from repro.analysis.normalize import normalize_program
+    from repro.lang.cparser import parse_program
+
+    src = "for (i = 1; i < 8; i++) { a[i] = a[i-1] + 1; }"
+    prog = normalize_program(parse_program(src))
+    loop = find_loop_nests(prog)[0].loop
+
+    class FakeDecision:
+        private = []
+
+    env = lambda: {"a": np.zeros(8, dtype=np.int64)}
+    serial = run_program(prog, env())
+    shuffled = execute_shuffled(prog, loop, FakeDecision, env(), seed=5)
+    assert not states_equivalent(serial, shuffled)
+
+
+@pytest.mark.parametrize(
+    "name", [b.name for b in all_benchmarks()]
+)
+def test_benchmarks_parallel_loops_order_insensitive(name):
+    """For every benchmark kernel the NewAlgo pipeline parallelizes, the
+    shuffled execution matches serial execution on the real input."""
+    bench = get_benchmark(name)
+    result = parallelize(bench.source, AnalysisConfig.new_algorithm())
+    loops = [
+        s
+        for s in result.program.stmts
+        if isinstance(s, For) and result.decisions[s.loop_id].parallel
+    ]
+    if not loops:
+        pytest.skip("no top-level parallel loop under NewAlgo")
+    env = bench.small_env()
+    serial = run_program(result.program, deep_env(env))
+    for loop in loops:
+        d = result.decisions[loop.loop_id]
+        shuffled = execute_shuffled(result.program, loop, d, deep_env(env), seed=7)
+        assert states_equivalent(serial, shuffled, ignore=set(d.private) | {"_shuffle"}), name

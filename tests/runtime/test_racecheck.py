@@ -1,0 +1,94 @@
+"""Race-checker tests: it must flag racy loops and clear independent ones."""
+
+import numpy as np
+
+from repro.analysis.normalize import normalize_program
+from repro.lang.astnodes import For
+from repro.lang.cparser import parse_program
+from repro.runtime.racecheck import check_loop_races
+
+
+def check(src, env, loop_index=0, **kw):
+    prog = normalize_program(parse_program(src))
+    loops = [s for s in prog.stmts if isinstance(s, For)]
+    return check_loop_races(prog, loops[loop_index], env, **kw)
+
+
+def test_disjoint_writes_clean():
+    rep = check("for (i = 0; i < 8; i++) a[i] = i;", {"a": np.zeros(8)})
+    assert rep.clean
+    assert rep.iterations == 8
+
+
+def test_histogram_races_detected():
+    env = {"key": np.array([1, 2, 1, 3]), "bucket": np.zeros(5, dtype=np.int64)}
+    rep = check("for (i = 0; i < 4; i++) bucket[key[i]] = bucket[key[i]] + 1;", env)
+    assert not rep.clean
+    # key value 1 is written by iterations 0 and 2
+    assert any(c.element == (1,) for c in rep.conflicts)
+
+
+def test_read_write_conflict_detected():
+    rep = check("for (i = 1; i < 8; i++) a[i] = a[i-1];", {"a": np.arange(8.0)})
+    assert not rep.clean
+
+
+def test_same_iteration_rw_is_fine():
+    rep = check("for (i = 0; i < 8; i++) a[i] = a[i] * 2;", {"a": np.ones(8)})
+    assert rep.clean
+
+
+def test_read_only_sharing_is_fine():
+    env = {"a": np.zeros(8), "b": np.ones(8)}
+    rep = check("for (i = 0; i < 8; i++) a[i] = b[0] + b[i];", env)
+    assert rep.clean
+
+
+def test_ignore_arrays():
+    env = {"tmp": np.zeros(4), "a": np.zeros(8)}
+    rep = check(
+        "for (i = 0; i < 8; i++) { tmp[0] = i; a[i] = tmp[0]; }",
+        env,
+        ignore_arrays={"tmp"},
+    )
+    assert rep.clean
+
+
+def test_amg_kernel_race_free_via_monotone_indirection():
+    """End-to-end soundness: the loop NewAlgo parallelizes has no races."""
+    indptr = np.array([0, 2, 2, 5, 5, 9, 12])
+    env = {
+        "num_rows": 6,
+        "A_i": indptr,
+        "A_rownnz": np.zeros(6, dtype=np.int64),
+        "irownnz": 0,
+        "num_rownnz": 4,
+        "A_data": np.ones(12),
+        "A_j": np.arange(12) % 6,
+        "x_data": np.ones(6),
+        "y_data": np.zeros(6),
+    }
+    src = """
+    irownnz = 0;
+    for (i = 0; i < num_rows; i++){
+        adiag = A_i[i+1] - A_i[i];
+        if (adiag > 0)
+            A_rownnz[irownnz++] = i;
+    }
+    for (i = 0; i < num_rownnz; i++){
+        m = A_rownnz[i];
+        tempx = y_data[m];
+        for (jj = A_i[m]; jj < A_i[m+1]; jj++)
+            tempx += A_data[jj] * x_data[A_j[jj]];
+        y_data[m] = tempx;
+    }
+    """
+    rep = check(src, env, loop_index=1)
+    assert rep.clean, [str(c) for c in rep.conflicts]
+
+
+def test_conflict_string_format():
+    env = {"a": np.zeros(3)}
+    rep = check("for (i = 0; i < 3; i++) a[0] = i;", env)
+    assert not rep.clean
+    assert "a[0]" in str(rep.conflicts[0])

@@ -1,0 +1,92 @@
+"""Scheduler tests + property tests on the makespan bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.scheduler import (
+    dynamic_assign,
+    max_thread_work,
+    static_chunks,
+    static_max_work,
+)
+
+
+class TestStaticChunks:
+    def test_partitions_exactly(self):
+        chunks = static_chunks(10, 3)
+        assert chunks == [(0, 4), (4, 7), (7, 10)]
+
+    def test_covers_all_iterations(self):
+        chunks = static_chunks(17, 5)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 17
+        for (a, b), (c, d) in zip(chunks, chunks[1:]):
+            assert b == c
+
+    def test_more_threads_than_iterations(self):
+        chunks = static_chunks(2, 4)
+        sizes = [b - a for a, b in chunks]
+        assert sum(sizes) == 2
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError):
+            static_chunks(4, 0)
+
+
+class TestStaticMaxWork:
+    def test_balanced(self):
+        w = np.ones(16)
+        assert static_max_work(w, 4) == 4.0
+
+    def test_imbalanced_tail(self):
+        w = np.array([1.0, 1.0, 1.0, 100.0])
+        assert static_max_work(w, 4) == 100.0
+
+    def test_empty(self):
+        assert static_max_work(np.array([]), 4) == 0.0
+
+
+class TestDynamicAssign:
+    def test_balances_skewed_load(self):
+        w = np.array([100.0] + [1.0] * 99)
+        stat = static_max_work(w, 4)
+        dyn, _ = dynamic_assign(w, 4, chunk=1)
+        assert dyn <= stat
+
+    def test_chunk_count(self):
+        _, n = dynamic_assign(np.ones(10), 2, chunk=3)
+        assert n == 4
+
+    def test_single_thread(self):
+        total, _ = dynamic_assign(np.arange(5.0), 1)
+        assert total == 10.0
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60),
+    st.integers(1, 16),
+    st.sampled_from(["static", "dynamic"]),
+)
+@settings(max_examples=200, deadline=None)
+def test_makespan_bounds(work, p, schedule):
+    """The makespan always lies in [total/p, total] and >= max element."""
+    w = np.array(work)
+    total = w.sum()
+    makespan, _ = max_thread_work(w, p, schedule)
+    assert makespan <= total + 1e-9
+    assert makespan >= total / p - 1e-9
+    assert makespan >= w.max() - 1e-9
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=60),
+    st.integers(1, 16),
+)
+@settings(max_examples=100, deadline=None)
+def test_dynamic_never_much_worse_than_static(work, p):
+    """Greedy dispatch with unit chunks is within 2x of any schedule's
+    makespan lower bound (classic list-scheduling guarantee)."""
+    w = np.array(work)
+    dyn, _ = dynamic_assign(w, p, chunk=1)
+    lower = max(w.max(), w.sum() / p)
+    assert dyn <= 2 * lower + 1e-9

@@ -1,0 +1,145 @@
+"""Performance-model tests: the structural relations the paper's figures
+depend on must hold in the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
+from repro.runtime.simulate import (
+    ComponentPlan,
+    KernelComponent,
+    ParallelPlan,
+    PerfModel,
+    serial_time,
+    simulate_app,
+    simulate_component,
+)
+
+
+def make_perf(work=None, reps=1, contention=0.0, inner_extra=0.0, target=1.0):
+    work = work if work is not None else np.ones(1000) * 100.0
+    comp = KernelComponent(
+        "k",
+        (0,),
+        work,
+        reps=reps,
+        level_trips=(len(work), 30),
+        contention=contention,
+        inner_region_extra=inner_extra,
+    )
+    return PerfModel(components=[comp], serial_time_target=target)
+
+
+def test_serial_time_equals_target():
+    perf = make_perf(target=3.5)
+    assert serial_time(perf) == pytest.approx(3.5)
+
+
+def test_outer_parallel_speeds_up():
+    perf = make_perf()
+    plan = ParallelPlan({"k": ComponentPlan("outer")})
+    t4 = simulate_app(perf, plan, 4)
+    t1 = serial_time(perf)
+    assert t4 < t1
+
+
+def test_speedup_monotone_in_threads_without_contention():
+    perf = make_perf()
+    plan = ParallelPlan({"k": ComponentPlan("outer")})
+    times = [simulate_app(perf, plan, p) for p in (2, 4, 8, 16)]
+    assert all(a >= b for a, b in zip(times, times[1:]))
+
+
+def test_contention_caps_speedup():
+    perf = make_perf(contention=0.25, target=1.0)
+    plan = ParallelPlan({"k": ComponentPlan("outer")})
+    t16 = simulate_app(perf, plan, 16)
+    speedup = 1.0 / t16
+    # p/(1+(p-1)β) = 16/4.75 ≈ 3.37
+    assert speedup == pytest.approx(16 / (1 + 15 * 0.25), rel=0.05)
+
+
+def test_inner_parallel_pays_fork_per_iteration():
+    # tiny per-iteration work (~50ns): forking each iteration must be
+    # slower than serial
+    perf = make_perf(work=np.ones(100000) * 10.0, target=0.05)
+    inner = ParallelPlan({"k": ComponentPlan("inner", depth=1)})
+    t_inner = simulate_app(perf, inner, 16)
+    assert t_inner > serial_time(perf)
+
+
+def test_inner_vs_outer_gap_grows_with_threads():
+    perf = make_perf(work=np.ones(100000) * 10.0, target=0.05)
+    inner = ParallelPlan({"k": ComponentPlan("inner", depth=1)})
+    outer = ParallelPlan({"k": ComponentPlan("outer")})
+    ratios = [
+        simulate_app(perf, inner, p) / simulate_app(perf, outer, p) for p in (4, 8, 16)
+    ]
+    assert ratios[0] < ratios[1] < ratios[2]
+
+
+def test_inner_region_extra_increases_inner_cost():
+    base = make_perf(work=np.ones(1000) * 10.0)
+    extra = make_perf(work=np.ones(1000) * 10.0, inner_extra=5e-6)
+    plan = ParallelPlan({"k": ComponentPlan("inner", depth=1)})
+    assert simulate_app(extra, plan, 8) > simulate_app(base, plan, 8)
+
+
+def test_dynamic_beats_static_on_clustered_skew():
+    rng = np.random.default_rng(0)
+    # clustered heavy region (like gsm_106857's columns)
+    w = np.ones(20000)
+    w[5000:7000] = 50.0
+    perf = make_perf(work=w)
+    plan = ParallelPlan({"k": ComponentPlan("outer")})
+    t_static = simulate_app(perf, plan, 8, schedule="static")
+    t_dynamic = simulate_app(perf, plan, 8, schedule="dynamic", chunk=16)
+    assert t_dynamic < t_static
+
+
+def test_static_beats_dynamic_on_balanced_load():
+    perf = make_perf(work=np.ones(100000) * 5.0)
+    plan = ParallelPlan({"k": ComponentPlan("outer")})
+    t_static = simulate_app(perf, plan, 8, schedule="static")
+    t_dynamic = simulate_app(perf, plan, 8, schedule="dynamic", chunk=1)
+    assert t_static <= t_dynamic
+
+
+def test_serial_plan_equals_serial_time():
+    perf = make_perf()
+    plan = ParallelPlan({"k": ComponentPlan("serial")})
+    assert simulate_app(perf, plan, 16) == pytest.approx(serial_time(perf))
+
+
+def test_single_thread_equals_serial():
+    perf = make_perf()
+    plan = ParallelPlan({"k": ComponentPlan("outer")})
+    assert simulate_app(perf, plan, 1) == pytest.approx(serial_time(perf))
+
+
+def test_serial_extra_ops_never_parallelized():
+    comp = KernelComponent("k", (0,), np.ones(100), reps=1)
+    perf = PerfModel(components=[comp], serial_time_target=1.0, serial_extra_ops=900.0)
+    plan = ParallelPlan({"k": ComponentPlan("outer")})
+    t16 = simulate_app(perf, plan, 16)
+    # 90% of the time is serial: Amdahl caps the speedup near 1.1
+    assert 1.0 / t16 < 1.2
+
+
+def test_machine_model_validation():
+    MachineModel().validate()
+    with pytest.raises(ValueError):
+        MachineModel(max_cores=0).validate()
+    with pytest.raises(ValueError):
+        MachineModel(fork_base=-1.0).validate()
+
+
+def test_fork_cost_zero_for_one_thread():
+    assert DEFAULT_MACHINE.fork_cost(1) == 0.0
+    assert DEFAULT_MACHINE.fork_cost(8) > 0.0
+
+
+def test_empty_perf_model_rejected():
+    perf = PerfModel(components=[], serial_time_target=1.0)
+    with pytest.raises(ValueError):
+        perf.c_op

@@ -1,0 +1,60 @@
+"""Work-metering tests: measured profiles validate the analytic ones."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.lang.astnodes import For
+from repro.lang.cparser import parse_program
+from repro.runtime.workmeter import meter_benchmark_kernel, meter_loop_work
+
+
+def test_uniform_loop_has_uniform_work():
+    prog = parse_program("for (i = 0; i < 10; i++) { s = s + a[i] * 2; }")
+    loop = prog.stmts[0]
+    w = meter_loop_work(prog, loop, {"a": np.ones(10), "s": 0.0})
+    assert len(w) == 10
+    assert w.std() == 0
+
+
+def test_triangular_loop_work_grows():
+    prog = parse_program(
+        "for (i = 0; i < 8; i++) { for (j = 0; j <= i; j++) { s = s + 1; } }"
+    )
+    loop = prog.stmts[0]
+    w = meter_loop_work(prog, loop, {"s": 0})
+    assert np.all(np.diff(w) > 0)  # each row strictly more work
+
+
+def test_amgmk_measured_work_tracks_row_nnz():
+    """The analytic AMGmk profile (work ∝ nnz/row) matches measurement."""
+    bench = get_benchmark("AMGmk")
+    w = meter_benchmark_kernel(bench, nest_index=1)
+    env = bench.small_env()
+    nnz = np.diff(env["A_i"])[: len(w)]
+    # correlation between measured ops and row nnz should be ~1
+    corr = np.corrcoef(w, nnz)[0, 1]
+    assert corr > 0.99
+
+
+def test_sddmm_measured_work_tracks_col_nnz():
+    bench = get_benchmark("SDDMM")
+    w = meter_benchmark_kernel(bench, nest_index=1)
+    env = bench.small_env()
+    counts = np.bincount(env["col_val"], minlength=env["n_cols"]).astype(float)
+    corr = np.corrcoef(w, counts[: len(w)])[0, 1]
+    assert corr > 0.99
+
+
+def test_ua_work_is_uniform_across_elements():
+    bench = get_benchmark("UA(transf)")
+    w = meter_benchmark_kernel(bench, nest_index=1)
+    assert len(w) == bench.small_env()["LELT"]
+    assert w.std() / w.mean() < 0.01
+
+
+def test_requires_top_level_loop():
+    prog = parse_program("x = 1;")
+    other = parse_program("for (i = 0; i < 2; i++) { }").stmts[0]
+    with pytest.raises(ValueError):
+        meter_loop_work(prog, other, {})

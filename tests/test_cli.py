@@ -1,0 +1,107 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+AMG = """
+irownnz = 0;
+for (i = 0; i < num_rows; i++){
+    if (A_i[i+1] - A_i[i] > 0)
+        A_rownnz[irownnz++] = i;
+}
+for (i = 0; i < num_rownnz; i++){
+    m = A_rownnz[i];
+    y_data[m] = y_data[m] + x_data[m];
+}
+"""
+
+
+@pytest.fixture()
+def amg_file(tmp_path):
+    f = tmp_path / "amg.c"
+    f.write_text(AMG)
+    return str(f)
+
+
+def test_parallelize_command(amg_file, capsys):
+    assert main(["parallelize", amg_file]) == 0
+    out = capsys.readouterr().out
+    assert "#pragma omp parallel for" in out
+    assert "irownnz_max" in out
+
+
+def test_parallelize_with_schedule(amg_file, capsys):
+    assert main(["parallelize", amg_file, "--schedule", "dynamic", "--chunk", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "schedule(dynamic, 8)" in out
+
+
+def test_classical_pipeline_no_pragma(amg_file, capsys):
+    assert main(["parallelize", amg_file, "--pipeline", "classical"]) == 0
+    out = capsys.readouterr().out
+    assert "#pragma" not in out
+
+
+def test_report_command(amg_file, capsys):
+    assert main(["report", amg_file]) == 0
+    out = capsys.readouterr().out
+    assert "PARALLEL" in out and "serial" in out
+
+
+def test_properties_command(amg_file, capsys):
+    assert main(["properties", amg_file]) == 0
+    out = capsys.readouterr().out
+    assert "A_rownnz" in out and "SMA" in out
+
+
+def test_properties_none_found(tmp_path, capsys):
+    f = tmp_path / "x.c"
+    f.write_text("for (i = 0; i < n; i++) { a[i] = 0; }")
+    assert main(["properties", str(f)]) == 0
+    assert "no subscript-array properties" in capsys.readouterr().out
+
+
+def test_stdin_input(monkeypatch, capsys):
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("for (i = 0; i < n; i++) { a[i] = b[i]; }"))
+    assert main(["parallelize", "-"]) == 0
+    assert "#pragma omp parallel for" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["bogus"])
+
+
+def test_multi_function_file_is_inlined(tmp_path, capsys):
+    src = """
+    void fill(int b[], int xs[], int n) {
+        int m = 0;
+        int i;
+        for (i = 0; i < n; i++){
+            if (xs[i] > 0) b[m++] = i;
+        }
+    }
+    void main() {
+        fill(b, xs, n);
+        for (q = 0; q < nw; q++){
+            y[b[q]] = q;
+        }
+    }
+    """
+    f = tmp_path / "split.c"
+    f.write_text(src)
+    assert main(["report", str(f)]) == 0
+    out = capsys.readouterr().out
+    assert "PARALLEL" in out
+    assert "m_max" in out or "SMA" in out
+
+
+def test_explain_command(amg_file, capsys):
+    assert main(["explain", amg_file]) == 0
+    out = capsys.readouterr().out
+    assert "Phase-1 SVD" in out
+    assert "dependence graph" in out

@@ -1,0 +1,29 @@
+"""Every shipped example must run to completion (smoke tests)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{path.name} produced no output"
+
+
+def test_quickstart_shows_paper_artifacts(capsys, monkeypatch):
+    path = next(p for p in EXAMPLES if p.name == "quickstart.py")
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "_temp_0 = m" in out  # Figure 4(b) normalization
+    assert "λ_m" in out  # Figure 5 SVD
+    assert "#pragma omp parallel for" in out

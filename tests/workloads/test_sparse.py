@@ -1,0 +1,97 @@
+"""Workload-generator tests, cross-checked against scipy.sparse."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.sparse import (
+    CSRMatrix,
+    banded_csr,
+    row_counts_only,
+    skewed_csr,
+    uniform_csr,
+)
+
+
+class TestCSRMatrix:
+    def test_uniform_structure_valid(self):
+        m = uniform_csr(50, 50, nnz_per_row=6, seed=1)
+        m.validate()
+        assert abs(m.row_nnz().mean() - 6) < 2
+
+    def test_skewed_structure_valid(self):
+        m = skewed_csr(80, 80, mean_nnz=5.0, sigma=1.2, seed=2)
+        m.validate()
+        assert m.row_nnz().max() > m.row_nnz().min()
+
+    def test_banded_structure(self):
+        m = banded_csr(20, half_bandwidth=2, seed=3)
+        m.validate()
+        # interior rows have 5 entries
+        assert m.row_nnz()[10] == 5
+        assert m.row_nnz()[0] == 3
+
+    def test_spmv_matches_scipy(self):
+        scipy = pytest.importorskip("scipy.sparse")
+        m = uniform_csr(40, 40, nnz_per_row=5, seed=4)
+        sp = scipy.csr_matrix((m.data, m.indices, m.indptr), shape=(40, 40))
+        x = np.linspace(-1, 1, 40)
+        np.testing.assert_allclose(m.spmv(x), sp @ x, rtol=1e-12)
+
+    def test_csc_colptr_matches_scipy(self):
+        scipy = pytest.importorskip("scipy.sparse")
+        m = uniform_csr(30, 30, nnz_per_row=4, seed=5)
+        sp = scipy.csr_matrix((m.data, m.indices, m.indptr), shape=(30, 30)).tocsc()
+        colptr, rows = m.to_csc_colptr()
+        np.testing.assert_array_equal(colptr, sp.indptr)
+
+    def test_colptr_is_monotonic(self):
+        """The very property the paper's analysis proves about col_ptr."""
+        m = skewed_csr(60, 60, mean_nnz=4.0, seed=6)
+        colptr, _ = m.to_csc_colptr()
+        assert np.all(np.diff(colptr) >= 0)
+
+    def test_determinism(self):
+        a = uniform_csr(30, 30, 4, seed=7)
+        b = uniform_csr(30, 30, 4, seed=7)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+
+class TestRowCountsOnly:
+    def test_uniform_kind(self):
+        c = row_counts_only("uniform", 1000, 30.0, seed=1)
+        assert len(c) == 1000
+        assert c.min() >= 1
+
+    def test_skewed_kind_has_spread(self):
+        c = row_counts_only("skewed", 5000, 30.0, sigma=1.0, seed=2)
+        assert c.std() > 5
+
+    def test_skewed_is_spatially_correlated(self):
+        """Neighboring entries correlate (clustered heavy regions)."""
+        c = row_counts_only("skewed", 20000, 30.0, sigma=1.0, seed=3).astype(float)
+        shifted = np.corrcoef(c[:-1], c[1:])[0, 1]
+        rng = np.random.default_rng(0)
+        shuffled = c.copy()
+        rng.shuffle(shuffled)
+        baseline = np.corrcoef(shuffled[:-1], shuffled[1:])[0, 1]
+        assert shifted > baseline + 0.1
+
+    def test_constant_kind(self):
+        c = row_counts_only("constant", 10, 5)
+        assert np.all(c == 5)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            row_counts_only("weird", 10, 5)
+
+
+@given(st.integers(1, 60), st.integers(1, 10), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_uniform_csr_always_valid(n, nnz, seed):
+    m = uniform_csr(n, n, min(nnz, n), seed=seed)
+    m.validate()
+    # rows sorted, within bounds
+    for i in range(m.n_rows):
+        row = m.indices[m.indptr[i] : m.indptr[i + 1]]
+        assert np.all(np.diff(row) > 0)
