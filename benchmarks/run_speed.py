@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Run the compile-time speed benchmarks and record the results.
+
+Runs ``benchmarks/test_analysis_speed.py`` under pytest-benchmark and
+writes the machine-readable results to ``BENCH_analysis_speed.json`` at
+the repository root, so successive PRs can track the analysis-cost
+trajectory (the paper's core claim is that this analysis is cheap enough
+to be compile-time only).
+
+Usage::
+
+    python benchmarks/run_speed.py                 # full speed suite
+    python benchmarks/run_speed.py -k full_parallelization
+    REPRO_BENCH_OUT=custom.json python benchmarks/run_speed.py
+
+Extra arguments are forwarded to pytest.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def main(argv: list = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    out = ROOT / os.environ.get("REPRO_BENCH_OUT", "BENCH_analysis_speed.json")
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(ROOT / "benchmarks" / "test_analysis_speed.py"),
+        "-q",
+        f"--benchmark-json={out}",
+        *argv,
+    ]
+    rc = subprocess.call(cmd, env=env, cwd=str(ROOT))
+    if rc == 0:
+        print(f"benchmark results written to {out}")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,10 @@ properties proven inside a nest are *resolved* against the program state
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Dict, List, Optional, Tuple, Union
+
+from repro.ir import perfstats
 
 from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
 from repro.analysis.config import AnalysisConfig
@@ -325,8 +328,37 @@ def _sub_expr(a: Expr, b: Expr) -> Expr:
     return _sub(a, b)
 
 
+#: whole-program results keyed by (source digest, config fingerprint)
+_ANALYSIS_CACHE: Dict[Tuple[str, str], AnalysisResult] = {}
+
+perfstats.register_cache("analysis", _ANALYSIS_CACHE.__len__, _ANALYSIS_CACHE.clear)
+
+
+def _source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
 def analyze_program(
     prog: Union[str, Program], config: Optional[AnalysisConfig] = None
 ) -> AnalysisResult:
-    """Convenience wrapper: analyze source text or an AST."""
-    return ProgramAnalyzer(config).analyze(prog)
+    """Convenience wrapper: analyze source text or an AST.
+
+    Source-text inputs are cached by ``(sha256(source),
+    config.fingerprint())`` — the figure/table scripts analyze the same
+    dozen benchmark sources hundreds of times, and analysis is a pure
+    function of (source, config).  AST inputs bypass the cache: the caller
+    owns (and may have mutated) the tree, so there is no stable identity to
+    key on.
+    """
+    config = config or AnalysisConfig.new_algorithm()
+    if not isinstance(prog, str):
+        return ProgramAnalyzer(config).analyze(prog)
+    key = (_source_digest(prog), config.fingerprint())
+    hit = _ANALYSIS_CACHE.get(key)
+    if hit is not None:
+        perfstats.STATS.analysis_hits += 1
+        return hit
+    perfstats.STATS.analysis_misses += 1
+    result = ProgramAnalyzer(config).analyze(prog)
+    _ANALYSIS_CACHE[key] = result
+    return result

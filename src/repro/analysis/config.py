@@ -51,6 +51,18 @@ class AnalysisConfig:
         """The PPoPP'24 algorithm (this paper)."""
         return AnalysisConfig(array_analysis=True, intermittent=True, multidim=True)
 
+    def fingerprint(self) -> str:
+        """Stable identity string for result caching.
+
+        Enumerates every dataclass field by name so two configs with equal
+        flags share cached analysis results and any future field
+        automatically invalidates old fingerprints.
+        """
+        parts = (
+            f"{f.name}={getattr(self, f.name)!r}" for f in dataclasses.fields(self)
+        )
+        return ";".join(parts)
+
     @property
     def name(self) -> str:
         if not self.array_analysis:

@@ -41,6 +41,11 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Subscripted-subscript recurrence analysis & parallelization (PPoPP'24 reproduction)",
     )
+    p.add_argument(
+        "--stats",
+        action="store_true",
+        help="print intern-table / cache hit statistics after the command",
+    )
     sub = p.add_subparsers(dest="command", required=True)
 
     def add_common(sp):
@@ -73,7 +78,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    try:
+        return _run_command(args)
+    finally:
+        if args.stats:
+            from repro.ir.perfstats import format_stats
 
+            print(format_stats(), file=sys.stderr)
+
+
+def _run_command(args) -> int:
     if args.command == "figures":
         from repro.experiments.fig13 import format_fig13
         from repro.experiments.fig14 import format_fig14

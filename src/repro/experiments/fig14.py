@@ -4,11 +4,10 @@ subscript analysis) over the serial versions on 4/8/16 cores."""
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import List, Optional
 
-from repro.benchmarks import get_benchmark
 from repro.experiments.fig13 import APPS, CORES
-from repro.experiments.harness import run_benchmark
+from repro.experiments.harness import CellSpec, run_cells
 
 
 @dataclasses.dataclass
@@ -24,15 +23,13 @@ class Fig14Cell:
         return self.t_serial / self.t_parallel
 
 
-def fig14_cells() -> List[Fig14Cell]:
-    cells: List[Fig14Cell] = []
-    for app, datasets in APPS.items():
-        bench = get_benchmark(app)
-        for ds in datasets:
-            for p in CORES:
-                run = run_benchmark(bench, ds, "Cetus+NewAlgo", p)
-                cells.append(Fig14Cell(app, ds, p, run.serial_time, run.parallel_time))
-    return cells
+def fig14_cells(jobs: Optional[int] = None) -> List[Fig14Cell]:
+    keys = [(app, ds, p) for app, datasets in APPS.items() for ds in datasets for p in CORES]
+    runs = run_cells((CellSpec(app, ds, "Cetus+NewAlgo", p) for app, ds, p in keys), jobs=jobs)
+    return [
+        Fig14Cell(app, ds, p, run.serial_time, run.parallel_time)
+        for (app, ds, p), run in zip(keys, runs)
+    ]
 
 
 def format_fig14(cells=None) -> str:

@@ -9,10 +9,9 @@ over serial execution.
 from __future__ import annotations
 
 import dataclasses
-from typing import List
+from typing import List, Optional
 
-from repro.benchmarks import get_benchmark
-from repro.experiments.harness import run_benchmark
+from repro.experiments.harness import CellSpec, run_cells
 
 CORES = [4, 8, 16]
 MATRICES = ["gsm_106857", "dielFilterV2clx", "af_shell1", "inline_1"]
@@ -26,15 +25,13 @@ class Fig16Cell:
     improvement: float  # vs serial
 
 
-def fig16_cells(chunk: int = 32) -> List[Fig16Cell]:
-    bench = get_benchmark("SDDMM")
-    cells: List[Fig16Cell] = []
-    for ds in MATRICES:
-        for p in CORES:
-            for sched in ("dynamic", "static"):
-                run = run_benchmark(bench, ds, "Cetus+NewAlgo", p, schedule=sched, chunk=chunk)
-                cells.append(Fig16Cell(ds, p, sched, run.speedup))
-    return cells
+def fig16_cells(chunk: int = 32, jobs: Optional[int] = None) -> List[Fig16Cell]:
+    keys = [(ds, p, sched) for ds in MATRICES for p in CORES for sched in ("dynamic", "static")]
+    runs = run_cells(
+        (CellSpec("SDDMM", ds, "Cetus+NewAlgo", p, sched, chunk) for ds, p, sched in keys),
+        jobs=jobs,
+    )
+    return [Fig16Cell(ds, p, sched, run.speedup) for (ds, p, sched), run in zip(keys, runs)]
 
 
 def format_fig16(cells=None) -> str:

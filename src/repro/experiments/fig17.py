@@ -4,10 +4,10 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.benchmarks import all_benchmarks
-from repro.experiments.harness import PIPELINES, run_benchmark
+from repro.experiments.harness import PIPELINES, CellSpec, run_cells
 
 CORES = 16
 
@@ -20,13 +20,16 @@ class Fig17Cell:
     plan_level: str
 
 
-def fig17_cells() -> List[Fig17Cell]:
-    cells: List[Fig17Cell] = []
-    for bench in all_benchmarks():
-        for pipe in PIPELINES:
-            run = run_benchmark(bench, bench.default_dataset, pipe, CORES)
-            cells.append(Fig17Cell(bench.name, pipe, run.speedup, run.plan_level))
-    return cells
+def fig17_cells(jobs: Optional[int] = None) -> List[Fig17Cell]:
+    keys = [(bench, pipe) for bench in all_benchmarks() for pipe in PIPELINES]
+    runs = run_cells(
+        (CellSpec(bench.name, bench.default_dataset, pipe, CORES) for bench, pipe in keys),
+        jobs=jobs,
+    )
+    return [
+        Fig17Cell(bench.name, pipe, run.speedup, run.plan_level)
+        for (bench, pipe), run in zip(keys, runs)
+    ]
 
 
 def improvements_by_benchmark(cells=None) -> Dict[str, Dict[str, float]]:

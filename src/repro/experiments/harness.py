@@ -5,13 +5,24 @@ cell: it parallelizes the benchmark's source under the pipeline's
 :class:`~repro.analysis.config.AnalysisConfig`, derives the execution plan
 from the per-loop decisions, and predicts serial/parallel times with the
 machine model.  All figures are tables of these cells.
+
+**Parallel fan-out.**  Cells are independent pure functions of their
+:class:`CellSpec`, so :func:`run_cells` fans a spec list out over a
+``ProcessPoolExecutor`` (``fork`` start method inherits the warm analysis
+caches).  The worker count defaults to ``os.cpu_count()`` and is overridden
+by the ``REPRO_JOBS`` environment variable or the ``jobs=`` argument;
+``REPRO_JOBS=1`` forces the fully serial path (no pool at all).  Results
+come back in spec order, and each cell computes exactly the same floats
+serially or in a worker, so figure tables are bit-identical either way.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import functools
-from typing import Dict, List, Optional, Tuple
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.analysis.config import AnalysisConfig
 from repro.benchmarks.base import Benchmark
@@ -48,8 +59,9 @@ class BenchRun:
         return self.speedup / self.cores
 
 
-@functools.lru_cache(maxsize=256)
 def _compile(bench_name: str, pipeline: str) -> ParallelizationResult:
+    # dedup happens in the global parallelize cache (keyed by source digest
+    # and config fingerprint), which also serves the CLI and the examples
     from repro.benchmarks.registry import get_benchmark
 
     bench = get_benchmark(bench_name)
@@ -85,20 +97,86 @@ def run_benchmark(
     )
 
 
+# ---------------------------------------------------------------------------
+# parallel fan-out over independent cells
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CellSpec:
+    """Pickleable description of one experiment cell.
+
+    Carries names rather than objects so cells cross process boundaries
+    cheaply; :func:`run_cell` rehydrates the benchmark from the registry.
+    """
+
+    benchmark: str
+    dataset: Optional[str] = None
+    pipeline: str = "Cetus+NewAlgo"
+    cores: int = 16
+    schedule: str = "static"
+    chunk: int = 1
+
+
+def run_cell(spec: CellSpec) -> BenchRun:
+    """Run one cell from its spec (worker entry point)."""
+    from repro.benchmarks.registry import get_benchmark
+
+    bench = get_benchmark(spec.benchmark)
+    return run_benchmark(bench, spec.dataset, spec.pipeline, spec.cores, spec.schedule, spec.chunk)
+
+
+def resolved_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit ``jobs`` > ``REPRO_JOBS`` env > cpu count."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def run_cells(specs: Iterable[CellSpec], jobs: Optional[int] = None) -> List[BenchRun]:
+    """Evaluate independent cells, in spec order, fanning out over processes.
+
+    With one job (``jobs=1`` or ``REPRO_JOBS=1``) or a single cell this is a
+    plain serial loop.  Pool startup failures (sandboxes without process
+    support) and worker crashes fall back to the serial path, so the
+    harness never produces partial tables.
+    """
+    specs = list(specs)
+    n = min(resolved_jobs(jobs), len(specs))
+    if n <= 1:
+        return [run_cell(s) for s in specs]
+    try:
+        with ProcessPoolExecutor(max_workers=n) as pool:
+            chunksize = max(1, len(specs) // (4 * n))
+            return list(pool.map(run_cell, specs, chunksize=chunksize))
+    except (OSError, PermissionError, BrokenProcessPool):
+        return [run_cell(s) for s in specs]
+
+
 def speedup_table(
     bench: Benchmark,
     datasets: List[str],
     pipelines: List[str],
     cores_list: List[int],
     schedule: str = "static",
+    jobs: Optional[int] = None,
 ) -> List[BenchRun]:
     """Cartesian sweep over datasets x pipelines x core counts."""
-    out: List[BenchRun] = []
-    for ds in datasets:
-        for pipe in pipelines:
-            for p in cores_list:
-                out.append(run_benchmark(bench, ds, pipe, p, schedule))
-    return out
+    specs = [
+        CellSpec(bench.name, ds, pipe, p, schedule)
+        for ds in datasets
+        for pipe in pipelines
+        for p in cores_list
+    ]
+    return run_cells(specs, jobs=jobs)
 
 
 def format_runs(runs: List[BenchRun], metric: str = "speedup") -> str:

@@ -13,6 +13,13 @@ the Cetus compiler that the paper builds on:
   arithmetic, unions, and provable comparisons.
 * :mod:`repro.ir.rangedict` — the Range Dictionary used by symbolic range
   propagation (Blume & Eigenmann) mapping variables to known ranges.
+* :mod:`repro.ir.perfstats` — hit/miss counters and size reporting for the
+  hash-consing intern tables and the memoization caches (see
+  ``docs/performance.md``).
+
+Expression nodes are hash-consed: structurally-equal expressions are the
+same object, so equality is identity on the fast path and ``simplify`` is
+memoized per node.
 """
 
 from repro.ir.symbols import (

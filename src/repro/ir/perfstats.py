@@ -1,0 +1,134 @@
+"""Process-wide performance counters for the symbolic IR and caches.
+
+The paper's pitch is that monotonicity analysis is *compile-time only*, so
+the analysis itself must be cheap.  This module is the observability layer
+for the performance work that keeps it cheap:
+
+* hash-consing intern tables in :mod:`repro.ir.symbols`,
+* the memoized canonicalizer in :mod:`repro.ir.simplify`,
+* the whole-program analysis/parallelization caches in
+  :mod:`repro.analysis.analyzer` and :mod:`repro.parallelizer.driver`.
+
+Counters are plain ints on a module-level :data:`STATS` object (cheap to
+bump from hot paths).  Cache owners register ``(size_fn, clear_fn)`` pairs
+via :func:`register_cache` so :func:`snapshot` can report sizes and
+:func:`clear_caches` can drop memoized results without import cycles.
+The CLI surfaces everything via ``python -m repro --stats <command>``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+
+class Counters:
+    """Hit/miss counters for every caching layer."""
+
+    __slots__ = (
+        "intern_hits",
+        "intern_misses",
+        "simplify_hits",
+        "simplify_misses",
+        "expand_hits",
+        "expand_misses",
+        "affine_hits",
+        "affine_misses",
+        "analysis_hits",
+        "analysis_misses",
+        "parallelize_hits",
+        "parallelize_misses",
+    )
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        for name in self.__slots__:
+            setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+#: the process-wide counter set
+STATS = Counters()
+
+#: registered caches: name -> (size_fn, clear_fn)
+_CACHES: Dict[str, Tuple[Callable[[], int], Callable[[], None]]] = {}
+
+#: registered intern tables: name -> size_fn
+_INTERN_TABLES: Dict[str, Callable[[], int]] = {}
+
+
+def register_cache(name: str, size_fn: Callable[[], int], clear_fn: Callable[[], None]) -> None:
+    """Register a memoization cache for reporting and bulk clearing."""
+    _CACHES[name] = (size_fn, clear_fn)
+
+
+def register_intern_table(name: str, size_fn: Callable[[], int]) -> None:
+    """Register a hash-consing intern table for size reporting."""
+    _INTERN_TABLES[name] = size_fn
+
+
+def intern_table_sizes() -> Dict[str, int]:
+    """Current size of every registered intern table."""
+    return {name: fn() for name, fn in _INTERN_TABLES.items()}
+
+
+def cache_sizes() -> Dict[str, int]:
+    """Current size of every registered memoization cache."""
+    return {name: size_fn() for name, (size_fn, _) in _CACHES.items()}
+
+
+def clear_caches() -> None:
+    """Drop every registered memoized result (intern tables are kept).
+
+    Intern tables are *not* cleared here: live expression nodes elsewhere
+    in the process would silently lose sharing with newly built ones.
+    Correctness would survive (equality falls back to structural keys) but
+    the identity fast paths would degrade, so table clearing is a separate,
+    deliberate call (:func:`repro.ir.symbols.clear_intern_tables`).
+    """
+    for _, clear_fn in _CACHES.values():
+        clear_fn()
+
+
+def reset_counters() -> None:
+    """Zero all hit/miss counters (cache contents are untouched)."""
+    STATS.reset()
+
+
+def snapshot() -> Dict[str, object]:
+    """One dict with counters, cache sizes and intern-table sizes."""
+    return {
+        "counters": STATS.as_dict(),
+        "caches": cache_sizes(),
+        "intern_tables": intern_table_sizes(),
+    }
+
+
+def _ratio(hits: int, misses: int) -> str:
+    total = hits + misses
+    if not total:
+        return "-"
+    return f"{100.0 * hits / total:.1f}%"
+
+
+def format_stats(snap: Optional[Dict[str, object]] = None) -> str:
+    """Human-readable report used by the CLI ``--stats`` flag."""
+    snap = snap or snapshot()
+    c = snap["counters"]
+    lines = ["perf stats"]
+    lines.append(f"{'layer':<16} {'hits':>10} {'misses':>10} {'hit rate':>9}")
+    for layer in ("intern", "simplify", "expand", "affine", "analysis", "parallelize"):
+        h, m = c[f"{layer}_hits"], c[f"{layer}_misses"]
+        lines.append(f"{layer:<16} {h:>10} {m:>10} {_ratio(h, m):>9}")
+    sizes = snap["intern_tables"]
+    if sizes:
+        total = sum(sizes.values())
+        per_class = ", ".join(f"{k}={v}" for k, v in sorted(sizes.items()) if v)
+        lines.append(f"intern tables: {total} nodes ({per_class or 'empty'})")
+    caches = snap["caches"]
+    if caches:
+        lines.append("caches: " + ", ".join(f"{k}={v}" for k, v in sorted(caches.items())))
+    return "\n".join(lines)

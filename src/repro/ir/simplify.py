@@ -7,12 +7,24 @@ the normalized-expression discipline of Cetus' symbolic package, which the
 paper's Phase-1/Phase-2 algorithms rely on to decide structural questions
 like "is this expression ``λ_m + 1``" or "what is the coefficient of the
 loop index".
+
+**Memoization.**  Expression nodes are hash-consed (see
+:mod:`repro.ir.symbols`), so structurally-equal inputs are the same object
+and canonicalization results can be cached per node: :func:`simplify`,
+:func:`expand` and :func:`decompose_affine` are thin cache wrappers around
+``_*_impl`` workers.  The caches key on the interned node itself (O(1)
+cached hash, identity-first equality) and are registered with
+:mod:`repro.ir.perfstats` for statistics and bulk clearing.  Since nodes
+are immutable and the canonical form is deterministic, cached results are
+always equal to a fresh computation — a property the test suite checks
+across the whole IR corpus.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.ir.perfstats import STATS, register_cache
 from repro.ir.symbols import (
     BOTTOM,
     Add,
@@ -33,14 +45,42 @@ from repro.ir.symbols import (
 )
 
 
+#: memoized results, keyed by interned node (identity-fast equality)
+_EXPAND_CACHE: Dict[Expr, Expr] = {}
+_SIMPLIFY_CACHE: Dict[Expr, Expr] = {}
+_AFFINE_CACHE: Dict[Tuple[Expr, Expr], Optional[Tuple[Expr, Expr]]] = {}
+
+register_cache("expand", _EXPAND_CACHE.__len__, _EXPAND_CACHE.clear)
+register_cache("simplify", _SIMPLIFY_CACHE.__len__, _SIMPLIFY_CACHE.clear)
+register_cache("affine", _AFFINE_CACHE.__len__, _AFFINE_CACHE.clear)
+
+
+def clear_caches() -> None:
+    """Drop all memoized simplification results (test isolation)."""
+    _EXPAND_CACHE.clear()
+    _SIMPLIFY_CACHE.clear()
+    _AFFINE_CACHE.clear()
+
+
 def expand(e: Expr) -> Expr:
-    """Distribute products over sums, bottom-up.
+    """Distribute products over sums, bottom-up (memoized).
 
     ``(a+b)*(c+d)`` becomes ``a*c + a*d + b*c + b*d``.  Division, modulo,
     min/max and array references are treated as opaque atoms (their children
     are expanded but they are not distributed).
     """
     e = as_expr(e)
+    hit = _EXPAND_CACHE.get(e)
+    if hit is not None:
+        STATS.expand_hits += 1
+        return hit
+    STATS.expand_misses += 1
+    out = _expand_impl(e)
+    _EXPAND_CACHE[e] = out
+    return out
+
+
+def _expand_impl(e: Expr) -> Expr:
     if isinstance(e, (IntLit, Bottom)) or not e.children():
         return e
     kids = [expand(k) for k in e.children()]
@@ -99,8 +139,27 @@ def collect(e: Expr) -> Expr:
 
 
 def simplify(e: Expr) -> Expr:
-    """Full canonicalization: recursive expand + collect + local folds."""
+    """Full canonicalization: recursive expand + collect + local folds.
+
+    Memoized per interned node; results are identical to an uncached run
+    (``_simplify_impl``) because nodes are immutable and canonicalization
+    is deterministic.
+    """
     e = as_expr(e)
+    hit = _SIMPLIFY_CACHE.get(e)
+    if hit is not None:
+        STATS.simplify_hits += 1
+        return hit
+    STATS.simplify_misses += 1
+    out = _simplify_impl(e)
+    _SIMPLIFY_CACHE[e] = out
+    # canonical forms are fixpoints; pre-seeding avoids a recompute when
+    # the result itself is later simplified
+    _SIMPLIFY_CACHE.setdefault(out, out)
+    return out
+
+
+def _simplify_impl(e: Expr) -> Expr:
     if isinstance(e, (IntLit, Bottom)) or not e.children():
         return e
     kids = [simplify(k) for k in e.children()]
@@ -159,13 +218,28 @@ def coefficient_of(e: Expr, atom: Expr) -> Optional[Expr]:
 
 
 def decompose_affine(e: Expr, atom: Expr) -> Optional[Tuple[Expr, Expr]]:
-    """Decompose ``e`` as ``coeff * atom + remainder``.
+    """Decompose ``e`` as ``coeff * atom + remainder`` (memoized).
 
     The decomposition requires ``e`` to be affine in ``atom``: after full
     expansion every additive term contains ``atom`` at most once as a direct
     factor, and the remainder must not contain ``atom`` at all.  Returns
     ``(coeff, remainder)`` in simplified form or ``None``.
     """
+    ck = (e, atom)
+    try:
+        hit = _AFFINE_CACHE[ck]
+    except KeyError:
+        pass
+    else:
+        STATS.affine_hits += 1
+        return hit
+    STATS.affine_misses += 1
+    out = _decompose_affine_impl(e, atom)
+    _AFFINE_CACHE[ck] = out
+    return out
+
+
+def _decompose_affine_impl(e: Expr, atom: Expr) -> Optional[Tuple[Expr, Expr]]:
     s = simplify(e)
     if isinstance(s, Bottom):
         return None

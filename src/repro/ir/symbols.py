@@ -1,4 +1,4 @@
-"""Immutable symbolic expression trees.
+"""Immutable, hash-consed symbolic expression trees.
 
 The analysis in the paper manipulates *symbolic range expressions* whose
 leaves are integer literals, program symbols, and two special markers:
@@ -13,32 +13,101 @@ that the simplifier can sort n-ary operands deterministically.  Construction
 through the helper functions :func:`add`, :func:`mul`, :func:`sub` and
 :func:`neg` performs light-weight canonicalization (flattening and constant
 folding); the full canonical form lives in :mod:`repro.ir.simplify`.
+
+**Hash-consing.**  Every node class owns an intern table (installed by
+:class:`_InternMeta`), so structurally-equal expressions are *the same
+object*: ``Sym("n") + 1 is Sym("n") + 1``.  Compound nodes are interned by
+the identities of their (already-interned) children, which makes
+construction O(#children) instead of O(tree).  The canonical :meth:`Expr.key`
+tuple and the hash are computed once per node and cached on it, so
+``__eq__`` is identity-then-hash-then-key and ``__hash__`` is a slot load.
+Interned nodes are therefore safe to share freely — ``copy``/``deepcopy``
+return ``self`` and pickling round-trips through the interning constructors.
+The memoized simplifier (:mod:`repro.ir.simplify`) and the analysis caches
+lean on these identity semantics.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
+from repro.ir.perfstats import STATS, register_intern_table
+
 Number = int
 ExprLike = Union["Expr", int]
 
 
-class Expr:
+class _InternMeta(type):
+    """Metaclass installing a per-class hash-consing table.
+
+    ``cls(*args)`` first normalizes the arguments via the class'
+    ``_intern_key`` hook, then returns the cached instance when one exists.
+    Only on a miss does ``__init__`` run; the structural key and hash are
+    precomputed right after so every later ``hash``/``<``/``==`` is cheap.
+    """
+
+    def __new__(mcs, name, bases, namespace):
+        cls = super().__new__(mcs, name, bases, namespace)
+        cls._intern_table = {}
+        return cls
+
+    def __call__(cls, *args, **kwargs):
+        ck, norm = cls._intern_key(*args, **kwargs)
+        table = cls._intern_table
+        obj = table.get(ck)
+        if obj is not None:
+            STATS.intern_hits += 1
+            return obj
+        STATS.intern_misses += 1
+        obj = super().__call__(*norm)
+        object.__setattr__(obj, "_hash", obj._compute_hash())
+        obj.key()  # precompute + cache the canonical key
+        # setdefault so concurrent constructions agree on one winner
+        return table.setdefault(ck, obj)
+
+
+class Expr(metaclass=_InternMeta):
     """Base class for all symbolic expressions.
 
-    Subclasses must be immutable; equality and hashing are structural via
-    :meth:`key`.  Python operators are overloaded for convenience so that
+    Subclasses are immutable and hash-consed; equality and hashing are
+    structural via :meth:`key` but resolved by identity on the interned fast
+    path.  Python operators are overloaded for convenience so that
     ``a + b * 2`` builds (lightly canonicalized) expression trees.
     """
 
-    __slots__ = ("_hash",)
+    __slots__ = ("_hash", "_key")
 
     #: class-level sort rank used to order heterogeneous nodes canonically.
     _rank = 99
 
+    @staticmethod
+    def _intern_key(*args, **kwargs):
+        raise NotImplementedError
+
+    def _compute_key(self) -> tuple:
+        """Structural key, computed once per interned node (see :meth:`key`)."""
+        raise NotImplementedError
+
     def key(self) -> tuple:
         """Canonical, totally-ordered sort key (structural identity)."""
-        raise NotImplementedError
+        try:
+            return self._key
+        except AttributeError:
+            k = self._compute_key()
+            object.__setattr__(self, "_key", k)
+            return k
+
+    def _compute_hash(self) -> int:
+        # leaves hash their (small) key; compound nodes combine the cached
+        # child hashes so construction-time hashing is O(#children)
+        kids = self.children()
+        if not kids:
+            return hash(self.key())
+        return hash((self._rank, self._hash_payload(), tuple(hash(k) for k in kids)))
+
+    def _hash_payload(self):
+        """Extra non-child payload mixed into compound-node hashes."""
+        return None
 
     def children(self) -> Tuple["Expr", ...]:
         """Immediate sub-expressions (empty for leaves)."""
@@ -100,6 +169,21 @@ class Expr:
         """
         raise NotImplementedError
 
+    # -- copy/pickle semantics ---------------------------------------------
+
+    def _ctor_args(self) -> tuple:
+        """Arguments reconstructing this node through the interning ctor."""
+        raise NotImplementedError
+
+    def __reduce__(self):
+        return (type(self), self._ctor_args())
+
+    def __copy__(self) -> "Expr":
+        return self
+
+    def __deepcopy__(self, memo) -> "Expr":
+        return self
+
     # -- operator sugar ----------------------------------------------------
 
     def __add__(self, other: ExprLike) -> "Expr":
@@ -128,6 +212,10 @@ class Expr:
             return True
         if not isinstance(other, Expr):
             return NotImplemented
+        # interned nodes with equal structure are identical, so reaching
+        # here almost always means "different"; unequal hashes prove it
+        if hash(self) != hash(other):
+            return False
         return self.key() == other.key()
 
     def __ne__(self, other: object) -> bool:
@@ -140,11 +228,12 @@ class Expr:
         return self.key() < other.key()
 
     def __hash__(self) -> int:
-        h = getattr(self, "_hash", None)
-        if h is None:
-            h = hash(self.key())
+        try:
+            return self._hash
+        except AttributeError:  # pragma: no cover - pre-intern fallback
+            h = self._compute_hash()
             object.__setattr__(self, "_hash", h)
-        return h
+            return h
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self})"
@@ -156,13 +245,20 @@ class IntLit(Expr):
     __slots__ = ("value",)
     _rank = 0
 
-    def __init__(self, value: int):
+    @staticmethod
+    def _intern_key(value):
         if not isinstance(value, int):
             raise TypeError(f"IntLit requires int, got {type(value).__name__}")
+        return value, (value,)
+
+    def __init__(self, value: int):
         object.__setattr__(self, "value", value)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return (self._rank, self.value)
+
+    def _ctor_args(self) -> tuple:
+        return (self.value,)
 
     def evaluate(self, env: Mapping[str, Number]) -> Number:
         return self.value
@@ -180,13 +276,20 @@ class Sym(Expr):
     __slots__ = ("name",)
     _rank = 1
 
-    def __init__(self, name: str):
+    @staticmethod
+    def _intern_key(name):
         if not name:
             raise ValueError("Sym requires a non-empty name")
+        return name, (name,)
+
+    def __init__(self, name: str):
         object.__setattr__(self, "name", name)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return (self._rank, self.name)
+
+    def _ctor_args(self) -> tuple:
+        return (self.name,)
 
     def evaluate(self, env: Mapping[str, Number]) -> Number:
         try:
@@ -207,6 +310,10 @@ class LambdaVal(Expr):
     __slots__ = ("var",)
     _rank = 2
 
+    @staticmethod
+    def _intern_key(var):
+        return var, (var,)
+
     def __init__(self, var: str):
         object.__setattr__(self, "var", var)
 
@@ -214,8 +321,11 @@ class LambdaVal(Expr):
     def spelled(self) -> str:
         return f"lambda_{self.var}"
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return (self._rank, self.var)
+
+    def _ctor_args(self) -> tuple:
+        return (self.var,)
 
     def evaluate(self, env: Mapping[str, Number]) -> Number:
         try:
@@ -236,6 +346,10 @@ class BigLambda(Expr):
     __slots__ = ("var",)
     _rank = 3
 
+    @staticmethod
+    def _intern_key(var):
+        return var, (var,)
+
     def __init__(self, var: str):
         object.__setattr__(self, "var", var)
 
@@ -243,8 +357,11 @@ class BigLambda(Expr):
     def spelled(self) -> str:
         return f"Lambda_{self.var}"
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return (self._rank, self.var)
+
+    def _ctor_args(self) -> tuple:
+        return (self.var,)
 
     def evaluate(self, env: Mapping[str, Number]) -> Number:
         try:
@@ -265,8 +382,15 @@ class Bottom(Expr):
     __slots__ = ()
     _rank = 98
 
-    def key(self) -> tuple:
+    @staticmethod
+    def _intern_key():
+        return (), ()
+
+    def _compute_key(self) -> tuple:
         return (self._rank,)
+
+    def _ctor_args(self) -> tuple:
+        return ()
 
     def evaluate(self, env: Mapping[str, Number]) -> Number:
         raise ValueError("cannot evaluate bottom (unknown value)")
@@ -290,12 +414,23 @@ class ArrayRef(Expr):
     __slots__ = ("name", "subs_")
     _rank = 4
 
+    @staticmethod
+    def _intern_key(name, subscripts):
+        subs = tuple(as_expr(s) for s in subscripts)
+        return (name, tuple(map(id, subs))), (name, subs)
+
     def __init__(self, name: str, subscripts: Sequence[Expr]):
         object.__setattr__(self, "name", name)
-        object.__setattr__(self, "subs_", tuple(as_expr(s) for s in subscripts))
+        object.__setattr__(self, "subs_", tuple(subscripts))
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return (self._rank, self.name, tuple(s.key() for s in self.subs_))
+
+    def _hash_payload(self):
+        return self.name
+
+    def _ctor_args(self) -> tuple:
+        return (self.name, self.subs_)
 
     def children(self) -> Tuple[Expr, ...]:
         return self.subs_
@@ -325,14 +460,22 @@ class _NAry(Expr):
     __slots__ = ("operands",)
     _op = "?"
 
-    def __init__(self, operands: Sequence[Expr]):
+    @staticmethod
+    def _intern_key(operands):
         ops = tuple(as_expr(o) for o in operands)
+        return tuple(map(id, ops)), (ops,)
+
+    def __init__(self, operands: Sequence[Expr]):
+        ops = tuple(operands)
         if len(ops) < 2:
             raise ValueError(f"{type(self).__name__} requires >= 2 operands")
         object.__setattr__(self, "operands", ops)
 
-    def key(self) -> tuple:
+    def _compute_key(self) -> tuple:
         return (self._rank, tuple(o.key() for o in self.operands))
+
+    def _ctor_args(self) -> tuple:
+        return (self.operands,)
 
     def children(self) -> Tuple[Expr, ...]:
         return self.operands
@@ -398,12 +541,20 @@ class Div(Expr):
     __slots__ = ("num", "den")
     _rank = 12
 
-    def __init__(self, num: ExprLike, den: ExprLike):
-        object.__setattr__(self, "num", as_expr(num))
-        object.__setattr__(self, "den", as_expr(den))
+    @staticmethod
+    def _intern_key(num, den):
+        n, d = as_expr(num), as_expr(den)
+        return (id(n), id(d)), (n, d)
 
-    def key(self) -> tuple:
+    def __init__(self, num: ExprLike, den: ExprLike):
+        object.__setattr__(self, "num", num)
+        object.__setattr__(self, "den", den)
+
+    def _compute_key(self) -> tuple:
         return (self._rank, self.num.key(), self.den.key())
+
+    def _ctor_args(self) -> tuple:
+        return (self.num, self.den)
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.num, self.den)
@@ -432,12 +583,20 @@ class Mod(Expr):
     __slots__ = ("num", "den")
     _rank = 13
 
-    def __init__(self, num: ExprLike, den: ExprLike):
-        object.__setattr__(self, "num", as_expr(num))
-        object.__setattr__(self, "den", as_expr(den))
+    @staticmethod
+    def _intern_key(num, den):
+        n, d = as_expr(num), as_expr(den)
+        return (id(n), id(d)), (n, d)
 
-    def key(self) -> tuple:
+    def __init__(self, num: ExprLike, den: ExprLike):
+        object.__setattr__(self, "num", num)
+        object.__setattr__(self, "den", den)
+
+    def _compute_key(self) -> tuple:
         return (self._rank, self.num.key(), self.den.key())
+
+    def _ctor_args(self) -> tuple:
+        return (self.num, self.den)
 
     def children(self) -> Tuple[Expr, ...]:
         return (self.num, self.den)
@@ -482,6 +641,33 @@ class Max(_NAry):
 
     def __str__(self) -> str:
         return "max(" + ", ".join(str(o) for o in self.operands) + ")"
+
+
+#: every concrete (constructible) node class, for stats and table clearing
+_CONCRETE_CLASSES = (IntLit, Sym, LambdaVal, BigLambda, Bottom, ArrayRef, Add, Mul, Div, Mod, Min, Max)
+
+for _cls in _CONCRETE_CLASSES:
+    register_intern_table(_cls.__name__, _cls._intern_table.__len__)
+
+
+def intern_table_sizes() -> Dict[str, int]:
+    """Size of each concrete class' intern table (observability hook)."""
+    return {cls.__name__: len(cls._intern_table) for cls in _CONCRETE_CLASSES}
+
+
+def clear_intern_tables() -> None:
+    """Drop all interned nodes (test isolation only).
+
+    Nodes alive elsewhere keep working — equality falls back to the cached
+    structural key and hashes are structural — but they lose identity
+    sharing with nodes built afterwards.  The memoized simplifier caches
+    must be cleared alongside (``perfstats.clear_caches`` does both when
+    driven through :func:`repro.ir.perfstats.clear_caches`).
+    """
+    for cls in _CONCRETE_CLASSES:
+        cls._intern_table.clear()
+    # keep the canonical singleton interned
+    Bottom._intern_table[()] = BOTTOM
 
 
 # ---------------------------------------------------------------------------

@@ -2,7 +2,11 @@
 
 Nodes are mutable (passes rewrite them in place or rebuild subtrees) but
 small and uniform: every node exposes ``children()`` for generic traversal
-and ``clone()`` for deep copies.  Source positions are carried for error
+and ``clone()`` for deep copies.  ``clone()`` is a hand-rolled structural
+copy (not ``copy.deepcopy``): every class rebuilds itself over cloned
+children, sharing immutable payloads (strings, positions) — and, crucially,
+never duplicating interned :mod:`repro.ir.symbols` expressions that
+analysis passes may attach nearby.  Source positions are carried for error
 reporting.
 
 The subset covers everything the paper's twelve benchmarks and examples
@@ -13,7 +17,6 @@ multi-dimensional array accesses, and the usual scalar operators.
 
 from __future__ import annotations
 
-import copy
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 
@@ -30,8 +33,8 @@ class Node:
         return []
 
     def clone(self) -> "Node":
-        """Deep copy of the subtree."""
-        return copy.deepcopy(self)
+        """Deep structural copy of the subtree (overridden per class)."""
+        raise NotImplementedError(f"{type(self).__name__}.clone")
 
     def walk(self) -> Iterator["Node"]:
         """Pre-order traversal of the subtree."""
@@ -71,6 +74,9 @@ class Id(Expression):
     def __hash__(self):
         return hash(("Id", self.name))
 
+    def clone(self) -> "Id":
+        return Id(self.name, self.pos)
+
 
 class Num(Expression):
     """Integer literal."""
@@ -87,6 +93,9 @@ class Num(Expression):
     def __hash__(self):
         return hash(("Num", self.value))
 
+    def clone(self) -> "Num":
+        return Num(self.value, self.pos)
+
 
 class FloatNum(Expression):
     """Floating-point literal (kept opaque by the integer analysis)."""
@@ -97,6 +106,9 @@ class FloatNum(Expression):
         super().__init__(pos)
         self.value = float(value)
 
+    def clone(self) -> "FloatNum":
+        return FloatNum(self.value, self.pos)
+
 
 class StrLit(Expression):
     """String literal (only appears in calls like printf)."""
@@ -106,6 +118,9 @@ class StrLit(Expression):
     def __init__(self, value: str, pos=(0, 0)):
         super().__init__(pos)
         self.value = value
+
+    def clone(self) -> "StrLit":
+        return StrLit(self.value, self.pos)
 
 
 class ArrayAccess(Expression):
@@ -120,6 +135,9 @@ class ArrayAccess(Expression):
 
     def children(self):
         return list(self.indices)
+
+    def clone(self) -> "ArrayAccess":
+        return ArrayAccess(self.name, [i.clone() for i in self.indices], self.pos)
 
 
 class BinOp(Expression):
@@ -141,6 +159,9 @@ class BinOp(Expression):
     def children(self):
         return [self.lhs, self.rhs]
 
+    def clone(self) -> "BinOp":
+        return BinOp(self.op, self.lhs.clone(), self.rhs.clone(), self.pos)
+
 
 class UnOp(Expression):
     """Unary operator (prefix)."""
@@ -158,6 +179,9 @@ class UnOp(Expression):
 
     def children(self):
         return [self.operand]
+
+    def clone(self) -> "UnOp":
+        return UnOp(self.op, self.operand.clone(), self.pos)
 
 
 class IncDec(Expression):
@@ -180,6 +204,9 @@ class IncDec(Expression):
     def children(self):
         return [self.target]
 
+    def clone(self) -> "IncDec":
+        return IncDec(self.op, self.target.clone(), self.prefix, self.pos)
+
 
 class Call(Expression):
     """Function call."""
@@ -193,6 +220,9 @@ class Call(Expression):
 
     def children(self):
         return list(self.args)
+
+    def clone(self) -> "Call":
+        return Call(self.name, [a.clone() for a in self.args], self.pos)
 
 
 class Ternary(Expression):
@@ -208,6 +238,9 @@ class Ternary(Expression):
 
     def children(self):
         return [self.cond, self.then, self.els]
+
+    def clone(self) -> "Ternary":
+        return Ternary(self.cond.clone(), self.then.clone(), self.els.clone(), self.pos)
 
 
 # ---------------------------------------------------------------------------
@@ -246,6 +279,11 @@ class Decl(Statement):
             out.append(self.init)
         return out
 
+    def clone(self) -> "Decl":
+        dims = [d.clone() if d is not None else None for d in self.dims]
+        init = self.init.clone() if self.init is not None else None
+        return Decl(self.ctype, self.name, dims, init, self.pos)
+
 
 class Assign(Statement):
     """Assignment statement ``lhs op rhs;`` with op in =, +=, -=, *=, /=, %=."""
@@ -265,6 +303,9 @@ class Assign(Statement):
     def children(self):
         return [self.lhs, self.rhs]
 
+    def clone(self) -> "Assign":
+        return Assign(self.lhs.clone(), self.op, self.rhs.clone(), self.pos)
+
 
 class ExprStmt(Statement):
     """Expression evaluated for side effects (e.g. ``m++;`` or a call)."""
@@ -278,6 +319,9 @@ class ExprStmt(Statement):
     def children(self):
         return [self.expr]
 
+    def clone(self) -> "ExprStmt":
+        return ExprStmt(self.expr.clone(), self.pos)
+
 
 class Compound(Statement):
     """``{ ... }`` block."""
@@ -290,6 +334,9 @@ class Compound(Statement):
 
     def children(self):
         return list(self.stmts)
+
+    def clone(self) -> "Compound":
+        return Compound([s.clone() for s in self.stmts], self.pos)
 
 
 class If(Statement):
@@ -308,6 +355,10 @@ class If(Statement):
         if self.els is not None:
             out.append(self.els)
         return out
+
+    def clone(self) -> "If":
+        els = self.els.clone() if self.els is not None else None
+        return If(self.cond.clone(), self.then.clone(), els, self.pos)
 
 
 class For(Statement):
@@ -347,6 +398,18 @@ class For(Statement):
         out.append(self.body)
         return out
 
+    def clone(self) -> "For":
+        out = For(
+            self.init.clone() if self.init is not None else None,
+            self.cond.clone() if self.cond is not None else None,
+            self.step.clone() if self.step is not None else None,
+            self.body.clone(),
+            self.pos,
+        )
+        out.pragmas = list(self.pragmas)
+        out.loop_id = self.loop_id
+        return out
+
 
 class While(Statement):
     """``while (cond) body`` (analyzed conservatively: ineligible loops)."""
@@ -361,11 +424,17 @@ class While(Statement):
     def children(self):
         return [self.cond, self.body]
 
+    def clone(self) -> "While":
+        return While(self.cond.clone(), self.body.clone(), self.pos)
+
 
 class Break(Statement):
     """``break;`` — renders the enclosing loop ineligible for analysis."""
 
     __slots__ = ()
+
+    def clone(self) -> "Break":
+        return Break(self.pos)
 
 
 class Pragma(Statement):
@@ -376,6 +445,9 @@ class Pragma(Statement):
     def __init__(self, text: str, pos=(0, 0)):
         super().__init__(pos)
         self.text = text
+
+    def clone(self) -> "Pragma":
+        return Pragma(self.text, self.pos)
 
 
 class Program(Node):
@@ -394,6 +466,9 @@ class Program(Node):
 
     def children(self):
         return list(self.stmts)
+
+    def clone(self) -> "Program":
+        return Program([s.clone() for s in self.stmts], self.pos)
 
 
 def is_lvalue(e: Node) -> bool:
@@ -441,3 +516,5 @@ def attach_pragmas(prog: "Program") -> "Program":
 
     prog.stmts = fold(prog.stmts)
     return prog
+
+

@@ -15,8 +15,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.analysis.analyzer import AnalysisResult, analyze_program
+from repro.analysis.analyzer import AnalysisResult, _source_digest, analyze_program
 from repro.analysis.config import AnalysisConfig
+from repro.ir import perfstats
 from repro.analysis.irbridge import eval_expr
 from repro.analysis.loopinfo import LoopNest
 from repro.dependence.accesses import collect_accesses, collect_inner_loops
@@ -79,11 +80,31 @@ class ParallelizationResult:
         return to_c(self.program)
 
 
+#: whole-pipeline results keyed by (source digest, config fingerprint)
+_PARALLELIZE_CACHE: Dict[Tuple[str, str], "ParallelizationResult"] = {}
+
+perfstats.register_cache("parallelize", _PARALLELIZE_CACHE.__len__, _PARALLELIZE_CACHE.clear)
+
+
 def parallelize(
     prog: Union[str, Program], config: Optional[AnalysisConfig] = None
 ) -> ParallelizationResult:
-    """Run the configured pipeline and annotate the program."""
+    """Run the configured pipeline and annotate the program.
+
+    Like :func:`~repro.analysis.analyzer.analyze_program`, source-text
+    inputs are cached by ``(sha256(source), config.fingerprint())`` so the
+    experiment harness stops re-deciding identical pipelines; AST inputs
+    bypass the cache (the caller owns the mutable tree).
+    """
     config = config or AnalysisConfig.new_algorithm()
+    key = None
+    if isinstance(prog, str):
+        key = (_source_digest(prog), config.fingerprint())
+        hit = _PARALLELIZE_CACHE.get(key)
+        if hit is not None:
+            perfstats.STATS.parallelize_hits += 1
+            return hit
+        perfstats.STATS.parallelize_misses += 1
     analysis = analyze_program(prog, config)
     decisions: Dict[str, LoopDecision] = {}
     for nest in analysis.nests:
@@ -96,9 +117,12 @@ def parallelize(
                 p = d.pragma
                 if p and p not in sub_nest.loop.pragmas:
                     sub_nest.loop.pragmas.append(p)
-    return ParallelizationResult(
+    result = ParallelizationResult(
         program=analysis.program, config=config, decisions=decisions, analysis=analysis
     )
+    if key is not None:
+        _PARALLELIZE_CACHE[key] = result
+    return result
 
 
 def _decide_nest(

@@ -1,0 +1,88 @@
+"""Parallel experiment harness: determinism, jobs resolution, cache reuse.
+
+The fan-out must be invisible in the output: every figure table produced by
+the process pool has to be cell-for-cell identical to the serial path, and
+``REPRO_JOBS=1`` must force the serial loop.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import harness
+from repro.experiments.fig13 import fig13_cells
+from repro.experiments.harness import CellSpec, resolved_jobs, run_cell, run_cells
+
+
+class TestJobsResolution:
+    def test_explicit_jobs_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolved_jobs(3) == 3
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolved_jobs() == 5
+
+    def test_repro_jobs_1_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "1")
+        assert resolved_jobs() == 1
+        # with one job the pool must never be constructed
+        def boom(*a, **kw):  # pragma: no cover - only hit on failure
+            raise AssertionError("ProcessPoolExecutor used despite REPRO_JOBS=1")
+
+        monkeypatch.setattr(harness, "ProcessPoolExecutor", boom)
+        specs = [CellSpec("AMGmk", None, "Cetus+NewAlgo", p) for p in (4, 8)]
+        runs = run_cells(specs)
+        assert [r.cores for r in runs] == [4, 8]
+
+    def test_garbage_env_names_the_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "garbage")
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolved_jobs()
+
+    def test_zero_clamps_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert resolved_jobs() == 1
+
+    def test_default_is_cpu_count(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        import os
+
+        assert resolved_jobs() == (os.cpu_count() or 1)
+
+
+class TestParallelMatchesSerial:
+    def test_run_cells_order_and_values(self):
+        specs = [
+            CellSpec("AMGmk", "MATRIX1", "Cetus+NewAlgo", p, sched)
+            for p in (4, 8, 16)
+            for sched in ("static", "dynamic")
+        ]
+        serial = run_cells(specs, jobs=1)
+        parallel = run_cells(specs, jobs=2)
+        assert [dataclasses.astuple(r) for r in parallel] == [
+            dataclasses.astuple(r) for r in serial
+        ]
+
+    def test_fig13_parallel_identical_to_serial(self):
+        serial = fig13_cells(jobs=1)
+        parallel = fig13_cells(jobs=2)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert dataclasses.astuple(a) == dataclasses.astuple(b)
+
+    def test_single_cell_stays_serial(self):
+        (run,) = run_cells([CellSpec("SDDMM", "af_shell1", "Cetus", 8)], jobs=16)
+        assert run.benchmark == "SDDMM"
+        assert run.cores == 8
+
+    def test_cell_spec_roundtrip(self):
+        spec = CellSpec("UA(transf)", "B", "Cetus+NewAlgo", 16, "dynamic", 4)
+        run = run_cell(spec)
+        assert (run.benchmark, run.dataset, run.pipeline, run.cores, run.schedule) == (
+            "UA(transf)",
+            "B",
+            "Cetus+NewAlgo",
+            16,
+            "dynamic",
+        )

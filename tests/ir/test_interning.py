@@ -1,0 +1,202 @@
+"""Invariants of the hash-consed expression IR.
+
+Interning must be *behaviorally invisible*: structurally-equal expressions
+become identical objects, cached keys/hashes agree with fresh structural
+computations, and the memoized simplifier returns exactly what an
+unmemoized run would.  These tests pin all of that down over a corpus
+spanning every node kind.
+"""
+
+import copy
+import pickle
+
+import pytest
+
+from repro.ir import perfstats
+from repro.ir.simplify import (
+    _simplify_impl,
+    clear_caches,
+    decompose_affine,
+    expand,
+    simplify,
+)
+from repro.ir.symbols import (
+    BOTTOM,
+    Add,
+    ArrayRef,
+    BigLambda,
+    Bottom,
+    Div,
+    Expr,
+    IntLit,
+    LambdaVal,
+    Max,
+    Min,
+    Mod,
+    Mul,
+    Sym,
+    add,
+    mul,
+    neg,
+    smax,
+    smin,
+    sub,
+)
+
+i = Sym("i")
+j = Sym("j")
+n = Sym("n")
+lam = LambdaVal("m")
+big = BigLambda("m")
+
+
+def corpus():
+    """Expressions covering every node kind and common analysis shapes."""
+    return [
+        IntLit(0),
+        IntLit(-7),
+        i,
+        lam,
+        big,
+        BOTTOM,
+        add(i, 1),
+        add(i, j, n, 3),
+        mul(2, i, j),
+        sub(n, 1),
+        neg(add(i, j)),
+        mul(add(i, 1), add(n, 2)),
+        mul(add(i, 1), add(i, 1)),
+        Div(add(i, 1), IntLit(2)),
+        Div(mul(2, n), IntLit(-1)),
+        Mod(add(i, n), IntLit(4)),
+        smin(i, n, 3),
+        smax(add(i, 1), sub(n, 1)),
+        ArrayRef("A_i", [add(i, 1)]),
+        ArrayRef("rowptr", [i, j]),
+        add(ArrayRef("A_i", [add(i, 1)]), neg(ArrayRef("A_i", [i]))),
+        add(mul(lam, 2), big, 1),
+        smax(smin(i, n), Mod(i, IntLit(2))),
+        add(Div(n, IntLit(2)), mul(3, i), neg(mul(3, i))),
+    ]
+
+
+def structural_key(e: Expr) -> tuple:
+    """Recompute the canonical key from scratch (no caches consulted)."""
+    if isinstance(e, IntLit):
+        return (e._rank, e.value)
+    if isinstance(e, Sym):
+        return (e._rank, e.name)
+    if isinstance(e, (LambdaVal, BigLambda)):
+        return (e._rank, e.var)
+    if isinstance(e, Bottom):
+        return (e._rank,)
+    if isinstance(e, ArrayRef):
+        return (e._rank, e.name, tuple(structural_key(s) for s in e.subs_))
+    if isinstance(e, (Div, Mod)):
+        return (e._rank, structural_key(e.num), structural_key(e.den))
+    if isinstance(e, (Add, Mul, Min, Max)):
+        return (e._rank, tuple(structural_key(o) for o in e.operands))
+    raise AssertionError(f"unknown node kind {type(e).__name__}")
+
+
+class TestInterning:
+    def test_structurally_equal_expressions_are_identical(self):
+        for a, b in zip(corpus(), corpus()):
+            assert a is b, f"{a!r} not interned"
+
+    def test_leaf_interning(self):
+        assert IntLit(42) is IntLit(42)
+        assert Sym("xyz") is Sym("xyz")
+        assert LambdaVal("q") is LambdaVal("q")
+        assert BigLambda("q") is BigLambda("q")
+        assert Bottom() is BOTTOM
+
+    def test_distinct_expressions_are_distinct(self):
+        assert IntLit(1) is not IntLit(2)
+        assert Sym("a") is not Sym("b")
+        assert LambdaVal("m") is not BigLambda("m")
+        assert add(i, 1) is not add(i, 2)
+
+    def test_cached_key_matches_fresh_computation(self):
+        for e in corpus():
+            assert e.key() == structural_key(e)
+            for node in e.walk():
+                assert node.key() == structural_key(node)
+
+    def test_cached_hash_agrees_with_equality(self):
+        for e in corpus():
+            dup = pickle.loads(pickle.dumps(e))
+            assert dup is e
+            assert hash(dup) == hash(e)
+
+    def test_operator_sugar_interns(self):
+        assert (i + 1) is (IntLit(1) + i)
+        assert (i * n) is (n * i)
+        assert simplify(i - i) is IntLit(0)
+
+    def test_copy_and_deepcopy_return_self(self):
+        for e in corpus():
+            assert copy.copy(e) is e
+            assert copy.deepcopy(e) is e
+
+    def test_deepcopy_of_container_shares_nodes(self):
+        exprs = corpus()
+        dup = copy.deepcopy({"exprs": exprs})
+        for a, b in zip(exprs, dup["exprs"]):
+            assert a is b
+
+    def test_rejects_bad_constructor_args(self):
+        with pytest.raises(TypeError):
+            IntLit("3")
+        with pytest.raises(ValueError):
+            Sym("")
+
+    def test_intern_stats_exposed(self):
+        from repro.ir.symbols import intern_table_sizes
+
+        sizes = intern_table_sizes()
+        _ = Sym("a_very_unlikely_fresh_name")
+        assert intern_table_sizes()["Sym"] == sizes["Sym"] + 1
+        assert perfstats.snapshot()["intern_tables"]["Sym"] == sizes["Sym"] + 1
+
+
+class TestMemoizedSimplify:
+    def test_memoized_equals_unmemoized_across_corpus(self):
+        for e in corpus():
+            clear_caches()
+            cold = simplify(e)
+            warm = simplify(e)
+            assert warm is cold  # cache returns the interned result
+            clear_caches()
+            assert _simplify_impl(e) == cold
+
+    def test_expand_memoized_equals_recomputed(self):
+        for e in corpus():
+            clear_caches()
+            first = expand(e)
+            assert expand(e) is first
+            clear_caches()
+            assert expand(e) == first
+
+    def test_simplify_idempotent_through_cache(self):
+        for e in corpus():
+            s = simplify(e)
+            assert simplify(s) == s
+
+    def test_decompose_affine_memoized(self):
+        e = add(mul(3, i), n, 2)
+        clear_caches()
+        first = decompose_affine(e, i)
+        again = decompose_affine(e, i)
+        assert first == again == (IntLit(3), add(n, 2))
+
+    def test_cache_counters_move(self):
+        clear_caches()
+        perfstats.reset_counters()
+        e = mul(add(i, 1), add(n, 2))
+        simplify(e)
+        misses = perfstats.STATS.simplify_misses
+        assert misses > 0
+        simplify(e)
+        assert perfstats.STATS.simplify_hits >= 1
+        assert perfstats.STATS.simplify_misses == misses
