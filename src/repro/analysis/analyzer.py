@@ -56,6 +56,13 @@ class ProgramState:
         for k in [k for k in self.elements if k[0] == array]:
             del self.elements[k]
 
+    def copy(self) -> "ProgramState":
+        """Independent state (SymRange values are immutable and shared)."""
+        new = ProgramState()
+        new.scalars = dict(self.scalars)
+        new.elements = dict(self.elements)
+        return new
+
 
 class ProgramBounds:
     """BoundsProvider over the program state (for Λ/element substitution)."""
@@ -92,6 +99,31 @@ class AnalysisResult:
     #: facts usable by downstream passes (counter_max ranges etc.)
     facts: RangeDict
     state: ProgramState
+
+    def clone(self) -> "AnalysisResult":
+        """Independent copy that mutating consumers may scribble on.
+
+        The AST is structurally cloned — cheap, since interned
+        :mod:`repro.ir.symbols` expressions are shared, never duplicated —
+        and the loop nests are re-discovered over the clone;
+        ``For.clone()`` preserves ``loop_id``, so nest and decision ids
+        line up with the original.  Phase-1/Phase-2 results and ``facts``
+        are shared: every consumer treats them as read-only, and
+        :class:`~repro.ir.rangedict.RangeDict` is immutable by convention.
+        The property store and program state get private registries so
+        ``record``/``kill`` cannot leak back into the original.
+        """
+        program = self.program.clone()
+        return AnalysisResult(
+            program=program,
+            config=self.config,
+            properties=self.properties.copy(),
+            nests=find_loop_nests(program),
+            loop_results=dict(self.loop_results),
+            phase1_results=dict(self.phase1_results),
+            facts=self.facts,
+            state=self.state.copy(),
+        )
 
 
 class ProgramAnalyzer:
@@ -328,7 +360,9 @@ def _sub_expr(a: Expr, b: Expr) -> Expr:
     return _sub(a, b)
 
 
-#: whole-program results keyed by (source digest, config fingerprint)
+#: pristine whole-program results keyed by (source digest, config
+#: fingerprint); entries are never handed out directly — callers always
+#: receive a clone (see analyze_program)
 _ANALYSIS_CACHE: Dict[Tuple[str, str], AnalysisResult] = {}
 
 perfstats.register_cache("analysis", _ANALYSIS_CACHE.__len__, _ANALYSIS_CACHE.clear)
@@ -346,9 +380,13 @@ def analyze_program(
     Source-text inputs are cached by ``(sha256(source),
     config.fingerprint())`` — the figure/table scripts analyze the same
     dozen benchmark sources hundreds of times, and analysis is a pure
-    function of (source, config).  AST inputs bypass the cache: the caller
-    owns (and may have mutated) the tree, so there is no stable identity to
-    key on.
+    function of (source, config).  The cache holds a *pristine snapshot*
+    and every call (hit or miss) returns a private
+    :meth:`AnalysisResult.clone`, so downstream mutation — the
+    parallelizer attaching pragmas, a transform rewriting the AST — can
+    never poison the cache or another caller's result.  AST inputs bypass
+    the cache: the caller owns (and may have mutated) the tree, so there
+    is no stable identity to key on.
     """
     config = config or AnalysisConfig.new_algorithm()
     if not isinstance(prog, str):
@@ -357,8 +395,8 @@ def analyze_program(
     hit = _ANALYSIS_CACHE.get(key)
     if hit is not None:
         perfstats.STATS.analysis_hits += 1
-        return hit
+        return hit.clone()
     perfstats.STATS.analysis_misses += 1
     result = ProgramAnalyzer(config).analyze(prog)
-    _ANALYSIS_CACHE[key] = result
+    _ANALYSIS_CACHE[key] = result.clone()
     return result

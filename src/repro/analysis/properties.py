@@ -123,6 +123,18 @@ class PropertyStore:
     def __init__(self):
         self._props: Dict[Tuple[str, int], ArrayProperty] = {}
 
+    def copy(self) -> "PropertyStore":
+        """Independent store over the same properties.
+
+        :class:`ArrayProperty` values are never mutated in place (resolution
+        builds new instances), so sharing them is safe; only the registry
+        dict must be private so ``record``/``kill`` on one store cannot leak
+        into another (e.g. a cached analysis result).
+        """
+        new = PropertyStore()
+        new._props = dict(self._props)
+        return new
+
     def record(self, prop: ArrayProperty) -> None:
         key = (prop.array, prop.dim)
         old = self._props.get(key)

@@ -8,17 +8,25 @@ machine model.  All figures are tables of these cells.
 
 **Parallel fan-out.**  Cells are independent pure functions of their
 :class:`CellSpec`, so :func:`run_cells` fans a spec list out over a
-``ProcessPoolExecutor`` (``fork`` start method inherits the warm analysis
-caches).  The worker count defaults to ``os.cpu_count()`` and is overridden
-by the ``REPRO_JOBS`` environment variable or the ``jobs=`` argument;
-``REPRO_JOBS=1`` forces the fully serial path (no pool at all).  Results
-come back in spec order, and each cell computes exactly the same floats
-serially or in a worker, so figure tables are bit-identical either way.
+``ProcessPoolExecutor``.  The pool explicitly requests the ``fork`` start
+method where the platform offers it (so workers inherit the parent's warm
+analysis caches); elsewhere — ``spawn`` on Windows/macOS — workers start
+cold and simply redo the per-worker analyses.  Either way, worker-process
+perf counters and cache hits are **not** aggregated back into the parent,
+so the CLI ``--stats`` report and the analysis-cache hit accounting are
+only meaningful on the serial path: set ``REPRO_JOBS=1`` when measuring
+cache behavior.  The worker count defaults to ``os.cpu_count()`` and is
+overridden by the ``REPRO_JOBS`` environment variable or the ``jobs=``
+argument; ``REPRO_JOBS=1`` forces the fully serial path (no pool at all).
+Results come back in spec order, and each cell computes exactly the same
+floats serially or in a worker, so figure tables are bit-identical either
+way.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -141,6 +149,18 @@ def resolved_jobs(jobs: Optional[int] = None) -> int:
     return os.cpu_count() or 1
 
 
+def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
+    """``fork`` where the platform offers it, else the platform default.
+
+    Forked workers inherit the parent's warm analysis caches; the default
+    start method stopped being ``fork`` on macOS (3.8) and on Linux (3.14,
+    forkserver), so we ask for it explicitly rather than rely on it.
+    """
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
 def run_cells(specs: Iterable[CellSpec], jobs: Optional[int] = None) -> List[BenchRun]:
     """Evaluate independent cells, in spec order, fanning out over processes.
 
@@ -154,7 +174,7 @@ def run_cells(specs: Iterable[CellSpec], jobs: Optional[int] = None) -> List[Ben
     if n <= 1:
         return [run_cell(s) for s in specs]
     try:
-        with ProcessPoolExecutor(max_workers=n) as pool:
+        with ProcessPoolExecutor(max_workers=n, mp_context=_pool_context()) as pool:
             chunksize = max(1, len(specs) // (4 * n))
             return list(pool.map(run_cell, specs, chunksize=chunksize))
     except (OSError, PermissionError, BrokenProcessPool):

@@ -14,11 +14,20 @@ bump from hot paths).  Cache owners register ``(size_fn, clear_fn)`` pairs
 via :func:`register_cache` so :func:`snapshot` can report sizes and
 :func:`clear_caches` can drop memoized results without import cycles.
 The CLI surfaces everything via ``python -m repro --stats <command>``.
+
+**Retention.**  Intern tables and every registered cache grow without
+bound and are never evicted: each distinct expression and each analyzed
+(source, config) pair built during the process stays reachable.  That is
+the right trade-off for a compiler run over the paper's bounded benchmark
+set, but a long-lived process sweeping many *generated* sources should
+call :func:`clear_caches` (memoized results only) or :func:`clear_all`
+(caches **and** intern tables) between batches to release memory.  See
+the retention section of ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 
 class Counters:
@@ -59,6 +68,9 @@ _CACHES: Dict[str, Tuple[Callable[[], int], Callable[[], None]]] = {}
 #: registered intern tables: name -> size_fn
 _INTERN_TABLES: Dict[str, Callable[[], int]] = {}
 
+#: registered intern-table clearers (run by :func:`clear_all`)
+_INTERN_CLEARERS: List[Callable[[], None]] = []
+
 
 def register_cache(name: str, size_fn: Callable[[], int], clear_fn: Callable[[], None]) -> None:
     """Register a memoization cache for reporting and bulk clearing."""
@@ -68,6 +80,11 @@ def register_cache(name: str, size_fn: Callable[[], int], clear_fn: Callable[[],
 def register_intern_table(name: str, size_fn: Callable[[], int]) -> None:
     """Register a hash-consing intern table for size reporting."""
     _INTERN_TABLES[name] = size_fn
+
+
+def register_intern_clearer(clear_fn: Callable[[], None]) -> None:
+    """Register a callable that empties a module's intern tables."""
+    _INTERN_CLEARERS.append(clear_fn)
 
 
 def intern_table_sizes() -> Dict[str, int]:
@@ -87,9 +104,23 @@ def clear_caches() -> None:
     in the process would silently lose sharing with newly built ones.
     Correctness would survive (equality falls back to structural keys) but
     the identity fast paths would degrade, so table clearing is a separate,
-    deliberate call (:func:`repro.ir.symbols.clear_intern_tables`).
+    deliberate call — :func:`repro.ir.symbols.clear_intern_tables`, or
+    :func:`clear_all` to do both in one step.
     """
     for _, clear_fn in _CACHES.values():
+        clear_fn()
+
+
+def clear_all() -> None:
+    """Drop memoized results *and* intern tables (full reset).
+
+    The one-call hammer for test isolation, or for releasing memory
+    between batches in a long-lived process sweeping many generated
+    sources: runs :func:`clear_caches`, then every registered intern-table
+    clearer (:func:`repro.ir.symbols.clear_intern_tables` in practice).
+    """
+    clear_caches()
+    for clear_fn in _INTERN_CLEARERS:
         clear_fn()
 
 

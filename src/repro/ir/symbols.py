@@ -25,13 +25,20 @@ Interned nodes are therefore safe to share freely — ``copy``/``deepcopy``
 return ``self`` and pickling round-trips through the interning constructors.
 The memoized simplifier (:mod:`repro.ir.simplify`) and the analysis caches
 lean on these identity semantics.
+
+Intern tables hold strong references and are **never evicted**: every
+distinct expression built during the process stays reachable for its
+lifetime.  That is the right trade-off for a compiler run over a bounded
+program set, but a long-lived driver sweeping many *generated* sources
+should call :func:`repro.ir.perfstats.clear_all` between batches (see
+``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
 
-from repro.ir.perfstats import STATS, register_intern_table
+from repro.ir.perfstats import STATS, register_intern_clearer, register_intern_table
 
 Number = int
 ExprLike = Union["Expr", int]
@@ -661,13 +668,17 @@ def clear_intern_tables() -> None:
     Nodes alive elsewhere keep working — equality falls back to the cached
     structural key and hashes are structural — but they lose identity
     sharing with nodes built afterwards.  The memoized simplifier caches
-    must be cleared alongside (``perfstats.clear_caches`` does both when
-    driven through :func:`repro.ir.perfstats.clear_caches`).
+    should be cleared alongside: :func:`repro.ir.perfstats.clear_caches`
+    does that part (it deliberately does *not* touch intern tables), and
+    :func:`repro.ir.perfstats.clear_all` runs both steps in one call.
     """
     for cls in _CONCRETE_CLASSES:
         cls._intern_table.clear()
     # keep the canonical singleton interned
     Bottom._intern_table[()] = BOTTOM
+
+
+register_intern_clearer(clear_intern_tables)
 
 
 # ---------------------------------------------------------------------------

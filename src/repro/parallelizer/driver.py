@@ -44,6 +44,15 @@ class LoopDecision:
     checks: List[RuntimeCheck] = dataclasses.field(default_factory=list)
     enclosed_by_parallel: bool = False
 
+    def clone(self) -> "LoopDecision":
+        """Copy with private list fields (RuntimeChecks are shared, read-only)."""
+        return dataclasses.replace(
+            self,
+            private=list(self.private),
+            reductions=list(self.reductions),
+            checks=list(self.checks),
+        )
+
     @property
     def pragma(self) -> Optional[str]:
         if not self.parallel:
@@ -79,8 +88,20 @@ class ParallelizationResult:
         """The OpenMP-annotated output program."""
         return to_c(self.program)
 
+    def clone(self) -> "ParallelizationResult":
+        """Independent copy (same invariant: ``program is analysis.program``)."""
+        analysis = self.analysis.clone()
+        return ParallelizationResult(
+            program=analysis.program,
+            config=self.config,
+            decisions={k: d.clone() for k, d in self.decisions.items()},
+            analysis=analysis,
+        )
 
-#: whole-pipeline results keyed by (source digest, config fingerprint)
+
+#: pristine whole-pipeline results keyed by (source digest, config
+#: fingerprint); entries are never handed out directly — callers always
+#: receive a clone (see parallelize)
 _PARALLELIZE_CACHE: Dict[Tuple[str, str], "ParallelizationResult"] = {}
 
 perfstats.register_cache("parallelize", _PARALLELIZE_CACHE.__len__, _PARALLELIZE_CACHE.clear)
@@ -93,8 +114,13 @@ def parallelize(
 
     Like :func:`~repro.analysis.analyzer.analyze_program`, source-text
     inputs are cached by ``(sha256(source), config.fingerprint())`` so the
-    experiment harness stops re-deciding identical pipelines; AST inputs
-    bypass the cache (the caller owns the mutable tree).
+    experiment harness stops re-deciding identical pipelines.  The cache
+    holds a pristine snapshot and every call returns a private
+    :meth:`ParallelizationResult.clone`.  Pragma attachment below writes
+    into the clone :func:`analyze_program` handed us — never into the
+    analysis cache's own entry — so analysis-only consumers keep seeing
+    the unannotated program.  AST inputs bypass the cache (the caller owns
+    the mutable tree, which *is* annotated in place).
     """
     config = config or AnalysisConfig.new_algorithm()
     key = None
@@ -103,7 +129,7 @@ def parallelize(
         hit = _PARALLELIZE_CACHE.get(key)
         if hit is not None:
             perfstats.STATS.parallelize_hits += 1
-            return hit
+            return hit.clone()
         perfstats.STATS.parallelize_misses += 1
     analysis = analyze_program(prog, config)
     decisions: Dict[str, LoopDecision] = {}
@@ -121,7 +147,7 @@ def parallelize(
         program=analysis.program, config=config, decisions=decisions, analysis=analysis
     )
     if key is not None:
-        _PARALLELIZE_CACHE[key] = result
+        _PARALLELIZE_CACHE[key] = result.clone()
     return result
 
 

@@ -6,9 +6,16 @@ cold results must be indistinguishable, AST inputs must bypass the cache,
 and a second run of the Table-1/Figure-17 driver must not re-run any
 analysis (the paper's compile-time-only claim is only credible if our own
 harness does not multiply the compile cost).
+
+The caches hold pristine snapshots and every call returns a private
+clone, so a consumer that mutates its result — the parallelizer attaching
+pragmas being the in-tree example — must never be able to poison the
+cache for later callers.
 """
 
 import dataclasses
+
+from repro.lang.astnodes import For
 
 from repro.analysis import AnalysisConfig, analyze_program
 from repro.analysis.analyzer import _ANALYSIS_CACHE
@@ -48,6 +55,10 @@ class TestFingerprint:
             assert f.name in fp
 
 
+def _pragma_count(program) -> int:
+    return sum(len(n.pragmas) for n in program.walk() if isinstance(n, For))
+
+
 class TestAnalysisCache:
     def test_second_analysis_is_a_cache_hit(self):
         config = AnalysisConfig.new_algorithm()
@@ -55,7 +66,15 @@ class TestAnalysisCache:
         before = perfstats.STATS.analysis_hits
         warm = analyze_program(SRC, config)
         assert perfstats.STATS.analysis_hits == before + 1
-        assert warm is cold
+        # hits return a private clone, never the cache entry itself
+        assert warm is not cold
+        assert warm.program is not cold.program
+        assert sorted(map(str, warm.properties.all_properties())) == sorted(
+            map(str, cold.properties.all_properties())
+        )
+        assert [n.loop.loop_id for nst in warm.nests for n in nst.walk()] == [
+            n.loop.loop_id for nst in cold.nests for n in nst.walk()
+        ]
 
     def test_cached_equals_cold_rerun(self):
         config = AnalysisConfig.new_algorithm()
@@ -84,6 +103,21 @@ class TestAnalysisCache:
         assert perfstats.STATS.analysis_hits == before["analysis_hits"]
         assert perfstats.STATS.analysis_misses == before["analysis_misses"]
 
+    def test_mutating_a_result_does_not_poison_the_cache(self):
+        config = AnalysisConfig.new_algorithm()
+        first = analyze_program(SRC, config)
+        # scribble on everything a consumer could reach
+        for nst in first.nests:
+            for n in nst.walk():
+                n.loop.pragmas.append("junk pragma")
+        first.program.stmts.clear()
+        for prop in list(first.properties.all_properties()):
+            first.properties.kill(prop.array)
+        second = analyze_program(SRC, config)
+        assert _pragma_count(second.program) == 0
+        assert second.program.stmts
+        assert second.properties.all_properties()
+
 
 class TestParallelizeCache:
     def test_second_parallelize_is_a_cache_hit(self):
@@ -92,7 +126,41 @@ class TestParallelizeCache:
         before = perfstats.STATS.parallelize_hits
         warm = parallelize(SRC, config)
         assert perfstats.STATS.parallelize_hits == before + 1
-        assert warm is cold
+        # hits return a private clone, never the cache entry itself
+        assert warm is not cold
+        assert warm.program is not cold.program
+        assert warm.program is warm.analysis.program
+        assert warm.to_c() == cold.to_c()
+        assert list(warm.decisions) == list(cold.decisions)
+
+    def test_parallelize_does_not_poison_analysis_cache(self):
+        """Regression: pragma attachment must stay out of the analysis cache.
+
+        parallelize() annotates the AnalysisResult it gets from
+        analyze_program; analysis-only consumers asking for the same
+        (source, config) afterwards must still see an unannotated program —
+        including a result they were already holding.
+        """
+        config = AnalysisConfig.new_algorithm()
+        held = analyze_program(SRC, config)
+        assert _pragma_count(held.program) == 0
+        result = parallelize(SRC, config)
+        assert result.parallel_loops  # the annotation actually happened
+        assert _pragma_count(held.program) == 0  # held object untouched
+        after = analyze_program(SRC, config)
+        assert _pragma_count(after.program) == 0  # cache entry untouched
+
+    def test_mutating_a_result_does_not_poison_the_cache(self):
+        config = AnalysisConfig.new_algorithm()
+        first = parallelize(SRC, config)
+        for nst in first.analysis.nests:
+            for n in nst.walk():
+                n.loop.pragmas.append("junk pragma")
+        for d in first.decisions.values():
+            d.private.append("junk_var")
+        second = parallelize(SRC, config)
+        assert "junk" not in second.to_c()
+        assert all("junk_var" not in d.private for d in second.decisions.values())
 
     def test_cached_equals_cold_decisions(self):
         config = AnalysisConfig.new_algorithm()
