@@ -11,9 +11,13 @@ Usage::
 
     python benchmarks/run_speed.py                 # full speed suite
     python benchmarks/run_speed.py -k full_parallelization
+    python benchmarks/run_speed.py --budget        # budgeted-analysis smoke
     REPRO_BENCH_OUT=custom.json python benchmarks/run_speed.py
 
-Extra arguments are forwarded to pytest.
+``--budget`` selects only the budgeted-analysis benchmarks (analysis with
+every cooperative checkpoint live under a generous budget), a quick smoke
+that budget checkpoints show up in perfstats without perturbing the warm
+path.  Extra arguments are forwarded to pytest.
 """
 
 from __future__ import annotations
@@ -28,6 +32,9 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 def main(argv: list = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if "--budget" in argv:
+        argv.remove("--budget")
+        argv += ["-k", "budgeted"]
     out = ROOT / os.environ.get("REPRO_BENCH_OUT", "BENCH_analysis_speed.json")
     env = dict(os.environ)
     src = str(ROOT / "src")

@@ -51,3 +51,25 @@ def test_full_parallelization_speed(benchmark, name):
     src = get_benchmark(name).source
     res = benchmark(parallelize, src, AnalysisConfig.new_algorithm())
     assert res.decisions
+
+
+@pytest.mark.parametrize("name", APPS)
+def test_budgeted_analysis_speed(benchmark, name):
+    """Same full analysis under a generous budget: every cooperative
+    checkpoint is live (visible as budget checks in --stats/perfstats)
+    but nothing trips, so this measures pure checkpoint overhead."""
+    import dataclasses
+
+    from repro.budget import AnalysisBudget
+
+    generous = AnalysisBudget(
+        max_expr_nodes=100_000,
+        max_simplify_steps=10_000_000,
+        max_phase_iters=10_000_000,
+        deadline_ms=600_000.0,
+    )
+    config = dataclasses.replace(AnalysisConfig.new_algorithm(), budget=generous)
+    src = get_benchmark(name).source
+    res = benchmark(analyze_program, src, config)
+    assert res.nests
+    assert not res.diagnostics or all(not d.is_fault for d in res.diagnostics)

@@ -14,8 +14,14 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple, Union
 
+from repro.budget import scoped_budget
+from repro.diagnostics import (
+    UNSUPPORTED_PATTERN,
+    Diagnostic,
+    diagnostic_from_exception,
+)
 from repro.ir import perfstats
 
 from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
@@ -99,6 +105,23 @@ class AnalysisResult:
     #: facts usable by downstream passes (counter_max ranges etc.)
     facts: RangeDict
     state: ProgramState
+    #: structured diagnostics: unsupported patterns, budget stops, faults
+    diagnostics: List[Diagnostic] = dataclasses.field(default_factory=list)
+
+    @property
+    def failed_nests(self) -> Set[str]:
+        """Nest ids whose analysis was aborted by an exception.
+
+        The parallelizer marks every loop of these nests serial: the
+        analysis died mid-flight, so even the classical dependence test is
+        not re-attempted on them (conservative downgrade).
+        """
+        return {d.nest_id for d in self.diagnostics if d.is_fault and d.nest_id}
+
+    @property
+    def has_program_fault(self) -> bool:
+        """True when whole-program analysis failed (every loop stays serial)."""
+        return any(d.is_fault and d.nest_id is None for d in self.diagnostics)
 
     def clone(self) -> "AnalysisResult":
         """Independent copy that mutating consumers may scribble on.
@@ -123,6 +146,7 @@ class AnalysisResult:
             phase1_results=dict(self.phase1_results),
             facts=self.facts,
             state=self.state.copy(),
+            diagnostics=list(self.diagnostics),
         )
 
 
@@ -135,14 +159,45 @@ class ProgramAnalyzer:
     # -- public API -----------------------------------------------------------
 
     def analyze(self, prog: Union[str, Program]) -> AnalysisResult:
-        """Analyze a program (source text or parsed AST)."""
+        """Analyze a program (source text or parsed AST).
+
+        **Fail-soft.**  Parse errors raise (there is no program to
+        degrade), but once a program exists this method never raises:
+        each top-level loop nest is analyzed inside a fault boundary —
+        any exception (unsupported pattern, blown
+        :class:`~repro.budget.AnalysisBudget`, ``RecursionError``,
+        internal bug) downgrades *that nest* to a conservative result
+        (assigned arrays/scalars lose all facts, no properties proven)
+        plus a :class:`~repro.diagnostics.Diagnostic`, and analysis of
+        the remaining nests continues.  A failure outside any nest
+        (normalization, nest discovery) degrades the whole program the
+        same way.
+        """
         if isinstance(prog, str):
             prog = parse_program(prog)
+        try:
+            return self._analyze_ast(prog)
+        except Exception as exc:
+            # whole-program fault: nothing proven, every loop stays serial
+            return AnalysisResult(
+                program=prog,
+                config=self.config,
+                properties=PropertyStore(),
+                nests=[],
+                loop_results={},
+                phase1_results={},
+                facts=RangeDict(),
+                state=ProgramState(),
+                diagnostics=[diagnostic_from_exception(exc)],
+            )
+
+    def _analyze_ast(self, prog: Program) -> AnalysisResult:
         prog = normalize_program(prog)
         state = ProgramState()
         store = PropertyStore()
         loop_results: Dict[str, Phase2Result] = {}
         phase1_results: Dict[str, Phase1Result] = {}
+        diagnostics: List[Diagnostic] = []
         facts = RangeDict()
         nests = find_loop_nests(prog)
         nest_by_loop = {id(n.loop): n for nst in nests for n in nst.walk()}
@@ -151,10 +206,24 @@ class ProgramAnalyzer:
             if isinstance(stmt, For):
                 nest = nest_by_loop[id(stmt)]
                 entry_facts = self._facts_from_state(state, facts)
-                cl = self._analyze_nest(nest, loop_results, phase1_results, entry_facts)
-                facts = self._apply_collapsed_to_state(cl, state, store, facts)
+                try:
+                    with scoped_budget(self.config.budget):
+                        cl = self._analyze_nest(nest, loop_results, phase1_results, entry_facts)
+                        facts = self._apply_collapsed_to_state(cl, state, store, facts)
+                except Exception as exc:
+                    diagnostics.append(
+                        diagnostic_from_exception(
+                            exc, nest_id=nest.loop.loop_id, span=nest.loop.pos
+                        )
+                    )
+                    cl = _conservative_collapse(nest)
+                    self._drop_partial_results(nest, loop_results, phase1_results)
+                    facts = self._apply_collapsed_to_state(cl, state, store, facts)
             else:
                 self._exec_straightline(stmt, state, store)
+
+        if self.config.array_analysis:
+            diagnostics.extend(_unsupported_pattern_diagnostics(nests))
 
         return AnalysisResult(
             program=prog,
@@ -165,7 +234,25 @@ class ProgramAnalyzer:
             phase1_results=phase1_results,
             facts=facts,
             state=state,
+            diagnostics=diagnostics,
         )
+
+    @staticmethod
+    def _drop_partial_results(
+        nest: LoopNest,
+        loop_results: Dict[str, Phase2Result],
+        phase1_results: Dict[str, Phase1Result],
+    ) -> None:
+        """Remove inner-loop results recorded before the nest's fault.
+
+        The inside-out walk stores per-level results as it goes; when an
+        outer level faults, those half-contextualized inner results must
+        not leak into ``loop_results`` as if the nest had been analyzed.
+        """
+        for sub_nest in nest.walk():
+            lid = sub_nest.loop.loop_id or ""
+            loop_results.pop(lid, None)
+            phase1_results.pop(lid, None)
 
     # -- nest analysis (inside-out) -------------------------------------------
 
@@ -337,6 +424,46 @@ class ProgramAnalyzer:
                 else:
                     state.kill_array(stmt.lhs.name)
                     store.kill(stmt.lhs.name)
+
+
+def _conservative_collapse(nest: LoopNest) -> CollapsedLoop:
+    """Downgraded effect summary for a nest whose analysis faulted.
+
+    No properties, no effects: everything the nest assigns is treated as
+    clobbered, so applying this collapse kills every fact/property about
+    the touched scalars and arrays — the conservative answer.
+    """
+    return CollapsedLoop(
+        loop_id=nest.loop.loop_id or "L?",
+        index=nest.index or "?",
+        trip_count=None,
+        assigned_scalars=frozenset(assigned_scalars(nest.loop))
+        | ({nest.index} if nest.index else set()),
+        assigned_arrays=frozenset(assigned_arrays(nest.loop)),
+        analyzed=False,
+    )
+
+
+def _unsupported_pattern_diagnostics(nests: List[LoopNest]) -> List[Diagnostic]:
+    """One ``unsupported-pattern`` diagnostic per ineligible loop.
+
+    These loops were skipped conservatively (not aborted), but a
+    ``--strict`` caller wants to know which loops silently cost a
+    parallelization opportunity and why.
+    """
+    out: List[Diagnostic] = []
+    for nest in nests:
+        for sub_nest in nest.walk():
+            if not sub_nest.eligible:
+                out.append(
+                    Diagnostic(
+                        UNSUPPORTED_PATTERN,
+                        sub_nest.reason or "loop not analyzable",
+                        nest_id=sub_nest.loop.loop_id,
+                        span=sub_nest.loop.pos,
+                    )
+                )
+    return out
 
 
 class _StateResolver:

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.budget import AnalysisBudget
+
 
 @dataclasses.dataclass(frozen=True)
 class AnalysisConfig:
@@ -35,6 +37,10 @@ class AnalysisConfig:
     simplify_aggregates: bool = True
     #: maximum loop-nest depth analyzed (safety valve)
     max_depth: int = 8
+    #: per-nest resource limits (default: unlimited); part of the cache
+    #: fingerprint, so a budget-degraded result is never served to a
+    #: caller with a different budget
+    budget: AnalysisBudget = dataclasses.field(default_factory=AnalysisBudget)
 
     @staticmethod
     def classical() -> "AnalysisConfig":

@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from repro import budget as _budget
 from repro.analysis.cfg import CFG, CFGNode, NodeKind, build_cfg
 from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
 from repro.analysis.irbridge import (
@@ -122,6 +123,7 @@ def run_phase1(
     branch_info: Dict[int, Tuple[object, bool]] = {}
 
     for node in cfg.topological():
+        _budget.charge_phase()  # cooperative checkpoint (see repro.budget)
         # input state: merge of predecessors
         if node.kind is NodeKind.ENTRY:
             svd = SVD()

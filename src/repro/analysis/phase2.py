@@ -18,6 +18,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from repro import budget as _budget
 from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.irbridge import eval_expr
@@ -115,6 +116,7 @@ def run_phase2(
     # ---- Algorithm 1, scalar pass: SSR recognition --------------------------
     ssr_vars: Dict[str, SSRInfo] = {}
     for name, vs in svd.scalars.items():
+        _budget.charge_phase()  # cooperative checkpoint (see repro.budget)
         if name == idx:
             continue
         info = is_ssr(name, vs, idx, facts)
@@ -125,6 +127,7 @@ def run_phase2(
     mono_arrays: Dict[str, MonoArrayResult] = {}
     if config.array_analysis:
         for arr, recs in svd.arrays.items():
+            _budget.charge_phase()
             if len(recs) > MAX_STORE_RECS:
                 continue
             res = is_mono_array(
@@ -160,6 +163,7 @@ def run_phase2(
             continue
         out: List[StoreRec] = []
         for rec in recs:
+            _budget.charge_phase()
             agg = _aggregate_store(rec, idx, lir, idx_bounds, config)
             if agg is not None:
                 out.append(agg)

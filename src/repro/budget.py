@@ -1,0 +1,176 @@
+"""Resource budgets with cooperative checkpoints.
+
+A production compiler cannot let one pathological loop nest consume the
+whole compile: symbolic expressions can blow up combinatorially (an
+``expand`` over a product of sums doubles with every factor) and the
+Phase-1/Phase-2 fixpoint work grows with CFG size.  :class:`AnalysisBudget`
+bounds that work per loop nest; the hot paths *cooperate* by calling the
+cheap checkpoint functions below, which raise
+:class:`repro.diagnostics.BudgetExceeded` when a limit trips.  The
+analyzer's per-nest fault boundary converts that into a conservative
+downgrade (no proven properties, loop stays serial) plus a
+``budget-exceeded`` diagnostic — analysis of the remaining nests
+continues.
+
+The budget is part of :class:`repro.analysis.config.AnalysisConfig`
+(``budget`` field), so it participates automatically in the result-cache
+fingerprint: a degraded, budget-limited result can never be served to a
+caller running with a larger (or unlimited) budget, and vice versa.
+
+Checkpoints are zero-cost when no budget is active: each one is a single
+module-global ``None`` check.  Budgets are scoped with
+:func:`scoped_budget` (one scope per loop nest, so the wall-clock
+deadline is *per nest*, not per program) and nest cleanly.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import time
+from typing import Iterator, Optional
+
+from repro.diagnostics import BudgetExceeded
+from repro.ir.perfstats import STATS
+
+
+@dataclasses.dataclass(frozen=True)
+class AnalysisBudget:
+    """Per-nest resource limits.  ``None`` means unlimited.
+
+    * ``max_expr_nodes`` — largest expression (IR node count) the
+      simplifier may produce or be handed.
+    * ``max_simplify_steps`` — total uncached simplify/expand/affine
+      rewrites per nest.
+    * ``max_phase_iters`` — total Phase-1 CFG-node visits plus Phase-2
+      aggregation steps per nest.
+    * ``deadline_ms`` — wall-clock deadline per nest, in milliseconds.
+    """
+
+    max_expr_nodes: Optional[int] = None
+    max_simplify_steps: Optional[int] = None
+    max_phase_iters: Optional[int] = None
+    deadline_ms: Optional[float] = None
+
+    @staticmethod
+    def unlimited() -> "AnalysisBudget":
+        return AnalysisBudget()
+
+    @property
+    def is_unlimited(self) -> bool:
+        return (
+            self.max_expr_nodes is None
+            and self.max_simplify_steps is None
+            and self.max_phase_iters is None
+            and self.deadline_ms is None
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"{f.name}={getattr(self, f.name)}"
+            for f in dataclasses.fields(self)
+            if getattr(self, f.name) is not None
+        ]
+        return ", ".join(parts) if parts else "unlimited"
+
+
+class _BudgetState:
+    """Mutable counters for one active :func:`scoped_budget` scope."""
+
+    __slots__ = ("budget", "simplify_steps", "phase_iters", "deadline")
+
+    def __init__(self, budget: AnalysisBudget):
+        self.budget = budget
+        self.simplify_steps = 0
+        self.phase_iters = 0
+        self.deadline = (
+            time.monotonic() + budget.deadline_ms / 1000.0
+            if budget.deadline_ms is not None
+            else None
+        )
+
+
+#: the currently active budget scope (None = unlimited, checkpoints free)
+_STATE: Optional[_BudgetState] = None
+
+
+@contextlib.contextmanager
+def scoped_budget(budget: Optional[AnalysisBudget]) -> Iterator[None]:
+    """Activate ``budget`` for the duration of the block (one nest).
+
+    An unlimited (or ``None``) budget leaves the checkpoint fast path
+    untouched.  Scopes nest: an inner scope shadows the outer one and the
+    outer counters resume on exit.
+    """
+    global _STATE
+    if budget is None or budget.is_unlimited:
+        yield
+        return
+    prev = _STATE
+    _STATE = _BudgetState(budget)
+    try:
+        yield
+    finally:
+        _STATE = prev
+
+
+def _stop(limit: str, spent: object, cap: object) -> None:
+    STATS.budget_stops += 1
+    raise BudgetExceeded(limit, spent, cap)
+
+
+def _check_deadline(st: _BudgetState) -> None:
+    if st.deadline is not None and time.monotonic() > st.deadline:
+        _stop("deadline_ms", "elapsed", st.budget.deadline_ms)
+
+
+def charge_simplify() -> None:
+    """Checkpoint: one uncached simplify/expand/affine rewrite."""
+    st = _STATE
+    if st is None:
+        return
+    STATS.budget_checks += 1
+    st.simplify_steps += 1
+    cap = st.budget.max_simplify_steps
+    if cap is not None and st.simplify_steps > cap:
+        _stop("max_simplify_steps", st.simplify_steps, cap)
+    _check_deadline(st)
+
+
+def charge_phase() -> None:
+    """Checkpoint: one Phase-1 CFG-node visit or Phase-2 aggregation step."""
+    st = _STATE
+    if st is None:
+        return
+    STATS.budget_checks += 1
+    st.phase_iters += 1
+    cap = st.budget.max_phase_iters
+    if cap is not None and st.phase_iters > cap:
+        _stop("max_phase_iters", st.phase_iters, cap)
+    _check_deadline(st)
+
+
+def check_expr(e) -> None:
+    """Checkpoint: bound the size of an expression entering the simplifier.
+
+    Node counting is O(size) and only runs when ``max_expr_nodes`` is set,
+    so the unlimited path pays a single ``None`` check.  The count stops
+    early at the cap — a pathological expression is never fully walked.
+    """
+    st = _STATE
+    if st is None:
+        return
+    cap = st.budget.max_expr_nodes
+    if cap is None:
+        return
+    STATS.budget_checks += 1
+    n = 0
+    for _ in e.walk():
+        n += 1
+        if n > cap:
+            _stop("max_expr_nodes", f">{cap}", cap)
+
+
+def active_budget() -> Optional[AnalysisBudget]:
+    """The budget of the innermost active scope, if any (introspection)."""
+    return _STATE.budget if _STATE is not None else None

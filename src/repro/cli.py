@@ -15,10 +15,14 @@ this paper).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional, Sequence
 
 from repro.analysis import AnalysisConfig, analyze_program
+from repro.budget import AnalysisBudget
+from repro.diagnostics import format_diagnostics
+from repro.lang.cparser import ParseError
 from repro.parallelizer import format_report, parallelize
 from repro.parallelizer.codegen import emit_openmp
 
@@ -56,6 +60,33 @@ def _build_parser() -> argparse.ArgumentParser:
             default="new",
             help="analysis capability set (default: new)",
         )
+        sp.add_argument(
+            "--strict",
+            action="store_true",
+            help="exit nonzero if the analysis produced any diagnostic "
+            "(unsupported pattern, budget stop, internal fault)",
+        )
+        sp.add_argument(
+            "--max-expr-nodes",
+            type=int,
+            default=None,
+            metavar="N",
+            help="budget: largest symbolic expression the analysis may build",
+        )
+        sp.add_argument(
+            "--max-simplify-steps",
+            type=int,
+            default=None,
+            metavar="N",
+            help="budget: uncached simplifier rewrites per loop nest",
+        )
+        sp.add_argument(
+            "--deadline-ms",
+            type=float,
+            default=None,
+            metavar="MS",
+            help="budget: wall-clock deadline per loop nest, in milliseconds",
+        )
 
     sp = sub.add_parser("parallelize", help="emit the OpenMP-annotated program")
     add_common(sp)
@@ -80,6 +111,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     try:
         return _run_command(args)
+    except (OSError, ParseError, UnicodeDecodeError) as exc:
+        # user errors (missing/unreadable file, syntax error): one line, no
+        # traceback, exit 2
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finally:
         if args.stats:
             from repro.ir.perfstats import format_stats
@@ -109,7 +145,7 @@ def _run_command(args) -> int:
         return 0
 
     src = _read_source(args.source)
-    config = PIPELINES[args.pipeline]()
+    config = _config_from_args(args)
 
     # multi-function files are inline-expanded first (paper §4.1)
     from repro.lang.functions import parse_translation_unit, inline_program
@@ -124,12 +160,12 @@ def _run_command(args) -> int:
             print("(no subscript-array properties proven)")
         for prop in props:
             print(prop)
-        return 0
+        return _finish_strict(args, res.diagnostics)
 
     result = parallelize(program if program is not None else src, config)
     if args.command == "report":
         print(format_report(result))
-        return 0
+        return _finish_strict(args, result.diagnostics)
 
     if args.command == "explain":
         from repro.parallelizer.explain import explain_all, explain_loop
@@ -138,11 +174,33 @@ def _run_command(args) -> int:
             print(explain_loop(result, args.loop))
         else:
             print(explain_all(result))
-        return 0
+        return _finish_strict(args, result.diagnostics)
 
     # parallelize
     print(emit_openmp(result, schedule=args.schedule, chunk=args.chunk), end="")
-    return 0
+    return _finish_strict(args, result.diagnostics)
+
+
+def _config_from_args(args) -> AnalysisConfig:
+    """Pipeline config plus any budget knobs given on the command line."""
+    config = PIPELINES[args.pipeline]()
+    budget = AnalysisBudget(
+        max_expr_nodes=args.max_expr_nodes,
+        max_simplify_steps=args.max_simplify_steps,
+        deadline_ms=args.deadline_ms,
+    )
+    if not budget.is_unlimited:
+        config = dataclasses.replace(config, budget=budget)
+    return config
+
+
+def _finish_strict(args, diagnostics) -> int:
+    """Under ``--strict``, any diagnostic is a nonzero exit."""
+    if not getattr(args, "strict", False) or not diagnostics:
+        return 0
+    print(f"{len(diagnostics)} diagnostic(s):", file=sys.stderr)
+    print(format_diagnostics(diagnostics), file=sys.stderr)
+    return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,137 @@
+"""Structured diagnostics for the fail-soft analysis engine.
+
+The analysis is meant to run inside a production parallelizer where an
+unanalyzable pattern must cost a *parallelization opportunity*, never a
+compile: when a loop nest cannot be analyzed — an unsupported construct,
+a blown resource budget, or an outright internal bug — the engine
+downgrades that nest to a conservative result (no proven properties, loop
+stays serial) and records a :class:`Diagnostic` explaining what happened.
+This mirrors the fail-soft posture of compile-time dependence-analysis
+simplification (Mohammadi et al.) and the Base-Algorithm paper's
+treatment of "unknown" as a first-class answer.
+
+Taxonomy
+--------
+
+Every diagnostic carries one of four ``kind`` strings:
+
+``parse-error``
+    The source text could not be parsed at all.  There is no program to
+    degrade, so parse errors *raise* (:class:`repro.lang.cparser.ParseError`)
+    and the CLI converts them into a one-line ``error:`` message.
+``unsupported-pattern``
+    A loop nest contains a construct outside the analyzable subset
+    (``while``, ``break``, a side-effecting call, a non-canonical header).
+    The nest is skipped conservatively; recorded so ``--strict`` users see
+    which loops silently stayed serial.
+``budget-exceeded``
+    A cooperative resource checkpoint (see :mod:`repro.budget`) tripped:
+    expression-node count, simplify-step count, phase-iteration count, or
+    the per-nest wall-clock deadline.  The nest is downgraded.
+``internal-error``
+    Any other exception escaped a nest's analysis (including
+    ``RecursionError``).  The nest is downgraded; the loop is marked
+    serial.  The analysis of the *remaining* nests continues.
+
+``budget-exceeded`` and ``internal-error`` are *fault* kinds: the nest's
+analysis was aborted mid-flight, so the parallelizer driver refuses to
+run even the classical dependence test on it and marks every loop of the
+nest serial.  ``unsupported-pattern`` is informational — those nests were
+never analyzed to begin with and keep their normal conservative handling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+# -- diagnostic kinds --------------------------------------------------------
+
+PARSE_ERROR = "parse-error"
+UNSUPPORTED_PATTERN = "unsupported-pattern"
+BUDGET_EXCEEDED = "budget-exceeded"
+INTERNAL_ERROR = "internal-error"
+
+#: kinds that mean "analysis of this nest was aborted by an exception";
+#: the driver marks every loop of such a nest serial
+FAULT_KINDS = frozenset({BUDGET_EXCEEDED, INTERNAL_ERROR})
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One structured analysis diagnostic.
+
+    ``nest_id`` is the ``loop_id`` of the affected top-level nest (``None``
+    for whole-program faults), ``span`` the ``(line, col)`` of the nest's
+    source position when known, and ``message`` a one-line human
+    explanation.  ``detail`` optionally carries the raw exception text.
+    """
+
+    kind: str
+    message: str
+    nest_id: Optional[str] = None
+    span: Optional[Tuple[int, int]] = None
+    detail: str = ""
+
+    @property
+    def is_fault(self) -> bool:
+        return self.kind in FAULT_KINDS
+
+    def __str__(self) -> str:
+        where = self.nest_id or "<program>"
+        if self.span and self.span != (0, 0):
+            where += f" at {self.span[0]}:{self.span[1]}"
+        return f"{where}: {self.kind}: {self.message}"
+
+
+# -- exception taxonomy ------------------------------------------------------
+
+
+class UnsupportedPattern(Exception):
+    """An analysis pass met a construct outside the supported subset.
+
+    Raising this (rather than a bare ``ValueError``/``AssertionError``)
+    lets the fault boundary attribute the downgrade precisely; unknown
+    exceptions are classified ``internal-error`` instead.
+    """
+
+
+class BudgetExceeded(Exception):
+    """A cooperative resource checkpoint tripped (see :mod:`repro.budget`).
+
+    ``limit`` names the knob that tripped (``max_expr_nodes``, ...),
+    ``spent`` the amount consumed when it did.
+    """
+
+    def __init__(self, limit: str, spent: object, cap: object):
+        super().__init__(f"{limit} exceeded ({spent} > {cap})")
+        self.limit = limit
+        self.spent = spent
+        self.cap = cap
+
+
+def diagnostic_from_exception(
+    exc: BaseException,
+    nest_id: Optional[str] = None,
+    span: Optional[Tuple[int, int]] = None,
+) -> Diagnostic:
+    """Classify an exception caught at a fault boundary."""
+    from repro.lang.cparser import ParseError  # local import: no lang dep at module load
+
+    detail = f"{type(exc).__name__}: {exc}"
+    if isinstance(exc, BudgetExceeded):
+        return Diagnostic(BUDGET_EXCEEDED, str(exc), nest_id, span, detail)
+    if isinstance(exc, UnsupportedPattern):
+        return Diagnostic(UNSUPPORTED_PATTERN, str(exc), nest_id, span, detail)
+    if isinstance(exc, ParseError):
+        return Diagnostic(PARSE_ERROR, str(exc), nest_id, span, detail)
+    if isinstance(exc, RecursionError):
+        return Diagnostic(
+            INTERNAL_ERROR, "analysis recursion limit exceeded", nest_id, span, detail
+        )
+    return Diagnostic(INTERNAL_ERROR, f"analysis failed: {exc}", nest_id, span, detail)
+
+
+def format_diagnostics(diags: List[Diagnostic]) -> str:
+    """One line per diagnostic, for ``report``/``explain`` and ``--strict``."""
+    return "\n".join(f"  {d}" for d in diags)

@@ -26,11 +26,15 @@ way.
 from __future__ import annotations
 
 import dataclasses
+import logging
+import math
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+logger = logging.getLogger("repro.experiments.harness")
 
 from repro.analysis.config import AnalysisConfig
 from repro.benchmarks.base import Benchmark
@@ -65,6 +69,55 @@ class BenchRun:
     @property
     def efficiency(self) -> float:
         return self.speedup / self.cores
+
+
+@dataclasses.dataclass
+class FailedCell:
+    """Placeholder for a cell whose evaluation crashed or timed out.
+
+    Duck-types :class:`BenchRun` (same identity fields, NaN metrics,
+    ``plan_level="failed"``) so figure tables render a hole instead of
+    crashing.  ``error`` carries the one-line cause.
+    """
+
+    benchmark: str
+    dataset: str
+    pipeline: str
+    cores: int
+    schedule: str
+    error: str
+    serial_time: float = math.nan
+    parallel_time: float = math.nan
+    plan_level: str = "failed"
+
+    @property
+    def speedup(self) -> float:
+        return math.nan
+
+    @property
+    def efficiency(self) -> float:
+        return math.nan
+
+
+def _failed_cell(spec: "CellSpec", error: str) -> FailedCell:
+    dataset = spec.dataset
+    if dataset is None:
+        # resolve the default so the hole lands on the same table row as
+        # its sibling cells
+        try:
+            from repro.benchmarks.registry import get_benchmark
+
+            dataset = get_benchmark(spec.benchmark).default_dataset
+        except Exception:
+            dataset = ""
+    return FailedCell(
+        benchmark=spec.benchmark,
+        dataset=dataset,
+        pipeline=spec.pipeline,
+        cores=spec.cores,
+        schedule=spec.schedule,
+        error=error,
+    )
 
 
 def _compile(bench_name: str, pipeline: str) -> ParallelizationResult:
@@ -161,24 +214,108 @@ def _pool_context() -> Optional[multiprocessing.context.BaseContext]:
     return None
 
 
-def run_cells(specs: Iterable[CellSpec], jobs: Optional[int] = None) -> List[BenchRun]:
+def resolved_cell_timeout(cell_timeout: Optional[float] = None) -> Optional[float]:
+    """Per-cell wall-clock limit: explicit arg > ``REPRO_CELL_TIMEOUT`` env.
+
+    ``None`` (the default) means no limit.
+    """
+    if cell_timeout is not None:
+        return cell_timeout if cell_timeout > 0 else None
+    env = os.environ.get("REPRO_CELL_TIMEOUT", "").strip()
+    if env:
+        try:
+            val = float(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_CELL_TIMEOUT must be a number of seconds, got {env!r}"
+            ) from None
+        return val if val > 0 else None
+    return None
+
+
+def _run_cell_guarded(spec: CellSpec) -> Union[BenchRun, "FailedCell"]:
+    """Serial evaluation of one cell; a crash becomes a :class:`FailedCell`."""
+    try:
+        return run_cell(spec)
+    except Exception as exc:  # fail-soft: one bad cell must not kill the table
+        logger.warning("cell %s failed serially: %s", spec, exc)
+        return _failed_cell(spec, f"{type(exc).__name__}: {exc}")
+
+
+def run_cells(
+    specs: Iterable[CellSpec],
+    jobs: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+) -> List[BenchRun]:
     """Evaluate independent cells, in spec order, fanning out over processes.
 
     With one job (``jobs=1`` or ``REPRO_JOBS=1``) or a single cell this is a
-    plain serial loop.  Pool startup failures (sandboxes without process
-    support) and worker crashes fall back to the serial path, so the
-    harness never produces partial tables.
+    plain serial loop.  The harness is fail-soft at every layer:
+
+    * pool *startup* failures (sandboxes without process support) log one
+      warning with the triggering exception and run the whole fan serially;
+    * a *worker crash* (including a broken pool) logs one warning and
+      retries the affected cell(s) serially, once each;
+    * a cell exceeding ``cell_timeout`` seconds (or ``REPRO_CELL_TIMEOUT``)
+      becomes a :class:`FailedCell` — a cell that hangs in a worker would
+      hang serially too, so there is no retry;
+    * a cell that also fails its serial retry becomes a :class:`FailedCell`.
+
+    Results always come back in spec order and always have one entry per
+    spec, so figure tables render holes instead of crashing.
     """
     specs = list(specs)
+    timeout = resolved_cell_timeout(cell_timeout)
     n = min(resolved_jobs(jobs), len(specs))
     if n <= 1:
-        return [run_cell(s) for s in specs]
+        return [_run_cell_guarded(s) for s in specs]
     try:
-        with ProcessPoolExecutor(max_workers=n, mp_context=_pool_context()) as pool:
-            chunksize = max(1, len(specs) // (4 * n))
-            return list(pool.map(run_cell, specs, chunksize=chunksize))
-    except (OSError, PermissionError, BrokenProcessPool):
-        return [run_cell(s) for s in specs]
+        pool = ProcessPoolExecutor(max_workers=n, mp_context=_pool_context())
+    except (OSError, PermissionError) as exc:
+        logger.warning(
+            "process pool unavailable (%s: %s); running %d cells serially",
+            type(exc).__name__,
+            exc,
+            len(specs),
+        )
+        return [_run_cell_guarded(s) for s in specs]
+    results: List[Union[BenchRun, FailedCell]] = [None] * len(specs)  # type: ignore[list-item]
+    pool_broken = False
+    timed_out = False
+    try:
+        futures = {i: pool.submit(run_cell, s) for i, s in enumerate(specs)}
+        for i, fut in futures.items():
+            spec = specs[i]
+            try:
+                results[i] = fut.result(timeout=timeout)
+            except FutureTimeoutError:
+                timed_out = True
+                fut.cancel()
+                logger.warning("cell %s exceeded %.1fs; marking failed", spec, timeout)
+                results[i] = _failed_cell(spec, f"timed out after {timeout:.1f}s")
+            except BrokenProcessPool as exc:
+                if not pool_broken:
+                    pool_broken = True
+                    logger.warning(
+                        "worker pool broke (%s: %s); retrying remaining cells serially",
+                        type(exc).__name__,
+                        exc,
+                    )
+                results[i] = _run_cell_guarded(spec)
+            except Exception as exc:
+                # the cell itself raised in the worker: retry once serially
+                # (transient worker-side state is the common cause)
+                logger.warning(
+                    "cell %s crashed in worker (%s: %s); retrying serially",
+                    spec,
+                    type(exc).__name__,
+                    exc,
+                )
+                results[i] = _run_cell_guarded(spec)
+    finally:
+        # a hung worker must not block shutdown: abandon it on timeout
+        pool.shutdown(wait=not timed_out, cancel_futures=timed_out or pool_broken)
+    return results
 
 
 def speedup_table(
@@ -220,6 +357,9 @@ def format_runs(runs: List[BenchRun], metric: str = "speedup") -> str:
                 vals.append(f"{'-':>10}")
             else:
                 v = getattr(r, metric)
-                vals.append(f"{v:>10.2f}")
+                if isinstance(v, float) and math.isnan(v):
+                    vals.append(f"{'FAIL':>10}")
+                else:
+                    vals.append(f"{v:>10.2f}")
         lines.append(f"{b:<20} {d:<16} {p:<16}" + "".join(vals))
     return "\n".join(lines)

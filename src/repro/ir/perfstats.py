@@ -46,6 +46,8 @@ class Counters:
         "analysis_misses",
         "parallelize_hits",
         "parallelize_misses",
+        "budget_checks",
+        "budget_stops",
     )
 
     def __init__(self):
@@ -154,6 +156,10 @@ def format_stats(snap: Optional[Dict[str, object]] = None) -> str:
     for layer in ("intern", "simplify", "expand", "affine", "analysis", "parallelize"):
         h, m = c[f"{layer}_hits"], c[f"{layer}_misses"]
         lines.append(f"{layer:<16} {h:>10} {m:>10} {_ratio(h, m):>9}")
+    if c.get("budget_checks") or c.get("budget_stops"):
+        lines.append(
+            f"budget checkpoints: {c['budget_checks']} checks, {c['budget_stops']} stops"
+        )
     sizes = snap["intern_tables"]
     if sizes:
         total = sum(sizes.values())

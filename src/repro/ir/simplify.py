@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro import budget as _budget
 from repro.ir.perfstats import STATS, register_cache
 from repro.ir.symbols import (
     BOTTOM,
@@ -75,7 +76,9 @@ def expand(e: Expr) -> Expr:
         STATS.expand_hits += 1
         return hit
     STATS.expand_misses += 1
+    _budget.charge_simplify()
     out = _expand_impl(e)
+    _budget.check_expr(out)
     _EXPAND_CACHE[e] = out
     return out
 
@@ -151,6 +154,8 @@ def simplify(e: Expr) -> Expr:
         STATS.simplify_hits += 1
         return hit
     STATS.simplify_misses += 1
+    _budget.charge_simplify()
+    _budget.check_expr(e)
     out = _simplify_impl(e)
     _SIMPLIFY_CACHE[e] = out
     # canonical forms are fixpoints; pre-seeding avoids a recompute when
@@ -234,6 +239,7 @@ def decompose_affine(e: Expr, atom: Expr) -> Optional[Tuple[Expr, Expr]]:
         STATS.affine_hits += 1
         return hit
     STATS.affine_misses += 1
+    _budget.charge_simplify()
     out = _decompose_affine_impl(e, atom)
     _AFFINE_CACHE[ck] = out
     return out

@@ -40,10 +40,12 @@ from repro.lang.lexer import Token, tokenize
 
 
 class ParseError(Exception):
-    """Raised on a syntax error with source position."""
+    """Raised on a syntax error, with source position when available."""
 
-    def __init__(self, msg: str, tok: Token):
-        super().__init__(f"{msg} (got {tok.kind} {tok.text!r} at {tok.line}:{tok.col})")
+    def __init__(self, msg: str, tok: Optional[Token] = None):
+        if tok is not None:
+            msg = f"{msg} (got {tok.kind} {tok.text!r} at {tok.line}:{tok.col})"
+        super().__init__(msg)
         self.token = tok
 
 
@@ -345,21 +347,35 @@ class _Parser:
 
 
 def parse_program(src: str) -> Program:
-    """Parse a translation unit (statement list) from C source text."""
-    return _Parser(tokenize(src)).parse_program()
+    """Parse a translation unit (statement list) from C source text.
+
+    Pathologically deep nesting (parenthesization, block nesting) is
+    reported as a :class:`ParseError` rather than crashing the host
+    interpreter with a ``RecursionError``.
+    """
+    try:
+        return _Parser(tokenize(src)).parse_program()
+    except RecursionError:
+        raise ParseError("program too deeply nested") from None
 
 
 def parse_stmt(src: str) -> Statement:
     """Parse a single statement."""
-    p = _Parser(tokenize(src))
-    s = p.parse_statement()
-    p.expect("EOF")
-    return s
+    try:
+        p = _Parser(tokenize(src))
+        s = p.parse_statement()
+        p.expect("EOF")
+        return s
+    except RecursionError:
+        raise ParseError("program too deeply nested") from None
 
 
 def parse_expr(src: str) -> Expression:
     """Parse a single expression."""
-    p = _Parser(tokenize(src))
-    e = p.parse_expression()
-    p.expect("EOF")
-    return e
+    try:
+        p = _Parser(tokenize(src))
+        e = p.parse_expression()
+        p.expect("EOF")
+        return e
+    except RecursionError:
+        raise ParseError("program too deeply nested") from None

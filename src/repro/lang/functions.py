@@ -145,9 +145,16 @@ class _UnitParser(_Parser):
 
 
 def parse_translation_unit(src: str) -> TranslationUnit:
-    """Parse functions + top-level statements."""
-    p = _UnitParser(tokenize(src))
-    return p.parse_unit()
+    """Parse functions + top-level statements.
+
+    Like :func:`repro.lang.cparser.parse_program`, pathological nesting
+    surfaces as a :class:`ParseError`, not a ``RecursionError``.
+    """
+    try:
+        p = _UnitParser(tokenize(src))
+        return p.parse_unit()
+    except RecursionError:
+        raise ParseError("program too deeply nested") from None
 
 
 # ---------------------------------------------------------------------------

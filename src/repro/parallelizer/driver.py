@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.analysis.analyzer import AnalysisResult, _source_digest, analyze_program
 from repro.analysis.config import AnalysisConfig
+from repro.diagnostics import Diagnostic, diagnostic_from_exception
 from repro.ir import perfstats
 from repro.analysis.irbridge import eval_expr
 from repro.analysis.loopinfo import LoopNest
@@ -81,6 +82,11 @@ class ParallelizationResult:
     def parallel_loops(self) -> List[LoopDecision]:
         return [d for d in self.decisions.values() if d.parallel]
 
+    @property
+    def diagnostics(self) -> List[Diagnostic]:
+        """Structured diagnostics collected across the whole pipeline."""
+        return self.analysis.diagnostics
+
     def decision_for(self, loop_id: str) -> Optional[LoopDecision]:
         return self.decisions.get(loop_id)
 
@@ -133,8 +139,22 @@ def parallelize(
         perfstats.STATS.parallelize_misses += 1
     analysis = analyze_program(prog, config)
     decisions: Dict[str, LoopDecision] = {}
+    failed = analysis.failed_nests
     for nest in analysis.nests:
-        _decide_nest(nest, 0, False, config, analysis, decisions)
+        loop_id = nest.loop.loop_id or ""
+        if analysis.has_program_fault or loop_id in failed:
+            # fail-soft: the nest's analysis was aborted — conservative
+            # serial, no classical retry on a half-analyzed nest
+            _serialize_nest(nest, 0, "analysis aborted: conservative serial", decisions)
+            continue
+        try:
+            _decide_nest(nest, 0, False, config, analysis, decisions)
+        except Exception as exc:
+            # a decision pass crashed on this nest: serialize it, keep going
+            analysis.diagnostics.append(
+                diagnostic_from_exception(exc, nest_id=loop_id, span=nest.loop.pos)
+            )
+            _serialize_nest(nest, 0, "analysis aborted: conservative serial", decisions)
     # attach pragmas to the AST
     for nest in analysis.nests:
         for sub_nest in nest.walk():
@@ -149,6 +169,21 @@ def parallelize(
     if key is not None:
         _PARALLELIZE_CACHE[key] = result.clone()
     return result
+
+
+def _serialize_nest(
+    nest: LoopNest, depth: int, reason: str, decisions: Dict[str, LoopDecision]
+) -> None:
+    """Mark every loop of ``nest`` serial (fault-boundary downgrade)."""
+    decisions[nest.loop.loop_id or f"L?{depth}"] = LoopDecision(
+        loop_id=nest.loop.loop_id or f"L?{depth}",
+        index=nest.index or "?",
+        depth=depth,
+        parallel=False,
+        reason=reason,
+    )
+    for inner in nest.inner:
+        _serialize_nest(inner, depth + 1, reason, decisions)
 
 
 def _decide_nest(

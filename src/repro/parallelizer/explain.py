@@ -130,4 +130,9 @@ def _find_nest(result: ParallelizationResult, loop_id: str) -> Optional[LoopNest
 
 def explain_all(result: ParallelizationResult) -> str:
     """Concatenated explanations for every loop, program order."""
-    return "\n\n".join(explain_loop(result, lid) for lid in sorted(result.decisions))
+    out = "\n\n".join(explain_loop(result, lid) for lid in sorted(result.decisions))
+    if result.diagnostics:
+        from repro.diagnostics import format_diagnostics
+
+        out += "\n\ndiagnostics:\n" + format_diagnostics(result.diagnostics)
+    return out

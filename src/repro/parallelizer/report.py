@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.diagnostics import format_diagnostics
 from repro.parallelizer.driver import ParallelizationResult
 
 
@@ -13,6 +14,9 @@ def format_report(result: ParallelizationResult) -> str:
         lines.append("subscript-array properties:")
         for p in props:
             lines.append(f"  {p}")
+    if result.diagnostics:
+        lines.append("diagnostics:")
+        lines.append(format_diagnostics(result.diagnostics))
     lines.append("loop decisions:")
     for loop_id, d in sorted(result.decisions.items()):
         status = "PARALLEL" if d.parallel else "serial  "

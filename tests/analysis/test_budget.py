@@ -1,0 +1,205 @@
+"""Resource budgets: checkpoint semantics and fail-soft degradation."""
+
+import dataclasses
+import time
+
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_program
+from repro.budget import (
+    AnalysisBudget,
+    active_budget,
+    charge_phase,
+    charge_simplify,
+    check_expr,
+    scoped_budget,
+)
+from repro.diagnostics import BUDGET_EXCEEDED, BudgetExceeded
+from repro.ir.symbols import Sym, add, mul
+from repro.parallelizer import parallelize
+
+
+def cfg_with(budget: AnalysisBudget) -> AnalysisConfig:
+    return dataclasses.replace(AnalysisConfig.new_algorithm(), budget=budget)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint unit semantics
+# ---------------------------------------------------------------------------
+
+
+def test_default_budget_is_unlimited():
+    b = AnalysisBudget()
+    assert b.is_unlimited
+    assert b.describe() == "unlimited"
+    assert AnalysisConfig.new_algorithm().budget.is_unlimited
+
+
+def test_unlimited_scope_is_a_noop():
+    with scoped_budget(AnalysisBudget.unlimited()):
+        assert active_budget() is None
+        charge_simplify()  # free: must not raise or count
+    with scoped_budget(None):
+        assert active_budget() is None
+
+
+def test_simplify_step_cap_trips():
+    with scoped_budget(AnalysisBudget(max_simplify_steps=2)):
+        charge_simplify()
+        charge_simplify()
+        with pytest.raises(BudgetExceeded) as ei:
+            charge_simplify()
+        assert ei.value.limit == "max_simplify_steps"
+
+
+def test_phase_iter_cap_trips():
+    with scoped_budget(AnalysisBudget(max_phase_iters=1)):
+        charge_phase()
+        with pytest.raises(BudgetExceeded) as ei:
+            charge_phase()
+        assert ei.value.limit == "max_phase_iters"
+
+
+def test_expr_node_cap_trips_and_stops_walking_early():
+    e = Sym("bx0")
+    for k in range(1, 12):
+        e = add(mul(Sym(f"bx{k}"), Sym(f"by{k}")), e)
+    with scoped_budget(AnalysisBudget(max_expr_nodes=5)):
+        with pytest.raises(BudgetExceeded) as ei:
+            check_expr(e)
+        assert ei.value.limit == "max_expr_nodes"
+    with scoped_budget(AnalysisBudget(max_expr_nodes=10_000)):
+        check_expr(e)  # under the cap: fine
+
+
+def test_deadline_trips_at_any_checkpoint():
+    with scoped_budget(AnalysisBudget(deadline_ms=0.0)):
+        time.sleep(0.002)
+        with pytest.raises(BudgetExceeded) as ei:
+            charge_phase()
+        assert ei.value.limit == "deadline_ms"
+
+
+def test_scopes_nest_and_restore():
+    outer = AnalysisBudget(max_simplify_steps=100)
+    inner = AnalysisBudget(max_simplify_steps=1)
+    with scoped_budget(outer):
+        charge_simplify()
+        with scoped_budget(inner):
+            assert active_budget() is inner
+            charge_simplify()
+            with pytest.raises(BudgetExceeded):
+                charge_simplify()
+        assert active_budget() is outer
+        charge_simplify()  # outer counters resumed, far below its cap
+    assert active_budget() is None
+
+
+def test_budget_participates_in_config_fingerprint():
+    base = AnalysisConfig.new_algorithm()
+    tight = cfg_with(AnalysisBudget(max_simplify_steps=3))
+    assert base.fingerprint() != tight.fingerprint()
+    assert tight.fingerprint() == cfg_with(AnalysisBudget(max_simplify_steps=3)).fingerprint()
+
+
+# ---------------------------------------------------------------------------
+# fail-soft degradation through the full pipeline
+# ---------------------------------------------------------------------------
+
+# unique variable names throughout: the memoized simplifier only charges the
+# budget on cache *misses*, so these programs must not share expressions
+# with other tests in the same process
+
+COUNTER_FILL = """
+bg_k = 0;
+for (bg_i = 0; bg_i < bg_n; bg_i++) {
+  if (bg_x[bg_i] > 0) {
+    bg_p[bg_k] = bg_i;
+    bg_k = bg_k + 1;
+  }
+}
+for (bg_j = 0; bg_j < bg_m; bg_j++) bg_y[bg_p[bg_j]] = bg_y[bg_p[bg_j]] + 1;
+"""
+
+TRIVIAL_THEN_FILL = """
+for (bh_i = 0; bh_i < bh_n; bh_i++) bh_a[bh_i] = bh_i;
+bh_k = 0;
+for (bh_j = 0; bh_j < bh_n; bh_j++) {
+  if (bh_x[bh_j] > 0) {
+    bh_p[bh_k] = bh_j;
+    bh_k = bh_k + 1;
+  }
+}
+"""
+
+BLOWUP = """
+for (bz_i = 0; bz_i < bz_n; bz_i++) {
+  bz_t = (bz_a1[bz_i] + bz_b1[bz_i] + bz_c1[bz_i]) * (bz_a2[bz_i] + bz_b2[bz_i] + bz_c2[bz_i]) * (bz_a3[bz_i] + bz_b3[bz_i] + bz_c3[bz_i]);
+  bz_o[bz_i] = bz_t;
+}
+"""
+
+
+def test_tight_simplify_budget_degrades_nest_without_raising():
+    res = analyze_program(COUNTER_FILL, cfg_with(AnalysisBudget(max_simplify_steps=1)))
+    faults = [d for d in res.diagnostics if d.kind == BUDGET_EXCEEDED]
+    assert faults, "expected a budget-exceeded diagnostic"
+    assert all(d.is_fault for d in faults)
+    assert not res.properties.all_properties()
+
+
+def test_budget_fault_serializes_the_nest():
+    result = parallelize(COUNTER_FILL, cfg_with(AnalysisBudget(max_simplify_steps=1)))
+    faults = [d for d in result.diagnostics if d.kind == BUDGET_EXCEEDED]
+    assert faults
+    for d in faults:
+        assert d.nest_id is not None
+        dec = result.decisions.get(d.nest_id)
+        assert dec is not None and not dec.parallel
+        assert "conservative serial" in dec.reason
+
+
+def test_max_expr_nodes_acceptance():
+    """A nest deliberately exceeding --max-expr-nodes yields a
+    budget-exceeded diagnostic and a serial decision (ISSUE acceptance)."""
+    result = parallelize(BLOWUP, cfg_with(AnalysisBudget(max_expr_nodes=6)))
+    faults = [d for d in result.diagnostics if d.kind == BUDGET_EXCEEDED]
+    assert faults and "max_expr_nodes" in faults[0].detail
+    assert not result.parallel_loops
+    # the same program analyzes cleanly (and parallel) without the cap
+    free = parallelize(BLOWUP, AnalysisConfig.new_algorithm())
+    assert not [d for d in free.diagnostics if d.is_fault]
+    assert free.parallel_loops
+
+
+def test_per_nest_isolation_other_nests_still_analyzed():
+    """The budget is per nest: a trivial sibling nest survives the fill
+    nest's degradation (the fill needs more simplifier work).
+
+    The simplifier is memoized, so the exact uncached step count depends
+    on process history; scan caps (with fresh names each time, to force
+    misses) until one degrades the fill nest only.
+    """
+    for cap in (6, 9, 12, 16, 22, 30):
+        src = TRIVIAL_THEN_FILL.replace("bh_", f"bh{cap}_")
+        result = parallelize(src, cfg_with(AnalysisBudget(max_simplify_steps=cap)))
+        failed = result.analysis.failed_nests
+        trivial_id = result.analysis.nests[0].loop.loop_id
+        if not failed:
+            continue  # cap already generous enough for the whole program
+        if trivial_id in failed:
+            continue  # cap so tight even the trivial nest tripped
+        # the fill nest degraded, the trivial nest did not: isolation holds
+        dec = result.decisions.get(trivial_id)
+        assert dec is not None and dec.parallel
+        fill_id = result.analysis.nests[1].loop.loop_id
+        assert fill_id in failed
+        return
+    pytest.fail("no cap separated the trivial nest from the fill nest")
+
+
+def test_zero_deadline_degrades_everything_but_never_raises():
+    res = analyze_program(COUNTER_FILL, cfg_with(AnalysisBudget(deadline_ms=0.0)))
+    assert [d for d in res.diagnostics if d.kind == BUDGET_EXCEEDED]
+    result = parallelize(COUNTER_FILL, cfg_with(AnalysisBudget(deadline_ms=0.0)))
+    assert not result.parallel_loops

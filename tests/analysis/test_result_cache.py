@@ -180,6 +180,36 @@ class TestParallelizeCache:
             )
         assert warm.to_c() == cold.to_c()
 
+    def test_budget_segregates_cache_entries(self):
+        """A degraded (budget-limited) result must never be served to an
+        unlimited-budget caller, and vice versa: the budget is part of the
+        config fingerprint, so the two populate distinct cache entries."""
+        from repro.budget import AnalysisBudget
+
+        src = SRC.replace("p[", "bc_p[").replace("x[", "bc_x[")
+        full = AnalysisConfig.new_algorithm()
+        tight = dataclasses.replace(full, budget=AnalysisBudget(max_simplify_steps=1))
+
+        degraded = parallelize(src, tight)  # cold: populates the tight entry
+        assert degraded.analysis.failed_nests
+        assert not degraded.parallel_loops
+
+        clean = parallelize(src, full)  # must MISS, not reuse the degraded entry
+        assert not clean.analysis.failed_nests
+        assert clean.parallel_loops
+
+        # warm in both directions: each fingerprint keeps its own snapshot
+        before = perfstats.STATS.parallelize_hits
+        degraded2 = parallelize(src, tight)
+        clean2 = parallelize(src, full)
+        assert perfstats.STATS.parallelize_hits == before + 2
+        assert degraded2.analysis.failed_nests and not degraded2.parallel_loops
+        assert not clean2.analysis.failed_nests and clean2.parallel_loops
+        # diagnostics survive the clone-on-return path
+        assert [d.kind for d in degraded2.diagnostics] == [
+            d.kind for d in degraded.diagnostics
+        ]
+
     def test_repeated_pipeline_runs_analyze_once(self):
         """Acceptance: run the Table1+Fig17 driver twice, analysis runs once."""
         from repro.experiments.fig17 import format_fig17

@@ -86,3 +86,151 @@ class TestParallelMatchesSerial:
             16,
             "dynamic",
         )
+
+
+class TestFaultTolerance:
+    """The fan-out is fail-soft: pool failures are *logged* (never silent)
+    and degraded to serial retries; timed-out or doubly-failing cells
+    become FailedCell holes instead of killing the whole table."""
+
+    SPECS = [CellSpec("AMGmk", None, "Cetus+NewAlgo", p) for p in (4, 8)]
+
+    def test_pool_startup_failure_warns_and_runs_serially(self, monkeypatch, caplog):
+        import logging
+
+        def denied(*a, **kw):
+            raise PermissionError("no process support in this sandbox")
+
+        monkeypatch.setattr(harness, "ProcessPoolExecutor", denied)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.harness"):
+            runs = run_cells(self.SPECS, jobs=4)
+        assert [r.cores for r in runs] == [4, 8]
+        assert all(isinstance(r, harness.BenchRun) for r in runs)
+        warnings = [r for r in caplog.records if r.levelno >= logging.WARNING]
+        assert len(warnings) == 1
+        assert "no process support" in warnings[0].getMessage()
+
+    def test_broken_pool_warns_once_and_retries_serially(self, monkeypatch, caplog):
+        """Regression: a BrokenProcessPool used to silently fall back to
+        the serial path with no trace of the triggering exception."""
+        import logging
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        class FakeFuture:
+            def result(self, timeout=None):
+                raise BrokenProcessPool("a child process terminated abruptly")
+
+            def cancel(self):
+                return False
+
+        class FakePool:
+            def __init__(self, *a, **kw):
+                pass
+
+            def submit(self, fn, *args):
+                return FakeFuture()
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(harness, "ProcessPoolExecutor", FakePool)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.harness"):
+            runs = run_cells(self.SPECS, jobs=4)
+        # every cell was retried serially and produced a real result
+        assert [r.cores for r in runs] == [4, 8]
+        assert all(isinstance(r, harness.BenchRun) for r in runs)
+        pool_warnings = [
+            r
+            for r in caplog.records
+            if r.levelno >= logging.WARNING and "worker pool broke" in r.getMessage()
+        ]
+        assert len(pool_warnings) == 1  # warned once, not once per cell
+        assert "terminated abruptly" in pool_warnings[0].getMessage()
+
+    def test_cell_timeout_yields_failed_cell(self, monkeypatch, caplog):
+        import logging
+
+        from concurrent.futures import TimeoutError as FutureTimeoutError
+
+        class SlowFuture:
+            def result(self, timeout=None):
+                raise FutureTimeoutError()
+
+            def cancel(self):
+                return True
+
+        class FakePool:
+            def __init__(self, *a, **kw):
+                pass
+
+            def submit(self, fn, *args):
+                return SlowFuture()
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                assert not wait  # a hung worker must not block shutdown
+
+        monkeypatch.setattr(harness, "ProcessPoolExecutor", FakePool)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.harness"):
+            runs = run_cells(self.SPECS, jobs=4, cell_timeout=0.5)
+        assert all(isinstance(r, harness.FailedCell) for r in runs)
+        assert all("timed out" in r.error for r in runs)
+        # identity fields survive so figure tables keep their geometry
+        assert [r.cores for r in runs] == [4, 8]
+
+    def test_worker_crash_retries_serially_then_fails_soft(self, monkeypatch, caplog):
+        import logging
+
+        class CrashFuture:
+            def result(self, timeout=None):
+                raise RuntimeError("worker exploded")
+
+            def cancel(self):
+                return False
+
+        class FakePool:
+            def __init__(self, *a, **kw):
+                pass
+
+            def submit(self, fn, *args):
+                return CrashFuture()
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                pass
+
+        monkeypatch.setattr(harness, "ProcessPoolExecutor", FakePool)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.harness"):
+            runs = run_cells(self.SPECS, jobs=4)
+        # the serial retry succeeds (the crash was worker-side only)
+        assert all(isinstance(r, harness.BenchRun) for r in runs)
+
+    def test_failed_cell_ducktypes_benchrun_and_renders(self):
+        import math
+
+        cell = harness._failed_cell(self.SPECS[0], "boom")
+        assert math.isnan(cell.speedup) and math.isnan(cell.efficiency)
+        assert cell.plan_level == "failed"
+        table = harness.format_runs([run_cell(self.SPECS[1]), cell])
+        assert "FAIL" in table  # holes render, tables never crash
+
+    def test_serial_cell_crash_becomes_failed_cell(self, monkeypatch, caplog):
+        import logging
+
+        def boom(spec):
+            raise ValueError("bad cell")
+
+        monkeypatch.setattr(harness, "run_cell", boom)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.harness"):
+            runs = run_cells(self.SPECS, jobs=1)
+        assert all(isinstance(r, harness.FailedCell) for r in runs)
+        assert all("ValueError" in r.error for r in runs)
+
+    def test_cell_timeout_env_knob(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "2.5")
+        assert harness.resolved_cell_timeout() == 2.5
+        assert harness.resolved_cell_timeout(7.0) == 7.0  # explicit arg wins
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "0")
+        assert harness.resolved_cell_timeout() is None
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "junk")
+        with pytest.raises(ValueError, match="REPRO_CELL_TIMEOUT"):
+            harness.resolved_cell_timeout()

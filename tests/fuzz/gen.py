@@ -1,0 +1,276 @@
+"""Grammar-based program generator for the crash-free fuzz gate.
+
+Generates small mini-C programs in the subscripted-subscript dialect the
+analysis consumes, together with an environment that makes them *safe to
+execute*: every array is pre-allocated, every generated subscript is
+provably in range, and no division by zero can occur.  The generator's job
+is NOT to produce race-free programs — scatter loops through randomly
+filled index arrays are deliberately racy — the *compiler's* job is to
+refuse to parallelize those.  The fuzz gate therefore checks two things:
+
+1. analysis and parallelization never raise (fail-soft engine), and
+2. every loop the pipeline marks parallel passes the dynamic race check
+   (soundness).
+
+Programs mix the paper's idioms (counter fills, affine fills, monotonic
+recurrences, gather/scatter consumers) with ineligible constructs (while
+loops, breaks, non-unit steps) that must take the conservative path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Dict, List
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class FuzzProgram:
+    """One generated program plus an environment it can run in."""
+
+    seed: int
+    source: str
+    env: Dict[str, Any]
+
+    def fresh_env(self) -> Dict[str, Any]:
+        """Independent copy (arrays are mutated by execution)."""
+        return {
+            k: (v.copy() if isinstance(v, np.ndarray) else v)
+            for k, v in self.env.items()
+        }
+
+
+class _Gen:
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+        self.n = rng.randint(6, 12)
+        self.bound = 4 * self.n + 8  # every array has this many elements
+        self.index_arrays: List[str] = []  # values always within [0, bound)
+        self.data_arrays: List[str] = []
+        self.scalars: List[str] = []
+        self.counter = 0
+        self.env: Dict[str, Any] = {"n": self.n}
+
+    # -- name & value helpers ---------------------------------------------
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def new_index_array(self, prefilled: bool) -> str:
+        name = self.fresh("idx")
+        self.index_arrays.append(name)
+        vals = (
+            [self.rng.randrange(self.n) for _ in range(self.bound)]
+            if prefilled
+            else [0] * self.bound
+        )
+        self.env[name] = np.array(vals, dtype=np.int64)
+        return name
+
+    def new_data_array(self) -> str:
+        name = self.fresh("a")
+        self.data_arrays.append(name)
+        self.env[name] = np.array(
+            [self.rng.randrange(-9, 10) for _ in range(self.bound)], dtype=np.int64
+        )
+        return name
+
+    def new_scalar(self, value: int) -> str:
+        name = self.fresh("s")
+        self.scalars.append(name)
+        self.env[name] = value
+        return name
+
+    def any_index_array(self) -> str:
+        if self.index_arrays and self.rng.random() < 0.8:
+            return self.rng.choice(self.index_arrays)
+        return self.new_index_array(prefilled=True)
+
+    def any_data_array(self) -> str:
+        if self.data_arrays and self.rng.random() < 0.8:
+            return self.rng.choice(self.data_arrays)
+        return self.new_data_array()
+
+    def ub(self) -> str:
+        """Loop upper bound: symbolic ``n`` or its literal value."""
+        return "n" if self.rng.random() < 0.7 else str(self.n)
+
+    # -- expressions --------------------------------------------------------
+
+    def subscript(self, idx_var: str) -> str:
+        """An in-range subscript expression using loop index ``idx_var``."""
+        r = self.rng.random()
+        if r < 0.40:
+            return idx_var
+        if r < 0.60:
+            return f"{idx_var} + {self.rng.randint(1, 3)}"
+        if r < 0.85:
+            return f"{self.any_index_array()}[{idx_var}]"
+        return str(self.rng.randrange(self.n))
+
+    def value_expr(self, idx_var: str, depth: int = 0) -> str:
+        """A side-effect-free integer expression (safe to evaluate)."""
+        r = self.rng.random()
+        if depth >= 2 or r < 0.35:
+            leaf = self.rng.random()
+            if leaf < 0.3:
+                return idx_var
+            if leaf < 0.5 and self.scalars:
+                return self.rng.choice(self.scalars)
+            if leaf < 0.75:
+                return str(self.rng.randint(0, 9))
+            return f"{self.any_data_array()}[{self.subscript(idx_var)}]"
+        op = self.rng.choice(["+", "+", "-", "*"])
+        lhs = self.value_expr(idx_var, depth + 1)
+        rhs = self.value_expr(idx_var, depth + 1)
+        if self.rng.random() < 0.1:
+            return f"({lhs} {op} {rhs}) / {self.rng.randint(1, 4)}"
+        return f"({lhs} {op} {rhs})"
+
+    # -- program segments ---------------------------------------------------
+
+    def seg_affine_fill(self) -> str:
+        arr = self.new_index_array(prefilled=False)
+        c0 = self.rng.choice([1, 2])
+        c1 = self.rng.randint(0, 3)
+        i = self.fresh("i")
+        # c0*i + c1 <= 2*(n-1) + 3 < 4n + 8, so the values stay index-safe
+        return (
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) "
+            f"{arr}[{i}] = {c0} * {i} + {c1};"
+        )
+
+    def seg_counter_fill(self) -> str:
+        arr = self.new_index_array(prefilled=False)
+        data = self.any_data_array()
+        k = self.new_scalar(0)
+        self.env[k] = 0
+        i = self.fresh("i")
+        store = i if self.rng.random() < 0.5 else k
+        return (
+            f"{k} = 0;\n"
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) {{\n"
+            f"  if ({data}[{i}] > {self.rng.randint(-3, 3)}) {{\n"
+            f"    {arr}[{k}] = {store};\n"
+            f"    {k} = {k} + 1;\n"
+            f"  }}\n"
+            f"}}"
+        )
+
+    def seg_recurrence_fill(self) -> str:
+        arr = self.new_index_array(prefilled=False)
+        d = self.rng.choice([0, 1])
+        i = self.fresh("i")
+        return (
+            f"{arr}[0] = 0;\n"
+            f"for ({i} = 1; {i} < {self.ub()}; {i}++) "
+            f"{arr}[{i}] = {arr}[{i} - 1] + {d};"
+        )
+
+    def seg_scatter(self) -> str:
+        idx = self.any_index_array()
+        dst = self.any_data_array()
+        i = self.fresh("i")
+        return (
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) "
+            f"{dst}[{idx}[{i}]] = {self.value_expr(i)};"
+        )
+
+    def seg_gather(self) -> str:
+        idx = self.any_index_array()
+        srcv = self.any_data_array()
+        dst = self.new_data_array()
+        i = self.fresh("i")
+        return (
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) "
+            f"{dst}[{i}] = {srcv}[{idx}[{i}]] + {self.value_expr(i)};"
+        )
+
+    def seg_plain(self) -> str:
+        dst = self.any_data_array()
+        i = self.fresh("i")
+        return (
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) "
+            f"{dst}[{self.subscript(i)}] = {self.value_expr(i)};"
+        )
+
+    def seg_reduction(self) -> str:
+        acc = self.new_scalar(0)
+        src = self.any_data_array()
+        i = self.fresh("i")
+        return (
+            f"{acc} = 0;\n"
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) "
+            f"{acc} = {acc} + {src}[{i}];"
+        )
+
+    def seg_nested(self) -> str:
+        dst = self.any_data_array()
+        src = self.any_data_array()
+        i, j = self.fresh("i"), self.fresh("j")
+        return (
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) {{\n"
+            f"  for ({j} = 0; {j} < {self.ub()}; {j}++) {{\n"
+            f"    {dst}[{i}] = {dst}[{i}] + {src}[{j}];\n"
+            f"  }}\n"
+            f"}}"
+        )
+
+    def seg_while(self) -> str:
+        # ineligible construct: the analysis must fall back conservatively
+        dst = self.any_data_array()
+        j = self.new_scalar(0)
+        step = self.rng.choice([1, 2, 3])
+        return (
+            f"{j} = 0;\n"
+            f"while ({j} < {self.ub()}) {{\n"
+            f"  {dst}[{j}] = {j};\n"
+            f"  {j} = {j} + {step};\n"
+            f"}}"
+        )
+
+    def seg_break(self) -> str:
+        dst = self.any_data_array()
+        i = self.fresh("i")
+        return (
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) {{\n"
+            f"  {dst}[{i}] = {self.value_expr(i)};\n"
+            f"  if ({dst}[{i}] > {self.rng.randint(20, 60)}) break;\n"
+            f"}}"
+        )
+
+    SEGMENTS = (
+        ("affine_fill", 3),
+        ("counter_fill", 3),
+        ("recurrence_fill", 2),
+        ("scatter", 3),
+        ("gather", 3),
+        ("plain", 3),
+        ("reduction", 1),
+        ("nested", 2),
+        ("while", 1),
+        ("break", 1),
+    )
+
+    def program(self) -> str:
+        names = [name for name, w in self.SEGMENTS for _ in range(w)]
+        parts = []
+        for _ in range(self.rng.randint(2, 5)):
+            seg = getattr(self, "seg_" + self.rng.choice(names))
+            parts.append(seg())
+        return "\n".join(parts) + "\n"
+
+
+def generate(seed: int) -> FuzzProgram:
+    """Deterministically generate one safe-to-execute fuzz program."""
+    g = _Gen(random.Random(seed))
+    src = g.program()
+    return FuzzProgram(seed=seed, source=src, env=g.env)
+
+
+def corpus(count: int, base_seed: int = 0) -> List[FuzzProgram]:
+    """The fixed fuzz corpus: seeds ``base_seed .. base_seed+count-1``."""
+    return [generate(base_seed + k) for k in range(count)]

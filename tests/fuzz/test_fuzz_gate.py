@@ -1,0 +1,141 @@
+"""Crash-free fuzz gate.
+
+Every seeded program must flow through the full pipeline with zero
+uncaught exceptions (the fail-soft engine converts internal faults into
+diagnostics + conservative serial decisions), and every loop the pipeline
+marks parallel must pass the dynamic race checker — the executable
+soundness invariant.
+
+The corpus is fixed-seed, so the gate is deterministic; ``REPRO_FUZZ_COUNT``
+scales it (default 500, a few seconds).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisConfig, analyze_program
+from repro.budget import AnalysisBudget
+from repro.lang.astnodes import For
+from repro.parallelizer import parallelize
+from repro.runtime.racecheck import check_loop_races
+
+from tests.fuzz.gen import generate
+
+FUZZ_COUNT = int(os.environ.get("REPRO_FUZZ_COUNT", "500"))
+SHARDS = 10
+
+
+def _shard_seeds(shard: int):
+    return range(shard, FUZZ_COUNT, SHARDS)
+
+
+def _top_parallel_loops(result):
+    out = []
+    for stmt in result.program.stmts:
+        if isinstance(stmt, For):
+            d = result.decisions.get(stmt.loop_id or "")
+            if d is not None and d.parallel:
+                out.append((stmt, d))
+    return out
+
+
+def _checks_hold(prog, loop, env, checks) -> bool:
+    """Evaluate a decision's runtime checks at the loop's entry point.
+
+    A parallel decision with an ``if(...)`` clause only promises race
+    freedom when the clause holds — OpenMP runs the loop serially
+    otherwise, so the gate must do the same.
+    """
+    from repro.lang.cparser import parse_expr
+    from repro.runtime.interp import Interpreter
+
+    if not checks:
+        return True
+    interp = Interpreter(env)
+    for s in prog.stmts:
+        if s is loop:
+            break
+        interp.exec_stmt(s)
+    # synthesized `X_max` symbols denote counter X's post-fill value, which
+    # at the consumer's entry point is simply X's current value
+    state = dict(interp.env)
+    for name, val in list(state.items()):
+        if isinstance(val, (int, np.integer)):
+            state.setdefault(f"{name}_max", val)
+    checker = Interpreter(state)
+    return all(bool(checker.eval(parse_expr(c.text))) for c in checks)
+
+
+@pytest.mark.parametrize("shard", range(SHARDS))
+def test_fuzz_corpus_never_crashes_and_parallel_loops_are_race_free(shard):
+    config = AnalysisConfig.new_algorithm()
+    for seed in _shard_seeds(shard):
+        fp = generate(seed)
+        # crash-freedom: any internal fault must surface as a diagnostic,
+        # never as an exception
+        try:
+            result = parallelize(fp.source, config)
+        except Exception as exc:  # pragma: no cover - the gate's whole point
+            pytest.fail(f"seed {seed}: parallelize raised {type(exc).__name__}: {exc}\n{fp.source}")
+        for d in result.diagnostics:
+            assert d.kind, f"seed {seed}: diagnostic without kind"
+        # soundness: parallel-marked top-level loops must be race-free on a
+        # real execution (when their runtime if-clause, if any, holds)
+        for loop, dec in _top_parallel_loops(result):
+            if not _checks_hold(result.program, loop, fp.fresh_env(), dec.checks):
+                continue
+            rep = check_loop_races(result.program, loop, fp.fresh_env())
+            assert rep.clean, (
+                f"seed {seed}: loop {loop.loop_id} marked parallel but races: "
+                + "; ".join(str(c) for c in rep.conflicts)
+                + f"\n{fp.source}"
+            )
+
+
+@pytest.mark.parametrize("shard", range(SHARDS))
+def test_fuzz_corpus_classical_pipeline_never_crashes(shard):
+    config = AnalysisConfig.classical()
+    for seed in _shard_seeds(shard):
+        fp = generate(seed)
+        result = parallelize(fp.source, config)
+        for loop, dec in _top_parallel_loops(result):
+            if not _checks_hold(result.program, loop, fp.fresh_env(), dec.checks):
+                continue
+            rep = check_loop_races(result.program, loop, fp.fresh_env())
+            assert rep.clean, f"seed {seed}: classical marked racy loop parallel"
+
+
+def test_fuzz_corpus_under_tight_budget_never_crashes():
+    """Budgeted analysis degrades (diagnostics + serial), never raises."""
+    import dataclasses
+
+    budget = AnalysisBudget(max_expr_nodes=40, max_simplify_steps=200)
+    config = dataclasses.replace(AnalysisConfig.new_algorithm(), budget=budget)
+    for seed in range(0, FUZZ_COUNT, 10):
+        fp = generate(seed)
+        result = parallelize(fp.source, config)
+        # budget stops must serialize the affected nest
+        for d in result.diagnostics:
+            if d.kind == "budget-exceeded" and d.nest_id:
+                dec = result.decisions.get(d.nest_id)
+                assert dec is not None and not dec.parallel
+
+
+def test_corpus_is_deterministic():
+    a, b = generate(123), generate(123)
+    assert a.source == b.source
+    assert set(a.env) == set(b.env)
+
+
+def test_corpus_is_executable():
+    """Every program runs under the interpreter without faulting."""
+    from repro.lang.cparser import parse_program
+    from repro.runtime.interp import run_program
+
+    for seed in range(0, FUZZ_COUNT, 25):
+        fp = generate(seed)
+        run_program(parse_program(fp.source), fp.fresh_env())

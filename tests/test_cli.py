@@ -105,3 +105,106 @@ def test_explain_command(amg_file, capsys):
     out = capsys.readouterr().out
     assert "Phase-1 SVD" in out
     assert "dependence graph" in out
+
+
+# ---------------------------------------------------------------------------
+# hardening: user errors are one-line messages on stderr, exit 2
+# ---------------------------------------------------------------------------
+
+
+def test_missing_file_exits_2_no_traceback(capsys):
+    assert main(["report", "/no/such/file.c"]) == 2
+    cap = capsys.readouterr()
+    err_lines = [l for l in cap.err.splitlines() if l]
+    assert len(err_lines) == 1 and err_lines[0].startswith("error: ")
+    assert "Traceback" not in cap.err
+
+
+def test_unreadable_file_exits_2(tmp_path, capsys):
+    import os
+
+    f = tmp_path / "locked.c"
+    f.write_text("for (i = 0; i < n; i++) a[i] = 0;")
+    os.chmod(f, 0)
+    try:
+        if os.access(f, os.R_OK):  # running as root: chmod 0 is not enough
+            pytest.skip("cannot create an unreadable file in this environment")
+        assert main(["report", str(f)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+    finally:
+        os.chmod(f, 0o644)
+
+
+def test_parse_error_exits_2(tmp_path, capsys):
+    f = tmp_path / "bad.c"
+    f.write_text("for (i = 0; i < n; i++ { a[i] = 0; }")
+    assert main(["report", str(f)]) == 2
+    cap = capsys.readouterr()
+    assert cap.err.startswith("error: ")
+    assert "Traceback" not in cap.err
+
+
+def test_deeply_nested_program_is_a_parse_error(tmp_path, capsys):
+    depth = 50_000
+    f = tmp_path / "deep.c"
+    f.write_text("x = " + "(" * depth + "1" + ")" * depth + ";")
+    assert main(["report", str(f)]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "too deeply nested" in err
+
+
+# ---------------------------------------------------------------------------
+# --strict and budget knobs
+# ---------------------------------------------------------------------------
+
+
+def test_strict_passes_on_clean_program(tmp_path, capsys):
+    f = tmp_path / "clean.c"
+    f.write_text("for (cs_i = 0; cs_i < cs_n; cs_i++) cs_a[cs_i] = cs_i;")
+    assert main(["report", str(f), "--strict"]) == 0
+
+
+def test_strict_fails_on_diagnostics(tmp_path, capsys):
+    f = tmp_path / "brk.c"
+    f.write_text(
+        "for (cw_i = 0; cw_i < cw_n; cw_i++) {\n"
+        "  cw_a[cw_i] = cw_i;\n"
+        "  if (cw_a[cw_i] > 3) break;\n"
+        "}\n"
+    )
+    assert main(["report", str(f), "--strict"]) == 1
+    cap = capsys.readouterr()
+    assert "diagnostic(s):" in cap.err
+    assert "unsupported-pattern" in cap.err
+    # without --strict the same run exits 0 (informational diagnostic only)
+    assert main(["report", str(f)]) == 0
+
+
+def test_budget_flag_produces_diagnostic_and_serial(tmp_path, capsys):
+    # fresh variable names: the memoized simplifier only charges budgets on
+    # cache misses, so a source warmed by other tests would sail through
+    f = tmp_path / "budgeted.c"
+    f.write_text(
+        "cb_z = 0;\n"
+        "for (cb_i = 0; cb_i < cb_n; cb_i++){\n"
+        "    if (cb_d[cb_i+1] - cb_d[cb_i] > 0)\n"
+        "        cb_w[cb_z++] = cb_i;\n"
+        "}\n"
+        "for (cb_q = 0; cb_q < cb_m; cb_q++){\n"
+        "    cb_y[cb_w[cb_q]] = cb_y[cb_w[cb_q]] + 1;\n"
+        "}\n"
+    )
+    assert main(["report", str(f), "--max-expr-nodes", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "budget-exceeded" in out
+    assert "PARALLEL" not in out
+    # and --strict turns it into a nonzero exit
+    assert main(["report", str(f), "--max-expr-nodes", "2", "--strict"]) == 1
+    assert "budget-exceeded" in capsys.readouterr().err
+
+
+def test_deadline_flag_accepted(amg_file, capsys):
+    # generous deadline: same decisions as the unbudgeted run
+    assert main(["report", amg_file, "--deadline-ms", "60000"]) == 0
+    assert "PARALLEL" in capsys.readouterr().out
