@@ -1,6 +1,5 @@
 """Shared fixtures for the benchmark harness."""
 
-import pytest
 
 
 def print_block(title: str, text: str) -> None:

@@ -10,7 +10,7 @@ import dataclasses
 import pytest
 from conftest import print_block
 
-from repro.analysis import AnalysisConfig, analyze_program
+from repro.analysis import AnalysisConfig
 from repro.benchmarks import get_benchmark
 from repro.parallelizer import parallelize
 from repro.runtime.simulate import plan_from_decisions, simulate_app

@@ -54,6 +54,62 @@ def test_full_parallelization_speed(benchmark, name):
 
 
 @pytest.mark.parametrize("name", APPS)
+def test_certified_parallelization_speed(benchmark, name):
+    """Production path: certificate emission + independent checker on,
+    IR linter off (its default outside the test suite)."""
+    import dataclasses
+
+    config = dataclasses.replace(
+        AnalysisConfig.new_algorithm(), verify_ir=False, verify_certificates=True
+    )
+    src = get_benchmark(name).source
+    res = benchmark(parallelize, src, config)
+    assert res.decisions
+    assert all(
+        d.certificate_verified for d in res.decisions.values() if d.parallel
+    )
+
+
+@pytest.mark.parametrize("name", ["AMGmk", "UA(transf)"])
+def test_certification_is_cold_path_only(name):
+    """Guard: proof-carrying verdicts must not tax the warm path.
+
+    Certificates are built and checked once, when the analysis runs; a
+    result-cache hit replays the stored decisions.  The warm path with
+    certification on must therefore stay within noise of certification
+    off (PR 2 baselines: AMGmk ~199µs, UA(transf) ~1.05ms warm).  The
+    bound is relative, with margin for timer jitter.
+    """
+    import dataclasses
+    import statistics
+    import time
+
+    src = get_benchmark(name).source
+    reps = 30
+
+    def warm_median(config):
+        parallelize(src, config)  # populate the cache
+        samples = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            parallelize(src, config)
+            samples.append(time.perf_counter() - t0)
+        return statistics.median(samples)
+
+    base = AnalysisConfig.new_algorithm()
+    t_off = warm_median(
+        dataclasses.replace(base, verify_ir=False, verify_certificates=False)
+    )
+    t_on = warm_median(
+        dataclasses.replace(base, verify_ir=False, verify_certificates=True)
+    )
+    assert t_on <= t_off * 1.5 + 2e-4, (
+        f"{name}: certified warm path {t_on * 1e6:.0f}µs vs "
+        f"uncertified {t_off * 1e6:.0f}µs — certification leaked onto the warm path"
+    )
+
+
+@pytest.mark.parametrize("name", APPS)
 def test_budgeted_analysis_speed(benchmark, name):
     """Same full analysis under a generous budget: every cooperative
     checkpoint is live (visible as budget checks in --stats/perfstats)

@@ -6,7 +6,6 @@ NewAlgo decision by executing the kernel with the dynamic race checker on
 a real (small) matrix, and predicts the paper's speedups on MATRIX1-5.
 """
 
-import numpy as np
 
 from repro.analysis import AnalysisConfig
 from repro.benchmarks import get_benchmark

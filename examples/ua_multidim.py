@@ -8,7 +8,6 @@ outermost level LEMMA 2 fires and proves #(SMA;0).
 """
 
 from repro.analysis import AnalysisConfig, analyze_program
-from repro.benchmarks import get_benchmark
 from repro.lang import parse_program
 from repro.runtime.interp import run_program
 

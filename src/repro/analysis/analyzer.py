@@ -26,7 +26,7 @@ from repro.ir import perfstats
 
 from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
 from repro.analysis.config import AnalysisConfig
-from repro.analysis.irbridge import EMPTY_RESOLVER, eval_expr
+from repro.analysis.irbridge import eval_expr
 from repro.analysis.loopinfo import LoopNest, assigned_arrays, assigned_scalars, find_loop_nests
 from repro.analysis.normalize import normalize_program
 from repro.analysis.phase1 import Phase1Result, run_phase1
@@ -34,9 +34,10 @@ from repro.analysis.phase2 import Phase2Result, run_phase2
 from repro.analysis.properties import ArrayProperty, MonoKind, PropertyStore
 from repro.ir.rangedict import RangeDict
 from repro.ir.ranges import Sign, SymRange, sign_of
-from repro.ir.symbols import ArrayRef, BigLambda, Bottom, Expr, IntLit, Sym
-from repro.lang.astnodes import ArrayAccess, Assign, Compound, Decl, For, Id, Node, Program, Statement
+from repro.ir.symbols import ArrayRef, BigLambda, Expr, IntLit, Sym
+from repro.lang.astnodes import ArrayAccess, Assign, Compound, Decl, For, Id, Program, Statement
 from repro.lang.cparser import parse_program
+from repro.verify.lint import lint_phase1, lint_phase2, lint_property
 
 
 class ProgramState:
@@ -290,7 +291,13 @@ class ProgramAnalyzer:
             if cl.analyzed:
                 collapsed[cl.loop_id] = cl
         p1 = run_phase1(nest, collapsed)
+        if self.config.verify_ir:
+            # structural well-formedness of the Phase-1 SVD; a LintError
+            # escapes to the nest fault boundary (internal-error downgrade)
+            lint_phase1(p1)
         p2 = run_phase2(nest, p1, self.config, entry_facts or RangeDict())
+        if self.config.verify_ir:
+            lint_phase2(p1, p2)
         loop_results[loop_id] = p2
         phase1_results[loop_id] = p1
         return p2.collapsed
@@ -312,6 +319,8 @@ class ProgramAnalyzer:
         for prop in cl.properties:
             resolved = self._resolve_property(prop, cl, state, bounds)
             if resolved is not None:
+                if self.config.verify_ir:
+                    lint_property(resolved)
                 store.record(resolved)
                 if resolved.counter_max is not None and resolved.counter_var is not None:
                     eff = cl.scalar_effects.get(resolved.counter_var)
@@ -389,6 +398,11 @@ class ProgramAnalyzer:
                     kind = kind.meet(MonoKind.MA)
                 region = SymRange(IntLit(0), region.ub)
 
+        evidence = prop.evidence
+        if evidence is not None:
+            # the certificate step tracks the resolved form (region after Λ
+            # substitution / prefix extension, kind after any lattice meet)
+            evidence = dataclasses.replace(evidence, kind=kind, region=region)
         return ArrayProperty(
             array=prop.array,
             kind=kind,
@@ -399,6 +413,7 @@ class ProgramAnalyzer:
             counter_max=prop.counter_max,
             counter_var=prop.counter_var,
             source_loop=prop.source_loop,
+            evidence=evidence,
         )
 
     def _exec_straightline(self, stmt: Statement, state: ProgramState, store: PropertyStore) -> None:

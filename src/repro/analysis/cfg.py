@@ -15,20 +15,9 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.lang.astnodes import (
-    Assign,
-    Compound,
-    Decl,
-    Expression,
-    ExprStmt,
-    For,
-    If,
-    Node,
-    Pragma,
-    Statement,
-)
+from repro.lang.astnodes import Compound, Expression, For, If, Node, Pragma, Statement
 
 
 class NodeKind(enum.Enum):

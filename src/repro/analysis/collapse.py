@@ -15,7 +15,7 @@ from typing import Dict, FrozenSet, List, Optional
 from repro.analysis.properties import ArrayProperty
 from repro.analysis.svd import StoreRec
 from repro.ir.ranges import SymRange, range_eval
-from repro.ir.symbols import BOTTOM, BigLambda, Bottom, Expr, Sym
+from repro.ir.symbols import BOTTOM, BigLambda, Expr, Sym
 
 
 @dataclasses.dataclass

@@ -18,8 +18,19 @@ benchmarks.
 from __future__ import annotations
 
 import dataclasses
+import os
 
 from repro.budget import AnalysisBudget
+
+
+def _verify_ir_default() -> bool:
+    """Default of :attr:`AnalysisConfig.verify_ir` (env ``REPRO_VERIFY_IR``).
+
+    The test suite turns the IR/SVD linter on via ``tests/conftest.py``;
+    production callers keep the cheap flag-check-off default unless they
+    opt in explicitly.
+    """
+    return os.environ.get("REPRO_VERIFY_IR", "").lower() in ("1", "true", "on")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -41,6 +52,13 @@ class AnalysisConfig:
     #: fingerprint, so a budget-degraded result is never served to a
     #: caller with a different budget
     budget: AnalysisBudget = dataclasses.field(default_factory=AnalysisBudget)
+    #: emit a proof certificate for every PARALLEL verdict and demote any
+    #: verdict whose certificate the independent checker rejects
+    #: (:mod:`repro.verify`); fingerprint-relevant like every other field
+    verify_certificates: bool = True
+    #: run the IR/SVD invariant linter after Phase-1/Phase-2 (debug-mode
+    #: assertions; on by default under the test suite via REPRO_VERIFY_IR)
+    verify_ir: bool = dataclasses.field(default_factory=_verify_ir_default)
 
     @staticmethod
     def classical() -> "AnalysisConfig":

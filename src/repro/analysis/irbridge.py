@@ -9,25 +9,11 @@ module provides that evaluation plus the canonical representation of
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, Optional, Tuple
 
 from repro.ir.ranges import SymRange
 from repro.ir.simplify import simplify
-from repro.ir.symbols import (
-    BOTTOM,
-    ArrayRef,
-    Bottom,
-    Div,
-    Expr,
-    IntLit,
-    LambdaVal,
-    Mod,
-    Sym,
-    add,
-    mul,
-    neg,
-    sub,
-)
+from repro.ir.symbols import ArrayRef, Bottom, Div, IntLit, Mod, Sym, mul
 from repro.lang.astnodes import (
     ArrayAccess,
     BinOp,

@@ -23,27 +23,11 @@ drop-in statement rewrite).
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from repro.analysis.loopinfo import assigned_scalars
 from repro.analysis.normalize import LoopHeader, match_header
-from repro.lang.astnodes import (
-    ArrayAccess,
-    Assign,
-    BinOp,
-    Call,
-    Compound,
-    Expression,
-    For,
-    Id,
-    If,
-    Node,
-    Num,
-    Statement,
-    Ternary,
-    UnOp,
-    While,
-)
+from repro.lang.astnodes import ArrayAccess, Assign, BinOp, Call, Compound, Expression, For, Id, Node, Num, Statement
 
 
 @dataclasses.dataclass

@@ -14,21 +14,7 @@ from typing import Iterator, List, Optional, Set
 
 from repro.analysis.irbridge import SIDE_EFFECT_FREE_CALLS
 from repro.analysis.normalize import LoopHeader, match_header
-from repro.lang.astnodes import (
-    ArrayAccess,
-    Assign,
-    Break,
-    Call,
-    Compound,
-    Decl,
-    For,
-    Id,
-    If,
-    Node,
-    Program,
-    Statement,
-    While,
-)
+from repro.lang.astnodes import ArrayAccess, Assign, Break, Call, Compound, Decl, For, Id, Node, Program, Statement, While
 
 _loop_counter = itertools.count()
 

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.irbridge import Tag
 from repro.analysis.properties import MonoKind
-from repro.analysis.svd import SVD, StoreRec, ValueSet, VItem
+from repro.analysis.svd import SVD, StoreRec, ValueSet
 from repro.ir.rangedict import RangeDict
 from repro.ir.ranges import Sign, SymRange, sign_of
 from repro.ir.simplify import decompose_affine, simplify

@@ -15,30 +15,9 @@ prerequisite of Phase-1.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
-from repro.lang.astnodes import (
-    ArrayAccess,
-    Assign,
-    BinOp,
-    Break,
-    Call,
-    Compound,
-    Decl,
-    Expression,
-    ExprStmt,
-    For,
-    Id,
-    If,
-    IncDec,
-    Node,
-    Num,
-    Pragma,
-    Program,
-    Statement,
-    UnOp,
-    While,
-)
+from repro.lang.astnodes import ArrayAccess, Assign, BinOp, Call, Compound, Decl, Expression, ExprStmt, For, Id, If, IncDec, Num, Program, Statement, UnOp, While
 
 
 class TempFactory:

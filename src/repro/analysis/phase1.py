@@ -32,7 +32,7 @@ from repro.analysis.loopinfo import LoopNest, assigned_arrays, assigned_scalars
 from repro.analysis.normalize import LoopHeader
 from repro.analysis.svd import SVD, StoreRec, ValueSet, VItem
 from repro.ir.ranges import SymRange
-from repro.ir.symbols import Expr, LambdaVal, Sym
+from repro.ir.symbols import Expr, LambdaVal
 from repro.lang.astnodes import ArrayAccess, Assign, Decl, ExprStmt, For, Id
 
 

@@ -16,26 +16,20 @@ Phase-2 consumes the Phase-1 SVD of the loop's final statement and
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro import budget as _budget
-from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
+from repro.analysis.collapse import CollapsedLoop, subst_range
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.irbridge import eval_expr
 from repro.analysis.loopinfo import LoopNest
-from repro.analysis.monotonic import (
-    MonoArrayResult,
-    SSRInfo,
-    is_loop_invariant,
-    is_mono_array,
-    is_ssr,
-    subscript_is_simple,
-)
+from repro.analysis.monotonic import MonoArrayResult, SSRInfo, is_mono_array, is_ssr, subscript_is_simple
 from repro.analysis.phase1 import Phase1Result
-from repro.analysis.properties import ArrayProperty, MonoKind
+from repro.analysis.properties import ArrayProperty
 from repro.analysis.svd import StoreRec, VItem
+from repro.verify.certificate import SSRStep, mono_step_from_result
 from repro.ir.rangedict import RangeDict
-from repro.ir.ranges import SymRange, range_eval
+from repro.ir.ranges import SymRange
 from repro.ir.symbols import (
     BOTTOM,
     BigLambda,
@@ -283,7 +277,7 @@ def _build_property(
         cmax = Sym(f"{res.counter_var}_max")
         region = SymRange(BigLambda(res.counter_var), cmax)
         value_range = _ssr_expr_range(res, lir, trip, ssr_vars)
-        return ArrayProperty(
+        prop = ArrayProperty(
             array=arr,
             kind=res.kind,
             dim=0,
@@ -294,6 +288,7 @@ def _build_property(
             counter_var=res.counter_var,
             source_loop=loop_id,
         )
+        return _attach_evidence(prop, res, ssr_vars, loop_id)
     if res.chain:
         recs = svd.arrays[arr]
         k = subscript_is_simple(recs[0].subs[0], idx)
@@ -303,9 +298,10 @@ def _build_property(
         # first write
         if region.has_lb:
             region = SymRange(simplify(sub(region.lb, IntLit(1))), region.ub)
-        return ArrayProperty(
+        prop = ArrayProperty(
             array=arr, kind=res.kind, dim=0, region=region, value_range=None, source_loop=loop_id
         )
+        return _attach_evidence(prop, res, ssr_vars, loop_id)
     if res.alpha is not None:
         # LEMMA 2 multi-dimensional property
         recs = svd.arrays[arr]
@@ -316,7 +312,7 @@ def _build_property(
             region = r if region is None else region.union(r)
         value_range = lir.scale(res.alpha) + (res.rem_range or SymRange.point(0))
         value_range = SymRange(_lam_to_biglam_b(value_range.lb), _lam_to_biglam_b(value_range.ub))
-        return ArrayProperty(
+        prop = ArrayProperty(
             array=arr,
             kind=res.kind,
             dim=res.dim,
@@ -324,14 +320,39 @@ def _build_property(
             value_range=value_range,
             source_loop=loop_id,
         )
+        return _attach_evidence(prop, res, ssr_vars, loop_id)
     # contiguous SRA: region is the subscript sweep
     recs = svd.arrays[arr]
     k = subscript_is_simple(recs[0].subs[0], idx)
     region = lir + SymRange.point(_lam_to_biglam(k)) if k is not None else lir
     value_range = _ssr_expr_range(res, lir, trip, ssr_vars)
-    return ArrayProperty(
+    prop = ArrayProperty(
         array=arr, kind=res.kind, dim=0, region=region, value_range=value_range, source_loop=loop_id
     )
+    return _attach_evidence(prop, res, ssr_vars, loop_id)
+
+
+def _attach_evidence(
+    prop: ArrayProperty,
+    res: MonoArrayResult,
+    ssr_vars: Dict[str, SSRInfo],
+    loop_id: str,
+) -> ArrayProperty:
+    """Record the certificate step describing how ``prop`` was derived."""
+    ssr_step: Optional[SSRStep] = None
+    se = res.ssr_expr
+    if se is not None and not se.is_index:
+        info = ssr_vars.get(se.ssr_var)
+        if info is not None:
+            ssr_step = SSRStep(var=info.var, kind=info.kind, k=info.k, conditional=info.conditional)
+    if ssr_step is None and res.counter_var is not None:
+        info = ssr_vars.get(res.counter_var)
+        if info is not None:
+            ssr_step = SSRStep(var=info.var, kind=info.kind, k=info.k, conditional=info.conditional)
+    prop.evidence = mono_step_from_result(
+        prop.array, res, loop_id, prop.region, prop.counter_max, ssr_step
+    )
+    return prop
 
 
 def _ssr_expr_range(

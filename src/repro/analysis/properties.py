@@ -20,10 +20,13 @@ from __future__ import annotations
 
 import dataclasses
 import enum
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.ir.ranges import SymRange
-from repro.ir.symbols import Expr, Sym
+from repro.ir.symbols import Sym
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (verify ← properties)
+    from repro.verify.certificate import MonoStep
 
 
 class MonoKind(enum.Enum):
@@ -76,6 +79,11 @@ class ArrayProperty:
         Name of the counter scalar (``irownnz``/``holder``/…).
     source_loop:
         ``loop_id`` of the fill loop that established the property.
+    evidence:
+        The certificate step (:class:`repro.verify.certificate.MonoStep`)
+        recording *how* the property was derived; threaded into verdict
+        certificates so the independent checker can re-validate the
+        derivation against the fill loop's AST.
     """
 
     array: str
@@ -87,6 +95,7 @@ class ArrayProperty:
     counter_max: Optional[Sym] = None
     counter_var: Optional[str] = None
     source_loop: Optional[str] = None
+    evidence: Optional["MonoStep"] = None
 
     @property
     def injective(self) -> bool:

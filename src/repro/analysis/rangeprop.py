@@ -26,7 +26,7 @@ from repro.analysis.cfg import CFG, CFGNode, NodeKind, build_cfg
 from repro.analysis.irbridge import ScalarResolver, eval_expr
 from repro.ir.rangedict import RangeDict
 from repro.ir.ranges import SymRange
-from repro.ir.symbols import BOTTOM, Expr, IntLit, Sym, add, sub
+from repro.ir.symbols import BOTTOM, IntLit, Sym, add, sub
 from repro.lang.astnodes import Assign, BinOp, Decl, Expression, Id, Statement, UnOp
 
 

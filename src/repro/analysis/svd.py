@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.irbridge import EMPTY_TAG, Tag
 from repro.ir.ranges import SymRange
-from repro.ir.symbols import Expr, LambdaVal
+from repro.ir.symbols import LambdaVal
 
 
 @dataclasses.dataclass(frozen=True)

@@ -17,7 +17,6 @@ import numpy as np
 from repro.benchmarks.base import Benchmark
 from repro.runtime.simulate import KernelComponent, PerfModel
 from repro.workloads.amg import AMG_DATASETS, amg_matrix, row_nnz_profile
-from repro.workloads.sparse import CSRMatrix
 
 SOURCE = """
 irownnz = 0;

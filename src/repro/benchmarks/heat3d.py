@@ -72,7 +72,6 @@ def small_env() -> Dict[str, Any]:
 def reference(env: Dict[str, Any]) -> np.ndarray:
     A = env["A"].copy()
     B = env["B"].copy()
-    n = env["n"]
     c = 125.0
 
     def sweep(src, dst):

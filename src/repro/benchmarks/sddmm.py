@@ -16,7 +16,6 @@ import numpy as np
 
 from repro.benchmarks.base import Benchmark
 from repro.runtime.simulate import KernelComponent, PerfModel
-from repro.workloads.sparse import skewed_csr
 from repro.workloads.suitesparse import SUITESPARSE_PROFILES, suitesparse_profile
 
 #: dense factor rank used by Nisa et al.'s SDDMM kernels

@@ -67,6 +67,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "(unsupported pattern, budget stop, internal fault)",
         )
         sp.add_argument(
+            "--audit",
+            action="store_true",
+            help="print each PARALLEL loop's verdict certificate (the proof "
+            "chain re-validated by the independent checker)",
+        )
+        sp.add_argument(
             "--max-expr-nodes",
             type=int,
             default=None,
@@ -165,6 +171,7 @@ def _run_command(args) -> int:
     result = parallelize(program if program is not None else src, config)
     if args.command == "report":
         print(format_report(result))
+        _print_audit(args, result)
         return _finish_strict(args, result.diagnostics)
 
     if args.command == "explain":
@@ -174,11 +181,24 @@ def _run_command(args) -> int:
             print(explain_loop(result, args.loop))
         else:
             print(explain_all(result))
+        _print_audit(args, result)
         return _finish_strict(args, result.diagnostics)
 
-    # parallelize
+    # parallelize: the audit goes to stderr so stdout stays compilable C
     print(emit_openmp(result, schedule=args.schedule, chunk=args.chunk), end="")
+    if getattr(args, "audit", False):
+        from repro.parallelizer.explain import format_audit
+
+        print(format_audit(result), file=sys.stderr)
     return _finish_strict(args, result.diagnostics)
+
+
+def _print_audit(args, result) -> None:
+    if getattr(args, "audit", False):
+        from repro.parallelizer.explain import format_audit
+
+        print()
+        print(format_audit(result))
 
 
 def _config_from_args(args) -> AnalysisConfig:

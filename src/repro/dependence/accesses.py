@@ -10,30 +10,12 @@ extended dependence tests both consume :class:`AccessInfo`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.analysis.normalize import LoopHeader, match_header
+from repro.analysis.normalize import match_header
 from repro.ir.simplify import decompose_affine, simplify
 from repro.ir.symbols import ArrayRef, Expr, IntLit, Sym
-from repro.lang.astnodes import (
-    ArrayAccess,
-    Assign,
-    BinOp,
-    Call,
-    Compound,
-    Decl,
-    Expression,
-    ExprStmt,
-    For,
-    Id,
-    If,
-    Node,
-    Num,
-    Statement,
-    Ternary,
-    UnOp,
-    While,
-)
+from repro.lang.astnodes import ArrayAccess, Assign, BinOp, Compound, Decl, Expression, ExprStmt, For, Id, If, Node, Num, Statement, UnOp, While
 
 
 @dataclasses.dataclass
@@ -132,7 +114,6 @@ def build_copy_env(body: Statement, index: str) -> Dict[str, Expression]:
 def _subst_ids(e: Expression, env: Dict[str, Expression]) -> Expression:
     if isinstance(e, Id) and e.name in env:
         return env[e.name].clone()  # type: ignore[return-value]
-    changed = False
     e2 = e.clone()
     _subst_in_place(e2, env)
     return e2

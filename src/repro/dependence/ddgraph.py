@@ -11,7 +11,7 @@ dependence graph plays for its ``-ddt`` reports.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.properties import PropertyStore
 from repro.dependence.accesses import AccessInfo, InnerLoopInfo
@@ -83,7 +83,7 @@ def build_dependence_graph(
             classic_ok = accesses_independent(w, other)
             if classic_ok:
                 continue
-            ext_ok, _ = _pair_independent(w, other, index, index_range, props, inner)
+            ext_ok, _, _ = _pair_independent(w, other, index, index_range, props, inner)
             if ext_ok:
                 continue
             if i == j:

@@ -22,7 +22,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.normalize import LoopHeader
 from repro.analysis.properties import ArrayProperty, MonoKind, PropertyStore
 from repro.dependence.accesses import (
     AccessInfo,
@@ -31,10 +30,16 @@ from repro.dependence.accesses import (
     _to_ir,
 )
 from repro.dependence.classic import subscript_pair_independent
-from repro.ir.ranges import Sign, sign_of
+from repro.ir.ranges import sign_of
 from repro.ir.simplify import simplify
 from repro.ir.symbols import Expr, IntLit, Sym, add, sub
-from repro.lang.astnodes import ArrayAccess, BinOp, Expression, Id, Num
+from repro.lang.astnodes import ArrayAccess, Expression
+from repro.verify.certificate import (
+    ROUTE_BOUND,
+    ROUTE_CLASSICAL,
+    ROUTE_DIRECT,
+    DisproofStep,
+)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -199,19 +204,42 @@ def _indirection_of(e: Expression) -> Optional[Tuple[str, List[Expression]]]:
     return None
 
 
+@dataclasses.dataclass
+class ExtendedResult:
+    """Structured outcome of the extended whole-loop dependence test.
+
+    Iterates as the legacy ``(independent, checks, reasons)`` triple so
+    tuple-unpacking callers keep working; ``disproofs`` additionally
+    records, per written array, which route cleared it — the raw material
+    of the verdict certificate (:mod:`repro.verify.certificate`).
+    """
+
+    independent: bool
+    checks: List[RuntimeCheck]
+    reasons: List[str]
+    disproofs: List[DisproofStep] = dataclasses.field(default_factory=list)
+
+    def __iter__(self):
+        yield self.independent
+        yield self.checks
+        yield self.reasons
+
+
 def extended_independent(
     accesses: Sequence[AccessInfo],
     index: str,
     index_range: Tuple[Expr, Expr],
     props: PropertyStore,
     inner: Dict[str, InnerLoopInfo],
-) -> Tuple[bool, List[RuntimeCheck], List[str]]:
+) -> ExtendedResult:
     """Whole-loop independence with subscript-array properties.
 
-    Returns ``(independent, runtime_checks, failure_reasons)``.
+    Returns an :class:`ExtendedResult` (unpacks as ``(independent,
+    runtime_checks, failure_reasons)``).
     """
     reasons: List[str] = []
     checks: List[RuntimeCheck] = []
+    disproofs: List[DisproofStep] = []
     by_array: dict = {}
     for acc in accesses:
         by_array.setdefault(acc.array, []).append(acc)
@@ -223,10 +251,12 @@ def extended_independent(
         for w in writes:
             # include the self-pair: the same write in two iterations
             for other in accs:
-                ok, cks = _pair_independent(w, other, index, index_range, props, inner)
+                ok, cks, step = _pair_independent(w, other, index, index_range, props, inner)
                 if not ok:
-                    reasons.append(f"{array}: unresolved dependence")
+                    reasons.append(f"{array}: " + _diagnose_pair(w, other, index, props, inner))
                     break
+                if step is not None and step not in disproofs:
+                    disproofs.append(step)
                 for c in cks:
                     if c not in checks:
                         checks.append(c)
@@ -235,7 +265,7 @@ def extended_independent(
             break
         if reasons:
             break
-    return (not reasons, checks, reasons)
+    return ExtendedResult(not reasons, checks, reasons, disproofs)
 
 
 def _pair_independent(
@@ -245,16 +275,103 @@ def _pair_independent(
     index_range: Tuple[Expr, Expr],
     props: PropertyStore,
     inner: Dict[str, InnerLoopInfo],
-) -> Tuple[bool, List[RuntimeCheck]]:
+) -> Tuple[bool, List[RuntimeCheck], Optional[DisproofStep]]:
     if len(a.subs) != len(b.subs):
-        return False, []
-    for sa, sb in zip(a.subs, b.subs):
+        return False, [], None
+    for d, (sa, sb) in enumerate(zip(a.subs, b.subs)):
         if subscript_pair_independent(sa, sb):
-            return True, []
+            return True, [], DisproofStep(
+                array=a.array,
+                route=ROUTE_CLASSICAL,
+                detail=f"dim {d}: affine subscripts never collide across iterations",
+            )
         cks = _direct_indirection_dim(sa, sb, index, props, index_range)
         if cks is not None:
-            return True, cks
+            prop = props.any_property_of(sa.indirection[0]) if sa.indirection else None
+            return True, cks, DisproofStep(
+                array=a.array,
+                route=ROUTE_DIRECT,
+                via_array=sa.indirection[0] if sa.indirection else None,
+                via_dim=prop.dim if prop is not None else 0,
+                checks=tuple(c.text for c in cks),
+                detail=f"dim {d}: injective (SMA) subscript array separates iterations",
+            )
         cks = _bound_indirection_dim(sa, sb, index, props, inner, index_range)
         if cks is not None:
-            return True, cks
-    return False, []
+            info = inner.get(sa.inner_index or "")
+            via = None
+            if info is not None:
+                ind = _indirection_of(info.lb)
+                via = ind[0] if ind is not None else None
+            return True, cks, DisproofStep(
+                array=a.array,
+                route=ROUTE_BOUND,
+                via_array=via,
+                via_dim=0,
+                checks=tuple(c.text for c in cks),
+                detail=(
+                    f"dim {d}: inner index '{sa.inner_index}' sweeps disjoint "
+                    f"windows of a monotonic bound array"
+                ),
+            )
+    return False, [], None
+
+
+def _diagnose_pair(
+    a: AccessInfo,
+    b: AccessInfo,
+    index: str,
+    props: PropertyStore,
+    inner: Dict[str, InnerLoopInfo],
+) -> str:
+    """Why no disproof route applied — names the *missing property* when
+    one indirection pattern was recognized but its premise failed."""
+    if len(a.subs) != len(b.subs):
+        return "subscript dimensionality mismatch"
+    msgs: List[str] = []
+    for sa, sb in zip(a.subs, b.subs):
+        if (
+            sa.indirection is not None
+            and sb.indirection is not None
+            and sa.indirection[0] == sb.indirection[0]
+        ):
+            arr = sa.indirection[0]
+            prop = props.any_property_of(arr)
+            if prop is None:
+                msgs.append(f"no monotonicity property proven for subscript array '{arr}'")
+            elif prop.kind is not MonoKind.SMA:
+                msgs.append(
+                    f"subscript array '{arr}' is only {prop.kind}; "
+                    "direct indirection needs SMA (injectivity)"
+                )
+            else:
+                msgs.append(
+                    f"indirections through '{arr}' are not at matching "
+                    "affine positions with equal constant offsets"
+                )
+            continue
+        if sa.inner_index is not None and sa.inner_index == sb.inner_index:
+            info = inner.get(sa.inner_index)
+            if info is not None and not info.inclusive:
+                ind = _indirection_of(info.lb)
+                if ind is not None:
+                    arr = ind[0]
+                    prop = props.property_of(arr, 0)
+                    if prop is None or not prop.kind.monotonic:
+                        msgs.append(
+                            f"no monotonicity property proven for bound array '{arr}'"
+                        )
+                        continue
+            msgs.append(
+                f"inner index '{sa.inner_index}' does not sweep "
+                f"[b[f({index})] : b[f({index})+1]) of a monotonic array b"
+            )
+            continue
+        if sa.affine is None or sb.affine is None:
+            msgs.append("subscript not affine in the loop index")
+        else:
+            msgs.append("affine subscripts may collide across iterations")
+    for m in msgs:
+        if "property" in m:
+            return m
+    return msgs[0] if msgs else "unresolved dependence"

@@ -20,22 +20,7 @@ import enum
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.normalize import match_header
-from repro.lang.astnodes import (
-    ArrayAccess,
-    Assign,
-    BinOp,
-    Call,
-    Compound,
-    Decl,
-    Expression,
-    ExprStmt,
-    For,
-    Id,
-    If,
-    Node,
-    Statement,
-    While,
-)
+from repro.lang.astnodes import ArrayAccess, Assign, BinOp, Compound, Decl, ExprStmt, For, Id, If, Node, Statement, While
 
 
 class ScalarClass(enum.Enum):
@@ -92,7 +77,6 @@ def _linear_events(body: Statement) -> List[Tuple[str, str, Optional[Assign]]]:
             if s.els is not None:
                 visit(s.els)
         elif isinstance(s, For):
-            h = match_header(s)
             if s.init is not None:
                 visit(s.init)
             if s.cond is not None:

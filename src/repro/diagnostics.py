@@ -13,7 +13,10 @@ treatment of "unknown" as a first-class answer.
 Taxonomy
 --------
 
-Every diagnostic carries one of four ``kind`` strings:
+Every diagnostic carries one of five ``kind`` strings (the fifth,
+``certificate-rejected``, is produced by the :mod:`repro.verify` proof
+checker when a PARALLEL verdict's certificate fails re-validation and the
+verdict is demoted to serial):
 
 ``parse-error``
     The source text could not be parsed at all.  There is no program to
@@ -51,6 +54,10 @@ PARSE_ERROR = "parse-error"
 UNSUPPORTED_PATTERN = "unsupported-pattern"
 BUDGET_EXCEEDED = "budget-exceeded"
 INTERNAL_ERROR = "internal-error"
+#: a PARALLEL verdict's proof certificate failed independent re-validation
+#: (:mod:`repro.verify.checker`); the verdict was demoted to serial.  Not a
+#: fault kind: the analysis itself completed, only the proof did not check.
+CERTIFICATE_REJECTED = "certificate-rejected"
 
 #: kinds that mean "analysis of this nest was aborted by an exception";
 #: the driver marks every loop of such a nest serial

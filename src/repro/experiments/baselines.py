@@ -14,7 +14,7 @@ invocations for:
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import List
 
 from repro.benchmarks import get_benchmark
 from repro.experiments.harness import _compile

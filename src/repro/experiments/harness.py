@@ -34,13 +34,13 @@ from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeou
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Tuple, Union
 
-logger = logging.getLogger("repro.experiments.harness")
-
 from repro.analysis.config import AnalysisConfig
 from repro.benchmarks.base import Benchmark
 from repro.parallelizer.driver import ParallelizationResult, parallelize
 from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
-from repro.runtime.simulate import ParallelPlan, PerfModel, plan_from_decisions, simulate_app
+from repro.runtime.simulate import plan_from_decisions, simulate_app
+
+logger = logging.getLogger("repro.experiments.harness")
 
 PIPELINES: Dict[str, AnalysisConfig] = {
     "Cetus": AnalysisConfig.classical(),

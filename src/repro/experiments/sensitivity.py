@@ -16,9 +16,8 @@ would be fragile; this shows they hold across a wide band.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
-import numpy as np
 
 from repro.benchmarks import all_benchmarks
 from repro.experiments.harness import PIPELINES, _compile

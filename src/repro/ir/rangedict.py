@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, Mapping, Optional, Tuple
 
-from repro.ir.ranges import SymRange, value_union
+from repro.ir.ranges import SymRange
 from repro.ir.symbols import Expr
 
 

@@ -16,7 +16,7 @@ executions.
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Optional, Protocol, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Protocol, Sequence, Union
 
 from repro.ir.symbols import (
     BOTTOM,

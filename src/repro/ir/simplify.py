@@ -26,24 +26,7 @@ from typing import Dict, Optional, Tuple
 
 from repro import budget as _budget
 from repro.ir.perfstats import STATS, register_cache
-from repro.ir.symbols import (
-    BOTTOM,
-    Add,
-    ArrayRef,
-    Bottom,
-    Div,
-    Expr,
-    IntLit,
-    Max,
-    Min,
-    Mod,
-    Mul,
-    add,
-    as_expr,
-    mul,
-    smax,
-    smin,
-)
+from repro.ir.symbols import Add, ArrayRef, Bottom, Div, Expr, IntLit, Max, Min, Mod, Mul, add, as_expr, mul, smax, smin
 
 
 #: memoized results, keyed by interned node (identity-fast equality)

@@ -36,7 +36,7 @@ should call :func:`repro.ir.perfstats.clear_all` between batches (see
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
 
 from repro.ir.perfstats import STATS, register_intern_clearer, register_intern_table
 

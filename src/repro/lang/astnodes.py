@@ -17,7 +17,7 @@ multi-dimensional array accesses, and the usual scalar operators.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 
 class Node:

@@ -20,24 +20,9 @@ assignment.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
-from repro.lang.astnodes import (
-    ArrayAccess,
-    Assign,
-    Call,
-    Compound,
-    Decl,
-    Expression,
-    ExprStmt,
-    For,
-    Id,
-    If,
-    Node,
-    Program,
-    Statement,
-    While,
-)
+from repro.lang.astnodes import ArrayAccess, Assign, Call, Compound, Decl, ExprStmt, For, Id, If, Node, Program, Statement, While
 from repro.lang.cparser import ParseError, _Parser, _TYPE_KWS
 from repro.lang.lexer import tokenize
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterator, List, NamedTuple, Optional, Tuple
+from typing import List, NamedTuple
 
 
 class Token(NamedTuple):

@@ -17,9 +17,7 @@ from __future__ import annotations
 from typing import Any, Dict, Optional
 
 from repro.dependence.extended import RuntimeCheck
-from repro.lang.astnodes import For, Node
 from repro.lang.cparser import parse_expr
-from repro.lang.printer import to_c
 from repro.parallelizer.driver import ParallelizationResult
 from repro.runtime.interp import Interpreter
 

@@ -25,10 +25,20 @@ from repro.dependence.accesses import collect_accesses, collect_inner_loops
 from repro.dependence.classic import classic_independent
 from repro.dependence.extended import RuntimeCheck, extended_independent
 from repro.dependence.privatize import classify_scalars
+from repro.diagnostics import CERTIFICATE_REJECTED
 from repro.ir.simplify import simplify
-from repro.ir.symbols import Expr, IntLit, sub
-from repro.lang.astnodes import Program
+from repro.ir.symbols import IntLit, Sym, sub
+from repro.lang.astnodes import For, Program
 from repro.lang.printer import to_c
+from repro.verify.certificate import (
+    ROUTE_CLASSICAL,
+    Certificate,
+    DisproofStep,
+    MonoStep,
+    ScalarStep,
+    SSRStep,
+)
+from repro.verify.checker import check_certificate
 
 
 @dataclasses.dataclass
@@ -44,6 +54,12 @@ class LoopDecision:
     reductions: List[Tuple[str, str]] = dataclasses.field(default_factory=list)
     checks: List[RuntimeCheck] = dataclasses.field(default_factory=list)
     enclosed_by_parallel: bool = False
+    #: proof certificate (PARALLEL verdicts only); frozen, safely shared
+    certificate: Optional[Certificate] = None
+    #: the independent checker re-validated the certificate
+    certificate_verified: bool = False
+    #: structured obstacles for serial loops (which property was missing)
+    blockers: List[str] = dataclasses.field(default_factory=list)
 
     def clone(self) -> "LoopDecision":
         """Copy with private list fields (RuntimeChecks are shared, read-only)."""
@@ -52,6 +68,7 @@ class LoopDecision:
             private=list(self.private),
             reductions=list(self.reductions),
             checks=list(self.checks),
+            blockers=list(self.blockers),
         )
 
     @property
@@ -140,6 +157,7 @@ def parallelize(
     analysis = analyze_program(prog, config)
     decisions: Dict[str, LoopDecision] = {}
     failed = analysis.failed_nests
+    loops = _loops_by_id(analysis.program)
     for nest in analysis.nests:
         loop_id = nest.loop.loop_id or ""
         if analysis.has_program_fault or loop_id in failed:
@@ -148,7 +166,7 @@ def parallelize(
             _serialize_nest(nest, 0, "analysis aborted: conservative serial", decisions)
             continue
         try:
-            _decide_nest(nest, 0, False, config, analysis, decisions)
+            _decide_nest(nest, 0, False, config, analysis, decisions, loops)
         except Exception as exc:
             # a decision pass crashed on this nest: serialize it, keep going
             analysis.diagnostics.append(
@@ -186,6 +204,20 @@ def _serialize_nest(
         _serialize_nest(inner, depth + 1, reason, decisions)
 
 
+def _loops_by_id(prog: Program) -> Dict[str, For]:
+    """Every ``for`` loop of the (normalized) program keyed by loop_id.
+
+    The certificate checker re-validates derivations against these ASTs;
+    ``source_loop`` references in monotonicity steps resolve here too.
+    """
+    out: Dict[str, For] = {}
+    for stmt in prog.stmts:
+        for node in stmt.walk():
+            if isinstance(node, For) and node.loop_id:
+                out[node.loop_id] = node
+    return out
+
+
 def _decide_nest(
     nest: LoopNest,
     depth: int,
@@ -193,6 +225,7 @@ def _decide_nest(
     config: AnalysisConfig,
     analysis: AnalysisResult,
     decisions: Dict[str, LoopDecision],
+    loops: Optional[Dict[str, For]] = None,
     scope_properties=None,
 ) -> None:
     loop_id = nest.loop.loop_id or f"L?{depth}"
@@ -206,11 +239,16 @@ def _decide_nest(
             enclosed_by_parallel=True,
         )
         for inner in nest.inner:
-            _decide_nest(inner, depth + 1, True, config, analysis, decisions)
+            _decide_nest(inner, depth + 1, True, config, analysis, decisions, loops)
         return
 
     props = scope_properties if scope_properties is not None else analysis.properties
     d = _try_loop(nest, depth, config, analysis, props)
+    if d.parallel and config.verify_certificates:
+        # independent re-validation: any PARALLEL verdict must carry a
+        # checker-accepted certificate, else it is demoted BEFORE the
+        # recursion so enclosure flags stay correct
+        d = _audit_decision(d, nest, analysis, loops or {})
     decisions[loop_id] = d
     inner_scope = props
     if not d.parallel and config.array_analysis and nest.inner:
@@ -221,7 +259,43 @@ def _decide_nest(
         # kernels see their sibling fills' properties
         inner_scope = _body_scope_properties(nest, config, props)
     for inner in nest.inner:
-        _decide_nest(inner, depth + 1, d.parallel, config, analysis, decisions, inner_scope)
+        _decide_nest(
+            inner, depth + 1, d.parallel, config, analysis, decisions, loops, inner_scope
+        )
+
+
+def _audit_decision(
+    d: LoopDecision,
+    nest: LoopNest,
+    analysis: AnalysisResult,
+    loops: Dict[str, For],
+) -> LoopDecision:
+    """Run the trusted-core checker over a PARALLEL decision's certificate."""
+    if d.certificate is None:
+        failures = ["no certificate emitted for PARALLEL verdict"]
+    else:
+        res = check_certificate(d.certificate, loops)
+        if res.ok:
+            d.certificate_verified = True
+            return d
+        failures = res.failures or ["certificate rejected"]
+    analysis.diagnostics.append(
+        Diagnostic(
+            CERTIFICATE_REJECTED,
+            f"PARALLEL verdict demoted: {failures[0]}",
+            nest_id=d.loop_id,
+            span=nest.loop.pos,
+            detail="; ".join(failures),
+        )
+    )
+    return dataclasses.replace(
+        d,
+        parallel=False,
+        reason=f"certificate rejected: {failures[0]}",
+        checks=[],
+        certificate_verified=False,
+        blockers=list(failures),
+    )
 
 
 def _body_scope_properties(nest: LoopNest, config: AnalysisConfig, parent):
@@ -258,43 +332,115 @@ def _try_loop(
         loop_id=loop_id, index=index, depth=depth, parallel=ok, reason=why, **kw
     )
     if not nest.eligible:
-        return base(False, f"ineligible: {nest.reason}")
+        return base(False, f"ineligible: {nest.reason}", blockers=[f"ineligible: {nest.reason}"])
     assert nest.header is not None
 
     # scalar dependences
     scalars = classify_scalars(nest.loop.body, index)
     if scalars.serial_scalars:
-        return base(False, "loop-carried scalar dependence on " + ", ".join(scalars.serial_scalars))
+        blockers = [
+            f"scalar '{v}' carries a loop dependence (not private, not a reduction)"
+            for v in scalars.serial_scalars
+        ]
+        return base(
+            False,
+            "loop-carried scalar dependence on " + ", ".join(scalars.serial_scalars),
+            blockers=blockers,
+        )
 
     # array dependences
     accesses = collect_accesses(nest.loop.body, index)
     ok, reasons = classic_independent(accesses)
     if ok:
+        written = sorted({a.array for a in accesses if a.is_write})
+        disproofs = [
+            DisproofStep(
+                array=arr,
+                route=ROUTE_CLASSICAL,
+                detail="all loop-carried dependence disproved by classical tests",
+            )
+            for arr in written
+        ]
+        cert = _build_certificate(loop_id, index, analysis, properties, scalars, disproofs)
         return base(
             True,
             "classical dependence test passed",
             private=scalars.private,
             reductions=scalars.reductions,
+            certificate=cert,
         )
     if not config.array_analysis:
-        return base(False, "; ".join(reasons))
+        return base(False, "; ".join(reasons), blockers=list(reasons))
 
     # extended test with subscript-array properties
     lo = eval_expr(nest.header.lb)
     hi = eval_expr(nest.header.ub_expr)
     if not (lo.is_point and hi.is_point):
-        return base(False, "; ".join(reasons))
+        return base(False, "; ".join(reasons), blockers=list(reasons))
     last = hi.lb if nest.header.inclusive else simplify(sub(hi.lb, IntLit(1)))
     inner = collect_inner_loops(nest.loop.body)
-    ok2, checks, reasons2 = extended_independent(
-        accesses, index, (lo.lb, last), properties, inner
-    )
-    if ok2:
+    ext = extended_independent(accesses, index, (lo.lb, last), properties, inner)
+    if ext.independent:
+        cert = _build_certificate(
+            loop_id, index, analysis, properties, scalars, ext.disproofs
+        )
         return base(
             True,
             "extended subscripted-subscript test passed",
             private=scalars.private,
             reductions=scalars.reductions,
-            checks=checks,
+            checks=ext.checks,
+            certificate=cert,
         )
-    return base(False, "; ".join(reasons + reasons2))
+    return base(
+        False,
+        "; ".join(reasons + ext.reasons),
+        blockers=list(ext.reasons) or list(reasons),
+    )
+
+
+def _build_certificate(
+    loop_id: str,
+    index: str,
+    analysis: AnalysisResult,
+    properties,
+    scalars,
+    disproofs: List[DisproofStep],
+) -> Optional[Certificate]:
+    """Assemble the proof certificate for a PARALLEL verdict.
+
+    Every indirection disproof must be backed by the derivation evidence of
+    the property it consumed; when that evidence is missing the certificate
+    cannot be completed (returns None — the checker then demotes).
+    """
+    monotonic: List[MonoStep] = []
+    recurrences: List[SSRStep] = []
+    for step in disproofs:
+        if step.via_array is None:
+            continue
+        prop = properties.property_of(step.via_array, step.via_dim)
+        if prop is None:
+            prop = properties.any_property_of(step.via_array)
+        ev = prop.evidence if prop is not None else None
+        if ev is None:
+            return None
+        if ev not in monotonic:
+            monotonic.append(ev)
+        if ev.ssr is not None and ev.ssr not in recurrences:
+            recurrences.append(ev.ssr)
+    scalar_steps = [ScalarStep(v, "private") for v in scalars.private]
+    scalar_steps += [ScalarStep(v, f"reduction:{op}") for op, v in scalars.reductions]
+    # declared hypotheses: program facts (counter_max bounds, trip counts)
+    # plus known scalar values — the trusted base the derivation assumes
+    facts = analysis.facts
+    for name, r in analysis.state.scalars.items():
+        facts = facts.set(Sym(name), r)
+    return Certificate(
+        loop_id=loop_id,
+        index=index,
+        recurrences=tuple(recurrences),
+        monotonic=tuple(monotonic),
+        disproofs=tuple(disproofs),
+        scalars=tuple(scalar_steps),
+        facts=facts,
+    )

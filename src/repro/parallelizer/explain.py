@@ -18,6 +18,7 @@ from repro.dependence.privatize import classify_scalars
 from repro.ir.simplify import simplify
 from repro.ir.symbols import IntLit, sub
 from repro.parallelizer.driver import ParallelizationResult
+from repro.verify.certificate import format_certificate
 
 
 def explain_loop(result: ParallelizationResult, loop_id: str) -> str:
@@ -41,6 +42,15 @@ def explain_loop(result: ParallelizationResult, loop_id: str) -> str:
         if decision.reductions:
             add("reduction: " + ", ".join(f"{op}:{v}" for op, v in decision.reductions))
         add("pragma   : #pragma " + (decision.pragma or ""))
+        if decision.certificate is not None:
+            add("")
+            add(format_certificate(decision.certificate, verified=decision.certificate_verified))
+    elif decision.blockers:
+        # which property/step was missing — the actionable part of a serial
+        # verdict: prove these and the loop parallelizes
+        add("blocked  : the verdict would need")
+        for b in decision.blockers:
+            add(f"  - {b}")
 
     if nest is None or nest.header is None:
         add("(loop header not canonical — no further analysis available)")
@@ -126,6 +136,24 @@ def _find_nest(result: ParallelizationResult, loop_id: str) -> Optional[LoopNest
             if sub_nest.loop.loop_id == loop_id:
                 return sub_nest
     return None
+
+
+def format_audit(result: ParallelizationResult) -> str:
+    """The ``--audit`` view: every PARALLEL loop's proof chain, and the
+    demotion trail of any verdict the checker rejected."""
+    blocks: List[str] = []
+    for loop_id in sorted(result.decisions):
+        d = result.decisions[loop_id]
+        if d.parallel and d.certificate is not None:
+            blocks.append(format_certificate(d.certificate, verified=d.certificate_verified))
+        elif not d.parallel and d.reason.startswith("certificate rejected"):
+            blocks.append(
+                f"loop {loop_id}: DEMOTED — {d.reason}\n"
+                + "\n".join(f"  - {b}" for b in d.blockers)
+            )
+    if not blocks:
+        return "(no parallel loops — nothing to audit)"
+    return "\n\n".join(blocks)
 
 
 def explain_all(result: ParallelizationResult) -> str:

@@ -29,6 +29,9 @@ def format_report(result: ParallelizationResult) -> str:
                 clauses.append(f"private[{len(d.private)}]")
             if d.reductions:
                 clauses.append("reduction(" + ",".join(v for _, v in d.reductions) + ")")
+            # every PARALLEL verdict should carry a checker-accepted
+            # certificate; flag the (config-disabled) unverified case
+            clauses.append("certified" if d.certificate_verified else "UNVERIFIED")
             extra = " " + " ".join(clauses)
         lines.append(f"  {loop_id:<6} idx={d.index:<8} depth={d.depth} {status} — {d.reason}{extra}")
     return "\n".join(lines)

@@ -25,7 +25,7 @@ from typing import Optional
 import numpy as np
 
 from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
-from repro.runtime.simulate import ComponentPlan, ParallelPlan, PerfModel, simulate_app
+from repro.runtime.simulate import ParallelPlan, PerfModel, simulate_app
 
 
 @dataclasses.dataclass

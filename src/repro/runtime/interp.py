@@ -15,7 +15,7 @@ workloads use the NumPy reference implementations of each benchmark.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 

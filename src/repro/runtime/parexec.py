@@ -15,12 +15,12 @@ differential test of the whole decision (dependence test + privatization
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional
+from typing import Any, Dict, Iterable
 
 import numpy as np
 
 from repro.lang.astnodes import Assign, Decl, For, Id, Program
-from repro.runtime.interp import InterpError, Interpreter
+from repro.runtime.interp import Interpreter
 
 
 def _index_of(loop: For) -> str:

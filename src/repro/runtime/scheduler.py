@@ -9,7 +9,7 @@ per-thread total determines the parallel region's compute time.
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

@@ -1,0 +1,41 @@
+"""Proof-carrying parallelization verdicts.
+
+Every ``PARALLEL`` decision of :mod:`repro.parallelizer.driver` carries a
+:class:`~repro.verify.certificate.Certificate` — the full derivation chain
+from recurrence recognition (SSR/SRA) through the monotonicity lemma
+invoked (base fill / LEMMA 1 / LEMMA 2) to the dependence-disproof step
+each property discharges.  The certificate is re-validated by a small
+*independent* checker (:mod:`repro.verify.checker`) that shares no code
+with Phase-1/Phase-2 beyond the symbolic IR; verdicts whose certificates
+fail are demoted to serial with a ``certificate-rejected`` diagnostic.
+
+A structural IR/SVD invariant linter (:mod:`repro.verify.lint`) provides
+the debug-mode well-formedness layer underneath, gated by
+``AnalysisConfig.verify_ir``.
+"""
+
+from repro.verify.certificate import (
+    Certificate,
+    DisproofStep,
+    MonoStep,
+    ScalarStep,
+    SSRStep,
+    format_certificate,
+)
+from repro.verify.checker import CheckResult, check_certificate
+from repro.verify.lint import LintError, lint_phase1, lint_phase2, lint_property
+
+__all__ = [
+    "Certificate",
+    "CheckResult",
+    "DisproofStep",
+    "LintError",
+    "MonoStep",
+    "SSRStep",
+    "ScalarStep",
+    "check_certificate",
+    "format_certificate",
+    "lint_phase1",
+    "lint_phase2",
+    "lint_property",
+]

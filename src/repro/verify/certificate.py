@@ -1,0 +1,214 @@
+"""Verdict certificates: the machine-checkable derivation of a PARALLEL decision.
+
+A certificate is a list of typed *steps*, one per fact the analyzer relied
+on (paper §2.4–§3):
+
+* :class:`SSRStep` — a Simple Scalar Recurrence ``sc = sc + k`` with its
+  loop-invariant PNN increment (the recurrence the monotonic fill rides on);
+* :class:`MonoStep` — a monotonicity property of one array, naming the
+  lemma invoked: a base contiguous fill (``sra``/``counter-fill``), the
+  Figure 2(b) ``chain`` recurrence, LEMMA 1 (``lemma1``: two statements
+  under the same loop-variant guard), or LEMMA 2 (``lemma2``: the
+  ``α + rl ≥ ru`` range-monotonicity witness);
+* :class:`DisproofStep` — the dependence-disproof route that cleared one
+  written array (classical equal-form/GCD, direct indirection through an
+  injective subscript array, or bound indirection through monotonic loop
+  bounds), with the run-time checks it requires;
+* :class:`ScalarStep` — the safety role of every scalar the loop assigns
+  (private / reduction).
+
+Steps are immutable; the mutation tests corrupt them with
+``dataclasses.replace`` and assert the checker rejects the result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from repro.analysis.properties import MonoKind
+from repro.ir.rangedict import RangeDict
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import Expr, Sym
+
+#: lemma tags a :class:`MonoStep` may carry
+LEMMA_SRA = "sra"
+LEMMA_CHAIN = "chain"
+LEMMA_COUNTER_FILL = "counter-fill"
+LEMMA_1 = "lemma1"
+LEMMA_2 = "lemma2"
+
+#: disproof routes a :class:`DisproofStep` may carry
+ROUTE_CLASSICAL = "classical"
+ROUTE_DIRECT = "direct-indirection"
+ROUTE_BOUND = "bound-indirection"
+
+
+@dataclasses.dataclass(frozen=True)
+class SSRStep:
+    """A recognized Simple Scalar Recurrence ``var = var + k``."""
+
+    var: str
+    kind: MonoKind
+    #: claimed per-iteration increment range (loop-invariant, PNN)
+    k: SymRange
+    #: True when some path skips the increment (conditional SSR)
+    conditional: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class MonoStep:
+    """A monotonicity property of one array and the lemma that proved it."""
+
+    array: str
+    #: one of the LEMMA_* tags above
+    lemma: str
+    kind: MonoKind
+    #: dimension the monotonicity is with respect to (paper's DIM)
+    dim: int
+    #: loop_id of the fill loop the derivation must be re-checked against
+    source_loop: str
+    #: LEMMA 1 / counter fills: the subscript counter and its _max symbol
+    counter_var: Optional[str] = None
+    counter_max: Optional[Sym] = None
+    #: the stored value is the fill-loop index itself (α·i + rem)
+    value_is_index: bool = False
+    #: … or the value of this SSR scalar (must have a matching SSRStep)
+    ssr_var: Optional[str] = None
+    #: LEMMA 2 witness: value = α·i + [rl:ru] with α + rl ≥ ru
+    alpha: Optional[Expr] = None
+    rem_range: Optional[SymRange] = None
+    #: resolved subscript region over which the property holds
+    region: Optional[SymRange] = None
+    #: the claimed-SSR evidence for ``ssr_var`` (emitted alongside)
+    ssr: Optional[SSRStep] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class DisproofStep:
+    """The route that disproved all loop-carried dependences on one array."""
+
+    array: str
+    route: str
+    #: the subscript array the indirection routes go through
+    via_array: Optional[str] = None
+    #: dimension of ``via_array``'s property used (indirection routes)
+    via_dim: int = 0
+    #: run-time check texts this disproof requires (if-clause conjuncts)
+    checks: Tuple[str, ...] = ()
+    detail: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class ScalarStep:
+    """Safety role of one scalar assigned inside the parallel loop."""
+
+    var: str
+    #: 'private' | 'reduction:+' | 'reduction:*'
+    role: str
+
+
+@dataclasses.dataclass(frozen=True)
+class Certificate:
+    """The full derivation carried by one PARALLEL loop decision."""
+
+    loop_id: str
+    index: str
+    recurrences: Tuple[SSRStep, ...] = ()
+    monotonic: Tuple[MonoStep, ...] = ()
+    disproofs: Tuple[DisproofStep, ...] = ()
+    scalars: Tuple[ScalarStep, ...] = ()
+    #: symbol-range hypotheses the derivation may assume (program facts:
+    #: pre-loop scalar values, counter_max bounds, nonnegative trip counts);
+    #: these are part of the *trusted base* — the checker validates the
+    #: derivation under them, the dynamic differential gate validates them
+    facts: RangeDict = dataclasses.field(default_factory=RangeDict)
+
+    @property
+    def steps(self) -> Tuple[object, ...]:
+        return self.recurrences + self.monotonic + self.disproofs + self.scalars
+
+
+def mono_step_from_result(
+    array: str,
+    res,
+    loop_id: str,
+    region: Optional[SymRange],
+    counter_max: Optional[Sym],
+    ssr_step: Optional[SSRStep],
+) -> MonoStep:
+    """Build the certificate step for one Algorithm-2 hit.
+
+    ``res`` is a :class:`repro.analysis.monotonic.MonoArrayResult`; the
+    lemma tag is derived from which recognition path fired.
+    """
+    if res.counter_var is not None:
+        lemma = LEMMA_1 if res.intermittent else LEMMA_COUNTER_FILL
+    elif res.chain:
+        lemma = LEMMA_CHAIN
+    elif res.alpha is not None:
+        lemma = LEMMA_2
+    else:
+        lemma = LEMMA_SRA
+    value_is_index = bool(res.ssr_expr is not None and res.ssr_expr.is_index)
+    ssr_var = None
+    if res.ssr_expr is not None and not res.ssr_expr.is_index:
+        ssr_var = res.ssr_expr.ssr_var
+    return MonoStep(
+        array=array,
+        lemma=lemma,
+        kind=res.kind,
+        dim=res.dim,
+        source_loop=loop_id,
+        counter_var=res.counter_var,
+        counter_max=counter_max,
+        value_is_index=value_is_index,
+        ssr_var=ssr_var,
+        alpha=res.alpha,
+        rem_range=res.rem_range,
+        region=region,
+        ssr=ssr_step,
+    )
+
+
+# ---------------------------------------------------------------------------
+# rendering (CLI --audit, explain)
+# ---------------------------------------------------------------------------
+
+_LEMMA_TEXT = {
+    LEMMA_SRA: "contiguous SRA fill (base algorithm)",
+    LEMMA_CHAIN: "chain recurrence a[s] = a[s-1] + k (Figure 2b)",
+    LEMMA_COUNTER_FILL: "counter-subscripted contiguous fill",
+    LEMMA_1: "LEMMA 1 (intermittent monotonicity)",
+    LEMMA_2: "LEMMA 2 (range monotonicity)",
+}
+
+
+def format_certificate(cert: Certificate, verified: Optional[bool] = None) -> str:
+    """Human-readable proof chain for one certificate."""
+    lines = [f"certificate for loop {cert.loop_id} (index {cert.index})"]
+    if verified is not None:
+        lines[0] += " — " + ("ACCEPTED by checker" if verified else "REJECTED by checker")
+    for s in cert.recurrences:
+        cond = ", conditional" if s.conditional else ""
+        lines.append(f"  recurrence : {s.var} = {s.var} + k, k in [{s.k}] ({s.kind}{cond})")
+    for m in cert.monotonic:
+        lines.append(f"  property   : {m.array} is {m.kind} (dim {m.dim}) via {_LEMMA_TEXT.get(m.lemma, m.lemma)}")
+        if m.counter_var is not None:
+            lines.append(f"               counter {m.counter_var} (post-loop value {m.counter_max})")
+        if m.alpha is not None:
+            lines.append(f"               witness: alpha={m.alpha}, rem in [{m.rem_range}] (alpha + rl >= ru)")
+        if m.region is not None:
+            lines.append(f"               region [{m.region}] (fill loop {m.source_loop})")
+    for d in cert.disproofs:
+        via = f" via {d.via_array}" if d.via_array else ""
+        lines.append(f"  disproof   : {d.array} — {d.route}{via}")
+        if d.detail:
+            lines.append(f"               {d.detail}")
+        for c in d.checks:
+            lines.append(f"               requires run-time check: {c}")
+    for sc in cert.scalars:
+        lines.append(f"  scalar     : {sc.var} is {sc.role}")
+    if len(lines) == 1:
+        lines.append("  (no array writes, no assigned scalars — trivially independent)")
+    return "\n".join(lines)

@@ -1,0 +1,1217 @@
+"""Independent certificate checker — the proof-carrying trusted core.
+
+:func:`check_certificate` re-validates every step of a
+:class:`~repro.verify.certificate.Certificate` directly against the
+normalized loop-nest ASTs, sharing **no code** with Phase-1/Phase-2 or the
+dependence tests beyond the symbolic IR (:mod:`repro.ir`) and the AST node
+classes.  The analyzer may be arbitrarily buggy; a PARALLEL verdict only
+survives if this module can re-derive its certificate:
+
+* **SSR steps** — every assignment to the scalar really has the shape
+  ``var = var + k`` with a loop-invariant increment whose sign supports the
+  claimed kind, and the claimed increment range contains the derived one;
+* **monotonicity steps** — the fill loop named by ``source_loop`` is
+  re-checked per lemma: contiguous/counter fills (single store, subscript
+  the counter or its normalization temp, increment exactly ``+1`` under the
+  *same* guard chain — non-empty and loop-variant for LEMMA 1, empty
+  otherwise), the Figure 2(b) ``chain`` recurrence, and the LEMMA 2
+  ``α + rl ≥ ru`` witness re-derived from the stores' value expressions
+  bounded over the inner-loop index ranges;
+* **disproof steps** — all loop-carried dependences of the decided loop are
+  re-disproved from scratch (classical equal-form/GCD, direct indirection,
+  bound indirection) using *only* checker-validated monotonicity steps, in
+  the same route order as the analyzer; every recorded route must be
+  derivable and every required run-time check must appear verbatim in the
+  certificate;
+* **scalar steps** — every scalar assigned in the loop body carries a
+  validated private/reduction role.
+
+Trusted base (checked dynamically by the differential gate, not here): the
+symbol-range hypotheses in ``Certificate.facts``, and the resolved property
+*regions* (``Λ`` resolution), except that a counter fill's region upper
+bound must structurally be the counter's ``<counter>_max`` symbol.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.properties import MonoKind
+from repro.ir.ranges import Sign, SymRange, range_eval, sign_of
+from repro.ir.simplify import decompose_affine, simplify
+from repro.ir.symbols import ArrayRef, Expr, IntLit, Sym, add, mul, sub
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Call,
+    Compound,
+    Decl,
+    Expression,
+    ExprStmt,
+    FloatNum,
+    For,
+    Id,
+    If,
+    Node,
+    Num,
+    Statement,
+    StrLit,
+    Ternary,
+    UnOp,
+    While,
+)
+from repro.verify.certificate import (
+    LEMMA_1,
+    LEMMA_2,
+    LEMMA_CHAIN,
+    LEMMA_COUNTER_FILL,
+    LEMMA_SRA,
+    ROUTE_BOUND,
+    ROUTE_CLASSICAL,
+    ROUTE_DIRECT,
+    Certificate,
+    MonoStep,
+    SSRStep,
+)
+
+
+@dataclasses.dataclass
+class CheckResult:
+    """Outcome of an independent certificate validation."""
+
+    ok: bool
+    failures: List[str]
+
+
+def check_certificate(cert: Certificate, loops: Mapping[str, For]) -> CheckResult:
+    """Re-validate ``cert`` against the program's loop ASTs."""
+    failures: List[str] = []
+    loop = loops.get(cert.loop_id)
+    if loop is None:
+        return CheckResult(False, [f"decided loop '{cert.loop_id}' not found in program"])
+    header = _match_header(loop)
+    if header is None:
+        return CheckResult(False, [f"loop '{cert.loop_id}': header is not in canonical form"])
+    if header.index != cert.index:
+        return CheckResult(
+            False,
+            [
+                f"loop '{cert.loop_id}': certificate index '{cert.index}' "
+                f"does not match header index '{header.index}'"
+            ],
+        )
+
+    valid_mono: Dict[Tuple[str, int], MonoStep] = {}
+    for m in cert.monotonic:
+        errs = _check_mono_step(m, cert, loops)
+        if errs:
+            failures.extend(errs)
+        else:
+            valid_mono[(m.array, m.dim)] = m
+
+    # every listed recurrence must back some property derivation, and every
+    # property that rides on an SSR must list it — corrupting either side
+    # breaks the cross-reference
+    mono_ssrs = [m.ssr for m in cert.monotonic if m.ssr is not None]
+    for r in cert.recurrences:
+        if r not in mono_ssrs:
+            failures.append(f"recurrence step for '{r.var}' backs no property derivation")
+    for m in cert.monotonic:
+        if m.ssr is not None and m.ssr not in cert.recurrences:
+            failures.append(
+                f"property of '{m.array}': its SSR evidence is missing from the certificate"
+            )
+
+    failures.extend(_check_scalars(cert, loop.body, header.index))
+    failures.extend(_check_disproofs(cert, loop, header, valid_mono))
+    return CheckResult(not failures, failures)
+
+
+# ---------------------------------------------------------------------------
+# self-contained AST utilities (no imports from the analysis passes)
+# ---------------------------------------------------------------------------
+
+
+class _Header:
+    __slots__ = ("index", "lb", "ub", "inclusive")
+
+    def __init__(self, index: str, lb: Expression, ub: Expression, inclusive: bool):
+        self.index = index
+        self.lb = lb
+        self.ub = ub
+        self.inclusive = inclusive
+
+
+def _match_header(loop: For) -> Optional[_Header]:
+    """Canonical ``for (i = lb; i < ub; i = i + 1)`` recognizer (own copy)."""
+    if isinstance(loop.init, Assign) and isinstance(loop.init.lhs, Id) and loop.init.op == "=":
+        index = loop.init.lhs.name
+        lb = loop.init.rhs
+    elif isinstance(loop.init, Decl) and loop.init.init is not None and not loop.init.dims:
+        index = loop.init.name
+        lb = loop.init.init
+    else:
+        return None
+    c = loop.cond
+    if not isinstance(c, BinOp) or c.op not in ("<", "<="):
+        return None
+    if not isinstance(c.lhs, Id) or c.lhs.name != index:
+        return None
+    s = loop.step
+    if not (isinstance(s, Assign) and isinstance(s.lhs, Id) and s.lhs.name == index and s.op == "="):
+        return None
+    r = s.rhs
+    if not (
+        isinstance(r, BinOp)
+        and r.op == "+"
+        and (
+            (isinstance(r.lhs, Id) and r.lhs.name == index and isinstance(r.rhs, Num) and r.rhs.value == 1)
+            or (isinstance(r.rhs, Id) and r.rhs.name == index and isinstance(r.lhs, Num) and r.lhs.value == 1)
+        )
+    ):
+        return None
+    return _Header(index, lb, c.rhs, c.op == "<=")
+
+
+def _to_ir(e: Expression) -> Optional[Expr]:
+    """AST → symbolic IR (None when opaque)."""
+    if isinstance(e, Num):
+        return IntLit(e.value)
+    if isinstance(e, Id):
+        return Sym(e.name)
+    if isinstance(e, ArrayAccess):
+        idx = [_to_ir(i) for i in e.indices]
+        if any(i is None for i in idx):
+            return None
+        return ArrayRef(e.name, [i for i in idx if i is not None])
+    if isinstance(e, UnOp) and e.op == "-":
+        inner = _to_ir(e.operand)
+        return None if inner is None else simplify(mul(IntLit(-1), inner))
+    if isinstance(e, UnOp) and e.op == "+":
+        return _to_ir(e.operand)
+    if isinstance(e, BinOp) and e.op in ("+", "-", "*"):
+        a = _to_ir(e.lhs)
+        b = _to_ir(e.rhs)
+        if a is None or b is None:
+            return None
+        if e.op == "+":
+            return simplify(add(a, b))
+        if e.op == "-":
+            return simplify(sub(a, b))
+        return simplify(mul(a, b))
+    return None
+
+
+def _fmt(e: Expr) -> str:
+    # MUST match the analyzer's run-time check rendering byte for byte
+    return str(simplify(e))
+
+
+def _cond_fp(e: Node) -> tuple:
+    """Structural fingerprint of a condition expression."""
+    if isinstance(e, Id):
+        return ("id", e.name)
+    if isinstance(e, Num):
+        return ("num", e.value)
+    if isinstance(e, FloatNum):
+        return ("float", e.value)
+    if isinstance(e, StrLit):
+        return ("str", e.value)
+    if isinstance(e, BinOp):
+        return ("bin", e.op, _cond_fp(e.lhs), _cond_fp(e.rhs))
+    if isinstance(e, UnOp):
+        return ("un", e.op, _cond_fp(e.operand))
+    if isinstance(e, ArrayAccess):
+        return ("arr", e.name) + tuple(_cond_fp(i) for i in e.indices)
+    if isinstance(e, Call):
+        return ("call", e.name) + tuple(_cond_fp(a) for a in e.args)
+    if isinstance(e, Ternary):
+        return ("tern", _cond_fp(e.cond), _cond_fp(e.then), _cond_fp(e.els))
+    return ("opaque", id(e))
+
+
+#: one guard: (condition fingerprint, raw condition AST, polarity)
+_Guard = Tuple[tuple, Node, bool]
+
+
+def _guarded_stmts(s: Statement) -> List[Tuple[Statement, Tuple[_Guard, ...], int]]:
+    """Leaf statements with their guard chain and inner-loop nesting depth."""
+    out: List[Tuple[Statement, Tuple[_Guard, ...], int]] = []
+
+    def visit(node: Node, guards: Tuple[_Guard, ...], depth: int) -> None:
+        if isinstance(node, Compound):
+            for x in node.stmts:
+                visit(x, guards, depth)
+        elif isinstance(node, If):
+            visit(node.then, guards + ((_cond_fp(node.cond), node.cond, True),), depth)
+            if node.els is not None:
+                visit(node.els, guards + ((_cond_fp(node.cond), node.cond, False),), depth)
+        elif isinstance(node, For):
+            for part in (node.init, node.step):
+                if part is not None:
+                    visit(part, guards, depth + 1)
+            visit(node.body, guards, depth + 1)
+        elif isinstance(node, While):
+            visit(node.body, guards, depth + 1)
+        elif isinstance(node, (Assign, Decl, ExprStmt)):
+            out.append((node, guards, depth))
+
+    visit(s, (), 0)
+    return out
+
+
+def _guard_fps(guards: Tuple[_Guard, ...]) -> Tuple[Tuple[tuple, bool], ...]:
+    return tuple((fp, pol) for fp, _ast, pol in guards)
+
+
+def _assigned_scalars(body: Statement) -> Set[str]:
+    out: Set[str] = set()
+    for n in body.walk():
+        if isinstance(n, Assign) and isinstance(n.lhs, Id):
+            out.add(n.lhs.name)
+        elif isinstance(n, Decl) and not n.dims:
+            out.add(n.name)
+    return out
+
+
+def _assignments_to(
+    body: Statement, var: str
+) -> List[Tuple[Optional[Assign], Tuple[_Guard, ...], int]]:
+    """All assignments (incl. Decl-with-init, as None stmt) to ``var``."""
+    out = []
+    for stmt, guards, depth in _guarded_stmts(body):
+        if isinstance(stmt, Assign) and isinstance(stmt.lhs, Id) and stmt.lhs.name == var:
+            out.append((stmt, guards, depth))
+        elif isinstance(stmt, Decl) and stmt.name == var and not stmt.dims:
+            out.append((None, guards, depth))
+    return out
+
+
+def _is_invariant(ir: Expr, banned: Set[str]) -> bool:
+    """No array reads, no symbol assigned inside the loop (or its index)."""
+    for n in ir.walk():
+        if isinstance(n, ArrayRef):
+            return False
+    return not ({s.name for s in ir.free_symbols()} & banned)
+
+
+def _guard_variant(cond: Node, index: str, assigned: Set[str]) -> bool:
+    """Is a guard condition loop-variant (references index/assigned state)?"""
+    for n in cond.walk():
+        if isinstance(n, Id) and (n.name == index or n.name in assigned):
+            return True
+        if isinstance(n, ArrayAccess):
+            return True  # array contents may vary across iterations
+    return False
+
+
+# -- forward substitution (single-definition scalars) -----------------------
+
+
+def _copy_env(body: Statement, index: str) -> Dict[str, Expression]:
+    defs: Dict[str, List[Expression]] = {}
+    counts: Dict[str, int] = {}
+
+    def scan(s: Node, guarded: bool) -> None:
+        if isinstance(s, Compound):
+            for x in s.stmts:
+                scan(x, guarded)
+        elif isinstance(s, If):
+            scan(s.then, True)
+            if s.els is not None:
+                scan(s.els, True)
+        elif isinstance(s, (For, While)):
+            scan(s.body, guarded)
+            if isinstance(s, For):
+                for part in (s.init, s.step):
+                    if part is not None:
+                        scan(part, guarded)
+        elif isinstance(s, Assign) and isinstance(s.lhs, Id):
+            counts[s.lhs.name] = counts.get(s.lhs.name, 0) + 1
+            if not guarded:
+                defs.setdefault(s.lhs.name, []).append(s.rhs)
+        elif isinstance(s, Decl) and s.init is not None and not s.dims:
+            counts[s.name] = counts.get(s.name, 0) + 1
+            if not guarded:
+                defs.setdefault(s.name, []).append(s.init)
+
+    scan(body, False)
+    env: Dict[str, Expression] = {}
+    for name, rhss in defs.items():
+        if counts.get(name) == 1 and len(rhss) == 1:
+            rhs = rhss[0]
+            if not any(isinstance(n, Id) and n.name == name for n in rhs.walk()):
+                env[name] = rhs
+    for _ in range(3):
+        changed = False
+        for name, rhs in list(env.items()):
+            new = _subst(rhs, {k: v for k, v in env.items() if k != name})
+            if new is not rhs:
+                env[name] = new
+                changed = True
+        if not changed:
+            break
+    return env
+
+
+def _subst(e: Expression, env: Dict[str, Expression]) -> Expression:
+    if not env:
+        return e
+    if isinstance(e, Id):
+        return env[e.name].clone() if e.name in env else e  # type: ignore[return-value]
+    e2 = e.clone()
+    _subst_in_place(e2, env)
+    return e2  # type: ignore[return-value]
+
+
+def _subst_in_place(e: Node, env: Dict[str, Expression]) -> None:
+    for attr in ("lhs", "rhs", "operand", "cond", "then", "els"):
+        child = getattr(e, attr, None)
+        if isinstance(child, Id) and child.name in env:
+            setattr(e, attr, env[child.name].clone())
+        elif isinstance(child, Node):
+            _subst_in_place(child, env)
+    for attr in ("indices", "args"):
+        lst = getattr(e, attr, None)
+        if lst is not None:
+            for i, child in enumerate(lst):
+                if isinstance(child, Id) and child.name in env:
+                    lst[i] = env[child.name].clone()
+                elif isinstance(child, Node):
+                    _subst_in_place(child, env)
+
+
+# ---------------------------------------------------------------------------
+# SSR step validation
+# ---------------------------------------------------------------------------
+
+
+def _check_ssr(
+    ssr: SSRStep, body: Statement, index: str, assigned: Set[str], facts
+) -> Tuple[List[str], MonoKind]:
+    """Validate ``var = var + k`` against the fill loop; return derived kind."""
+    what = f"recurrence '{ssr.var}'"
+    errs: List[str] = []
+    asgs = _assignments_to(body, ssr.var)
+    if not asgs:
+        return [f"{what}: no assignment to the scalar in the fill loop"], MonoKind.NONE
+    banned = (assigned | {index}) - set()
+    conditional = False
+    all_positive = True
+    for stmt, guards, depth in asgs:
+        if stmt is None:
+            errs.append(f"{what}: declared (not incremented) inside the loop")
+            continue
+        if depth > 0:
+            errs.append(f"{what}: increment nested inside an inner loop")
+            continue
+        if guards:
+            conditional = True
+        if stmt.op == "+=":
+            k_ir = _to_ir(stmt.rhs)
+        elif stmt.op == "=":
+            rhs_ir = _to_ir(stmt.rhs)
+            k_ir = None if rhs_ir is None else simplify(sub(rhs_ir, Sym(ssr.var)))
+        else:
+            k_ir = None
+        if k_ir is None:
+            errs.append(f"{what}: assignment is not of the form {ssr.var} = {ssr.var} + k")
+            continue
+        if not _is_invariant(k_ir, banned):
+            errs.append(f"{what}: increment '{k_ir}' is not loop-invariant")
+            continue
+        sgn = sign_of(k_ir, facts)
+        if not sgn.is_pnn:
+            errs.append(f"{what}: increment '{k_ir}' is not provably PNN")
+            continue
+        if sgn is not Sign.POSITIVE:
+            all_positive = False
+        # the claimed increment range must contain the derived increment
+        if ssr.k.has_lb and not sign_of(simplify(sub(k_ir, ssr.k.lb)), facts).is_pnn:
+            errs.append(f"{what}: derived increment '{k_ir}' below the claimed range {ssr.k}")
+        if ssr.k.has_ub and not sign_of(simplify(sub(ssr.k.ub, k_ir)), facts).is_pnn:
+            errs.append(f"{what}: derived increment '{k_ir}' above the claimed range {ssr.k}")
+    if conditional and not ssr.conditional:
+        errs.append(f"{what}: guarded increment but the step claims an unconditional SSR")
+    derived = MonoKind.SMA if (all_positive and not conditional) else MonoKind.MA
+    if not errs and ssr.kind.value > derived.value:
+        errs.append(f"{what}: claimed kind {ssr.kind} stronger than derived {derived}")
+    return errs, derived
+
+
+# ---------------------------------------------------------------------------
+# monotonicity step validation
+# ---------------------------------------------------------------------------
+
+
+def _check_mono_step(m: MonoStep, cert: Certificate, loops: Mapping[str, For]) -> List[str]:
+    what = f"property of '{m.array}'"
+    if not m.kind.monotonic:
+        return [f"{what}: claims kind NONE"]
+    fill = loops.get(m.source_loop)
+    if fill is None:
+        return [f"{what}: fill loop '{m.source_loop}' not found in program"]
+    h = _match_header(fill)
+    if h is None:
+        return [f"{what}: fill loop '{m.source_loop}' header is not canonical"]
+    body = fill.body
+    assigned = _assigned_scalars(body)
+    stores = [
+        (st, guards, depth)
+        for st, guards, depth in _guarded_stmts(body)
+        if isinstance(st, Assign) and isinstance(st.lhs, ArrayAccess) and st.lhs.name == m.array
+    ]
+    if not stores:
+        return [f"{what}: no store to '{m.array}' in fill loop '{m.source_loop}'"]
+
+    if m.lemma in (LEMMA_SRA, LEMMA_COUNTER_FILL, LEMMA_1, LEMMA_CHAIN):
+        return _check_1d_fill(m, cert, h, body, assigned, stores)
+    if m.lemma == LEMMA_2:
+        return _check_lemma2(m, cert, h, body, assigned, stores)
+    return [f"{what}: unknown lemma tag '{m.lemma}'"]
+
+
+def _check_1d_fill(
+    m: MonoStep,
+    cert: Certificate,
+    h: _Header,
+    body: Statement,
+    assigned: Set[str],
+    stores,
+) -> List[str]:
+    """sra / counter-fill / lemma1 / chain: single 1-D store recurrences."""
+    what = f"property of '{m.array}'"
+    if len(stores) != 1:
+        return [f"{what}: {m.lemma} requires a single store statement"]
+    store, guards, depth = stores[0]
+    if depth > 0:
+        return [f"{what}: {m.lemma} store must not be nested in an inner loop"]
+    if m.dim != 0 or len(store.lhs.indices) != 1:
+        return [f"{what}: {m.lemma} applies to dimension 0 of a 1-D fill"]
+    if store.op != "=":
+        return [f"{what}: compound store survived normalization"]
+    errs: List[str] = []
+    fidx = h.index
+    sub_ast = store.lhs.indices[0]
+    env = _copy_env(body, fidx)
+
+    if m.lemma in (LEMMA_COUNTER_FILL, LEMMA_1):
+        if m.counter_var is None:
+            return [f"{what}: counter fill without a counter variable"]
+        errs += _check_counter_wiring(m, body, store, guards, sub_ast)
+        # guard-chain discipline: LEMMA 1 needs a loop-variant guard, the
+        # unconditional counter fill needs none
+        if m.lemma == LEMMA_1:
+            if not guards:
+                errs.append(f"{what}: LEMMA 1 claimed but the store is unguarded")
+            elif not any(_guard_variant(g_ast, fidx, assigned) for _fp, g_ast, _pol in guards):
+                errs.append(f"{what}: LEMMA 1 guard is not loop-variant")
+        elif guards:
+            errs.append(f"{what}: unconditional counter fill under a guard (needs LEMMA 1)")
+        # region upper bound must be the counter's final-value symbol
+        cmax = Sym(f"{m.counter_var}_max")
+        if m.counter_max != cmax:
+            errs.append(f"{what}: counter_max symbol does not match '{m.counter_var}'")
+        if m.region is None or not m.region.has_ub or m.region.ub != cmax:
+            errs.append(f"{what}: region upper bound must be '{cmax}'")
+    else:
+        if m.counter_var is not None or m.counter_max is not None:
+            return [f"{what}: {m.lemma} must not claim a counter"]
+        # subscript must be index + invariant constant, stride one
+        sub_ir = _to_ir(_subst(sub_ast, env))
+        dec = None if sub_ir is None else decompose_affine(sub_ir, Sym(fidx))
+        if dec is None or simplify(dec[0]) != IntLit(1):
+            return [f"{what}: {m.lemma} subscript is not '{fidx} + c' with stride 1"]
+        if not _is_invariant(dec[1], (assigned | {fidx}) - set()):
+            return [f"{what}: {m.lemma} subscript offset is not loop-invariant"]
+        if guards:
+            errs.append(f"{what}: {m.lemma} store must be unguarded")
+
+    if m.lemma == LEMMA_CHAIN:
+        errs += _check_chain_value(m, cert, h, store, env, assigned)
+    else:
+        errs += _check_fill_value(m, cert, h, store, env, assigned, body)
+    return errs
+
+
+def _check_counter_wiring(
+    m: MonoStep, body: Statement, store: Assign, guards, sub_ast: Expression
+) -> List[str]:
+    """Subscript is the counter (or its ``_temp`` copy); increment is +1
+    under the same guard chain as the store."""
+    what = f"property of '{m.array}'"
+    errs: List[str] = []
+    counter = m.counter_var
+    if not isinstance(sub_ast, Id):
+        return [f"{what}: store subscript is not the counter '{counter}'"]
+    v = sub_ast.name
+    if v != counter:
+        # normalization temp: v = counter; counter = counter + 1; a[v] = …
+        copies = _assignments_to(body, v)
+        ok = (
+            len(copies) == 1
+            and copies[0][0] is not None
+            and copies[0][0].op == "="
+            and isinstance(copies[0][0].rhs, Id)
+            and copies[0][0].rhs.name == counter
+            and _guard_fps(copies[0][1]) == _guard_fps(guards)
+            and copies[0][2] == 0
+        )
+        if not ok:
+            return [f"{what}: store subscript '{v}' is not a copy of counter '{counter}'"]
+    incs = _assignments_to(body, counter)
+    if len(incs) != 1:
+        return [f"{what}: counter '{counter}' must have exactly one increment"]
+    inc, inc_guards, inc_depth = incs[0]
+    if inc is None or inc_depth > 0:
+        return [f"{what}: counter '{counter}' increment is not a top-level statement"]
+    k_ir = None
+    if inc.op == "=":
+        rhs_ir = _to_ir(inc.rhs)
+        k_ir = None if rhs_ir is None else simplify(sub(rhs_ir, Sym(counter)))
+    elif inc.op == "+=":
+        k_ir = _to_ir(inc.rhs)
+    if k_ir != IntLit(1):
+        errs.append(f"{what}: counter '{counter}' increment is not exactly +1")
+    if _guard_fps(inc_guards) != _guard_fps(guards):
+        errs.append(
+            f"{what}: counter increment and store are under different guard chains"
+        )
+    return errs
+
+
+def _check_fill_value(
+    m: MonoStep,
+    cert: Certificate,
+    h: _Header,
+    store: Assign,
+    env: Dict[str, Expression],
+    assigned: Set[str],
+    body: Statement,
+) -> List[str]:
+    """The stored value must rise with the fill index: the index itself
+    (affine, positive coefficient) or a validated SSR scalar."""
+    what = f"property of '{m.array}'"
+    val_ir = _to_ir(_subst(store.rhs, env))
+    if m.value_is_index:
+        if val_ir is None:
+            return [f"{what}: stored value is opaque"]
+        dec = decompose_affine(val_ir, Sym(h.index))
+        if dec is None:
+            return [f"{what}: stored value is not affine in '{h.index}'"]
+        coeff, off = dec
+        banned = (assigned | {h.index}) - set()
+        if not _is_invariant(coeff, banned) or not _is_invariant(off, banned):
+            return [f"{what}: stored value coefficients are not loop-invariant"]
+        if sign_of(coeff, cert.facts) is not Sign.POSITIVE:
+            return [f"{what}: stored value coefficient of '{h.index}' is not positive"]
+        derived = MonoKind.SMA
+    elif m.ssr_var is not None:
+        if m.ssr is None or m.ssr.var != m.ssr_var:
+            return [f"{what}: no SSR evidence for value scalar '{m.ssr_var}'"]
+        ssr_errs, derived_ssr = _check_ssr(m.ssr, body, h.index, assigned, cert.facts)
+        if ssr_errs:
+            return ssr_errs
+        if val_ir is None:
+            return [f"{what}: stored value is opaque"]
+        dec = decompose_affine(val_ir, Sym(m.ssr_var))
+        if dec is None:
+            return [f"{what}: stored value is not affine in SSR scalar '{m.ssr_var}'"]
+        coeff, off = dec
+        banned = (assigned | {h.index}) - {m.ssr_var}
+        if not _is_invariant(coeff, banned) or not _is_invariant(off, banned):
+            return [f"{what}: stored value coefficients are not loop-invariant"]
+        if sign_of(coeff, cert.facts) is not Sign.POSITIVE:
+            return [f"{what}: SSR coefficient in the stored value is not positive"]
+        derived = derived_ssr
+    else:
+        return [f"{what}: value is neither the fill index nor an SSR scalar"]
+    # counter fills may additionally ride the counter's own SSR as evidence
+    if m.ssr is not None and m.ssr.var not in (m.counter_var, m.ssr_var):
+        return [f"{what}: SSR evidence names unrelated scalar '{m.ssr.var}'"]
+    if m.ssr is not None and m.ssr.var == m.counter_var:
+        ssr_errs, _ = _check_ssr(m.ssr, body, h.index, assigned, cert.facts)
+        if ssr_errs:
+            return ssr_errs
+    if m.kind.value > derived.value:
+        return [f"{what}: claimed kind {m.kind} stronger than derived {derived}"]
+    return []
+
+
+def _check_chain_value(
+    m: MonoStep,
+    cert: Certificate,
+    h: _Header,
+    store: Assign,
+    env: Dict[str, Expression],
+    assigned: Set[str],
+) -> List[str]:
+    """Figure 2(b): ``a[s] = a[s-1] + k`` with invariant k of known sign."""
+    what = f"property of '{m.array}'"
+    sub_ir = _to_ir(_subst(store.lhs.indices[0], env))
+    val_ir = _to_ir(_subst(store.rhs, env))
+    if sub_ir is None or val_ir is None:
+        return [f"{what}: chain store is opaque"]
+    prev = ArrayRef(m.array, [simplify(sub(sub_ir, IntLit(1)))])
+    k_ir = simplify(sub(val_ir, prev))
+    if not _is_invariant(k_ir, (assigned | {h.index}) - set()):
+        return [f"{what}: chain increment '{k_ir}' is not loop-invariant"]
+    sgn = sign_of(k_ir, cert.facts)
+    if sgn is Sign.POSITIVE:
+        derived = MonoKind.SMA
+    elif sgn.is_pnn:
+        derived = MonoKind.MA
+    else:
+        return [f"{what}: chain increment '{k_ir}' is not provably PNN"]
+    if m.kind.value > derived.value:
+        return [f"{what}: claimed kind {m.kind} stronger than derived {derived}"]
+    return []
+
+
+class _Bounds:
+    """Inner-loop index ranges layered over the certificate's facts."""
+
+    def __init__(self, inner: Dict[Expr, SymRange], facts):
+        self.inner = inner
+        self.facts = facts
+
+    def range_of(self, sym: Expr) -> Optional[SymRange]:
+        r = self.inner.get(sym)
+        if r is not None:
+            return r
+        return self.facts.range_of(sym) if self.facts is not None else None
+
+
+def _inner_index_bounds(body: Statement, facts) -> _Bounds:
+    inner: Dict[Expr, SymRange] = {}
+    for n in body.walk():
+        if isinstance(n, For):
+            ih = _match_header(n)
+            if ih is None:
+                continue
+            lb = _to_ir(ih.lb)
+            ub = _to_ir(ih.ub)
+            if lb is None or ub is None:
+                continue
+            last = ub if ih.inclusive else simplify(sub(ub, IntLit(1)))
+            inner[Sym(ih.index)] = SymRange(lb, last)
+    return _Bounds(inner, facts)
+
+
+def _check_lemma2(
+    m: MonoStep,
+    cert: Certificate,
+    h: _Header,
+    body: Statement,
+    assigned: Set[str],
+    stores,
+) -> List[str]:
+    """Range monotonicity: every store writes ``α·i + rem`` at subscript
+    ``i + c`` of dimension ``dim`` with rem ⊆ [rl:ru] and ``α + rl ≥ ru``."""
+    what = f"property of '{m.array}'"
+    if m.counter_var is not None or m.counter_max is not None:
+        return [f"{what}: LEMMA 2 must not claim a counter"]
+    if m.alpha is None or m.rem_range is None:
+        return [f"{what}: LEMMA 2 witness (alpha, rem range) missing"]
+    if not (m.rem_range.has_lb and m.rem_range.has_ub):
+        return [f"{what}: LEMMA 2 rem range must be bounded"]
+    fidx = h.index
+    env = _copy_env(body, fidx)
+    bounds = _inner_index_bounds(body, cert.facts)
+    banned = (assigned | {fidx}) - set()
+    for store, guards, _depth in stores:
+        if store.op != "=":
+            return [f"{what}: compound store survived normalization"]
+        if guards:
+            return [f"{what}: LEMMA 2 store must be unguarded"]
+        dims = store.lhs.indices
+        if m.dim >= len(dims):
+            return [f"{what}: claimed dimension {m.dim} out of range"]
+        for d, ix in enumerate(dims):
+            ix_ir = _to_ir(_subst(ix, env))
+            if ix_ir is None:
+                return [f"{what}: subscript dimension {d} is opaque"]
+            if d == m.dim:
+                dec = decompose_affine(ix_ir, Sym(fidx))
+                if dec is None or simplify(dec[0]) != IntLit(1):
+                    return [f"{what}: dimension {d} subscript is not '{fidx} + c'"]
+                if not _is_invariant(dec[1], banned):
+                    return [f"{what}: dimension {d} subscript offset is not invariant"]
+            elif Sym(fidx) in set(ix_ir.free_symbols()):
+                return [f"{what}: fill index leaks into non-DIM dimension {d}"]
+        val_ir = _to_ir(_subst(store.rhs, env))
+        if val_ir is None:
+            return [f"{what}: stored value is opaque"]
+        dec = decompose_affine(val_ir, Sym(fidx))
+        if dec is None:
+            return [f"{what}: stored value is not affine in '{fidx}'"]
+        coeff, rem = dec
+        if simplify(sub(coeff, m.alpha)) != IntLit(0):
+            return [f"{what}: derived alpha '{coeff}' differs from claimed '{m.alpha}'"]
+        rem_range = range_eval(rem, bounds)
+        if not (rem_range.has_lb and rem_range.has_ub):
+            return [f"{what}: cannot bound the stored value's rem term"]
+        if not sign_of(simplify(sub(rem_range.lb, m.rem_range.lb)), cert.facts).is_pnn:
+            return [f"{what}: derived rem range exceeds the claimed range below"]
+        if not sign_of(simplify(sub(m.rem_range.ub, rem_range.ub)), cert.facts).is_pnn:
+            return [f"{what}: derived rem range exceeds the claimed range above"]
+    # witness: rem lower bound PNN, gap α + rl − ru decides the kind
+    if not sign_of(m.rem_range.lb, cert.facts).is_pnn:
+        return [f"{what}: rem lower bound is not provably PNN"]
+    gap = simplify(sub(add(m.alpha, m.rem_range.lb), m.rem_range.ub))
+    sgn = sign_of(gap, cert.facts)
+    if sgn is Sign.POSITIVE:
+        derived = MonoKind.SMA
+    elif sgn.is_pnn:
+        derived = MonoKind.MA
+    else:
+        return [f"{what}: LEMMA 2 witness fails: alpha + rl - ru = '{gap}' not PNN"]
+    if m.kind.value > derived.value:
+        return [f"{what}: claimed kind {m.kind} stronger than derived {derived}"]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# scalar step validation
+# ---------------------------------------------------------------------------
+
+
+def _linear_events(body: Statement) -> List[Tuple[str, str, Optional[Assign]]]:
+    events: List[Tuple[str, str, Optional[Assign]]] = []
+
+    def reads_of(e: Node) -> None:
+        for n in e.walk():
+            if isinstance(n, Id):
+                events.append(("r", n.name, None))
+
+    def visit(s: Node) -> None:
+        if isinstance(s, Compound):
+            for x in s.stmts:
+                visit(x)
+        elif isinstance(s, If):
+            reads_of(s.cond)
+            visit(s.then)
+            if s.els is not None:
+                visit(s.els)
+        elif isinstance(s, For):
+            if s.init is not None:
+                visit(s.init)
+            if s.cond is not None:
+                reads_of(s.cond)
+            visit(s.body)
+            if s.step is not None:
+                visit(s.step)
+        elif isinstance(s, While):
+            reads_of(s.cond)
+            visit(s.body)
+        elif isinstance(s, Assign):
+            reads_of(s.rhs)
+            if isinstance(s.lhs, ArrayAccess):
+                for ix in s.lhs.indices:
+                    reads_of(ix)
+            if s.op != "=" and isinstance(s.lhs, Id):
+                events.append(("r", s.lhs.name, None))
+            if isinstance(s.lhs, Id):
+                events.append(("w", s.lhs.name, s))
+        elif isinstance(s, ExprStmt):
+            reads_of(s.expr)
+        elif isinstance(s, Decl):
+            if s.init is not None:
+                reads_of(s.init)
+            if not s.dims:
+                events.append(("w", s.name, None))
+
+    visit(body)
+    return events
+
+
+def _reduction_op(stmt: Optional[Assign], name: str) -> Optional[str]:
+    if stmt is None or not isinstance(stmt.lhs, Id):
+        return None
+    if stmt.op == "+=":
+        return "+"
+    if stmt.op == "*=":
+        return "*"
+    rhs = stmt.rhs
+    if stmt.op != "=" or not isinstance(rhs, BinOp) or rhs.op not in ("+", "*"):
+        return None
+    if isinstance(rhs.lhs, Id) and rhs.lhs.name == name:
+        other = rhs.rhs
+    elif isinstance(rhs.rhs, Id) and rhs.rhs.name == name:
+        other = rhs.lhs
+    else:
+        return None
+    if any(isinstance(n, Id) and n.name == name for n in other.walk()):
+        return None
+    return rhs.op
+
+
+def _check_scalars(cert: Certificate, body: Statement, index: str) -> List[str]:
+    """Every assigned scalar must carry a validated private/reduction role."""
+    errs: List[str] = []
+    events = _linear_events(body)
+    inner_indices: Set[str] = set()
+    for n in body.walk():
+        if isinstance(n, For):
+            ih = _match_header(n)
+            if ih is not None:
+                inner_indices.add(ih.index)
+    written = {n for ev, n, _ in events if ev == "w"} - {index}
+    roles = {s.var: s.role for s in cert.scalars}
+    for s in cert.scalars:
+        if s.var not in written:
+            errs.append(f"scalar step for '{s.var}', which the loop never assigns")
+    for name in sorted(written):
+        role = roles.get(name)
+        if role is None:
+            errs.append(f"assigned scalar '{name}' has no certificate step")
+            continue
+        if role == "private":
+            if name in inner_indices:
+                continue
+            first = next((ev for ev, n, _ in events if n == name), None)
+            if first != "w":
+                errs.append(f"scalar '{name}' claimed private but is read before written")
+        elif role.startswith("reduction:"):
+            op = role.split(":", 1)[1]
+            writes = [(ev, n, st) for ev, n, st in events if n == name and ev == "w"]
+            reads = sum(1 for ev, n, _ in events if n == name and ev == "r")
+            if not all(_reduction_op(st, name) == op for _ev, _n, st in writes):
+                errs.append(f"scalar '{name}' claimed reduction({op}) but writes disagree")
+            elif reads > len(writes):
+                errs.append(f"scalar '{name}' claimed reduction({op}) but is read elsewhere")
+        else:
+            errs.append(f"scalar '{name}' carries unknown role '{role}'")
+    return errs
+
+
+# ---------------------------------------------------------------------------
+# disproof validation: re-derive the dependence argument from scratch
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _Sub:
+    expr: Expression
+    affine: Optional[Tuple[Expr, Expr]]
+    indirection: Optional[Tuple[str, List[Expression]]]
+    inner_index: Optional[str]
+
+
+@dataclasses.dataclass
+class _Acc:
+    array: str
+    is_write: bool
+    subs: List[_Sub]
+
+
+def _collect_accesses(
+    body: Statement,
+    index: str,
+    env: Dict[str, Expression],
+    inner: Dict[str, Tuple[Expression, Expression, bool]],
+    variant: Set[str],
+) -> List[_Acc]:
+    accesses: List[_Acc] = []
+
+    def analyze(raw: Expression) -> _Sub:
+        e = _subst(raw, env)
+        inner_index = e.name if isinstance(e, Id) and e.name in inner else None
+        indirection = None
+        for n in e.walk():
+            if isinstance(n, ArrayAccess):
+                indirection = (n.name, list(n.indices))
+                break
+        affine = None
+        ir = _to_ir(e)
+        if ir is not None:
+            dec = decompose_affine(ir, Sym(index))
+            if dec is not None:
+                names = {s.name for part in dec for s in part.free_symbols()}
+                if not (names & variant):
+                    affine = dec
+        return _Sub(e, affine, indirection, inner_index)
+
+    def visit_expr(e: Node, in_write: bool = False) -> None:
+        if isinstance(e, ArrayAccess):
+            accesses.append(_Acc(e.name, in_write, [analyze(ix) for ix in e.indices]))
+            for ix in e.indices:
+                visit_expr(ix)
+            return
+        for c in e.children():
+            visit_expr(c)
+
+    for stmt, _guards, _depth in _guarded_stmts(body):
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.lhs, ArrayAccess):
+                visit_expr(stmt.lhs, in_write=True)
+                if stmt.op != "=":
+                    accesses.append(
+                        _Acc(stmt.lhs.name, False, [analyze(ix) for ix in stmt.lhs.indices])
+                    )
+            visit_expr(stmt.rhs)
+        elif isinstance(stmt, ExprStmt):
+            visit_expr(stmt.expr)
+        elif isinstance(stmt, Decl) and stmt.init is not None:
+            visit_expr(stmt.init)
+    # guard/header expressions may also read arrays
+    for n in body.walk():
+        if isinstance(n, If):
+            visit_expr(n.cond)
+        elif isinstance(n, For) and n.cond is not None:
+            visit_expr(n.cond)
+        elif isinstance(n, While):
+            visit_expr(n.cond)
+    return accesses
+
+
+def _const(e: Expr) -> Optional[int]:
+    s = simplify(e)
+    return s.value if isinstance(s, IntLit) else None
+
+
+def _classical_pair(a: _Sub, b: _Sub) -> bool:
+    """Own copy of the classical equal-form / GCD / distinct-constant test."""
+    if a.affine is None or b.affine is None:
+        return False
+    ca, oa = a.affine
+    cb, ob = b.affine
+    if simplify(sub(ca, cb)) == IntLit(0) and simplify(sub(oa, ob)) == IntLit(0):
+        csign = sign_of(ca)
+        if csign in (Sign.POSITIVE, Sign.NEGATIVE):
+            return True
+        cval = _const(ca)
+        return cval is not None and cval != 0
+    ia = _const(ca)
+    ib = _const(cb)
+    da = _const(simplify(sub(oa, ob)))
+    if ia is not None and ib is not None and da is not None:
+        if ia == 0 and ib == 0:
+            return da != 0
+        g = math.gcd(ia, ib)
+        if g != 0 and (-da) % g != 0:
+            return True
+    return False
+
+
+def _affine_in(e: Expression, index: str) -> Optional[Tuple[int, Expr]]:
+    ir = _to_ir(e)
+    if ir is None:
+        return None
+    dec = decompose_affine(ir, Sym(index))
+    if dec is None or not isinstance(dec[0], IntLit):
+        return None
+    return dec[0].value, dec[1]
+
+
+def _region_check_texts(m: MonoStep, accessed_lb: Expr, accessed_ub: Expr) -> List[str]:
+    """Run-time checks for accessed ⊆ region — text format must match the
+    analyzer's ``RuntimeCheck`` rendering exactly."""
+    checks: List[str] = []
+    region = m.region
+    if region is None:
+        return checks
+    if region.has_lb and not sign_of(simplify(sub(accessed_lb, region.lb))).is_pnn:
+        checks.append(f"{_fmt(region.lb)} <= {_fmt(accessed_lb)}")
+    if region.has_ub and not sign_of(simplify(sub(region.ub, accessed_ub))).is_pnn:
+        if m.counter_max is not None:
+            checks.append(f"{_fmt(accessed_ub)} <= {m.counter_max.name}")
+        else:
+            checks.append(f"{_fmt(accessed_ub)} <= {_fmt(region.ub)}")
+    return checks
+
+
+def _mono_any(valid_mono: Dict[Tuple[str, int], MonoStep], array: str) -> Optional[MonoStep]:
+    for (arr, _dim) in sorted(valid_mono):
+        if arr == array:
+            return valid_mono[(arr, _dim)]
+    return None
+
+
+def _const_offset_from_ref(s: _Sub, arr: str, idx: List[Expression]) -> Optional[int]:
+    ir = _to_ir(s.expr)
+    if ir is None:
+        return None
+    idx_ir = [_to_ir(x) for x in idx]
+    if any(i is None for i in idx_ir):
+        return None
+    diff = simplify(sub(ir, ArrayRef(arr, [i for i in idx_ir if i is not None])))
+    return diff.value if isinstance(diff, IntLit) else None
+
+
+def _direct_dim(
+    sa: _Sub,
+    sb: _Sub,
+    index: str,
+    valid_mono: Dict[Tuple[str, int], MonoStep],
+    index_range: Optional[Tuple[Expr, Expr]],
+) -> Optional[Tuple[str, int, List[str]]]:
+    if sa.indirection is None or sb.indirection is None or index_range is None:
+        return None
+    arr_a, idx_a = sa.indirection
+    arr_b, idx_b = sb.indirection
+    if arr_a != arr_b:
+        return None
+    m = _mono_any(valid_mono, arr_a)
+    if m is None or m.kind is not MonoKind.SMA:
+        return None
+    d = m.dim
+    if d >= len(idx_a) or d >= len(idx_b):
+        return None
+    fa = _affine_in(idx_a[d], index)
+    fb = _affine_in(idx_b[d], index)
+    if fa is None or fb is None:
+        return None
+    if fa[0] == 0 or fa[0] != fb[0] or simplify(sub(fa[1], fb[1])) != IntLit(0):
+        return None
+    da = _const_offset_from_ref(sa, arr_a, idx_a)
+    db = _const_offset_from_ref(sb, arr_b, idx_b)
+    if da is None or db is None or da != db:
+        return None
+    lo, hi = index_range
+    accessed_lb = simplify(add(fa[1], mul(lo, IntLit(fa[0])) if fa[0] >= 0 else mul(hi, IntLit(fa[0]))))
+    accessed_ub = simplify(add(fa[1], mul(hi, IntLit(fa[0])) if fa[0] >= 0 else mul(lo, IntLit(fa[0]))))
+    return arr_a, d, _region_check_texts(m, accessed_lb, accessed_ub)
+
+
+def _bound_dim(
+    sa: _Sub,
+    sb: _Sub,
+    index: str,
+    valid_mono: Dict[Tuple[str, int], MonoStep],
+    inner: Dict[str, Tuple[Expression, Expression, bool]],
+    index_range: Optional[Tuple[Expr, Expr]],
+) -> Optional[Tuple[str, List[str]]]:
+    if sa.inner_index is None or sa.inner_index != sb.inner_index or index_range is None:
+        return None
+    info = inner.get(sa.inner_index)
+    if info is None:
+        return None
+    lb_ast, ub_ast, inclusive = info
+    if inclusive:
+        return None
+    if not isinstance(lb_ast, ArrayAccess) or not isinstance(ub_ast, ArrayAccess):
+        return None
+    if lb_ast.name != ub_ast.name or len(lb_ast.indices) != 1 or len(ub_ast.indices) != 1:
+        return None
+    m = valid_mono.get((lb_ast.name, 0))
+    if m is None or not m.kind.monotonic:
+        return None
+    fl = _affine_in(lb_ast.indices[0], index)
+    fu = _affine_in(ub_ast.indices[0], index)
+    if fl is None or fu is None or fl[0] != 1 or fu[0] != 1:
+        return None
+    if simplify(sub(fu[1], add(fl[1], IntLit(1)))) != IntLit(0):
+        return None
+    lo, hi = index_range
+    accessed_lb = simplify(add(fl[1], lo))
+    accessed_ub = simplify(add(fl[1], hi))
+    return lb_ast.name, _region_check_texts(m, accessed_lb, accessed_ub)
+
+
+def _pair_disproof(
+    a: _Acc,
+    b: _Acc,
+    index: str,
+    index_range: Optional[Tuple[Expr, Expr]],
+    valid_mono: Dict[Tuple[str, int], MonoStep],
+    inner: Dict[str, Tuple[Expression, Expression, bool]],
+) -> Optional[Tuple[Tuple[str, Optional[str], int], List[str]]]:
+    """Route that disproves this pair, with the run-time checks it needs."""
+    if len(a.subs) != len(b.subs):
+        return None
+    for sa, sb in zip(a.subs, b.subs):
+        if _classical_pair(sa, sb):
+            return (ROUTE_CLASSICAL, None, 0), []
+        direct = _direct_dim(sa, sb, index, valid_mono, index_range)
+        if direct is not None:
+            via, vdim, cks = direct
+            return (ROUTE_DIRECT, via, vdim), cks
+        bound = _bound_dim(sa, sb, index, valid_mono, inner, index_range)
+        if bound is not None:
+            via, cks = bound
+            return (ROUTE_BOUND, via, 0), cks
+    return None
+
+
+def _check_disproofs(
+    cert: Certificate,
+    loop: For,
+    header: _Header,
+    valid_mono: Dict[Tuple[str, int], MonoStep],
+) -> List[str]:
+    errs: List[str] = []
+    body = loop.body
+    index = header.index
+    env = _copy_env(body, index)
+    inner: Dict[str, Tuple[Expression, Expression, bool]] = {}
+    for n in body.walk():
+        if isinstance(n, For):
+            ih = _match_header(n)
+            if ih is not None:
+                inner[ih.index] = (ih.lb, ih.ub, ih.inclusive)
+    variant = (_assigned_scalars(body) | set(inner)) - {index}
+    accesses = _collect_accesses(body, index, env, inner, variant)
+
+    written = sorted({a.array for a in accesses if a.is_write})
+    steps_by_array: Dict[str, list] = {}
+    for step in cert.disproofs:
+        steps_by_array.setdefault(step.array, []).append(step)
+    for arr in written:
+        if arr not in steps_by_array:
+            errs.append(f"written array '{arr}' has no disproof step")
+    for arr in steps_by_array:
+        if arr not in written:
+            errs.append(f"disproof step for '{arr}', which the loop never writes")
+
+    lo = _to_ir(header.lb)
+    hi = _to_ir(header.ub)
+    index_range: Optional[Tuple[Expr, Expr]] = None
+    if lo is not None and hi is not None:
+        last = hi if header.inclusive else simplify(sub(hi, IntLit(1)))
+        index_range = (lo, last)
+
+    by_array: Dict[str, List[_Acc]] = {}
+    for acc in accesses:
+        by_array.setdefault(acc.array, []).append(acc)
+    for arr in written:
+        if arr not in steps_by_array:
+            continue  # already reported
+        accs = by_array[arr]
+        derived_routes: Set[Tuple[str, Optional[str], int]] = set()
+        needed: List[str] = []
+        disproved = True
+        for w in (a for a in accs if a.is_write):
+            for other in accs:
+                res = _pair_disproof(w, other, index, index_range, valid_mono, inner)
+                if res is None:
+                    errs.append(
+                        f"array '{arr}': a loop-carried dependence is not "
+                        f"re-derivable by the trusted core"
+                    )
+                    disproved = False
+                    break
+                route, cks = res
+                derived_routes.add(route)
+                for t in cks:
+                    if t not in needed:
+                        needed.append(t)
+            if not disproved:
+                break
+        if not disproved:
+            continue
+        recorded: Set[str] = set()
+        for step in steps_by_array[arr]:
+            if (step.route, step.via_array, step.via_dim) not in derived_routes:
+                errs.append(
+                    f"array '{arr}': recorded disproof route '{step.route}' "
+                    f"via '{step.via_array}' is not derivable"
+                )
+            recorded.update(step.checks)
+        for t in needed:
+            if t not in recorded:
+                errs.append(f"array '{arr}': required run-time check '{t}' missing from certificate")
+    return errs

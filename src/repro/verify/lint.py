@@ -1,0 +1,184 @@
+"""IR / SVD invariant linter (debug-mode structural assertions).
+
+Checks well-formedness properties the analysis relies on but never
+re-checks on its hot path:
+
+* every scalar/array tracked by a Phase-1 SVD is actually a loop-variant
+  variable of that loop (symbols are in scope);
+* ``λ`` markers only reference loop-variant scalars;
+* no condition tag contains the same condition in both polarities
+  (a contradictory guard chain means the CFG walk went wrong);
+* constant :class:`~repro.ir.ranges.SymRange` bounds satisfy ``lb <= ru``;
+* hash-consed IR nodes are canonical — two structurally equal nodes
+  reachable from the SVD must be the *same* object (the memoized
+  simplifier keys on identity-backed structural keys);
+* Phase-2 results stay inside Phase-1's vocabulary and resolved
+  :class:`~repro.analysis.properties.ArrayProperty` values are sane
+  (kind on the lattice above ``NONE``, counter wiring consistent,
+  evidence step matching the property it annotates).
+
+Gated by ``AnalysisConfig.verify_ir`` (on under the test suite via the
+``REPRO_VERIFY_IR`` env var).  A failed lint raises :class:`LintError`,
+which the per-nest fault boundary converts into an ``internal-error``
+diagnostic — the nest is downgraded, the run keeps going.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.analysis.properties import ArrayProperty, MonoKind
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import Bottom, Expr, IntLit
+from repro.lang.astnodes import Decl
+
+
+class LintError(Exception):
+    """An IR/SVD structural invariant does not hold."""
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _bounds(r: SymRange):
+    for b in (r.lb, r.ub):
+        if not isinstance(b, Bottom):
+            yield b
+
+
+def _check_range(r: SymRange, what: str) -> None:
+    if isinstance(r.lb, IntLit) and isinstance(r.ub, IntLit) and r.lb.value > r.ub.value:
+        raise LintError(f"{what}: empty constant range [{r}] (lb > ub)")
+
+
+def _check_tag(tag, what: str) -> None:
+    seen: Dict[object, bool] = {}
+    for key, polarity, _lv in tag.conds:
+        if key in seen and seen[key] != polarity:
+            raise LintError(f"{what}: contradictory guard chain (condition in both polarities)")
+        seen[key] = polarity
+
+
+class _Canon:
+    """Canonicality witness: structural key -> the one object carrying it."""
+
+    def __init__(self):
+        self._by_key: Dict[tuple, Expr] = {}
+
+    def visit(self, e: Expr, what: str) -> None:
+        for n in e.walk():
+            k = (type(n).__name__,) + n.key()
+            prev = self._by_key.get(k)
+            if prev is None:
+                self._by_key[k] = n
+            elif prev is not n:
+                raise LintError(
+                    f"{what}: hash-consing violated — two distinct objects for {n!r}"
+                )
+
+
+def _lint_value_exprs(canon: _Canon, r: SymRange, lam_scope: Set[str], what: str) -> None:
+    _check_range(r, what)
+    for b in _bounds(r):
+        canon.visit(b, what)
+        for lam in b.lambda_vals():
+            if lam.var not in lam_scope:
+                raise LintError(f"{what}: λ marker for out-of-scope variable '{lam.var}'")
+
+
+# ---------------------------------------------------------------------------
+# Phase-1 SVD lint
+# ---------------------------------------------------------------------------
+
+
+def lint_phase1(p1) -> None:
+    """Structural invariants of a :class:`~repro.analysis.phase1.Phase1Result`."""
+    idx = p1.header.index
+    declared: Set[str] = set()
+    for node in p1.cfg.topological():
+        st = getattr(node, "stmt", None)
+        if isinstance(st, Decl):
+            declared.add(st.name)
+    scalar_scope = set(p1.lvv_scalars) | declared | {idx}
+    lam_scope = set(p1.lvv_scalars) | declared
+
+    canon = _Canon()
+    for name, vs in p1.svd.scalars.items():
+        what = f"phase1 svd scalar '{name}'"
+        if name not in scalar_scope:
+            raise LintError(f"{what}: not a loop-variant variable of this loop")
+        for item in vs.items:
+            _check_tag(item.tag, what)
+            _lint_value_exprs(canon, item.value, lam_scope, what)
+    for arr, recs in p1.svd.arrays.items():
+        what = f"phase1 svd array '{arr}'"
+        if arr not in p1.lvv_arrays:
+            raise LintError(f"{what}: store record for a non-assigned array")
+        for rec in recs:
+            if len(rec.subs) != len(rec.sub_vars) or len(rec.subs) != len(rec.covers):
+                raise LintError(f"{what}: store record shape mismatch")
+            for s in rec.subs:
+                _lint_value_exprs(canon, s, lam_scope, what)
+            for v in rec.values:
+                _check_tag(v.tag, what)
+                _lint_value_exprs(canon, v.value, lam_scope, what)
+
+
+# ---------------------------------------------------------------------------
+# Phase-2 lint
+# ---------------------------------------------------------------------------
+
+
+def lint_phase2(p1, p2) -> None:
+    """Phase-2 output stays inside Phase-1's vocabulary and is well formed."""
+    for var in p2.ssr_vars:
+        if var not in p1.lvv_scalars:
+            raise LintError(f"phase2: SSR recognized for non-loop-variant scalar '{var}'")
+    for arr, res in p2.mono_arrays.items():
+        if arr not in p1.lvv_arrays:
+            raise LintError(f"phase2: monotonicity claimed for non-assigned array '{arr}'")
+        if not res.kind.monotonic:
+            raise LintError(f"phase2: mono_arrays['{arr}'] carries kind NONE")
+        if res.counter_var is not None and res.counter_var not in p1.lvv_scalars:
+            raise LintError(f"phase2: counter '{res.counter_var}' is not loop-variant")
+    cl = p2.collapsed
+    scope = set(cl.assigned_scalars)
+    for name in cl.scalar_effects:
+        if name not in scope:
+            raise LintError(f"phase2: scalar effect for unassigned '{name}'")
+    for arr in cl.array_effects:
+        if arr not in cl.assigned_arrays:
+            raise LintError(f"phase2: array effect for unassigned '{arr}'")
+    for prop in p2.properties:
+        lint_property(prop, resolved=False)
+
+
+def lint_property(prop: ArrayProperty, resolved: bool = True) -> None:
+    """Sanity of one (possibly resolved) array property."""
+    what = f"property of '{prop.array}'"
+    if prop.kind is MonoKind.NONE:
+        raise LintError(f"{what}: recorded with kind NONE")
+    if prop.dim < 0:
+        raise LintError(f"{what}: negative dimension {prop.dim}")
+    if prop.region is not None:
+        _check_range(prop.region, what + " region")
+    if prop.value_range is not None:
+        _check_range(prop.value_range, what + " value range")
+    if (prop.counter_max is None) != (prop.counter_var is None):
+        raise LintError(f"{what}: counter_max/counter_var wiring inconsistent")
+    if prop.counter_max is not None and prop.counter_max.name != f"{prop.counter_var}_max":
+        raise LintError(f"{what}: counter_max symbol does not match counter variable")
+    ev = prop.evidence
+    if ev is not None:
+        if ev.array != prop.array:
+            raise LintError(f"{what}: evidence step names array '{ev.array}'")
+        if ev.kind.value < prop.kind.value:
+            # lattice merges must be monotone: a resolved property can only
+            # weaken (meet) the derived kind, never strengthen it
+            raise LintError(
+                f"{what}: kind {prop.kind} stronger than derived evidence kind {ev.kind}"
+            )
+        if ev.counter_var != prop.counter_var:
+            raise LintError(f"{what}: evidence counter '{ev.counter_var}' mismatch")

@@ -15,7 +15,7 @@ All generators are deterministic given a seed.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

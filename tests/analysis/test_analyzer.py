@@ -1,11 +1,10 @@
 """Program-level analyzer tests: the paper's three worked examples plus
 negative cases the analysis must reject."""
 
-import pytest
 
 from repro.analysis import AnalysisConfig, MonoKind, analyze_program
 from repro.ir.ranges import SymRange
-from repro.ir.symbols import Sym, add, mul, sub
+from repro.ir.symbols import Sym, mul, sub
 
 NEW = AnalysisConfig.new_algorithm()
 BASE = AnalysisConfig.base_algorithm()

@@ -1,15 +1,8 @@
 """Tests for AST→IR evaluation and condition tags."""
 
-from repro.analysis.irbridge import (
-    EMPTY_RESOLVER,
-    EMPTY_TAG,
-    Tag,
-    cond_is_loop_variant,
-    cond_key,
-    eval_expr,
-)
+from repro.analysis.irbridge import EMPTY_TAG, cond_is_loop_variant, cond_key, eval_expr
 from repro.ir.ranges import SymRange
-from repro.ir.symbols import ArrayRef, IntLit, Sym, add, mul
+from repro.ir.symbols import ArrayRef, Sym, add, mul
 from repro.lang.cparser import parse_expr
 
 

@@ -1,11 +1,6 @@
 """Tests for loop discovery and eligibility (paper §2.2)."""
 
-from repro.analysis.loopinfo import (
-    assigned_arrays,
-    assigned_scalars,
-    build_nest,
-    find_loop_nests,
-)
+from repro.analysis.loopinfo import assigned_arrays, assigned_scalars, find_loop_nests
 from repro.analysis.normalize import normalize_program
 from repro.lang.cparser import parse_program
 

@@ -1,6 +1,6 @@
 """Unit tests for SSR / SRA / is_Mono_Array (paper §2.4, Algorithm 2)."""
 
-from repro.analysis.irbridge import EMPTY_TAG, Tag
+from repro.analysis.irbridge import EMPTY_TAG
 from repro.analysis.monotonic import (
     SSRInfo,
     is_loop_invariant,
@@ -13,7 +13,7 @@ from repro.analysis.properties import MonoKind
 from repro.analysis.svd import SVD, StoreRec, ValueSet, VItem
 from repro.ir.rangedict import RangeDict
 from repro.ir.ranges import SymRange
-from repro.ir.symbols import ArrayRef, BOTTOM, IntLit, LambdaVal, Sym, add, mul, sub
+from repro.ir.symbols import ArrayRef, BOTTOM, IntLit, LambdaVal, Sym, add, mul
 
 FACTS = RangeDict()
 IDX = "i"

@@ -1,14 +1,8 @@
 """Tests for Cetus-style normalization (paper Figure 4b)."""
 
-from repro.lang.astnodes import Assign, BinOp, Compound, For, Id, If, Num
-from repro.lang.cparser import parse_program, parse_stmt
+from repro.lang.cparser import parse_program
 from repro.lang.printer import to_c
-from repro.analysis.normalize import (
-    LoopHeader,
-    Normalizer,
-    match_header,
-    normalize_program,
-)
+from repro.analysis.normalize import match_header, normalize_program
 
 
 def norm(src: str) -> str:

@@ -17,7 +17,6 @@ CFG = AnalysisConfig.new_algorithm()
 def phase2(src, config=CFG, facts=None):
     prog = normalize_program(parse_program(src))
     nests = find_loop_nests(prog)
-    collapsed = {}
     results = {}
 
     def rec(nest):

@@ -5,7 +5,7 @@ from repro.analysis.normalize import normalize_program
 from repro.analysis.rangeprop import propagate_ranges, refine_by_condition
 from repro.ir.rangedict import RangeDict
 from repro.ir.ranges import Sign, SymRange, sign_of
-from repro.ir.symbols import BOTTOM, IntLit, Sym, add, sub
+from repro.ir.symbols import IntLit, Sym, sub
 from repro.lang.cparser import parse_expr, parse_program
 
 

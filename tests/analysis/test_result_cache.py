@@ -54,6 +54,19 @@ class TestFingerprint:
         for f in dataclasses.fields(AnalysisConfig):
             assert f.name in fp
 
+    def test_verification_flags_segregate_cache_entries(self):
+        """``verify_ir`` / ``verify_certificates`` change analysis behaviour
+        (lint diagnostics, certificate audit), so each combination must get
+        its own fingerprint — and therefore its own result-cache entry."""
+        base = AnalysisConfig.new_algorithm()
+        fps = {
+            dataclasses.replace(base, verify_ir=False, verify_certificates=True).fingerprint(),
+            dataclasses.replace(base, verify_ir=True, verify_certificates=True).fingerprint(),
+            dataclasses.replace(base, verify_ir=False, verify_certificates=False).fingerprint(),
+            dataclasses.replace(base, verify_ir=True, verify_certificates=False).fingerprint(),
+        }
+        assert len(fps) == 4
+
 
 def _pragma_count(program) -> int:
     return sum(len(n.pragmas) for n in program.walk() if isinstance(n, For))

@@ -17,7 +17,6 @@ sound); it must never claim a property the execution violates.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.analysis import AnalysisConfig, MonoKind, analyze_program

@@ -3,7 +3,7 @@
 from repro.analysis.irbridge import EMPTY_TAG
 from repro.analysis.svd import SVD, StoreRec, ValueSet, VItem
 from repro.ir.ranges import SymRange
-from repro.ir.symbols import IntLit, LambdaVal, Sym, add
+from repro.ir.symbols import LambdaVal, Sym, add
 
 
 def tag():

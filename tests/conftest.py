@@ -1,0 +1,10 @@
+"""Suite-wide defaults.
+
+The IR/SVD invariant linter (``AnalysisConfig.verify_ir``) is on for the
+whole test suite unless the environment already chose: structural bugs
+should fail loudly here even though the production default is off.
+"""
+
+import os
+
+os.environ.setdefault("REPRO_VERIFY_IR", "1")

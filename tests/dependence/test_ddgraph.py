@@ -2,7 +2,6 @@
 
 from repro.analysis import AnalysisConfig, analyze_program
 from repro.analysis.irbridge import eval_expr
-from repro.analysis.loopinfo import find_loop_nests
 from repro.dependence.accesses import collect_accesses, collect_inner_loops
 from repro.dependence.ddgraph import build_dependence_graph
 from repro.ir.simplify import simplify

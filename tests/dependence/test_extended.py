@@ -1,11 +1,10 @@
 """Tests for the extended (monotonicity-aware) dependence test."""
 
 from repro.analysis import AnalysisConfig, analyze_program
-from repro.analysis.loopinfo import find_loop_nests
 from repro.dependence.accesses import collect_accesses, collect_inner_loops
 from repro.dependence.extended import extended_independent
 from repro.ir.simplify import simplify
-from repro.ir.symbols import IntLit, Sym, sub
+from repro.ir.symbols import IntLit, sub
 
 
 def run_extended(full_src, kernel_nest_index):
@@ -49,7 +48,6 @@ def test_amg_direct_indirection_passes_with_check():
 
 def test_amg_without_property_fails():
     # same kernel but no fill loop => no property => dependence assumed
-    kernel_only = AMG.split("}\n", 2)[-1]
     src = AMG[AMG.index("for (i = 0; i < num_rownnz"):]
     ok, checks, reasons = run_extended(src, 0)
     assert not ok

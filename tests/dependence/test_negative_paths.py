@@ -1,0 +1,178 @@
+"""Lemma look-alikes that violate exactly one premise must stay serial.
+
+Each case pairs a positive control (the genuine paper pattern, which
+parallelizes with a checker-accepted certificate) with a minimally
+perturbed variant that breaks one premise of the lemma.  The variant's
+consumer loop must stay serial and must carry NO certificate — a verdict
+without a proof is exactly what the proof-carrying design forbids.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.lang.astnodes import For
+from repro.parallelizer import parallelize
+
+
+def _top_decisions(result):
+    return [
+        result.decisions[s.loop_id]
+        for s in result.program.stmts
+        if isinstance(s, For) and s.loop_id in result.decisions
+    ]
+
+
+def _run(src):
+    return parallelize(src, AnalysisConfig.new_algorithm())
+
+
+def _consumer(src):
+    """Decision of the last top-level loop (the property's consumer)."""
+    return _top_decisions(_run(src))[-1]
+
+
+LEMMA1_CONTROL = """
+num = 0;
+for (i = 0; i < n; i++) {
+  if (d[i] > 0) {
+    b[num] = i;
+    num = num + 1;
+  }
+}
+for (j = 0; j < m; j++) {
+  y[b[j]] = y[b[j]] + x[j];
+}
+"""
+
+# store and increment under *different* guards: the counter no longer
+# tracks the store positions, so b need not be monotonic
+LEMMA1_SPLIT_GUARDS = """
+num = 0;
+for (i = 0; i < n; i++) {
+  if (d[i] > 0) {
+    b[num] = i;
+  }
+  if (e[i] > 0) {
+    num = num + 1;
+  }
+}
+for (j = 0; j < m; j++) {
+  y[b[j]] = y[b[j]] + x[j];
+}
+"""
+
+# store guarded by d[i] > 0 but increment by d[i] > 1: same shape, but the
+# premise "same condition" fails
+LEMMA1_GUARD_MISMATCH = """
+num = 0;
+for (i = 0; i < n; i++) {
+  if (d[i] > 0) {
+    b[num] = i;
+  }
+  if (d[i] > 1) {
+    num = num + 1;
+  }
+}
+for (j = 0; j < m; j++) {
+  y[b[j]] = y[b[j]] + x[j];
+}
+"""
+
+# increment is d[i], not a provably nonnegative constant: SSR premise
+# (PNN increment) fails
+LEMMA1_NON_PNN_INCREMENT = """
+num = 0;
+for (i = 0; i < n; i++) {
+  if (d[i] > 0) {
+    b[num] = i;
+    num = num + d[i];
+  }
+}
+for (j = 0; j < m; j++) {
+  y[b[j]] = y[b[j]] + x[j];
+}
+"""
+
+# decrement: monotonicity fails outright
+LEMMA1_DECREMENT = """
+num = 0;
+for (i = 0; i < n; i++) {
+  if (d[i] > 0) {
+    b[num] = i;
+    num = num - 1;
+  }
+}
+for (j = 0; j < m; j++) {
+  y[b[j]] = y[b[j]] + x[j];
+}
+"""
+
+LEMMA2_CONTROL = """
+for (i = 0; i < n; i++) {
+  for (j = 0; j < 5; j++) {
+    b[i][j] = 10 * i + 2 * j;
+  }
+}
+for (p = 0; p < n; p++) {
+  for (q = 0; q < 5; q++) {
+    y[b[p][q]] = x[p];
+  }
+}
+"""
+
+# α + rl < ru: rows overlap (α=6 but the remainder spans [0:8]), so
+# LEMMA 2's gap premise fails and iterations may collide
+LEMMA2_GAP_VIOLATED = """
+for (i = 0; i < n; i++) {
+  for (j = 0; j < 5; j++) {
+    b[i][j] = 6 * i + 2 * j;
+  }
+}
+for (p = 0; p < n; p++) {
+  for (q = 0; q < 5; q++) {
+    y[b[p][q]] = x[p];
+  }
+}
+"""
+
+
+def test_lemma1_control_parallelizes_with_certificate():
+    d = _consumer(LEMMA1_CONTROL)
+    assert d.parallel and d.certificate is not None and d.certificate_verified
+    assert any(m.lemma == "lemma1" for m in d.certificate.monotonic)
+
+
+def test_lemma2_control_parallelizes_with_certificate():
+    d = _consumer(LEMMA2_CONTROL)
+    assert d.parallel and d.certificate is not None and d.certificate_verified
+    assert any(m.lemma == "lemma2" for m in d.certificate.monotonic)
+
+
+@pytest.mark.parametrize(
+    "name, src",
+    [
+        ("split-guards", LEMMA1_SPLIT_GUARDS),
+        ("guard-mismatch", LEMMA1_GUARD_MISMATCH),
+        ("non-pnn-increment", LEMMA1_NON_PNN_INCREMENT),
+        ("decrement", LEMMA1_DECREMENT),
+        ("lemma2-gap", LEMMA2_GAP_VIOLATED),
+    ],
+)
+def test_violated_premise_stays_serial_without_certificate(name, src):
+    d = _consumer(src)
+    assert not d.parallel, f"{name}: look-alike wrongly parallelized"
+    assert d.certificate is None, f"{name}: serial verdict carries a certificate"
+
+
+@pytest.mark.parametrize(
+    "src",
+    [LEMMA1_SPLIT_GUARDS, LEMMA1_GUARD_MISMATCH, LEMMA1_NON_PNN_INCREMENT, LEMMA1_DECREMENT],
+)
+def test_no_sma_property_for_violated_lemma1(src):
+    res = _run(src)
+    from repro.analysis.properties import MonoKind
+
+    for p in res.analysis.properties.all_properties():
+        assert not (p.array == "b" and p.kind is MonoKind.SMA)

@@ -8,7 +8,7 @@ paper-vs-measured numbers).
 import pytest
 
 from repro.benchmarks import get_benchmark
-from repro.experiments.fig13 import APPS, fig13_cells
+from repro.experiments.fig13 import fig13_cells
 from repro.experiments.fig14 import fig14_cells
 from repro.experiments.fig15 import fig15_cells
 from repro.experiments.fig16 import fig16_cells

@@ -1,6 +1,5 @@
 """Formatting/reporting coverage for the experiment harnesses."""
 
-import pytest
 
 from repro.benchmarks import get_benchmark
 from repro.experiments.harness import format_runs, run_benchmark, speedup_table

@@ -17,7 +17,7 @@ import os
 import numpy as np
 import pytest
 
-from repro.analysis import AnalysisConfig, analyze_program
+from repro.analysis import AnalysisConfig
 from repro.budget import AnalysisBudget
 from repro.lang.astnodes import For
 from repro.parallelizer import parallelize

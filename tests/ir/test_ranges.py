@@ -1,6 +1,5 @@
 """Unit tests for symbolic ranges and sign determination."""
 
-import pytest
 
 from repro.ir.rangedict import RangeDict
 from repro.ir.ranges import Sign, SymRange, range_eval, sign_of, value_union

@@ -1,6 +1,5 @@
 """Unit tests for the canonicalizing simplifier."""
 
-import pytest
 
 from repro.ir.simplify import (
     coefficient_of,

@@ -2,28 +2,7 @@
 
 import pytest
 
-from repro.ir.symbols import (
-    BOTTOM,
-    Add,
-    ArrayRef,
-    BigLambda,
-    Bottom,
-    Div,
-    IntLit,
-    LambdaVal,
-    Max,
-    Min,
-    Mod,
-    Mul,
-    Sym,
-    add,
-    as_expr,
-    mul,
-    neg,
-    smax,
-    smin,
-    sub,
-)
+from repro.ir.symbols import BOTTOM, Add, ArrayRef, BigLambda, Bottom, Div, IntLit, LambdaVal, Min, Mod, Sym, add, as_expr, mul, neg, smax, smin, sub
 
 
 class TestLeaves:

@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.analysis import AnalysisConfig
-from repro.lang.functions import (
-    InlineError,
-    inline_program,
-    parse_and_inline,
-    parse_translation_unit,
-)
+from repro.lang.functions import InlineError, parse_and_inline, parse_translation_unit
 from repro.lang.printer import to_c
 from repro.parallelizer import parallelize
 from repro.runtime.interp import run_program

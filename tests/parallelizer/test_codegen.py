@@ -1,6 +1,5 @@
 """Codegen and run-time-check evaluation tests."""
 
-import numpy as np
 
 from repro.analysis import AnalysisConfig
 from repro.benchmarks import get_benchmark

@@ -1,7 +1,6 @@
 """End-to-end parallelizer tests: the paper's examples, pragma emission,
 and the three pipelines' differing outcomes."""
 
-import pytest
 
 from repro.analysis import AnalysisConfig
 from repro.parallelizer import format_report, parallelize

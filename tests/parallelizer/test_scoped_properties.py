@@ -51,7 +51,6 @@ def test_property_does_not_leak_to_unrelated_loop():
     }
     """
     res = parallelize(src, AnalysisConfig.new_algorithm())
-    last = max(res.decisions.values(), key=lambda d: d.loop_id)
     # the z-loop (uses clobbered A_rownnz) must be serial
     z_loops = [
         d for d in res.decisions.values() if d.depth == 0 and d.index == "q" and not d.parallel

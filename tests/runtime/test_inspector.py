@@ -6,16 +6,8 @@ import pytest
 from repro.analysis import AnalysisConfig
 from repro.benchmarks import get_benchmark
 from repro.experiments.harness import _compile
-from repro.lang.cparser import parse_program
 from repro.parallelizer import parallelize
-from repro.runtime.inspector import (
-    InspectionResult,
-    InspectorExecutorModel,
-    SpeculativeModel,
-    break_even_runs,
-    compile_time_model_time,
-    inspect_monotonicity,
-)
+from repro.runtime.inspector import InspectorExecutorModel, SpeculativeModel, break_even_runs, compile_time_model_time, inspect_monotonicity
 from repro.runtime.interp import run_program
 from repro.runtime.simulate import plan_from_decisions
 

@@ -6,7 +6,7 @@ guards the C-semantics corners (truncating division, remainder sign,
 short-circuit logic) the benchmark kernels rely on.
 """
 
-from hypothesis import assume, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.lang.cparser import parse_program
 from repro.runtime.interp import run_program

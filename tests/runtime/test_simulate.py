@@ -5,15 +5,7 @@ import numpy as np
 import pytest
 
 from repro.runtime.machine import DEFAULT_MACHINE, MachineModel
-from repro.runtime.simulate import (
-    ComponentPlan,
-    KernelComponent,
-    ParallelPlan,
-    PerfModel,
-    serial_time,
-    simulate_app,
-    simulate_component,
-)
+from repro.runtime.simulate import ComponentPlan, KernelComponent, ParallelPlan, PerfModel, serial_time, simulate_app
 
 
 def make_perf(work=None, reps=1, contention=0.0, inner_extra=0.0, target=1.0):
@@ -86,7 +78,6 @@ def test_inner_region_extra_increases_inner_cost():
 
 
 def test_dynamic_beats_static_on_clustered_skew():
-    rng = np.random.default_rng(0)
     # clustered heavy region (like gsm_106857's columns)
     w = np.ones(20000)
     w[5000:7000] = 50.0

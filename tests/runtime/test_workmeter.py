@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.benchmarks import get_benchmark
-from repro.lang.astnodes import For
 from repro.lang.cparser import parse_program
 from repro.runtime.workmeter import meter_benchmark_kernel, meter_loop_work
 

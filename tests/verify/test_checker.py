@@ -1,0 +1,252 @@
+"""Independent certificate checker: accept real proofs, reject corrupted ones.
+
+The mutation tests take the genuine certificate the driver emitted for a
+counter-fill + gather/scatter kernel and flip one field of one step at a
+time (``dataclasses.replace`` on the frozen step).  Every mutation must be
+rejected — that is what makes each certificate field load-bearing rather
+than decorative.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.properties import MonoKind
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import IntLit, Sym
+from repro.lang.astnodes import For
+from repro.parallelizer import parallelize
+from repro.parallelizer.driver import _loops_by_id
+from repro.verify import check_certificate
+from repro.verify.certificate import DisproofStep, SSRStep
+
+
+def _top_decisions(result):
+    """Top-level loop decisions in program order (loop ids are assigned
+    from a process-global counter, so positions, not names, are stable)."""
+    return [
+        result.decisions[s.loop_id]
+        for s in result.program.stmts
+        if isinstance(s, For) and s.loop_id in result.decisions
+    ]
+
+COUNTER_FILL = """
+num = 0;
+for (i = 0; i < n; i++) {
+  if (d[i] > 0) {
+    b[num] = i;
+    num = num + 1;
+  }
+}
+for (j = 0; j < m; j++) {
+  y[b[j]] = y[b[j]] + x[j];
+}
+"""
+
+AFFINE_FILL = """
+for (i = 0; i < n; i++) {
+  b[i] = 2 * i;
+}
+for (j = 0; j < m; j++) {
+  y[b[j]] = x[j] + 1;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def counter_case():
+    result = parallelize(COUNTER_FILL, AnalysisConfig.new_algorithm())
+    fill, consumer = _top_decisions(result)
+    assert not fill.parallel and consumer.parallel
+    assert consumer.certificate is not None
+    return consumer.certificate, _loops_by_id(result.analysis.program)
+
+
+def _replace_step(cert, field_name, step):
+    steps = getattr(cert, field_name)
+    return dataclasses.replace(cert, **{field_name: (step,) + steps[1:]})
+
+
+def test_genuine_certificate_accepted(counter_case):
+    cert, loops = counter_case
+    res = check_certificate(cert, loops)
+    assert res.ok, res.failures
+
+
+def test_affine_fill_certificate_accepted():
+    result = parallelize(AFFINE_FILL, AnalysisConfig.new_algorithm())
+    _, consumer = _top_decisions(result)
+    assert consumer.parallel and consumer.certificate is not None
+    assert consumer.certificate_verified
+    assert check_certificate(consumer.certificate, _loops_by_id(result.analysis.program)).ok
+
+
+def test_missing_loop_rejected(counter_case):
+    cert, loops = counter_case
+    pruned = {k: v for k, v in loops.items() if k != cert.loop_id}
+    assert not check_certificate(cert, pruned).ok
+
+
+def test_wrong_loop_id_rejected(counter_case):
+    cert, loops = counter_case
+    fill_id = next(k for k in loops if k != cert.loop_id)
+    bad = dataclasses.replace(cert, loop_id=fill_id)
+    assert not check_certificate(bad, loops).ok
+
+
+def test_wrong_index_rejected(counter_case):
+    cert, loops = counter_case
+    bad = dataclasses.replace(cert, index="k")
+    assert not check_certificate(bad, loops).ok
+
+
+# -- SSR step mutations ------------------------------------------------------
+
+
+def test_ssr_strengthened_kind_rejected(counter_case):
+    cert, loops = counter_case
+    ssr = cert.recurrences[0]
+    assert ssr.kind is MonoKind.MA  # guarded increment: not strict
+    bad = _replace_step(cert, "recurrences", dataclasses.replace(ssr, kind=MonoKind.SMA))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_ssr_unconditional_claim_rejected(counter_case):
+    cert, loops = counter_case
+    ssr = cert.recurrences[0]
+    assert ssr.conditional
+    bad = _replace_step(cert, "recurrences", dataclasses.replace(ssr, conditional=False))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_ssr_narrowed_k_range_rejected(counter_case):
+    cert, loops = counter_case
+    ssr = cert.recurrences[0]
+    # the derived increment range is [0:1]; claiming [1:1] drops the
+    # not-taken branch and would wrongly imply strictness
+    bad = _replace_step(
+        cert, "recurrences", dataclasses.replace(ssr, k=SymRange(IntLit(1), IntLit(1)))
+    )
+    assert not check_certificate(bad, loops).ok
+
+
+def test_ssr_for_unassigned_scalar_rejected(counter_case):
+    cert, loops = counter_case
+    ghost = SSRStep(var="zzz", kind=MonoKind.MA, k=SymRange(IntLit(1), IntLit(1)), conditional=False)
+    bad = dataclasses.replace(cert, recurrences=cert.recurrences + (ghost,))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_dangling_mono_ssr_cross_reference_rejected(counter_case):
+    cert, loops = counter_case
+    # the mono step still cites the SSR, but the recurrence list no longer
+    # carries it — the cross-reference must be caught
+    bad = dataclasses.replace(cert, recurrences=())
+    assert not check_certificate(bad, loops).ok
+
+
+# -- mono step mutations -----------------------------------------------------
+
+
+def test_mono_wrong_lemma_tag_rejected(counter_case):
+    cert, loops = counter_case
+    m = cert.monotonic[0]
+    assert m.lemma == "lemma1"  # the fill is guarded -> base rule cannot apply
+    bad = _replace_step(cert, "monotonic", dataclasses.replace(m, lemma="counter-fill"))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_mono_unknown_lemma_tag_rejected(counter_case):
+    cert, loops = counter_case
+    m = cert.monotonic[0]
+    bad = _replace_step(cert, "monotonic", dataclasses.replace(m, lemma="lemma99"))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_mono_wrong_counter_rejected(counter_case):
+    cert, loops = counter_case
+    m = cert.monotonic[0]
+    bad = _replace_step(cert, "monotonic", dataclasses.replace(m, counter_var="i"))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_mono_wrong_counter_max_symbol_rejected(counter_case):
+    cert, loops = counter_case
+    m = cert.monotonic[0]
+    bad = _replace_step(cert, "monotonic", dataclasses.replace(m, counter_max=Sym("n")))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_mono_widened_region_rejected(counter_case):
+    cert, loops = counter_case
+    m = cert.monotonic[0]
+    # the proven fill region ends at num_max; claiming [0:n] would let the
+    # disproof trust unfilled slots
+    bad = _replace_step(
+        cert, "monotonic", dataclasses.replace(m, region=SymRange(IntLit(0), Sym("n")))
+    )
+    assert not check_certificate(bad, loops).ok
+
+
+def test_mono_wrong_source_loop_rejected(counter_case):
+    cert, loops = counter_case
+    m = cert.monotonic[0]
+    # the consumer loop itself has no matching fill store
+    bad = _replace_step(cert, "monotonic", dataclasses.replace(m, source_loop=cert.loop_id))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_mono_wrong_array_rejected(counter_case):
+    cert, loops = counter_case
+    m = cert.monotonic[0]
+    bad = _replace_step(cert, "monotonic", dataclasses.replace(m, array="d"))
+    assert not check_certificate(bad, loops).ok
+
+
+# -- disproof step mutations -------------------------------------------------
+
+
+def test_disproof_wrong_route_rejected(counter_case):
+    cert, loops = counter_case
+    d = cert.disproofs[0]
+    assert d.route == "direct-indirection"
+    bad = _replace_step(cert, "disproofs", dataclasses.replace(d, route="classical"))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_disproof_wrong_via_array_rejected(counter_case):
+    cert, loops = counter_case
+    d = cert.disproofs[0]
+    bad = _replace_step(cert, "disproofs", dataclasses.replace(d, via_array="x"))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_disproof_dropped_runtime_check_rejected(counter_case):
+    cert, loops = counter_case
+    d = cert.disproofs[0]
+    assert d.checks  # the gather needs `m-1 <= num_max`
+    bad = _replace_step(cert, "disproofs", dataclasses.replace(d, checks=()))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_disproof_missing_written_array_rejected(counter_case):
+    cert, loops = counter_case
+    bad = dataclasses.replace(cert, disproofs=())
+    assert not check_certificate(bad, loops).ok
+
+
+def test_disproof_for_unwritten_array_rejected(counter_case):
+    cert, loops = counter_case
+    ghost = DisproofStep(array="x", route="classical")
+    bad = dataclasses.replace(cert, disproofs=cert.disproofs + (ghost,))
+    assert not check_certificate(bad, loops).ok
+
+
+def test_check_result_reports_reason(counter_case):
+    cert, loops = counter_case
+    bad = dataclasses.replace(cert, index="k")
+    res = check_certificate(bad, loops)
+    assert not res.ok and res.failures and all(isinstance(f, str) for f in res.failures)

@@ -84,7 +84,6 @@ class TestLaplacian27:
         """row_nnz_profile's tensor formula equals the exact operator."""
         from repro.workloads.amg import laplacian27_csr
         import dataclasses
-        from repro.workloads.amg import AMGDataset
 
         g = 6
         ds = dataclasses.replace(AMG_DATASETS["MATRIX1"], grid=g)

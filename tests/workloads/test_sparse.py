@@ -4,13 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.workloads.sparse import (
-    CSRMatrix,
-    banded_csr,
-    row_counts_only,
-    skewed_csr,
-    uniform_csr,
-)
+from repro.workloads.sparse import banded_csr, row_counts_only, skewed_csr, uniform_csr
 
 
 class TestCSRMatrix:
