@@ -1,27 +1,37 @@
 #!/usr/bin/env python
-"""Run the compile-time speed benchmarks and record the results.
+"""Run the speed benchmarks and record the results.
 
-Runs ``benchmarks/test_analysis_speed.py`` under pytest-benchmark and
-writes the machine-readable results to ``BENCH_analysis_speed.json`` at
-the repository root, so successive PRs can track the analysis-cost
-trajectory (the paper's core claim is that this analysis is cheap enough
-to be compile-time only).
+Default mode runs ``benchmarks/test_analysis_speed.py`` under
+pytest-benchmark and writes the machine-readable results to
+``BENCH_analysis_speed.json`` at the repository root, so successive PRs
+can track the analysis-cost trajectory (the paper's core claim is that
+this analysis is cheap enough to be compile-time only).
+
+``--kernel`` switches to the kernel-*execution* benchmark: it measures
+each registered paper-scale kernel under the interpreter, the compiled
+backend, and (given >= 2 cores) the compiled-parallel backend, writes
+``BENCH_kernel_speed.json``, and **fails if any compiled/interp speedup
+ratio regressed by more than 25%** against the committed baseline (ratios
+are machine-relative, so the check is meaningful across runners).
 
 Usage::
 
-    python benchmarks/run_speed.py                 # full speed suite
+    python benchmarks/run_speed.py                 # full analysis-speed suite
     python benchmarks/run_speed.py -k full_parallelization
     python benchmarks/run_speed.py --budget        # budgeted-analysis smoke
+    python benchmarks/run_speed.py --kernel        # kernel execution, paper scale
+    python benchmarks/run_speed.py --kernel --scale small --no-check
     REPRO_BENCH_OUT=custom.json python benchmarks/run_speed.py
 
 ``--budget`` selects only the budgeted-analysis benchmarks (analysis with
 every cooperative checkpoint live under a generous budget), a quick smoke
 that budget checkpoints show up in perfstats without perturbing the warm
-path.  Extra arguments are forwarded to pytest.
+path.  Extra arguments are forwarded to pytest (analysis mode only).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
 import subprocess
@@ -29,9 +39,109 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
+#: kernels measured by --kernel: paper-scale exec_env + certified loops
+KERNEL_APPS = ["AMGmk", "UA(transf)", "CG", "SDDMM", "syrk", "IS"]
+
+#: a speedup ratio below this fraction of the committed baseline fails
+REGRESSION_FLOOR = 0.75
+
+
+def kernel_main(argv: list) -> int:
+    """``--kernel`` mode: measure, record, and gate kernel execution speed."""
+    import argparse
+
+    ap = argparse.ArgumentParser(prog="run_speed.py --kernel")
+    ap.add_argument("--scale", choices=("paper", "small"),
+                    default=os.environ.get("REPRO_KERNEL_SCALE", "paper"))
+    ap.add_argument("--repeats", type=int, default=1)
+    ap.add_argument("--threads", type=int, default=None)
+    ap.add_argument("--benchmarks", nargs="*", default=None)
+    ap.add_argument("--no-check", action="store_true",
+                    help="record results without the baseline regression gate")
+    args = ap.parse_args(argv)
+
+    sys.path.insert(0, str(ROOT / "src"))
+    from repro.experiments.harness import measure_backend_speedups
+
+    backends = ["interp", "compiled"]
+    if (os.cpu_count() or 1) >= 2:
+        backends.append("compiled-parallel")
+    names = args.benchmarks or KERNEL_APPS
+    print(f"measuring {len(names)} kernels at scale={args.scale} "
+          f"backends={backends} (repeats={args.repeats}) ...")
+    runs = measure_backend_speedups(
+        names, backends=tuple(backends), scale=args.scale,
+        repeats=args.repeats, threads=args.threads,
+    )
+
+    out = ROOT / os.environ.get("REPRO_BENCH_OUT", "BENCH_kernel_speed.json")
+    baseline_path = ROOT / "BENCH_kernel_speed.json"
+    baseline = None
+    if baseline_path.exists():
+        try:
+            baseline = json.loads(baseline_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            baseline = None
+
+    import numpy
+
+    payload = {
+        "meta": {
+            "scale": args.scale,
+            "repeats": args.repeats,
+            "cpu_count": os.cpu_count(),
+            "backends": backends,
+            "python": sys.version.split()[0],
+            "numpy": numpy.__version__,
+        },
+        "results": [
+            {
+                "benchmark": r.benchmark,
+                "times_s": {b: round(t, 6) for b, t in r.times.items()},
+                "speedups_vs_interp": {
+                    b: round(r.speedup(b), 3) for b in backends if b != "interp"
+                },
+                "outputs_match": r.outputs_match,
+            }
+            for r in runs
+        ],
+    }
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+
+    width = max(len(r.benchmark) for r in runs)
+    for r in runs:
+        cells = "  ".join(f"{b}={r.times[b]:.3f}s" for b in backends if b in r.times)
+        print(f"  {r.benchmark:<{width}}  {cells}  "
+              f"compiled {r.speedup('compiled'):.1f}x  "
+              f"match={r.outputs_match}")
+    print(f"kernel benchmark results written to {out}")
+
+    failures = [f"{r.benchmark}: outputs diverged" for r in runs if not r.outputs_match]
+    if not args.no_check and baseline and baseline.get("meta", {}).get("scale") == args.scale:
+        base = {e["benchmark"]: e for e in baseline.get("results", [])}
+        for r in runs:
+            ref = base.get(r.benchmark)
+            if not ref:
+                continue
+            old = ref.get("speedups_vs_interp", {}).get("compiled")
+            new = r.speedup("compiled")
+            if old and new < REGRESSION_FLOOR * old:
+                failures.append(
+                    f"{r.benchmark}: compiled speedup {new:.1f}x is >25% below "
+                    f"the committed baseline {old:.1f}x"
+                )
+    elif not args.no_check and baseline is None:
+        print("no committed baseline found; skipping regression gate")
+    for msg in failures:
+        print(f"REGRESSION: {msg}", file=sys.stderr)
+    return 1 if failures else 0
+
 
 def main(argv: list = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    if "--kernel" in argv:
+        argv.remove("--kernel")
+        return kernel_main(argv)
     if "--budget" in argv:
         argv.remove("--budget")
         argv += ["-k", "budgeted"]

@@ -1,0 +1,94 @@
+"""Benchmark: run-time cost of executing the kernels themselves.
+
+Where ``test_analysis_speed.py`` tracks the *compile-time* cost of the
+analysis, this suite tracks the *run-time* cost of the kernels the
+analysis certifies: the tree-walking interpreter vs. the compiled
+backend (NumPy-vectorized closures) vs. the compiled backend with the
+shared-memory worker pool.
+
+Scale is selected with ``REPRO_KERNEL_SCALE``:
+
+* ``small`` (default) — each benchmark's ``small_env``; seconds total,
+  suitable for every CI run;
+* ``paper`` — the paper-scale ``exec_env`` inputs (AMGmk grid=40,
+  UA class A, CG class A, ...); minutes of interpreter time, used to
+  record ``BENCH_kernel_speed.json`` via ``run_speed.py --kernel``.
+
+The compiled-parallel assertions only apply on multi-core runners
+(``os.cpu_count() >= 4``): on fewer cores the pool's chunk dispatch
+cannot beat the serial compiled path and the claim is vacuous.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+
+import pytest
+
+from repro.experiments.harness import measure_backend_speedups
+
+SCALE = os.environ.get("REPRO_KERNEL_SCALE", "small")
+REPEATS = int(os.environ.get("REPRO_KERNEL_REPEATS", "1" if SCALE == "paper" else "3"))
+
+#: benchmarks with a paper-scale exec_env and a certified-parallel loop
+KERNEL_APPS = ["AMGmk", "UA(transf)", "CG", "SDDMM", "syrk", "IS"]
+
+#: acceptance floors for the paper-scale compiled/interp speedup
+PAPER_MIN_SPEEDUP = {"AMGmk": 10.0, "UA(transf)": 10.0}
+
+MULTICORE = (os.cpu_count() or 1) >= 4
+
+_CACHE = {}
+
+
+def _measure(name: str, backends: tuple):
+    key = (name, backends)
+    if key not in _CACHE:
+        (_CACHE[key],) = measure_backend_speedups(
+            [name], backends=backends, scale=SCALE, repeats=REPEATS
+        )
+    return _CACHE[key]
+
+
+@pytest.mark.parametrize("name", KERNEL_APPS)
+def test_compiled_backend_speed_and_parity(name):
+    run = _measure(name, ("interp", "compiled"))
+    assert run.outputs_match, f"{name}: compiled output diverged from interp"
+    s = run.speedup("compiled")
+    assert math.isfinite(s) and s > 0
+    if SCALE == "paper" and name in PAPER_MIN_SPEEDUP:
+        assert s >= PAPER_MIN_SPEEDUP[name], (
+            f"{name}: compiled speedup {s:.1f}x below the "
+            f"{PAPER_MIN_SPEEDUP[name]:.0f}x paper-scale floor "
+            f"(interp {run.times['interp']:.3f}s, compiled {run.times['compiled']:.3f}s)"
+        )
+
+
+@pytest.mark.skipif(
+    not MULTICORE or SCALE != "paper",
+    reason="compiled-parallel claim needs >= 4 cores and paper-scale inputs",
+)
+def test_compiled_parallel_beats_serial_compiled_on_multicore():
+    """On a multi-core runner at paper scale the worker pool must win on
+    at least three certified-parallel kernels (>= 1.5x over serial
+    compiled); at small scale dispatch overhead dominates and the claim
+    is vacuous."""
+    wins = []
+    for name in KERNEL_APPS:
+        run = _measure(name, ("interp", "compiled", "compiled-parallel"))
+        assert run.outputs_match, f"{name}: a backend diverged"
+        s = run.speedup("compiled-parallel", over="compiled")
+        if math.isfinite(s) and s >= 1.5:
+            wins.append((name, s))
+    assert len(wins) >= 3, (
+        f"compiled-parallel beat serial compiled by >=1.5x on only "
+        f"{len(wins)} kernels: {wins}"
+    )
+
+
+def test_compiled_parallel_is_correct_even_on_few_cores():
+    """Correctness of the pool path is core-count independent: even where
+    the speedup claim is vacuous, outputs must match the interpreter."""
+    run = _measure("AMGmk", ("interp", "compiled", "compiled-parallel"))
+    assert run.outputs_match

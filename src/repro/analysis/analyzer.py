@@ -538,7 +538,15 @@ def analyze_program(
     if hit is not None:
         perfstats.STATS.analysis_hits += 1
         return hit.clone()
+    from repro import cache as _disk
+
+    disk = _disk.load("analysis", key)
+    if disk is not None:
+        perfstats.STATS.analysis_hits += 1
+        _ANALYSIS_CACHE[key] = disk
+        return disk.clone()
     perfstats.STATS.analysis_misses += 1
     result = ProgramAnalyzer(config).analyze(prog)
     _ANALYSIS_CACHE[key] = result.clone()
+    _disk.store("analysis", key, result.clone())
     return result

@@ -72,6 +72,22 @@ def small_env() -> Dict[str, Any]:
     }
 
 
+def exec_env() -> Dict[str, Any]:
+    """Paper-scale input: the full MATRIX1 grid (40^3 = 64000 rows)."""
+    mat = amg_matrix(AMG_DATASETS["MATRIX1"], small=False)
+    n = mat.n_rows
+    return {
+        "num_rows": n,
+        "num_rownnz": n,
+        "A_i": mat.indptr.copy(),
+        "A_j": mat.indices.copy(),
+        "A_data": mat.data.copy(),
+        "x_data": np.linspace(0.0, 1.0, n),
+        "y_data": np.zeros(n),
+        "A_rownnz": np.zeros(n, dtype=np.int64),
+    }
+
+
 def reference(env: Dict[str, Any]) -> np.ndarray:
     """NumPy ground truth of the kernel (y after the SpMV accumulate)."""
     n = env["num_rows"]
@@ -93,6 +109,7 @@ BENCHMARK = Benchmark(
     default_dataset="MATRIX2",
     perf_model=perf_model,
     small_env=small_env,
+    exec_env=exec_env,
     expected_levels={
         "Cetus": "inner",
         "Cetus+BaseAlgo": "inner",

@@ -27,6 +27,11 @@ class Benchmark:
     small_env:
         ``() -> env dict`` for interpreter-level validation (small input
         exercising the same source end-to-end).
+    exec_env:
+        optional ``() -> env dict`` at paper-scale input sizes, used by
+        the kernel-execution benchmarks (compiled backend).  ``None``
+        means the benchmark has no meaningful scaled-up input;
+        :meth:`paper_env` falls back to :attr:`small_env`.
     expected_levels:
         pipeline name -> expected parallelization level of the *main*
         kernel component ('outer' | 'inner' | 'serial'); used by tests to
@@ -47,6 +52,11 @@ class Benchmark:
     expected_levels: Dict[str, str]
     main_component: str
     notes: str = ""
+    exec_env: Optional[Callable[[], Dict[str, Any]]] = None
 
     def serial_time(self, dataset: Optional[str] = None) -> float:
         return self.perf_model(dataset or self.default_dataset).serial_time_target
+
+    def paper_env(self) -> Dict[str, Any]:
+        """Paper-scale execution environment (falls back to small_env)."""
+        return (self.exec_env or self.small_env)()

@@ -60,6 +60,20 @@ def small_env() -> Dict[str, Any]:
     }
 
 
+def exec_env() -> Dict[str, Any]:
+    """Paper-scale input: class A's na=14000, ~11 nonzeros per row."""
+    ds = CG_CLASSES["A"]
+    mat = uniform_csr(ds.na, ds.na, nnz_per_row=ds.nonzer, seed=13)
+    return {
+        "na": mat.n_rows,
+        "rowstr": mat.indptr.copy(),
+        "colidx": mat.indices.copy(),
+        "a": mat.data.copy(),
+        "p": np.linspace(-1, 1, mat.n_cols),
+        "w": np.zeros(mat.n_rows),
+    }
+
+
 def reference(env: Dict[str, Any]) -> np.ndarray:
     indptr, indices, data = env["rowstr"], env["colidx"], env["a"]
     p = env["p"]
@@ -78,6 +92,7 @@ BENCHMARK = Benchmark(
     default_dataset="B",
     perf_model=perf_model,
     small_env=small_env,
+    exec_env=exec_env,
     expected_levels={
         "Cetus": "outer",
         "Cetus+BaseAlgo": "outer",

@@ -67,6 +67,21 @@ def small_env() -> Dict[str, Any]:
     }
 
 
+def exec_env() -> Dict[str, Any]:
+    """Scaled-up input: 200k keys into 2048 buckets, 2 ranking rounds."""
+    rng = np.random.default_rng(21)
+    nkeys, max_key = 200_000, 2048
+    return {
+        "niter": 2,
+        "nkeys": nkeys,
+        "max_key": max_key,
+        "key": rng.integers(0, max_key, size=nkeys).astype(np.int64),
+        "bucket": np.zeros(max_key, dtype=np.int64),
+        "keyden": np.zeros(max_key, dtype=np.int64),
+        "sum": 0,
+    }
+
+
 def reference(env: Dict[str, Any]) -> np.ndarray:
     bucket = np.bincount(env["key"], minlength=env["max_key"])
     return np.cumsum(bucket)
@@ -80,6 +95,7 @@ BENCHMARK = Benchmark(
     default_dataset="C",
     perf_model=perf_model,
     small_env=small_env,
+    exec_env=exec_env,
     expected_levels={
         "Cetus": "inner",  # only the cheap zeroing loop parallelizes
         "Cetus+BaseAlgo": "inner",

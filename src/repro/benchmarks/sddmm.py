@@ -89,6 +89,32 @@ def small_env() -> Dict[str, Any]:
     }
 
 
+def exec_env() -> Dict[str, Any]:
+    """Scaled-up input: 4000 columns, ~40k nonzeros, rank 32."""
+    rng = np.random.default_rng(7)
+    n_cols, extra = 4000, 36000
+    n_rows = 5000
+    cols = np.sort(
+        np.concatenate([np.arange(n_cols), rng.integers(0, n_cols, size=extra)])
+    )
+    nnz = len(cols)
+    k = 32
+    return {
+        "nonzeros": nnz,
+        "n_cols": n_cols,
+        "k": k,
+        "col_val": cols.astype(np.int64),
+        "col_ptr": np.zeros(n_cols + 2, dtype=np.int64),
+        "row_ind": rng.integers(0, n_rows, size=nnz).astype(np.int64),
+        "nnz_val": rng.standard_normal(nnz),
+        "W": rng.standard_normal(n_cols * k),
+        "H": rng.standard_normal(n_rows * k),
+        "p": np.zeros(nnz),
+        "r": 0,
+        "holder": 0,
+    }
+
+
 def reference(env: Dict[str, Any]) -> np.ndarray:
     """NumPy ground truth for the SDDMM products.
 
@@ -125,6 +151,7 @@ BENCHMARK = Benchmark(
     default_dataset="dielFilterV2clx",
     perf_model=perf_model,
     small_env=small_env,
+    exec_env=exec_env,
     expected_levels={
         "Cetus": "inner",
         "Cetus+BaseAlgo": "inner",

@@ -74,9 +74,8 @@ def perf_model(dataset: str) -> PerfModel:
     )
 
 
-def small_env() -> Dict[str, Any]:
+def _env(lelt: int) -> Dict[str, Any]:
     rng = np.random.default_rng(3)
-    lelt = 6
     npts = 125 * lelt
     return {
         "LELT": lelt,
@@ -86,6 +85,15 @@ def small_env() -> Dict[str, Any]:
         "tx": np.zeros(npts),
         "tmort": rng.standard_normal(npts),
     }
+
+
+def small_env() -> Dict[str, Any]:
+    return _env(lelt=6)
+
+
+def exec_env() -> Dict[str, Any]:
+    """Paper-scale input: class A's 8800 elements."""
+    return _env(lelt=UA_CLASSES["A"].lelt)
 
 
 def reference(env: Dict[str, Any]) -> np.ndarray:
@@ -126,6 +134,7 @@ BENCHMARK = Benchmark(
     default_dataset="A",
     perf_model=perf_model,
     small_env=small_env,
+    exec_env=exec_env,
     expected_levels={
         "Cetus": "inner",
         "Cetus+BaseAlgo": "inner",

@@ -1,0 +1,119 @@
+"""Persistent on-disk result cache tier.
+
+Sits *under* the in-memory analysis/parallelize caches: a memory miss
+consults the disk before recomputing, and every fresh computation is
+written through.  Keys are the same ``(sha256(source),
+AnalysisConfig.fingerprint())`` pairs the memory tier uses, so an entry
+is valid exactly as long as neither the source nor the configured
+capability set changes.  Values are pickled pristine snapshots — the IR's
+hash-consed nodes reconstruct through their intern tables on load
+(``__reduce__``), so unpickled results obey the same identity invariants
+as freshly built ones.
+
+The tier is **off by default**: it activates only when ``REPRO_CACHE_DIR``
+names a directory (created on demand).  ``--no-disk-cache`` on the CLI —
+or :func:`disable` programmatically — turns it off for the process even
+when the variable is set.
+
+Write discipline: pickle to a temporary file in the destination
+directory, then ``os.replace`` — concurrent harness workers never observe
+a torn entry.  Corrupt or unreadable entries (version skew, truncated
+write on a dead filesystem) are treated as misses and deleted best-effort.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Any, Optional, Tuple
+
+from repro.ir import perfstats
+
+#: bump when the pickled payload layout changes incompatibly; old entries
+#: become silent misses instead of unpickling hazards
+FORMAT_VERSION = 1
+
+_DISABLED = False
+
+
+def disable() -> None:
+    """Turn the disk tier off for this process (``--no-disk-cache``)."""
+    global _DISABLED
+    _DISABLED = True
+
+
+def enable() -> None:
+    """Re-enable the disk tier (tests; the CLI never calls this)."""
+    global _DISABLED
+    _DISABLED = False
+
+
+def cache_dir() -> Optional[str]:
+    """The active cache directory, or ``None`` when the tier is off."""
+    if _DISABLED:
+        return None
+    d = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    return d or None
+
+
+def _entry_path(root: str, kind: str, key: Tuple[str, str]) -> str:
+    digest, fingerprint = key
+    # the config fingerprint is a human-readable string of unbounded
+    # length — hash it down to keep filenames within OS limits
+    fp = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:16]
+    # fan out on the leading digest byte to keep directories small
+    return os.path.join(root, kind, digest[:2], f"{digest}-{fp}.pkl")
+
+
+def load(kind: str, key: Tuple[str, str]) -> Optional[Any]:
+    """Fetch a cached value, or ``None`` on miss/corruption/disabled."""
+    root = cache_dir()
+    if root is None:
+        return None
+    path = _entry_path(root, kind, key)
+    try:
+        with open(path, "rb") as fh:
+            version, value = pickle.load(fh)
+    except FileNotFoundError:
+        return None
+    except Exception:
+        # torn write, version skew, or unpicklable garbage: drop the entry
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+    if version != FORMAT_VERSION:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+    perfstats.STATS.disk_hits += 1
+    return value
+
+
+def store(kind: str, key: Tuple[str, str], value: Any) -> None:
+    """Atomically persist a value; failures are silent (cache, not storage)."""
+    root = cache_dir()
+    if root is None:
+        return
+    path = _entry_path(root, kind, key)
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump((FORMAT_VERSION, value), fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+            perfstats.STATS.disk_writes += 1
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except (OSError, pickle.PicklingError):
+        pass

@@ -6,6 +6,7 @@
     python -m repro parallelize kernel.c --pipeline base --schedule dynamic
     python -m repro report kernel.c                   # per-loop decisions
     python -m repro properties kernel.c               # subscript-array facts
+    python -m repro run AMGmk --backend compiled      # execute + time a kernel
     python -m repro figures                           # regenerate §4 tables
 
 Pipelines: ``classical`` (Cetus), ``base`` (ICS'21), ``new`` (default,
@@ -49,6 +50,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "--stats",
         action="store_true",
         help="print intern-table / cache hit statistics after the command",
+    )
+    p.add_argument(
+        "--no-disk-cache",
+        action="store_true",
+        help="ignore REPRO_CACHE_DIR: neither read nor write the on-disk "
+        "result cache for this invocation",
     )
     sub = p.add_subparsers(dest="command", required=True)
 
@@ -109,12 +116,39 @@ def _build_parser() -> argparse.ArgumentParser:
     add_common(sp)
     sp.add_argument("--loop", default=None, help="explain only this loop id")
 
+    sp = sub.add_parser(
+        "run", help="execute a registered benchmark kernel under a chosen backend"
+    )
+    sp.add_argument(
+        "benchmark", nargs="?", default=None,
+        help="registered benchmark name (omit or use --list to enumerate)",
+    )
+    sp.add_argument("--list", action="store_true", dest="list_benchmarks",
+                    help="list registered benchmark names and exit")
+    sp.add_argument(
+        "--backend", choices=["interp", "compiled", "compiled-parallel"], default=None,
+        help="execution backend (default: REPRO_BACKEND env var, else interp)",
+    )
+    sp.add_argument("--pipeline", choices=sorted(PIPELINES), default="new")
+    sp.add_argument("--scale", choices=["small", "paper"], default="small",
+                    help="input size: small_env (default) or the paper-scale exec_env")
+    sp.add_argument("--repeats", type=int, default=1,
+                    help="report the best of N timed runs")
+    sp.add_argument("--threads", type=int, default=None,
+                    help="worker count for compiled-parallel (default: cpu count)")
+    sp.add_argument("--check", action="store_true",
+                    help="also run the interpreter and verify the outputs agree")
+
     sub.add_parser("figures", help="regenerate the paper's Table 1 and Figures 13-17")
     return p
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.no_disk_cache:
+        from repro import cache
+
+        cache.disable()
     try:
         return _run_command(args)
     except (OSError, ParseError, UnicodeDecodeError) as exc:
@@ -149,6 +183,9 @@ def _run_command(args) -> int:
             print(block)
             print()
         return 0
+
+    if args.command == "run":
+        return _run_kernel(args)
 
     src = _read_source(args.source)
     config = _config_from_args(args)
@@ -191,6 +228,43 @@ def _run_command(args) -> int:
 
         print(format_audit(result), file=sys.stderr)
     return _finish_strict(args, result.diagnostics)
+
+
+def _run_kernel(args) -> int:
+    """``repro run``: time one benchmark kernel under a chosen backend."""
+    from repro.benchmarks import all_benchmarks, get_benchmark
+
+    if args.list_benchmarks or not args.benchmark:
+        for b in all_benchmarks():
+            print(b.name)
+        return 0
+    try:
+        bench = get_benchmark(args.benchmark)
+    except KeyError:
+        print(f"error: unknown benchmark {args.benchmark!r} "
+              f"(see `repro run --list`)", file=sys.stderr)
+        return 2
+
+    from repro.runtime.compile import resolved_backend
+    from repro.runtime.simulate import measure_kernel
+
+    backend = resolved_backend(args.backend)
+    result = parallelize(bench.source, PIPELINES[args.pipeline]())
+    env = bench.paper_env() if args.scale == "paper" else bench.small_env()
+    t, out = measure_kernel(
+        result, env, backend=backend, threads=args.threads, repeats=args.repeats
+    )
+    print(f"{bench.name}: {t:.4f}s  backend={backend} scale={args.scale} "
+          f"(best of {args.repeats})")
+    if args.check and backend != "interp":
+        from repro.runtime.parexec import states_equivalent
+
+        t_ref, ref = measure_kernel(result, env, backend="interp", repeats=1)
+        ok = states_equivalent(ref, out)
+        print(f"interp reference: {t_ref:.4f}s  speedup {t_ref / t:.1f}x  "
+              f"outputs {'match' if ok else 'DIVERGE'}")
+        return 0 if ok else 1
+    return 0
 
 
 def _print_audit(args, result) -> None:

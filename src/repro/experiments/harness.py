@@ -363,3 +363,71 @@ def format_runs(runs: List[BenchRun], metric: str = "speedup") -> str:
                     vals.append(f"{v:>10.2f}")
         lines.append(f"{b:<20} {d:<16} {p:<16}" + "".join(vals))
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Measured kernel execution (compiled backend)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class MeasuredRun:
+    """Measured wall-clock of one benchmark kernel across backends.
+
+    Unlike :class:`BenchRun` (the analytic model of the paper's 20-core
+    testbed), these numbers are real executions on *this* machine via
+    :func:`repro.runtime.simulate.measure_kernel`; times in seconds.
+    """
+
+    benchmark: str
+    scale: str  # "paper" (exec_env) or "small" (small_env)
+    times: Dict[str, float]  # backend -> best-of-repeats seconds
+    outputs_match: bool  # every backend produced equivalent final state
+
+    def speedup(self, backend: str, over: str = "interp") -> float:
+        if backend not in self.times or over not in self.times:
+            return math.nan
+        return self.times[over] / self.times[backend]
+
+
+def measure_backend_speedups(
+    names: Optional[List[str]] = None,
+    *,
+    backends: Tuple[str, ...] = ("interp", "compiled"),
+    scale: str = "paper",
+    repeats: int = 3,
+    threads: Optional[int] = None,
+    pipeline: str = "Cetus+NewAlgo",
+) -> List[MeasuredRun]:
+    """Measure each benchmark's kernel under several execution backends.
+
+    ``scale="paper"`` uses the benchmark's paper-scale :attr:`exec_env`
+    (falling back to ``small_env`` where none exists); ``"small"`` always
+    uses ``small_env``.  Each backend's run output is cross-checked
+    against the interpreter-tolerance equivalence used by the
+    differential mode, so a reported speedup can never come from a
+    wrong-answer run.
+    """
+    from repro.benchmarks.registry import all_benchmarks, get_benchmark
+    from repro.runtime.parexec import states_equivalent
+    from repro.runtime.simulate import measure_kernel
+
+    benches = [get_benchmark(n) for n in names] if names else list(all_benchmarks())
+    runs: List[MeasuredRun] = []
+    for bench in benches:
+        result = parallelize(bench.source, PIPELINES[pipeline])
+        env = bench.paper_env() if scale == "paper" else bench.small_env()
+        times: Dict[str, float] = {}
+        outputs: Dict[str, Dict[str, object]] = {}
+        for backend in backends:
+            times[backend], outputs[backend] = measure_kernel(
+                result, env, backend=backend, threads=threads, repeats=repeats
+            )
+        ref = outputs.get("interp") or next(iter(outputs.values()))
+        match = all(states_equivalent(ref, out) for out in outputs.values())
+        runs.append(
+            MeasuredRun(
+                benchmark=bench.name, scale=scale, times=times, outputs_match=match
+            )
+        )
+    return runs

@@ -48,6 +48,8 @@ class Counters:
         "parallelize_misses",
         "budget_checks",
         "budget_stops",
+        "disk_hits",
+        "disk_writes",
     )
 
     def __init__(self):
@@ -156,6 +158,8 @@ def format_stats(snap: Optional[Dict[str, object]] = None) -> str:
     for layer in ("intern", "simplify", "expand", "affine", "analysis", "parallelize"):
         h, m = c[f"{layer}_hits"], c[f"{layer}_misses"]
         lines.append(f"{layer:<16} {h:>10} {m:>10} {_ratio(h, m):>9}")
+    if c.get("disk_hits") or c.get("disk_writes"):
+        lines.append(f"disk cache: {c['disk_hits']} hits, {c['disk_writes']} writes")
     if c.get("budget_checks") or c.get("budget_stops"):
         lines.append(
             f"budget checkpoints: {c['budget_checks']} checks, {c['budget_stops']} stops"

@@ -58,6 +58,32 @@ def emit_openmp(
                     loop.pragmas = saved[id(loop)]
 
 
+def lower_to_python(
+    result: ParallelizationResult,
+    *,
+    parallel: bool = False,
+    vectorize: bool = True,
+):
+    """Lower an analyzed program to an executable Python kernel.
+
+    The sibling of :func:`emit_openmp`: instead of rendering annotated C
+    for an external OpenMP compiler, this hands the annotated program and
+    its per-loop decisions to :func:`repro.runtime.compile.compile_program`
+    and returns the :class:`~repro.runtime.compile.CompiledProgram` —
+    ``.source`` holds the generated Python, ``.run(env)`` executes it, and
+    with ``parallel=True`` certified-parallel top-level loops dispatch to
+    the shared-memory worker pool.
+    """
+    from repro.runtime.compile import compile_program
+
+    return compile_program(
+        result.program,
+        result.decisions,
+        vectorize=vectorize,
+        parallel=parallel,
+    )
+
+
 def evaluate_runtime_check(check: RuntimeCheck, env: Dict[str, Any]) -> bool:
     """Evaluate a run-time check against a concrete environment.
 

@@ -153,6 +153,13 @@ def parallelize(
         if hit is not None:
             perfstats.STATS.parallelize_hits += 1
             return hit.clone()
+        from repro import cache as _disk
+
+        disk = _disk.load("parallelize", key)
+        if disk is not None:
+            perfstats.STATS.parallelize_hits += 1
+            _PARALLELIZE_CACHE[key] = disk
+            return disk.clone()
         perfstats.STATS.parallelize_misses += 1
     analysis = analyze_program(prog, config)
     decisions: Dict[str, LoopDecision] = {}
@@ -186,6 +193,9 @@ def parallelize(
     )
     if key is not None:
         _PARALLELIZE_CACHE[key] = result.clone()
+        from repro import cache as _disk
+
+        _disk.store("parallelize", key, result.clone())
     return result
 
 

@@ -8,6 +8,11 @@ substitutes that testbed (see DESIGN.md §2):
   truth for correctness tests and per-iteration work metering.
 * :mod:`repro.runtime.racecheck` — dynamic cross-iteration conflict
   detection validating every loop the compiler declares parallel.
+* :mod:`repro.runtime.compile` / :mod:`repro.runtime.parbackend` — a
+  kernel compiler that lowers mini-C programs to generated Python/NumPy
+  closures (with automatic interpreter fallback and a differential
+  cross-check mode) plus a persistent shared-memory worker pool that
+  executes analysis-certified parallel loops across processes.
 * :mod:`repro.runtime.machine` / :mod:`repro.runtime.scheduler` /
   :mod:`repro.runtime.simulate` — a calibrated cost model of OpenMP
   execution (fork-join overhead, static/dynamic scheduling, bandwidth
@@ -30,7 +35,16 @@ from repro.runtime.simulate import (
     simulate_component,
 )
 from repro.runtime.workmeter import meter_loop_work
-from repro.runtime.parexec import execute_shuffled, states_equivalent
+from repro.runtime.parexec import IndexNotFound, execute_shuffled, states_equivalent
+from repro.runtime.compile import (
+    BackendMismatch,
+    CompiledProgram,
+    CompileError,
+    compile_program,
+    execute,
+    resolved_backend,
+)
+from repro.runtime.parbackend import WorkerPool, get_pool, shutdown_pool
 from repro.runtime.inspector import (
     InspectionResult,
     InspectorExecutorModel,
@@ -56,8 +70,18 @@ __all__ = [
     "simulate_app",
     "simulate_component",
     "meter_loop_work",
+    "IndexNotFound",
     "execute_shuffled",
     "states_equivalent",
+    "BackendMismatch",
+    "CompiledProgram",
+    "CompileError",
+    "compile_program",
+    "execute",
+    "resolved_backend",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pool",
     "InspectionResult",
     "InspectorExecutorModel",
     "SpeculativeModel",

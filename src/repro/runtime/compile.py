@@ -1,0 +1,1525 @@
+"""Compiled execution backend: lowers mini-C Programs to Python closures.
+
+The tree-walking :class:`~repro.runtime.interp.Interpreter` is the
+semantic reference ("clarity over speed"); this module is the speed side
+of that contract.  :func:`compile_program` lowers a ``Program`` to
+generated Python source, ``exec``'s it once, and returns a
+:class:`CompiledProgram` whose ``run(env)`` has the exact observable
+semantics of :func:`~repro.runtime.interp.run_program`:
+
+* the returned dict is a fresh copy of ``env`` with final scalar values;
+  arrays are mutated in place;
+* C integer division/modulo (truncation toward zero) via the ``_div`` /
+  ``_mod`` helpers, short-circuit ``&&``/``||`` producing 1/0,
+  comparisons producing 1/0, the same math-function table;
+* runtime faults (undefined variable, bad subscript) surface as
+  :class:`~repro.runtime.interp.InterpError`.
+
+Three lowering tiers, applied per loop with automatic per-tier fallback:
+
+1. **canonical range loops** — a normalized ``for (i = lb; i < ub;
+   i = i + 1)`` whose bounds are loop-invariant becomes a Python
+   ``range`` loop with the past-the-end index fixup C leaves behind;
+2. **vectorization** — an ``Assign``-only canonical loop body becomes
+   NumPy slice/gather operations (elementwise stores, ``np.add.at``
+   scatters for self-accumulations, ``np.sum``/``np.prod`` reductions)
+   when a conservative syntactic safety analysis proves the statements
+   order-independent across iterations;
+3. **generic loops** — everything else becomes an explicit
+   ``while True`` with the condition re-evaluated each iteration.
+
+A node the lowerer cannot handle (e.g. a surviving ``IncDec``) makes the
+*whole program* fall back to the interpreter: ``CompiledProgram.run``
+stays available, ``backend`` reads ``"interp"`` and ``fallback_reason``
+says why.
+
+:func:`execute` is the dispatch front door used by the gates and the
+experiment harness: ``backend="interp"|"compiled"|"compiled-parallel"``
+(default from ``REPRO_BACKEND``), with ``REPRO_EXEC_DIFF=1`` running
+*both* backends and raising :class:`BackendMismatch` on divergence.
+Float reductions/scatters are compared to a documented tolerance
+(``np.sum`` is pairwise, OpenMP-style chunked reductions reassociate);
+everything else must match bit-for-bit.
+
+The parallel tier (``parallel=True`` + a
+:class:`~repro.runtime.parbackend.WorkerPool`) emits a per-loop *chunk
+function* for every analysis-certified parallel top-level loop and
+dispatches contiguous index chunks to the pool's shared-memory workers,
+honoring the decision's ``private``/``reduction`` scalars; the serial
+lowering of the same loop is kept as the in-function fallback when the
+pool declines (missing arrays, tiny trip counts, failed runtime check).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.analysis.normalize import LoopHeader, match_header
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Break,
+    Call,
+    Compound,
+    Decl,
+    Expression,
+    ExprStmt,
+    FloatNum,
+    For,
+    Id,
+    If,
+    IncDec,
+    Node,
+    Num,
+    Pragma,
+    Program,
+    Statement,
+    StrLit,
+    Ternary,
+    UnOp,
+    While,
+)
+from repro.runtime.interp import _MATH_FUNCS, Interpreter, InterpError, _apply_binop, run_program
+
+
+class CompileError(Exception):
+    """A construct the lowerer cannot translate (triggers interp fallback)."""
+
+
+class BackendMismatch(Exception):
+    """Differential mode found compiled and interpreted results diverging."""
+
+
+class _VecBail(Exception):
+    """Internal: abandon vectorization of one loop (scalar lowering wins)."""
+
+
+# ---------------------------------------------------------------------------
+# runtime helpers shared by every generated namespace
+# ---------------------------------------------------------------------------
+
+
+def _c_div(a, b):
+    """C division: truncation toward zero for integers, true division else."""
+    if isinstance(a, (int, np.integer)) and isinstance(b, (int, np.integer)):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b > 0) else -q
+    return a / b
+
+
+def _c_mod(a, b):
+    """C remainder (sign follows the dividend), as the interpreter computes it."""
+    q = abs(int(a)) // abs(int(b))
+    q = q if (a >= 0) == (b > 0) else -q
+    return a - b * q
+
+
+def _is_int_arr(x) -> bool:
+    if isinstance(x, np.ndarray):
+        return x.dtype.kind in "iu"
+    return isinstance(x, (int, np.integer)) and not isinstance(x, bool)
+
+
+def _vec_div(a, b):
+    """Elementwise C division over vectors (int operands truncate toward 0)."""
+    if _is_int_arr(a) and _is_int_arr(b):
+        q = np.abs(a) // np.abs(b)
+        return np.where((np.asarray(a) >= 0) == (np.asarray(b) > 0), q, -q)
+    return np.asarray(a) / b
+
+
+def _vec_mod(a, b):
+    """Elementwise C remainder matching the interpreter's formula."""
+    ai = np.trunc(np.asarray(a)).astype(np.int64)
+    bi = np.trunc(np.asarray(b)).astype(np.int64)
+    q = np.abs(ai) // np.abs(bi)
+    q = np.where((np.asarray(a) >= 0) == (np.asarray(b) > 0), q, -q)
+    return a - b * q
+
+
+def _unknown_fn(name):
+    raise InterpError(f"unknown function {name!r}")
+
+
+def _traced_load(hook, name, arr, idx):
+    """Array load with the race checker's access hook (trace mode only)."""
+    if hook is not None:
+        hook(name, idx, False)
+    try:
+        v = arr[idx if len(idx) > 1 else idx[0]]
+    except (IndexError, ValueError) as exc:
+        raise InterpError(f"load {name}{list(idx)}: {exc}") from None
+    return v.item() if hasattr(v, "item") else v
+
+
+def _as_idx(x):
+    """Coerce a gather/scatter index vector to integers (C truncation)."""
+    a = np.asarray(x)
+    return a if a.dtype.kind in "iu" else a.astype(np.int64)
+
+
+def _scat(op, arr, idx, val):
+    """Ordered scatter-accumulate ``arr[idx] = arr[idx] op val``.
+
+    ``np.{add,subtract,multiply}.at`` is unbuffered and applies updates in
+    index order, so the fast path is bit-identical to the serial loop.
+    The slow path handles the one case ``.at`` cannot: accumulating float
+    values into an integer array, where the interpreter's store truncates
+    after every single update.
+    """
+    vecs = [np.asarray(x) for x in idx]
+    v = np.asarray(val)
+    if arr.dtype.kind in "iu" and v.dtype.kind == "f":
+        n = next((x.shape[0] for x in vecs if x.ndim), 0)
+        for j in range(n):
+            pos = tuple(int(x[j]) if x.ndim else int(x) for x in vecs)
+            e = v[j] if v.ndim else v
+            cur = arr[pos]
+            arr[pos] = cur + e if op == "+" else (cur - e if op == "-" else cur * e)
+        return
+    fn = np.add if op == "+" else (np.subtract if op == "-" else np.multiply)
+    fn.at(arr, idx if len(idx) > 1 else idx[0], val)
+
+
+_MISSING = object()
+
+#: NumPy equivalents usable inside vectorized expressions
+_NP_FUNCS: Dict[str, Callable] = {
+    "sqrt": np.sqrt,
+    "fabs": np.abs,
+    "abs": np.abs,
+    "exp": np.exp,
+    "log": np.log,
+    "log2": np.log2,
+    "log10": np.log10,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+}
+
+
+def _exec_namespace() -> Dict[str, Any]:
+    """Globals for generated code (also used by pool workers)."""
+    ns: Dict[str, Any] = {
+        "_np": np,
+        "_div": _c_div,
+        "_mod": _c_mod,
+        "_vdiv": _vec_div,
+        "_vmod": _vec_mod,
+        "_IE": InterpError,
+        "_binop": _apply_binop,
+        "_ld": _traced_load,
+        "_as_idx": _as_idx,
+        "_scat": _scat,
+        "_unknown_fn": _unknown_fn,
+        "_MISSING": _MISSING,
+    }
+    for name, fn in _MATH_FUNCS.items():
+        ns[f"_f_{name}"] = fn
+    for name, fn in _NP_FUNCS.items():
+        ns[f"_fv_{name}"] = fn
+    return ns
+
+
+def _mangle(name: str) -> str:
+    return "v_" + name
+
+
+_INT_LIT = re.compile(r"^\(?-?\d+\)?$")
+
+
+def _const_int(e: Expression) -> Optional[int]:
+    """Fold an expression to an int if it is built from integer literals."""
+    if isinstance(e, Num):
+        return e.value
+    if isinstance(e, UnOp) and e.op in ("-", "+"):
+        v = _const_int(e.operand)
+        if v is None:
+            return None
+        return -v if e.op == "-" else v
+    if isinstance(e, BinOp) and e.op in ("+", "-", "*"):
+        a, b = _const_int(e.lhs), _const_int(e.rhs)
+        if a is None or b is None:
+            return None
+        return a + b if e.op == "+" else (a - b if e.op == "-" else a * b)
+    return None
+
+
+def _ast_eq(a: Node, b: Node) -> bool:
+    """Structural equality of two expression trees."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Id):
+        return a.name == b.name
+    if isinstance(a, Num):
+        return a.value == b.value
+    if isinstance(a, FloatNum):
+        return a.value == b.value
+    if isinstance(a, StrLit):
+        return a.value == b.value
+    if isinstance(a, ArrayAccess):
+        return (
+            a.name == b.name
+            and len(a.indices) == len(b.indices)
+            and all(_ast_eq(x, y) for x, y in zip(a.indices, b.indices))
+        )
+    if isinstance(a, BinOp):
+        return a.op == b.op and _ast_eq(a.lhs, b.lhs) and _ast_eq(a.rhs, b.rhs)
+    if isinstance(a, UnOp):
+        return a.op == b.op and _ast_eq(a.operand, b.operand)
+    if isinstance(a, Call):
+        return (
+            a.name == b.name
+            and len(a.args) == len(b.args)
+            and all(_ast_eq(x, y) for x, y in zip(a.args, b.args))
+        )
+    if isinstance(a, Ternary):
+        return _ast_eq(a.cond, b.cond) and _ast_eq(a.then, b.then) and _ast_eq(a.els, b.els)
+    return False
+
+
+def _flatten(stmt: Statement) -> List[Statement]:
+    """Compound/Pragma-free statement list of a loop body."""
+    if isinstance(stmt, Compound):
+        out: List[Statement] = []
+        for s in stmt.stmts:
+            out.extend(_flatten(s))
+        return out
+    if isinstance(stmt, Pragma):
+        return []
+    return [stmt]
+
+
+def _has_break_at_level(stmt: Statement) -> bool:
+    """True if a ``break`` binds to *this* loop (not a nested one)."""
+    if isinstance(stmt, Break):
+        return True
+    if isinstance(stmt, Compound):
+        return any(_has_break_at_level(s) for s in stmt.stmts)
+    if isinstance(stmt, If):
+        if _has_break_at_level(stmt.then):
+            return True
+        return stmt.els is not None and _has_break_at_level(stmt.els)
+    return False
+
+
+def _names_in(node: Node) -> Set[str]:
+    """All identifier/array names referenced inside a subtree."""
+    out: Set[str] = set()
+    for n in node.walk():
+        if isinstance(n, Id):
+            out.add(n.name)
+        elif isinstance(n, (ArrayAccess,)):
+            out.add(n.name)
+        elif isinstance(n, Decl):
+            out.add(n.name)
+    return out
+
+
+def _assigned_scalars(stmt: Statement) -> Set[str]:
+    """Scalar names written anywhere inside a subtree."""
+    out: Set[str] = set()
+    for n in stmt.walk():
+        if isinstance(n, Assign) and isinstance(n.lhs, Id):
+            out.add(n.lhs.name)
+        elif isinstance(n, Decl) and not n.dims:
+            out.add(n.name)
+        elif isinstance(n, IncDec) and isinstance(n.target, Id):
+            out.add(n.target.name)
+        elif isinstance(n, For):
+            for part in (n.init, n.step):
+                if isinstance(part, Assign) and isinstance(part.lhs, Id):
+                    out.add(part.lhs.name)
+                elif isinstance(part, Decl):
+                    out.add(part.name)
+    return out
+
+
+def _stored_arrays(stmt: Statement) -> Set[str]:
+    out: Set[str] = set()
+    for n in stmt.walk():
+        if isinstance(n, Assign) and isinstance(n.lhs, ArrayAccess):
+            out.add(n.lhs.name)
+        elif isinstance(n, IncDec) and isinstance(n.target, ArrayAccess):
+            out.add(n.target.name)
+        elif isinstance(n, Decl) and n.dims:
+            out.add(n.name)
+    return out
+
+
+def _array_names(stmt: Node) -> Set[str]:
+    return {n.name for n in stmt.walk() if isinstance(n, ArrayAccess)}
+
+
+def _has_float_literal(e: Expression) -> bool:
+    return any(isinstance(n, FloatNum) for n in e.walk())
+
+# ---------------------------------------------------------------------------
+# vectorization planning
+# ---------------------------------------------------------------------------
+
+
+class _Idx:
+    """Classification of one subscript expression w.r.t. the loop index.
+
+    ``kind``: 'scalar' (loop-invariant), 'affine' (coef*i + off with a
+    compile-time integer coef != 0) or 'vector' (arbitrary vectorized
+    index expression).
+    """
+
+    __slots__ = ("kind", "code", "coef", "off", "clean")
+
+    def __init__(self, kind: str, code: str = "", coef: int = 0, off: str = "", clean: bool = True):
+        self.kind = kind
+        self.code = code
+        self.coef = coef
+        self.off = off
+        #: offset code references nothing defined inside the vector block
+        #: (safe to evaluate early, e.g. in a bounds guard)
+        self.clean = clean
+
+    def canon(self) -> str:
+        if self.kind == "affine":
+            return f"aff:{self.coef}:{self.off}"
+        return f"{self.kind}:{self.code}"
+
+
+def _const_distinct(a: _Idx, b: _Idx) -> bool:
+    """Both subscripts are distinct integer literals (provably disjoint)."""
+    if a.kind != "scalar" or b.kind != "scalar":
+        return False
+    if not (_INT_LIT.match(a.code) and _INT_LIT.match(b.code)):
+        return False
+    return int(a.code.strip("()")) != int(b.code.strip("()"))
+
+
+class _Access:
+    __slots__ = ("array", "idx", "is_store")
+
+    def __init__(self, array: str, idx: List[_Idx], is_store: bool):
+        self.array = array
+        self.idx = idx
+        self.is_store = is_store
+
+    def canon(self) -> Tuple[str, ...]:
+        return tuple(i.canon() for i in self.idx)
+
+
+# ---------------------------------------------------------------------------
+# the lowerer
+# ---------------------------------------------------------------------------
+
+
+class _Lowerer:
+    """Translates one Program into Python source lines."""
+
+    def __init__(
+        self,
+        prog: Program,
+        decisions: Optional[Dict[str, Any]] = None,
+        *,
+        vectorize: bool = True,
+        trace: bool = False,
+        parallel: bool = False,
+    ):
+        self.prog = prog
+        self.decisions = decisions or {}
+        self.trace = trace
+        self.vectorize = vectorize and not trace
+        self.parallel = parallel and not trace
+        self.lines: List[str] = []
+        self.depth = 1
+        self._tmp = 0
+        self._at_top = False
+        #: chunk functions for pool workers: loop key -> def source
+        self.chunks: Dict[str, str] = {}
+        #: name -> replacement code, used when lowering runtime checks
+        self._subst: Dict[str, str] = {}
+        self._collect_names()
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _collect_names(self) -> None:
+        names: List[str] = []
+        seen: Set[str] = set()
+        arrays: Set[str] = set()
+        decls: Set[str] = set()
+        for n in self.prog.walk():
+            name = None
+            if isinstance(n, Id):
+                name = n.name
+            elif isinstance(n, ArrayAccess):
+                name = n.name
+                arrays.add(n.name)
+            elif isinstance(n, Decl):
+                name = n.name
+                decls.add(n.name)
+                if n.dims:
+                    arrays.add(n.name)
+            if name is not None and name not in seen:
+                seen.add(name)
+                names.append(name)
+        self.names = names
+        self.array_names = arrays
+        self.decl_names = decls
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.depth + line)
+
+    def fresh(self, stem: str = "t") -> str:
+        self._tmp += 1
+        return f"_{stem}{self._tmp}"
+
+    def _block(self, stmt: Statement) -> None:
+        """Emit a statement as an indented suite (``pass`` if empty)."""
+        mark = len(self.lines)
+        self.depth += 1
+        self.stmt(stmt)
+        if len(self.lines) == mark:
+            self.emit("pass")
+        self.depth -= 1
+
+    # -- statements ---------------------------------------------------------
+
+    def lower_program(self) -> str:
+        for s in self.prog.stmts:
+            self._at_top = True
+            self.stmt(s)
+        self._at_top = False
+        self.emit("_loc = locals()")
+        self.emit("for _n in _NAMES:")
+        self.emit("    _v = _loc.get('v_' + _n, _MISSING)")
+        self.emit("    if _v is not _MISSING:")
+        self.emit("        _env[_n] = _v")
+        self.emit("return _env")
+        prologue = ["def _kernel(_env, _hook=None, _pool=None):"]
+        for name in self.names:
+            prologue.append(f"    if {name!r} in _env: {_mangle(name)} = _env[{name!r}]")
+        return "\n".join(prologue + self.lines) + "\n"
+
+    def stmt(self, s: Statement) -> None:
+        at_top, self._at_top = self._at_top, False
+        if isinstance(s, Compound):
+            for x in s.stmts:
+                self._at_top = at_top
+                self.stmt(x)
+            self._at_top = False
+        elif isinstance(s, Assign):
+            self._assign(s)
+        elif isinstance(s, ExprStmt):
+            if isinstance(s.expr, IncDec):
+                raise CompileError("IncDec survives only in unnormalized programs")
+            self.emit(self.expr(s.expr))
+        elif isinstance(s, Decl):
+            self._decl(s)
+        elif isinstance(s, If):
+            self.emit(f"if {self.expr(s.cond)}:")
+            self._block(s.then)
+            if s.els is not None:
+                self.emit("else:")
+                self._block(s.els)
+        elif isinstance(s, For):
+            self._at_top = at_top
+            self._for(s)
+            self._at_top = False
+        elif isinstance(s, While):
+            self._while(s)
+        elif isinstance(s, Break):
+            self.emit("break")
+        elif isinstance(s, Pragma):
+            pass
+        else:
+            raise CompileError(f"cannot lower {type(s).__name__}")
+
+    def _decl(self, s: Decl) -> None:
+        m = _mangle(s.name)
+        if s.dims:
+            dims = ", ".join(f"int({self.expr(d)})" for d in s.dims if d is not None)
+            dtype = "_np.float64" if s.ctype in ("double", "float") else "_np.int64"
+            self.emit(f"{m} = _np.zeros(({dims},), dtype={dtype})")
+        elif s.init is not None:
+            self.emit(f"{m} = {self.expr(s.init)}")
+        else:
+            self.emit(f"{m} = 0")
+
+    def _index_code(self, indices: Sequence[Expression]) -> str:
+        return ", ".join(f"int({self.expr(i)})" for i in indices)
+
+    def _assign(self, s: Assign) -> None:
+        if isinstance(s.lhs, Id):
+            m = _mangle(s.lhs.name)
+            rhs = self.expr(s.rhs)
+            if s.op == "=":
+                self.emit(f"{m} = {rhs}")
+            elif s.op in ("+=", "-=", "*="):
+                self.emit(f"{m} = {m} {s.op[0]} ({rhs})")
+            elif s.op == "/=":
+                self.emit(f"{m} = _div({m}, {rhs})")
+            elif s.op == "%=":
+                self.emit(f"{m} = _mod({m}, {rhs})")
+            else:
+                raise CompileError(f"assignment operator {s.op!r}")
+            return
+        if not isinstance(s.lhs, ArrayAccess):
+            raise CompileError("bad assignment target")
+        m = _mangle(s.lhs.name)
+        if self.trace:
+            self._traced_store(s, m)
+            return
+        if s.op == "=":
+            self.emit(f"{m}[{self._index_code(s.lhs.indices)}] = {self.expr(s.rhs)}")
+            return
+        # compound store: evaluate rhs then each index exactly once
+        val = self.fresh()
+        self.emit(f"{val} = {self.expr(s.rhs)}")
+        idx = [self.fresh("i") for _ in s.lhs.indices]
+        for tv, e in zip(idx, s.lhs.indices):
+            self.emit(f"{tv} = int({self.expr(e)})")
+        tgt = f"{m}[{', '.join(idx)}]"
+        op = s.op[0]
+        if op in "+-*":
+            self.emit(f"{tgt} = {tgt} {op} {val}")
+        elif op == "/":
+            self.emit(f"{tgt} = _div({tgt}, {val})")
+        elif op == "%":
+            self.emit(f"{tgt} = _mod({tgt}, {val})")
+        else:
+            raise CompileError(f"assignment operator {s.op!r}")
+
+    def _traced_store(self, s: Assign, m: str) -> None:
+        """Array store with hook calls in the interpreter's exact order."""
+        name = s.lhs.name
+        val = self.fresh()
+        self.emit(f"{val} = {self.expr(s.rhs)}")
+        idx = [self.fresh("i") for _ in s.lhs.indices]
+        for tv, e in zip(idx, s.lhs.indices):
+            self.emit(f"{tv} = int({self.expr(e)})")
+        tup = "(" + ", ".join(idx) + ("," if len(idx) == 1 else "") + ")"
+        if s.op != "=":
+            old = self.fresh("o")
+            self.emit(f"{old} = _ld(_hook, {name!r}, {m}, {tup})")
+            self.emit(f"{val} = _binop({s.op[:-1]!r}, {old}, {val})")
+        self.emit(f"if _hook is not None: _hook({name!r}, {tup}, True)")
+        self.emit(f"{m}[{', '.join(idx)}] = {val}")
+
+    def _while(self, s: While) -> None:
+        g = self.fresh("g")
+        self.emit(f"{g} = 0")
+        self.emit(f"while {self.expr(s.cond)}:")
+        mark = len(self.lines)
+        self.depth += 1
+        self.stmt(s.body)
+        if len(self.lines) == mark:
+            self.emit("pass")
+        self.emit(f"{g} += 1")
+        self.emit(f"if {g} > 100000000:")
+        self.emit("    raise _IE('while loop exceeded iteration guard')")
+        self.depth -= 1
+
+    # -- for loops ----------------------------------------------------------
+
+    def _generic_for(self, s: For) -> None:
+        """Faithful while-form lowering (cond re-evaluated every iteration)."""
+        if s.init is not None:
+            self.stmt(s.init)
+        self.emit("while True:")
+        self.depth += 1
+        if s.cond is not None:
+            self.emit(f"if not ({self.expr(s.cond)}):")
+            self.emit("    break")
+        mark = len(self.lines)
+        self.stmt(s.body)
+        if s.step is not None:
+            self.stmt(s.step)
+        if len(self.lines) == mark:
+            self.emit("pass")
+        self.depth -= 1
+
+    def _canonical(self, s: For) -> Optional[LoopHeader]:
+        """Range-safe canonical header, or None if the loop is irregular.
+
+        Requires loop-invariant bounds (no name in lb/ub written by the
+        body), an index the body never reassigns, no ``break`` at this
+        level, and no float literal inside the bounds (float bounds would
+        make ``range`` lowering silently wrong, so they stay on the
+        generic path; a float *value* flowing in at runtime raises).
+        """
+        h = match_header(s)
+        if h is None:
+            return None
+        if _has_break_at_level(s.body):
+            return None
+        if _has_float_literal(h.lb) or _has_float_literal(h.ub_expr):
+            return None
+        bound_names = _names_in(h.lb) | _names_in(h.ub_expr)
+        if h.index in bound_names:
+            return None
+        body_writes = _assigned_scalars(s.body) | _stored_arrays(s.body)
+        if bound_names & body_writes:
+            return None
+        if h.index in _assigned_scalars(s.body):
+            return None
+        return h
+
+    def _for(self, s: For) -> None:
+        at_top = self._at_top
+        self._at_top = False
+        if self.trace:
+            self._generic_for(s)
+            return
+        h = self._canonical(s)
+        if h is None:
+            self._generic_for(s)
+            return
+        k = self._tmp + 1
+        lo, hi = f"_lo{k}", f"_hi{k}"
+        self._tmp += 1
+        self.emit(f"{lo} = {self.expr(h.lb)}")
+        ub = self.expr(h.ub_expr)
+        self.emit(f"{hi} = ({ub}) + 1" if h.inclusive else f"{hi} = {ub}")
+        done = False
+        if self.parallel and at_top:
+            d = self.decisions.get(s.loop_id or "")
+            if d is not None and getattr(d, "parallel", False):
+                done = self._parallel_for(s, h, d, lo, hi)
+        if not done:
+            self._serial_loop(s, h, lo, hi)
+        self.emit(f"{_mangle(h.index)} = {lo} if {lo} > {hi} else {hi}")
+
+    def _serial_loop(self, s: For, h: LoopHeader, lo: str, hi: str) -> None:
+        """Vectorized body if provably safe, else a scalar range loop."""
+        if self._try_vectorize(s, h, lo, hi):
+            return
+        self.emit(f"for {_mangle(h.index)} in range({lo}, {hi}):")
+        self._block(s.body)
+
+    def _try_vectorize(self, s: For, h: LoopHeader, lo: str, hi: str) -> bool:
+        if not self.vectorize:
+            return False
+        mark, depth0 = len(self.lines), self.depth
+        try:
+            _Vectorizer(self, h, lo, hi).lower(s.body)
+            return True
+        except _VecBail:
+            del self.lines[mark:]
+            self.depth = depth0
+            return False
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self, e: Expression) -> str:
+        if isinstance(e, Num):
+            return repr(e.value)
+        if isinstance(e, FloatNum):
+            return repr(e.value)
+        if isinstance(e, StrLit):
+            return repr(e.value)
+        if isinstance(e, Id):
+            return self._subst.get(e.name, _mangle(e.name))
+        if isinstance(e, ArrayAccess):
+            m = _mangle(e.name)
+            if self.trace:
+                idx = ", ".join(f"int({self.expr(i)})" for i in e.indices)
+                tail = "," if len(e.indices) == 1 else ""
+                return f"_ld(_hook, {e.name!r}, {m}, ({idx}{tail}))"
+            return f"{m}[{self._index_code(e.indices)}]"
+        if isinstance(e, BinOp):
+            return self._binop(e)
+        if isinstance(e, UnOp):
+            v = self.expr(e.operand)
+            if e.op == "-":
+                return f"(-({v}))"
+            if e.op == "+":
+                return f"(+({v}))"
+            if e.op == "!":
+                return f"(0 if {v} else 1)"
+            return f"(~int({v}))"
+        if isinstance(e, Call):
+            args = ", ".join(self.expr(a) for a in e.args)
+            if e.name in _MATH_FUNCS:
+                return f"_f_{e.name}({args})"
+            return f"_unknown_fn({e.name!r})"
+        if isinstance(e, Ternary):
+            return f"(({self.expr(e.then)}) if ({self.expr(e.cond)}) else ({self.expr(e.els)}))"
+        if isinstance(e, IncDec):
+            raise CompileError("IncDec survives only in unnormalized programs")
+        raise CompileError(f"cannot lower {type(e).__name__}")
+
+    def _binop(self, e: BinOp) -> str:
+        if e.op == "&&":
+            return f"(1 if ({self.expr(e.lhs)}) and ({self.expr(e.rhs)}) else 0)"
+        if e.op == "||":
+            return f"(1 if ({self.expr(e.lhs)}) or ({self.expr(e.rhs)}) else 0)"
+        a, b = self.expr(e.lhs), self.expr(e.rhs)
+        if e.op in ("+", "-", "*"):
+            return f"({a} {e.op} {b})"
+        if e.op == "/":
+            return f"_div({a}, {b})"
+        if e.op == "%":
+            return f"_mod({a}, {b})"
+        if e.op in ("<", "<=", ">", ">=", "==", "!="):
+            return f"(1 if {a} {e.op} {b} else 0)"
+        if e.op in ("&", "|", "^", "<<", ">>"):
+            return f"(int({a}) {e.op} int({b}))"
+        raise CompileError(f"operator {e.op!r}")
+
+    # -- parallel dispatch --------------------------------------------------
+
+    def _parallel_for(self, s: For, h: LoopHeader, d, lo: str, hi: str) -> bool:
+        """Emit pool dispatch + serial fallback for a certified loop.
+
+        Returns False (caller lowers serially) when the decision cannot be
+        honored by the chunk runner: scalars outside the private/reduction
+        contract, reduction operators other than +/*, arrays declared
+        inside the program (workers only see shared-memory env arrays), or
+        a runtime-check symbol that cannot be resolved at the loop entry.
+        """
+        privates = set(getattr(d, "private", ()) or ()) - {h.index}
+        reds = list(getattr(d, "reductions", ()) or ())
+        if any(op not in ("+", "*") for op, _ in reds):
+            return False
+        red_vars = {var for _, var in reds}
+        assigned = _assigned_scalars(s.body) - {h.index}
+        if not assigned <= (privates | red_vars):
+            return False
+        arrays = sorted(_array_names(s.body))
+        if set(arrays) & self.decl_names:
+            return False
+        checks = []
+        for c in getattr(d, "checks", ()) or ():
+            code = self._check_code(getattr(c, "text", str(c)))
+            if code is None:
+                return False
+            checks.append(code)
+        key = re.sub(r"\W", "_", s.loop_id or f"loop{self._tmp}")
+        if key in self.chunks:
+            key = f"{key}_{self._tmp}"
+        body_ids = {n.name for n in s.body.walk() if isinstance(n, Id)}
+        bindings = sorted((body_ids - set(arrays) - red_vars - {h.index}) | privates)
+        try:
+            self.chunks[key] = self._chunk_source(s, h, key, arrays, bindings, privates, reds)
+        except CompileError:
+            return False
+        arr_code = "(" + ", ".join(f"{a!r}" for a in arrays) + ("," if arrays else "") + ")"
+        bnames = "(" + ", ".join(f"{b!r}" for b in bindings) + ("," if bindings else "") + ")"
+        pr = self.fresh("pr")
+        bd = self.fresh("b")
+        cond = f"_pool is not None and ({hi} - {lo}) >= 2"
+        for code in checks:
+            cond += f" and ({code})"
+        self.emit(f"{pr} = None")
+        self.emit(f"if {cond}:")
+        # bindings that are still undefined here (e.g. a private first
+        # written inside the loop) are simply omitted from the dict
+        self.emit(f"    {bd} = {{}}")
+        self.emit("    _loc = locals()")
+        self.emit(f"    for _n in {bnames}:")
+        self.emit(f"        if 'v_' + _n in _loc: {bd}[_n] = _loc['v_' + _n]")
+        self.emit(f"    {pr} = _pool.run_loop({key!r}, {lo}, {hi}, {bd}, {arr_code})")
+        self.emit(f"if {pr} is None:")
+        self.depth += 1
+        self._serial_loop(s, h, lo, hi)
+        self.depth -= 1
+        self.emit("else:")
+        self.depth += 1
+        if reds:
+            cv = self.fresh("c")
+            self.emit(f"for {cv} in {pr}:")
+            for op, var in reds:
+                ident = "0" if op == "+" else "1"
+                self.emit(f"    {_mangle(var)} = {_mangle(var)} {op} {cv}.get({var!r}, {ident})")
+        for p in sorted(privates):
+            self.emit(f"if {p!r} in {pr}[-1]: {_mangle(p)} = {pr}[-1][{p!r}]")
+        if not reds and not privates:
+            self.emit("pass")
+        self.depth -= 1
+        return True
+
+    def _check_code(self, text: str) -> Optional[str]:
+        """Lower a runtime ``if``-clause to code evaluated at loop entry.
+
+        ``<counter>_max`` symbols denote a fill counter's post-loop value,
+        which at the consumer loop's entry point is the counter's current
+        value; an explicit env binding still wins if the caller provides
+        one.
+        """
+        from repro.lang.cparser import parse_expr
+
+        try:
+            expr = parse_expr(text)
+        except Exception:
+            return None
+        subst: Dict[str, str] = {}
+        for n in expr.walk():
+            if isinstance(n, Id) and n.name not in self.names:
+                if n.name.endswith("_max") and n.name[: -len("_max")] in self.names:
+                    base = _mangle(n.name[: -len("_max")])
+                    subst[n.name] = f"(_env[{n.name!r}] if {n.name!r} in _env else {base})"
+                else:
+                    return None
+        self._subst = subst
+        try:
+            return self.expr(expr)
+        except CompileError:
+            return None
+        finally:
+            self._subst = {}
+
+    def _chunk_source(
+        self, s: For, h: LoopHeader, key: str, arrays, bindings, privates, reds
+    ) -> str:
+        """Generate the worker-side chunk function for one parallel loop."""
+        sub = _Lowerer(Program([s.body]), vectorize=self.vectorize)
+        sub._tmp = 1000  # keep temp names disjoint from the parent function
+        sub.depth = 2
+        sub.stmt(s.body)
+        lines = [f"def _chunk_{key}(_arrs, _lo, _hi, _b):"]
+        for a in arrays:
+            lines.append(f"    {_mangle(a)} = _arrs[{a!r}]")
+        for b in bindings:
+            lines.append(f"    if {b!r} in _b: {_mangle(b)} = _b[{b!r}]")
+        for op, var in reds:
+            lines.append(f"    {_mangle(var)} = {'0' if op == '+' else '1'}")
+        lines.append(f"    for {_mangle(h.index)} in range(_lo, _hi):")
+        body = sub.lines or ["        pass"]
+        lines.extend(body)
+        ret = [(var, _mangle(var)) for _, var in reds]
+        ret += [(p, _mangle(p)) for p in sorted(privates)]
+        lines.append("    _loc = locals()")
+        ret_code = "(" + ", ".join(f"({k!r}, {v!r})" for k, v in ret) + ("," if ret else "") + ")"
+        lines.append(f"    return {{k: _loc[v] for k, v in {ret_code} if v in _loc}}")
+        return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# the vectorizer
+# ---------------------------------------------------------------------------
+
+
+class _Vectorizer:
+    """Lowers an ``Assign``-only canonical loop body to NumPy operations.
+
+    Safety model (raise :class:`_VecBail` on any doubt, the scalar range
+    loop is always correct):
+
+    * every subscript is classified *scalar* (loop-invariant), *affine*
+      (``coef*i + off``, compile-time integer ``coef != 0``) or *vector*;
+    * an array with a store is only touched through accesses whose
+      subscript tuples are pairwise structurally identical (each
+      iteration owns one element) or provably disjoint constant cells;
+    * a vector-subscripted store must be a self-accumulation
+      ``a[S] = a[S] op E`` / ``a[S] op= E`` and the *only* access to that
+      array — it becomes an ordered ``_scat`` (``np.add.at`` family),
+      which is bit-identical to the serial loop;
+    * scalar assignments become per-iteration temporaries (final value =
+      last element) or ``+``/``-`` reductions merged with ``np.sum``
+      (pairwise summation: float reductions carry the documented
+      tolerance, integers are exact);
+    * slice reads/writes are guarded at runtime against negative starts
+      and overlong ends (where NumPy slicing would silently wrap/clip but
+      elementwise execution would not); when a guard fails, the emitted
+      ``else`` branch runs the scalar loop instead.
+    """
+
+    def __init__(self, low: _Lowerer, h: LoopHeader, lo: str, hi: str):
+        self.low = low
+        self.h = h
+        self.lo = lo
+        self.hi = hi
+        self.n = low.fresh("n")
+        self.vi: Optional[str] = None
+        self.body_lines: List[str] = []
+        self.guards: List[str] = []
+        #: scalar name -> (kind, temp var) for this-iteration definitions
+        self.temps: Dict[str, Tuple[str, str]] = {}
+        self.temp_order: List[str] = []
+        #: reduction var -> (op, [(kind, frozen code)])
+        self.reds: Dict[str, Tuple[str, List[Tuple[str, str]]]] = {}
+        self.red_order: List[str] = []
+        self.assigned: Set[str] = set()
+        self.stored: Set[str] = set()
+        self.accesses: List[_Access] = []
+        self.scattered: Set[str] = set()
+
+    def emit(self, line: str) -> None:
+        self.body_lines.append(line)
+
+    def index_vec(self) -> str:
+        if self.vi is None:
+            self.vi = self.low.fresh("vi")
+            self.emit(f"{self.vi} = _np.arange({self.lo}, {self.hi})")
+        return self.vi
+
+    # -- driver -------------------------------------------------------------
+
+    def lower(self, body: Statement) -> None:
+        stmts = _flatten(body)
+        if not stmts or not all(isinstance(s, Assign) for s in stmts):
+            raise _VecBail
+        self.assigned = {s.lhs.name for s in stmts if isinstance(s.lhs, Id)}
+        self.stored = _stored_arrays(body)
+        for s in stmts:
+            if isinstance(s.lhs, Id):
+                self._scalar_assign(s)
+            elif isinstance(s.lhs, ArrayAccess):
+                self._store(s)
+            else:
+                raise _VecBail
+        self._check_aliasing()
+        self._finalize()
+        low = self.low
+        low.emit(f"{self.n} = {self.hi} - {self.lo}")
+        cond = f"{self.n} > 0"
+        for g in self.guards:
+            cond += f" and ({g})"
+        low.emit(f"if {cond}:")
+        pad = "    " * (low.depth + 1)
+        for ln in self.body_lines:
+            low.lines.append(pad + ln)
+        if self.guards:
+            low.emit("else:")
+            low.depth += 1
+            low.emit(f"for {_mangle(self.h.index)} in range({self.lo}, {self.hi}):")
+            low._block(body)
+            low.depth -= 1
+
+    def _finalize(self) -> None:
+        for name in self.temp_order:
+            kind, t = self.temps[name]
+            m = _mangle(name)
+            self.emit(f"{m} = {t}[-1]" if kind == "vector" else f"{m} = {t}")
+        for name in self.red_order:
+            op, parts = self.reds[name]
+            m = _mangle(name)
+            for kind, code in parts:
+                contrib = f"_np.sum({code})" if kind == "vector" else f"{self.n} * ({code})"
+                self.emit(f"{m} = {m} {op} {contrib}")
+
+    def _check_aliasing(self) -> None:
+        by_array: Dict[str, List[_Access]] = {}
+        for a in self.accesses:
+            by_array.setdefault(a.array, []).append(a)
+        for name, accs in by_array.items():
+            if not any(a.is_store for a in accs):
+                continue
+            if name in self.scattered:
+                if len(accs) > 1:
+                    raise _VecBail
+                continue
+            for i in range(len(accs)):
+                for j in range(i + 1, len(accs)):
+                    A, B = accs[i], accs[j]
+                    if not (A.is_store or B.is_store):
+                        continue
+                    if A.canon() == B.canon():
+                        continue
+                    if len(A.idx) == len(B.idx) and all(
+                        a.canon() == b.canon() or _const_distinct(a, b)
+                        for a, b in zip(A.idx, B.idx)
+                    ):
+                        continue
+                    raise _VecBail
+
+    # -- statements ---------------------------------------------------------
+
+    @staticmethod
+    def _refs(name: str, e: Node) -> bool:
+        return any(isinstance(n, Id) and n.name == name for n in e.walk())
+
+    def _define(self, name: str, kind: str, code: str) -> None:
+        t = self.low.fresh("vt")
+        self.emit(f"{t} = {code}")
+        self.temps[name] = (kind, t)
+        if name not in self.temp_order:
+            self.temp_order.append(name)
+
+    def _scalar_assign(self, s: Assign) -> None:
+        name = s.lhs.name
+        if name == self.h.index:
+            raise _VecBail
+        if name in self.temps:
+            # redefinition from this-iteration state: stays elementwise
+            kind, code = self._combine(self.temps[name], s)
+            self._define(name, kind, code)
+            return
+        if s.op == "=" and not self._refs(name, s.rhs):
+            if name in self.reds:
+                raise _VecBail  # overwriting an accumulator is loop-carried
+            kind, code = self.vexpr(s.rhs)
+            self._define(name, kind, code)
+            return
+        # candidate reduction: name is read before any definition
+        op, operand = self._red_pattern(s)
+        if self._refs(name, operand):
+            raise _VecBail
+        kind, code = self.vexpr(operand)
+        t = self.low.fresh("vr")
+        self.emit(f"{t} = {code}")
+        if name in self.reds:
+            if self.reds[name][0] != op:
+                raise _VecBail
+            self.reds[name][1].append((kind, t))
+        else:
+            self.reds[name] = (op, [(kind, t)])
+            self.red_order.append(name)
+
+    def _combine(self, cur: Tuple[str, str], s: Assign) -> Tuple[str, str]:
+        """Elementwise re-assignment of an already-defined temporary."""
+        ck, cc = cur
+        if s.op == "=":
+            return self.vexpr(s.rhs)
+        rk, rc = self.vexpr(s.rhs)
+        kind = "vector" if "vector" in (ck, rk) else "scalar"
+        op = s.op[0]
+        if op in "+-*":
+            return kind, f"({cc} {op} ({rc}))"
+        if op == "/":
+            fn = "_div" if kind == "scalar" else "_vdiv"
+            return kind, f"{fn}({cc}, {rc})"
+        if op == "%":
+            fn = "_mod" if kind == "scalar" else "_vmod"
+            return kind, f"{fn}({cc}, {rc})"
+        raise _VecBail
+
+    def _red_pattern(self, s: Assign) -> Tuple[str, Expression]:
+        """``s = s + E`` / ``s = s - E`` / ``s += E`` / ``s -= E``."""
+        name = s.lhs.name
+        if s.op in ("+=", "-="):
+            return s.op[0], s.rhs
+        if s.op == "=" and isinstance(s.rhs, BinOp) and s.rhs.op in ("+", "-"):
+            r = s.rhs
+            if isinstance(r.lhs, Id) and r.lhs.name == name:
+                return r.op, r.rhs
+            if r.op == "+" and isinstance(r.rhs, Id) and r.rhs.name == name:
+                return "+", r.lhs
+        raise _VecBail
+
+    # -- array accesses -----------------------------------------------------
+
+    def _classify(self, e: Expression) -> _Idx:
+        r = self._affine(e)
+        if r is not None:
+            coef, off, clean = r
+            if coef == 0:
+                return _Idx("scalar", code=off, clean=clean)
+            return _Idx("affine", coef=coef, off=off, clean=clean)
+        kind, code = self.vexpr(e)
+        return _Idx(kind if kind == "scalar" else "vector", code=code, clean=False)
+
+    def _affine(self, e: Expression) -> Optional[Tuple[int, str, bool]]:
+        if isinstance(e, Num):
+            return 0, repr(e.value), True
+        if isinstance(e, Id):
+            if e.name == self.h.index:
+                return 1, "0", True
+            if e.name in self.temps:
+                kind, t = self.temps[e.name]
+                return (0, t, False) if kind == "scalar" else None
+            if e.name in self.assigned:
+                return None
+            return 0, _mangle(e.name), True
+        if isinstance(e, UnOp) and e.op in ("-", "+"):
+            r = self._affine(e.operand)
+            if r is None:
+                return None
+            c, o, cl = r
+            return (-c, f"(-({o}))", cl) if e.op == "-" else (c, o, cl)
+        if isinstance(e, BinOp) and e.op in ("+", "-"):
+            ra, rb = self._affine(e.lhs), self._affine(e.rhs)
+            if ra is None or rb is None:
+                return None
+            ca, oa, cla = ra
+            cb, ob, clb = rb
+            if e.op == "+":
+                return ca + cb, f"({oa} + {ob})", cla and clb
+            return ca - cb, f"({oa} - {ob})", cla and clb
+        if isinstance(e, BinOp) and e.op == "*":
+            k, r = _const_int(e.lhs), self._affine(e.rhs)
+            if k is None:
+                k, r = _const_int(e.rhs), self._affine(e.lhs)
+            if k is None or r is None:
+                return None
+            c, o, cl = r
+            return c * k, f"({k} * ({o}))", cl
+        return None
+
+    def _affine_vec(self, i: _Idx) -> str:
+        return f"({i.off} + {i.coef} * {self.index_vec()})"
+
+    def _slice_parts(self, name: str, idx: List[_Idx]) -> Optional[List[str]]:
+        """Subscript tuple using a slice, or None if a slice is unsafe.
+
+        Requires exactly one non-scalar axis, affine with positive step
+        and a guard-evaluable offset; emits the wrap/clip guards.
+        """
+        non_scalar = [k for k, i in enumerate(idx) if i.kind != "scalar"]
+        if len(non_scalar) != 1:
+            return None
+        ax = non_scalar[0]
+        i = idx[ax]
+        if i.kind != "affine" or i.coef <= 0 or not i.clean:
+            return None
+        m = _mangle(name)
+        if not all(x.clean for x in idx):
+            return None
+        self.guards.append(f"({i.off}) + {i.coef} * ({self.lo}) >= 0")
+        self.guards.append(
+            f"({i.off}) + {i.coef} * ({self.hi}) - {i.coef} < {m}.shape[{ax}]"
+        )
+        parts = []
+        for k, x in enumerate(idx):
+            if k == ax:
+                parts.append(
+                    f"slice(({i.off}) + {i.coef} * ({self.lo}), "
+                    f"({i.off}) + {i.coef} * ({self.hi}), {i.coef})"
+                )
+            else:
+                parts.append(f"int({x.code})")
+        return parts
+
+    def _vector_parts(self, idx: List[_Idx]) -> List[str]:
+        parts = []
+        for i in idx:
+            if i.kind == "scalar":
+                parts.append(f"int({i.code})")
+            elif i.kind == "affine":
+                parts.append(self._affine_vec(i))
+            else:
+                parts.append(f"_as_idx({i.code})")
+        return parts
+
+    def _load(self, e: ArrayAccess) -> Tuple[str, str]:
+        idx = [self._classify(i) for i in e.indices]
+        self.accesses.append(_Access(e.name, idx, False))
+        m = _mangle(e.name)
+        if all(i.kind == "scalar" for i in idx):
+            return "scalar", f"{m}[{', '.join(f'int({i.code})' for i in idx)}]"
+        parts = self._slice_parts(e.name, idx)
+        copy = ".copy()" if (parts is not None and e.name in self.stored) else ""
+        if parts is None:
+            parts = self._vector_parts(idx)  # gathers copy by construction
+        sub = ", ".join(parts)
+        return "vector", f"{m}[{sub}]{copy}"
+
+    def _store(self, s: Assign) -> None:
+        e = s.lhs
+        idx = [self._classify(i) for i in e.indices]
+        if all(i.kind == "scalar" for i in idx):
+            raise _VecBail  # one cell hit every iteration: keep serial order
+        if any(i.kind == "vector" for i in idx):
+            self._scatter(s, idx)
+            return
+        self.accesses.append(_Access(e.name, idx, True))
+        m = _mangle(e.name)
+        parts = self._slice_parts(e.name, idx) or self._vector_parts(idx)
+        tgt = f"{m}[{', '.join(parts)}]"
+        _, rc = self.vexpr(s.rhs)
+        if s.op == "=":
+            self.emit(f"{tgt} = {rc}")
+        elif s.op in ("+=", "-=", "*="):
+            self.emit(f"{tgt} = {tgt} {s.op[0]} ({rc})")
+        elif s.op == "/=":
+            self.emit(f"{tgt} = _vdiv({tgt}, {rc})")
+        elif s.op == "%=":
+            self.emit(f"{tgt} = _vmod({tgt}, {rc})")
+        else:
+            raise _VecBail
+
+    def _scatter(self, s: Assign, idx: List[_Idx]) -> None:
+        """Vector-subscripted store: ordered accumulate or bail."""
+        e = s.lhs
+        if s.op in ("+=", "-=", "*="):
+            op, val = s.op[0], s.rhs
+        elif s.op == "=":
+            r = s.rhs
+            op = val = None
+            if isinstance(r, BinOp) and r.op in ("+", "-", "*"):
+                for cand, other in ((r.lhs, r.rhs), (r.rhs, r.lhs)):
+                    if (
+                        isinstance(cand, ArrayAccess)
+                        and cand.name == e.name
+                        and len(cand.indices) == len(e.indices)
+                        and all(_ast_eq(x, y) for x, y in zip(cand.indices, e.indices))
+                        and (cand is r.lhs or r.op != "-")
+                    ):
+                        op, val = r.op, other
+                        break
+            if op is None:
+                raise _VecBail
+        else:
+            raise _VecBail
+        if e.name in _array_names(val):
+            raise _VecBail
+        _, vc = self.vexpr(val)
+        parts = self._vector_parts(idx)
+        tup = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
+        self.accesses.append(_Access(e.name, idx, True))
+        self.scattered.add(e.name)
+        self.emit(f"_scat({op!r}, {_mangle(e.name)}, {tup}, {vc})")
+
+    # -- expressions --------------------------------------------------------
+
+    def vexpr(self, e: Expression) -> Tuple[str, str]:
+        if isinstance(e, (Num, FloatNum)):
+            return "scalar", repr(e.value)
+        if isinstance(e, Id):
+            if e.name == self.h.index:
+                return "vector", self.index_vec()
+            if e.name in self.temps:
+                return self.temps[e.name]
+            if e.name in self.assigned:
+                raise _VecBail  # loop-carried scalar (reduction accumulator)
+            return "scalar", _mangle(e.name)
+        if isinstance(e, ArrayAccess):
+            return self._load(e)
+        if isinstance(e, BinOp):
+            return self._vbinop(e)
+        if isinstance(e, UnOp) and e.op in ("-", "+"):
+            k, c = self.vexpr(e.operand)
+            return k, f"({e.op}({c}))"
+        if isinstance(e, Call):
+            args = [self.vexpr(a) for a in e.args]
+            if all(k == "scalar" for k, _ in args):
+                if e.name in _MATH_FUNCS:
+                    return "scalar", f"_f_{e.name}({', '.join(c for _, c in args)})"
+                raise _VecBail
+            if e.name in _NP_FUNCS and len(args) == 1:
+                return "vector", f"_fv_{e.name}({args[0][1]})"
+            raise _VecBail
+        raise _VecBail
+
+    def _vbinop(self, e: BinOp) -> Tuple[str, str]:
+        if e.op not in ("+", "-", "*", "/", "%"):
+            raise _VecBail  # comparisons/logical/bitwise keep the scalar loop
+        ka, a = self.vexpr(e.lhs)
+        kb, b = self.vexpr(e.rhs)
+        kind = "vector" if "vector" in (ka, kb) else "scalar"
+        if e.op in ("+", "-", "*"):
+            return kind, f"({a} {e.op} {b})"
+        if e.op == "/":
+            fn = "_div" if kind == "scalar" else "_vdiv"
+            return kind, f"{fn}({a}, {b})"
+        fn = "_mod" if kind == "scalar" else "_vmod"
+        return kind, f"{fn}({a}, {b})"
+
+
+# ---------------------------------------------------------------------------
+# compilation entry points and backend dispatch
+# ---------------------------------------------------------------------------
+
+
+class CompiledProgram:
+    """A Program lowered to a Python closure (or an interpreter shim).
+
+    ``backend`` is what :meth:`run` will actually do — ``"compiled"`` for
+    a generated closure, ``"interp"`` when lowering fell back (see
+    ``fallback_reason``).  ``chunks`` maps parallel-loop keys to the
+    worker-side chunk function sources; ``key`` fingerprints the whole
+    generated artifact so worker pools can cache program installs.
+    """
+
+    def __init__(
+        self,
+        prog: Program,
+        fn: Optional[Callable],
+        source: str,
+        backend: str,
+        fallback_reason: Optional[str],
+        chunks: Dict[str, str],
+        trace: bool,
+    ):
+        self.prog = prog
+        self.fn = fn
+        self.source = source
+        self.backend = backend
+        self.fallback_reason = fallback_reason
+        self.chunks = chunks
+        self.trace = trace
+        digest = hashlib.sha256(source.encode())
+        for k in sorted(chunks):
+            digest.update(chunks[k].encode())
+        self.key = digest.hexdigest()
+
+    def run(
+        self,
+        env: Dict[str, Any],
+        *,
+        access_hook: Optional[Callable] = None,
+        pool=None,
+    ) -> Dict[str, Any]:
+        """Execute with :func:`run_program` semantics (fresh env dict,
+        arrays mutated in place, faults as :class:`InterpError`)."""
+        if self.fn is None:
+            it = Interpreter(env, access_hook=access_hook)
+            it.run(self.prog)
+            return it.env
+        env2 = dict(env)
+        if pool is not None:
+            return self._run_with_pool(env2, pool)
+        return self._invoke(env2, access_hook, None)
+
+    def _invoke(self, env2, hook, pool):
+        try:
+            return self.fn(env2, hook, pool)
+        except (InterpError, ZeroDivisionError):
+            raise
+        except (UnboundLocalError, NameError) as exc:
+            name = re.findall(r"'(\w+)'", str(exc))
+            what = name[0][2:] if name and name[0].startswith("v_") else str(exc)
+            raise InterpError(f"undefined variable {what}") from None
+        except (IndexError, KeyError, ValueError, TypeError, OverflowError, AttributeError) as exc:
+            raise InterpError(f"runtime fault: {exc}") from None
+
+    def _run_with_pool(self, env2, pool):
+        pool.ensure_program(self)
+        adopted = pool.adopt_env(env2)
+        try:
+            out = self._invoke(env2, None, pool)
+        finally:
+            pool.release_env(adopted, env2)
+        return out
+
+
+def compile_program(
+    prog: Program,
+    decisions: Optional[Dict[str, Any]] = None,
+    *,
+    vectorize: bool = True,
+    trace: bool = False,
+    parallel: bool = False,
+) -> CompiledProgram:
+    """Lower ``prog``; on any lowering failure return an interp-backed shim.
+
+    The program is normalized first (Cetus-style, same pass the analysis
+    runs), so ``i++`` headers and embedded side effects lower cleanly;
+    the ``_temp_k`` scalars normalization introduces are internal and are
+    not written back to the returned environment.
+    """
+    from repro.analysis.normalize import normalize_program
+
+    try:
+        original_names = _names_in(prog)
+        normalized = normalize_program(prog)
+        low = _Lowerer(
+            normalized, decisions, vectorize=vectorize, trace=trace, parallel=parallel
+        )
+        source = low.lower_program()
+        ns = _exec_namespace()
+        ns["_NAMES"] = tuple(
+            n
+            for n in low.names
+            if n in original_names or not n.startswith("_temp_")
+        )
+        code = compile(source, "<repro-kernel>", "exec")
+        exec(code, ns)
+        for key, chunk_src in low.chunks.items():
+            exec(compile(chunk_src, f"<repro-chunk-{key}>", "exec"), ns)
+        return CompiledProgram(
+            prog, ns["_kernel"], source, "compiled", None, dict(low.chunks), trace
+        )
+    except CompileError as exc:
+        return CompiledProgram(prog, None, "", "interp", str(exc), {}, trace)
+    except Exception as exc:  # pragma: no cover - fail-soft belt
+        return CompiledProgram(
+            prog, None, "", "interp", f"{type(exc).__name__}: {exc}", {}, trace
+        )
+
+
+_VALID_BACKENDS = ("interp", "compiled", "compiled-parallel")
+
+#: documented float tolerance of the compiled tier (np.sum is pairwise,
+#: chunked parallel reductions reassociate)
+DIFF_RTOL = 1e-9
+DIFF_ATOL = 1e-12
+
+
+def resolved_backend(backend: Optional[str] = None) -> str:
+    """The effective backend name (argument beats ``REPRO_BACKEND``)."""
+    b = backend or os.environ.get("REPRO_BACKEND") or "interp"
+    if b not in _VALID_BACKENDS:
+        raise ValueError(f"unknown backend {b!r} (expected one of {_VALID_BACKENDS})")
+    return b
+
+
+def _copy_env(env: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v.copy() if isinstance(v, np.ndarray) else v for k, v in env.items()}
+
+
+def execute(
+    prog: Program,
+    env: Dict[str, Any],
+    *,
+    decisions: Optional[Dict[str, Any]] = None,
+    backend: Optional[str] = None,
+    threads: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Run ``prog`` over ``env`` on the selected backend.
+
+    ``REPRO_EXEC_DIFF=1`` additionally runs the reference interpreter and
+    raises :class:`BackendMismatch` if the final states diverge beyond
+    the documented float tolerance.  The caller's arrays always end up
+    with the primary backend's results.
+    """
+    b = resolved_backend(backend)
+    diff = os.environ.get("REPRO_EXEC_DIFF") == "1" and b != "interp"
+    if b == "interp":
+        return run_program(prog, env)
+
+    pool = None
+    if b == "compiled-parallel":
+        from repro.runtime.parbackend import get_pool
+
+        pool = get_pool(threads)
+    cp = compile_program(prog, decisions, parallel=pool is not None)
+
+    if not diff:
+        return cp.run(env, pool=pool)
+
+    ref_env = _copy_env(env)
+    comp_exc = ref_exc = None
+    out = ref_out = None
+    try:
+        out = cp.run(env, pool=pool)
+    except InterpError as exc:
+        comp_exc = exc
+    try:
+        ref_out = run_program(prog, ref_env)
+    except InterpError as exc:
+        ref_exc = exc
+    if (comp_exc is None) != (ref_exc is None):
+        raise BackendMismatch(
+            f"one backend faulted: compiled={comp_exc!r} interp={ref_exc!r}"
+        )
+    if comp_exc is not None:
+        raise comp_exc
+    from repro.runtime.parexec import states_equivalent
+
+    if not states_equivalent(ref_out, out, ignore=()):
+        raise BackendMismatch(
+            "compiled vs interp divergence: " + _divergence_detail(ref_out, out)
+        )
+    return out
+
+
+def _divergence_detail(ref: Dict[str, Any], out: Dict[str, Any]) -> str:
+    for k in sorted(set(ref) | set(out)):
+        a, b = ref.get(k), out.get(k)
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            if a is None or b is None or a.shape != b.shape:
+                return f"array {k}: shape/presence mismatch"
+            close = np.isclose(a, b, rtol=DIFF_RTOL, atol=DIFF_ATOL)
+            if not close.all():
+                where = np.argwhere(~close)[0]
+                return f"array {k} at {tuple(where)}: interp={a[tuple(where)]} compiled={b[tuple(where)]}"
+        elif isinstance(a, float) or isinstance(b, float):
+            if a is None or b is None or not np.isclose(a, b, rtol=DIFF_RTOL):
+                return f"scalar {k}: interp={a} compiled={b}"
+        elif a != b:
+            return f"scalar {k}: interp={a} compiled={b}"
+    return "(no differing key found at report tolerance)"

@@ -1,0 +1,317 @@
+"""Shared-memory parallel runtime for the compiled backend.
+
+A :class:`WorkerPool` keeps N long-lived worker processes (fork context
+when the platform offers it) connected by pipes.  The compiled kernel's
+parallel tier talks to the pool through three operations:
+
+* :meth:`WorkerPool.ensure_program` — install a compiled program's chunk
+  functions in every worker, once per program fingerprint;
+* :meth:`WorkerPool.adopt_env` / :meth:`WorkerPool.release_env` — move
+  the environment's NumPy arrays into ``multiprocessing.shared_memory``
+  segments (workers attach views; the kernel's serial parts run on the
+  same views, so no coherence protocol is needed beyond the dispatch
+  barrier), then copy results back and unlink;
+* :meth:`WorkerPool.run_loop` — split ``[lo, hi)`` into contiguous
+  chunks, run the loop's chunk function on every worker, and return the
+  per-chunk reduction/private dicts in chunk order.
+
+``run_loop`` *declines* (returns ``None``, the kernel falls back to its
+serial lowering) whenever dispatch has not started yet: an array the
+loop touches is not shared, the trip count is too small to matter, or
+the pool is unhealthy.  Once work has been dispatched a failure can no
+longer be hidden — arrays may be partially updated — so post-dispatch
+worker errors surface as :class:`~repro.runtime.interp.InterpError`.
+
+Teardown discipline: ``release_env`` closes *and unlinks* every segment
+it created, and :func:`shutdown_pool` (also registered ``atexit``) stops
+the workers.  The leak test in ``tests/runtime/test_parbackend.py``
+holds this to account.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import traceback
+from multiprocessing import get_context
+from multiprocessing import shared_memory
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.runtime.interp import InterpError
+
+#: below this trip count a dispatch costs more than it saves
+MIN_PAR_TRIPS = 64
+
+
+class _untracked_attach:
+    """Suppress resource-tracker registration while attaching a segment.
+
+    On CPython < 3.13 attaching registers the segment with the (shared,
+    fork-inherited) tracker, which would unlink the parent's memory when a
+    worker exits; unregistering after the fact instead races between
+    workers (the tracker's cache is a set).  Masking ``register`` for the
+    duration of the attach avoids both problems — the parent, which
+    *created* the segment, remains the sole registrant.
+    """
+
+    def __enter__(self):
+        from multiprocessing import resource_tracker
+
+        self._rt = resource_tracker
+        self._orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **kw: None
+        return self
+
+    def __exit__(self, *exc):
+        self._rt.register = self._orig
+        return False
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - exercised in subprocesses
+    """Command loop of one pool worker."""
+    from repro.runtime.compile import _exec_namespace
+
+    programs: Dict[str, Dict[str, Any]] = {}
+    arrays: Dict[str, np.ndarray] = {}
+    segments: List[shared_memory.SharedMemory] = []
+    while True:
+        try:
+            cmd, payload = conn.recv()
+        except (EOFError, OSError):
+            break
+        try:
+            if cmd == "exec":
+                key, sources = payload
+                ns = _exec_namespace()
+                for src in sources:
+                    exec(compile(src, "<repro-chunk>", "exec"), ns)
+                programs[key] = ns
+                conn.send(("ok", None))
+            elif cmd == "attach":
+                with _untracked_attach():
+                    for name, shm_name, shape, dtype in payload:
+                        seg = shared_memory.SharedMemory(name=shm_name)
+                        segments.append(seg)
+                        arrays[name] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
+                conn.send(("ok", None))
+            elif cmd == "detach":
+                arrays.clear()
+                for seg in segments:
+                    seg.close()
+                segments.clear()
+                conn.send(("ok", None))
+            elif cmd == "run":
+                prog_key, loop_key, lo, hi, bindings = payload
+                fn = programs[prog_key][f"_chunk_{loop_key}"]
+                conn.send(("ok", fn(arrays, lo, hi, bindings)))
+            elif cmd == "stop":
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("err", f"unknown command {cmd!r}"))
+        except Exception:
+            try:
+                conn.send(("err", traceback.format_exc(limit=8)))
+            except (BrokenPipeError, OSError):
+                break
+    # best-effort cleanup on exit
+    for seg in segments:
+        try:
+            seg.close()
+        except Exception:
+            pass
+    conn.close()
+
+
+class WorkerPool:
+    """A persistent pool of chunk-running worker processes."""
+
+    def __init__(self, workers: Optional[int] = None):
+        self.size = max(1, int(workers or os.environ.get("REPRO_EXEC_THREADS", 0) or os.cpu_count() or 1))
+        try:
+            self._ctx = get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            self._ctx = get_context("spawn")
+        self._procs = []
+        self._conns = []
+        self._installed: List[set] = []
+        self._prog_key: Optional[str] = None
+        self._shared: Dict[str, Tuple[np.ndarray, shared_memory.SharedMemory, np.ndarray]] = {}
+        self._alive = True
+        for _ in range(self.size):
+            parent, child = self._ctx.Pipe()
+            p = self._ctx.Process(target=_worker_main, args=(child,), daemon=True)
+            p.start()
+            child.close()
+            self._procs.append(p)
+            self._conns.append(parent)
+            self._installed.append(set())
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _broadcast(self, cmd: str, payload: Any) -> None:
+        """Send a command to every worker and wait for all acks."""
+        for conn in self._conns:
+            conn.send((cmd, payload))
+        for conn in self._conns:
+            status, detail = conn.recv()
+            if status != "ok":
+                raise InterpError(f"pool worker failed during {cmd}: {detail}")
+
+    def _check_alive(self) -> bool:
+        return self._alive and all(p.is_alive() for p in self._procs)
+
+    # -- program / environment lifecycle ------------------------------------
+
+    def ensure_program(self, cp) -> None:
+        """Install ``cp``'s chunk functions in every worker (idempotent)."""
+        self._prog_key = cp.key
+        if not cp.chunks:
+            return
+        sources = [cp.chunks[k] for k in sorted(cp.chunks)]
+        for i, conn in enumerate(self._conns):
+            if cp.key in self._installed[i]:
+                continue
+            conn.send(("exec", (cp.key, sources)))
+            status, detail = conn.recv()
+            if status != "ok":
+                raise InterpError(f"pool worker rejected program: {detail}")
+            self._installed[i].add(cp.key)
+
+    def adopt_env(self, env: Dict[str, Any]) -> Dict[str, Any]:
+        """Move ``env``'s arrays into shared memory; workers attach views.
+
+        Mutates ``env`` in place (arrays replaced by shared views) and
+        returns the adoption record for :meth:`release_env`.
+        """
+        specs = []
+        adopted: Dict[str, Tuple[np.ndarray, shared_memory.SharedMemory, np.ndarray]] = {}
+        for name, val in env.items():
+            if not isinstance(val, np.ndarray) or val.size == 0:
+                continue
+            seg = shared_memory.SharedMemory(create=True, size=val.nbytes)
+            view = np.ndarray(val.shape, dtype=val.dtype, buffer=seg.buf)
+            view[...] = val
+            adopted[name] = (val, seg, view)
+            env[name] = view
+            specs.append((name, seg.name, val.shape, val.dtype.str))
+        if specs:
+            self._broadcast("attach", specs)
+        self._shared = adopted
+        return adopted
+
+    def release_env(self, adopted: Dict[str, Any], env: Dict[str, Any]) -> None:
+        """Copy results back into the original arrays and unlink segments."""
+        try:
+            if adopted and self._check_alive():
+                self._broadcast("detach", None)
+        finally:
+            for name, (orig, seg, view) in adopted.items():
+                orig[...] = view
+                if isinstance(env.get(name), np.ndarray) and env[name] is view:
+                    env[name] = orig
+                del view
+                seg.close()
+                try:
+                    seg.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+            self._shared = {}
+
+    # -- dispatch -----------------------------------------------------------
+
+    def run_loop(
+        self,
+        loop_key: str,
+        lo: int,
+        hi: int,
+        bindings: Dict[str, Any],
+        arrays: Sequence[str],
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Run ``[lo, hi)`` of a loop across the pool, or decline (None)."""
+        lo, hi = int(lo), int(hi)
+        trips = hi - lo
+        if (
+            trips < max(2, MIN_PAR_TRIPS)
+            or self._prog_key is None
+            or not self._check_alive()
+            or any(a not in self._shared for a in arrays)
+        ):
+            return None
+        nchunks = min(self.size, trips)
+        bounds = [lo + (trips * k) // nchunks for k in range(nchunks + 1)]
+        active = []
+        for k in range(nchunks):
+            clo, chi = bounds[k], bounds[k + 1]
+            if clo >= chi:
+                continue
+            self._conns[k].send(("run", (self._prog_key, loop_key, clo, chi, bindings)))
+            active.append(k)
+        results: List[Dict[str, Any]] = []
+        errors: List[str] = []
+        for k in active:
+            try:
+                status, payload = self._conns[k].recv()
+            except (EOFError, OSError) as exc:
+                self._alive = False
+                errors.append(f"worker {k} died: {exc}")
+                continue
+            if status != "ok":
+                errors.append(f"worker {k}: {payload}")
+            else:
+                results.append(payload)
+        if errors:
+            # work was dispatched; arrays may be partially updated, so
+            # this cannot silently fall back to the serial path
+            raise InterpError("parallel loop failed: " + " | ".join(errors))
+        return results
+
+    # -- teardown -----------------------------------------------------------
+
+    def shutdown(self) -> None:
+        if not self._alive:
+            return
+        self._alive = False
+        for conn, p in zip(self._conns, self._procs):
+            try:
+                conn.send(("stop", None))
+            except (BrokenPipeError, OSError):
+                pass
+        for conn, p in zip(self._conns, self._procs):
+            try:
+                if p.is_alive():
+                    conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+            p.join(timeout=5)
+            if p.is_alive():  # pragma: no cover
+                p.terminate()
+                p.join(timeout=5)
+
+
+_POOL: Optional[WorkerPool] = None
+
+
+def get_pool(workers: Optional[int] = None) -> WorkerPool:
+    """The process-wide pool (created on first use, resized on demand)."""
+    global _POOL
+    want = max(1, int(workers or os.environ.get("REPRO_EXEC_THREADS", 0) or os.cpu_count() or 1))
+    if _POOL is not None and (_POOL.size != want or not _POOL._check_alive()):
+        _POOL.shutdown()
+        _POOL = None
+    if _POOL is None:
+        _POOL = WorkerPool(want)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    global _POOL
+    if _POOL is not None:
+        _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)

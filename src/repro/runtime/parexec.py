@@ -15,20 +15,55 @@ differential test of the whole decision (dependence test + privatization
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable
+from typing import Any, Dict, Iterable, Optional
 
 import numpy as np
 
-from repro.lang.astnodes import Assign, Decl, For, Id, Program
+from repro.lang.astnodes import (
+    Assign,
+    Compound,
+    Decl,
+    ExprStmt,
+    For,
+    Id,
+    IncDec,
+    Program,
+    UnOp,
+)
 from repro.runtime.interp import Interpreter
 
 
+class IndexNotFound(ValueError):
+    """A ``for`` header whose init/step does not reveal the loop index.
+
+    Subclasses :class:`ValueError` for backward compatibility; gates
+    catch it and *skip* the loop with a diagnostic instead of aborting.
+    """
+
+
 def _index_of(loop: For) -> str:
-    if isinstance(loop.init, Assign) and isinstance(loop.init.lhs, Id):
-        return loop.init.lhs.name
-    if isinstance(loop.init, Decl):
-        return loop.init.name
-    raise ValueError("cannot identify loop index")
+    """Loop index name, accepting compound/cast-shaped init headers.
+
+    Beyond the canonical ``i = lb`` / ``int i = lb`` inits this unwraps
+    ``{ i = lb; ... }`` compound inits (first statement wins), bare
+    expression-statement inits (``i++``, ``(int) i = lb``-style unary
+    wrappers), and finally falls back to the step expression, which names
+    the index in every header the normalizer accepts.
+    """
+    for part in (loop.init, loop.step):
+        while isinstance(part, Compound) and part.stmts:
+            part = part.stmts[0]
+        if isinstance(part, ExprStmt):
+            part = part.expr
+        while isinstance(part, UnOp):  # cast-style wrappers around the index
+            part = part.operand
+        if isinstance(part, Assign) and isinstance(part.lhs, Id):
+            return part.lhs.name
+        if isinstance(part, Decl):
+            return part.name
+        if isinstance(part, IncDec) and isinstance(part.target, Id):
+            return part.target.name
+    raise IndexNotFound("cannot identify loop index from for-header init/step")
 
 
 def execute_shuffled(
@@ -37,6 +72,8 @@ def execute_shuffled(
     decision,
     env: Dict[str, Any],
     seed: int = 0,
+    *,
+    backend: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Execute ``prog`` with ``loop``'s iterations in a random order.
 
@@ -46,14 +83,27 @@ def execute_shuffled(
     :class:`InterpError`) and after the loop (their value is unspecified
     under OpenMP).  Reduction variables accumulate normally — their
     operators are commutative, so order must not matter.
+
+    ``backend="compiled"`` runs the prologue, each shuffled iteration's
+    body, and the post-loop statements through the compiled backend
+    (default from ``REPRO_BACKEND``); the shuffling itself is identical.
     """
-    interp = Interpreter(env)
-    for s in prog.stmts:
-        if s is loop:
-            break
-        interp.exec_stmt(s)
-    else:
+    from repro.runtime.compile import compile_program, resolved_backend
+
+    use_compiled = resolved_backend(backend) != "interp"
+    pos = next((k for k, s in enumerate(prog.stmts) if s is loop), None)
+    if pos is None:
         raise ValueError("loop is not a top-level statement of prog")
+
+    body_cp = None
+    if use_compiled:
+        state = compile_program(Program(prog.stmts[:pos])).run(env)
+        interp = Interpreter(state)
+        body_cp = compile_program(Program([loop.body]))
+    else:
+        interp = Interpreter(env)
+        for s in prog.stmts[:pos]:
+            interp.exec_stmt(s)
 
     idx = _index_of(loop)
     privates = set(decision.private) - {idx}
@@ -72,20 +122,20 @@ def execute_shuffled(
         for p in privates:
             interp.env.pop(p, None)
         interp.env[idx] = values[int(k)]
-        interp.exec_stmt(loop.body)
+        if body_cp is not None:
+            interp.env = body_cp.run(interp.env)
+        else:
+            interp.exec_stmt(loop.body)
 
     # post-loop state: index past the end (as serial), privates unspecified
     interp.env[idx] = final_idx
     for p in privates:
         interp.env.pop(p, None)
     # continue with whatever follows the loop
-    seen = False
-    for s in prog.stmts:
-        if s is loop:
-            seen = True
-            continue
-        if seen:
-            interp.exec_stmt(s)
+    if use_compiled:
+        return compile_program(Program(prog.stmts[pos + 1 :])).run(interp.env)
+    for s in prog.stmts[pos + 1 :]:
+        interp.exec_stmt(s)
     return interp.env
 
 

@@ -16,8 +16,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from repro.lang.astnodes import Assign, Decl, For, Id, Program
+from repro.lang.astnodes import For, Program
 from repro.runtime.interp import Interpreter
+from repro.runtime.parexec import _index_of
 
 
 @dataclasses.dataclass
@@ -57,6 +58,7 @@ def check_loop_races(
     *,
     ignore_arrays: Optional[Set[str]] = None,
     max_conflicts: int = 10,
+    backend: Optional[str] = None,
 ) -> RaceReport:
     """Execute ``prog`` and check ``loop`` for cross-iteration conflicts.
 
@@ -64,26 +66,31 @@ def check_loop_races(
     top-level statement or reachable deterministically); all accesses inside
     the loop are logged per iteration.  Arrays in ``ignore_arrays`` (e.g.
     privatized buffers) are skipped.
-    """
-    ignore = ignore_arrays or set()
-    interp = Interpreter(env)
 
-    # execute everything before the loop
-    for s in prog.stmts:
-        if s is loop:
-            break
-        interp.exec_stmt(s)
-    else:
+    ``backend="compiled"`` (default from ``REPRO_BACKEND``) runs the
+    prologue through the compiled backend and the loop body through its
+    trace mode, which reports the same accesses in the same order as the
+    interpreter — the conflict log is identical either way.
+    """
+    from repro.runtime.compile import compile_program, resolved_backend
+
+    ignore = ignore_arrays or set()
+    use_compiled = resolved_backend(backend) != "interp"
+    pos = next((k for k, s in enumerate(prog.stmts) if s is loop), None)
+    if pos is None:
         raise ValueError("loop is not a top-level statement of prog")
 
-    # identify the index variable
-    idx_name = None
-    if isinstance(loop.init, Assign) and isinstance(loop.init.lhs, Id):
-        idx_name = loop.init.lhs.name
-    elif isinstance(loop.init, Decl):
-        idx_name = loop.init.name
-    if idx_name is None:
-        raise ValueError("cannot identify loop index")
+    body_cp = None
+    if use_compiled:
+        state = compile_program(Program(prog.stmts[:pos])).run(env)
+        interp = Interpreter(state)
+        body_cp = compile_program(Program([loop.body]), trace=True)
+    else:
+        interp = Interpreter(env)
+        for s in prog.stmts[:pos]:
+            interp.exec_stmt(s)
+
+    idx_name = _index_of(loop)
 
     # writers[array][element] = (iteration, wrote)
     first_touch: Dict[Tuple, Tuple[int, bool]] = {}
@@ -118,7 +125,12 @@ def check_loop_races(
     n_iters = 0
     while loop.cond is None or interp.eval(loop.cond):
         current_iter[0] = int(interp.env[idx_name])
-        interp.exec_stmt(loop.body)
+        if body_cp is not None:
+            interp.access_hook = None  # trace mode reports through its own hook
+            interp.env = body_cp.run(interp.env, access_hook=hook)
+            interp.access_hook = hook
+        else:
+            interp.exec_stmt(loop.body)
         if loop.step is not None:
             interp.access_hook = None  # the step itself is not part of the body
             interp.exec_stmt(loop.step)

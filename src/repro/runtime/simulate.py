@@ -205,3 +205,43 @@ def simulate_app(
 def serial_time(perf: PerfModel) -> float:
     """Serial execution time (equals the calibration target by design)."""
     return perf.total_ops() * perf.c_op
+
+
+def measure_kernel(
+    result,
+    env: Dict[str, object],
+    *,
+    backend: str = "interp",
+    threads: Optional[int] = None,
+    repeats: int = 1,
+) -> Tuple[float, Dict[str, object]]:
+    """*Measured* wall-clock seconds of one kernel execution.
+
+    The analytic model above predicts times on the paper's 20-core Xeon;
+    this runs the program for real on this machine through the selected
+    backend (``interp`` / ``compiled`` / ``compiled-parallel``) and times
+    it.  ``result`` is a :class:`~repro.parallelizer.driver.
+    ParallelizationResult` (its decisions gate the parallel tier) or a
+    bare :class:`~repro.lang.astnodes.Program`.  Each repeat runs on a
+    fresh copy of ``env``; returns ``(best_seconds, final_env)`` so
+    callers can cross-validate outputs between backends.
+    """
+    import time
+
+    from repro.lang.astnodes import Program
+    from repro.runtime.compile import execute
+
+    if isinstance(result, Program):
+        prog, decisions = result, None
+    else:
+        prog, decisions = result.program, result.decisions
+    best = math.inf
+    out: Dict[str, object] = {}
+    for _ in range(max(1, repeats)):
+        run_env = {
+            k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()
+        }
+        t0 = time.perf_counter()
+        out = execute(prog, run_env, decisions=decisions, backend=backend, threads=threads)
+        best = min(best, time.perf_counter() - t0)
+    return best, out

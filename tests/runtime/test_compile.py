@@ -1,0 +1,341 @@
+"""Compiled execution backend tests.
+
+Three layers: per-node lowering units (each mini-C construct compiled and
+cross-checked against the interpreter), differential equivalence over the
+whole benchmark registry and a fuzz slice (``REPRO_EXEC_DIFF`` built into
+:func:`execute`), and backend-selection/fallback behavior.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.benchmarks import all_benchmarks, get_benchmark
+from repro.lang.astnodes import Program
+from repro.lang.cparser import parse_program
+from repro.parallelizer import parallelize
+from repro.runtime.compile import (
+    BackendMismatch,
+    CompiledProgram,
+    compile_program,
+    execute,
+    resolved_backend,
+)
+from repro.runtime.interp import InterpError, Interpreter, run_program
+from repro.runtime.parexec import states_equivalent
+
+
+def deep_env(env):
+    return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+
+
+def run_both(src, env):
+    """Run source through interpreter and compiled backend; assert equal."""
+    prog = parse_program(src)
+    ref = run_program(prog, deep_env(env))
+    cp = compile_program(prog)
+    out = cp.run(deep_env(env))
+    assert states_equivalent(ref, out), f"compiled diverged\n{cp.source}"
+    return ref, out, cp
+
+
+# ---------------------------------------------------------------------------
+# per-node lowering units
+# ---------------------------------------------------------------------------
+
+
+def test_scalar_arithmetic_and_c_division():
+    # C semantics: integer division truncates toward zero, % follows the
+    # dividend's sign
+    src = "q = a / b; r = a % b; s = (0 - a) / b; t = (0 - a) % b;"
+    ref, out, cp = run_both(src, {"a": 7, "b": 2})
+    assert cp.fallback_reason is None
+    assert out["q"] == 3 and out["r"] == 1
+    assert out["s"] == -3 and out["t"] == -1
+
+
+def test_if_else_and_logical_ops():
+    src = """
+    if (a > 0 && b < 10) { x = 1; } else { x = 2; }
+    y = (a == 3) || (b == 99);
+    z = !a;
+    """
+    ref, out, _ = run_both(src, {"a": 3, "b": 5, "x": 0, "y": 0, "z": 0})
+    assert out["x"] == 1 and out["y"] == 1 and out["z"] == 0
+
+
+def test_while_loop_lowering():
+    src = "s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; }"
+    ref, out, _ = run_both(src, {"n": 10})
+    assert out["s"] == 45
+
+
+def test_canonical_for_with_array_store():
+    src = "for (i = 0; i < n; i++) { a[i] = 2 * i + 1; }"
+    ref, out, cp = run_both(src, {"n": 8, "a": np.zeros(8, dtype=np.int64)})
+    assert cp.fallback_reason is None
+    np.testing.assert_array_equal(out["a"], 2 * np.arange(8) + 1)
+
+
+def test_nested_for_and_compound_assign():
+    src = """
+    for (i = 0; i < n; i++) {
+        for (j = 0; j < m; j++) {
+            c[i] += a[i * m + j];
+        }
+    }
+    """
+    env = {"n": 4, "m": 3, "a": np.arange(12.0), "c": np.zeros(4)}
+    ref, out, _ = run_both(src, env)
+    np.testing.assert_allclose(out["c"], np.arange(12.0).reshape(4, 3).sum(axis=1))
+
+
+def test_incdec_survives_via_normalization():
+    src = "k = 0; for (i = 0; i < n; i++) { b[k++] = i; }"
+    ref, out, _ = run_both(src, {"n": 5, "b": np.zeros(5, dtype=np.int64)})
+    assert out["k"] == 5
+    np.testing.assert_array_equal(out["b"], np.arange(5))
+
+
+def test_break_falls_back_to_serial_loop():
+    src = "s = 0; for (i = 0; i < n; i++) { if (i == 3) break; s = s + 1; }"
+    ref, out, _ = run_both(src, {"n": 100})
+    assert out["s"] == 3 and out["i"] == 3
+
+
+def test_ternary_and_calls():
+    src = "x = a > b ? a : b; y = abs(0 - a); z = min(a, b);"
+    ref, out, _ = run_both(src, {"a": 4, "b": 9})
+    assert out["x"] == 9 and out["y"] == 4 and out["z"] == 4
+
+
+def test_zero_division_propagates_unwrapped():
+    prog = parse_program("x = 1 / d;")
+    cp = compile_program(prog)
+    with pytest.raises(ZeroDivisionError):
+        cp.run({"d": 0})
+
+
+def test_undefined_variable_raises_interperror():
+    prog = parse_program("x = y + 1;")
+    cp = compile_program(prog)
+    with pytest.raises(InterpError, match="y"):
+        cp.run({})
+
+
+def test_out_of_bounds_store_raises_interperror():
+    prog = parse_program("a[k] = 1;")
+    cp = compile_program(prog)
+    with pytest.raises(InterpError):
+        cp.run({"a": np.zeros(4), "k": 99})
+
+
+# ---------------------------------------------------------------------------
+# vectorizer semantics
+# ---------------------------------------------------------------------------
+
+
+def test_affine_subscript_vectorization():
+    src = "for (i = 0; i < n; i++) { a[2 * i + 1] = b[i] + 1; }"
+    env = {"n": 16, "a": np.zeros(33), "b": np.arange(16.0)}
+    ref, out, cp = run_both(src, env)
+    assert "[" in cp.source and "for v_i in range" not in cp.source.split("\n")[0]
+
+
+def test_gather_scatter_accumulate_duplicate_indices():
+    # duplicate targets must accumulate like the serial loop (ufunc.at)
+    src = "for (i = 0; i < n; i++) { h[idx[i]] = h[idx[i]] + w[i]; }"
+    env = {
+        "n": 10,
+        "idx": np.array([0, 1, 0, 2, 1, 0, 2, 2, 1, 0], dtype=np.int64),
+        "h": np.zeros(3),
+        "w": np.arange(10.0),
+    }
+    ref, out, _ = run_both(src, env)
+    np.testing.assert_allclose(out["h"], ref["h"])
+
+
+def test_float_accumulate_into_int_array_truncates_like_interp():
+    src = "for (i = 0; i < n; i++) { h[idx[i]] = h[idx[i]] + x[i]; }"
+    env = {
+        "n": 4,
+        "idx": np.array([0, 0, 1, 1], dtype=np.int64),
+        "h": np.zeros(2, dtype=np.int64),
+        "x": np.array([0.5, 0.75, 1.5, 2.25]),
+    }
+    ref, out, _ = run_both(src, env)
+    np.testing.assert_array_equal(out["h"], ref["h"])
+
+
+def test_sum_reduction_within_tolerance():
+    src = "s = 0; for (i = 0; i < n; i++) { s = s + a[i]; }"
+    rng = np.random.default_rng(0)
+    env = {"n": 1000, "s": 0.0, "a": rng.standard_normal(1000)}
+    prog = parse_program(src)
+    ref = run_program(prog, deep_env(env))
+    out = compile_program(prog).run(deep_env(env))
+    assert np.isclose(ref["s"], out["s"], rtol=1e-9)
+
+
+def test_negative_start_guard_takes_scalar_branch():
+    # a[i - 2] wraps for i < 2: the vectorized slice guard must reject and
+    # fall into the scalar else-branch, matching interp exactly
+    src = "for (i = 0; i < n; i++) { a[i - 2] = b[i]; }"
+    env = {"n": 6, "a": np.zeros(6), "b": np.arange(6.0) + 1}
+    ref, out, _ = run_both(src, env)
+    np.testing.assert_array_equal(out["a"], ref["a"])
+
+
+def test_stale_view_aliasing_read_after_write():
+    # b[i] reads an element written by an earlier iteration: slice loads of
+    # stored arrays must not see pre-loop snapshots
+    src = "for (i = 1; i < n; i++) { b[i] = b[i - 1] + 1; }"
+    env = {"n": 8, "b": np.zeros(8)}
+    ref, out, _ = run_both(src, env)
+    np.testing.assert_array_equal(out["b"], np.arange(8.0))
+
+
+# ---------------------------------------------------------------------------
+# trace mode
+# ---------------------------------------------------------------------------
+
+
+def test_trace_mode_matches_interp_hook_stream():
+    src = "for (i = 0; i < n; i++) { a[i] = b[c[i]] + 1; }"
+    prog = parse_program(src)
+    env = {
+        "n": 5,
+        "a": np.zeros(5),
+        "b": np.arange(10.0),
+        "c": np.array([3, 1, 4, 1, 5], dtype=np.int64),
+    }
+
+    ref_events = []
+    it = Interpreter(deep_env(env), access_hook=lambda *e: ref_events.append(e))
+    for s in prog.stmts:
+        it.exec_stmt(s)
+
+    got_events = []
+    cp = compile_program(prog, trace=True)
+    cp.run(deep_env(env), access_hook=lambda *e: got_events.append(e))
+    assert got_events == ref_events
+
+
+# ---------------------------------------------------------------------------
+# backend selection / fallback / differential mode
+# ---------------------------------------------------------------------------
+
+
+def test_resolved_backend_env_and_arg(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert resolved_backend() == "interp"
+    monkeypatch.setenv("REPRO_BACKEND", "compiled")
+    assert resolved_backend() == "compiled"
+    assert resolved_backend("interp") == "interp"  # argument wins
+    with pytest.raises(ValueError):
+        resolved_backend("turbo")
+
+
+def test_unlowerable_program_falls_back_to_interp_shim():
+    # a while-loop whose body assigns through an unknown function cannot
+    # crash compilation: compile_program returns an interp-backed shim
+    prog = parse_program("x = froble(3);")
+    cp = compile_program(prog)
+    # either compiled with the unknown-call guard or interp fallback; both
+    # must produce the interpreter's behavior (InterpError at run time)
+    with pytest.raises(InterpError):
+        cp.run({})
+
+
+def test_execute_diff_mode_passes_on_benchmarks(monkeypatch):
+    monkeypatch.setenv("REPRO_EXEC_DIFF", "1")
+    for bench in all_benchmarks():
+        prog = parse_program(bench.source)
+        out = execute(prog, deep_env(bench.small_env()), backend="compiled")
+        assert out is not None
+
+
+def test_execute_diff_mode_detects_planted_divergence(monkeypatch):
+    monkeypatch.setenv("REPRO_EXEC_DIFF", "1")
+    prog = parse_program("for (i = 0; i < n; i++) { a[i] = i; }")
+    real_run = CompiledProgram.run
+
+    def corrupted(self, env, **kw):
+        out = real_run(self, env, **kw)
+        if isinstance(out.get("a"), np.ndarray):
+            out["a"][0] += 1  # simulate a miscompiled store
+        return out
+
+    monkeypatch.setattr(CompiledProgram, "run", corrupted)
+    with pytest.raises(BackendMismatch, match="divergence"):
+        execute(prog, {"n": 4, "a": np.zeros(4)}, backend="compiled")
+
+
+# ---------------------------------------------------------------------------
+# differential equivalence: registry + fuzz slice
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", [b.name for b in all_benchmarks()])
+def test_benchmark_registry_compiled_matches_interp(name):
+    bench = get_benchmark(name)
+    result = parallelize(bench.source, AnalysisConfig.new_algorithm())
+    env = bench.small_env()
+    ref = run_program(result.program, deep_env(env))
+    cp = compile_program(result.program, result.decisions)
+    out = cp.run(deep_env(env))
+    assert states_equivalent(ref, out), f"{name} diverged\n{cp.source}"
+
+
+FUZZ_SLICE = int(os.environ.get("REPRO_COMPILE_FUZZ_COUNT", "200"))
+
+
+@pytest.mark.parametrize("shard", range(4))
+def test_fuzz_slice_compiled_matches_interp(shard):
+    from tests.fuzz.gen import generate
+
+    for seed in range(shard, FUZZ_SLICE, 4):
+        fp = generate(seed)
+        prog = parse_program(fp.source)
+        ref_exc = out_exc = None
+        ref = out = None
+        try:
+            ref = run_program(prog, fp.fresh_env())
+        except (InterpError, ZeroDivisionError) as exc:
+            ref_exc = exc
+        cp = compile_program(prog)
+        try:
+            out = cp.run(fp.fresh_env())
+        except (InterpError, ZeroDivisionError) as exc:
+            out_exc = exc
+        assert (ref_exc is None) == (out_exc is None), (
+            f"seed {seed}: interp={ref_exc!r} compiled={out_exc!r}\n{fp.source}"
+        )
+        if ref_exc is None:
+            assert states_equivalent(ref, out), f"seed {seed} diverged\n{fp.source}"
+
+
+def test_fuzz_slice_compiled_trace_matches_interp_hooks():
+    from tests.fuzz.gen import generate
+
+    checked = 0
+    for seed in range(60):
+        fp = generate(seed)
+        prog = parse_program(fp.source)
+        ref_events = []
+        it = Interpreter(fp.fresh_env(), access_hook=lambda *e: ref_events.append(e))
+        try:
+            for s in prog.stmts:
+                it.exec_stmt(s)
+        except (InterpError, ZeroDivisionError):
+            continue
+        got_events = []
+        cp = compile_program(prog, trace=True)
+        cp.run(fp.fresh_env(), access_hook=lambda *e: got_events.append(e))
+        assert got_events == ref_events, f"seed {seed}: trace stream diverged"
+        checked += 1
+    assert checked > 20  # the slice must actually exercise the trace path

@@ -7,6 +7,7 @@ import pytest
 from repro.analysis import AnalysisConfig
 from repro.benchmarks import all_benchmarks, get_benchmark
 from repro.lang.astnodes import For
+from repro.lang.cparser import parse_program
 from repro.parallelizer import parallelize
 from repro.runtime.interp import InterpError, run_program
 from repro.runtime.parexec import execute_shuffled, states_equivalent
@@ -114,3 +115,75 @@ def test_benchmarks_parallel_loops_order_insensitive(name):
         d = result.decisions[loop.loop_id]
         shuffled = execute_shuffled(result.program, loop, d, deep_env(env), seed=7)
         assert states_equivalent(serial, shuffled, ignore=set(d.private) | {"_shuffle"}), name
+
+
+# ---------------------------------------------------------------------------
+# _index_of hardening (compound/cast init headers) + compiled backend
+# ---------------------------------------------------------------------------
+
+
+def test_index_of_accepts_compound_init():
+    from repro.lang.astnodes import Compound
+    from repro.runtime.parexec import _index_of
+
+    prog = parse_program("for (i = 0; i < n; i++) { a[i] = i; }")
+    loop = prog.stmts[0]
+    loop.init = Compound([loop.init])
+    assert _index_of(loop) == "i"
+
+
+def test_index_of_accepts_cast_style_unary_init():
+    from repro.lang.astnodes import ExprStmt, Id, IncDec, UnOp
+    from repro.runtime.parexec import _index_of
+
+    prog = parse_program("for (i = 0; i < n; i++) { a[i] = i; }")
+    loop = prog.stmts[0]
+    # an expression init whose index sits under a cast-style unary wrapper
+    loop.init = ExprStmt(UnOp("+", IncDec("++", Id("i"), False)))
+    assert _index_of(loop) == "i"
+
+
+def test_index_of_falls_back_to_step():
+    from repro.lang.astnodes import ExprStmt, Num
+    from repro.runtime.parexec import _index_of
+
+    prog = parse_program("for (i = 0; i < n; i++) { a[i] = i; }")
+    loop = prog.stmts[0]
+    loop.init = ExprStmt(Num(0))  # init reveals nothing; step has i++
+    assert _index_of(loop) == "i"
+
+
+def test_index_of_raises_indexnotfound_when_unidentifiable():
+    from repro.lang.astnodes import ExprStmt, Num
+    from repro.runtime.parexec import IndexNotFound, _index_of
+
+    prog = parse_program("for (i = 0; i < n; i++) { a[i] = i; }")
+    loop = prog.stmts[0]
+    loop.init = ExprStmt(Num(0))
+    loop.step = ExprStmt(Num(0))
+    with pytest.raises(IndexNotFound, match="loop index"):
+        _index_of(loop)
+    # IndexNotFound stays a ValueError for pre-existing catch sites
+    assert issubclass(IndexNotFound, ValueError)
+
+
+@pytest.mark.parametrize(
+    "name",
+    [b.name for b in all_benchmarks()],
+)
+def test_benchmarks_shuffled_compiled_backend_matches_interp(name):
+    bench = get_benchmark(name)
+    result = parallelize(bench.source, AnalysisConfig.new_algorithm())
+    loops = [
+        s
+        for s in result.program.stmts
+        if isinstance(s, For) and result.decisions[s.loop_id].parallel
+    ]
+    if not loops:
+        pytest.skip("no top-level parallel loop under NewAlgo")
+    env = bench.small_env()
+    for loop in loops:
+        d = result.decisions[loop.loop_id]
+        a = execute_shuffled(result.program, loop, d, deep_env(env), seed=11, backend="interp")
+        b = execute_shuffled(result.program, loop, d, deep_env(env), seed=11, backend="compiled")
+        assert states_equivalent(a, b, ignore=set(d.private)), name

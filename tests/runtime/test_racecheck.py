@@ -92,3 +92,23 @@ def test_conflict_string_format():
     rep = check("for (i = 0; i < 3; i++) a[0] = i;", env)
     assert not rep.clean
     assert "a[0]" in str(rep.conflicts[0])
+
+
+def test_compiled_backend_reports_identical_races():
+    """backend="compiled" must reproduce the interpreter's conflict log."""
+    from repro.analysis import AnalysisConfig
+    from repro.benchmarks import get_benchmark
+    from repro.parallelizer import parallelize
+    from repro.lang.astnodes import For
+
+    for name in ("AMGmk", "IS"):
+        bench = get_benchmark(name)
+        result = parallelize(bench.source, AnalysisConfig.new_algorithm())
+        loops = [s for s in result.program.stmts if isinstance(s, For)]
+        for loop in loops:
+            e1 = {k: (v.copy() if hasattr(v, "copy") else v) for k, v in bench.small_env().items()}
+            e2 = {k: (v.copy() if hasattr(v, "copy") else v) for k, v in bench.small_env().items()}
+            r1 = check_loop_races(result.program, loop, e1, backend="interp")
+            r2 = check_loop_races(result.program, loop, e2, backend="compiled")
+            assert r1.iterations == r2.iterations
+            assert [str(c) for c in r1.conflicts] == [str(c) for c in r2.conflicts]

@@ -1,0 +1,117 @@
+"""On-disk result cache tier: write-through, cold hits, corruption, opt-out."""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro import cache
+from repro.analysis import AnalysisConfig
+from repro.analysis.analyzer import _ANALYSIS_CACHE
+from repro.parallelizer import parallelize
+from repro.parallelizer.driver import _PARALLELIZE_CACHE
+
+SRC = "for (i = 0; i < n; i++) { a[i] = b[i] + 1; }"
+
+
+def _cold_memory():
+    _ANALYSIS_CACHE.clear()
+    _PARALLELIZE_CACHE.clear()
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache.enable()
+    _cold_memory()
+    yield tmp_path
+    _cold_memory()
+
+
+def test_disabled_without_env(monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert cache.cache_dir() is None
+    cache.store("analysis", ("d" * 64, "fp"), {"x": 1})  # silently no-op
+    assert cache.load("analysis", ("d" * 64, "fp")) is None
+
+
+def test_write_through_and_cold_hit(cache_dir):
+    r1 = parallelize(SRC, AnalysisConfig.new_algorithm())
+    entries = glob.glob(str(cache_dir / "*" / "*" / "*.pkl"))
+    assert len(entries) == 2  # one analysis + one parallelize entry
+    assert not glob.glob(str(cache_dir / "*" / "*" / "*.tmp"))  # atomic writes
+    _cold_memory()
+    r2 = parallelize(SRC, AnalysisConfig.new_algorithm())
+    assert r2.to_c() == r1.to_c()
+    assert len(glob.glob(str(cache_dir / "*" / "*" / "*.pkl"))) == 2  # no rewrite
+
+
+def test_disk_hit_is_isolated_from_mutation(cache_dir):
+    r1 = parallelize(SRC, AnalysisConfig.new_algorithm())
+    _cold_memory()
+    r2 = parallelize(SRC, AnalysisConfig.new_algorithm())
+    r2.program.stmts.clear()  # downstream mutation
+    _cold_memory()
+    r3 = parallelize(SRC, AnalysisConfig.new_algorithm())
+    assert r3.to_c() == r1.to_c()
+
+
+def test_corrupt_entry_is_ignored_and_deleted(cache_dir):
+    r1 = parallelize(SRC, AnalysisConfig.new_algorithm())
+    entries = glob.glob(str(cache_dir / "*" / "*" / "*.pkl"))
+    for path in entries:
+        with open(path, "wb") as fh:
+            fh.write(b"not a pickle")
+    _cold_memory()
+    r2 = parallelize(SRC, AnalysisConfig.new_algorithm())
+    assert r2.to_c() == r1.to_c()
+
+
+def test_version_skew_is_a_miss(cache_dir):
+    key = ("e" * 64, "fp")
+    cache.store("analysis", key, {"x": 1})
+    assert cache.load("analysis", key) == {"x": 1}
+    path = cache._entry_path(str(cache_dir), "analysis", key)
+    import pickle
+
+    with open(path, "wb") as fh:
+        pickle.dump((cache.FORMAT_VERSION + 1, {"x": 1}), fh)
+    assert cache.load("analysis", key) is None
+    assert not os.path.exists(path)  # stale entry dropped
+
+
+def test_config_fingerprint_keys_are_distinct(cache_dir):
+    parallelize(SRC, AnalysisConfig.new_algorithm())
+    parallelize(SRC, AnalysisConfig.classical())
+    # same source under two configs -> four distinct entries
+    assert len(glob.glob(str(cache_dir / "*" / "*" / "*.pkl"))) == 4
+
+
+def test_disable_blocks_reads_and_writes(cache_dir):
+    parallelize(SRC, AnalysisConfig.new_algorithm())
+    cache.disable()
+    try:
+        assert cache.cache_dir() is None
+        n0 = len(glob.glob(str(cache_dir / "*" / "*" / "*.pkl")))
+        _cold_memory()
+        parallelize(SRC, AnalysisConfig.new_algorithm())  # recomputes silently
+        assert len(glob.glob(str(cache_dir / "*" / "*" / "*.pkl"))) == n0
+    finally:
+        cache.enable()
+
+
+def test_cli_no_disk_cache_flag(cache_dir, tmp_path, capsys):
+    from repro.cli import main
+
+    src_file = tmp_path / "k.c"
+    src_file.write_text(SRC)
+    for f in glob.glob(str(cache_dir / "*" / "*" / "*.pkl")):
+        os.unlink(f)
+    cache.enable()
+    try:
+        assert main(["--no-disk-cache", "report", str(src_file)]) == 0
+        assert not glob.glob(str(cache_dir / "*" / "*" / "*.pkl"))
+    finally:
+        cache.enable()
