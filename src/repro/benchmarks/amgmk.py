@@ -116,6 +116,8 @@ BENCHMARK = Benchmark(
         "Cetus+NewAlgo": "outer",
     },
     main_component="spmv",
+    # fill loop lowers masked (guarded counter store), SpMV segmented
+    expected_tiers={"masked": 1, "segmented": 1},
     notes=(
         "Fill loop = paper Figure 9; kernel = Figure 8. Intermittent "
         "monotonicity of A_rownnz (LEMMA 1) enables outer-loop "

@@ -36,6 +36,15 @@ class Benchmark:
         pipeline name -> expected parallelization level of the *main*
         kernel component ('outer' | 'inner' | 'serial'); used by tests to
         pin the Figure-17 qualitative outcomes.
+    expected_tiers:
+        vectorization tier -> minimum number of loops the compiled
+        backend must lower at that tier ('segmented' | 'masked' |
+        'flattened' | 'vectorized').  Tests compile each benchmark and
+        count :attr:`~repro.runtime.compile.CompiledProgram.loop_tiers`
+        values, so a lowering regression that silently bails a kernel
+        loop back to the scalar tier fails loudly instead of just
+        running slow.  Empty means "no tier pinned" (scalar-dominated
+        benchmarks whose hot loops vectorize on the slice path).
     main_component:
         name of the main kernel component in the perf model.
     notes:
@@ -53,6 +62,7 @@ class Benchmark:
     main_component: str
     notes: str = ""
     exec_env: Optional[Callable[[], Dict[str, Any]]] = None
+    expected_tiers: Dict[str, int] = dataclasses.field(default_factory=dict)
 
     def serial_time(self, dataset: Optional[str] = None) -> float:
         return self.perf_model(dataset or self.default_dataset).serial_time_target

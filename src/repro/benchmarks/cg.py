@@ -99,5 +99,7 @@ BENCHMARK = Benchmark(
         "Cetus+NewAlgo": "outer",
     },
     main_component="spmv",
+    # the CSR SpMV nest lowers through the segmented tier
+    expected_tiers={"segmented": 1},
     notes="Indirect reads only — classical Cetus suffices (paper Fig. 17).",
 )

@@ -158,6 +158,8 @@ BENCHMARK = Benchmark(
         "Cetus+NewAlgo": "outer",
     },
     main_component="sddmm",
+    # the sampled dot-product nest lowers through the segmented tier
+    expected_tiers={"segmented": 1},
     notes=(
         "Fill loop = paper Figure 11; kernel = Figure 10. col_ptr is proven "
         "intermittently monotonic; the run-time check -1+n_cols <= "

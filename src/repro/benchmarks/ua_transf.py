@@ -141,6 +141,8 @@ BENCHMARK = Benchmark(
         "Cetus+NewAlgo": "outer",
     },
     main_component="transf",
+    # both gather nests flatten (constant small inner trips)
+    expected_tiers={"flattened": 2},
     notes=(
         "Fill loop = paper Figure 12. idel is proven #(SMA;0) by LEMMA 2 "
         "through per-level aggregation; the transfer loop's indirect "

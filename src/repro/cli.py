@@ -159,8 +159,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         if args.stats:
             from repro.ir.perfstats import format_stats
+            from repro.runtime.workmeter import format_summary
 
             print(format_stats(), file=sys.stderr)
+            wm = format_summary()
+            if wm:
+                print(wm, file=sys.stderr)
 
 
 def _run_command(args) -> int:

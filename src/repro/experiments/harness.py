@@ -383,11 +383,18 @@ class MeasuredRun:
     scale: str  # "paper" (exec_env) or "small" (small_env)
     times: Dict[str, float]  # backend -> best-of-repeats seconds
     outputs_match: bool  # every backend produced equivalent final state
+    #: loop_id -> max/mean chunk-time ratio of the last parallel run
+    #: (empty when no backend dispatched to the worker pool)
+    chunk_imbalance: Dict[str, float] = dataclasses.field(default_factory=dict)
 
     def speedup(self, backend: str, over: str = "interp") -> float:
         if backend not in self.times or over not in self.times:
             return math.nan
         return self.times[over] / self.times[backend]
+
+    def worst_imbalance(self) -> float:
+        """The most skewed loop's chunk-time ratio (NaN when unrecorded)."""
+        return max(self.chunk_imbalance.values(), default=math.nan)
 
 
 def measure_backend_speedups(
@@ -409,6 +416,7 @@ def measure_backend_speedups(
     wrong-answer run.
     """
     from repro.benchmarks.registry import all_benchmarks, get_benchmark
+    from repro.runtime import workmeter
     from repro.runtime.parexec import states_equivalent
     from repro.runtime.simulate import measure_kernel
 
@@ -419,15 +427,23 @@ def measure_backend_speedups(
         env = bench.paper_env() if scale == "paper" else bench.small_env()
         times: Dict[str, float] = {}
         outputs: Dict[str, Dict[str, object]] = {}
+        imbalance: Dict[str, float] = {}
         for backend in backends:
             times[backend], outputs[backend] = measure_kernel(
                 result, env, backend=backend, threads=threads, repeats=repeats
             )
+            if backend == "compiled-parallel":
+                imbalance = {
+                    lid: entry["imbalance"]
+                    for lid, entry in workmeter.summary().items()
+                    if "imbalance" in entry
+                }
         ref = outputs.get("interp") or next(iter(outputs.values()))
         match = all(states_equivalent(ref, out) for out in outputs.values())
         runs.append(
             MeasuredRun(
-                benchmark=bench.name, scale=scale, times=times, outputs_match=match
+                benchmark=bench.name, scale=scale, times=times, outputs_match=match,
+                chunk_imbalance=imbalance,
             )
         )
     return runs

@@ -66,6 +66,26 @@ class Counters:
 #: the process-wide counter set
 STATS = Counters()
 
+#: compiled-loop vectorization-tier histogram: tier name (``segmented``,
+#: ``masked``, ``flattened``, ``vectorized``, ``scalar``,
+#: ``interp-fallback``) -> number of top-level loops lowered at that tier
+TIERS: Dict[str, int] = {}
+
+#: compiled-loop fallback-reason histogram: why loops stayed scalar (the
+#: vectorizer's bail reason) or why whole programs fell back to the
+#: interpreter (the CompileError text)
+FALLBACKS: Dict[str, int] = {}
+
+
+def record_tier(tier: str) -> None:
+    """Count one compiled top-level loop at vectorization ``tier``."""
+    TIERS[tier] = TIERS.get(tier, 0) + 1
+
+
+def record_fallback(reason: str) -> None:
+    """Count one loop (or program) that fell back, keyed by reason."""
+    FALLBACKS[reason] = FALLBACKS.get(reason, 0) + 1
+
 #: registered caches: name -> (size_fn, clear_fn)
 _CACHES: Dict[str, Tuple[Callable[[], int], Callable[[], None]]] = {}
 
@@ -129,8 +149,10 @@ def clear_all() -> None:
 
 
 def reset_counters() -> None:
-    """Zero all hit/miss counters (cache contents are untouched)."""
+    """Zero all hit/miss counters and histograms (caches are untouched)."""
     STATS.reset()
+    TIERS.clear()
+    FALLBACKS.clear()
 
 
 def snapshot() -> Dict[str, object]:
@@ -139,6 +161,8 @@ def snapshot() -> Dict[str, object]:
         "counters": STATS.as_dict(),
         "caches": cache_sizes(),
         "intern_tables": intern_table_sizes(),
+        "tiers": dict(TIERS),
+        "fallbacks": dict(FALLBACKS),
     }
 
 
@@ -172,4 +196,14 @@ def format_stats(snap: Optional[Dict[str, object]] = None) -> str:
     caches = snap["caches"]
     if caches:
         lines.append("caches: " + ", ".join(f"{k}={v}" for k, v in sorted(caches.items())))
+    tiers = snap.get("tiers") or {}
+    if tiers:
+        order = ["segmented", "masked", "flattened", "vectorized", "scalar", "interp-fallback"]
+        keys = [k for k in order if k in tiers] + sorted(set(tiers) - set(order))
+        lines.append("compiled loop tiers: " + ", ".join(f"{k}={tiers[k]}" for k in keys))
+    fb = snap.get("fallbacks") or {}
+    if fb:
+        lines.append("fallback reasons:")
+        for reason, n in sorted(fb.items(), key=lambda kv: (-kv[1], kv[0])):
+            lines.append(f"  {n:>4}  {reason}")
     return "\n".join(lines)

@@ -187,6 +187,45 @@ def _scat(op, arr, idx, val):
     fn.at(arr, idx if len(idx) > 1 else idx[0], val)
 
 
+def _segred(op, vals, offs, counts):
+    """Per-segment reduction of ``vals`` laid out contiguously by segment.
+
+    ``offs``/``counts`` describe each segment's [start, start+count) range
+    in ``vals`` (exclusive prefix sum).  Empty segments contribute the
+    identity; ``np.add.reduceat`` applies updates left-to-right inside a
+    segment, so ``+`` results are bit-identical to the serial inner loop.
+    The empty-segment quirk of ``reduceat`` (repeated index returns the
+    element) is avoided by reducing only the nonempty segments, whose
+    offsets are strictly increasing by construction.
+    """
+    vals = np.asarray(vals)
+    counts = np.asarray(counts)
+    n = counts.shape[0]
+    fn = np.add if op == "+" else np.multiply
+    ident = 0 if op == "+" else 1
+    if vals.size == 0:
+        return np.full(n, ident, dtype=np.int64)
+    out = np.full(n, ident, dtype=vals.dtype)
+    ne = counts > 0
+    if ne.any():
+        out[ne] = fn.reduceat(vals, np.asarray(offs)[ne])
+    return out
+
+
+def _mmerge(prior, sel, val, n):
+    """Masked merge: ``prior`` with ``val`` written at the ``sel`` lanes.
+
+    Promotes the dtype so a float redefinition under a mask is not
+    silently truncated into an integer carrier.
+    """
+    prior_b = np.broadcast_to(np.asarray(prior), (n,))
+    val_a = np.asarray(val)
+    out = np.empty(n, dtype=np.result_type(prior_b, val_a))
+    out[...] = prior_b
+    out[sel] = val_a
+    return out
+
+
 _MISSING = object()
 
 #: NumPy equivalents usable inside vectorized expressions
@@ -204,8 +243,17 @@ _NP_FUNCS: Dict[str, Callable] = {
 }
 
 
+def _wm_record(loop_id, dt):
+    """Serial per-loop wall time -> the workmeter chunk-time registry."""
+    from repro.runtime import workmeter
+
+    workmeter.record_loop(loop_id, dt)
+
+
 def _exec_namespace() -> Dict[str, Any]:
     """Globals for generated code (also used by pool workers)."""
+    import time
+
     ns: Dict[str, Any] = {
         "_np": np,
         "_div": _c_div,
@@ -217,6 +265,10 @@ def _exec_namespace() -> Dict[str, Any]:
         "_ld": _traced_load,
         "_as_idx": _as_idx,
         "_scat": _scat,
+        "_segred": _segred,
+        "_mmerge": _mmerge,
+        "_time": time.perf_counter,
+        "_wm": _wm_record,
         "_unknown_fn": _unknown_fn,
         "_MISSING": _MISSING,
     }
@@ -366,16 +418,26 @@ def _has_float_literal(e: Expression) -> bool:
 
 
 class _Idx:
-    """Classification of one subscript expression w.r.t. the loop index.
+    """Classification of one subscript expression w.r.t. the loop indices.
 
     ``kind``: 'scalar' (loop-invariant), 'affine' (coef*i + off with a
-    compile-time integer coef != 0) or 'vector' (arbitrary vectorized
-    index expression).
+    compile-time integer coef != 0 in exactly one loop level ``level``)
+    or 'vector' (arbitrary vectorized index expression).  ``counter``
+    marks a guarded fill-counter read, which is strictly increasing
+    across lanes and therefore injective on its own.
     """
 
-    __slots__ = ("kind", "code", "coef", "off", "clean")
+    __slots__ = ("kind", "code", "coef", "off", "clean", "level", "counter")
 
-    def __init__(self, kind: str, code: str = "", coef: int = 0, off: str = "", clean: bool = True):
+    def __init__(
+        self,
+        kind: str,
+        code: str = "",
+        coef: int = 0,
+        off: str = "",
+        clean: bool = True,
+        level=None,
+    ):
         self.kind = kind
         self.code = code
         self.coef = coef
@@ -383,10 +445,14 @@ class _Idx:
         #: offset code references nothing defined inside the vector block
         #: (safe to evaluate early, e.g. in a bounds guard)
         self.clean = clean
+        #: the _Vectorizer frame whose index this subscript is affine in
+        self.level = level
+        self.counter = False
 
     def canon(self) -> str:
         if self.kind == "affine":
-            return f"aff:{self.coef}:{self.off}"
+            uid = self.level.uid if self.level is not None else "?"
+            return f"aff:{uid}:{self.coef}:{self.off}"
         return f"{self.kind}:{self.code}"
 
 
@@ -400,12 +466,14 @@ def _const_distinct(a: _Idx, b: _Idx) -> bool:
 
 
 class _Access:
-    __slots__ = ("array", "idx", "is_store")
+    __slots__ = ("array", "idx", "is_store", "group")
 
-    def __init__(self, array: str, idx: List[_Idx], is_store: bool):
+    def __init__(self, array: str, idx: List[_Idx], is_store: bool, group: int = 0):
         self.array = array
         self.idx = idx
         self.is_store = is_store
+        #: index of the top-level body statement this access came from
+        self.group = group
 
     def canon(self) -> Tuple[str, ...]:
         return tuple(i.canon() for i in self.idx)
@@ -441,6 +509,11 @@ class _Lowerer:
         self.chunks: Dict[str, str] = {}
         #: name -> replacement code, used when lowering runtime checks
         self._subst: Dict[str, str] = {}
+        #: loop_id -> vectorization tier ('vectorized'/'masked'/'segmented'/
+        #: 'flattened'/'scalar'), and the bail reason for scalar loops
+        self.loop_tiers: Dict[str, str] = {}
+        self.loop_bails: Dict[str, str] = {}
+        self._last_bail = ""
         self._collect_names()
 
     # -- bookkeeping --------------------------------------------------------
@@ -683,6 +756,10 @@ class _Lowerer:
         self.emit(f"{lo} = {self.expr(h.lb)}")
         ub = self.expr(h.ub_expr)
         self.emit(f"{hi} = ({ub}) + 1" if h.inclusive else f"{hi} = {ub}")
+        timed = at_top and bool(s.loop_id) and not self.trace
+        if timed:
+            wt = self.fresh("wt")
+            self.emit(f"{wt} = _time()")
         done = False
         if self.parallel and at_top:
             d = self.decisions.get(s.loop_id or "")
@@ -690,26 +767,80 @@ class _Lowerer:
                 done = self._parallel_for(s, h, d, lo, hi)
         if not done:
             self._serial_loop(s, h, lo, hi)
+        if timed:
+            self.emit(f"_wm({s.loop_id!r}, _time() - {wt})")
         self.emit(f"{_mangle(h.index)} = {lo} if {lo} > {hi} else {hi}")
 
-    def _serial_loop(self, s: For, h: LoopHeader, lo: str, hi: str) -> None:
-        """Vectorized body if provably safe, else a scalar range loop."""
-        if self._try_vectorize(s, h, lo, hi):
+    def _serial_loop(
+        self, s: For, h: LoopHeader, lo: str, hi: str, cert: Optional[bool] = None
+    ) -> None:
+        """Vectorized body if provably safe, else a scalar range loop.
+
+        ``cert=None`` derives the certificate from this loop's analysis
+        decision: a PARALLEL verdict licenses the cert-relaxed store and
+        aliasing rules, with the decision's runtime checks re-emitted as
+        vectorization guards (scalar loop on failure).  ``cert=True``
+        (chunk functions) asserts the checks were already validated at
+        the dispatch site.
+        """
+        guards: Tuple[str, ...] = ()
+        if cert is None:
+            cert = False
+            d = self.decisions.get(s.loop_id or "")
+            if d is not None and getattr(d, "parallel", False):
+                checks = []
+                for c in getattr(d, "checks", ()) or ():
+                    code = self._check_code(getattr(c, "text", str(c)))
+                    if code is None:
+                        checks = None
+                        break
+                    checks.append(code)
+                if checks is not None:
+                    cert = True
+                    guards = tuple(checks)
+        vec = self._try_vectorize(s, h, lo, hi, cert=cert, guards=guards)
+        self._note_tier(s, vec)
+        if vec is not None:
             return
         self.emit(f"for {_mangle(h.index)} in range({lo}, {hi}):")
         self._block(s.body)
 
-    def _try_vectorize(self, s: For, h: LoopHeader, lo: str, hi: str) -> bool:
+    def _note_tier(self, s: For, vec) -> None:
+        key = s.loop_id or f"anon{len(self.loop_tiers)}"
+        if vec is None:
+            self.loop_tiers[key] = "scalar"
+            self.loop_bails[key] = self._last_bail or "unsupported pattern"
+            return
+        ts = vec.tiers
+        for tier in ("segmented", "masked", "flattened"):
+            if tier in ts:
+                self.loop_tiers[key] = tier
+                return
+        self.loop_tiers[key] = "vectorized"
+
+    def _try_vectorize(
+        self,
+        s: For,
+        h: LoopHeader,
+        lo: str,
+        hi: str,
+        cert: bool = False,
+        guards: Tuple[str, ...] = (),
+    ) -> Optional["_Vectorizer"]:
         if not self.vectorize:
-            return False
+            self._last_bail = "vectorization disabled"
+            return None
         mark, depth0 = len(self.lines), self.depth
         try:
-            _Vectorizer(self, h, lo, hi).lower(s.body)
-            return True
-        except _VecBail:
+            v = _Vectorizer(self, h, lo, hi, cert=cert)
+            v.guards.extend(guards)
+            v.lower(s.body)
+            return v
+        except _VecBail as exc:
+            self._last_bail = str(exc) or "unsupported pattern"
             del self.lines[mark:]
             self.depth = depth0
-            return False
+            return None
 
     # -- expressions --------------------------------------------------------
 
@@ -821,7 +952,11 @@ class _Lowerer:
         self.emit("    _loc = locals()")
         self.emit(f"    for _n in {bnames}:")
         self.emit(f"        if 'v_' + _n in _loc: {bd}[_n] = _loc['v_' + _n]")
-        self.emit(f"    {pr} = _pool.run_loop({key!r}, {lo}, {hi}, {bd}, {arr_code})")
+        wv = self._emit_weights(s, h, lo, hi)
+        self.emit(
+            f"    {pr} = _pool.run_loop({key!r}, {lo}, {hi}, {bd}, {arr_code}, "
+            f"weights={wv})"
+        )
         self.emit(f"if {pr} is None:")
         self.depth += 1
         self._serial_loop(s, h, lo, hi)
@@ -840,6 +975,63 @@ class _Lowerer:
             self.emit("pass")
         self.depth -= 1
         return True
+
+    def _emit_weights(self, s: For, h: LoopHeader, lo: str, hi: str) -> str:
+        """Inspector pass: per-iteration inner trip counts for the pool.
+
+        Reads the certified index array's prefix differences straight out
+        of the loop's own inner bounds (e.g. ``A_i[m+1] - A_i[m]``) with
+        the vectorizer's expression machinery.  The snippet runs guarded
+        by try/except at dispatch time — weights are advisory (they only
+        steer chunk boundaries), so any fault degrades to uniform chunks.
+        Returns the weights variable name, or ``"None"`` for loops with
+        no skew signal (uniform inner bounds, no inner loop).
+        """
+        code = self._weight_code(s, h, lo, hi)
+        if code is None:
+            return "None"
+        w, lines = code
+        self.emit(f"    {w} = None")
+        self.emit("    try:")
+        for ln in lines:
+            self.emit(f"        {ln}")
+        self.emit("    except Exception:")
+        self.emit(f"        {w} = None")
+        return w
+
+    def _weight_code(self, s: For, h: LoopHeader, lo: str, hi: str):
+        if not self.vectorize:
+            return None
+        try:
+            v = _Vectorizer(self, h, lo, hi)
+            v.assigned = _assigned_scalars(s.body)
+            v.stored = _stored_arrays(s.body)
+            v.body_node = s.body
+            for st in _flatten(s.body):
+                if isinstance(st, Assign) and isinstance(st.lhs, Id):
+                    v._scalar_assign(st)  # leading temps feed the bounds
+                    continue
+                if not isinstance(st, For):
+                    raise _VecBail("no inner loop to inspect")
+                h2 = self._canonical(st)
+                if h2 is None:
+                    raise _VecBail("irregular inner loop")
+                kl, lb = v.vexpr(h2.lb)
+                ku, ub = v.vexpr(h2.ub_expr)
+                if kl == "scalar" and ku == "scalar":
+                    raise _VecBail("uniform inner bounds: no skew")
+                if h2.inclusive:
+                    ub = f"(({ub}) + 1)"
+                w = self.fresh("w")
+                lines = list(v.body_lines)
+                lines.append(
+                    f"{w} = _np.maximum(_np.broadcast_to(_np.asarray({ub})"
+                    f" - _np.asarray({lb}), (({hi}) - ({lo}),)), 0)"
+                )
+                return w, lines
+            raise _VecBail("no inner loop to inspect")
+        except _VecBail:
+            return None
 
     def _check_code(self, text: str) -> Optional[str]:
         """Lower a runtime ``if``-clause to code evaluated at loop entry.
@@ -874,11 +1066,18 @@ class _Lowerer:
     def _chunk_source(
         self, s: For, h: LoopHeader, key: str, arrays, bindings, privates, reds
     ) -> str:
-        """Generate the worker-side chunk function for one parallel loop."""
-        sub = _Lowerer(Program([s.body]), vectorize=self.vectorize)
+        """Generate the worker-side chunk function for one parallel loop.
+
+        The chunk body goes through the same vectorizer as the serial
+        lowering (``cert=True``: the decision's runtime checks were
+        already validated at the dispatch site), so the pool workers run
+        NumPy tiers rather than scalar Python — without this the
+        parallel backend could never beat the vectorized serial one.
+        """
+        sub = _Lowerer(Program([s]), vectorize=self.vectorize)
         sub._tmp = 1000  # keep temp names disjoint from the parent function
-        sub.depth = 2
-        sub.stmt(s.body)
+        sub.depth = 1
+        sub._serial_loop(s, h, "_lo", "_hi", cert=True)
         lines = [f"def _chunk_{key}(_arrs, _lo, _hi, _b):"]
         for a in arrays:
             lines.append(f"    {_mangle(a)} = _arrs[{a!r}]")
@@ -886,9 +1085,7 @@ class _Lowerer:
             lines.append(f"    if {b!r} in _b: {_mangle(b)} = _b[{b!r}]")
         for op, var in reds:
             lines.append(f"    {_mangle(var)} = {'0' if op == '+' else '1'}")
-        lines.append(f"    for {_mangle(h.index)} in range(_lo, _hi):")
-        body = sub.lines or ["        pass"]
-        lines.extend(body)
+        lines.extend(sub.lines or ["    pass"])
         ret = [(var, _mangle(var)) for _, var in reds]
         ret += [(p, _mangle(p)) for p in sorted(privates)]
         lines.append("    _loc = locals()")
@@ -903,74 +1100,206 @@ class _Lowerer:
 
 
 class _Vectorizer:
-    """Lowers an ``Assign``-only canonical loop body to NumPy operations.
+    """Lowers a canonical loop body to NumPy operations over *lanes*.
 
-    Safety model (raise :class:`_VecBail` on any doubt, the scalar range
-    loop is always correct):
+    A frame tree mirrors the loop structure.  The root ("base") frame's
+    lanes are the outer loop's iterations; child frames refine the lane
+    space:
+
+    * **flat** — a uniform-trip inner loop: lanes = parent lanes x T
+      (``np.tile``/``np.repeat`` expansion, ``reshape(...).sum(axis=1)``
+      reductions into the parent);
+    * **seg** — a variable-trip (CSR-shaped) inner loop whose bounds are
+      per-parent-lane vectors: lanes are the concatenation of every
+      segment (exclusive prefix-sum offsets, ``np.repeat`` expansion,
+      order-preserving ``_segred``/``np.add.reduceat`` reductions);
+    * **mask** — an ``if`` branch: lanes are the parent lanes where the
+      (short-circuit-faithful) condition holds, selected by
+      ``np.nonzero``; guarded counter fills ``k = k + c`` become
+      ``k + c*arange(nsel)`` lanes.
+
+    Lane order always equals serial iteration order, so ordered scatters
+    (``_scat``) and ``reduceat`` reductions stay bit-identical to the
+    scalar loop.  Safety model (raise :class:`_VecBail` on any doubt,
+    the scalar range loop is always correct):
 
     * every subscript is classified *scalar* (loop-invariant), *affine*
-      (``coef*i + off``, compile-time integer ``coef != 0``) or *vector*;
+      (``coef*i + off`` in exactly one loop level) or *vector*;
+    * a store is *plain* (fancy-indexed assignment) only if its affine
+      axes cover every non-mask frame level — each lane then owns one
+      element.  With a parallelization certificate (``cert``) the base
+      level is exempt: the analysis proved cross-iteration independence,
+      and its runtime checks are re-emitted as guards with the scalar
+      loop as the else-branch;
     * an array with a store is only touched through accesses whose
-      subscript tuples are pairwise structurally identical (each
-      iteration owns one element) or provably disjoint constant cells;
-    * a vector-subscripted store must be a self-accumulation
-      ``a[S] = a[S] op E`` / ``a[S] op= E`` and the *only* access to that
-      array — it becomes an ordered ``_scat`` (``np.add.at`` family),
-      which is bit-identical to the serial loop;
-    * scalar assignments become per-iteration temporaries (final value =
-      last element) or ``+``/``-`` reductions merged with ``np.sum``
-      (pairwise summation: float reductions carry the documented
-      tolerance, integers are exact);
-    * slice reads/writes are guarded at runtime against negative starts
-      and overlong ends (where NumPy slicing would silently wrap/clip but
-      elementwise execution would not); when a guard fails, the emitted
-      ``else`` branch runs the scalar loop instead.
+      subscript tuples are pairwise structurally identical, provably
+      disjoint constant cells, or pinned to the same base lane by a
+      shared affine axis across different top-level statements;
+    * other vector-subscripted stores must be self-accumulations
+      ``a[S] = a[S] op E`` and the only access to that array (ordered
+      ``_scat``);
+    * scalar assignments become per-lane temporaries (final value =
+      last lane, exported with a lane-count guard for inner frames) or
+      ``+``/``-`` reductions;
+    * slice reads/writes (base frame only) are guarded at runtime
+      against negative starts and overlong ends; when a guard fails the
+      emitted ``else`` branch runs the scalar loop instead.
     """
 
-    def __init__(self, low: _Lowerer, h: LoopHeader, lo: str, hi: str):
+    def __init__(
+        self,
+        low: _Lowerer,
+        h: LoopHeader,
+        lo: str,
+        hi: str,
+        parent: Optional["_Vectorizer"] = None,
+        kind: str = "base",
+        cert: bool = False,
+    ):
         self.low = low
         self.h = h
         self.lo = lo
         self.hi = hi
-        self.n = low.fresh("n")
+        self.parent = parent
+        self.kind = kind
+        self.uid = low.fresh("L")  # unique level identity for canon strings
         self.vi: Optional[str] = None
-        self.body_lines: List[str] = []
-        self.guards: List[str] = []
-        #: scalar name -> (kind, temp var) for this-iteration definitions
+        #: scalar name -> (kind, temp var) for this-frame definitions
         self.temps: Dict[str, Tuple[str, str]] = {}
         self.temp_order: List[str] = []
-        #: reduction var -> (op, [(kind, frozen code)])
-        self.reds: Dict[str, Tuple[str, List[Tuple[str, str]]]] = {}
-        self.red_order: List[str] = []
-        self.assigned: Set[str] = set()
-        self.stored: Set[str] = set()
-        self.accesses: List[_Access] = []
-        self.scattered: Set[str] = set()
+        self._exp: Dict[str, str] = {}  # parent-lane code -> expanded code
+        if parent is None:
+            self.root = self
+            self.cert = cert
+            self.depth = 0
+            self.n = low.fresh("n")
+            self.nl = self.n  # lane-count code
+            self.body_lines: List[str] = []
+            self.guards: List[str] = []
+            #: reduction var -> (op, [('vector'|'full', code)])
+            self.reds: Dict[str, Tuple[str, List[Tuple[str, str]]]] = {}
+            self.red_order: List[str] = []
+            self.assigned: Set[str] = set()
+            self.stored: Set[str] = set()
+            self.accesses: List[_Access] = []
+            self.scattered: Set[str] = set()
+            #: guarded fill counters: name -> {c, frame, bumped}
+            self.counters: Dict[str, Dict[str, Any]] = {}
+            self.counter_codes: Dict[str, str] = {}
+            self.tiers: Set[str] = set()
+            self.group = 0
+            self.body_node: Optional[Statement] = None
+        else:
+            self.root = parent.root
+            self.depth = parent.depth + 1
+            if self.depth > 8:
+                raise _VecBail("loop nest too deep to flatten")
 
     def emit(self, line: str) -> None:
-        self.body_lines.append(line)
+        self.root.body_lines.append(line)
+
+    # -- lane-space plumbing ------------------------------------------------
 
     def index_vec(self) -> str:
-        if self.vi is None:
+        """This frame's own index values, one per lane."""
+        if self.vi is not None:
+            return self.vi
+        if self.kind == "base":
             self.vi = self.low.fresh("vi")
             self.emit(f"{self.vi} = _np.arange({self.lo}, {self.hi})")
+        elif self.kind == "flat":
+            self.vi = self.low.fresh("vi")
+            self.emit(
+                f"{self.vi} = _np.tile(({self.lo}) + _np.arange({self.T}), {self.parent.nl})"
+            )
+        elif self.kind == "seg":
+            self.vi = self.low.fresh("vi")
+            self.emit(
+                f"{self.vi} = _np.repeat({self.st} - {self.of}, {self.ct})"
+                f" + _np.arange({self.nl})"
+            )
+        else:  # mask: the parent's index at the selected lanes
+            self.vi = self.expand(self.parent.index_vec())
         return self.vi
+
+    def expand(self, code: str) -> str:
+        """Re-express a parent-lane vector in this frame's lane space."""
+        if self.parent is None:
+            return code
+        t = self._exp.get(code)
+        if t is not None:
+            return t
+        t = self.low.fresh("vx")
+        if self.kind == "flat":
+            self.emit(f"{t} = _np.repeat({code}, {self.T})")
+        elif self.kind == "seg":
+            self.emit(f"{t} = _np.repeat({code}, {self.ct})")
+        else:  # mask
+            self.emit(f"{t} = _np.asarray({code})[{self.sel}]")
+        self._exp[code] = t
+        return t
+
+    def expand_from(self, frame: "_Vectorizer", code: str) -> str:
+        if frame is self:
+            return code
+        return self.expand(self.parent.expand_from(frame, code))
+
+    def find_level(self, name: str) -> Optional["_Vectorizer"]:
+        f = self
+        while f is not None:
+            if f.kind != "mask" and f.h.index == name:
+                return f
+            f = f.parent
+        return None
+
+    def has_level(self, name: str) -> bool:
+        return self.find_level(name) is not None
+
+    def level_vec_for(self, frame: "_Vectorizer") -> str:
+        """``frame``'s index vector expanded into this frame's lanes."""
+        if frame is self:
+            return self.index_vec()
+        if self.parent is None:
+            raise _VecBail("level not on this frame chain")
+        return self.expand(self.parent.level_vec_for(frame))
+
+    def frame_levels(self) -> Set["_Vectorizer"]:
+        out: Set[_Vectorizer] = set()
+        f = self
+        while f is not None:
+            if f.kind != "mask":
+                out.add(f)
+            f = f.parent
+        return out
+
+    def lookup_temp(self, name: str):
+        f = self
+        while f is not None:
+            if name in f.temps:
+                return f, f.temps[name]
+            f = f.parent
+        return None, None
+
+    def in_seg_context(self) -> bool:
+        f = self
+        while f is not None:
+            if f.kind == "seg":
+                return True
+            f = f.parent
+        return False
 
     # -- driver -------------------------------------------------------------
 
     def lower(self, body: Statement) -> None:
         stmts = _flatten(body)
-        if not stmts or not all(isinstance(s, Assign) for s in stmts):
-            raise _VecBail
-        self.assigned = {s.lhs.name for s in stmts if isinstance(s.lhs, Id)}
+        if not stmts:
+            raise _VecBail("empty body")
+        self.assigned = _assigned_scalars(body)
         self.stored = _stored_arrays(body)
-        for s in stmts:
-            if isinstance(s.lhs, Id):
-                self._scalar_assign(s)
-            elif isinstance(s.lhs, ArrayAccess):
-                self._store(s)
-            else:
-                raise _VecBail
+        self.body_node = body
+        for g, s in enumerate(stmts):
+            self.group = g
+            self.vstmt(s)
         self._check_aliasing()
         self._finalize()
         low = self.low
@@ -989,6 +1318,24 @@ class _Vectorizer:
             low._block(body)
             low.depth -= 1
 
+    def vstmt(self, s: Statement) -> None:
+        if isinstance(s, Assign):
+            if isinstance(s.lhs, Id):
+                self._scalar_assign(s)
+            elif isinstance(s.lhs, ArrayAccess):
+                self._store(s)
+            else:
+                raise _VecBail("bad assignment target")
+        elif isinstance(s, For):
+            self._inner_for(s)
+        elif isinstance(s, If):
+            self._masked(s)
+        elif isinstance(s, Compound):
+            for x in _flatten(s):
+                self.vstmt(x)
+        else:
+            raise _VecBail(f"statement {type(s).__name__}")
+
     def _finalize(self) -> None:
         for name in self.temp_order:
             kind, t = self.temps[name]
@@ -998,19 +1345,29 @@ class _Vectorizer:
             op, parts = self.reds[name]
             m = _mangle(name)
             for kind, code in parts:
-                contrib = f"_np.sum({code})" if kind == "vector" else f"{self.n} * ({code})"
+                contrib = f"_np.sum({code})" if kind == "vector" else code
                 self.emit(f"{m} = {m} {op} {contrib}")
+        for name, rec in self.counters.items():
+            if rec["bumped"]:
+                m = _mangle(name)
+                self.emit(f"{m} = {m} + {rec['c']} * {rec['frame'].nl}")
 
     def _check_aliasing(self) -> None:
+        if self.cert:
+            # the analysis certified cross-iteration independence; the
+            # per-lane statement order is preserved by construction and
+            # any runtime checks were re-emitted as guards
+            return
         by_array: Dict[str, List[_Access]] = {}
         for a in self.accesses:
             by_array.setdefault(a.array, []).append(a)
+        base = self
         for name, accs in by_array.items():
             if not any(a.is_store for a in accs):
                 continue
             if name in self.scattered:
                 if len(accs) > 1:
-                    raise _VecBail
+                    raise _VecBail("scattered array accessed more than once")
                 continue
             for i in range(len(accs)):
                 for j in range(i + 1, len(accs)):
@@ -1024,7 +1381,22 @@ class _Vectorizer:
                         for a, b in zip(A.idx, B.idx)
                     ):
                         continue
-                    raise _VecBail
+                    if (
+                        A.group != B.group
+                        and len(A.idx) == len(B.idx)
+                        and any(
+                            a.kind == "affine"
+                            and a.level is base
+                            and a.canon() == b.canon()
+                            for a, b in zip(A.idx, B.idx)
+                        )
+                    ):
+                        # different top-level statements, but a shared
+                        # affine axis pins both accesses to the same base
+                        # lane: statement-major emission preserves the
+                        # serial per-lane order
+                        continue
+                    raise _VecBail(f"aliasing on {name}")
 
     # -- statements ---------------------------------------------------------
 
@@ -1036,38 +1408,296 @@ class _Vectorizer:
         t = self.low.fresh("vt")
         self.emit(f"{t} = {code}")
         self.temps[name] = (kind, t)
+        if code in self.root.counter_codes:
+            # straight copy of a fill counter's lane values (the shape
+            # normalization gives `t = k; k = k + 1; a[t] = ..`): the
+            # alias inherits the strictly-increasing injectivity tag
+            self.root.counter_codes[t] = self.root.counter_codes[code]
         if name not in self.temp_order:
             self.temp_order.append(name)
 
     def _scalar_assign(self, s: Assign) -> None:
         name = s.lhs.name
-        if name == self.h.index:
-            raise _VecBail
+        root = self.root
+        if self.has_level(name):
+            raise _VecBail("assigns a loop index")
+        if name in root.counters:
+            self._counter_bump(s, root.counters[name])
+            return
         if name in self.temps:
-            # redefinition from this-iteration state: stays elementwise
+            # redefinition from this-lane state: stays elementwise
             kind, code = self._combine(self.temps[name], s)
             self._define(name, kind, code)
             return
+        f, tv = self.lookup_temp(name)
+        if f is not None:
+            self._outer_temp_assign(s, f, tv)
+            return
         if s.op == "=" and not self._refs(name, s.rhs):
-            if name in self.reds:
-                raise _VecBail  # overwriting an accumulator is loop-carried
+            if name in root.reds:
+                raise _VecBail("overwrites an accumulator")
             kind, code = self.vexpr(s.rhs)
             self._define(name, kind, code)
             return
         # candidate reduction: name is read before any definition
         op, operand = self._red_pattern(s)
         if self._refs(name, operand):
-            raise _VecBail
+            raise _VecBail("accumulator read in its own update")
         kind, code = self.vexpr(operand)
         t = self.low.fresh("vr")
         self.emit(f"{t} = {code}")
-        if name in self.reds:
-            if self.reds[name][0] != op:
-                raise _VecBail
-            self.reds[name][1].append((kind, t))
+        entry = ("vector", t) if kind == "vector" else ("full", f"({self.nl}) * ({t})")
+        if name in root.reds:
+            if root.reds[name][0] != op:
+                raise _VecBail("mixed reduction operators")
+            root.reds[name][1].append(entry)
         else:
-            self.reds[name] = (op, [(kind, t)])
-            self.red_order.append(name)
+            root.reds[name] = (op, [entry])
+            root.red_order.append(name)
+
+    def _outer_temp_assign(self, s: Assign, f: "_Vectorizer", tv) -> None:
+        """Assignment to a temporary defined in an ancestor frame."""
+        name = s.lhs.name
+        pk, pc = tv
+        if self.kind == "mask" and f is self.parent:
+            # conditional redefinition: merge back at the selected lanes
+            cur = (pk, pc if pk == "scalar" else self.expand(pc))
+            kind, code = self._combine(cur, s)
+            val = self.low.fresh("vt")
+            self.emit(f"{val} = {code}")
+            merged = self.low.fresh("vt")
+            self.emit(f"{merged} = _mmerge({pc}, {self.sel}, {val}, {self.parent.nl})")
+            f.temps[name] = ("vector", merged)
+            return
+        # additive reduction into an ancestor's per-lane value: evaluate
+        # the operand here, then fold the contribution up frame by frame
+        # (seg -> reduceat, flat -> reshape-sum, mask -> zero-fill at the
+        # unselected lanes) until it reaches the owning frame's lane space
+        op, operand = self._red_pattern(s)
+        if op not in ("+", "-"):
+            raise _VecBail(f"{op!r}-reduction through an inner frame")
+        if self._refs(name, operand):
+            raise _VecBail("accumulator read in its own update")
+        k, c = self.vexpr(operand)
+        frame = self
+        while frame is not f:
+            k, c = frame._lift_contrib(k, c)
+            frame = frame.parent
+        t = self.low.fresh("vt")
+        self.emit(f"{t} = ({pc}) {op} ({c})")
+        kind = "vector" if "vector" in (pk, k) else "scalar"
+        f.temps[name] = (kind, t)
+
+    def _lift_contrib(self, k: str, c: str) -> Tuple[str, str]:
+        """Rewrite an additive contribution from this frame's lane space
+        into the parent frame's (sum over this frame's extra dimension)."""
+        if self.kind == "flat":
+            if k == "scalar":
+                return k, f"(({self.T}) * ({c}))"
+            return "vector", f"(_np.asarray({c}).reshape({self.parent.nl}, {self.T}).sum(axis=1))"
+        if self.kind == "seg":
+            if k == "scalar":
+                return "vector", f"({self.ct} * ({c}))"
+            return "vector", f"_segred('+', {c}, {self.of}, {self.ct})"
+        # mask: unselected lanes contribute the additive identity
+        z = self.low.fresh("vt")
+        self.emit(f"{z} = _np.zeros({self.parent.nl}, dtype=_np.result_type({c}))")
+        self.emit(f"{z}[{self.sel}] = {c}")
+        return "vector", z
+
+    # -- inner loops (flat / segmented frames) ------------------------------
+
+    def _inner_for(self, s: For) -> None:
+        h2 = self.low._canonical(s)
+        if h2 is None:
+            raise _VecBail("irregular inner loop")
+        if self.has_level(h2.index):
+            raise _VecBail("inner loop reuses an outer index")
+        if self.lookup_temp(h2.index)[0] is not None:
+            raise _VecBail("inner index shadows a temporary")
+        kl, lb = self.vexpr(h2.lb)
+        ku, ub = self.vexpr(h2.ub_expr)
+        if h2.inclusive:
+            ub = f"(({ub}) + 1)"
+        if kl == "scalar" and ku == "scalar":
+            clo, chi = _const_int(h2.lb), _const_int(h2.ub_expr)
+            trips = None
+            if clo is not None and chi is not None:
+                trips = (chi + 1 if h2.inclusive else chi) - clo
+            if trips is None:
+                # symbolic uniform bounds: flattening replaces contiguous
+                # slice work with gathers, a loss for dense nests — only
+                # worth it inside an already-irregular (segmented) nest
+                if not self.in_seg_context():
+                    raise _VecBail("uniform inner bounds outside a segmented nest")
+            elif not trips <= 64:
+                raise _VecBail("inner trip count too large to flatten")
+            child = _Vectorizer(self.low, h2, lb, ub, parent=self, kind="flat")
+            child.setup_flat()
+        else:
+            child = _Vectorizer(self.low, h2, lb, ub, parent=self, kind="seg")
+            child.setup_seg()
+        for st in _flatten(s.body):
+            child.vstmt(st)
+        child.close()
+
+    def setup_flat(self) -> None:
+        fresh = self.low.fresh
+        self.T = fresh("T")
+        self.emit(f"{self.T} = ({self.hi}) - ({self.lo})")
+        self.emit(f"if {self.T} < 0: {self.T} = 0")
+        self.nl = fresh("nl")
+        self.emit(f"{self.nl} = {self.parent.nl} * {self.T}")
+        self.root.tiers.add("flattened")
+
+    def setup_seg(self) -> None:
+        fresh = self.low.fresh
+        pn = self.parent.nl
+        self.st = fresh("st")
+        self.hv = fresh("hv")
+        self.ct = fresh("ct")
+        self.of = fresh("of")
+        self.nl = fresh("nl")
+        self.emit(f"{self.st} = _np.broadcast_to(_np.asarray({self.lo}), ({pn},))")
+        self.emit(f"{self.hv} = _np.broadcast_to(_np.asarray({self.hi}), ({pn},))")
+        self.emit(f"{self.ct} = _np.maximum({self.hv} - {self.st}, 0)")
+        self.emit(f"{self.of} = _np.cumsum({self.ct}) - {self.ct}")
+        self.emit(f"{self.nl} = int({self.ct}.sum())")
+        self.root.tiers.add("segmented")
+
+    def close(self) -> None:
+        """Export the final scalar values the serial loop leaves behind."""
+        pn = self.parent.nl
+        for name in self.temp_order:
+            kind, t = self.temps[name]
+            m = _mangle(name)
+            val = f"{t}[-1]" if kind == "vector" else t
+            self.emit(f"if {self.nl} > 0: {m} = {val}")
+        m = _mangle(self.h.index)
+        if self.kind == "flat":
+            self.emit(
+                f"if {pn} > 0: {m} = ({self.lo}) if ({self.lo}) > ({self.hi})"
+                f" else ({self.hi})"
+            )
+        elif self.kind == "seg":
+            self.emit(
+                f"if {pn} > 0: {m} = {self.st}[-1] if {self.st}[-1] > {self.hv}[-1]"
+                f" else {self.hv}[-1]"
+            )
+
+    # -- guarded statements (mask frames) -----------------------------------
+
+    def _masked(self, s: If) -> None:
+        mv = self.low.fresh("mk")
+        self.emit(f"{mv} = {self._mask_vec(s.cond)}")
+        then_f = self._make_mask_child(mv)
+        self.root.tiers.add("masked")
+        self._scan_counters(then_f, s.then)
+        for st in _flatten(s.then):
+            then_f.vstmt(st)
+        then_f.close()
+        if s.els is not None:
+            els_f = self._make_mask_child(f"~_np.asarray({mv})")
+            for st in _flatten(s.els):
+                els_f.vstmt(st)
+            els_f.close()
+
+    def _make_mask_child(self, mask_code: str) -> "_Vectorizer":
+        f = _Vectorizer(self.low, self.h, self.lo, self.hi, parent=self, kind="mask")
+        f.sel = self.low.fresh("sl")
+        f.nl = self.low.fresh("nl")
+        self.emit(f"{f.sel} = _np.nonzero({mask_code})[0]")
+        self.emit(f"{f.nl} = {f.sel}.shape[0]")
+        return f
+
+    def _mask_vec(self, e: Expression) -> str:
+        """Boolean vector over this frame's lanes for an ``if`` condition.
+
+        ``&&``/``||`` evaluate their right operand only on the lanes the
+        left operand leaves undecided (a nested mask frame), so per-lane
+        faults match the interpreter's short-circuit evaluation exactly.
+        """
+        if isinstance(e, BinOp) and e.op in ("&&", "||"):
+            a = self._mask_vec(e.lhs)
+            av = self.low.fresh("mk")
+            self.emit(f"{av} = _np.asarray({a})")
+            sub = self._make_mask_child(av if e.op == "&&" else f"~{av}")
+            b = sub._mask_vec(e.rhs)
+            t = self.low.fresh("mk")
+            if e.op == "&&":
+                self.emit(f"{t} = _np.zeros({self.nl}, dtype=bool)")
+            else:
+                self.emit(f"{t} = _np.array({av}, dtype=bool)")
+            self.emit(f"{t}[{sub.sel}] = _np.asarray({b})")
+            return t
+        if isinstance(e, BinOp) and e.op in ("<", "<=", ">", ">=", "==", "!="):
+            _, a = self.vexpr(e.lhs)
+            _, b = self.vexpr(e.rhs)
+            t = self.low.fresh("mk")
+            self.emit(
+                f"{t} = _np.broadcast_to(_np.asarray(({a}) {e.op} ({b})), ({self.nl},))"
+            )
+            return t
+        if isinstance(e, UnOp) and e.op == "!":
+            return f"(~_np.asarray({self._mask_vec(e.operand)}))"
+        _, c = self.vexpr(e)
+        t = self.low.fresh("mk")
+        self.emit(f"{t} = _np.broadcast_to(_np.asarray({c}) != 0, ({self.nl},))")
+        return t
+
+    def _scan_counters(self, frame: "_Vectorizer", then_body: Statement) -> None:
+        """Register guarded fill counters ``if (..) {{ a[k] = ..; k = k + c }}``.
+
+        Eligible: ``k`` incremented by a positive constant exactly once in
+        the guarded branch and written nowhere else in the loop body.  Its
+        per-lane pre-increment values ``k + c*arange(nsel)`` are strictly
+        increasing, so a store subscripted by ``k`` is injective.
+        """
+        root = self.root
+        for st in _flatten(then_body):
+            if not (isinstance(st, Assign) and isinstance(st.lhs, Id)):
+                continue
+            nm = st.lhs.name
+            if (
+                nm in root.counters
+                or self.lookup_temp(nm)[0] is not None
+                or self.has_level(nm)
+            ):
+                continue
+            try:
+                op, operand = self._red_pattern(st)
+            except _VecBail:
+                continue
+            c = _const_int(operand)
+            if op != "+" or c is None or c < 1:
+                continue
+            writes = sum(
+                1
+                for n in root.body_node.walk()
+                if (isinstance(n, Assign) and isinstance(n.lhs, Id) and n.lhs.name == nm)
+                or (isinstance(n, IncDec) and isinstance(n.target, Id) and n.target.name == nm)
+                or (isinstance(n, Decl) and n.name == nm)
+            )
+            if writes != 1:
+                continue
+            root.counters[nm] = {"c": c, "frame": frame, "bumped": False}
+
+    def _counter_bump(self, s: Assign, rec: Dict[str, Any]) -> None:
+        if rec["frame"] is not self or rec["bumped"]:
+            raise _VecBail("unsupported counter update")
+        op, operand = self._red_pattern(s)
+        if op != "+" or _const_int(operand) != rec["c"]:
+            raise _VecBail("unsupported counter update")
+        rec["bumped"] = True
+
+    def _counter_read(self, name: str, rec: Dict[str, Any]) -> Tuple[str, str]:
+        if rec["frame"] is not self:
+            raise _VecBail("counter read outside its guarded branch")
+        t = self.low.fresh("ck")
+        shift = f" + {rec['c']}" if rec["bumped"] else ""
+        self.emit(f"{t} = {_mangle(name)} + {rec['c']} * _np.arange({self.nl}){shift}")
+        self.root.counter_codes[t] = name
+        return "vector", t
 
     def _combine(self, cur: Tuple[str, str], s: Assign) -> Tuple[str, str]:
         """Elementwise re-assignment of an already-defined temporary."""
@@ -1105,52 +1735,71 @@ class _Vectorizer:
     def _classify(self, e: Expression) -> _Idx:
         r = self._affine(e)
         if r is not None:
-            coef, off, clean = r
+            lvl, coef, off, clean = r
             if coef == 0:
                 return _Idx("scalar", code=off, clean=clean)
-            return _Idx("affine", coef=coef, off=off, clean=clean)
+            return _Idx("affine", coef=coef, off=off, clean=clean, level=lvl)
         kind, code = self.vexpr(e)
-        return _Idx(kind if kind == "scalar" else "vector", code=code, clean=False)
+        i = _Idx(kind if kind == "scalar" else "vector", code=code, clean=False)
+        if code in self.root.counter_codes:
+            i.counter = True
+        return i
 
-    def _affine(self, e: Expression) -> Optional[Tuple[int, str, bool]]:
+    def _affine(self, e: Expression):
+        """``(level_frame, coef, off_code, clean)`` or None.
+
+        Affine means ``coef * level_index + off`` for exactly one loop
+        level on this frame's chain; multi-level expressions like
+        ``r*k + t`` fall through to the gather path.
+        """
         if isinstance(e, Num):
-            return 0, repr(e.value), True
+            return None, 0, repr(e.value), True
         if isinstance(e, Id):
-            if e.name == self.h.index:
-                return 1, "0", True
-            if e.name in self.temps:
-                kind, t = self.temps[e.name]
-                return (0, t, False) if kind == "scalar" else None
-            if e.name in self.assigned:
+            name = e.name
+            if name in self.root.counters:
                 return None
-            return 0, _mangle(e.name), True
+            lf = self.find_level(name)
+            if lf is not None:
+                return lf, 1, "0", True
+            f, tv = self.lookup_temp(name)
+            if f is not None:
+                kind, t = tv
+                return (None, 0, t, False) if kind == "scalar" else None
+            if name in self.root.assigned:
+                return None
+            return None, 0, _mangle(name), True
         if isinstance(e, UnOp) and e.op in ("-", "+"):
             r = self._affine(e.operand)
             if r is None:
                 return None
-            c, o, cl = r
-            return (-c, f"(-({o}))", cl) if e.op == "-" else (c, o, cl)
+            lv, c, o, cl = r
+            if e.op == "-":
+                return (lv if -c != 0 else None), -c, f"(-({o}))", cl
+            return r
         if isinstance(e, BinOp) and e.op in ("+", "-"):
             ra, rb = self._affine(e.lhs), self._affine(e.rhs)
             if ra is None or rb is None:
                 return None
-            ca, oa, cla = ra
-            cb, ob, clb = rb
-            if e.op == "+":
-                return ca + cb, f"({oa} + {ob})", cla and clb
-            return ca - cb, f"({oa} - {ob})", cla and clb
+            la, ca, oa, cla = ra
+            lb, cb, ob, clb = rb
+            if la is not None and lb is not None and la is not lb:
+                return None  # spans two loop levels
+            lv = la if la is not None else lb
+            c = ca + cb if e.op == "+" else ca - cb
+            return (lv if c != 0 else None), c, f"({oa} {e.op} {ob})", cla and clb
         if isinstance(e, BinOp) and e.op == "*":
             k, r = _const_int(e.lhs), self._affine(e.rhs)
             if k is None:
                 k, r = _const_int(e.rhs), self._affine(e.lhs)
             if k is None or r is None:
                 return None
-            c, o, cl = r
-            return c * k, f"({k} * ({o}))", cl
+            lv, c, o, cl = r
+            ck = c * k
+            return (lv if ck != 0 else None), ck, f"({k} * ({o}))", cl
         return None
 
     def _affine_vec(self, i: _Idx) -> str:
-        return f"({i.off} + {i.coef} * {self.index_vec()})"
+        return f"({i.off} + {i.coef} * {self.level_vec_for(i.level)})"
 
     def _slice_parts(self, name: str, idx: List[_Idx]) -> Optional[List[str]]:
         """Subscript tuple using a slice, or None if a slice is unsafe.
@@ -1158,12 +1807,14 @@ class _Vectorizer:
         Requires exactly one non-scalar axis, affine with positive step
         and a guard-evaluable offset; emits the wrap/clip guards.
         """
+        if self.parent is not None:
+            return None  # slices express only the base frame's lane order
         non_scalar = [k for k, i in enumerate(idx) if i.kind != "scalar"]
         if len(non_scalar) != 1:
             return None
         ax = non_scalar[0]
         i = idx[ax]
-        if i.kind != "affine" or i.coef <= 0 or not i.clean:
+        if i.kind != "affine" or i.level is not self or i.coef <= 0 or not i.clean:
             return None
         m = _mangle(name)
         if not all(x.clean for x in idx):
@@ -1196,26 +1847,36 @@ class _Vectorizer:
 
     def _load(self, e: ArrayAccess) -> Tuple[str, str]:
         idx = [self._classify(i) for i in e.indices]
-        self.accesses.append(_Access(e.name, idx, False))
+        self.root.accesses.append(_Access(e.name, idx, False, self.root.group))
         m = _mangle(e.name)
         if all(i.kind == "scalar" for i in idx):
             return "scalar", f"{m}[{', '.join(f'int({i.code})' for i in idx)}]"
         parts = self._slice_parts(e.name, idx)
-        copy = ".copy()" if (parts is not None and e.name in self.stored) else ""
+        copy = ".copy()" if (parts is not None and e.name in self.root.stored) else ""
         if parts is None:
             parts = self._vector_parts(idx)  # gathers copy by construction
         sub = ", ".join(parts)
         return "vector", f"{m}[{sub}]{copy}"
 
+    def _injective(self, idx: List[_Idx]) -> bool:
+        """Each lane owns a distinct element: plain fancy-store is safe."""
+        if any(i.counter for i in idx):
+            return True  # counter values are strictly increasing by lane
+        need = self.frame_levels()
+        if self.root.cert:
+            need.discard(self.root)  # cross-base-lane independence certified
+        covered = {i.level for i in idx if i.kind == "affine"}
+        return need <= covered
+
     def _store(self, s: Assign) -> None:
         e = s.lhs
         idx = [self._classify(i) for i in e.indices]
         if all(i.kind == "scalar" for i in idx):
-            raise _VecBail  # one cell hit every iteration: keep serial order
-        if any(i.kind == "vector" for i in idx):
+            raise _VecBail("store to a loop-invariant cell")
+        if not self._injective(idx):
             self._scatter(s, idx)
             return
-        self.accesses.append(_Access(e.name, idx, True))
+        self.root.accesses.append(_Access(e.name, idx, True, self.root.group))
         m = _mangle(e.name)
         parts = self._slice_parts(e.name, idx) or self._vector_parts(idx)
         tgt = f"{m}[{', '.join(parts)}]"
@@ -1229,7 +1890,7 @@ class _Vectorizer:
         elif s.op == "%=":
             self.emit(f"{tgt} = _vmod({tgt}, {rc})")
         else:
-            raise _VecBail
+            raise _VecBail(f"assignment operator {s.op!r}")
 
     def _scatter(self, s: Assign, idx: List[_Idx]) -> None:
         """Vector-subscripted store: ordered accumulate or bail."""
@@ -1255,12 +1916,12 @@ class _Vectorizer:
         else:
             raise _VecBail
         if e.name in _array_names(val):
-            raise _VecBail
+            raise _VecBail("scatter value reads the scattered array")
         _, vc = self.vexpr(val)
         parts = self._vector_parts(idx)
         tup = "(" + ", ".join(parts) + ("," if len(parts) == 1 else "") + ")"
-        self.accesses.append(_Access(e.name, idx, True))
-        self.scattered.add(e.name)
+        self.root.accesses.append(_Access(e.name, idx, True, self.root.group))
+        self.root.scattered.add(e.name)
         self.emit(f"_scat({op!r}, {_mangle(e.name)}, {tup}, {vc})")
 
     # -- expressions --------------------------------------------------------
@@ -1269,13 +1930,22 @@ class _Vectorizer:
         if isinstance(e, (Num, FloatNum)):
             return "scalar", repr(e.value)
         if isinstance(e, Id):
-            if e.name == self.h.index:
-                return "vector", self.index_vec()
-            if e.name in self.temps:
-                return self.temps[e.name]
-            if e.name in self.assigned:
-                raise _VecBail  # loop-carried scalar (reduction accumulator)
-            return "scalar", _mangle(e.name)
+            name = e.name
+            rec = self.root.counters.get(name)
+            if rec is not None:
+                return self._counter_read(name, rec)
+            lf = self.find_level(name)
+            if lf is not None:
+                return "vector", self.level_vec_for(lf)
+            f, tv = self.lookup_temp(name)
+            if f is not None:
+                kind, code = tv
+                if kind == "scalar" or f is self:
+                    return kind, code
+                return "vector", self.expand_from(f, code)
+            if name in self.root.assigned:
+                raise _VecBail("loop-carried scalar")
+            return "scalar", _mangle(name)
         if isinstance(e, ArrayAccess):
             return self._load(e)
         if isinstance(e, BinOp):
@@ -1288,15 +1958,15 @@ class _Vectorizer:
             if all(k == "scalar" for k, _ in args):
                 if e.name in _MATH_FUNCS:
                     return "scalar", f"_f_{e.name}({', '.join(c for _, c in args)})"
-                raise _VecBail
+                raise _VecBail(f"call to {e.name}")
             if e.name in _NP_FUNCS and len(args) == 1:
                 return "vector", f"_fv_{e.name}({args[0][1]})"
-            raise _VecBail
-        raise _VecBail
+            raise _VecBail(f"call to {e.name}")
+        raise _VecBail(f"expression {type(e).__name__}")
 
     def _vbinop(self, e: BinOp) -> Tuple[str, str]:
         if e.op not in ("+", "-", "*", "/", "%"):
-            raise _VecBail  # comparisons/logical/bitwise keep the scalar loop
+            raise _VecBail(f"operator {e.op!r}")  # comparisons/logical/bitwise
         ka, a = self.vexpr(e.lhs)
         kb, b = self.vexpr(e.rhs)
         kind = "vector" if "vector" in (ka, kb) else "scalar"
@@ -1333,6 +2003,8 @@ class CompiledProgram:
         fallback_reason: Optional[str],
         chunks: Dict[str, str],
         trace: bool,
+        loop_tiers: Optional[Dict[str, str]] = None,
+        loop_bails: Optional[Dict[str, str]] = None,
     ):
         self.prog = prog
         self.fn = fn
@@ -1341,6 +2013,11 @@ class CompiledProgram:
         self.fallback_reason = fallback_reason
         self.chunks = chunks
         self.trace = trace
+        #: loop_id -> best vectorization tier achieved (segmented/masked/
+        #: flattened/vectorized/scalar); loop_bails carries the bail reason
+        #: for loops that stayed scalar.
+        self.loop_tiers = dict(loop_tiers or {})
+        self.loop_bails = dict(loop_bails or {})
         digest = hashlib.sha256(source.encode())
         for k in sorted(chunks):
             digest.update(chunks[k].encode())
@@ -1420,15 +2097,40 @@ def compile_program(
         exec(code, ns)
         for key, chunk_src in low.chunks.items():
             exec(compile(chunk_src, f"<repro-chunk-{key}>", "exec"), ns)
+        _record_tiers(low.loop_tiers, low.loop_bails, None)
         return CompiledProgram(
-            prog, ns["_kernel"], source, "compiled", None, dict(low.chunks), trace
+            prog, ns["_kernel"], source, "compiled", None, dict(low.chunks), trace,
+            loop_tiers=low.loop_tiers, loop_bails=low.loop_bails,
         )
     except CompileError as exc:
+        _record_tiers({}, {}, str(exc))
         return CompiledProgram(prog, None, "", "interp", str(exc), {}, trace)
     except Exception as exc:  # pragma: no cover - fail-soft belt
+        _record_tiers({}, {}, f"{type(exc).__name__}")
         return CompiledProgram(
             prog, None, "", "interp", f"{type(exc).__name__}: {exc}", {}, trace
         )
+
+
+def _record_tiers(
+    loop_tiers: Dict[str, str],
+    loop_bails: Dict[str, str],
+    interp_fallback: Optional[str],
+) -> None:
+    """Feed the perfstats tier/fallback histograms (advisory, never raises)."""
+    try:
+        from repro.ir import perfstats
+
+        if interp_fallback is not None:
+            perfstats.record_tier("interp-fallback")
+            perfstats.record_fallback(interp_fallback)
+            return
+        for tier in loop_tiers.values():
+            perfstats.record_tier(tier)
+        for reason in loop_bails.values():
+            perfstats.record_fallback(reason)
+    except Exception:  # pragma: no cover - stats must never break compilation
+        pass
 
 
 _VALID_BACKENDS = ("interp", "compiled", "compiled-parallel")

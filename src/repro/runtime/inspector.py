@@ -60,6 +60,26 @@ def inspect_monotonicity(arr: np.ndarray, lo: int = 0, hi: Optional[int] = None)
     )
 
 
+def inspect_segment_weights(
+    rp: np.ndarray, lo: int = 0, hi: Optional[int] = None
+) -> np.ndarray:
+    """Per-iteration inner trip counts from a CSR-style row pointer.
+
+    ``rp[i] .. rp[i+1]`` bounds the inner loop of outer iteration ``i``;
+    the returned vector ``w[k] = max(rp[lo+k+1] - rp[lo+k], 0)`` is the
+    inspector signal the work-aware scheduler balances on: its prefix sum
+    fed to :func:`repro.runtime.scheduler.balanced_chunk_bounds` yields
+    chunk boundaries with near-equal *work* (nonzeros) instead of
+    near-equal iteration counts.  Descending row-pointer glitches clamp
+    to zero-trip, matching the executed loops.
+    """
+    hi = len(rp) - 1 if hi is None else hi
+    region = np.asarray(rp[lo : hi + 1])
+    if len(region) <= 1:
+        return np.zeros(0, dtype=np.int64)
+    return np.maximum(np.diff(region), 0).astype(np.int64, copy=False)
+
+
 # ---------------------------------------------------------------------------
 # cost models
 # ---------------------------------------------------------------------------

@@ -10,10 +10,14 @@ parallel tier talks to the pool through three operations:
   the environment's NumPy arrays into ``multiprocessing.shared_memory``
   segments (workers attach views; the kernel's serial parts run on the
   same views, so no coherence protocol is needed beyond the dispatch
-  barrier), then copy results back and unlink;
+  barrier), then copy results back.  Segments are cached across
+  adoptions keyed by (name, shape, dtype) so repeated measurement runs
+  re-fill the existing shared views instead of re-creating segments;
 * :meth:`WorkerPool.run_loop` — split ``[lo, hi)`` into contiguous
-  chunks, run the loop's chunk function on every worker, and return the
-  per-chunk reduction/private dicts in chunk order.
+  chunks (work-balanced when the dispatch site supplies inspector
+  weights), run the loop's chunk function on every worker, record each
+  chunk's wall time in the workmeter registry, and return the per-chunk
+  reduction/private dicts in chunk order.
 
 ``run_loop`` *declines* (returns ``None``, the kernel falls back to its
 serial lowering) whenever dispatch has not started yet: an array the
@@ -22,9 +26,11 @@ the pool is unhealthy.  Once work has been dispatched a failure can no
 longer be hidden — arrays may be partially updated — so post-dispatch
 worker errors surface as :class:`~repro.runtime.interp.InterpError`.
 
-Teardown discipline: ``release_env`` closes *and unlinks* every segment
-it created, and :func:`shutdown_pool` (also registered ``atexit``) stops
-the workers.  The leak test in ``tests/runtime/test_parbackend.py``
+Teardown discipline: segment unlinking is *deferred* — ``release_env``
+copies results back but keeps the segments for reuse; they are unlinked
+when an adoption's shape/dtype no longer matches, and all of them on
+:meth:`WorkerPool.shutdown` / :func:`shutdown_pool` (also registered
+``atexit``).  The leak test in ``tests/runtime/test_parbackend.py``
 holds this to account.
 """
 
@@ -32,6 +38,7 @@ from __future__ import annotations
 
 import atexit
 import os
+import time
 import traceback
 from multiprocessing import get_context
 from multiprocessing import shared_memory
@@ -76,6 +83,7 @@ def _worker_main(conn) -> None:  # pragma: no cover - exercised in subprocesses
     programs: Dict[str, Dict[str, Any]] = {}
     arrays: Dict[str, np.ndarray] = {}
     segments: List[shared_memory.SharedMemory] = []
+    segmap: Dict[str, shared_memory.SharedMemory] = {}
     while True:
         try:
             cmd, payload = conn.recv()
@@ -92,12 +100,18 @@ def _worker_main(conn) -> None:  # pragma: no cover - exercised in subprocesses
             elif cmd == "attach":
                 with _untracked_attach():
                     for name, shm_name, shape, dtype in payload:
+                        old = segmap.pop(name, None)
+                        if old is not None:
+                            segments.remove(old)
+                            old.close()
                         seg = shared_memory.SharedMemory(name=shm_name)
                         segments.append(seg)
+                        segmap[name] = seg
                         arrays[name] = np.ndarray(shape, dtype=dtype, buffer=seg.buf)
                 conn.send(("ok", None))
             elif cmd == "detach":
                 arrays.clear()
+                segmap.clear()
                 for seg in segments:
                     seg.close()
                 segments.clear()
@@ -105,7 +119,9 @@ def _worker_main(conn) -> None:  # pragma: no cover - exercised in subprocesses
             elif cmd == "run":
                 prog_key, loop_key, lo, hi, bindings = payload
                 fn = programs[prog_key][f"_chunk_{loop_key}"]
-                conn.send(("ok", fn(arrays, lo, hi, bindings)))
+                t0 = time.perf_counter()
+                out = fn(arrays, lo, hi, bindings)
+                conn.send(("ok", (time.perf_counter() - t0, out)))
             elif cmd == "stop":
                 conn.send(("ok", None))
                 break
@@ -139,6 +155,8 @@ class WorkerPool:
         self._installed: List[set] = []
         self._prog_key: Optional[str] = None
         self._shared: Dict[str, Tuple[np.ndarray, shared_memory.SharedMemory, np.ndarray]] = {}
+        #: deferred-unlink segment cache: name -> (segment, (shape, dtype))
+        self._cache: Dict[str, Tuple[shared_memory.SharedMemory, Tuple[Any, str]]] = {}
         self._alive = True
         for _ in range(self.size):
             parent, child = self._ctx.Pipe()
@@ -185,17 +203,36 @@ class WorkerPool:
 
         Mutates ``env`` in place (arrays replaced by shared views) and
         returns the adoption record for :meth:`release_env`.
+
+        Segments are **cached across adoptions** keyed by
+        ``(name, shape, dtype)``: a repeated ``measure_kernel`` run over
+        the same environment shapes reuses the existing segments (one
+        ``memcpy`` of the fresh inputs, no worker re-attach broadcast)
+        instead of re-creating and re-attaching every array per run.
+        Unlinking is deferred to a spec mismatch or :meth:`shutdown`.
         """
         specs = []
         adopted: Dict[str, Tuple[np.ndarray, shared_memory.SharedMemory, np.ndarray]] = {}
         for name, val in env.items():
             if not isinstance(val, np.ndarray) or val.size == 0:
                 continue
+            spec = (val.shape, val.dtype.str)
+            cached = self._cache.get(name)
+            if cached is not None and cached[1] == spec:
+                seg = cached[0]
+                view = np.ndarray(val.shape, dtype=val.dtype, buffer=seg.buf)
+                view[...] = val
+                adopted[name] = (val, seg, view)
+                env[name] = view
+                continue
+            if cached is not None:  # shape/dtype changed: retire the old segment
+                self._unlink_cached(name)
             seg = shared_memory.SharedMemory(create=True, size=val.nbytes)
             view = np.ndarray(val.shape, dtype=val.dtype, buffer=seg.buf)
             view[...] = val
             adopted[name] = (val, seg, view)
             env[name] = view
+            self._cache[name] = (seg, spec)
             specs.append((name, seg.name, val.shape, val.dtype.str))
         if specs:
             self._broadcast("attach", specs)
@@ -203,22 +240,36 @@ class WorkerPool:
         return adopted
 
     def release_env(self, adopted: Dict[str, Any], env: Dict[str, Any]) -> None:
-        """Copy results back into the original arrays and unlink segments."""
+        """Copy results back into the original arrays.
+
+        Segments stay alive (and workers stay attached) for reuse by the
+        next :meth:`adopt_env`; :meth:`shutdown` unlinks them all.
+        """
+        for name, (orig, seg, view) in adopted.items():
+            orig[...] = view
+            if isinstance(env.get(name), np.ndarray) and env[name] is view:
+                env[name] = orig
+            del view
+        self._shared = {}
+
+    def _unlink_cached(self, name: str) -> None:
+        seg, _ = self._cache.pop(name)
+        seg.close()
         try:
-            if adopted and self._check_alive():
+            seg.unlink()
+        except FileNotFoundError:  # pragma: no cover
+            pass
+
+    def _drop_cache(self) -> None:
+        """Detach workers and unlink every cached segment."""
+        try:
+            if self._cache and self._check_alive():
                 self._broadcast("detach", None)
+        except (InterpError, BrokenPipeError, OSError):  # pragma: no cover
+            pass
         finally:
-            for name, (orig, seg, view) in adopted.items():
-                orig[...] = view
-                if isinstance(env.get(name), np.ndarray) and env[name] is view:
-                    env[name] = orig
-                del view
-                seg.close()
-                try:
-                    seg.unlink()
-                except FileNotFoundError:  # pragma: no cover
-                    pass
-            self._shared = {}
+            for name in list(self._cache):
+                self._unlink_cached(name)
 
     # -- dispatch -----------------------------------------------------------
 
@@ -229,8 +280,16 @@ class WorkerPool:
         hi: int,
         bindings: Dict[str, Any],
         arrays: Sequence[str],
+        weights: Optional[np.ndarray] = None,
     ) -> Optional[List[Dict[str, Any]]]:
-        """Run ``[lo, hi)`` of a loop across the pool, or decline (None)."""
+        """Run ``[lo, hi)`` of a loop across the pool, or decline (None).
+
+        ``weights`` (optional, advisory) gives per-iteration cost
+        estimates from the dispatch-site inspector; chunk bounds are then
+        work-balanced with :func:`~repro.runtime.scheduler.balanced_chunk_bounds`
+        instead of the uniform static split.  Each chunk's worker wall
+        time is recorded in the workmeter registry under ``loop_key``.
+        """
         lo, hi = int(lo), int(hi)
         trips = hi - lo
         if (
@@ -241,17 +300,31 @@ class WorkerPool:
         ):
             return None
         nchunks = min(self.size, trips)
-        bounds = [lo + (trips * k) // nchunks for k in range(nchunks + 1)]
+        chunks: List[Tuple[int, int]] = []
+        if weights is not None:
+            try:
+                w = np.asarray(weights, dtype=np.float64).reshape(-1)
+                if w.shape[0] == trips:
+                    from repro.runtime.scheduler import balanced_chunk_bounds
+
+                    chunks = balanced_chunk_bounds(w, nchunks, lo)
+            except Exception:
+                chunks = []
+        if not chunks:
+            bounds = [lo + (trips * k) // nchunks for k in range(nchunks + 1)]
+            chunks = [
+                (bounds[k], bounds[k + 1])
+                for k in range(nchunks)
+                if bounds[k] < bounds[k + 1]
+            ]
         active = []
-        for k in range(nchunks):
-            clo, chi = bounds[k], bounds[k + 1]
-            if clo >= chi:
-                continue
+        for k, (clo, chi) in enumerate(chunks):
             self._conns[k].send(("run", (self._prog_key, loop_key, clo, chi, bindings)))
-            active.append(k)
+            active.append((k, clo, chi))
         results: List[Dict[str, Any]] = []
+        timings: List[Tuple[int, int, float]] = []
         errors: List[str] = []
-        for k in active:
+        for k, clo, chi in active:
             try:
                 status, payload = self._conns[k].recv()
             except (EOFError, OSError) as exc:
@@ -261,11 +334,16 @@ class WorkerPool:
             if status != "ok":
                 errors.append(f"worker {k}: {payload}")
             else:
-                results.append(payload)
+                dt, res = payload
+                timings.append((clo, chi, dt))
+                results.append(res)
         if errors:
             # work was dispatched; arrays may be partially updated, so
             # this cannot silently fall back to the serial path
             raise InterpError("parallel loop failed: " + " | ".join(errors))
+        from repro.runtime import workmeter
+
+        workmeter.record_chunks(loop_key, timings)
         return results
 
     # -- teardown -----------------------------------------------------------
@@ -273,6 +351,7 @@ class WorkerPool:
     def shutdown(self) -> None:
         if not self._alive:
             return
+        self._drop_cache()
         self._alive = False
         for conn, p in zip(self._conns, self._procs):
             try:

@@ -155,14 +155,15 @@ def states_equivalent(
             if a is None or b is None:
                 return False
             if a.dtype.kind == "f" or b.dtype.kind == "f":
-                if not np.allclose(a, b, rtol=rtol, atol=1e-12):
+                # equal_nan: a NaN is "the same result" only in the same slot
+                if not np.allclose(a, b, rtol=rtol, atol=1e-12, equal_nan=True):
                     return False
             elif not np.array_equal(a, b):
                 return False
         elif isinstance(a, float) or isinstance(b, float):
             if a is None or b is None:
                 return False
-            if not np.isclose(a, b, rtol=rtol):
+            if not np.isclose(a, b, rtol=rtol, equal_nan=True):
                 return False
         elif a != b:
             return False

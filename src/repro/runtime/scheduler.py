@@ -76,3 +76,43 @@ def max_thread_work(
     if schedule == "dynamic":
         return dynamic_assign(np.asarray(work, dtype=np.float64), p, chunk)
     raise ValueError(f"unknown schedule {schedule!r}")
+
+
+def balanced_chunk_bounds(
+    weights: np.ndarray, nchunks: int, lo: int = 0
+) -> List[Tuple[int, int]]:
+    """Split ``[lo, lo + len(weights))`` into <= ``nchunks`` contiguous
+    chunks of near-equal total weight.
+
+    ``weights[k]`` is the inspector-estimated cost of iteration
+    ``lo + k`` (e.g. the inner trip count read from a certified row
+    pointer).  The split is the searchsorted inverse of the weight
+    prefix sum at equally spaced targets, so each chunk carries roughly
+    ``total / nchunks`` work regardless of skew.  Degenerate weights
+    (all zero, non-finite) fall back to the uniform static split.
+    Empty chunks are dropped — callers treat the *last returned* chunk
+    as the one holding the loop's final iteration, so every returned
+    chunk must be nonempty and the last must end at ``lo + n``.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    n = int(w.shape[0])
+    if nchunks <= 0:
+        raise ValueError("chunk count must be positive")
+    if n == 0:
+        return []
+    nchunks = min(nchunks, n)
+    total = float(w.sum())
+    if not np.isfinite(total) or total <= 0.0 or not np.isfinite(w).all() or (w < 0).any():
+        return [(lo + s, lo + e) for s, e in static_chunks(n, nchunks)]
+    csum = np.cumsum(w)
+    targets = total * np.arange(1, nchunks, dtype=np.float64) / nchunks
+    cuts = np.searchsorted(csum, targets, side="left") + 1
+    # enforce monotone, in-range cut points, then drop empty chunks
+    cuts = np.minimum(np.maximum.accumulate(cuts), n)
+    bounds = []
+    prev = 0
+    for c in [int(c) for c in cuts] + [n]:
+        if c > prev:
+            bounds.append((lo + prev, lo + c))
+            prev = c
+    return bounds

@@ -1,21 +1,126 @@
-"""Per-iteration work metering.
+"""Per-iteration work metering and per-chunk wall-time accounting.
 
-Executes a loop through the interpreter and records the number of abstract
-operations performed by each iteration of a chosen loop — the measured
-counterpart of the analytic ``work[i]`` profiles in the benchmarks'
-performance models.  Used by tests to validate that the analytic profiles
-have the right *shape* (proportional to nnz-per-row etc.) and by users to
-build profiles for new kernels.
+Two complementary roles:
+
+* :func:`meter_loop_work` executes a loop through the interpreter and
+  records the number of abstract operations performed by each iteration —
+  the measured counterpart of the analytic ``work[i]`` profiles in the
+  benchmarks' performance models.
+* A process-wide **chunk-time registry** fed by the compiled backends:
+  serial compiled loops report one wall-time sample per top-level loop
+  (via the generated ``_wm`` hook), and the parallel worker pool reports
+  one ``(lo, hi, seconds)`` triple per dispatched chunk.  The registry
+  turns those into per-loop **chunk-imbalance ratios** (max/mean chunk
+  time) surfaced by ``--stats`` and gated by the kernel-speed benchmarks.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.lang.astnodes import Assign, Decl, For, Id, Program
 from repro.runtime.interp import Interpreter
+
+# ---------------------------------------------------------------------------
+# chunk-time registry (fed by runtime/compile.py and runtime/parbackend.py)
+# ---------------------------------------------------------------------------
+
+#: loop_id -> list of (lo, hi, seconds) chunk samples from the worker pool
+_CHUNKS: Dict[str, List[Tuple[int, int, float]]] = {}
+
+#: loop_id -> list of whole-loop wall-time samples from the serial backend
+_LOOPS: Dict[str, List[float]] = {}
+
+_LOCK = threading.Lock()
+
+
+def reset() -> None:
+    """Drop all recorded chunk and loop timings."""
+    with _LOCK:
+        _CHUNKS.clear()
+        _LOOPS.clear()
+
+
+def record_loop(loop_id: str, seconds: float) -> None:
+    """Record one whole-loop wall-time sample (serial compiled backend)."""
+    with _LOCK:
+        _LOOPS.setdefault(loop_id, []).append(float(seconds))
+
+
+def record_chunks(loop_id: str, triples: Sequence[Tuple[int, int, float]]) -> None:
+    """Record one parallel dispatch: per-chunk ``(lo, hi, seconds)``."""
+    with _LOCK:
+        _CHUNKS.setdefault(loop_id, []).extend(
+            (int(lo), int(hi), float(dt)) for lo, hi, dt in triples
+        )
+
+
+def chunk_imbalance(loop_id: str) -> Optional[float]:
+    """Max/mean chunk-time ratio for ``loop_id`` (None if unrecorded).
+
+    1.0 is perfect balance; the kernel-speed gate requires <= 1.25 on the
+    skewed kernels.  When a loop was dispatched several times the samples
+    are pooled across dispatches — fine for the gates, which reset the
+    registry around exactly one timed run.
+    """
+    with _LOCK:
+        samples = [dt for (_, _, dt) in _CHUNKS.get(loop_id, ())]
+    if not samples:
+        return None
+    mean = sum(samples) / len(samples)
+    if mean <= 0.0:
+        return 1.0
+    return max(samples) / mean
+
+
+def loop_time(loop_id: str) -> Optional[float]:
+    """Total recorded serial wall time for ``loop_id`` (None if none)."""
+    with _LOCK:
+        samples = _LOOPS.get(loop_id)
+        return sum(samples) if samples else None
+
+
+def summary() -> Dict[str, Dict[str, Any]]:
+    """Per-loop timing digest: serial time, chunk count, imbalance ratio."""
+    with _LOCK:
+        loop_ids = sorted(set(_CHUNKS) | set(_LOOPS))
+    out: Dict[str, Dict[str, Any]] = {}
+    for lid in loop_ids:
+        with _LOCK:
+            chunks = list(_CHUNKS.get(lid, ()))
+            serial = list(_LOOPS.get(lid, ()))
+        entry: Dict[str, Any] = {}
+        if serial:
+            entry["loop_s"] = sum(serial)
+            entry["calls"] = len(serial)
+        if chunks:
+            entry["chunks"] = len(chunks)
+            entry["chunk_s"] = sum(dt for (_, _, dt) in chunks)
+            entry["imbalance"] = chunk_imbalance(lid)
+        out[lid] = entry
+    return out
+
+
+def format_summary() -> str:
+    """Human-readable per-loop timing block for ``--stats`` (may be '')."""
+    digest = summary()
+    if not digest:
+        return ""
+    lines = ["loop timings (workmeter)"]
+    for lid, entry in digest.items():
+        parts = []
+        if "loop_s" in entry:
+            parts.append(f"serial {entry['loop_s']:.4f}s x{entry['calls']}")
+        if "chunks" in entry:
+            parts.append(
+                f"{entry['chunks']} chunks {entry['chunk_s']:.4f}s "
+                f"imbalance {entry['imbalance']:.2f}"
+            )
+        lines.append(f"  {lid:<12} " + "; ".join(parts))
+    return "\n".join(lines)
 
 
 def meter_loop_work(

@@ -219,6 +219,67 @@ class _Gen:
             f"}}"
         )
 
+    def seg_guarded_elementwise(self) -> str:
+        """``if``-guarded elementwise body: the masked vectorization tier.
+
+        Mixes short-circuit conjunctions/disjunctions, effectful and
+        side-effect-free guarded right-hand sides, and optional else
+        branches.
+        """
+        dst = self.any_data_array()
+        src = self.any_data_array()
+        i = self.fresh("i")
+        c = self.rng.randint(-3, 3)
+        cond = f"{src}[{i}] > {c}"
+        r = self.rng.random()
+        if r < 0.3:
+            cond = f"{cond} && {self.any_data_array()}[{i}] < {self.rng.randint(4, 9)}"
+        elif r < 0.5:
+            cond = f"{cond} || {self.any_data_array()}[{i}] == {self.rng.randint(0, 3)}"
+        then = f"{dst}[{i}] = {self.value_expr(i)};"
+        if self.rng.random() < 0.4:
+            acc = self.new_scalar(0)
+            then = f"{{ {then} {acc} = {acc} + {self.value_expr(i, 2)}; }}"
+        els = ""
+        if self.rng.random() < 0.5:
+            els = f"\n  else {dst}[{i}] = {self.value_expr(i, 2)};"
+        return (
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) {{\n"
+            f"  if ({cond}) {then}{els}\n"
+            f"}}"
+        )
+
+    def seg_csr_nest(self) -> str:
+        """CSR-shaped nest over a monotonic row pointer: the segmented tier.
+
+        The row pointer is built nondecreasing (empty rows included) so
+        the inner ``rp[i] .. rp[i+1]`` ranges tile a prefix of the data
+        arrays; zero-trip rows are common by construction.
+        """
+        rp = self.fresh("rp")
+        vals = [0]
+        for _ in range(self.n):
+            vals.append(min(vals[-1] + self.rng.randint(0, 3), self.bound - 1))
+        vals += [vals[-1]] * (self.bound - len(vals))
+        self.env[rp] = np.array(vals, dtype=np.int64)
+        self.index_arrays.append(rp)
+        data = self.any_data_array()
+        dst = self.new_data_array()
+        i, j = self.fresh("i"), self.fresh("j")
+        t = self.new_scalar(0)
+        body = f"{t} = {t} + {data}[{j}];"
+        if self.rng.random() < 0.3:
+            body = f"{t} = {t} + {data}[{j}] * {self.any_data_array()}[{i}];"
+        return (
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) {{\n"
+            f"  {t} = 0;\n"
+            f"  for ({j} = {rp}[{i}]; {j} < {rp}[{i} + 1]; {j}++) {{\n"
+            f"    {body}\n"
+            f"  }}\n"
+            f"  {dst}[{i}] = {t};\n"
+            f"}}"
+        )
+
     def seg_while(self) -> str:
         # ineligible construct: the analysis must fall back conservatively
         dst = self.any_data_array()
@@ -251,6 +312,8 @@ class _Gen:
         ("plain", 3),
         ("reduction", 1),
         ("nested", 2),
+        ("guarded_elementwise", 3),
+        ("csr_nest", 3),
         ("while", 1),
         ("break", 1),
     )

@@ -49,7 +49,7 @@ def test_run_loop_declines_below_min_trips(pool):
     assert pool.run_loop(key, 0, MIN_PAR_TRIPS - 1, {}, ()) is None
 
 
-def test_release_env_unlinks_all_segments(pool):
+def test_release_env_defers_unlink_until_shutdown(pool):
     env = {"a": np.arange(1000.0), "b": np.ones((20, 30)), "n": 7}
     orig_a = env["a"]
     adopted = pool.adopt_env(env)
@@ -63,8 +63,28 @@ def test_release_env_unlinks_all_segments(pool):
     pool.release_env(adopted, env)
     # results copied back into the original arrays, env restored
     assert env["a"] is orig_a and env["a"][0] == 123.0
-    # every segment unlinked: reattach must fail
+    # segments are cached for the next adoption, not yet unlinked
     for name in seg_names:
+        probe = shared_memory.SharedMemory(name=name)
+        probe.close()
+    # re-adopting the same shapes reuses the cached segments
+    env2 = {"a": np.arange(1000.0) * 2, "b": np.zeros((20, 30)), "n": 7}
+    adopted2 = pool.adopt_env(env2)
+    assert sorted(seg.name for (_, seg, _) in adopted2.values()) == sorted(seg_names)
+    assert env2["a"][5] == 10.0  # fresh inputs copied into the reused view
+    pool.release_env(adopted2, env2)
+    # a shape change retires the stale segment for that name
+    env3 = {"a": np.arange(10.0), "b": np.ones((20, 30)), "n": 7}
+    adopted3 = pool.adopt_env(env3)
+    old_a = next(seg.name for n, (_, seg, _) in adopted.items() if n == "a")
+    assert adopted3["a"][1].name != old_a
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=old_a)
+    pool.release_env(adopted3, env3)
+    # shutdown unlinks everything: reattach must fail
+    live = [seg.name for (_, seg, _) in adopted3.values()]
+    pool.shutdown()
+    for name in live:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=name)
 

@@ -1,0 +1,381 @@
+"""Differential parity suites for the masked and segmented vectorizers.
+
+Every program here runs through both the reference interpreter and the
+compiled backend, and the final states must agree — including scalars
+(guarded accumulators, fill counters, inner-loop indices).  Each case
+also asserts the *tier* the lowerer reports, so a silent bail back to
+the scalar loop shows up as a failure, not as a slow pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.lang.cparser import parse_program
+from repro.runtime.compile import compile_program
+from repro.runtime.interp import InterpError, run_program
+from repro.runtime.parexec import states_equivalent
+
+
+def _deep(env):
+    return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+
+
+def run_both(src, env, tier=None):
+    """Run interp + compiled; assert parity and (optionally) the tier."""
+    prog = parse_program(src)
+    ref = run_program(prog, _deep(env))
+    cp = compile_program(prog)
+    assert cp.backend == "compiled", cp.fallback_reason
+    out = cp.run(_deep(env))
+    assert states_equivalent(ref, out), f"diverged\n{cp.source}"
+    if tier is not None:
+        assert tier in cp.loop_tiers.values(), (
+            f"expected a {tier} loop, got {cp.loop_tiers} "
+            f"(bails: {cp.loop_bails})\n{cp.source}"
+        )
+    return ref, out, cp
+
+
+# ---------------------------------------------------------------------------
+# masked vectorization
+# ---------------------------------------------------------------------------
+
+
+def test_masked_store_side_effect_free_rhs():
+    src = """
+    for (i = 0; i < n; i++) {
+        if (a[i] > 0)
+            b[i] = a[i] * 2;
+    }
+    """
+    env = {"n": 50, "a": np.arange(-25.0, 25.0), "b": np.zeros(50)}
+    run_both(src, env, tier="masked")
+
+
+def test_masked_store_with_else_branch():
+    src = """
+    for (i = 0; i < n; i++) {
+        if (a[i] > 0)
+            b[i] = a[i];
+        else
+            b[i] = -a[i];
+    }
+    """
+    env = {"n": 40, "a": np.arange(-20.0, 20.0), "b": np.zeros(40)}
+    run_both(src, env, tier="masked")
+
+
+def test_masked_effectful_rhs_guarded_accumulator():
+    # the guarded branch both stores and bumps a scalar accumulator
+    src = """
+    s = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] > 2) {
+            b[i] = a[i] * 2;
+            s = s + a[i];
+        }
+    }
+    """
+    env = {"n": 30, "a": np.arange(30) % 7, "b": np.zeros(30, dtype=np.int64), "s": 0}
+    ref, out, _ = run_both(src, env, tier="masked")
+    assert out["s"] == ref["s"] != 0
+
+
+def test_masked_scan_reading_store_bails_but_stays_correct():
+    # b[i] reads the accumulator's running value: a prefix scan, which the
+    # vectorizer must refuse (scalar tier) yet still execute correctly
+    src = """
+    s = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] > 2) {
+            b[i] = a[i] + s;
+            s = s + a[i];
+        }
+    }
+    """
+    env = {"n": 30, "a": np.arange(30) % 7, "b": np.zeros(30, dtype=np.int64), "s": 0}
+    ref, out, cp = run_both(src, env)
+    assert set(cp.loop_tiers.values()) == {"scalar"}
+    assert "loop-carried scalar" in cp.loop_bails.popitem()[1]
+
+
+def test_masked_counter_fill():
+    # the paper's LEMMA-1 fill idiom (AMGmk's A_rownnz construction)
+    src = """
+    k = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] > 0) {
+            idx[k] = i;
+            k = k + 1;
+        }
+    }
+    """
+    rng = np.random.default_rng(7)
+    env = {
+        "n": 64,
+        "a": rng.integers(-3, 4, 64).astype(np.int64),
+        "idx": np.zeros(64, dtype=np.int64),
+        "k": 0,
+    }
+    ref, out, _ = run_both(src, env, tier="masked")
+    assert out["k"] == ref["k"] > 0
+
+
+def test_masked_short_circuit_and_or():
+    src = """
+    for (i = 0; i < n; i++) {
+        if (a[i] > 0 && b[a[i]] > 1)
+            c[i] = b[a[i]];
+        if (a[i] < 0 || b[i] > 2)
+            d[i] = a[i] + b[i];
+    }
+    """
+    rng = np.random.default_rng(3)
+    env = {
+        "n": 48,
+        # a <= 0 lanes would make b[a[i]] unsafe-looking; short-circuit
+        # must keep them unevaluated exactly as the interpreter does
+        "a": rng.integers(-5, 48, 48).astype(np.int64),
+        "b": rng.integers(0, 5, 48).astype(np.float64),
+        "c": np.zeros(48),
+        "d": np.zeros(48),
+    }
+    run_both(src, env, tier="masked")
+
+
+def test_masked_nan_propagation():
+    # NaN compares false elementwise, exactly like the scalar path
+    src = """
+    for (i = 0; i < n; i++) {
+        if (a[i] > 0.5)
+            b[i] = a[i] * 10.0;
+        else
+            b[i] = 0.0 - 1.0;
+    }
+    """
+    a = np.linspace(0.0, 1.0, 20)
+    a[3] = np.nan
+    a[11] = np.nan
+    env = {"n": 20, "a": a, "b": np.zeros(20)}
+    ref, out, _ = run_both(src, env, tier="masked")
+    assert out["b"][3] == -1.0  # NaN lane took the else branch
+
+
+def test_masked_empty_selection():
+    src = """
+    s = 0;
+    for (i = 0; i < n; i++) {
+        if (a[i] > 100) {
+            b[i] = 1;
+            s = s + 1;
+        }
+    }
+    """
+    env = {"n": 16, "a": np.zeros(16), "b": np.zeros(16, dtype=np.int64), "s": 0}
+    ref, out, _ = run_both(src, env, tier="masked")
+    assert out["s"] == 0
+
+
+# ---------------------------------------------------------------------------
+# segmented (CSR) vectorization
+# ---------------------------------------------------------------------------
+
+
+def _csr_env(nrows, seed=0, empty_rows=False):
+    rng = np.random.default_rng(seed)
+    counts = rng.integers(0, 5, nrows)
+    if empty_rows:
+        counts[:: 3] = 0
+    rp = np.zeros(nrows + 1, dtype=np.int64)
+    np.cumsum(counts, out=rp[1:])
+    nnz = int(rp[-1])
+    return {
+        "n": nrows,
+        "rp": rp,
+        "col": rng.integers(0, nrows, max(nnz, 1)).astype(np.int64),
+        "val": rng.standard_normal(max(nnz, 1)),
+        "x": rng.standard_normal(nrows),
+        "y": np.zeros(nrows),
+    }
+
+
+CSR_SPMV = """
+for (i = 0; i < n; i++) {
+    t = x[i];
+    for (j = rp[i]; j < rp[i + 1]; j++)
+        t = t + val[j] * x[col[j]];
+    y[i] = t;
+}
+"""
+
+
+def test_segmented_spmv_parity():
+    env = _csr_env(60, seed=1)
+    env["t"] = 0.0
+    run_both(CSR_SPMV, env, tier="segmented")
+
+
+def test_segmented_empty_rows():
+    env = _csr_env(45, seed=2, empty_rows=True)
+    env["t"] = 0.0
+    ref, out, _ = run_both(CSR_SPMV, env, tier="segmented")
+    assert (np.asarray(ref["rp"][1:]) == np.asarray(ref["rp"][:-1])).any()
+
+
+def test_segmented_all_rows_empty_zero_trip_inner():
+    env = _csr_env(20, seed=3)
+    env["rp"][:] = 0  # every inner loop is zero-trip
+    env["t"] = 0.0
+    ref, out, _ = run_both(CSR_SPMV, env, tier="segmented")
+    assert np.array_equal(out["y"], ref["y"])
+
+
+def test_segmented_zero_outer_trips():
+    env = _csr_env(10, seed=4)
+    env["n"] = 0
+    env["t"] = 0.0
+    run_both(CSR_SPMV, env, tier="segmented")
+
+
+def test_segmented_nan_values_flow_through_reduction():
+    env = _csr_env(30, seed=5)
+    env["val"][::4] = np.nan
+    env["t"] = 0.0
+    ref, out, _ = run_both(CSR_SPMV, env, tier="segmented")
+    assert np.isnan(out["y"]).any()
+
+
+def test_segmented_guard_inside_inner_loop():
+    # mask nested inside a segmented frame
+    src = """
+    for (i = 0; i < n; i++) {
+        t = 0.0;
+        for (j = rp[i]; j < rp[i + 1]; j++) {
+            if (val[j] > 0.0)
+                t = t + val[j];
+        }
+        y[i] = t;
+    }
+    """
+    env = _csr_env(40, seed=6)
+    env["t"] = 0.0
+    run_both(src, env, tier="segmented")
+
+
+def test_segmented_float_bounds_fault_consistently():
+    # a float-valued row pointer must not be silently truncated by the
+    # segmented tier: the compiled backend faults — the same behavior its
+    # scalar range() loop has always had for non-integer bounds
+    src = """
+    for (i = 0; i < n; i++) {
+        for (j = rp[i]; j < rp[i + 1]; j++)
+            y[i] = y[i] + val[j];
+    }
+    """
+    env = {
+        "n": 8,
+        "rp": np.linspace(0.0, 4.0, 9),  # float row pointer
+        "val": np.ones(8),
+        "y": np.zeros(8),
+    }
+    prog = parse_program(src)
+    cp = compile_program(prog)
+    assert "segmented" in cp.loop_tiers.values()
+    with pytest.raises(InterpError):
+        cp.run(_deep(env))
+    cp2 = compile_program(prog, vectorize=False)
+    with pytest.raises(InterpError):
+        cp2.run(_deep(env))
+
+
+# ---------------------------------------------------------------------------
+# flattened (uniform inner trip) vectorization
+# ---------------------------------------------------------------------------
+
+
+def test_flattened_small_uniform_inner_loop():
+    # constant small trip count: the UA(transf) gather shape
+    src = """
+    for (i = 0; i < n; i++) {
+        t = 0.0;
+        for (j = 0; j < 4; j++)
+            t = t + a[map[4 * i + j]];
+        out[i] = t;
+    }
+    """
+    rng = np.random.default_rng(8)
+    env = {
+        "n": 32,
+        "a": rng.standard_normal(32),
+        "map": rng.integers(0, 32, 128).astype(np.int64),
+        "out": np.zeros(32),
+        "t": 0.0,
+    }
+    run_both(src, env, tier="flattened")
+
+
+def test_large_uniform_inner_loop_stays_on_slice_path():
+    # big dense inner loops must NOT be flattened into gathers: the inner
+    # loop vectorizes as a slice and the outer stays a cheap scalar loop
+    src = """
+    for (i = 0; i < n; i++) {
+        s = 0.0;
+        for (j = 0; j < n; j++)
+            s = s + a[j] * b[j];
+        out[i] = s;
+    }
+    """
+    env = {
+        "n": 200,
+        "a": np.random.default_rng(9).standard_normal(200),
+        "b": np.random.default_rng(10).standard_normal(200),
+        "out": np.zeros(200),
+        "s": 0.0,
+    }
+    ref, out, cp = run_both(src, env)
+    assert "flattened" not in cp.loop_tiers.values()
+    assert "vectorized" in cp.loop_tiers.values()
+
+
+# ---------------------------------------------------------------------------
+# registry tier pins + inspector weights
+# ---------------------------------------------------------------------------
+
+
+def test_registry_benchmarks_achieve_expected_tiers():
+    # a lowering regression that bails a kernel loop back to scalar must
+    # fail here, not surface as a silent slowdown in the speed gates
+    from collections import Counter
+
+    from repro.analysis import AnalysisConfig
+    from repro.benchmarks import all_benchmarks
+    from repro.parallelizer import parallelize
+
+    pinned = [b for b in all_benchmarks() if b.expected_tiers]
+    assert len(pinned) >= 6
+    for bench in pinned:
+        result = parallelize(bench.source, AnalysisConfig.new_algorithm())
+        cp = compile_program(result.program, result.decisions)
+        assert cp.backend == "compiled", (bench.name, cp.fallback_reason)
+        got = Counter(cp.loop_tiers.values())
+        for tier, n in bench.expected_tiers.items():
+            assert got[tier] >= n, (
+                f"{bench.name}: expected >= {n} {tier} loop(s), got {dict(got)} "
+                f"(bails: {cp.loop_bails})"
+            )
+
+
+def test_inspect_segment_weights_matches_executed_trips():
+    from repro.runtime.inspector import inspect_segment_weights
+
+    env = _csr_env(50, seed=11, empty_rows=True)
+    w = inspect_segment_weights(env["rp"])
+    assert w.sum() == env["rp"][-1]
+    assert (w >= 0).all() and (w == 0).any()
+    # descending glitches clamp to zero-trip, like the executed loops
+    rp = np.array([0, 4, 2, 7])
+    assert inspect_segment_weights(rp).tolist() == [4, 0, 5]
+    assert inspect_segment_weights(rp, lo=1, hi=2).tolist() == [0]
+    assert len(inspect_segment_weights(np.array([0]))) == 0
