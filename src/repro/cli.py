@@ -126,8 +126,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--list", action="store_true", dest="list_benchmarks",
                     help="list registered benchmark names and exit")
     sp.add_argument(
-        "--backend", choices=["interp", "compiled", "compiled-parallel"], default=None,
-        help="execution backend (default: REPRO_BACKEND env var, else interp)",
+        "--backend", choices=["interp", "compiled", "compiled-parallel", "auto"],
+        default=None,
+        help="execution backend (default: REPRO_BACKEND env var, else auto — "
+             "the cost model picks per loop)",
     )
     sp.add_argument("--pipeline", choices=sorted(PIPELINES), default="new")
     sp.add_argument("--scale", choices=["small", "paper"], default="small",
@@ -159,12 +161,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         if args.stats:
             from repro.ir.perfstats import format_stats
-            from repro.runtime.workmeter import format_summary
+            from repro.runtime.workmeter import format_decision_table, format_summary
 
             print(format_stats(), file=sys.stderr)
             wm = format_summary()
             if wm:
                 print(wm, file=sys.stderr)
+            table = format_decision_table()
+            if table:
+                print(table, file=sys.stderr)
 
 
 def _run_command(args) -> int:
@@ -252,7 +257,14 @@ def _run_kernel(args) -> int:
     from repro.runtime.compile import resolved_backend
     from repro.runtime.simulate import measure_kernel
 
-    backend = resolved_backend(args.backend)
+    # the CLI defaults to the cost model's per-loop choice; an explicit
+    # --backend or REPRO_BACKEND still pins a fixed backend
+    import os as _os
+
+    if args.backend or _os.environ.get("REPRO_BACKEND"):
+        backend = resolved_backend(args.backend)
+    else:
+        backend = "auto"
     result = parallelize(bench.source, PIPELINES[args.pipeline]())
     env = bench.paper_env() if args.scale == "paper" else bench.small_env()
     t, out = measure_kernel(

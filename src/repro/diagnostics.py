@@ -58,6 +58,10 @@ INTERNAL_ERROR = "internal-error"
 #: (:mod:`repro.verify.checker`); the verdict was demoted to serial.  Not a
 #: fault kind: the analysis itself completed, only the proof did not check.
 CERTIFICATE_REJECTED = "certificate-rejected"
+#: a loop-fusion candidate's :class:`~repro.verify.certificate.FusionStep`
+#: failed independent re-validation; the group executes unfused.  Like
+#: ``certificate-rejected``, informational rather than a fault.
+FUSION_REJECTED = "fusion-rejected"
 
 #: kinds that mean "analysis of this nest was aborted by an exception";
 #: the driver marks every loop of such a nest serial

@@ -403,6 +403,7 @@ def measure_backend_speedups(
     backends: Tuple[str, ...] = ("interp", "compiled"),
     scale: str = "paper",
     repeats: int = 3,
+    repeats_by_backend: Optional[Dict[str, int]] = None,
     threads: Optional[int] = None,
     pipeline: str = "Cetus+NewAlgo",
 ) -> List[MeasuredRun]:
@@ -413,7 +414,10 @@ def measure_backend_speedups(
     uses ``small_env``.  Each backend's run output is cross-checked
     against the interpreter-tolerance equivalence used by the
     differential mode, so a reported speedup can never come from a
-    wrong-answer run.
+    wrong-answer run.  ``repeats_by_backend`` overrides ``repeats`` per
+    backend — the compiled-family legs finish in milliseconds and need
+    more best-of samples on noisy shared runners than the
+    tens-of-seconds interpreter legs.
     """
     from repro.benchmarks.registry import all_benchmarks, get_benchmark
     from repro.runtime import workmeter
@@ -429,8 +433,9 @@ def measure_backend_speedups(
         outputs: Dict[str, Dict[str, object]] = {}
         imbalance: Dict[str, float] = {}
         for backend in backends:
+            reps = (repeats_by_backend or {}).get(backend, repeats)
             times[backend], outputs[backend] = measure_kernel(
-                result, env, backend=backend, threads=threads, repeats=repeats
+                result, env, backend=backend, threads=threads, repeats=reps
             )
             if backend == "compiled-parallel":
                 imbalance = {

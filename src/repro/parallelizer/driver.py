@@ -25,7 +25,8 @@ from repro.dependence.accesses import collect_accesses, collect_inner_loops
 from repro.dependence.classic import classic_independent
 from repro.dependence.extended import RuntimeCheck, extended_independent
 from repro.dependence.privatize import classify_scalars
-from repro.diagnostics import CERTIFICATE_REJECTED
+from repro.diagnostics import CERTIFICATE_REJECTED, FUSION_REJECTED
+from repro.parallelizer.fusion import FusionDecision, propose_fusions
 from repro.ir.simplify import simplify
 from repro.ir.symbols import IntLit, Sym, sub
 from repro.lang.astnodes import For, Program
@@ -38,7 +39,7 @@ from repro.verify.certificate import (
     ScalarStep,
     SSRStep,
 )
-from repro.verify.checker import check_certificate
+from repro.verify.checker import check_certificate, check_fusion_step
 
 
 @dataclasses.dataclass
@@ -94,10 +95,18 @@ class ParallelizationResult:
     config: AnalysisConfig
     decisions: Dict[str, LoopDecision]
     analysis: AnalysisResult
+    #: loop-fusion candidates over adjacent top-level loops, each carrying
+    #: the trusted core's verdict; only ``verified`` entries may fuse in the
+    #: compiled backend (rejected ones are kept for --audit visibility)
+    fusions: Tuple["FusionDecision", ...] = ()
 
     @property
     def parallel_loops(self) -> List[LoopDecision]:
         return [d for d in self.decisions.values() if d.parallel]
+
+    @property
+    def verified_fusions(self) -> Tuple["FusionDecision", ...]:
+        return tuple(f for f in self.fusions if f.verified)
 
     @property
     def diagnostics(self) -> List[Diagnostic]:
@@ -119,6 +128,7 @@ class ParallelizationResult:
             config=self.config,
             decisions={k: d.clone() for k, d in self.decisions.items()},
             analysis=analysis,
+            fusions=self.fusions,  # frozen dataclasses: safe to share
         )
 
 
@@ -188,8 +198,13 @@ def parallelize(
                 p = d.pragma
                 if p and p not in sub_nest.loop.pragmas:
                     sub_nest.loop.pragmas.append(p)
+    fusions = _decide_fusions(analysis, decisions)
     result = ParallelizationResult(
-        program=analysis.program, config=config, decisions=decisions, analysis=analysis
+        program=analysis.program,
+        config=config,
+        decisions=decisions,
+        analysis=analysis,
+        fusions=fusions,
     )
     if key is not None:
         _PARALLELIZE_CACHE[key] = result.clone()
@@ -197,6 +212,54 @@ def parallelize(
 
         _disk.store("parallelize", key, result.clone())
     return result
+
+
+def _decide_fusions(
+    analysis: AnalysisResult, decisions: Dict[str, LoopDecision]
+) -> Tuple[FusionDecision, ...]:
+    """Propose fusion groups and put each through the trusted-core checker.
+
+    Fail-soft like the rest of the pipeline: a crash in the (untrusted)
+    finder costs the fusion opportunity, never the parallelization result.
+    Rejected steps are kept with ``verified=False`` plus a
+    ``fusion-rejected`` diagnostic so ``--audit`` shows what was demoted.
+    """
+    try:
+        steps = propose_fusions(analysis.program, decisions)
+    except Exception as exc:  # pragma: no cover - defensive boundary
+        analysis.diagnostics.append(
+            diagnostic_from_exception(exc, nest_id=None, span=None)
+        )
+        return ()
+    out: List[FusionDecision] = []
+    for step in steps:
+        try:
+            res = check_fusion_step(step, analysis.program)
+        except Exception as exc:  # pragma: no cover - checker must not crash
+            res_failures = [f"checker crashed: {exc}"]
+            out.append(FusionDecision(step, False, res_failures[0]))
+            analysis.diagnostics.append(
+                Diagnostic(
+                    FUSION_REJECTED,
+                    f"fusion of {'+'.join(step.loops)} demoted: {res_failures[0]}",
+                    nest_id=step.loops[0],
+                )
+            )
+            continue
+        if res.ok:
+            out.append(FusionDecision(step, True, "accepted by checker"))
+        else:
+            reason = (res.failures or ["rejected"])[0]
+            out.append(FusionDecision(step, False, reason))
+            analysis.diagnostics.append(
+                Diagnostic(
+                    FUSION_REJECTED,
+                    f"fusion of {'+'.join(step.loops)} demoted: {reason}",
+                    nest_id=step.loops[0],
+                    detail="; ".join(res.failures),
+                )
+            )
+    return tuple(out)
 
 
 def _serialize_nest(

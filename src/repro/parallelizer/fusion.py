@@ -1,0 +1,198 @@
+"""Loop-fusion candidates from certified dependence facts.
+
+The paper's pipeline decides *where* to parallelize; this module decides
+where adjacent loops can additionally be *fused* in the compiled backend
+(PAPERS.md: the loop-fission technique of Moyen et al. run in reverse).
+A candidate group is a maximal run of adjacent top-level loops that
+
+* share one iteration space (structurally equal canonical bounds),
+* are each PARALLEL with a checker-verified certificate (the PR 3
+  dependence facts fusion legality builds on), and
+* are linked producer → consumer: each extension shares at least one
+  *cross array* (written in one member, touched in another) with the
+  group so far, every cross-array access going through a 1-D
+  ``index + c`` subscript — the aligned-access shape whose legality the
+  trusted core re-derives (:func:`repro.verify.checker.check_fusion_step`)
+  and whose intermediate loads the lowerer can then forward away.
+
+The finder is analysis-side and therefore untrusted: every proposed
+:class:`~repro.verify.certificate.FusionStep` is re-validated by the
+independent checker in :func:`repro.parallelizer.driver.parallelize`;
+rejected steps are kept with ``verified=False`` (and a diagnostic) so the
+executor demotes the group to unfused execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Decl,
+    Expression,
+    For,
+    Id,
+    Num,
+    Program,
+)
+from repro.verify.certificate import FusionStep
+
+
+@dataclasses.dataclass(frozen=True)
+class FusionDecision:
+    """One fusion candidate plus the trusted core's verdict on it."""
+
+    step: FusionStep
+    #: the independent checker re-derived the step's legality
+    verified: bool
+    reason: str = ""
+
+
+def _header_fp(loop: For) -> Optional[Tuple[str, tuple, tuple, bool]]:
+    """(index, lb-fp, ub-fp, inclusive) for canonical headers, else None."""
+    init, cond, step = loop.init, loop.cond, loop.step
+    if not (isinstance(init, Assign) and isinstance(init.lhs, Id) and init.op == "="):
+        return None
+    index = init.lhs.name
+    if not (isinstance(cond, BinOp) and cond.op in ("<", "<=")):
+        return None
+    if not (isinstance(cond.lhs, Id) and cond.lhs.name == index):
+        return None
+    if not (isinstance(step, Assign) and isinstance(step.lhs, Id) and step.lhs.name == index):
+        return None
+    r = step.rhs
+    unit = (
+        isinstance(r, BinOp)
+        and r.op == "+"
+        and (
+            (isinstance(r.lhs, Id) and r.lhs.name == index and isinstance(r.rhs, Num) and r.rhs.value == 1)
+            or (isinstance(r.rhs, Id) and r.rhs.name == index and isinstance(r.lhs, Num) and r.lhs.value == 1)
+        )
+    )
+    if not unit:
+        return None
+    return index, _expr_fp(init.rhs), _expr_fp(cond.rhs), cond.op == "<="
+
+
+def _expr_fp(e) -> tuple:
+    if isinstance(e, Id):
+        return ("id", e.name)
+    if isinstance(e, Num):
+        return ("num", e.value)
+    if isinstance(e, BinOp):
+        return ("bin", e.op, _expr_fp(e.lhs), _expr_fp(e.rhs))
+    if isinstance(e, ArrayAccess):
+        return ("arr", e.name) + tuple(_expr_fp(i) for i in e.indices)
+    return ("opaque", type(e).__name__, id(e))
+
+
+def _offset_of(e: Expression, index: str) -> Optional[int]:
+    if isinstance(e, Id):
+        return 0 if e.name == index else None
+    if isinstance(e, BinOp) and e.op in ("+", "-"):
+        if isinstance(e.lhs, Id) and e.lhs.name == index and isinstance(e.rhs, Num):
+            return e.rhs.value if e.op == "+" else -e.rhs.value
+        if e.op == "+" and isinstance(e.rhs, Id) and e.rhs.name == index and isinstance(e.lhs, Num):
+            return e.lhs.value
+    return None
+
+
+class _LoopFacts:
+    """Array/scalar footprint of one loop body (finder-side view)."""
+
+    def __init__(self, loop: For, index: str):
+        self.index = index
+        self.writes: Dict[str, List[Expression]] = {}
+        self.touched: Dict[str, List[Expression]] = {}
+        self.declared_arrays: Set[str] = set()
+        for n in loop.body.walk():
+            if isinstance(n, ArrayAccess) and n.indices:
+                self.touched.setdefault(n.name, []).append(n.indices[0])
+            elif isinstance(n, Assign) and isinstance(n.lhs, ArrayAccess) and n.lhs.indices:
+                self.writes.setdefault(n.lhs.name, []).append(n.lhs.indices[0])
+            elif isinstance(n, Decl) and n.dims:
+                self.declared_arrays.add(n.name)
+
+    def aligned(self, array: str) -> bool:
+        """Every access to ``array`` is a 1-D ``index + c`` subscript."""
+        for e in self.touched.get(array, []) + self.writes.get(array, []):
+            if _offset_of(e, self.index) is None:
+                return False
+        return True
+
+
+def _cross_arrays(facts: List[_LoopFacts]) -> Set[str]:
+    cross: Set[str] = set()
+    for i, fi in enumerate(facts):
+        for j, fj in enumerate(facts):
+            if i != j:
+                cross |= set(fi.writes) & (set(fj.touched) | set(fj.writes))
+    return cross
+
+
+def propose_fusions(program: Program, decisions: Dict[str, object]) -> List[FusionStep]:
+    """Profitable fusion-candidate groups over adjacent top-level loops.
+
+    Only proposes groups whose members all carry verified PARALLEL
+    certificates; legality itself is the checker's call — a proposal the
+    checker rejects simply stays unfused.
+    """
+    steps: List[FusionStep] = []
+    run: List[Tuple[For, Tuple[str, tuple, tuple, bool]]] = []
+
+    def flush() -> None:
+        if len(run) >= 2:
+            step = _group_step(run)
+            if step is not None:
+                steps.append(step)
+        run.clear()
+
+    for stmt in program.stmts:
+        fp = _header_fp(stmt) if isinstance(stmt, For) else None
+        d = decisions.get(stmt.loop_id or "") if isinstance(stmt, For) else None
+        eligible = (
+            fp is not None
+            and stmt.loop_id
+            and d is not None
+            and getattr(d, "parallel", False)
+            and getattr(d, "certificate_verified", False)
+        )
+        if not eligible:
+            flush()
+            continue
+        if run and (run[-1][1][1], run[-1][1][2], run[-1][1][3]) != (fp[1], fp[2], fp[3]):
+            flush()
+        run.append((stmt, fp))
+    flush()
+    return steps
+
+
+def _group_step(run: List[Tuple[For, Tuple[str, tuple, tuple, bool]]]) -> Optional[FusionStep]:
+    """Trim a bounds-compatible run to its longest profitable prefix group."""
+    facts = [_LoopFacts(loop, fp[0]) for loop, fp in run]
+    # grow while each extension shares an aligned cross array with the group
+    group = [0]
+    for k in range(1, len(run)):
+        sub = [facts[i] for i in group] + [facts[k]]
+        cross = _cross_arrays(sub)
+        linked = set(facts[k].touched) | set(facts[k].writes)
+        new_cross = cross & linked
+        if not new_cross:
+            break
+        if not all(f.aligned(a) for f in sub for a in cross):
+            break
+        group.append(k)
+    if len(group) < 2:
+        return None
+    facts = [facts[i] for i in group]
+    loops = tuple(run[i][0].loop_id or "" for i in group)
+    cross = _cross_arrays(facts)
+    return FusionStep(
+        loops=loops,
+        index=run[0][1][0],
+        arrays=tuple(sorted(cross)),
+        detail="adjacent producer/consumer group with aligned element access",
+    )

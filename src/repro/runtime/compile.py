@@ -495,12 +495,16 @@ class _Lowerer:
         vectorize: bool = True,
         trace: bool = False,
         parallel: bool = False,
+        parallel_loops: Optional[Set[str]] = None,
     ):
         self.prog = prog
         self.decisions = decisions or {}
         self.trace = trace
         self.vectorize = vectorize and not trace
         self.parallel = parallel and not trace
+        #: when set, only these loop_ids get pool dispatch (backend=auto's
+        #: per-loop choice); None = every certified loop (legacy behavior)
+        self.parallel_loops = parallel_loops
         self.lines: List[str] = []
         self.depth = 1
         self._tmp = 0
@@ -761,7 +765,11 @@ class _Lowerer:
             wt = self.fresh("wt")
             self.emit(f"{wt} = _time()")
         done = False
-        if self.parallel and at_top:
+        if (
+            self.parallel
+            and at_top
+            and (self.parallel_loops is None or (s.loop_id or "") in self.parallel_loops)
+        ):
             d = self.decisions.get(s.loop_id or "")
             if d is not None and getattr(d, "parallel", False):
                 done = self._parallel_for(s, h, d, lo, hi)
@@ -2005,6 +2013,9 @@ class CompiledProgram:
         trace: bool,
         loop_tiers: Optional[Dict[str, str]] = None,
         loop_bails: Optional[Dict[str, str]] = None,
+        lowered_prog: Optional[Program] = None,
+        fused_groups: Optional[List[Dict[str, Any]]] = None,
+        lowered_decisions: Optional[Dict[str, Any]] = None,
     ):
         self.prog = prog
         self.fn = fn
@@ -2018,6 +2029,14 @@ class CompiledProgram:
         #: for loops that stayed scalar.
         self.loop_tiers = dict(loop_tiers or {})
         self.loop_bails = dict(loop_bails or {})
+        #: the normalized (and possibly fused) program the closure was
+        #: generated from — what the cost model plans over
+        self.lowered_prog = lowered_prog if lowered_prog is not None else prog
+        #: metadata for each fusion group actually applied (see
+        #: :func:`repro.runtime.fuse.apply_fusion`)
+        self.fused_groups = list(fused_groups or [])
+        #: decisions keyed by *lowered* loop_ids (fused ids included)
+        self.lowered_decisions = dict(lowered_decisions or {})
         digest = hashlib.sha256(source.encode())
         for k in sorted(chunks):
             digest.update(chunks[k].encode())
@@ -2070,6 +2089,8 @@ def compile_program(
     vectorize: bool = True,
     trace: bool = False,
     parallel: bool = False,
+    parallel_loops: Optional[Set[str]] = None,
+    fusions: Optional[Sequence[Any]] = None,
 ) -> CompiledProgram:
     """Lower ``prog``; on any lowering failure return an interp-backed shim.
 
@@ -2077,16 +2098,56 @@ def compile_program(
     runs), so ``i++`` headers and embedded side effects lower cleanly;
     the ``_temp_k`` scalars normalization introduces are internal and are
     not written back to the returned environment.
+
+    ``fusions`` (checker-verified :class:`FusionDecision`-likes from
+    :func:`repro.parallelizer.driver.parallelize`) is opt-in: when given,
+    verified groups are fused before lowering.  A fused loop that bails to
+    the scalar tier is demoted — the group recompiles unfused — so fusion
+    can only ever trade up.
     """
     from repro.analysis.normalize import normalize_program
 
     try:
         original_names = _names_in(prog)
         normalized = normalize_program(prog)
-        low = _Lowerer(
-            normalized, decisions, vectorize=vectorize, trace=trace, parallel=parallel
-        )
-        source = low.lower_program()
+        eff_decisions = decisions
+        applied_groups: List[Dict[str, Any]] = []
+        active = [f for f in (fusions or ()) if getattr(f, "verified", True)]
+        while True:
+            lowered = normalized
+            eff_decisions = decisions
+            applied_groups = []
+            if active:
+                from repro.runtime.fuse import apply_fusion
+
+                lowered, eff_decisions, applied_groups = apply_fusion(
+                    normalized, decisions, active
+                )
+            low = _Lowerer(
+                lowered,
+                eff_decisions,
+                vectorize=vectorize,
+                trace=trace,
+                parallel=parallel,
+                parallel_loops=parallel_loops,
+            )
+            source = low.lower_program()
+            if applied_groups:
+                # tier guard: a fused loop that fell to scalar lowers the
+                # whole group below its unfused tiers — demote and retry
+                bad = {
+                    g["fused_id"]
+                    for g in applied_groups
+                    if low.loop_tiers.get(g["fused_id"]) == "scalar"
+                }
+                if bad:
+                    active = [
+                        f
+                        for f in active
+                        if _fused_id_of(f) not in bad
+                    ]
+                    continue
+            break
         ns = _exec_namespace()
         ns["_NAMES"] = tuple(
             n
@@ -2101,6 +2162,8 @@ def compile_program(
         return CompiledProgram(
             prog, ns["_kernel"], source, "compiled", None, dict(low.chunks), trace,
             loop_tiers=low.loop_tiers, loop_bails=low.loop_bails,
+            lowered_prog=lowered, fused_groups=applied_groups,
+            lowered_decisions=dict(eff_decisions or {}),
         )
     except CompileError as exc:
         _record_tiers({}, {}, str(exc))
@@ -2110,6 +2173,11 @@ def compile_program(
         return CompiledProgram(
             prog, None, "", "interp", f"{type(exc).__name__}: {exc}", {}, trace
         )
+
+
+def _fused_id_of(f: Any) -> str:
+    step = getattr(f, "step", f)
+    return "+".join(getattr(step, "loops", ()))
 
 
 def _record_tiers(
@@ -2133,7 +2201,7 @@ def _record_tiers(
         pass
 
 
-_VALID_BACKENDS = ("interp", "compiled", "compiled-parallel")
+_VALID_BACKENDS = ("interp", "compiled", "compiled-parallel", "auto")
 
 #: documented float tolerance of the compiled tier (np.sum is pairwise,
 #: chunked parallel reductions reassociate)
@@ -2160,8 +2228,17 @@ def execute(
     decisions: Optional[Dict[str, Any]] = None,
     backend: Optional[str] = None,
     threads: Optional[int] = None,
+    fusions: Optional[Sequence[Any]] = None,
 ) -> Dict[str, Any]:
     """Run ``prog`` over ``env`` on the selected backend.
+
+    ``backend="auto"`` compiles once, prices every top-level loop with
+    the execution cost model (:mod:`repro.runtime.costmodel`) and picks
+    interp / compiled / compiled-parallel *per loop*; the decisions and
+    their predictions land in :mod:`repro.runtime.workmeter` for
+    ``--stats``.  ``fusions`` (from
+    :attr:`repro.parallelizer.driver.ParallelizationResult.fusions`)
+    enables certified loop fusion on the compiled paths.
 
     ``REPRO_EXEC_DIFF=1`` additionally runs the reference interpreter and
     raises :class:`BackendMismatch` if the final states diverge beyond
@@ -2172,22 +2249,29 @@ def execute(
     diff = os.environ.get("REPRO_EXEC_DIFF") == "1" and b != "interp"
     if b == "interp":
         return run_program(prog, env)
+    if fusions and os.environ.get("REPRO_FUSE") == "0":
+        # kill-switch for A/B fusion measurement (benchmarks/run_speed.py)
+        fusions = None
 
-    pool = None
-    if b == "compiled-parallel":
-        from repro.runtime.parbackend import get_pool
+    if b == "auto":
+        primary = lambda e: _execute_auto(prog, e, decisions, threads, fusions)  # noqa: E731
+    else:
+        pool = None
+        if b == "compiled-parallel":
+            from repro.runtime.parbackend import get_pool
 
-        pool = get_pool(threads)
-    cp = compile_program(prog, decisions, parallel=pool is not None)
+            pool = get_pool(threads)
+        cp = compile_program(prog, decisions, parallel=pool is not None, fusions=fusions)
+        primary = lambda e: cp.run(e, pool=pool)  # noqa: E731
 
     if not diff:
-        return cp.run(env, pool=pool)
+        return primary(env)
 
     ref_env = _copy_env(env)
     comp_exc = ref_exc = None
     out = ref_out = None
     try:
-        out = cp.run(env, pool=pool)
+        out = primary(env)
     except InterpError as exc:
         comp_exc = exc
     try:
@@ -2207,6 +2291,62 @@ def execute(
             "compiled vs interp divergence: " + _divergence_detail(ref_out, out)
         )
     return out
+
+
+def _execute_auto(
+    prog: Program,
+    env: Dict[str, Any],
+    decisions: Optional[Dict[str, Any]],
+    threads: Optional[int],
+    fusions: Optional[Sequence[Any]],
+) -> Dict[str, Any]:
+    """Cost-model-driven dispatch: plan per loop, then run the best shape.
+
+    Strategy: compile serially first (fusion applied) — that reveals each
+    loop's achieved tier, the strongest cost signal.  The plan then
+    chooses, per top-level loop, serial-compiled or pool dispatch; a pool
+    is only forked when at least one loop is predicted to win by the
+    serial-bias margin.  A whole-program interp escape covers the tiny
+    scalar programs where numpy setup costs dominate.
+    """
+    from repro.runtime import costmodel, workmeter
+    from repro.runtime.parbackend import planned_workers
+
+    cp = compile_program(prog, decisions, fusions=fusions)
+    if cp.backend == "interp":
+        # lowering fell back; nothing to plan over
+        return cp.run(env)
+    workers = planned_workers(threads)
+    try:
+        cal = costmodel.get_calibration()
+        plans = costmodel.plan_program(cp, env, cal, workers=workers)
+    except Exception:  # pragma: no cover - cost model must never break execution
+        plans = []
+    for p in plans:
+        workmeter.record_prediction(
+            p.loop_id,
+            choice=p.choice,
+            tier=p.tier,
+            trips=p.trips,
+            work=p.work,
+            predicted=p.predicted,
+        )
+    if plans and costmodel.program_prefers_interp(plans):
+        return run_program(prog, env)
+    par_ids = {p.loop_id for p in plans if p.choice == "compiled-parallel"}
+    if par_ids:
+        from repro.runtime.parbackend import get_pool
+
+        cp_par = compile_program(
+            prog,
+            decisions,
+            parallel=True,
+            parallel_loops=par_ids,
+            fusions=fusions,
+        )
+        if cp_par.backend != "interp":
+            return cp_par.run(env, pool=get_pool(threads))
+    return cp.run(env)
 
 
 def _divergence_detail(ref: Dict[str, Any], out: Dict[str, Any]) -> str:

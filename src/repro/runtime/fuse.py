@@ -1,0 +1,355 @@
+"""Certified loop fusion for the compiled backend.
+
+Given a normalized program and the checker-accepted
+:class:`~repro.verify.certificate.FusionStep` groups produced by
+:func:`repro.parallelizer.driver.parallelize`, this pass rewrites each
+group of adjacent top-level loops into one fused loop whose body runs the
+member bodies back-to-back per iteration.  Two cleanups make the fusion
+actually pay in the lowered NumPy code:
+
+* **index unification** — later members' loop indices are renamed to the
+  first member's index (legal: the checker proved structurally equal
+  bounds and no cross-member index references); a trailing
+  ``idx_k = idx_0`` assignment reproduces each renamed index's past-end
+  value so final environments stay bit-identical with unfused execution;
+* **load forwarding** — when a member stores a scalar into a cross array
+  (``w[j] = sum``) and a later member re-loads the same element
+  (``q[j] = w[j]``), the load is replaced by the scalar, eliminating the
+  gather the fused loop no longer needs.  The store itself is kept (the
+  array is observable program state).
+
+The transform is deliberately *not* trusted: the interleaving legality
+comes from the checker-validated FusionStep, and the rewrite itself is
+covered by the dynamic differential gates (``REPRO_EXEC_DIFF``, the fuzz
+corpus under ``REPRO_BACKEND=auto``).  Anything surprising — missing
+loops, non-adjacent members, index capture — skips the group; fusion is
+an optimization, never a correctness requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    BinOp,
+    Compound,
+    Expression,
+    For,
+    Id,
+    Num,
+    Program,
+    Statement,
+)
+
+__all__ = ["apply_fusion", "fused_loop_id"]
+
+
+def fused_loop_id(loops: Sequence[str]) -> str:
+    """The loop_id a fused group executes under (``L1+L2``)."""
+    return "+".join(loops)
+
+
+class _FusedDecision:
+    """Merged execution contract for a fused group.
+
+    Duck-typed against :class:`repro.parallelizer.driver.LoopDecision`:
+    the lowerer only reads ``parallel`` / ``checks`` / ``private`` /
+    ``reductions`` via ``getattr``, so a plain class avoids a
+    runtime → parallelizer import cycle.
+    """
+
+    def __init__(self, loop_id: str, index: str, members: Sequence[Any]):
+        self.loop_id = loop_id
+        self.index = index
+        self.depth = 0
+        self.parallel = all(getattr(m, "parallel", False) for m in members)
+        self.certificate_verified = all(
+            getattr(m, "certificate_verified", False) for m in members
+        )
+        self.reason = "fused group: " + "; ".join(
+            getattr(m, "reason", "") for m in members
+        )
+        self.enclosed_by_parallel = False
+        self.certificate = None
+        self.blockers: List[str] = []
+        private: List[str] = []
+        reductions: List[Tuple[str, str]] = []
+        checks: List[Any] = []
+        seen_checks: Set[str] = set()
+        for m in members:
+            for p in getattr(m, "private", ()) or ():
+                # members' own indices are unified onto ``index``
+                p2 = index if p == getattr(m, "index", None) else p
+                if p2 not in private:
+                    private.append(p2)
+            for red in getattr(m, "reductions", ()) or ():
+                if red not in reductions:
+                    reductions.append(red)
+            for c in getattr(m, "checks", ()) or ():
+                text = getattr(c, "text", str(c))
+                if text not in seen_checks:
+                    seen_checks.add(text)
+                    checks.append(c)
+        self.private = private
+        self.reductions = reductions
+        self.checks = checks
+
+
+# ---------------------------------------------------------------------------
+# expression rewriting
+# ---------------------------------------------------------------------------
+
+
+def _rename_ids(node, old: str, new: str) -> None:
+    """In-place rename of every ``Id(old)`` under ``node``."""
+    for n in node.walk():
+        if isinstance(n, Id) and n.name == old:
+            n.name = new
+
+
+def _offset_of(e: Expression, index: str) -> Optional[int]:
+    if isinstance(e, Id):
+        return 0 if e.name == index else None
+    if isinstance(e, BinOp) and e.op in ("+", "-"):
+        if isinstance(e.lhs, Id) and e.lhs.name == index and isinstance(e.rhs, Num):
+            return e.rhs.value if e.op == "+" else -e.rhs.value
+        if e.op == "+" and isinstance(e.rhs, Id) and e.rhs.name == index and isinstance(e.lhs, Num):
+            return e.lhs.value
+    return None
+
+
+def _subst_expr(e: Expression, avail: Dict[str, Tuple[int, Expression]], index: str) -> Expression:
+    """Replace available cross-array loads in ``e`` (returns a rewrite)."""
+    if isinstance(e, ArrayAccess):
+        hit = avail.get(e.name)
+        if hit is not None and len(e.indices) == 1:
+            off = _offset_of(e.indices[0], index)
+            if off is not None and off == hit[0]:
+                return hit[1].clone()
+        e.indices = [_subst_expr(i, avail, index) for i in e.indices]
+        return e
+    if isinstance(e, BinOp):
+        e.lhs = _subst_expr(e.lhs, avail, index)
+        e.rhs = _subst_expr(e.rhs, avail, index)
+        return e
+    for attr in ("operand", "cond", "then", "els"):
+        if hasattr(e, attr):
+            setattr(e, attr, _subst_expr(getattr(e, attr), avail, index))
+    if hasattr(e, "args"):
+        e.args = [_subst_expr(a, avail, index) for a in e.args]
+    return e
+
+
+def _subst_stmt(s: Statement, avail: Dict[str, Tuple[int, Expression]], index: str) -> None:
+    """Rewrite every read position in one statement, recursively."""
+    if isinstance(s, Assign):
+        s.rhs = _subst_expr(s.rhs, avail, index)
+        if isinstance(s.lhs, ArrayAccess):
+            s.lhs.indices = [_subst_expr(i, avail, index) for i in s.lhs.indices]
+        return
+    if isinstance(s, Compound):
+        for x in s.stmts:
+            _subst_stmt(x, avail, index)
+        return
+    if isinstance(s, For):
+        if isinstance(s.init, Assign):
+            s.init.rhs = _subst_expr(s.init.rhs, avail, index)
+        s.cond = _subst_expr(s.cond, avail, index)
+        _subst_stmt(s.body, avail, index)
+        return
+    for attr in ("cond",):
+        if hasattr(s, attr) and getattr(s, attr) is not None:
+            setattr(s, attr, _subst_expr(getattr(s, attr), avail, index))
+    for attr in ("then", "els", "body"):
+        child = getattr(s, attr, None)
+        if child is not None:
+            _subst_stmt(child, avail, index)
+    if hasattr(s, "expr"):
+        s.expr = _subst_expr(s.expr, avail, index)
+
+
+def _stmt_effects(s: Statement) -> Tuple[Set[str], Set[str]]:
+    """(scalars assigned, arrays stored) anywhere under ``s``."""
+    scalars: Set[str] = set()
+    arrays: Set[str] = set()
+    for n in s.walk():
+        if isinstance(n, Assign):
+            if isinstance(n.lhs, Id):
+                scalars.add(n.lhs.name)
+            elif isinstance(n.lhs, ArrayAccess):
+                arrays.add(n.lhs.name)
+        elif isinstance(n, For) and isinstance(n.init, Assign) and isinstance(n.init.lhs, Id):
+            scalars.add(n.init.lhs.name)
+    return scalars, arrays
+
+
+def _forward_loads(stmts: List[Statement], cross: Set[str], index: str) -> int:
+    """Statement-ordered copy propagation through cross arrays.
+
+    After ``X[index+c] = s`` (s an Id or Num), later loads of
+    ``X[index+c]`` become ``s`` until either ``s`` or ``X`` is written
+    again.  Returns the number of loads forwarded.
+    """
+    avail: Dict[str, Tuple[int, Expression]] = {}
+    forwarded = 0
+    for s in stmts:
+        killed, stored = _stmt_effects(s)
+        usable = {
+            arr: v
+            for arr, v in avail.items()
+            if arr not in stored
+            and not (isinstance(v[1], Id) and v[1].name in killed)
+        }
+        if usable:
+            before = _count_loads(s, usable, index)
+            _subst_stmt(s, usable, index)
+            forwarded += before
+        # apply this statement's effects
+        for arr in stored:
+            avail.pop(arr, None)
+        for arr in list(avail):
+            v = avail[arr][1]
+            if isinstance(v, Id) and v.name in killed:
+                del avail[arr]
+        if (
+            isinstance(s, Assign)
+            and isinstance(s.lhs, ArrayAccess)
+            and s.lhs.name in cross
+            and s.op == "="
+            and len(s.lhs.indices) == 1
+            and isinstance(s.rhs, (Id, Num))
+        ):
+            off = _offset_of(s.lhs.indices[0], index)
+            if off is not None:
+                avail[s.lhs.name] = (off, s.rhs)
+    return forwarded
+
+
+def _count_loads(s: Statement, avail: Dict[str, Tuple[int, Expression]], index: str) -> int:
+    n = 0
+    store_sites = set()
+    for node in s.walk():
+        if isinstance(node, Assign) and isinstance(node.lhs, ArrayAccess):
+            store_sites.add(id(node.lhs))
+    for node in s.walk():
+        if isinstance(node, ArrayAccess) and id(node) not in store_sites:
+            hit = avail.get(node.name)
+            if hit is not None and len(node.indices) == 1:
+                off = _offset_of(node.indices[0], index)
+                if off is not None and off == hit[0]:
+                    n += 1
+    return n
+
+
+# ---------------------------------------------------------------------------
+# the fusion pass
+# ---------------------------------------------------------------------------
+
+
+def _flatten_body(body: Statement) -> List[Statement]:
+    if isinstance(body, Compound):
+        out: List[Statement] = []
+        for s in body.stmts:
+            out.extend(_flatten_body(s) if isinstance(s, Compound) else [s])
+        return out
+    return [body]
+
+
+def apply_fusion(
+    prog: Program,
+    decisions: Optional[Dict[str, Any]],
+    fusions: Sequence[Any],
+) -> Tuple[Program, Dict[str, Any], List[Dict[str, Any]]]:
+    """Fuse every verified group found in ``prog``.
+
+    Returns ``(program, decisions, applied)``: a program with each fused
+    group replaced by one loop (plus index-fixup assignments), a decisions
+    dict extended with the merged contract under the fused loop_id, and
+    one metadata record per group actually fused (``loops``, ``fused_id``,
+    ``index``, ``arrays``, ``forwarded_loads``).  Groups that cannot be
+    applied cleanly are skipped — the program stays correct unfused.
+    """
+    new_decisions: Dict[str, Any] = dict(decisions or {})
+    applied: List[Dict[str, Any]] = []
+    stmts = list(prog.stmts)
+    for fd in fusions:
+        step = getattr(fd, "step", fd)
+        if hasattr(fd, "verified") and not fd.verified:
+            continue
+        pos = {
+            s.loop_id: k
+            for k, s in enumerate(stmts)
+            if isinstance(s, For) and s.loop_id
+        }
+        where = [pos.get(l) for l in step.loops]
+        if any(w is None for w in where):
+            continue
+        lo, hi = where[0], where[-1]
+        if where != list(range(lo, lo + len(where))):
+            continue
+        members = [stmts[k] for k in where]
+        built = _fuse_members(members, step, new_decisions)
+        if built is None:
+            continue
+        fused, merged, fixups, forwarded = built
+        stmts[lo : hi + 1] = [fused] + fixups
+        new_decisions[fused.loop_id] = merged
+        applied.append(
+            {
+                "loops": list(step.loops),
+                "fused_id": fused.loop_id,
+                "index": step.index,
+                "arrays": list(step.arrays),
+                "forwarded_loads": forwarded,
+            }
+        )
+    if not applied:
+        return prog, new_decisions, applied
+    out = Program(stmts)
+    return out, new_decisions, applied
+
+
+def _fuse_members(
+    members: List[For], step, decisions: Dict[str, Any]
+) -> Optional[Tuple[For, _FusedDecision, List[Statement], int]]:
+    first = members[0]
+    if not (isinstance(first.init, Assign) and isinstance(first.init.lhs, Id)):
+        return None
+    index = first.init.lhs.name
+    if index != step.index:
+        return None
+    body_stmts: List[Statement] = []
+    fixups: List[Statement] = []
+    renamed: List[str] = []
+    for k, m in enumerate(members):
+        if not (isinstance(m.init, Assign) and isinstance(m.init.lhs, Id)):
+            return None
+        midx = m.init.lhs.name
+        body = m.body.clone()
+        if midx != index:
+            # renaming would capture if the body already names the target
+            if any(isinstance(n, Id) and n.name == index for n in body.walk()):
+                return None
+            _rename_ids(body, midx, index)
+            if midx not in renamed:
+                renamed.append(midx)
+        body_stmts.extend(_flatten_body(body))
+    for midx in renamed:
+        # equal bounds => equal past-end value; keep final envs identical
+        fixups.append(Assign(Id(midx), "=", Id(index)))
+    cross = set(step.arrays)
+    forwarded = _forward_loads(body_stmts, cross, index)
+    fused = For(
+        init=first.init.clone(),
+        cond=first.cond.clone(),
+        step=first.step.clone(),
+        body=Compound(body_stmts),
+    )
+    fused.loop_id = fused_loop_id(step.loops)
+    member_decisions = [decisions.get(m.loop_id or "") for m in members]
+    if any(d is None for d in member_decisions):
+        return None
+    merged = _FusedDecision(fused.loop_id, index, member_decisions)
+    return fused, merged, fixups, forwarded

@@ -303,11 +303,11 @@ class WorkerPool:
         chunks: List[Tuple[int, int]] = []
         if weights is not None:
             try:
-                w = np.asarray(weights, dtype=np.float64).reshape(-1)
-                if w.shape[0] == trips:
-                    from repro.runtime.scheduler import balanced_chunk_bounds
+                from repro.runtime.scheduler import balanced_chunk_bounds
 
-                    chunks = balanced_chunk_bounds(w, nchunks, lo)
+                # trips pins the iteration count: a short/stale weight
+                # vector degrades to the uniform split inside the scheduler
+                chunks = balanced_chunk_bounds(weights, nchunks, lo, trips=trips)
             except Exception:
                 chunks = []
         if not chunks:
@@ -369,6 +369,25 @@ class WorkerPool:
             if p.is_alive():  # pragma: no cover
                 p.terminate()
                 p.join(timeout=5)
+
+
+#: one-time cost of shipping a loop dispatch through the pool: pipe
+#: round-trips, chunk-plan pickling, shared-memory bookkeeping.  These are
+#: conservative (high) defaults for the cost model — a dispatch that is
+#: predicted to win despite them is a safe bet (docs/cost_model.md,
+#: "Execution cost model and backend=auto").
+DISPATCH_BASE_S = 1.5e-3
+DISPATCH_PER_WORKER_S = 2.5e-4
+
+
+def dispatch_overhead_s(workers: int) -> float:
+    """Predicted fixed overhead of one parallel loop dispatch."""
+    return DISPATCH_BASE_S + DISPATCH_PER_WORKER_S * max(0, int(workers))
+
+
+def planned_workers(threads: Optional[int] = None) -> int:
+    """The worker count a dispatch would use, without creating a pool."""
+    return max(1, int(threads or os.environ.get("REPRO_EXEC_THREADS", 0) or os.cpu_count() or 1))
 
 
 _POOL: Optional[WorkerPool] = None

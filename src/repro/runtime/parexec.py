@@ -32,6 +32,11 @@ from repro.lang.astnodes import (
 )
 from repro.runtime.interp import Interpreter
 
+# The backend dispatch lives in runtime/compile.py; parexec re-exports it
+# so callers can reach execution (including backend="auto") from the
+# parallel-execution module the ISSUE/docs name.
+from repro.runtime.compile import execute, resolved_backend  # noqa: F401
+
 
 class IndexNotFound(ValueError):
     """A ``for`` header whose init/step does not reveal the loop index.

@@ -9,7 +9,7 @@ per-thread total determines the parallel region's compute time.
 from __future__ import annotations
 
 import heapq
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -79,7 +79,7 @@ def max_thread_work(
 
 
 def balanced_chunk_bounds(
-    weights: np.ndarray, nchunks: int, lo: int = 0
+    weights: np.ndarray, nchunks: int, lo: int = 0, trips: Optional[int] = None
 ) -> List[Tuple[int, int]]:
     """Split ``[lo, lo + len(weights))`` into <= ``nchunks`` contiguous
     chunks of near-equal total weight.
@@ -90,14 +90,23 @@ def balanced_chunk_bounds(
     prefix sum at equally spaced targets, so each chunk carries roughly
     ``total / nchunks`` work regardless of skew.  Degenerate weights
     (all zero, non-finite) fall back to the uniform static split.
+    ``trips`` (optional) asserts the iteration count: when the weight
+    vector does not cover it — a stale or truncated inspector profile —
+    the split degrades to the uniform static split over ``trips``
+    iterations instead of silently chunking the wrong range.
     Empty chunks are dropped — callers treat the *last returned* chunk
     as the one holding the loop's final iteration, so every returned
     chunk must be nonempty and the last must end at ``lo + n``.
     """
-    w = np.asarray(weights, dtype=np.float64)
+    w = np.asarray(weights, dtype=np.float64).reshape(-1)
     n = int(w.shape[0])
     if nchunks <= 0:
         raise ValueError("chunk count must be positive")
+    if trips is not None and int(trips) != n:
+        n = int(trips)
+        if n <= 0:
+            return []
+        return [(lo + s, lo + e) for s, e in static_chunks(n, min(nchunks, n))]
     if n == 0:
         return []
     nchunks = min(nchunks, n)

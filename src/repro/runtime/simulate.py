@@ -241,9 +241,10 @@ def measure_kernel(
     from repro.runtime.compile import execute
 
     if isinstance(result, Program):
-        prog, decisions = result, None
+        prog, decisions, fusions = result, None, None
     else:
         prog, decisions = result.program, result.decisions
+        fusions = getattr(result, "fusions", None)
     best = math.inf
     out: Dict[str, object] = {}
     for _ in range(max(1, repeats)):
@@ -252,6 +253,13 @@ def measure_kernel(
         }
         workmeter.reset()
         t0 = time.perf_counter()
-        out = execute(prog, run_env, decisions=decisions, backend=backend, threads=threads)
+        out = execute(
+            prog,
+            run_env,
+            decisions=decisions,
+            backend=backend,
+            threads=threads,
+            fusions=fusions,
+        )
         best = min(best, time.perf_counter() - t0)
     return best, out

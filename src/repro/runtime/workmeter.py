@@ -34,14 +34,49 @@ _CHUNKS: Dict[str, List[Tuple[int, int, float]]] = {}
 #: loop_id -> list of whole-loop wall-time samples from the serial backend
 _LOOPS: Dict[str, List[float]] = {}
 
+#: loop_id -> cost-model decision record (backend=auto dispatch)
+_PREDICTIONS: Dict[str, Dict[str, Any]] = {}
+
 _LOCK = threading.Lock()
 
 
 def reset() -> None:
-    """Drop all recorded chunk and loop timings."""
+    """Drop all recorded chunk and loop timings (and cost-model records)."""
     with _LOCK:
         _CHUNKS.clear()
         _LOOPS.clear()
+        _PREDICTIONS.clear()
+
+
+def record_prediction(
+    loop_id: str,
+    *,
+    choice: str,
+    tier: str,
+    trips: int,
+    work: int,
+    predicted: Dict[str, float],
+) -> None:
+    """Record one cost-model decision for ``backend=auto`` dispatch.
+
+    ``predicted`` maps backend labels to predicted seconds; the measured
+    counterpart arrives later through :func:`record_loop` /
+    :func:`record_chunks` and the two are merged by :func:`summary`.
+    """
+    with _LOCK:
+        _PREDICTIONS[loop_id] = {
+            "choice": choice,
+            "tier": tier,
+            "trips": int(trips),
+            "work": int(work),
+            "predicted": dict(predicted),
+        }
+
+
+def predictions() -> Dict[str, Dict[str, Any]]:
+    """Copy of all recorded cost-model decisions."""
+    with _LOCK:
+        return {k: dict(v) for k, v in _PREDICTIONS.items()}
 
 
 def record_loop(loop_id: str, seconds: float) -> None:
@@ -86,12 +121,13 @@ def loop_time(loop_id: str) -> Optional[float]:
 def summary() -> Dict[str, Dict[str, Any]]:
     """Per-loop timing digest: serial time, chunk count, imbalance ratio."""
     with _LOCK:
-        loop_ids = sorted(set(_CHUNKS) | set(_LOOPS))
+        loop_ids = sorted(set(_CHUNKS) | set(_LOOPS) | set(_PREDICTIONS))
     out: Dict[str, Dict[str, Any]] = {}
     for lid in loop_ids:
         with _LOCK:
             chunks = list(_CHUNKS.get(lid, ()))
             serial = list(_LOOPS.get(lid, ()))
+            pred = dict(_PREDICTIONS.get(lid, ()))
         entry: Dict[str, Any] = {}
         if serial:
             entry["loop_s"] = sum(serial)
@@ -100,8 +136,46 @@ def summary() -> Dict[str, Dict[str, Any]]:
             entry["chunks"] = len(chunks)
             entry["chunk_s"] = sum(dt for (_, _, dt) in chunks)
             entry["imbalance"] = chunk_imbalance(lid)
+        if pred:
+            entry["costmodel"] = pred
         out[lid] = entry
     return out
+
+
+def format_decision_table() -> str:
+    """The ``backend=auto`` decision table for ``--stats`` (may be '').
+
+    One row per planned loop: tier, trips, work, chosen backend, each
+    backend's predicted seconds, and the measured seconds when the loop
+    actually ran — mispredictions are debuggable straight from the CLI.
+    """
+    with _LOCK:
+        preds = {k: dict(v) for k, v in _PREDICTIONS.items()}
+    if not preds:
+        return ""
+    lines = [
+        "cost-model decisions (backend=auto)",
+        f"  {'loop':<14} {'tier':<11} {'trips':>9} {'work':>11} "
+        f"{'choice':<18} {'predicted':>11} {'measured':>11}",
+    ]
+    for lid in sorted(preds):
+        rec = preds[lid]
+        measured = loop_time(lid)
+        with _LOCK:
+            chunk_s = sum(dt for (_, _, dt) in _CHUNKS.get(lid, ()))
+        if measured is None and chunk_s:
+            measured = chunk_s
+        chosen = rec["predicted"].get(rec["choice"])
+        lines.append(
+            f"  {lid:<14} {rec['tier']:<11} {rec['trips']:>9} {rec['work']:>11} "
+            f"{rec['choice']:<18} "
+            f"{('%.6f' % chosen) if chosen is not None else '-':>11} "
+            f"{('%.6f' % measured) if measured is not None else '-':>11}"
+        )
+        for backend, t in sorted(rec["predicted"].items()):
+            if backend != rec["choice"]:
+                lines.append(f"  {'':<14} {'':<11} {'':>9} {'':>11} alt {backend:<14} {t:>11.6f}")
+    return "\n".join(lines)
 
 
 def format_summary() -> str:

@@ -17,24 +17,29 @@ the debug-mode well-formedness layer underneath, gated by
 from repro.verify.certificate import (
     Certificate,
     DisproofStep,
+    FusionStep,
     MonoStep,
     ScalarStep,
     SSRStep,
     format_certificate,
+    format_fusion_step,
 )
-from repro.verify.checker import CheckResult, check_certificate
+from repro.verify.checker import CheckResult, check_certificate, check_fusion_step
 from repro.verify.lint import LintError, lint_phase1, lint_phase2, lint_property
 
 __all__ = [
     "Certificate",
     "CheckResult",
     "DisproofStep",
+    "FusionStep",
     "LintError",
     "MonoStep",
     "SSRStep",
     "ScalarStep",
     "check_certificate",
+    "check_fusion_step",
     "format_certificate",
+    "format_fusion_step",
     "lint_phase1",
     "lint_phase2",
     "lint_property",

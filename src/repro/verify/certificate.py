@@ -17,6 +17,13 @@ on (paper §2.4–§3):
 * :class:`ScalarStep` — the safety role of every scalar the loop assigns
   (private / reduction).
 
+Loop *fusion* carries its own step kind, :class:`FusionStep`: the claim
+that a run of adjacent top-level loops may legally execute interleaved
+(``body1(i); body2(i); …`` per iteration) instead of sequentially.  It is
+re-validated against the program by
+:func:`repro.verify.checker.check_fusion_step`; a rejected step demotes
+the group to unfused execution.
+
 Steps are immutable; the mutation tests corrupt them with
 ``dataclasses.replace`` and assert the checker rejects the result.
 """
@@ -106,6 +113,33 @@ class ScalarStep:
     var: str
     #: 'private' | 'reduction:+' | 'reduction:*'
     role: str
+
+
+@dataclasses.dataclass(frozen=True)
+class FusionStep:
+    """Legality claim for fusing a run of adjacent top-level loops.
+
+    Fusing reorders only pairs ``(body_a(k), body_b(i))`` with ``a < b``
+    and ``k > i`` (later loops start before earlier loops finish).  The
+    claim that licenses this: every array written in one loop of the
+    group and touched in another (``arrays``) is accessed — in *every*
+    loop of the group, reads and writes alike — through a leading
+    subscript of the form ``index + c`` with one common constant offset
+    ``c`` per array, so iterations with different index values touch
+    disjoint elements and no reordered pair can conflict.  Scalars must
+    not flow between the bodies at all (inner-loop indices re-initialized
+    by their own headers are exempt).  The checker re-derives all of this
+    from the program text; the step records what was claimed.
+    """
+
+    #: loop_ids of the group, in program order (>= 2, pairwise adjacent)
+    loops: Tuple[str, ...]
+    #: canonical index of the first loop; the fused loop runs on it
+    index: str
+    #: cross arrays (written in one member, accessed in another) whose
+    #: aligned-access discipline the checker must re-establish
+    arrays: Tuple[str, ...] = ()
+    detail: str = ""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -211,4 +245,17 @@ def format_certificate(cert: Certificate, verified: Optional[bool] = None) -> st
         lines.append(f"  scalar     : {sc.var} is {sc.role}")
     if len(lines) == 1:
         lines.append("  (no array writes, no assigned scalars — trivially independent)")
+    return "\n".join(lines)
+
+
+def format_fusion_step(step: FusionStep, verified: Optional[bool] = None) -> str:
+    """Human-readable rendering of one fusion claim (CLI --audit)."""
+    head = f"fusion of loops {' + '.join(step.loops)} (index {step.index})"
+    if verified is not None:
+        head += " — " + ("ACCEPTED by checker" if verified else "REJECTED by checker")
+    lines = [head]
+    if step.arrays:
+        lines.append("  aligned cross arrays: " + ", ".join(step.arrays))
+    if step.detail:
+        lines.append(f"  {step.detail}")
     return "\n".join(lines)

@@ -46,6 +46,7 @@ from repro.lang.astnodes import (
     ArrayAccess,
     Assign,
     BinOp,
+    Break,
     Call,
     Compound,
     Decl,
@@ -57,6 +58,7 @@ from repro.lang.astnodes import (
     If,
     Node,
     Num,
+    Program,
     Statement,
     StrLit,
     Ternary,
@@ -73,6 +75,7 @@ from repro.verify.certificate import (
     ROUTE_CLASSICAL,
     ROUTE_DIRECT,
     Certificate,
+    FusionStep,
     MonoStep,
     SSRStep,
 )
@@ -1215,3 +1218,244 @@ def _check_disproofs(
             if t not in recorded:
                 errs.append(f"array '{arr}': required run-time check '{t}' missing from certificate")
     return errs
+
+
+# ---------------------------------------------------------------------------
+# loop fusion: independent legality re-derivation
+# ---------------------------------------------------------------------------
+
+
+def _leading_offset(e: Expression, index: str) -> Optional[int]:
+    """Constant ``c`` when ``e`` is structurally ``index + c``, else None."""
+    if isinstance(e, Id):
+        return 0 if e.name == index else None
+    if isinstance(e, BinOp) and e.op in ("+", "-"):
+        a, b = e.lhs, e.rhs
+        if isinstance(a, Id) and a.name == index and isinstance(b, Num):
+            return b.value if e.op == "+" else -b.value
+        if e.op == "+" and isinstance(b, Id) and b.name == index and isinstance(a, Num):
+            return a.value
+    return None
+
+
+class _BodyFacts:
+    """Everything fusion legality needs to know about one loop body."""
+
+    __slots__ = ("writes", "reads", "declared", "assigned", "referenced", "inner_only")
+
+    def __init__(self, body: Statement, index: str):
+        #: array name -> list of leading-subscript expressions
+        self.writes: Dict[str, List[Expression]] = {}
+        self.reads: Dict[str, List[Expression]] = {}
+        #: arrays declared inside the body (per-iteration locals)
+        self.declared: Set[str] = set()
+        self.assigned: Set[str] = set()
+        self.referenced: Set[str] = set()
+        #: scalars that occur *only* as canonical inner-loop indices
+        #: (re-initialized by their own for-init before every use)
+        self.inner_only: Set[str] = set()
+        inner_idx: Set[str] = set()
+        for n in body.walk():
+            if isinstance(n, ArrayAccess):
+                if n.indices:
+                    self.reads.setdefault(n.name, []).append(n.indices[0])
+                for i in n.indices:
+                    for m in i.walk():
+                        if isinstance(m, Id):
+                            self.referenced.add(m.name)
+            elif isinstance(n, Id):
+                self.referenced.add(n.name)
+            elif isinstance(n, Assign):
+                if isinstance(n.lhs, ArrayAccess) and n.lhs.indices:
+                    self.writes.setdefault(n.lhs.name, []).append(n.lhs.indices[0])
+                elif isinstance(n.lhs, Id):
+                    self.assigned.add(n.lhs.name)
+            elif isinstance(n, Decl):
+                if n.dims:
+                    self.declared.add(n.name)
+                else:
+                    self.assigned.add(n.name)
+            elif isinstance(n, For):
+                h = _match_header(n)
+                if h is not None:
+                    inner_idx.add(h.index)
+        # a write target's name is not itself a scalar reference
+        # (walk() visits the Assign before its children; Id lhs nodes do
+        # land in `referenced`, which is the conservative direction)
+        for s in inner_idx:
+            uses = self._non_loop_uses(body, s)
+            if not uses:
+                self.inner_only.add(s)
+        self.assigned -= {index}
+
+    @staticmethod
+    def _non_loop_uses(body: Statement, name: str) -> bool:
+        """Does ``name`` occur outside inner for-loops that use it as index?"""
+
+        def visit(node: Node) -> bool:
+            if isinstance(node, For):
+                h = _match_header(node)
+                if h is not None and h.index == name:
+                    # uses inside this loop (header included) are fine —
+                    # the init re-assigns before the body can read
+                    return False
+            for child in _children(node):
+                if isinstance(child, Id) and child.name == name:
+                    return True
+                if visit(child):
+                    return True
+            return False
+
+        return visit(body)
+
+
+def _children(node: Node) -> List[Node]:
+    out: List[Node] = []
+    for n in node.walk():
+        if n is not node:
+            out.append(n)
+    return out
+
+
+def _body_break_at_level(body: Statement) -> bool:
+    """A ``break`` that would exit the fused loop itself (not an inner one)."""
+
+    def visit(node: Node) -> bool:
+        if isinstance(node, Break):
+            return True
+        if isinstance(node, (For, While)):
+            return False
+        if isinstance(node, Compound):
+            return any(visit(x) for x in node.stmts)
+        if isinstance(node, If):
+            if visit(node.then):
+                return True
+            return node.els is not None and visit(node.els)
+        return False
+
+    return visit(body)
+
+
+def check_fusion_step(step: FusionStep, prog: Program) -> CheckResult:
+    """Re-derive the legality of one fusion claim from the program text.
+
+    Independent of the candidate finder: adjacency, header equality, the
+    per-array aligned-access discipline, and scalar non-interference are
+    all established directly on the ASTs.  Anything this function cannot
+    prove is a rejection — the executor then runs the group unfused.
+    """
+    failures: List[str] = []
+    if len(step.loops) < 2:
+        return CheckResult(False, ["fusion step names fewer than two loops"])
+    if len(set(step.loops)) != len(step.loops):
+        return CheckResult(False, ["fusion step repeats a loop id"])
+
+    # the named loops must be consecutive top-level statements, in order
+    top = {s.loop_id: k for k, s in enumerate(prog.stmts) if isinstance(s, For) and s.loop_id}
+    positions = []
+    for lid in step.loops:
+        if lid not in top:
+            return CheckResult(False, [f"loop '{lid}' is not a top-level loop of the program"])
+        positions.append(top[lid])
+    for a, b in zip(positions, positions[1:]):
+        if b != a + 1:
+            return CheckResult(False, ["fused loops are not adjacent in program order"])
+
+    loops = [prog.stmts[p] for p in positions]
+    headers = []
+    for lid, loop in zip(step.loops, loops):
+        h = _match_header(loop)
+        if h is None:
+            return CheckResult(False, [f"loop '{lid}': header is not in canonical form"])
+        headers.append(h)
+    h0 = headers[0]
+    if h0.index != step.index:
+        failures.append(
+            f"fusion index '{step.index}' does not match header index '{h0.index}'"
+        )
+    bounds0 = (_cond_fp(h0.lb), _cond_fp(h0.ub), h0.inclusive)
+    for lid, h in zip(step.loops[1:], headers[1:]):
+        if (_cond_fp(h.lb), _cond_fp(h.ub), h.inclusive) != bounds0:
+            failures.append(f"loop '{lid}': iteration space differs from '{step.loops[0]}'")
+    if failures:
+        return CheckResult(False, failures)
+
+    facts = [_BodyFacts(loop.body, h.index) for loop, h in zip(loops, headers)]
+    for lid, loop in zip(step.loops, loops):
+        if _body_break_at_level(loop.body):
+            failures.append(f"loop '{lid}': body may break out of the fused loop")
+
+    # loop bounds must be invariant under every member's writes (a member
+    # writing a bound name would change later members' trip counts)
+    bound_names: Set[str] = set()
+    for e in (h0.lb, h0.ub):
+        for n in e.walk():
+            if isinstance(n, Id):
+                bound_names.add(n.name)
+    for lid, f in zip(step.loops, facts):
+        touched = (f.assigned | set(f.writes) | f.declared) & bound_names
+        if touched:
+            failures.append(f"loop '{lid}': writes loop-bound name(s) {sorted(touched)}")
+
+    # scalar non-interference: no scalar assigned in one body may be
+    # referenced in any other (inner-loop indices each body re-initializes
+    # are exempt); no body may reference another member's index
+    indices = {h.index for h in headers}
+    for i, (lid_i, fi) in enumerate(zip(step.loops, facts)):
+        for j, (lid_j, fj) in enumerate(zip(step.loops, facts)):
+            if i == j:
+                continue
+            shared = fi.assigned & (fj.referenced | fj.assigned)
+            shared -= fi.inner_only & fj.inner_only
+            shared -= {headers[i].index, headers[j].index}
+            if shared:
+                failures.append(
+                    f"scalar(s) {sorted(shared)} flow between loops "
+                    f"'{lid_i}' and '{lid_j}'"
+                )
+            foreign = (indices - {headers[j].index}) & (fj.referenced | fj.assigned)
+            if foreign and j == i + 1:
+                failures.append(
+                    f"loop '{lid_j}': references other members' index {sorted(foreign)}"
+                )
+
+    # cross arrays: written somewhere in the group and touched elsewhere
+    cross: Set[str] = set()
+    for i, fi in enumerate(facts):
+        for j, fj in enumerate(facts):
+            if i == j:
+                continue
+            cross |= set(fi.writes) & (set(fj.reads) | set(fj.writes))
+    if set(step.arrays) != cross:
+        failures.append(
+            f"recorded cross arrays {sorted(step.arrays)} do not match "
+            f"derived {sorted(cross)}"
+        )
+    for arr in sorted(cross):
+        offsets: Set[int] = set()
+        ok = True
+        for h, f in zip(headers, facts):
+            if arr in f.declared:
+                failures.append(f"array '{arr}': declared inside a fused body")
+                ok = False
+                continue
+            for e in f.writes.get(arr, []) + f.reads.get(arr, []):
+                c = _leading_offset(e, h.index)
+                if c is None:
+                    failures.append(
+                        f"array '{arr}': access subscript is not 'index + const'"
+                    )
+                    ok = False
+                    break
+                offsets.add(c)
+            if not ok:
+                break
+        if ok and len(offsets) > 1:
+            failures.append(
+                f"array '{arr}': accesses use different offsets {sorted(offsets)}"
+            )
+
+    # deduplicate (the pairwise scans can report one conflict twice)
+    seen: Set[str] = set()
+    unique = [f for f in failures if not (f in seen or seen.add(f))]
+    return CheckResult(not unique, unique)

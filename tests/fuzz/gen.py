@@ -280,6 +280,37 @@ class _Gen:
             f"}}"
         )
 
+    def seg_fusable_pair(self) -> str:
+        """Adjacent producer/consumer loops over the same iteration space.
+
+        The producer fills ``t[i]`` elementwise; the consumer reads
+        ``t[j]`` at the same offset.  This is exactly the shape the
+        fusion pass targets, so the fuzz gate exercises propose → check
+        → fuse → execute on random bodies (checker-accepted fused loops
+        must stay race-free and output-equivalent).  The shared symbolic
+        bound keeps the headers fingerprint-equal.
+        """
+        t = self.new_data_array()
+        dst = self.new_data_array()
+        ub = self.ub()
+        i, j = self.fresh("i"), self.fresh("j")
+        prod_rhs = self.value_expr(i, depth=1)
+        cons = f"{dst}[{j}] = {t}[{j}] + {self.value_expr(j, 2)};"
+        if self.rng.random() < 0.3:
+            acc = self.new_scalar(0)
+            cons = f"{acc} = {acc} + {t}[{j}];"
+        parts = [
+            f"for ({i} = 0; {i} < {ub}; {i}++) {t}[{i}] = {prod_rhs};",
+            f"for ({j} = 0; {j} < {ub}; {j}++) {cons}",
+        ]
+        if self.rng.random() < 0.3:
+            k = self.fresh("k")
+            parts.append(
+                f"for ({k} = 0; {k} < {ub}; {k}++) "
+                f"{self.new_data_array()}[{k}] = {dst}[{k}] * 2;"
+            )
+        return "\n".join(parts)
+
     def seg_while(self) -> str:
         # ineligible construct: the analysis must fall back conservatively
         dst = self.any_data_array()
@@ -314,6 +345,7 @@ class _Gen:
         ("nested", 2),
         ("guarded_elementwise", 3),
         ("csr_nest", 3),
+        ("fusable_pair", 3),
         ("while", 1),
         ("break", 1),
     )

@@ -1,0 +1,215 @@
+"""Certified loop fusion: transform semantics, forwarding, demotion."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.parallelizer import parallelize
+from repro.runtime.compile import compile_program, execute
+from repro.runtime.fuse import apply_fusion, fused_loop_id
+from repro.runtime.interp import run_program
+from repro.runtime.parexec import states_equivalent
+
+CHAIN = """
+for (i = 0; i < n; i++){
+    t[i] = a[i] * 2;
+}
+for (j = 0; j < n; j++){
+    b[j] = t[j] + 1;
+}
+"""
+
+COPY_CHAIN = """
+d = 0;
+for (i = 0; i < n; i++){
+    s = a[i] * 2;
+    w[i] = s;
+}
+for (j = 0; j < n; j++){
+    q[j] = w[j];
+}
+for (j = 0; j < n; j++){
+    d = d + q[j];
+}
+"""
+
+
+def _env(n=40):
+    return {
+        "n": n,
+        "a": np.arange(n, dtype=np.float64),
+        "t": np.zeros(n),
+        "b": np.zeros(n),
+        "w": np.zeros(n),
+        "q": np.zeros(n),
+        "s": 0.0,
+        "d": 0.0,
+    }
+
+
+def _parallelized(src):
+    return parallelize(src, AnalysisConfig.new_algorithm())
+
+
+class TestApplyFusion:
+    def test_pair_fuses_and_matches_interpreter(self):
+        result = _parallelized(CHAIN)
+        verified = [f for f in result.fusions if f.verified]
+        assert verified, "producer/consumer pair did not verify"
+        fused_prog, decisions, applied = apply_fusion(
+            result.program, result.decisions, verified
+        )
+        assert len(applied) == 1
+        group = applied[0]
+        assert group["fused_id"] == fused_loop_id(group["loops"])
+        # one fewer top-level loop, plus the j-fixup assignment
+        env_f = _env()
+        run_program(fused_prog, env_f)
+        env_r = _env()
+        run_program(result.program, env_r)
+        assert states_equivalent(env_r, env_f)
+
+    def test_index_fixup_reproduces_past_end_value(self):
+        result = _parallelized(CHAIN)
+        verified = [f for f in result.fusions if f.verified]
+        fused_prog, _, applied = apply_fusion(
+            result.program, result.decisions, verified
+        )
+        assert applied
+        out = run_program(fused_prog, _env(n=7))
+        # both the surviving index and the renamed one end past the bound
+        assert out["i"] == 7 and out["j"] == 7
+
+    def test_forwards_loads_through_cross_arrays(self):
+        result = _parallelized(COPY_CHAIN)
+        verified = [f for f in result.fusions if f.verified]
+        assert verified
+        _, _, applied = apply_fusion(result.program, result.decisions, verified)
+        assert applied
+        # q[j] = w[j] reads w via the stored scalar, and d += q[j] reads q
+        # via the same scalar: two loads forwarded
+        assert sum(g["forwarded_loads"] for g in applied) >= 2
+
+    def test_forwarding_keeps_stores_observable(self):
+        result = _parallelized(COPY_CHAIN)
+        verified = [f for f in result.fusions if f.verified]
+        fused_prog, _, applied = apply_fusion(
+            result.program, result.decisions, verified
+        )
+        assert applied
+        env_f = _env()
+        run_program(fused_prog, env_f)
+        env_r = _env()
+        run_program(result.program, env_r)
+        # the intermediate arrays are observable state: still written
+        assert states_equivalent(env_r, env_f)
+        np.testing.assert_array_equal(env_f["w"], env_f["a"] * 2)
+        np.testing.assert_array_equal(env_f["q"], env_f["a"] * 2)
+
+    def test_unverified_decision_is_skipped(self):
+        result = _parallelized(CHAIN)
+        verified = [f for f in result.fusions if f.verified]
+        assert verified
+        import dataclasses
+
+        demoted = [dataclasses.replace(f, verified=False) for f in verified]
+        prog, _, applied = apply_fusion(result.program, result.decisions, demoted)
+        assert applied == []
+        assert prog is result.program
+
+
+class TestCompiledFusion:
+    def test_compile_program_reports_fused_groups(self):
+        result = _parallelized(CHAIN)
+        cp = compile_program(
+            result.program, result.decisions, fusions=result.fusions
+        )
+        assert cp.fused_groups
+        fid = cp.fused_groups[0]["fused_id"]
+        # the fused loop lowers to a vector tier, not scalar fallback
+        assert cp.loop_tiers.get(fid) in ("vectorized", "flattened")
+        env_c = _env()
+        cp.run(env_c)
+        env_r = _env()
+        run_program(result.program, env_r)
+        assert states_equivalent(env_r, env_c)
+
+    def test_no_fusions_argument_means_no_fusion(self):
+        result = _parallelized(CHAIN)
+        cp = compile_program(result.program, result.decisions)
+        assert cp.fused_groups == []
+
+    def test_repro_fuse_kill_switch(self):
+        result = _parallelized(CHAIN)
+        os.environ["REPRO_FUSE"] = "0"
+        try:
+            env = _env()
+            execute(
+                result.program, env,
+                decisions=result.decisions, backend="compiled",
+                fusions=result.fusions,
+            )
+        finally:
+            os.environ.pop("REPRO_FUSE", None)
+        env_r = _env()
+        run_program(result.program, env_r)
+        assert states_equivalent(env_r, env)
+
+    def test_fused_execution_under_auto_backend(self):
+        result = _parallelized(COPY_CHAIN)
+        env = _env()
+        execute(
+            result.program, env,
+            decisions=result.decisions, backend="auto",
+            fusions=result.fusions,
+        )
+        env_r = _env()
+        run_program(result.program, env_r)
+        assert states_equivalent(env_r, env)
+
+
+class TestDemotion:
+    def test_rejected_step_demotes_with_diagnostic(self):
+        # ``s`` is private in the producer but the consumer reads its
+        # post-loop value: both loops are parallel, the pair is proposed,
+        # and the checker must reject the interleave (fusing would make
+        # the consumer read iteration-local values of s)
+        src = (
+            "s = 0;\n"
+            "for (i = 0; i < n; i++){ s = a[i] * 2; t[i] = s; }\n"
+            "for (j = 0; j < n; j++){ b[j] = t[j] + s; }\n"
+        )
+        result = _parallelized(src)
+        demoted = [f for f in result.fusions if not f.verified]
+        if not any(result.fusions):
+            pytest.skip("pair not proposed under this analysis config")
+        assert demoted, "scalar-flow pair must not verify"
+        assert any(d.kind == "fusion-rejected" for d in result.diagnostics)
+        # and the compiled path must not fuse it
+        cp = compile_program(
+            result.program, result.decisions, fusions=result.fusions
+        )
+        assert cp.fused_groups == []
+        env = {
+            "n": 16,
+            "a": np.arange(16, dtype=np.float64),
+            "t": np.zeros(16),
+            "b": np.zeros(16),
+            "s": 0.0,
+        }
+        out = dict(env)
+        cp.run(out)
+        ref = {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+        run_program(result.program, ref)
+        assert states_equivalent(ref, out)
+
+    def test_misaligned_offsets_are_not_proposed_verified(self):
+        # consumer reads t[j + 1] while producer writes t[i]: offsets differ
+        src = (
+            "for (i = 0; i < n; i++){ t[i] = a[i]; }\n"
+            "for (j = 0; j < n; j++){ b[j] = t[j + 1]; }\n"
+        )
+        result = _parallelized(src)
+        assert not [f for f in result.fusions if f.verified]

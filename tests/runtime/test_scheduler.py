@@ -5,6 +5,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.runtime.scheduler import (
+    balanced_chunk_bounds,
     dynamic_assign,
     max_thread_work,
     static_chunks,
@@ -60,6 +61,55 @@ class TestDynamicAssign:
     def test_single_thread(self):
         total, _ = dynamic_assign(np.arange(5.0), 1)
         assert total == 10.0
+
+
+class TestBalancedChunkBoundsDegenerate:
+    """Degenerate inputs must fall back to the uniform static split (or
+    empty) rather than producing empty/overlapping/short chunks."""
+
+    def _assert_covers(self, bounds, lo, n):
+        assert bounds[0][0] == lo and bounds[-1][1] == lo + n
+        for (a, b), (c, d) in zip(bounds, bounds[1:]):
+            assert b == c
+        assert all(b > a for a, b in bounds)
+
+    def test_all_zero_weights_uses_static_split(self):
+        bounds = balanced_chunk_bounds(np.zeros(12), 4)
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_single_iteration(self):
+        assert balanced_chunk_bounds(np.array([7.0]), 4) == [(0, 1)]
+
+    def test_single_iteration_zero_weight(self):
+        assert balanced_chunk_bounds(np.array([0.0]), 8, lo=5) == [(5, 6)]
+
+    def test_empty_weights(self):
+        assert balanced_chunk_bounds(np.array([]), 4) == []
+
+    def test_weights_shorter_than_trips_degrade_to_static(self):
+        # a stale/truncated inspector profile must not chunk the wrong range
+        bounds = balanced_chunk_bounds(np.array([5.0, 1.0]), 3, trips=9)
+        self._assert_covers(bounds, 0, 9)
+        assert bounds == [(0, 3), (3, 6), (6, 9)]
+
+    def test_weights_longer_than_trips_degrade_to_static(self):
+        bounds = balanced_chunk_bounds(np.ones(20), 2, lo=4, trips=6)
+        self._assert_covers(bounds, 4, 6)
+
+    def test_trips_zero_is_empty(self):
+        assert balanced_chunk_bounds(np.ones(4), 2, trips=0) == []
+
+    def test_matching_trips_keeps_weighted_split(self):
+        w = np.array([100.0, 1.0, 1.0, 1.0])
+        assert balanced_chunk_bounds(w, 2, trips=4) == balanced_chunk_bounds(w, 2)
+
+    def test_nonfinite_weights_use_static_split(self):
+        bounds = balanced_chunk_bounds(np.array([1.0, np.inf, 1.0, 1.0]), 2)
+        assert bounds == [(0, 2), (2, 4)]
+
+    def test_nchunks_must_be_positive(self):
+        with pytest.raises(ValueError):
+            balanced_chunk_bounds(np.ones(4), 0)
 
 
 @given(

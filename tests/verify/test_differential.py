@@ -101,6 +101,82 @@ def test_checker_accepted_parallel_loops_are_race_free(shard):
             )
 
 
+@pytest.mark.parametrize("shard", range(SHARDS))
+def test_checker_accepted_fusions_are_output_equivalent(shard):
+    """Fusion soundness leg: every checker-accepted FusionStep must yield a
+    fused execution equivalent to the unfused interpreter run (fusion only
+    reorders independent iterations, so the final state is identical)."""
+    from repro.runtime.compile import compile_program
+    from repro.runtime.interp import run_program
+    from repro.runtime.parexec import states_equivalent
+    from repro.verify import check_fusion_step
+
+    config = AnalysisConfig.new_algorithm()
+    fused = 0
+    for seed in _shard_seeds(shard):
+        fp = generate(seed)
+        result = parallelize(fp.source, config)
+        verified = [f for f in result.fusions if f.verified]
+        if not verified:
+            continue
+        # static leg: the stored verified bit is reproducible
+        for fd in verified:
+            res = check_fusion_step(fd.step, result.program)
+            assert res.ok, f"seed {seed}: {fd.step.loops}: {res.failures}"
+        # dynamic leg: fused compiled execution == unfused interpretation
+        cp = compile_program(result.program, result.decisions, fusions=verified)
+        if not cp.fused_groups:
+            continue
+        env_c = fp.fresh_env()
+        cp.run(env_c)
+        env_i = fp.fresh_env()
+        run_program(result.program, env_i)
+        assert states_equivalent(env_i, env_c), (
+            f"seed {seed}: fused execution diverged "
+            f"(groups {[g['loops'] for g in cp.fused_groups]})\n{fp.source}"
+        )
+        fused += len(cp.fused_groups)
+    print(f"shard {shard}: {fused} fused groups exercised")
+
+
+def test_corrupted_fusion_steps_are_rejected():
+    """Mutation leg for FusionStep: flip each field of a real accepted step
+    and the checker must reject the result."""
+    from repro.verify import check_fusion_step
+
+    config = AnalysisConfig.new_algorithm()
+    exercised = 0
+    for seed in range(FUZZ_COUNT):
+        fp = generate(seed)
+        result = parallelize(fp.source, config)
+        for fd in result.fusions:
+            if not fd.verified:
+                continue
+            step = fd.step
+            prog = result.program
+            # wrong unified index
+            bad = dataclasses.replace(step, index=step.index + "_corrupt")
+            assert not check_fusion_step(bad, prog).ok
+            # member list truncated to a single loop
+            bad = dataclasses.replace(step, loops=step.loops[:1])
+            assert not check_fusion_step(bad, prog).ok
+            # member list reversed (adjacency order no longer matches)
+            if step.loops != tuple(reversed(step.loops)):
+                bad = dataclasses.replace(step, loops=tuple(reversed(step.loops)))
+                assert not check_fusion_step(bad, prog).ok
+            # cross-array set claims an array that is not a cross array
+            bad = dataclasses.replace(step, arrays=step.arrays + ("phantom_arr",))
+            assert not check_fusion_step(bad, prog).ok
+            # cross-array set hides a real cross array
+            if step.arrays:
+                bad = dataclasses.replace(step, arrays=step.arrays[1:])
+                assert not check_fusion_step(bad, prog).ok
+            exercised += 1
+        if exercised >= 5:
+            break
+    assert exercised, "corpus produced no verified fusions to corrupt"
+
+
 def test_corrupted_corpus_certificates_are_rejected():
     """Mutation leg: flip one field of a real fuzz-corpus certificate and
     the checker must notice.  Scans the corpus until it has exercised each
