@@ -17,8 +17,12 @@ when the variable is set.
 
 Write discipline: pickle to a temporary file in the destination
 directory, then ``os.replace`` — concurrent harness workers never observe
-a torn entry.  Corrupt or unreadable entries (version skew, truncated
-write on a dead filesystem) are treated as misses and deleted best-effort.
+a torn entry.  Each entry carries a SHA-256 digest of its payload blob
+(format v2), verified before the blob is unpickled, so even a corruption
+that still *parses* as pickle (bit rot, a torn write landing on a pickle
+boundary, an overwrite by a crashed writer) reads as a clean miss.
+Corrupt, stale, or unreadable entries are deleted best-effort and never
+raise — the disk tier is a cache, not storage.
 """
 
 from __future__ import annotations
@@ -32,8 +36,10 @@ from typing import Any, Optional, Tuple
 from repro.ir import perfstats
 
 #: bump when the pickled payload layout changes incompatibly; old entries
-#: become silent misses instead of unpickling hazards
-FORMAT_VERSION = 1
+#: become silent misses instead of unpickling hazards.
+#: v2: entries are ``(version, sha256_hexdigest, payload_blob)`` with the
+#: digest verified on load before the payload is unpickled.
+FORMAT_VERSION = 2
 
 _DISABLED = False
 
@@ -67,29 +73,50 @@ def _entry_path(root: str, kind: str, key: Tuple[str, str]) -> str:
     return os.path.join(root, kind, digest[:2], f"{digest}-{fp}.pkl")
 
 
+def _drop_entry(path: str) -> None:
+    """Best-effort self-delete of a bad entry (missing file is fine)."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
+
+
 def load(kind: str, key: Tuple[str, str]) -> Optional[Any]:
-    """Fetch a cached value, or ``None`` on miss/corruption/disabled."""
+    """Fetch a cached value, or ``None`` on miss/corruption/disabled.
+
+    Never raises: any anomaly — truncation, version skew, digest
+    mismatch, unpicklable garbage — deletes the entry and reads as a
+    clean miss.
+    """
     root = cache_dir()
     if root is None:
         return None
     path = _entry_path(root, kind, key)
+    if os.environ.get("REPRO_FAULTS"):
+        # chaos seam: corrupt the entry on disk *before* reading it, so
+        # the hardened read path below is exercised against real damage
+        from repro.runtime import faultplan
+
+        clause = faultplan.check("cache-read", kind=kind)
+        if clause is not None and clause.kind == "cache-corrupt":
+            faultplan.corrupt_file(path)
     try:
         with open(path, "rb") as fh:
-            version, value = pickle.load(fh)
+            entry = pickle.load(fh)
+        version, digest, blob = entry
+        if version != FORMAT_VERSION:
+            raise ValueError("cache format version skew")
+        if (
+            not isinstance(blob, bytes)
+            or hashlib.sha256(blob).hexdigest() != digest
+        ):
+            raise ValueError("cache entry digest mismatch")
+        value = pickle.loads(blob)
     except FileNotFoundError:
         return None
     except Exception:
-        # torn write, version skew, or unpicklable garbage: drop the entry
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
-        return None
-    if version != FORMAT_VERSION:
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
+        # torn write, version skew, bit rot, or unpicklable garbage
+        _drop_entry(path)
         return None
     perfstats.STATS.disk_hits += 1
     return value
@@ -102,11 +129,13 @@ def store(kind: str, key: Tuple[str, str], value: Any) -> None:
         return
     path = _entry_path(root, kind, key)
     try:
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(blob).hexdigest()
         os.makedirs(os.path.dirname(path), exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump((FORMAT_VERSION, value), fh, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump((FORMAT_VERSION, digest, blob), fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
             perfstats.STATS.disk_writes += 1
         except BaseException:

@@ -161,7 +161,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     finally:
         if args.stats:
             from repro.ir.perfstats import format_stats
-            from repro.runtime.workmeter import format_decision_table, format_summary
+            from repro.runtime.workmeter import (
+                format_decision_table,
+                format_fault_log,
+                format_summary,
+            )
 
             print(format_stats(), file=sys.stderr)
             wm = format_summary()
@@ -170,6 +174,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             table = format_decision_table()
             if table:
                 print(table, file=sys.stderr)
+            faults = format_fault_log()
+            if faults:
+                print(faults, file=sys.stderr)
 
 
 def _run_command(args) -> int:

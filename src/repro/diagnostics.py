@@ -62,10 +62,22 @@ CERTIFICATE_REJECTED = "certificate-rejected"
 #: failed independent re-validation; the group executes unfused.  Like
 #: ``certificate-rejected``, informational rather than a fault.
 FUSION_REJECTED = "fusion-rejected"
+#: a pool worker crashed, hung past its supervision deadline, or sent a
+#: corrupt reply during parallel execution; the supervised pool healed it
+#: (respawn / retry / serial fallback).  Runtime-trail only — execution
+#: diagnostics never demote analysis verdicts.
+WORKER_FAULT = "worker-fault"
+#: execution of a loop stepped down the graceful-degradation ladder
+#: (compiled-parallel -> compiled -> interp); outputs stayed correct.
+EXECUTION_DEGRADED = "execution-degraded"
 
 #: kinds that mean "analysis of this nest was aborted by an exception";
 #: the driver marks every loop of such a nest serial
 FAULT_KINDS = frozenset({BUDGET_EXCEEDED, INTERNAL_ERROR})
+
+#: kinds recorded by the *runtime* (supervised pool, degradation ladder)
+#: rather than the analysis; they live in the process-wide runtime trail
+RUNTIME_KINDS = frozenset({WORKER_FAULT, EXECUTION_DEGRADED})
 
 
 @dataclasses.dataclass(frozen=True)
@@ -146,3 +158,30 @@ def diagnostic_from_exception(
 def format_diagnostics(diags: List[Diagnostic]) -> str:
     """One line per diagnostic, for ``report``/``explain`` and ``--strict``."""
     return "\n".join(f"  {d}" for d in diags)
+
+
+# -- process-wide runtime trail ----------------------------------------------
+#
+# Analysis diagnostics travel with their AnalysisResult; *execution* events
+# (worker faults, degradation-ladder steps) have no result object to ride
+# on — the supervised pool records them here instead.  Bounded so a fault
+# storm cannot grow without limit; the chaos suite reads this trail to
+# assert that every injected fault left an explanation behind.
+
+_RUNTIME_TRAIL: List[Diagnostic] = []
+_RUNTIME_TRAIL_CAP = 256
+
+
+def record_runtime(diag: Diagnostic) -> None:
+    """Append one runtime (execution-layer) diagnostic to the trail."""
+    _RUNTIME_TRAIL.append(diag)
+    del _RUNTIME_TRAIL[:-_RUNTIME_TRAIL_CAP]
+
+
+def runtime_trail() -> List[Diagnostic]:
+    """Copy of the recorded runtime diagnostics, oldest first."""
+    return list(_RUNTIME_TRAIL)
+
+
+def clear_runtime_trail() -> None:
+    _RUNTIME_TRAIL.clear()

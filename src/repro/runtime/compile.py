@@ -250,6 +250,25 @@ def _wm_record(loop_id, dt):
     workmeter.record_loop(loop_id, dt)
 
 
+def _pred_s(loop_key):
+    """Cost-model predicted seconds for a loop, or None when unplanned.
+
+    Looked up at dispatch time from the ``backend=auto`` prediction record
+    (:func:`repro.runtime.workmeter.predicted_seconds`); the pool scales
+    its per-dispatch supervision deadline by it.  Fixed backends have no
+    plan and fall back to the deadline floor.
+    """
+    try:
+        from repro.runtime import workmeter
+
+        v = workmeter.predicted_seconds(loop_key, backend="compiled-parallel")
+        if v is None:
+            v = workmeter.predicted_seconds(loop_key)
+        return v
+    except Exception:  # pragma: no cover - advisory only
+        return None
+
+
 def _exec_namespace() -> Dict[str, Any]:
     """Globals for generated code (also used by pool workers)."""
     import time
@@ -269,6 +288,7 @@ def _exec_namespace() -> Dict[str, Any]:
         "_mmerge": _mmerge,
         "_time": time.perf_counter,
         "_wm": _wm_record,
+        "_pred_s": _pred_s,
         "_unknown_fn": _unknown_fn,
         "_MISSING": _MISSING,
     }
@@ -409,6 +429,28 @@ def _array_names(stmt: Node) -> Set[str]:
     return {n.name for n in stmt.walk() if isinstance(n, ArrayAccess)}
 
 
+def _rw_overlap_arrays(stmt: Statement) -> Set[str]:
+    """Arrays a loop body both reads and writes (``a[i] = a[i] + ...``).
+
+    A partially-executed chunk of such a loop cannot safely be re-run —
+    the update would double-apply — so the supervised pool snapshots these
+    arrays before dispatch and restores them before any retry.  Pure-store
+    targets (the exact lhs of a plain ``=``) do not count as reads; their
+    subscripts, and every other array occurrence, do.
+    """
+    store_only = {
+        id(n.lhs)
+        for n in stmt.walk()
+        if isinstance(n, Assign) and n.op == "=" and isinstance(n.lhs, ArrayAccess)
+    }
+    loaded = {
+        n.name
+        for n in stmt.walk()
+        if isinstance(n, ArrayAccess) and id(n) not in store_only
+    }
+    return _stored_arrays(stmt) & loaded
+
+
 def _has_float_literal(e: Expression) -> bool:
     return any(isinstance(n, FloatNum) for n in e.walk())
 
@@ -511,6 +553,9 @@ class _Lowerer:
         self._at_top = False
         #: chunk functions for pool workers: loop key -> def source
         self.chunks: Dict[str, str] = {}
+        #: loop key -> retry-safety metadata for the supervised pool
+        #: (``rw``: arrays the body both reads and writes)
+        self.chunk_meta: Dict[str, Dict[str, Any]] = {}
         #: name -> replacement code, used when lowering runtime checks
         self._subst: Dict[str, str] = {}
         #: loop_id -> vectorization tier ('vectorized'/'masked'/'segmented'/
@@ -945,6 +990,9 @@ class _Lowerer:
             self.chunks[key] = self._chunk_source(s, h, key, arrays, bindings, privates, reds)
         except CompileError:
             return False
+        self.chunk_meta[key] = {
+            "rw": sorted(_rw_overlap_arrays(s.body) & set(arrays))
+        }
         arr_code = "(" + ", ".join(f"{a!r}" for a in arrays) + ("," if arrays else "") + ")"
         bnames = "(" + ", ".join(f"{b!r}" for b in bindings) + ("," if bindings else "") + ")"
         pr = self.fresh("pr")
@@ -963,7 +1011,7 @@ class _Lowerer:
         wv = self._emit_weights(s, h, lo, hi)
         self.emit(
             f"    {pr} = _pool.run_loop({key!r}, {lo}, {hi}, {bd}, {arr_code}, "
-            f"weights={wv})"
+            f"weights={wv}, predicted_s=_pred_s({key!r}))"
         )
         self.emit(f"if {pr} is None:")
         self.depth += 1
@@ -2016,6 +2064,7 @@ class CompiledProgram:
         lowered_prog: Optional[Program] = None,
         fused_groups: Optional[List[Dict[str, Any]]] = None,
         lowered_decisions: Optional[Dict[str, Any]] = None,
+        chunk_meta: Optional[Dict[str, Dict[str, Any]]] = None,
     ):
         self.prog = prog
         self.fn = fn
@@ -2023,6 +2072,9 @@ class CompiledProgram:
         self.backend = backend
         self.fallback_reason = fallback_reason
         self.chunks = chunks
+        #: loop key -> retry-safety metadata (``rw``: arrays the chunk both
+        #: reads and writes; the pool snapshots those before dispatch)
+        self.chunk_meta = dict(chunk_meta or {})
         self.trace = trace
         #: loop_id -> best vectorization tier achieved (segmented/masked/
         #: flattened/vectorized/scalar); loop_bails carries the bail reason
@@ -2108,6 +2160,12 @@ def compile_program(
     from repro.analysis.normalize import normalize_program
 
     try:
+        from repro.runtime import faultplan
+
+        if faultplan.enabled():
+            clause = faultplan.check("lower")
+            if clause is not None and clause.kind == "compile-fail":
+                raise CompileError("injected fault: lowering failure")
         original_names = _names_in(prog)
         normalized = normalize_program(prog)
         eff_decisions = decisions
@@ -2164,6 +2222,7 @@ def compile_program(
             loop_tiers=low.loop_tiers, loop_bails=low.loop_bails,
             lowered_prog=lowered, fused_groups=applied_groups,
             lowered_decisions=dict(eff_decisions or {}),
+            chunk_meta=dict(low.chunk_meta),
         )
     except CompileError as exc:
         _record_tiers({}, {}, str(exc))

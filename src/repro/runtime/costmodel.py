@@ -171,20 +171,57 @@ def _interp_rate() -> float:
     return _best_of(lambda: run_program(prog, dict(env)), repeats=2) / k
 
 
+def _calibration_valid(cal: Any) -> bool:
+    """Is a deserialized calibration usable?  Anything else = cold start.
+
+    A disk entry can be stale (written by an older class layout), bit-rotted
+    (unpickled into the right type with garbage fields), or hand-corrupted;
+    validating here means :func:`get_calibration` treats every such entry as
+    a miss and re-calibrates instead of erroring much later inside a
+    prediction.
+    """
+    if not isinstance(cal, Calibration):
+        return False
+    try:
+        rates, overheads = cal.rates, cal.overheads
+        if not isinstance(rates, dict) or not isinstance(overheads, dict):
+            return False
+        if "scalar" not in rates:
+            return False
+        values = list(rates.values()) + list(overheads.values()) + [cal.interp_rate]
+        return all(
+            isinstance(v, (int, float)) and np.isfinite(v) and v >= 0.0 for v in values
+        )
+    except Exception:
+        return False
+
+
 def get_calibration() -> Calibration:
-    """The process calibration (micro-measured once, disk-cached)."""
+    """The process calibration (micro-measured once, disk-cached).
+
+    An unreadable, stale, or corrupt cached entry is a *cold start* — the
+    model silently re-calibrates and overwrites the bad entry (the disk
+    cache itself already self-deletes corrupt blobs, see
+    :mod:`repro.cache`).
+    """
     global _CAL
     if _CAL is not None:
         return _CAL
     from repro import cache
 
     key = (_machine_digest(), CALIBRATION_VERSION)
-    hit = cache.load("costmodel", key)
-    if isinstance(hit, Calibration):
+    try:
+        hit = cache.load("costmodel", key)
+    except Exception:
+        hit = None
+    if _calibration_valid(hit):
         _CAL = hit
         return _CAL
     _CAL = _calibrate()
-    cache.store("costmodel", key, _CAL)
+    try:
+        cache.store("costmodel", key, _CAL)
+    except Exception:  # pragma: no cover - a read-only cache dir is not fatal
+        pass
     return _CAL
 
 
@@ -372,6 +409,12 @@ def plan_program(
         choice = "compiled"
         d = cp.lowered_decisions.get(lid)
         can_par = bool(d is not None and getattr(d, "parallel", False))
+        if can_par:
+            # circuit breaker: after repeated dispatch failures the pool
+            # suspends itself; plan serial until the cooldown re-probe
+            from repro.runtime.parbackend import dispatch_allowed
+
+            can_par = dispatch_allowed()
         if can_par and workers > 1 and trips >= MIN_PAR_TRIPS:
             t_par = predict_parallel(cal, tier, work, workers)
             predicted["compiled-parallel"] = t_par

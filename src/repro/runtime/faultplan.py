@@ -1,0 +1,230 @@
+"""Deterministic fault injection for the self-healing runtime.
+
+The chaos suite (``tests/runtime/test_chaos.py``) needs to reproduce
+worker death, hangs, pipe corruption, shared-memory attach failures and
+disk-cache corruption *on demand and deterministically* — a robustness
+claim that can only be demonstrated by flaky infrastructure is not a
+claim.  This module turns the ``REPRO_FAULTS`` environment variable into
+a :class:`FaultPlan` and exposes one cheap hook, :func:`check`, that the
+instrumented seams call.  When ``REPRO_FAULTS`` is unset the hook is a
+module-global ``None`` test — the production hot paths pay nothing.
+
+Spec grammar (documented in ``docs/robustness.md``)::
+
+    REPRO_FAULTS ::= clause ("," clause)*
+    clause       ::= kind ["@" seam] (":" trigger | ":" filter)*
+    trigger      ::= INT          -- fire on the Nth matching hit (1-based)
+                   | "*"          -- fire on every matching hit
+    filter       ::= NAME "=" VALUE   -- must match the seam's context
+
+Examples::
+
+    worker-exit@dispatch:2         # 2nd chunk a worker receives: _exit
+    hang:worker=1:chunk=0          # worker 1 hangs on its chunk 0
+    corrupt-reply                  # first dispatch replies garbage
+    shm-attach-fail:*              # every shared-memory attach fails
+    cache-corrupt                  # first disk-cache read is corrupted
+
+Each *kind* has a default seam, so ``corrupt-reply`` is shorthand for
+``corrupt-reply@dispatch``.  Counters are per process: pool workers are
+forked, so every worker counts its own seam hits independently — a spec
+without a ``worker=`` filter makes *each* worker fire at its own Nth
+hit, which is still deterministic.
+
+Seams instrumented today:
+
+========== =========================== ==================================
+seam       lives in                    context keys
+========== =========================== ==================================
+dispatch   worker command loop         ``worker``, ``chunk``, ``loop``
+attach     worker shared-memory attach ``worker``
+cache-read ``repro.cache.load``        ``kind`` (cache namespace)
+lower      ``compile_program``         —
+========== =========================== ==================================
+
+The fault *kinds* (what happens when a clause fires) are acted on by the
+seam's own code; this module only answers "does a clause fire here?".
+Recognized kinds: ``worker-exit``, ``hang``, ``corrupt-reply``,
+``shm-attach-fail``, ``cache-corrupt``, ``compile-fail``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Any, Dict, List, Optional
+
+#: kind -> default seam (so bare ``corrupt-reply`` parses)
+DEFAULT_SEAMS = {
+    "worker-exit": "dispatch",
+    "hang": "dispatch",
+    "corrupt-reply": "dispatch",
+    "shm-attach-fail": "attach",
+    "cache-corrupt": "cache-read",
+    "compile-fail": "lower",
+}
+
+KNOWN_KINDS = frozenset(DEFAULT_SEAMS)
+
+#: how long an injected hang sleeps (supervision must kill it long before)
+HANG_SECONDS = 120.0
+
+
+class FaultSpecError(ValueError):
+    """A ``REPRO_FAULTS`` clause that cannot be parsed."""
+
+
+@dataclasses.dataclass
+class FaultClause:
+    """One parsed clause of a fault plan."""
+
+    kind: str
+    seam: str
+    #: 1-based matching-hit index to fire at; ``None`` = every matching hit
+    occurrence: Optional[int] = 1
+    #: context filters that must all match for a hit to count
+    filters: Dict[str, str] = dataclasses.field(default_factory=dict)
+    #: matching hits seen so far (per process)
+    hits: int = 0
+    #: whether this clause already fired (one-shot clauses only)
+    fired: bool = False
+
+    def matches(self, seam: str, ctx: Dict[str, Any]) -> bool:
+        if seam != self.seam:
+            return False
+        for k, v in self.filters.items():
+            if k not in ctx or str(ctx[k]) != v:
+                return False
+        return True
+
+    def hit(self) -> bool:
+        """Count one matching hit; return True if the clause fires now."""
+        self.hits += 1
+        if self.occurrence is None:
+            return True
+        if self.fired:
+            return False
+        if self.hits >= self.occurrence:
+            self.fired = True
+            return True
+        return False
+
+
+def parse_clause(text: str) -> FaultClause:
+    parts = [p.strip() for p in text.strip().split(":") if p.strip()]
+    if not parts:
+        raise FaultSpecError(f"empty fault clause in {text!r}")
+    head = parts[0]
+    if "@" in head:
+        kind, seam = head.split("@", 1)
+    else:
+        kind, seam = head, ""
+    kind = kind.strip()
+    if kind not in KNOWN_KINDS:
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r} (known: {sorted(KNOWN_KINDS)})"
+        )
+    seam = seam.strip() or DEFAULT_SEAMS[kind]
+    occurrence: Optional[int] = 1
+    filters: Dict[str, str] = {}
+    for p in parts[1:]:
+        if p == "*":
+            occurrence = None
+        elif "=" in p:
+            k, v = p.split("=", 1)
+            filters[k.strip()] = v.strip()
+        else:
+            try:
+                occurrence = int(p)
+            except ValueError:
+                raise FaultSpecError(f"bad trigger {p!r} in clause {text!r}") from None
+            if occurrence < 1:
+                raise FaultSpecError(f"trigger must be >= 1 in clause {text!r}")
+    return FaultClause(kind=kind, seam=seam, occurrence=occurrence, filters=filters)
+
+
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` spec with per-clause hit counters."""
+
+    def __init__(self, spec: str):
+        self.spec = spec
+        self.clauses: List[FaultClause] = [
+            parse_clause(c) for c in spec.split(",") if c.strip()
+        ]
+
+    def check(self, seam: str, **ctx: Any) -> Optional[FaultClause]:
+        """Count a seam hit; return the clause that fires, if any."""
+        for clause in self.clauses:
+            if clause.matches(seam, ctx) and clause.hit():
+                return clause
+        return None
+
+
+# ---------------------------------------------------------------------------
+# process-wide plan (lazily parsed from the environment)
+# ---------------------------------------------------------------------------
+
+_PLAN: Optional[FaultPlan] = None
+_PLAN_SPEC: Optional[str] = None
+
+
+def enabled() -> bool:
+    """Cheap guard for hot paths: is any fault plan configured?"""
+    return bool(os.environ.get("REPRO_FAULTS"))
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The process fault plan, re-parsed whenever ``REPRO_FAULTS`` changes.
+
+    Counters reset on every spec change (tests flip the variable between
+    cases); an unparsable spec raises :class:`FaultSpecError` — silently
+    ignoring a typo'd chaos spec would make the chaos suite vacuous.
+    """
+    global _PLAN, _PLAN_SPEC
+    spec = os.environ.get("REPRO_FAULTS", "")
+    if not spec:
+        _PLAN, _PLAN_SPEC = None, None
+        return None
+    if _PLAN is None or spec != _PLAN_SPEC:
+        _PLAN = FaultPlan(spec)
+        _PLAN_SPEC = spec
+    return _PLAN
+
+
+def reset() -> None:
+    """Drop the cached plan and its counters (tests)."""
+    global _PLAN, _PLAN_SPEC
+    _PLAN, _PLAN_SPEC = None, None
+
+
+def check(seam: str, **ctx: Any) -> Optional[FaultClause]:
+    """Count a hit on ``seam``; return the firing clause, if any.
+
+    This is the one entry point the instrumented seams call.  Callers
+    should guard with :func:`enabled` when the seam is on a hot path.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.check(seam, **ctx)
+
+
+def corrupt_file(path: str, *, flip_byte: int = 0x5A) -> bool:
+    """Corrupt an on-disk artifact in place (the ``cache-corrupt`` action).
+
+    Truncates the file to half its length and XOR-flips its first byte —
+    a stand-in for a torn write plus bit rot.  Returns whether anything
+    was corrupted (missing files are left alone).
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if not data:
+            return False
+        cut = data[: max(1, len(data) // 2)]
+        cut = bytes([cut[0] ^ flip_byte]) + cut[1:]
+        with open(path, "wb") as fh:
+            fh.write(cut)
+        return True
+    except OSError:
+        return False

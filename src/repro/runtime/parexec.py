@@ -144,6 +144,80 @@ def execute_shuffled(
     return interp.env
 
 
+def execute_resilient(
+    prog: Program,
+    env: Dict[str, Any],
+    *,
+    decisions: Optional[Dict[str, Any]] = None,
+    backend: Optional[str] = None,
+    threads: Optional[int] = None,
+    fusions=None,
+) -> Dict[str, Any]:
+    """Run ``prog`` down the whole-program degradation ladder.
+
+    The supervised pool already heals chunk-level faults *inside* a
+    dispatch (respawn, retry, parent-serial chunks); this is the outermost
+    rung for anything that still escapes — a lowering fault on the chosen
+    backend, a pool that cannot be constructed at all.  Rungs:
+    requested backend → ``compiled`` → ``interp``.  Each rung runs on a
+    fresh copy of ``env``; the winning rung's arrays are committed back
+    into the caller's arrays, so fallbacks can never leave half-written
+    state behind.  A failure on the final ``interp`` rung is a genuine
+    program fault and propagates.
+
+    Every fallback is recorded as an ``execution-degraded`` step in
+    :mod:`repro.runtime.workmeter` and the diagnostics runtime trail.
+    """
+    from repro.runtime.compile import _copy_env, resolved_backend
+
+    b = resolved_backend(backend)
+    ladder = [b]
+    for rung in ("compiled", "interp"):
+        if rung not in ladder:
+            ladder.append(rung)
+    last_exc: Optional[BaseException] = None
+    for pos, rung in enumerate(ladder):
+        work = _copy_env(env)
+        try:
+            out = execute(
+                prog, work, decisions=decisions, backend=rung,
+                threads=threads, fusions=fusions,
+            )
+        except Exception as exc:
+            last_exc = exc
+            if pos + 1 >= len(ladder):
+                raise
+            _record_program_degradation(rung, ladder[pos + 1], exc)
+            continue
+        # commit: the caller's arrays get the winning rung's results
+        for k, v in out.items():
+            tgt = env.get(k)
+            if (
+                isinstance(tgt, np.ndarray)
+                and isinstance(v, np.ndarray)
+                and tgt.shape == v.shape
+            ):
+                tgt[...] = v
+        return out
+    raise last_exc  # pragma: no cover - loop always returns or raises
+
+
+def _record_program_degradation(frm: str, to: str, exc: BaseException) -> None:
+    try:
+        from repro import diagnostics
+        from repro.runtime import workmeter
+
+        reason = f"{type(exc).__name__}: {exc}"
+        workmeter.record_degradation("<program>", frm, to, reason)
+        diagnostics.record_runtime(
+            diagnostics.Diagnostic(
+                diagnostics.EXECUTION_DEGRADED, f"{frm} -> {to}: {reason}"
+            )
+        )
+    except Exception:  # pragma: no cover - accounting must not break fallback
+        pass
+
+
 def states_equivalent(
     serial: Dict[str, Any],
     shuffled: Dict[str, Any],

@@ -29,6 +29,38 @@ def static_chunks(n: int, p: int) -> List[Tuple[int, int]]:
     return out
 
 
+def retry_chunk_plan(
+    failed: List[Tuple[int, int]], workers: int
+) -> List[Tuple[int, int]]:
+    """Re-chunk failed dispatch ranges across the surviving workers.
+
+    ``failed`` holds the ``[lo, hi)`` ranges whose chunks did not complete
+    (worker death, hang, corrupt reply).  Adjacent ranges are merged, then
+    each merged range is re-split proportionally to its share of the failed
+    iterations so ``workers`` healthy processes can retry them in parallel.
+    Ranges never overlap and their union is exactly the failed iteration
+    set, in ascending order — the retry preserves the dispatch's iteration
+    coverage and ordering guarantees.
+    """
+    spans = sorted((int(lo), int(hi)) for lo, hi in failed if int(hi) > int(lo))
+    if not spans:
+        return []
+    merged: List[List[int]] = [list(spans[0])]
+    for lo, hi in spans[1:]:
+        if lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    total = sum(hi - lo for lo, hi in merged)
+    workers = max(1, min(int(workers), total))
+    out: List[Tuple[int, int]] = []
+    for lo, hi in merged:
+        span = hi - lo
+        pieces = max(1, min(span, round(workers * span / total)))
+        out.extend((lo + s, lo + e) for s, e in static_chunks(span, pieces))
+    return out
+
+
 def static_max_work(work: np.ndarray, p: int) -> float:
     """Max per-thread work under the static schedule."""
     n = len(work)

@@ -251,7 +251,7 @@ def measure_kernel(
         run_env = {
             k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()
         }
-        workmeter.reset()
+        workmeter.reset(keep_events=True)
         t0 = time.perf_counter()
         out = execute(
             prog,

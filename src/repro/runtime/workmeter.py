@@ -37,15 +37,36 @@ _LOOPS: Dict[str, List[float]] = {}
 #: loop_id -> cost-model decision record (backend=auto dispatch)
 _PREDICTIONS: Dict[str, Dict[str, Any]] = {}
 
+#: runtime fault / self-healing events from the supervised pool
+#: (``{"loop", "kind", "detail"}``; ``loop`` is ``"<pool>"`` for
+#: pool-wide events like respawns and breaker transitions)
+_FAULTS: List[Dict[str, str]] = []
+
+#: graceful-degradation ladder steps (``{"loop", "from", "to", "reason"}``)
+_DEGRADATIONS: List[Dict[str, str]] = []
+
+#: bound on the fault/degradation logs — a runaway fault storm must not
+#: turn the metrics registry into a memory leak
+_EVENT_CAP = 512
+
 _LOCK = threading.Lock()
 
 
-def reset() -> None:
-    """Drop all recorded chunk and loop timings (and cost-model records)."""
+def reset(keep_events: bool = False) -> None:
+    """Drop all recorded chunk and loop timings (and cost-model records).
+
+    ``keep_events`` preserves the fault / degradation logs: per-run
+    timing consumers (``measure_kernel`` resets between repeats) must
+    not erase the pool's lifetime self-healing history before
+    ``--stats`` gets to print it.
+    """
     with _LOCK:
         _CHUNKS.clear()
         _LOOPS.clear()
         _PREDICTIONS.clear()
+        if not keep_events:
+            _FAULTS.clear()
+            _DEGRADATIONS.clear()
 
 
 def record_prediction(
@@ -77,6 +98,62 @@ def predictions() -> Dict[str, Dict[str, Any]]:
     """Copy of all recorded cost-model decisions."""
     with _LOCK:
         return {k: dict(v) for k, v in _PREDICTIONS.items()}
+
+
+def predicted_seconds(loop_id: str, backend: Optional[str] = None) -> Optional[float]:
+    """The cost model's predicted seconds for ``loop_id`` (None if unplanned).
+
+    Defaults to the chosen backend's prediction; the pool uses this to
+    scale its per-dispatch supervision deadline.
+    """
+    with _LOCK:
+        rec = _PREDICTIONS.get(loop_id)
+        if not rec:
+            return None
+        val = rec.get("predicted", {}).get(backend or rec.get("choice"))
+    return float(val) if val is not None else None
+
+
+def record_fault(loop_id: str, kind: str, detail: str) -> None:
+    """Record one runtime fault / self-healing event from the pool."""
+    with _LOCK:
+        _FAULTS.append({"loop": str(loop_id), "kind": str(kind), "detail": str(detail)})
+        del _FAULTS[:-_EVENT_CAP]
+
+
+def record_degradation(loop_id: str, frm: str, to: str, reason: str) -> None:
+    """Record one step down the graceful-degradation ladder."""
+    with _LOCK:
+        _DEGRADATIONS.append(
+            {"loop": str(loop_id), "from": str(frm), "to": str(to), "reason": str(reason)}
+        )
+        del _DEGRADATIONS[:-_EVENT_CAP]
+
+
+def fault_events() -> List[Dict[str, str]]:
+    """Copy of the recorded fault / self-healing events (dispatch order)."""
+    with _LOCK:
+        return [dict(e) for e in _FAULTS]
+
+
+def degradation_events() -> List[Dict[str, str]]:
+    """Copy of the recorded degradation-ladder steps (dispatch order)."""
+    with _LOCK:
+        return [dict(e) for e in _DEGRADATIONS]
+
+
+def format_fault_log() -> str:
+    """Human-readable fault/degradation block for ``--stats`` (may be '')."""
+    faults = fault_events()
+    degs = degradation_events()
+    if not faults and not degs:
+        return ""
+    lines = ["runtime faults and degradations (self-healing pool)"]
+    for e in faults:
+        lines.append(f"  fault    {e['loop']:<14} {e['kind']:<16} {e['detail']}")
+    for e in degs:
+        lines.append(f"  degrade  {e['loop']:<14} {e['from']} -> {e['to']}: {e['reason']}")
+    return "\n".join(lines)
 
 
 def record_loop(loop_id: str, seconds: float) -> None:

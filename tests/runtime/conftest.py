@@ -1,0 +1,39 @@
+"""Shared fixtures for the runtime suite.
+
+``leakcheck`` (autouse) makes every runtime test hermetic with respect to
+the parallel pool: after each test the process-wide pool is shut down and
+the fixture asserts that no shared-memory segment created here is still
+registered and no child process survived.  A test that leaks either fails
+itself instead of poisoning its neighbors (or ``/dev/shm``).
+"""
+
+import multiprocessing
+import time
+
+import pytest
+
+from repro.runtime import faultplan, parbackend
+
+
+@pytest.fixture(autouse=True)
+def leakcheck():
+    """Assert zero orphan shm segments and child processes per test."""
+    before = {p.pid for p in multiprocessing.active_children()}
+    yield
+    faultplan.reset()
+    parbackend.shutdown_pool()
+    parbackend.reset_breaker()
+    leaked_segments = parbackend.live_segments()
+    assert not leaked_segments, (
+        f"leaked shared-memory segments: {leaked_segments}"
+    )
+    # children get a short grace period to finish exiting after join()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        survivors = [
+            p for p in multiprocessing.active_children() if p.pid not in before
+        ]
+        if not survivors:
+            break
+        time.sleep(0.05)
+    assert not survivors, f"surviving child processes: {survivors}"

@@ -1,0 +1,382 @@
+"""Chaos suite: deterministic fault injection against the self-healing pool.
+
+Every fault class the ``REPRO_FAULTS`` grammar can express — worker
+death, hangs, corrupted replies, shared-memory attach failures, disk
+cache corruption, lowering faults — is driven against both targeted
+synthetic kernels (which pin down the exact healing mechanism: respawn
+counts, deadline budgets, snapshot-gated retries, breaker transitions)
+and the full benchmark registry (which pins down the contract: outputs
+always interp-cross-checked, zero leaked segments or child processes —
+enforced by the autouse ``leakcheck`` fixture — and a diagnostics trail
+naming what happened).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import diagnostics
+from repro.analysis import AnalysisConfig
+from repro.benchmarks import all_benchmarks
+from repro.parallelizer import parallelize
+from repro.runtime import faultplan, parbackend, workmeter
+from repro.runtime.compile import compile_program, execute
+from repro.runtime.faultplan import FaultPlan, FaultSpecError, parse_clause
+from repro.runtime.interp import run_program
+from repro.runtime.parbackend import WorkerPool, shutdown_pool
+from repro.runtime.parexec import execute_resilient, states_equivalent
+from repro.runtime.scheduler import retry_chunk_plan
+
+N = 512  # comfortably past MIN_PAR_TRIPS so every dispatch actually happens
+
+#: pure elementwise kernel: no array is both read and written -> chunk
+#: retries are idempotent and need no snapshot
+PURE_SRC = "for (i = 0; i < n; i++) { y[i] = a[i] * x[i] + 1.0; }"
+
+#: self-update kernel: ``y`` is read and written -> a partially-executed
+#: chunk must never be re-run without restoring the pre-dispatch state
+SELF_SRC = "for (i = 0; i < n; i++) { y[i] = y[i] + a[i]; }"
+
+
+def deep_env(env):
+    return {k: (v.copy() if isinstance(v, np.ndarray) else v) for k, v in env.items()}
+
+
+def _pure_env():
+    rng = np.random.default_rng(11)
+    return {"n": N, "a": rng.random(N), "x": rng.random(N), "y": np.zeros(N)}
+
+
+def _self_env():
+    rng = np.random.default_rng(13)
+    return {"n": N, "a": rng.random(N), "y": rng.random(N)}
+
+
+def _prepare(src):
+    result = parallelize(src, AnalysisConfig.new_algorithm())
+    cp = compile_program(result.program, result.decisions, parallel=True)
+    assert cp.chunks, "kernel must certify parallel and compile a chunk"
+    return result, cp
+
+
+def _run_with_faults(monkeypatch, src, env, spec, deadline="2.0"):
+    """Run ``src`` compiled-parallel on a 2-worker pool under ``spec``."""
+    monkeypatch.setenv("REPRO_DISPATCH_DEADLINE_S", deadline)
+    result, cp = _prepare(src)
+    ref = run_program(result.program, deep_env(env))
+    workmeter.reset()
+    diagnostics.clear_runtime_trail()
+    monkeypatch.setenv("REPRO_FAULTS", spec)
+    faultplan.reset()
+    pool = WorkerPool(2)
+    try:
+        out = cp.run(deep_env(env), pool=pool)
+    finally:
+        monkeypatch.delenv("REPRO_FAULTS")
+        faultplan.reset()
+        respawns = pool.respawns
+        pool.shutdown()
+    assert states_equivalent(ref, out)
+    return out, respawns
+
+
+def _fault_kinds():
+    return {e["kind"] for e in workmeter.fault_events()}
+
+
+# ---------------------------------------------------------------------------
+# faultplan grammar
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlanGrammar:
+    def test_bare_kind_gets_default_seam_and_first_hit(self):
+        c = parse_clause("corrupt-reply")
+        assert (c.kind, c.seam, c.occurrence, c.filters) == (
+            "corrupt-reply", "dispatch", 1, {},
+        )
+
+    def test_explicit_seam_occurrence_and_filters(self):
+        c = parse_clause("worker-exit@dispatch:2")
+        assert (c.seam, c.occurrence) == ("dispatch", 2)
+        c = parse_clause("hang:worker=1:chunk=0")
+        assert c.filters == {"worker": "1", "chunk": "0"}
+        c = parse_clause("shm-attach-fail:*")
+        assert c.occurrence is None
+
+    def test_occurrence_counting_is_per_clause(self):
+        plan = FaultPlan("worker-exit@dispatch:2")
+        assert plan.check("dispatch", worker=0) is None  # first hit arms
+        assert plan.check("dispatch", worker=0) is not None  # second fires
+        assert plan.check("dispatch", worker=0) is None  # one-shot
+
+    def test_star_fires_every_matching_hit(self):
+        plan = FaultPlan("shm-attach-fail:*")
+        for _ in range(3):
+            assert plan.check("attach", worker=1) is not None
+        assert plan.check("dispatch", worker=1) is None  # wrong seam
+
+    def test_filters_must_match_context(self):
+        plan = FaultPlan("hang:worker=1:chunk=0")
+        assert plan.check("dispatch", worker=0, chunk=0) is None
+        assert plan.check("dispatch", worker=1, chunk=1) is None
+        assert plan.check("dispatch", worker=1, chunk=0) is not None
+
+    def test_multiple_clauses_compose(self):
+        plan = FaultPlan("cache-corrupt, corrupt-reply:worker=1")
+        assert plan.check("cache-read", kind="analysis") is not None
+        assert plan.check("dispatch", worker=1, chunk=0) is not None
+
+    @pytest.mark.parametrize(
+        "bad", ["frobnicate", "worker-exit:0", "hang:nope", ""]
+    )
+    def test_bad_specs_raise(self, bad):
+        if bad == "":
+            assert FaultPlan("").clauses == []  # empty spec = no faults
+        else:
+            with pytest.raises(FaultSpecError):
+                FaultPlan(bad)
+
+    def test_corrupt_file_truncates_and_flips(self, tmp_path):
+        p = tmp_path / "blob.bin"
+        p.write_bytes(b"\x00" * 100)
+        assert faultplan.corrupt_file(str(p))
+        data = p.read_bytes()
+        assert len(data) == 50 and data[0] != 0
+        assert not faultplan.corrupt_file(str(tmp_path / "missing.bin"))
+
+
+# ---------------------------------------------------------------------------
+# metadata + retry planning units
+# ---------------------------------------------------------------------------
+
+
+def test_rw_overlap_metadata_marks_self_update_loops():
+    _, cp_pure = _prepare(PURE_SRC)
+    _, cp_self = _prepare(SELF_SRC)
+    (meta_pure,) = cp_pure.chunk_meta.values()
+    (meta_self,) = cp_self.chunk_meta.values()
+    assert meta_pure["rw"] == []  # pure stores: retry needs no snapshot
+    assert meta_self["rw"] == ["y"]  # read+write: snapshot-gated retry
+
+
+def test_retry_chunk_plan_merges_and_covers():
+    plan = retry_chunk_plan([(0, 64), (64, 128), (200, 232)], 4)
+    covered = sorted(i for lo, hi in plan for i in range(lo, hi))
+    assert covered == list(range(0, 128)) + list(range(200, 232))
+    los = [lo for lo, _ in plan]
+    assert los == sorted(los)  # ascending, non-overlapping
+    assert 1 <= len(plan) <= 5
+    assert retry_chunk_plan([], 4) == []
+    assert retry_chunk_plan([(5, 5)], 4) == []
+
+
+# ---------------------------------------------------------------------------
+# targeted healing: one fault class at a time, mechanism pinned
+# ---------------------------------------------------------------------------
+
+
+class TestSelfHealing:
+    def test_worker_exit_respawns_and_heals(self, monkeypatch):
+        _, respawns = _run_with_faults(monkeypatch, PURE_SRC, _pure_env(), "worker-exit")
+        assert respawns >= 1
+        kinds = _fault_kinds()
+        assert "worker-exit" in kinds and "worker-respawned" in kinds
+        trail_kinds = {d.kind for d in diagnostics.runtime_trail()}
+        assert diagnostics.WORKER_FAULT in trail_kinds
+
+    def test_hung_worker_completes_within_deadline_budget(self, monkeypatch):
+        t0 = time.monotonic()
+        _, respawns = _run_with_faults(
+            monkeypatch, PURE_SRC, _pure_env(), "hang:worker=0:chunk=0", deadline="0.5"
+        )
+        elapsed = time.monotonic() - t0
+        # the injected hang sleeps HANG_SECONDS; supervision must cut it
+        # off at the 0.5s deadline (plus compile/retry/teardown slack)
+        assert elapsed < faultplan.HANG_SECONDS / 4
+        assert respawns >= 1 and "hang" in _fault_kinds()
+
+    def test_corrupt_reply_quarantines_worker(self, monkeypatch):
+        _, respawns = _run_with_faults(
+            monkeypatch, PURE_SRC, _pure_env(), "corrupt-reply:worker=1"
+        )
+        assert respawns >= 1 and "corrupt-reply" in _fault_kinds()
+
+    def test_self_update_loop_survives_worker_exit(self, monkeypatch):
+        # double-applied retries would make y diverge; the snapshot-gated
+        # re-run keeps it exact (checked inside _run_with_faults)
+        _, respawns = _run_with_faults(monkeypatch, SELF_SRC, _self_env(), "worker-exit")
+        assert respawns >= 1
+
+    def test_both_workers_exit_every_dispatch_falls_to_parent_serial(self, monkeypatch):
+        _run_with_faults(monkeypatch, PURE_SRC, _pure_env(), "worker-exit:*")
+        degs = workmeter.degradation_events()
+        assert any(d["to"] == "compiled-serial" for d in degs)
+        trail_kinds = {d.kind for d in diagnostics.runtime_trail()}
+        assert diagnostics.EXECUTION_DEGRADED in trail_kinds
+
+    def test_persistent_attach_failure_degrades_but_stays_correct(self, monkeypatch):
+        _run_with_faults(monkeypatch, PURE_SRC, _pure_env(), "shm-attach-fail:*")
+        kinds = _fault_kinds()
+        assert "broadcast-failed" in kinds or "respawn-failed" in kinds
+
+    def test_one_shot_attach_failure_heals_by_respawn(self, monkeypatch):
+        # each worker fails its own first attach; the respawned workers
+        # (fresh processes, fresh counters) fail theirs too — but the
+        # clause below scopes the fault to worker 0 only, so worker 1
+        # carries the dispatch while 0 heals
+        _, _ = _run_with_faults(
+            monkeypatch, PURE_SRC, _pure_env(), "shm-attach-fail:worker=1"
+        )
+
+    def test_breaker_opens_then_reprobes_after_cooldown(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "1")
+        monkeypatch.setenv("REPRO_BREAKER_COOLDOWN_S", "0.2")
+        parbackend.reset_breaker()
+        _run_with_faults(monkeypatch, PURE_SRC, _pure_env(), "worker-exit:*")
+        assert parbackend.breaker_state() in ("open", "half-open")
+        assert "breaker-open" in _fault_kinds()
+        assert not parbackend.dispatch_allowed() or parbackend.breaker_state() == "half-open"
+        # cooldown elapses -> half-open -> a clean dispatch closes it
+        time.sleep(0.25)
+        assert parbackend.breaker_state() == "half-open"
+        assert parbackend.dispatch_allowed()
+        result, cp = _prepare(PURE_SRC)
+        pool = WorkerPool(2)
+        try:
+            out = cp.run(deep_env(_pure_env()), pool=pool)
+        finally:
+            pool.shutdown()
+        assert parbackend.breaker_state() == "closed"
+        ref = run_program(result.program, deep_env(_pure_env()))
+        assert states_equivalent(ref, out)
+
+    def test_open_breaker_declines_dispatch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BREAKER_THRESHOLD", "1")
+        monkeypatch.setenv("REPRO_BREAKER_COOLDOWN_S", "60")
+        parbackend.reset_breaker()
+        parbackend.BREAKER.record_failure()
+        assert parbackend.breaker_state() == "open"
+        workmeter.reset()
+        result, cp = _prepare(PURE_SRC)
+        env = _pure_env()
+        ref = run_program(result.program, deep_env(env))
+        pool = WorkerPool(2)
+        try:
+            out = cp.run(deep_env(env), pool=pool)
+        finally:
+            pool.shutdown()
+        assert states_equivalent(ref, out)  # serial lowering carried it
+        key = next(iter(cp.chunks))
+        assert not workmeter.chunk_imbalance(key)  # no dispatch happened
+
+    def test_compile_fail_seam_falls_back_to_interp_shim(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "compile-fail")
+        faultplan.reset()
+        try:
+            result = parallelize(PURE_SRC, AnalysisConfig.new_algorithm())
+            cp = compile_program(result.program, result.decisions)
+            assert cp.backend == "interp"
+            assert "injected fault" in (cp.fallback_reason or "")
+            env = _pure_env()
+            ref = run_program(result.program, deep_env(env))
+            out = cp.run(deep_env(env))
+            assert states_equivalent(ref, out)
+        finally:
+            monkeypatch.delenv("REPRO_FAULTS")
+            faultplan.reset()
+
+    def test_execute_resilient_walks_the_ladder(self, monkeypatch):
+        from repro.runtime import parexec
+
+        result = parallelize(PURE_SRC, AnalysisConfig.new_algorithm())
+        env = _pure_env()
+        ref = run_program(result.program, deep_env(env))
+        real_execute = parexec.execute
+
+        def flaky_execute(prog, env2, **kw):
+            if kw.get("backend") == "compiled-parallel":
+                raise RuntimeError("synthetic rung failure")
+            return real_execute(prog, env2, **kw)
+
+        monkeypatch.setattr(parexec, "execute", flaky_execute)
+        workmeter.reset()
+        diagnostics.clear_runtime_trail()
+        caller_env = deep_env(env)
+        out = execute_resilient(
+            result.program, caller_env,
+            decisions=result.decisions, backend="compiled-parallel",
+        )
+        assert states_equivalent(ref, out)
+        # the winning rung's arrays were committed back to the caller
+        assert np.allclose(caller_env["y"], ref["y"])
+        degs = workmeter.degradation_events()
+        assert any(
+            d["loop"] == "<program>" and d["from"] == "compiled-parallel"
+            for d in degs
+        )
+
+
+# ---------------------------------------------------------------------------
+# the full registry under every fault class
+# ---------------------------------------------------------------------------
+
+FAULT_CLASSES = [
+    pytest.param("worker-exit", id="worker-exit"),
+    pytest.param("hang:worker=0:chunk=0", id="hang"),
+    pytest.param("corrupt-reply", id="corrupt-reply"),
+    pytest.param("shm-attach-fail", id="shm-attach-fail"),
+    pytest.param("cache-corrupt:*", id="cache-corrupt"),
+]
+
+
+@pytest.mark.parametrize("spec", FAULT_CLASSES)
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.name)
+def test_registry_survives_fault_class(bench, spec, monkeypatch, tmp_path):
+    """Outputs cross-check, nothing leaks, the trail names what happened.
+
+    Benchmarks whose small environments stay below the dispatch threshold
+    never hit the dispatch seams — the contract still holds trivially
+    (and the leakcheck fixture still audits segments and children).
+    """
+    from repro import cache
+
+    monkeypatch.setenv("REPRO_EXEC_THREADS", "2")
+    monkeypatch.setenv("REPRO_DISPATCH_DEADLINE_S", "0.5")
+    if spec.startswith("cache-corrupt"):
+        # give the corruption seam a real disk tier to damage
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache.enable()
+    result = parallelize(bench.source, AnalysisConfig.new_algorithm())
+    env = deep_env(bench.small_env())
+    ref = run_program(result.program, deep_env(env))
+    workmeter.reset()
+    diagnostics.clear_runtime_trail()
+    monkeypatch.setenv("REPRO_FAULTS", spec)
+    faultplan.reset()
+    try:
+        if spec.startswith("cache-corrupt"):
+            # the read path under corruption: drop the in-memory tiers so
+            # the re-parallelize really reads (and corrupts) the disk
+            # entries, then execute the recomputed result
+            from repro.analysis.analyzer import _ANALYSIS_CACHE
+            from repro.parallelizer.driver import _PARALLELIZE_CACHE
+
+            _ANALYSIS_CACHE.clear()
+            _PARALLELIZE_CACHE.clear()
+            result = parallelize(bench.source, AnalysisConfig.new_algorithm())
+        out = execute(
+            result.program, env,
+            decisions=result.decisions, backend="compiled-parallel",
+        )
+    finally:
+        monkeypatch.delenv("REPRO_FAULTS")
+        faultplan.reset()
+        shutdown_pool()
+    assert states_equivalent(ref, out)
+    if workmeter.fault_events():
+        # a fault fired: the diagnostics runtime trail must explain it
+        assert diagnostics.runtime_trail()

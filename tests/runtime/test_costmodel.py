@@ -110,6 +110,55 @@ class TestCalibration:
         cal = _fixed_cal()
         assert cal.rate("no-such-tier") == cal.rates["scalar"]
 
+    def test_bitflipped_calibration_is_a_cold_start(self, tmp_path, monkeypatch):
+        """A corrupted persisted calibration re-calibrates, never errors."""
+        import glob
+        import os
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        costmodel.reset_calibration()
+        try:
+            first = costmodel.get_calibration()
+            entries = glob.glob(str(tmp_path / "costmodel" / "*" / "*.pkl"))
+            assert entries, "calibration should have been persisted"
+            for path in entries:
+                with open(path, "rb") as fh:
+                    blob = bytearray(fh.read())
+                for off in (1, len(blob) // 2, len(blob) - 2):
+                    blob[off] ^= 0xFF
+                with open(path, "wb") as fh:
+                    fh.write(bytes(blob))
+            costmodel.reset_calibration()
+            second = costmodel.get_calibration()  # cold start, no raise
+            assert costmodel._calibration_valid(second)
+            # the bad entry was dropped or overwritten by the fresh one
+            for path in entries:
+                assert (not os.path.exists(path)) or costmodel._calibration_valid(
+                    costmodel.get_calibration()
+                )
+            _ = second.rate("vectorized"), first.rate("vectorized")
+        finally:
+            costmodel.reset_calibration()
+
+    def test_stale_shaped_calibration_entry_is_a_cold_start(self, tmp_path, monkeypatch):
+        """An entry that unpickles into the wrong shape is a cold start."""
+        from repro import cache
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        key = (costmodel._machine_digest(), costmodel.CALIBRATION_VERSION)
+        # an older layout: rates missing, NaN overheads — both invalid
+        cache.store("costmodel", key, {"rates": {}})
+        costmodel.reset_calibration()
+        try:
+            cal = costmodel.get_calibration()
+            assert costmodel._calibration_valid(cal)
+        finally:
+            costmodel.reset_calibration()
+        bad = Calibration(rates={"scalar": float("nan")}, overheads={}, interp_rate=1e-6)
+        assert not costmodel._calibration_valid(bad)
+        assert not costmodel._calibration_valid(None)
+        assert not costmodel._calibration_valid({"rates": {}})
+
 
 class TestWorkEvaluation:
     def test_trips_and_work_flat_loop(self):

@@ -69,6 +69,67 @@ def test_corrupt_entry_is_ignored_and_deleted(cache_dir):
     assert r2.to_c() == r1.to_c()
 
 
+def test_corruption_fuzz_never_raises(cache_dir):
+    """Any byte-level damage reads as a clean self-deleting miss.
+
+    Fuzzes the v2 entry format with truncations (torn writes), bit flips
+    (rot that may still parse as pickle), garbage overwrites and
+    zero-length files — ``load`` must return None, never raise, and the
+    damaged entry must be gone so the next writer starts clean.
+    """
+    import random
+
+    rng = random.Random(0xC0FFEE)
+    key = ("f" * 64, "fuzz")
+    value = {"verdict": "parallel", "work": list(range(64))}
+    for trial in range(60):
+        cache.store("analysis", key, value)
+        path = cache._entry_path(str(cache_dir), "analysis", key)
+        with open(path, "rb") as fh:
+            blob = bytearray(fh.read())
+        mode = trial % 4
+        if mode == 0:  # torn write: truncate at a random point
+            blob = blob[: rng.randrange(0, len(blob))]
+        elif mode == 1:  # bit rot: flip 1-4 random bits
+            for _ in range(rng.randrange(1, 5)):
+                blob[rng.randrange(len(blob))] ^= 1 << rng.randrange(8)
+        elif mode == 2:  # overwritten by a crashed writer
+            blob = bytearray(rng.randbytes(rng.randrange(1, 128)))
+        else:  # zero-length file
+            blob = bytearray()
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        got = cache.load("analysis", key)
+        if got is not None:
+            # a flipped bit can land in an ignorable pickle region; the
+            # digest check makes that impossible for the payload itself
+            assert got == value
+        else:
+            assert not os.path.exists(path), "corrupt entry must self-delete"
+    # the tier still works after the fuzz storm
+    cache.store("analysis", key, value)
+    assert cache.load("analysis", key) == value
+
+
+def test_injected_cache_corruption_is_a_miss(cache_dir, monkeypatch):
+    """The ``cache-corrupt`` chaos seam damages a real entry mid-read."""
+    from repro.runtime import faultplan
+
+    key = ("a" * 64, "fp")
+    cache.store("analysis", key, {"x": 1})
+    monkeypatch.setenv("REPRO_FAULTS", "cache-corrupt")
+    faultplan.reset()
+    try:
+        assert cache.load("analysis", key) is None  # corrupted -> clean miss
+        path = cache._entry_path(str(cache_dir), "analysis", key)
+        assert not os.path.exists(path)
+        cache.store("analysis", key, {"x": 2})  # clause is one-shot
+        assert cache.load("analysis", key) == {"x": 2}
+    finally:
+        monkeypatch.delenv("REPRO_FAULTS")
+        faultplan.reset()
+
+
 def test_version_skew_is_a_miss(cache_dir):
     key = ("e" * 64, "fp")
     cache.store("analysis", key, {"x": 1})
