@@ -104,6 +104,8 @@ def kernel_main(argv: list) -> int:
         threads=args.threads,
     )
     fusion_meta = _measure_fusion_deltas(names, args)
+    static_meta = _collect_static_effects(names)
+    snapshot_ab = _measure_snapshot_ab(static_meta, names, args)
 
     out = ROOT / os.environ.get("REPRO_BENCH_OUT", "BENCH_kernel_speed.json")
     baseline_path = ROOT / "BENCH_kernel_speed.json"
@@ -127,6 +129,10 @@ def kernel_main(argv: list) -> int:
             "backends": backends,
             "python": sys.version.split()[0],
             "numpy": numpy.__version__,
+            # snapshot-skip A/B on the staging microkernel (the registry
+            # kernels' rw arrays are all genuine read-modify-write and
+            # must keep their snapshots — see static_effects per result)
+            "snapshot_skip_ab": snapshot_ab,
         },
         "results": [
             {
@@ -142,6 +148,11 @@ def kernel_main(argv: list) -> int:
                 **(
                     {"fusion": fusion_meta[r.benchmark]}
                     if r.benchmark in fusion_meta
+                    else {}
+                ),
+                **(
+                    {"static_effects": static_meta[r.benchmark]}
+                    if r.benchmark in static_meta
                     else {}
                 ),
             }
@@ -162,6 +173,19 @@ def kernel_main(argv: list) -> int:
               f"unfused={info['compiled_unfused_s']:.3f}s "
               f"fused={info['compiled_fused_s']:.3f}s "
               f"gain={info['fused_gain_pct']:.1f}%")
+    for name, loops in static_meta.items():
+        cells = "; ".join(
+            f"{lid}={m['class']}"
+            + (f" snapfree={m['snapshot_free']}" if m["snapshot_free"] else "")
+            for lid, m in sorted(loops.items())
+        )
+        print(f"  {name}: static effects {cells}")
+    if snapshot_ab:
+        for entry in snapshot_ab:
+            print(f"  snapshot A/B [{entry['kernel']}]: "
+                  f"skip={entry['skip_s']:.4f}s "
+                  f"snapshot={entry['snapshot_s']:.4f}s "
+                  f"gain={entry['skip_gain_pct']:.1f}%")
     print(f"kernel benchmark results written to {out}")
 
     failures = [f"{r.benchmark}: outputs diverged" for r in runs if not r.outputs_match]
@@ -284,6 +308,121 @@ def _measure_fusion_deltas(names: list, args) -> dict:
             "ab_pairs": FUSION_AB_PAIRS,
             "fused_gain_pct": round(100.0 * (1.0 - 1.0 / med_ratio), 2),
         }
+    return out
+
+
+#: interleaved skip/snapshot sample pairs for the snapshot A/B delta
+SNAPSHOT_AB_PAIRS = 31
+
+#: staging kernel whose rw-overlap array ``t`` is provably snapshot-free
+#: (write-before-read): the one shape where skipping the pre-dispatch
+#: snapshot is sound, so the A/B isolates exactly that copy's cost
+SNAPSHOT_STAGED_SRC = (
+    "for (i = 0; i < n; i++) { t[i] = a[i] + x[i]; y[i] = t[i] * 2.0; }"
+)
+
+
+def _collect_static_effects(names: list) -> dict:
+    """Static chunk-race classification of every dispatched loop.
+
+    Records, per kernel and per chunk-dispatched loop, the classifier's
+    verdict (``chunk-disjoint``/``overlapping``/``unknown``), its reason,
+    the rw-overlap set, and which of those arrays were proven
+    snapshot-free — the acceptance criterion's evidence that all registry
+    parallel loops are disjoint or explicitly unknown.
+    """
+    from repro.benchmarks.registry import get_benchmark
+    from repro.experiments.harness import PIPELINES
+    from repro.parallelizer.driver import parallelize
+    from repro.runtime.compile import compile_program
+
+    out = {}
+    for name in names:
+        bench = get_benchmark(name)
+        result = parallelize(bench.source, PIPELINES["Cetus+NewAlgo"])
+        par = {lid for lid, d in result.decisions.items() if d.parallel}
+        cp = compile_program(
+            result.program, result.decisions, parallel=True, parallel_loops=par
+        )
+        loops = {}
+        for key, meta in sorted(cp.chunk_meta.items()):
+            st = meta.get("static", {})
+            loops[key] = {
+                "class": st.get("class", "unknown"),
+                "reason": st.get("reason", ""),
+                "rw": list(meta.get("rw", ())),
+                "snapshot_free": list(meta.get("snapshot_free", ())),
+            }
+        if loops:
+            out[name] = loops
+    return out
+
+
+def _measure_snapshot_ab(static_meta: dict, names: list, args) -> list:
+    """Interleaved A/B of the snapshot skip (``REPRO_STATIC_EFFECTS=0``
+    is the snapshot-restoring off-leg).
+
+    Measures the staging microkernel — which provably qualifies for the
+    skip — and any registry kernel whose chunk meta carries a non-empty
+    ``snapshot_free`` set.  Kernels whose rw arrays are genuine
+    read-modify-write (AMGmk's ``y_data``, UA's ``tx``/``u``, syrk's
+    ``C``) keep their snapshots on both legs and are deliberately NOT
+    measured here: there is no skip to quantify.
+    """
+    import statistics
+
+    import numpy as np
+
+    from repro.benchmarks.registry import get_benchmark
+    from repro.experiments.harness import PIPELINES
+    from repro.parallelizer.driver import parallelize
+    from repro.runtime.simulate import measure_kernel
+
+    def ab(kernel: str, result, env: dict) -> dict:
+        skip_ts, snap_ts, ratios = [], [], []
+        for _ in range(SNAPSHOT_AB_PAIRS):
+            t_skip, _ = measure_kernel(result, env, backend="compiled-parallel", repeats=1)
+            os.environ["REPRO_STATIC_EFFECTS"] = "0"
+            try:
+                t_snap, _ = measure_kernel(result, env, backend="compiled-parallel", repeats=1)
+            finally:
+                os.environ.pop("REPRO_STATIC_EFFECTS", None)
+            skip_ts.append(t_skip)
+            snap_ts.append(t_snap)
+            if t_skip > 0:
+                ratios.append(t_snap / t_skip)
+        med = statistics.median(ratios) if ratios else 1.0
+        return {
+            "kernel": kernel,
+            "ab_pairs": SNAPSHOT_AB_PAIRS,
+            "skip_s": round(statistics.median(skip_ts), 6),
+            "snapshot_s": round(statistics.median(snap_ts), 6),
+            "skip_gain_pct": round(100.0 * (1.0 - 1.0 / med), 2),
+        }
+
+    out = []
+    n = 2_000_000 if args.scale == "paper" else 4096
+    rng = np.random.default_rng(23)
+    env = {
+        "n": n,
+        "a": rng.random(n),
+        "x": rng.random(n),
+        "t": np.zeros(n),
+        "y": np.zeros(n),
+    }
+    staged = parallelize(SNAPSHOT_STAGED_SRC, PIPELINES["Cetus+NewAlgo"])
+    entry = ab("staged-store", staged, env)
+    entry["n"] = n
+    out.append(entry)
+
+    for name in names:
+        loops = static_meta.get(name, {})
+        if not any(m["snapshot_free"] for m in loops.values()):
+            continue
+        bench = get_benchmark(name)
+        result = parallelize(bench.source, PIPELINES["Cetus+NewAlgo"])
+        kenv = bench.paper_env() if args.scale == "paper" else bench.small_env()
+        out.append(ab(name, result, kenv))
     return out
 
 

@@ -262,8 +262,7 @@ class ProgramAnalyzer:
         out = facts
         for name, r in state.scalars.items():
             out = out.set(Sym(name), r)
-        for key, r in state.elements.items():
-            pass  # element facts resolve via ProgramBounds at property time
+        # element facts resolve via ProgramBounds at property time
         return out
 
     def _analyze_nest(

@@ -120,11 +120,11 @@ def substitute_induction_vars(loop: For) -> List[InductionVar]:
         )
         seen_update = [False]
 
-        def rewrite(stmt: Node):
+        def rewrite(stmt: Node, iv=iv, before=before, after=after, seen=seen_update):
             if stmt is iv.update_stmt:
-                seen_update[0] = True
+                seen[0] = True
                 return
-            _replace_uses(stmt, iv.name, after if seen_update[0] else before)
+            _replace_uses(stmt, iv.name, after if seen[0] else before)
 
         for s in body.stmts:
             rewrite(s)

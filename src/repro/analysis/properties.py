@@ -144,6 +144,32 @@ class PropertyStore:
         new._props = dict(self._props)
         return new
 
+    @classmethod
+    def from_mono_steps(cls, steps) -> "PropertyStore":
+        """Rebuild a store from certificate MonoSteps.
+
+        Consumers that only have a verdict certificate in hand (the
+        runtime lowerer, the static chunk-race classifier) re-derive the
+        injectivity facts they need from the certified monotonicity steps
+        instead of the full analysis context.
+        """
+        store = cls()
+        for step in steps or ():
+            store.record(
+                ArrayProperty(
+                    array=step.array,
+                    kind=step.kind,
+                    dim=step.dim,
+                    region=step.region,
+                    intermittent=step.counter_var is not None,
+                    counter_max=step.counter_max,
+                    counter_var=step.counter_var,
+                    source_loop=step.source_loop,
+                    evidence=step,
+                )
+            )
+        return store
+
     def record(self, prop: ArrayProperty) -> None:
         key = (prop.array, prop.dim)
         old = self._props.get(key)

@@ -199,7 +199,7 @@ def collect_accesses(
             visit_expr(s.rhs, guarded)
             if s.op != "=" and isinstance(s.lhs, ArrayAccess):
                 # compound assignment also reads the element
-                accesses.append(_make_access(s.lhs, index, env, inner, guarded, False))
+                accesses.append(_make_access(s.lhs, index, env, inner, variant, guarded, False))
         elif isinstance(s, ExprStmt):
             visit_expr(s.expr, guarded)
         elif isinstance(s, Decl) and s.init is not None:

@@ -93,7 +93,7 @@ def classic_independent(accesses: Sequence[AccessInfo]) -> Tuple[bool, List[str]
         writes = [a for a in accs if a.is_write]
         if not writes:
             continue
-        for i, w in enumerate(writes):
+        for w in writes:
             # a write is tested against every access INCLUDING itself: the
             # same reference in two different iterations may collide
             for other in accs:

@@ -62,6 +62,12 @@ CERTIFICATE_REJECTED = "certificate-rejected"
 #: failed independent re-validation; the group executes unfused.  Like
 #: ``certificate-rejected``, informational rather than a fault.
 FUSION_REJECTED = "fusion-rejected"
+#: the static effect analysis (:mod:`repro.verify.staticrace`) proved that
+#: two iterations of a PARALLEL-marked loop touch the same element with at
+#: least one write; the verdict was demoted to serial before any parallel
+#: dispatch.  Like ``certificate-rejected``, informational rather than a
+#: fault — it records the sanitizer catching an unsound verdict.
+STATIC_RACE_DETECTED = "static-race-detected"
 #: a pool worker crashed, hung past its supervision deadline, or sent a
 #: corrupt reply during parallel execution; the supervised pool healed it
 #: (respawn / retry / serial fallback).  Runtime-trail only — execution

@@ -44,7 +44,7 @@ def improved_counts(cells=None, threshold: float = 1.1) -> Dict[str, int]:
     """How many of the 12 benchmarks each pipeline improves (paper: 6/7/10)."""
     table = improvements_by_benchmark(cells)
     counts = {p: 0 for p in PIPELINES}
-    for bench, per_pipe in table.items():
+    for per_pipe in table.values():
         for pipe, imp in per_pipe.items():
             if imp >= threshold:
                 counts[pipe] += 1

@@ -25,7 +25,7 @@ from repro.dependence.accesses import collect_accesses, collect_inner_loops
 from repro.dependence.classic import classic_independent
 from repro.dependence.extended import RuntimeCheck, extended_independent
 from repro.dependence.privatize import classify_scalars
-from repro.diagnostics import CERTIFICATE_REJECTED, FUSION_REJECTED
+from repro.diagnostics import CERTIFICATE_REJECTED, FUSION_REJECTED, STATIC_RACE_DETECTED
 from repro.parallelizer.fusion import FusionDecision, propose_fusions
 from repro.ir.simplify import simplify
 from repro.ir.symbols import IntLit, Sym, sub
@@ -322,6 +322,12 @@ def _decide_nest(
         # checker-accepted certificate, else it is demoted BEFORE the
         # recursion so enclosure flags stay correct
         d = _audit_decision(d, nest, analysis, loops or {})
+    if d.parallel:
+        # static chunk-race sanitizer: a PARALLEL verdict whose effect
+        # summary *proves* two iterations collide is unsound regardless of
+        # what the dependence test concluded — demote it here, inside the
+        # cached pipeline, so every consumer sees the same decision
+        d = _static_race_audit(d, nest, analysis, props)
     decisions[loop_id] = d
     inner_scope = props
     if not d.parallel and config.array_analysis and nest.inner:
@@ -368,6 +374,46 @@ def _audit_decision(
         checks=[],
         certificate_verified=False,
         blockers=list(failures),
+    )
+
+
+def _static_race_audit(
+    d: LoopDecision,
+    nest: LoopNest,
+    analysis: AnalysisResult,
+    props,
+) -> LoopDecision:
+    """Demote a PARALLEL decision the effect analysis proves racy.
+
+    Only a *proof* of overlap demotes — ``unknown`` keeps the dependence
+    test's verdict (the dynamic machinery still guards those loops).
+    """
+    from repro.verify.staticrace import OVERLAPPING, classify_loop
+
+    try:
+        verdict = classify_loop(nest.loop, decision=d, properties=props)
+    except Exception:  # sanitizer must never abort the pipeline
+        return d
+    if verdict.classification != OVERLAPPING:
+        return d
+    analysis.diagnostics.append(
+        Diagnostic(
+            STATIC_RACE_DETECTED,
+            f"PARALLEL verdict demoted: {verdict.reason}",
+            nest_id=d.loop_id,
+            span=nest.loop.pos,
+            detail="; ".join(
+                f"{v.array}: {v.reason}" for v in verdict.arrays
+            ),
+        )
+    )
+    return dataclasses.replace(
+        d,
+        parallel=False,
+        reason=f"static race detected: {verdict.reason}",
+        checks=[],
+        certificate_verified=False,
+        blockers=[verdict.reason],
     )
 
 

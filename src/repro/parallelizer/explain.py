@@ -139,14 +139,28 @@ def _find_nest(result: ParallelizationResult, loop_id: str) -> Optional[LoopNest
 
 
 def format_audit(result: ParallelizationResult) -> str:
-    """The ``--audit`` view: every PARALLEL loop's proof chain, and the
-    demotion trail of any verdict the checker rejected."""
+    """The ``--audit`` view: every PARALLEL loop's proof chain with its
+    symbolic effect summary and chunk-race classification, and the
+    demotion trail of any verdict the checker or the static race
+    sanitizer rejected."""
+    from repro.verify.staticrace import classify_decisions
+
+    try:
+        verdicts = classify_decisions(result)
+    except Exception:
+        verdicts = {}
     blocks: List[str] = []
     for loop_id in sorted(result.decisions):
         d = result.decisions[loop_id]
         if d.parallel and d.certificate is not None:
-            blocks.append(format_certificate(d.certificate, verified=d.certificate_verified))
-        elif not d.parallel and d.reason.startswith("certificate rejected"):
+            block = format_certificate(d.certificate, verified=d.certificate_verified)
+            extra = _effect_block(result, loop_id, verdicts)
+            if extra:
+                block += "\n" + extra
+            blocks.append(block)
+        elif not d.parallel and d.reason.startswith(
+            ("certificate rejected", "static race detected")
+        ):
             blocks.append(
                 f"loop {loop_id}: DEMOTED — {d.reason}\n"
                 + "\n".join(f"  - {b}" for b in d.blockers)
@@ -154,6 +168,25 @@ def format_audit(result: ParallelizationResult) -> str:
     if not blocks:
         return "(no parallel loops — nothing to audit)"
     return "\n\n".join(blocks)
+
+
+def _effect_block(result: ParallelizationResult, loop_id: str, verdicts) -> str:
+    """Effect summary + chunk verdict of one PARALLEL loop (may be '')."""
+    from repro.verify.effects import format_effects, loop_effects
+    from repro.verify.staticrace import format_verdict
+
+    nest = _find_nest(result, loop_id)
+    if nest is None:
+        return ""
+    try:
+        eff = loop_effects(nest.loop, properties=result.analysis.properties)
+    except Exception:
+        return ""
+    lines = [format_effects(eff)]
+    v = verdicts.get(loop_id)
+    if v is not None:
+        lines.append(format_verdict(v))
+    return "\n".join(lines)
 
 
 def explain_all(result: ParallelizationResult) -> str:

@@ -990,9 +990,41 @@ class _Lowerer:
             self.chunks[key] = self._chunk_source(s, h, key, arrays, bindings, privates, reds)
         except CompileError:
             return False
-        self.chunk_meta[key] = {
+        meta: Dict[str, Any] = {
             "rw": sorted(_rw_overlap_arrays(s.body) & set(arrays))
         }
+        # static chunk-race verdict: a proven-overlapping loop is refused
+        # parallel dispatch outright; a proven chunk-disjoint loop records
+        # its proof so the pool can skip snapshotting feedback-free arrays
+        try:
+            from repro.verify.staticrace import OVERLAPPING, classify_loop
+
+            verdict = classify_loop(s, decision=d)
+        except Exception:
+            verdict = None
+        if verdict is not None:
+            meta["static"] = {
+                "class": verdict.classification,
+                "reason": verdict.reason,
+            }
+            if verdict.classification == OVERLAPPING:
+                from repro import diagnostics
+                from repro.diagnostics import STATIC_RACE_DETECTED, Diagnostic
+
+                self.chunks.pop(key, None)
+                diagnostics.record_runtime(
+                    Diagnostic(
+                        STATIC_RACE_DETECTED,
+                        f"parallel dispatch of {s.loop_id or key} refused: "
+                        f"{verdict.reason}",
+                        nest_id=s.loop_id,
+                    )
+                )
+                return False
+            meta["snapshot_free"] = [
+                a for a in verdict.snapshot_free_arrays() if a in meta["rw"]
+            ]
+        self.chunk_meta[key] = meta
         arr_code = "(" + ", ".join(f"{a!r}" for a in arrays) + ("," if arrays else "") + ")"
         bnames = "(" + ", ".join(f"{b!r}" for b in bindings) + ("," if bindings else "") + ")"
         pr = self.fresh("pr")
@@ -2135,6 +2167,40 @@ class CompiledProgram:
 
 
 def compile_program(
+    prog: Program,
+    decisions: Optional[Dict[str, Any]] = None,
+    *,
+    vectorize: bool = True,
+    trace: bool = False,
+    parallel: bool = False,
+    parallel_loops: Optional[Set[str]] = None,
+    fusions: Optional[Sequence[Any]] = None,
+) -> CompiledProgram:
+    """Lower ``prog``; on any lowering failure return an interp-backed shim.
+
+    With ``REPRO_VERIFY_LOWERING`` set (test suites, CI) every successful
+    compile additionally passes the lowering lint
+    (:func:`repro.verify.lint.lint_lowering`): each vectorized or fused
+    loop's written arrays must agree with its static effect summary.  The
+    lint raises — miscompile evidence must fail loudly, not fall back.
+    """
+    cp = _compile_program_impl(
+        prog,
+        decisions,
+        vectorize=vectorize,
+        trace=trace,
+        parallel=parallel,
+        parallel_loops=parallel_loops,
+        fusions=fusions,
+    )
+    if cp.backend == "compiled" and os.environ.get("REPRO_VERIFY_LOWERING", "") not in ("", "0"):
+        from repro.verify.lint import lint_lowering
+
+        lint_lowering(cp)
+    return cp
+
+
+def _compile_program_impl(
     prog: Program,
     decisions: Optional[Dict[str, Any]] = None,
     *,

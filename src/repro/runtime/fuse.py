@@ -323,7 +323,7 @@ def _fuse_members(
     body_stmts: List[Statement] = []
     fixups: List[Statement] = []
     renamed: List[str] = []
-    for k, m in enumerate(members):
+    for m in members:
         if not (isinstance(m.init, Assign) and isinstance(m.init.lhs, Id)):
             return None
         midx = m.init.lhs.name

@@ -156,7 +156,7 @@ def break_even_runs(
     plan: ParallelPlan,
     threads: int,
     index_len: int,
-    inspector: InspectorExecutorModel = InspectorExecutorModel(),
+    inspector: Optional[InspectorExecutorModel] = None,
     machine: MachineModel = DEFAULT_MACHINE,
     max_runs: int = 10_000,
 ) -> Optional[int]:
@@ -165,6 +165,8 @@ def break_even_runs(
     (The paper's §5 point: simplified inspectors still need the executor to
     run tens of times before inspection pays for itself on small kernels.)
     """
+    if inspector is None:
+        inspector = InspectorExecutorModel()
     for runs in range(1, max_runs + 1):
         t_ie = inspector.time(perf, plan, threads, runs, index_len)
         t_serial = runs * perf.serial_time_target

@@ -658,7 +658,7 @@ class WorkerPool:
         Segments stay alive (and workers stay attached) for reuse by the
         next :meth:`adopt_env`; :meth:`shutdown` unlinks them all.
         """
-        for name, (orig, seg, view) in adopted.items():
+        for name, (orig, _seg, view) in adopted.items():
             orig[...] = view
             if isinstance(env.get(name), np.ndarray) and env[name] is view:
                 env[name] = orig
@@ -746,9 +746,16 @@ class WorkerPool:
 
         # loops that read an array they also write cannot safely re-run a
         # partially-executed chunk; snapshot those arrays so any retry can
-        # restore the pre-dispatch state and re-run the whole range
+        # restore the pre-dispatch state and re-run the whole range.
+        # Arrays the static effect analysis proved feedback-free (reads can
+        # never observe the loop's own writes: repro.verify.staticrace)
+        # re-run idempotently and skip the copy; REPRO_STATIC_EFFECTS=0
+        # disables the skip (benchmark A/B kill-switch).
         meta = self._chunk_meta.get(loop_key, {})
-        unsafe = [a for a in meta.get("rw", ()) if a in self._shared]
+        skip = set(meta.get("snapshot_free", ()))
+        if skip and os.environ.get("REPRO_STATIC_EFFECTS", "") == "0":
+            skip = set()
+        unsafe = [a for a in meta.get("rw", ()) if a in self._shared and a not in skip]
         snap = {a: np.array(self._shared[a][2], copy=True) for a in unsafe}
 
         results, timings, failed = self._run_chunks(loop_key, chunks, bindings, deadline_s)

@@ -9,6 +9,12 @@ The checker runs the candidate loop iteration by iteration through the
 interpreter, logging every array element access together with the current
 iteration number, then reports any element touched by two different
 iterations where at least one touch is a write.
+
+``mode="static"`` answers from the symbolic effect summary instead
+(:mod:`repro.verify.staticrace`): a proven chunk-disjoint loop returns a
+clean report without executing anything, a proven-overlapping loop
+returns a synthetic conflict, and only an ``unknown`` verdict falls back
+to the trace mode above.
 """
 
 from __future__ import annotations
@@ -30,8 +36,12 @@ class Conflict:
     iter_a: int
     iter_b: int
     kinds: Tuple[bool, bool]  # is_write flags
+    #: static-mode conflicts carry the symbolic proof instead of elements
+    note: str = ""
 
     def __str__(self) -> str:
+        if self.note:
+            return f"static conflict on {self.array}: {self.note}"
         k = {(True, True): "W-W", (True, False): "W-R", (False, True): "R-W"}.get(
             self.kinds, "R-R"
         )
@@ -45,6 +55,10 @@ class RaceReport:
     loop_index: str
     iterations: int
     conflicts: List[Conflict]
+    #: "trace" (dynamic execution) or "static" (answered symbolically)
+    mode: str = "trace"
+    #: static mode: the classifier's recorded reason
+    static_reason: str = ""
 
     @property
     def clean(self) -> bool:
@@ -59,6 +73,9 @@ def check_loop_races(
     ignore_arrays: Optional[Set[str]] = None,
     max_conflicts: int = 10,
     backend: Optional[str] = None,
+    mode: str = "trace",
+    decision: Any = None,
+    properties: Any = None,
 ) -> RaceReport:
     """Execute ``prog`` and check ``loop`` for cross-iteration conflicts.
 
@@ -71,8 +88,46 @@ def check_loop_races(
     prologue through the compiled backend and the loop body through its
     trace mode, which reports the same accesses in the same order as the
     interpreter — the conflict log is identical either way.
+
+    ``mode="static"`` consults the symbolic chunk-race classifier first
+    (``decision`` supplies the privatization contract and certificate;
+    ``properties`` an optional analysis PropertyStore).  A definite
+    verdict — disjoint or overlapping — is returned without running the
+    loop; ``unknown`` falls back to the dynamic trace.  ``mode="trace"``
+    (the default) preserves the historical behavior exactly.
     """
     from repro.runtime.compile import compile_program, resolved_backend
+
+    if mode not in ("trace", "static"):
+        raise ValueError(f"unknown racecheck mode {mode!r}")
+    if mode == "static":
+        from repro.verify.staticrace import DISJOINT, OVERLAPPING, classify_loop
+
+        try:
+            verdict = classify_loop(loop, decision=decision, properties=properties)
+        except Exception:
+            verdict = None
+        if verdict is not None and verdict.classification == DISJOINT:
+            return RaceReport(
+                loop_index=_index_of(loop),
+                iterations=0,
+                conflicts=[],
+                mode="static",
+                static_reason=verdict.reason,
+            )
+        if verdict is not None and verdict.classification == OVERLAPPING:
+            racy = [v for v in verdict.arrays if v.classification == OVERLAPPING]
+            return RaceReport(
+                loop_index=_index_of(loop),
+                iterations=0,
+                conflicts=[
+                    Conflict(v.array, (), -1, -1, (True, True), note=v.reason)
+                    for v in racy
+                ],
+                mode="static",
+                static_reason=verdict.reason,
+            )
+        # unknown (or classifier failure): fall through to the trace
 
     ignore = ignore_arrays or set()
     use_compiled = resolved_backend(backend) != "interp"

@@ -256,11 +256,16 @@ def format_decision_table() -> str:
 
 
 def format_summary() -> str:
-    """Human-readable per-loop timing block for ``--stats`` (may be '')."""
+    """Human-readable per-loop timing block for ``--stats`` (may be '').
+
+    Loops known only through cost-model records (no measured serial or
+    chunk samples) are skipped — they have their own table
+    (:func:`format_decision_table`) and would otherwise print as blank
+    rows; with nothing measured at all the block is empty rather than a
+    bare header.
+    """
     digest = summary()
-    if not digest:
-        return ""
-    lines = ["loop timings (workmeter)"]
+    rows = []
     for lid, entry in digest.items():
         parts = []
         if "loop_s" in entry:
@@ -270,8 +275,11 @@ def format_summary() -> str:
                 f"{entry['chunks']} chunks {entry['chunk_s']:.4f}s "
                 f"imbalance {entry['imbalance']:.2f}"
             )
-        lines.append(f"  {lid:<12} " + "; ".join(parts))
-    return "\n".join(lines)
+        if parts:
+            rows.append(f"  {lid:<12} " + "; ".join(parts))
+    if not rows:
+        return ""
+    return "\n".join(["loop timings (workmeter)"] + rows)
 
 
 def meter_loop_work(

@@ -1,0 +1,438 @@
+"""Symbolic per-iteration access regions for a candidate parallel loop.
+
+For every array touched by a loop body this module computes a *footprint
+descriptor* per access: which elements one iteration ``i`` reads or
+writes, expressed symbolically in the loop index.  Affine subscripts get
+exact stride/offset regions (``repro.ir`` ranges); subscripted subscripts
+are bounded by the monotonicity/injectivity facts a certificate (or the
+analysis :class:`~repro.analysis.properties.PropertyStore`) proved about
+the index array; inner-loop sweeps over ``[b[i] : b[i+1])`` become
+*window* regions.  Everything else is honestly ``opaque``.
+
+The descriptors are consumed by :mod:`repro.verify.staticrace` (the
+chunk-race classifier), by the lowering lint in :mod:`repro.verify.lint`,
+and rendered by ``--audit``.  They deliberately reuse the same access
+collection (:mod:`repro.dependence.accesses`) the dependence tests run
+on, so the effect summary can never drift from what the parallelizer
+actually proved things about.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.normalize import match_header
+from repro.analysis.properties import MonoKind, PropertyStore
+from repro.dependence.accesses import (
+    SubscriptInfo,
+    _to_ir,
+    collect_accesses,
+    collect_inner_loops,
+)
+from repro.ir.ranges import BoundsProvider, Sign, SymRange, sign_of
+from repro.ir.simplify import decompose_affine, simplify
+from repro.ir.symbols import ArrayRef, Expr, IntLit, Sym, add, sub
+from repro.lang.astnodes import For
+from repro.lang.printer import to_c
+
+# --------------------------------------------------------------------------
+# region kinds
+# --------------------------------------------------------------------------
+
+#: subscript affine in the loop index with a (provably) nonzero stride
+AFFINE = "affine"
+#: subscript loop-invariant: the same element every iteration
+INVARIANT = "invariant"
+#: subscript routed through an index array (``a[ind[f(i)]] + c``)
+INDIRECT = "indirect"
+#: inner loop sweeping the half-open window ``[b[f(i)] : b[f(i)+1])``
+WINDOW = "inner-window"
+#: no symbolic footprint derivable
+OPAQUE = "opaque"
+
+
+@dataclasses.dataclass(frozen=True)
+class AccessRegion:
+    """The per-iteration footprint of one array access (one proof dim).
+
+    ``injective`` means distinct iterations of the candidate loop touch
+    distinct elements along the classified dimension — the property that
+    makes any contiguous chunking write-disjoint.  ``span`` is the whole
+    loop's element range along that dimension when one is derivable.
+    """
+
+    array: str
+    is_write: bool
+    kind: str
+    detail: str
+    injective: bool
+    guarded: bool
+    dims: int = 1
+    #: affine footprints: constant stride and symbolic offset
+    coeff: Optional[int] = None
+    offset: Optional[Expr] = None
+    #: indirect/window footprints: the index array routed through, its
+    #: proven monotonicity, and the affine position (stride/offset of the
+    #: indirection's own subscript in the candidate index)
+    via: Optional[str] = None
+    via_kind: Optional[MonoKind] = None
+    pos_coeff: Optional[int] = None
+    pos_offset: Optional[Expr] = None
+    span: Optional[SymRange] = None
+
+    def describe(self) -> str:
+        rw = "W" if self.is_write else "R"
+        g = " (guarded)" if self.guarded else ""
+        return f"{rw} {self.array}: {self.kind} {self.detail}{g}"
+
+
+@dataclasses.dataclass
+class ArrayEffect:
+    """All footprints one loop has on one array."""
+
+    array: str
+    reads: List[AccessRegion] = dataclasses.field(default_factory=list)
+    writes: List[AccessRegion] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class LoopEffects:
+    """The read/write summary of one candidate parallel loop."""
+
+    loop_id: str
+    index: str = ""
+    eligible: bool = True
+    #: why the loop has no summary (non-canonical header, ...)
+    reason: str = ""
+    #: inclusive range of the index inside the loop, ``[lb : last]``
+    index_span: Optional[SymRange] = None
+    arrays: Dict[str, ArrayEffect] = dataclasses.field(default_factory=dict)
+    #: scalars assigned in the body (loop index and inner-loop indices
+    #: excluded) — the privatization obligations
+    scalars: Set[str] = dataclasses.field(default_factory=set)
+
+    def effect_of(self, array: str) -> ArrayEffect:
+        return self.arrays.setdefault(array, ArrayEffect(array))
+
+    def written_arrays(self) -> List[str]:
+        return sorted(a for a, fx in self.arrays.items() if fx.writes)
+
+
+def loop_effects(
+    loop: For,
+    properties: Optional[PropertyStore] = None,
+    bounds: Optional[BoundsProvider] = None,
+) -> LoopEffects:
+    """Compute the symbolic access summary of ``loop``.
+
+    ``properties`` supplies monotonicity facts for indirection arrays
+    (the analysis store, or one rebuilt from a certificate's MonoSteps);
+    ``bounds`` supplies symbol ranges for sign queries (a certificate's
+    ``facts`` RangeDict).  Both are optional — without them indirections
+    simply classify as opaque.
+    """
+    loop_id = loop.loop_id or "<loop>"
+    h = match_header(loop)
+    if h is None:
+        return LoopEffects(loop_id, eligible=False, reason="non-canonical loop header")
+    index = h.index
+
+    lb_ir = _to_ir(h.lb)
+    ub_ir = _to_ir(h.ub_expr)
+    index_span: Optional[SymRange] = None
+    if lb_ir is not None and ub_ir is not None:
+        last = ub_ir if h.inclusive else simplify(sub(ub_ir, IntLit(1)))
+        index_span = SymRange(lb_ir, last)
+
+    eff = LoopEffects(loop_id, index=index, index_span=index_span)
+    inner = collect_inner_loops(loop.body)
+
+    from repro.analysis.loopinfo import assigned_scalars
+
+    eff.scalars = set(assigned_scalars(loop.body)) - {index} - set(inner)
+
+    for acc in collect_accesses(loop.body, index):
+        regions = [
+            _classify_subscript(
+                acc.array, s, acc.is_write, acc.guarded, len(acc.subs),
+                index, index_span, inner, properties, bounds,
+            )
+            for s in acc.subs
+        ]
+        region = _best_region(regions)
+        fx = eff.effect_of(acc.array)
+        (fx.writes if acc.is_write else fx.reads).append(region)
+    return eff
+
+
+def _best_region(regions: List[AccessRegion]) -> AccessRegion:
+    """One access, several dims: any injective dim proves the access
+    touches distinct elements per iteration — prefer it."""
+    for r in regions:
+        if r.injective:
+            return r
+    return regions[0]
+
+
+# --------------------------------------------------------------------------
+# per-subscript classification
+# --------------------------------------------------------------------------
+
+
+def _classify_subscript(
+    array: str,
+    s: SubscriptInfo,
+    is_write: bool,
+    guarded: bool,
+    dims: int,
+    index: str,
+    index_span: Optional[SymRange],
+    inner,
+    properties: Optional[PropertyStore],
+    bounds: Optional[BoundsProvider],
+) -> AccessRegion:
+    base = dict(array=array, is_write=is_write, guarded=guarded, dims=dims)
+
+    if s.affine is not None:
+        coeff, off = s.affine
+        if coeff == IntLit(0):
+            return AccessRegion(
+                kind=INVARIANT,
+                detail=f"[{off}] every iteration",
+                injective=False,
+                offset=off,
+                span=SymRange(off, off),
+                **base,
+            )
+        if isinstance(coeff, IntLit):
+            span = None
+            if index_span is not None:
+                try:
+                    span = index_span.scale(coeff, bounds) + off
+                except Exception:
+                    span = None
+            return AccessRegion(
+                kind=AFFINE,
+                detail=f"[{coeff}*{index} + {off}] stride {coeff.value}",
+                injective=True,
+                coeff=coeff.value,
+                offset=off,
+                span=span,
+                **base,
+            )
+        sgn = sign_of(coeff, bounds)
+        if sgn in (Sign.POSITIVE, Sign.NEGATIVE):
+            return AccessRegion(
+                kind=AFFINE,
+                detail=f"[({coeff})*{index} + {off}] symbolic nonzero stride",
+                injective=True,
+                offset=off,
+                **base,
+            )
+        return AccessRegion(
+            kind=OPAQUE,
+            detail=f"affine stride ({coeff}) of unknown sign",
+            injective=False,
+            **base,
+        )
+
+    if s.indirection is not None:
+        return _classify_indirection(s, index, properties, bounds, base)
+
+    if s.inner_index is not None:
+        return _classify_window(s, index, inner, properties, base)
+
+    return AccessRegion(
+        kind=OPAQUE,
+        detail=f"non-affine subscript `{to_c(s.expr)}`",
+        injective=False,
+        **base,
+    )
+
+
+def _classify_indirection(
+    s: SubscriptInfo,
+    index: str,
+    properties: Optional[PropertyStore],
+    bounds: Optional[BoundsProvider],
+    base: dict,
+) -> AccessRegion:
+    via, idx_asts = s.indirection
+    prop = properties.any_property_of(via) if properties is not None else None
+    if prop is None or not prop.kind.monotonic:
+        return AccessRegion(
+            kind=OPAQUE,
+            detail=f"indirection through `{via}` with no monotonicity fact",
+            injective=False,
+            via=via,
+            **base,
+        )
+
+    # the subscript must be exactly  via[...] + const
+    ir = _to_ir(s.expr)
+    idx_ir = [_to_ir(x) for x in idx_asts]
+    if ir is None or any(x is None for x in idx_ir):
+        return AccessRegion(
+            kind=OPAQUE,
+            detail=f"indirection through `{via}` not IR-convertible",
+            injective=False,
+            via=via,
+            **base,
+        )
+    ref = ArrayRef(via, [x for x in idx_ir if x is not None])
+    diff = simplify(sub(ir, ref))
+    if not isinstance(diff, IntLit):
+        return AccessRegion(
+            kind=OPAQUE,
+            detail=f"subscript is not `{via}[...] + const`",
+            injective=False,
+            via=via,
+            **base,
+        )
+    const_off: Expr = diff
+
+    # affine position of the indirection along the proven dimension
+    pos_dim = prop.dim if prop.dim < len(ref.subs_) else 0
+    pos = decompose_affine(ref.subs_[pos_dim], Sym(index))
+    pos_coeff: Optional[int] = None
+    pos_off: Optional[Expr] = None
+    injective = False
+    if pos is not None and isinstance(pos[0], IntLit):
+        pos_coeff = pos[0].value
+        pos_off = pos[1]
+        injective = prop.kind is MonoKind.SMA and pos_coeff != 0
+    span = None
+    if prop.value_range is not None:
+        try:
+            span = prop.value_range + const_off
+        except Exception:
+            span = None
+    kind_txt = "SMA/injective" if prop.kind is MonoKind.SMA else "MA (may repeat)"
+    return AccessRegion(
+        kind=INDIRECT,
+        detail=f"[{to_c(s.expr)}] via {via} ({kind_txt})",
+        injective=injective,
+        via=via,
+        via_kind=prop.kind,
+        pos_coeff=pos_coeff,
+        pos_offset=pos_off,
+        offset=const_off,
+        span=span,
+        **base,
+    )
+
+
+def _classify_window(
+    s: SubscriptInfo,
+    index: str,
+    inner,
+    properties: Optional[PropertyStore],
+    base: dict,
+) -> AccessRegion:
+    """``a[jj]`` where ``jj`` sweeps ``[b[f(i)] : b[f(i)+1])`` and ``b``
+    is monotonic: consecutive windows are disjoint (the paper's
+    bound-indirection route, e.g. CSR row pointers)."""
+    info = inner.get(s.inner_index)
+    opaque = AccessRegion(
+        kind=OPAQUE,
+        detail=f"inner index `{s.inner_index}` without a monotonic window",
+        injective=False,
+        **base,
+    )
+    if info is None or info.inclusive:
+        return opaque
+    lb_ir = _to_ir(info.lb)
+    ub_ir = _to_ir(info.ub)
+    if lb_ir is None or ub_ir is None:
+        return opaque
+    if not (isinstance(lb_ir, ArrayRef) and isinstance(ub_ir, ArrayRef)):
+        return opaque  # bounds must be bare b[...] reads
+    via = lb_ir.name
+    if ub_ir.name != via:
+        return opaque
+    if len(lb_ir.subs_) != 1 or len(ub_ir.subs_) != 1:
+        return opaque
+    fl = decompose_affine(lb_ir.subs_[0], Sym(index))
+    fu = decompose_affine(ub_ir.subs_[0], Sym(index))
+    if fl is None or fu is None or fl[0] != IntLit(1) or fu[0] != IntLit(1):
+        return opaque
+    if simplify(sub(fu[1], fl[1])) != IntLit(1):
+        return opaque
+    prop = properties.any_property_of(via) if properties is not None else None
+    if prop is None or not prop.kind.monotonic:
+        return AccessRegion(
+            kind=OPAQUE,
+            detail=f"window bounds via `{via}` with no monotonicity fact",
+            injective=False,
+            via=via,
+            **base,
+        )
+    span = None
+    if prop.value_range is not None:
+        span = prop.value_range
+    return AccessRegion(
+        kind=WINDOW,
+        detail=f"[{via}[{index}+{fl[1]}] : {via}[{index}+{fu[1]}]) per iteration",
+        injective=True,
+        via=via,
+        via_kind=prop.kind,
+        pos_coeff=1,
+        pos_offset=fl[1],
+        span=span,
+        **base,
+    )
+
+
+# --------------------------------------------------------------------------
+# queries used by the classifier
+# --------------------------------------------------------------------------
+
+
+def spans_disjoint(
+    a: Optional[SymRange], b: Optional[SymRange], bounds: Optional[BoundsProvider] = None
+) -> bool:
+    """Provably ``a`` and ``b`` share no element (False when unknown)."""
+    if a is None or b is None:
+        return False
+    if not (a.has_lb and a.has_ub and b.has_lb and b.has_ub):
+        return False
+    # a.ub < b.lb  or  b.ub < a.lb
+    for hi, lo in ((a.ub, b.lb), (b.ub, a.lb)):
+        if sign_of(simplify(sub(lo, add(hi, IntLit(1)))), bounds).is_pnn:
+            return True
+    return False
+
+
+def trips_at_least_two(
+    index_span: Optional[SymRange], bounds: Optional[BoundsProvider] = None
+) -> bool:
+    """Provably the loop runs at least two iterations."""
+    if index_span is None or not (index_span.has_lb and index_span.has_ub):
+        return False
+    gap = simplify(sub(index_span.ub, add(index_span.lb, IntLit(1))))
+    return sign_of(gap, bounds).is_pnn
+
+
+# --------------------------------------------------------------------------
+# rendering (CLI --audit)
+# --------------------------------------------------------------------------
+
+
+def format_effects(eff: LoopEffects) -> str:
+    """Human-readable effect summary block."""
+    lines = [f"effects of loop {eff.loop_id} (index {eff.index or '?'}):"]
+    if not eff.eligible:
+        lines.append(f"  (no summary: {eff.reason})")
+        return "\n".join(lines)
+    if eff.index_span is not None:
+        lines.append(f"  iterations: {eff.index_span}")
+    for name in sorted(eff.arrays):
+        fx = eff.arrays[name]
+        for r in fx.writes + fx.reads:
+            inj = "distinct per iteration" if r.injective else "may repeat"
+            span = f", span {r.span}" if r.span is not None else ""
+            lines.append(f"  {r.describe()} — {inj}{span}")
+    if eff.scalars:
+        lines.append(f"  scalars assigned: {', '.join(sorted(eff.scalars))}")
+    return "\n".join(lines)

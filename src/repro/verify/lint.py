@@ -182,3 +182,85 @@ def lint_property(prop: ArrayProperty, resolved: bool = True) -> None:
             )
         if ev.counter_var != prop.counter_var:
             raise LintError(f"{what}: evidence counter '{ev.counter_var}' mismatch")
+
+
+# ---------------------------------------------------------------------------
+# lowering lint (REPRO_VERIFY_LOWERING): compiled output vs. effect summary
+# ---------------------------------------------------------------------------
+
+
+def lint_lowering(cp) -> None:
+    """Cross-check a :class:`~repro.runtime.compile.CompiledProgram`
+    against the static effect analysis.
+
+    Every loop lowered to a vector tier or produced by fusion must agree
+    with its symbolic write summary (:mod:`repro.verify.effects`): each
+    array the lowered body stores to appears as a write with the same
+    subscript dimensionality, and the loop's ``chunk_meta`` (rw overlap
+    set, snapshot-free proofs) only names arrays the summary knows about.
+    A mismatch is miscompile evidence and raises :class:`LintError`
+    before the program ever executes.
+    """
+    import re as _re
+
+    from repro.lang.astnodes import ArrayAccess, Assign, For
+    from repro.verify.effects import loop_effects
+
+    prog = getattr(cp, "lowered_prog", None)
+    if prog is None:
+        return
+    loops = {s.loop_id or "": s for s in prog.stmts if isinstance(s, For)}
+    fused_ids = {g.get("fused_id") for g in (getattr(cp, "fused_groups", None) or ())}
+
+    for loop_id, tier in (getattr(cp, "loop_tiers", None) or {}).items():
+        loop = loops.get(loop_id)
+        if loop is None:
+            continue  # inner or synthesized ids are not top-level loops
+        if tier == "scalar" and loop_id not in fused_ids:
+            continue
+        eff = loop_effects(loop)
+        what = f"lowering lint: loop '{loop_id}' (tier {tier})"
+        if not eff.eligible:
+            raise LintError(f"{what}: no effect summary ({eff.reason})")
+        summary = {a: fx for a, fx in eff.arrays.items() if fx.writes}
+        for node in loop.body.walk():
+            if not (isinstance(node, Assign) and isinstance(node.lhs, ArrayAccess)):
+                continue
+            name, dims = node.lhs.name, len(node.lhs.indices)
+            fx = summary.get(name)
+            if fx is None:
+                raise LintError(
+                    f"{what}: stores to '{name}' but the static write "
+                    f"summary does not mention it"
+                )
+            if all(w.dims != dims for w in fx.writes):
+                raise LintError(
+                    f"{what}: stores to '{name}' with {dims} subscript(s) "
+                    f"but the write summary records "
+                    f"{sorted({w.dims for w in fx.writes})} dimension(s)"
+                )
+
+    keyed = {_re.sub(r"\W", "_", lid): lid for lid in loops}
+    for key, meta in (getattr(cp, "chunk_meta", None) or {}).items():
+        lid = keyed.get(key)
+        if lid is None:
+            continue
+        eff = loop_effects(loops[lid])
+        if not eff.eligible:
+            raise LintError(
+                f"lowering lint: chunk meta for '{lid}' but no effect summary "
+                f"({eff.reason})"
+            )
+        known = set(eff.arrays)
+        for a in meta.get("rw", ()):
+            if a not in known:
+                raise LintError(
+                    f"lowering lint: chunk meta of '{lid}' marks '{a}' "
+                    f"read-write but the effect summary never touches it"
+                )
+        for a in meta.get("snapshot_free", ()):
+            if a not in meta.get("rw", ()):
+                raise LintError(
+                    f"lowering lint: chunk meta of '{lid}' marks '{a}' "
+                    f"snapshot-free but it is not in the rw overlap set"
+                )

@@ -1,0 +1,447 @@
+"""Static chunk-race classification of candidate parallel loops.
+
+Given the symbolic effect summary of a loop
+(:mod:`repro.verify.effects`), classify its shared-array writes for
+**arbitrary contiguous chunkings** of the iteration space:
+
+``chunk-disjoint``
+    Proven: no two iterations write the same element, and every read of
+    a written array either targets the iteration's own write footprint
+    or a provably disjoint region.  Any partition of the iterations into
+    contiguous chunks is then conflict-free — the strongest answer the
+    runtime can hope for, and the one that licenses skipping dynamic
+    race traces.
+``overlapping``
+    Proven: two distinct iterations touch the same element with at
+    least one write (e.g. a loop-invariant store with trip count >= 2).
+    A loop carrying this verdict must never be dispatched in parallel;
+    the driver demotes it with a ``static-race-detected`` diagnostic.
+``unknown``
+    Neither proof succeeded; the recorded reason says exactly which
+    footprint resisted.  The runtime keeps its dynamic machinery
+    (trace-mode racecheck, rw-overlap snapshots).
+
+Independently of the three-way verdict, each read/write array gets a
+**snapshot-free** flag: True when re-running a partially executed chunk
+is idempotent because the loop's reads can never observe its own writes
+(regions provably disjoint, or every read dominated by an unguarded
+same-subscript overwrite).  The parallel pool uses it to skip the
+pre-dispatch snapshot/restore machinery (see ``docs/robustness.md``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.properties import PropertyStore
+from repro.ir.ranges import BoundsProvider, SymRange
+from repro.ir.simplify import simplify
+from repro.ir.symbols import IntLit, sub
+from repro.lang.astnodes import (
+    ArrayAccess,
+    Assign,
+    Compound,
+    Decl,
+    For,
+    If,
+    Node,
+    Statement,
+    While,
+)
+from repro.verify.effects import (
+    AFFINE,
+    INDIRECT,
+    INVARIANT,
+    OPAQUE,
+    WINDOW,
+    AccessRegion,
+    LoopEffects,
+    loop_effects,
+    spans_disjoint,
+    trips_at_least_two,
+)
+
+#: verdict lattice: OVERLAPPING > UNKNOWN > DISJOINT
+DISJOINT = "chunk-disjoint"
+OVERLAPPING = "overlapping"
+UNKNOWN = "unknown"
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayVerdict:
+    """Chunk-race classification of one written array."""
+
+    array: str
+    classification: str
+    reason: str
+    #: re-running a partially executed chunk is idempotent for this array
+    snapshot_free: bool = False
+
+
+@dataclasses.dataclass(frozen=True)
+class ChunkRaceVerdict:
+    """Whole-loop classification: the meet over all written arrays."""
+
+    loop_id: str
+    classification: str
+    reason: str
+    arrays: Tuple[ArrayVerdict, ...] = ()
+    #: runtime-check texts the proof is conditional on (the same
+    #: if-clause that already gates the parallel dispatch)
+    checks: Tuple[str, ...] = ()
+
+    @property
+    def disjoint(self) -> bool:
+        return self.classification == DISJOINT
+
+    def verdict_of(self, array: str) -> Optional[ArrayVerdict]:
+        for v in self.arrays:
+            if v.array == array:
+                return v
+        return None
+
+    def snapshot_free_arrays(self) -> List[str]:
+        return sorted(v.array for v in self.arrays if v.snapshot_free)
+
+
+def properties_from_certificate(cert) -> PropertyStore:
+    """Rebuild a property store from a certificate's monotonicity steps.
+
+    The runtime lowerer has no analysis context — only the decision's
+    certificate travels with it — so the classifier re-derives the
+    injectivity facts it needs from the certified MonoSteps.
+    """
+    if cert is None:
+        return PropertyStore()
+    return PropertyStore.from_mono_steps(getattr(cert, "monotonic", ()))
+
+
+def classify_loop(
+    loop: For,
+    *,
+    decision=None,
+    properties: Optional[PropertyStore] = None,
+    bounds: Optional[BoundsProvider] = None,
+    effects: Optional[LoopEffects] = None,
+) -> ChunkRaceVerdict:
+    """Classify ``loop``'s writes for arbitrary contiguous chunkings.
+
+    ``decision`` (a :class:`~repro.parallelizer.driver.LoopDecision`)
+    supplies the privatization/reduction contract and — when no explicit
+    ``properties``/``bounds`` are given — the certificate its
+    monotonicity facts and range hypotheses are rebuilt from.
+    """
+    cert = getattr(decision, "certificate", None)
+    if properties is None:
+        properties = properties_from_certificate(cert)
+    if bounds is None and cert is not None:
+        bounds = getattr(cert, "facts", None)
+    if effects is None:
+        effects = loop_effects(loop, properties=properties, bounds=bounds)
+    loop_id = effects.loop_id
+
+    if not effects.eligible:
+        return ChunkRaceVerdict(loop_id, UNKNOWN, effects.reason)
+
+    # privatization contract: every scalar the body assigns must be
+    # private or a declared reduction, or chunks exchange values through it
+    allowed: Set[str] = set()
+    if decision is not None:
+        allowed |= set(getattr(decision, "private", ()) or ())
+        allowed |= {var for (_, var) in getattr(decision, "reductions", ()) or ()}
+    stray = sorted(effects.scalars - allowed)
+    if stray:
+        return ChunkRaceVerdict(
+            loop_id,
+            UNKNOWN,
+            f"scalar '{stray[0]}' assigned in the body is neither privatized "
+            f"nor a declared reduction",
+        )
+
+    verdicts: List[ArrayVerdict] = []
+    for name in effects.written_arrays():
+        fx = effects.arrays[name]
+        verdicts.append(
+            _classify_array(name, fx.writes, fx.reads, loop, effects, bounds)
+        )
+
+    checks = tuple(getattr(c, "text", str(c)) for c in (getattr(decision, "checks", ()) or ()))
+    if not verdicts:
+        return ChunkRaceVerdict(
+            loop_id, DISJOINT, "no shared-array writes", (), checks
+        )
+    severity = {DISJOINT: 0, UNKNOWN: 1, OVERLAPPING: 2}
+    worst = max(verdicts, key=lambda v: severity[v.classification])
+    return ChunkRaceVerdict(
+        loop_id,
+        worst.classification,
+        worst.reason if worst.classification != DISJOINT
+        else "; ".join(v.reason for v in verdicts),
+        tuple(verdicts),
+        checks,
+    )
+
+
+# --------------------------------------------------------------------------
+# per-array classification
+# --------------------------------------------------------------------------
+
+
+def _classify_array(
+    name: str,
+    writes: Sequence[AccessRegion],
+    reads: Sequence[AccessRegion],
+    loop: For,
+    effects: LoopEffects,
+    bounds: Optional[BoundsProvider],
+) -> ArrayVerdict:
+    # 1. opaque write: nothing provable
+    for w in writes:
+        if w.kind == OPAQUE:
+            return ArrayVerdict(name, UNKNOWN, f"write to {name}: {w.detail}")
+
+    # 2. loop-invariant write: every iteration hits the same element
+    for w in writes:
+        if w.kind == INVARIANT:
+            if not w.guarded and trips_at_least_two(effects.index_span, bounds):
+                return ArrayVerdict(
+                    name,
+                    OVERLAPPING,
+                    f"every iteration writes {name}{w.detail.split(']')[0]}] "
+                    f"(loop-invariant subscript, trip count >= 2)",
+                )
+            return ArrayVerdict(
+                name,
+                UNKNOWN,
+                f"loop-invariant write subscript on {name} "
+                f"({'guarded' if w.guarded else 'trip count unproven'})",
+            )
+
+    # 3. non-injective (MA-only or symbolic) footprints
+    for w in writes:
+        if not w.injective:
+            return ArrayVerdict(name, UNKNOWN, f"write to {name}: {w.detail}")
+
+    # 4. pairwise write/write separation
+    for i, a in enumerate(writes):
+        for b in writes[i + 1:]:
+            rel, why = _footprints_relate(a, b, effects, bounds)
+            if rel == "collide" and not a.guarded and not b.guarded:
+                return ArrayVerdict(name, OVERLAPPING, f"writes to {name} {why}")
+            if rel in ("collide", "unknown"):
+                return ArrayVerdict(name, UNKNOWN, f"writes to {name} {why}")
+
+    # 5. reads of the written array: same-footprint, or provably elsewhere
+    for r in reads:
+        if any(_footprints_relate(r, w, effects, bounds)[0] == "same" for w in writes):
+            continue  # reads its own (injective) write footprint
+        if all(spans_disjoint(r.span, w.span, bounds) for w in writes):
+            continue
+        rel, why = _footprints_relate(r, writes[0], effects, bounds)
+        if rel == "collide" and not r.guarded and not writes[0].guarded:
+            return ArrayVerdict(name, OVERLAPPING, f"read/write on {name} {why}")
+        if rel != "never":
+            return ArrayVerdict(
+                name, UNKNOWN, f"read of {name} may cross chunk boundaries ({why})"
+            )
+
+    how = _proof_text(writes)
+    # snapshot-freedom: reads never observe the loop's own writes.
+    # Route A: all read spans provably disjoint from all write spans.
+    # Route B: every read is dominated by an unguarded same-subscript
+    # overwrite earlier in the body (write-before-read).
+    if reads:
+        route_a = all(
+            all(spans_disjoint(r.span, w.span, bounds) for w in writes) for r in reads
+        )
+        route_b = _write_before_read(loop.body, name)
+        snapshot_free = route_a or route_b
+    else:
+        snapshot_free = False
+    return ArrayVerdict(name, DISJOINT, f"{name}: {how}", snapshot_free)
+
+
+def _proof_text(writes: Sequence[AccessRegion]) -> str:
+    kinds = {w.kind for w in writes}
+    if kinds == {AFFINE}:
+        strides = sorted({str(w.coeff) for w in writes})
+        return f"affine writes, stride {'/'.join(strides)} — iterations write distinct elements"
+    if kinds == {INDIRECT}:
+        vias = sorted({w.via or "?" for w in writes})
+        return f"writes routed through strictly monotonic {'/'.join(vias)} — injective"
+    if kinds == {WINDOW}:
+        vias = sorted({w.via or "?" for w in writes})
+        return f"writes confined to disjoint [{'/'.join(vias)}] windows"
+    return "injective write footprints"
+
+
+def _footprints_relate(
+    a: AccessRegion,
+    b: AccessRegion,
+    effects: LoopEffects,
+    bounds: Optional[BoundsProvider],
+) -> Tuple[str, str]:
+    """How two per-iteration footprints of the *same array* interact
+    across distinct iterations.
+
+    Returns one of ``("same", …)`` — identical footprint each iteration
+    (so cross-iteration contact is impossible when it is injective),
+    ``("never", …)`` — provably never the same element on distinct
+    iterations, ``("collide", …)`` — provably the same element on two
+    in-range iterations, ``("unknown", …)``.
+    """
+    if a.kind != b.kind:
+        return "unknown", f"mix {a.kind} and {b.kind} footprints"
+    if a.kind == AFFINE:
+        if a.coeff is None or b.coeff is None:
+            return "unknown", "symbolic stride"
+        if a.coeff != b.coeff:
+            return "unknown", f"different strides {a.coeff} vs {b.coeff}"
+        delta = simplify(sub(a.offset, b.offset))
+        if delta == IntLit(0):
+            return "same", "identical affine footprint"
+        if isinstance(delta, IntLit):
+            if delta.value % a.coeff != 0:
+                return "never", f"offsets differ by {delta.value}, not a stride multiple"
+            shift = abs(delta.value // a.coeff)
+            if _trips_exceed(effects.index_span, shift, bounds):
+                return (
+                    "collide",
+                    f"at iterations {shift} apart hit the same element "
+                    f"(offset gap {delta.value}, stride {a.coeff})",
+                )
+            return "unknown", f"offset gap {delta.value} may exceed the trip count"
+        return "unknown", f"symbolic offset gap ({delta})"
+    if a.kind in (INDIRECT, WINDOW):
+        if a.via != b.via:
+            return "unknown", f"different index arrays {a.via} vs {b.via}"
+        if (
+            a.pos_coeff is not None
+            and a.pos_coeff == b.pos_coeff
+            and a.pos_offset is not None
+            and b.pos_offset is not None
+            and simplify(sub(a.pos_offset, b.pos_offset)) == IntLit(0)
+            and simplify(sub(a.offset or IntLit(0), b.offset or IntLit(0))) == IntLit(0)
+        ):
+            return "same", f"identical footprint via {a.via}"
+        return "unknown", f"footprints via {a.via} at different positions"
+    if a.kind == INVARIANT:
+        delta = simplify(sub(a.offset, b.offset))
+        if delta == IntLit(0):
+            return "same", "same invariant element"
+        return "unknown", "distinct invariant elements"
+    return "unknown", a.detail
+
+
+def _trips_exceed(
+    index_span: Optional[SymRange], shift: int, bounds: Optional[BoundsProvider]
+) -> bool:
+    """Provably two in-range iterations lie ``shift`` apart."""
+    if shift <= 0 or index_span is None:
+        return False
+    from repro.ir.ranges import sign_of
+    from repro.ir.symbols import add
+
+    if not (index_span.has_lb and index_span.has_ub):
+        return False
+    gap = simplify(sub(index_span.ub, add(index_span.lb, IntLit(shift))))
+    return sign_of(gap, bounds).is_pnn
+
+
+# --------------------------------------------------------------------------
+# write-before-read feedback freedom (snapshot-skip route B)
+# --------------------------------------------------------------------------
+
+
+def _write_before_read(body: Statement, array: str) -> bool:
+    """True when re-executing the body cannot observe its own writes to
+    ``array``: every read of ``array`` is preceded, in straight-line
+    statement order, by an unguarded plain ``=`` store to the identical
+    subscript — so a re-run first rewrites the element (with a value
+    derived only from unwritten data) and then reads the fresh value.
+
+    Any control flow that touches ``array`` (guards, inner loops) and
+    any compound store defeat the argument; the walk answers False.
+    """
+    written: Set[str] = set()
+
+    def canon(acc: ArrayAccess) -> str:
+        from repro.lang.printer import to_c
+
+        return "|".join(to_c(i) for i in acc.indices)
+
+    def touches(node: Node) -> bool:
+        return any(isinstance(n, ArrayAccess) and n.name == array for n in node.walk())
+
+    def reads_of(node: Node) -> List[ArrayAccess]:
+        return [n for n in node.walk() if isinstance(n, ArrayAccess) and n.name == array]
+
+    def visit(stmts: Sequence[Statement]) -> bool:
+        for s in stmts:
+            if isinstance(s, Compound):
+                if not visit(s.stmts):
+                    return False
+            elif isinstance(s, Assign):
+                lhs_store = isinstance(s.lhs, ArrayAccess) and s.lhs.name == array
+                pending = reads_of(s.rhs)
+                if lhs_store:
+                    for idx in s.lhs.indices:
+                        pending += reads_of(idx)
+                    if s.op != "=":
+                        pending.append(s.lhs)  # compound store reads the element
+                elif isinstance(s.lhs, ArrayAccess):
+                    for idx in s.lhs.indices:
+                        pending += reads_of(idx)
+                for r in pending:
+                    if canon(r) not in written:
+                        return False
+                if lhs_store and s.op == "=":
+                    written.add(canon(s.lhs))
+            elif isinstance(s, Decl):
+                if s.init is not None:
+                    for r in reads_of(s.init):
+                        if canon(r) not in written:
+                            return False
+            elif isinstance(s, (If, For, While)):
+                # control flow around accesses defeats the dominance
+                # argument (a guard may hide the overwrite on re-run)
+                if touches(s):
+                    return False
+            else:
+                if touches(s):
+                    return False
+        return True
+
+    stmts = body.stmts if isinstance(body, Compound) else [body]
+    return visit(stmts)
+
+
+# --------------------------------------------------------------------------
+# whole-program conveniences
+# --------------------------------------------------------------------------
+
+
+def classify_decisions(result) -> Dict[str, ChunkRaceVerdict]:
+    """Classify every top-level PARALLEL decision of a
+    :class:`~repro.parallelizer.driver.ParallelizationResult`."""
+    out: Dict[str, ChunkRaceVerdict] = {}
+    props = getattr(result.analysis, "properties", None)
+    for stmt in result.program.walk():
+        if not isinstance(stmt, For):
+            continue
+        d = result.decisions.get(stmt.loop_id or "")
+        if d is None or not d.parallel:
+            continue
+        out[d.loop_id] = classify_loop(stmt, decision=d, properties=props)
+    return out
+
+
+def format_verdict(v: ChunkRaceVerdict) -> str:
+    lines = [f"chunk classification of {v.loop_id}: {v.classification} — {v.reason}"]
+    for av in v.arrays:
+        extra = " [snapshot-free]" if av.snapshot_free else ""
+        lines.append(f"  {av.array}: {av.classification}{extra} — {av.reason}")
+    if v.checks:
+        lines.append(f"  conditional on runtime checks: {' && '.join(v.checks)}")
+    return "\n".join(lines)

@@ -93,3 +93,12 @@ def test_transitive_copy_env():
     env = build_copy_env(body, idx)
     assert "m" in env
     assert "b[i]" in to_c(env["m"])
+
+
+def test_compound_store_also_records_the_read():
+    """``a[i] += x`` on a raw (un-normalized) AST reads the element too."""
+    prog = parse_program("for (i = 0; i < n; i++) a[i] += b[i];")
+    accs = collect_accesses(prog.stmts[0].body, "i")
+    a_reads = [a for a in accs if a.array == "a" and not a.is_write]
+    assert len(a_reads) == 1
+    assert a_reads[0].subs[0].affine is not None

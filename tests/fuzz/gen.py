@@ -369,3 +369,60 @@ def generate(seed: int) -> FuzzProgram:
 def corpus(count: int, base_seed: int = 0) -> List[FuzzProgram]:
     """The fixed fuzz corpus: seeds ``base_seed .. base_seed+count-1``."""
     return [generate(base_seed + k) for k in range(count)]
+
+
+# --------------------------------------------------------------------------
+# known-racy productions (negative corpus for the static classifier)
+# --------------------------------------------------------------------------
+
+
+def racy_corpus(count: int = 12, base_seed: int = 10_000) -> List[FuzzProgram]:
+    """Deterministic programs whose candidate loop is *known racy*.
+
+    Each program's final loop carries a genuine cross-iteration conflict:
+    an overlapping scatter through a non-injective index array, a
+    loop-invariant store, or a cross-chunk accumulation that is not a
+    recognized privatizable reduction.  The static chunk-race classifier
+    must answer ``overlapping`` or ``unknown`` for these — never
+    ``chunk-disjoint`` (that is the negative half of the agreement gate).
+    """
+    out: List[FuzzProgram] = []
+    for k in range(count):
+        rng = random.Random(base_seed + k)
+        n = rng.randint(6, 12)
+        shape = k % 4
+        if shape == 0:
+            # overlapping scatter: random (non-injective) index array
+            idx = [rng.randrange(max(2, n // 2)) for _ in range(n)]
+            src = f"for (i = 0; i < n; i++) a[idx[i]] = a[idx[i]] + i;\n"
+            env = {
+                "n": n,
+                "idx": np.array(idx, dtype=np.int64),
+                "a": np.zeros(n, dtype=np.int64),
+            }
+        elif shape == 1:
+            # non-injective index array built in-program (MA, not SMA)
+            src = (
+                "for (i = 0; i < n; i++) idx[i] = i / 2;\n"
+                "for (j = 0; j < n; j++) a[idx[j]] = j;\n"
+            )
+            env = {
+                "n": n,
+                "idx": np.zeros(n, dtype=np.int64),
+                "a": np.zeros(n, dtype=np.int64),
+            }
+        elif shape == 2:
+            # cross-chunk accumulation into one element, no privatization
+            src = f"for (i = 0; i < n; i++) acc[0] = acc[0] + a[i] * {rng.randint(1, 3)};\n"
+            env = {
+                "n": n,
+                "acc": np.zeros(1, dtype=np.int64),
+                "a": np.arange(n, dtype=np.int64),
+            }
+        else:
+            # loop-invariant store: every iteration writes the same cell
+            c = rng.randrange(n)
+            src = f"for (i = 0; i < n; i++) a[{c}] = i;\n"
+            env = {"n": n, "a": np.zeros(n, dtype=np.int64)}
+        out.append(FuzzProgram(seed=base_seed + k, source=src, env=env))
+    return out

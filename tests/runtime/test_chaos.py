@@ -380,3 +380,56 @@ def test_registry_survives_fault_class(bench, spec, monkeypatch, tmp_path):
     if workmeter.fault_events():
         # a fault fired: the diagnostics runtime trail must explain it
         assert diagnostics.runtime_trail()
+
+
+# ---------------------------------------------------------------------------
+# snapshot-free proofs: the static effect analysis licenses skipping the
+# pre-dispatch snapshot when chunk re-runs are provably idempotent
+# ---------------------------------------------------------------------------
+
+#: staging kernel: ``t`` is read *and* written, but every read is
+#: dominated by a same-subscript overwrite — re-running a chunk is
+#: idempotent, so the snapshot may be skipped
+STAGED_SRC = "for (i = 0; i < n; i++) { t[i] = a[i] + x[i]; y[i] = t[i] * 2.0; }"
+
+
+def _staged_env():
+    rng = np.random.default_rng(17)
+    return {
+        "n": N,
+        "a": rng.random(N),
+        "x": rng.random(N),
+        "t": np.zeros(N),
+        "y": np.zeros(N),
+    }
+
+
+class TestSnapshotFreeProofs:
+    def test_staging_array_proven_snapshot_free(self):
+        _, cp = _prepare(STAGED_SRC)
+        (meta,) = cp.chunk_meta.values()
+        assert meta["rw"] == ["t"]  # read+write overlap detected...
+        assert meta["snapshot_free"] == ["t"]  # ...but proven idempotent
+        assert meta["static"]["class"] == "chunk-disjoint"
+
+    def test_self_update_loop_is_never_snapshot_free(self):
+        _, cp = _prepare(SELF_SRC)
+        (meta,) = cp.chunk_meta.values()
+        assert meta["rw"] == ["y"]
+        assert meta["snapshot_free"] == []  # y[i] = y[i] + ... must snapshot
+
+    def test_snapshot_skip_survives_worker_exit(self, monkeypatch):
+        # retries re-run chunks WITHOUT a restore; the write-before-read
+        # proof is what keeps the output exact (checked in _run_with_faults)
+        _, respawns = _run_with_faults(
+            monkeypatch, STAGED_SRC, _staged_env(), "worker-exit"
+        )
+        assert respawns >= 1
+
+    def test_kill_switch_restores_snapshots(self, monkeypatch):
+        # REPRO_STATIC_EFFECTS=0 must disable the skip and still heal
+        monkeypatch.setenv("REPRO_STATIC_EFFECTS", "0")
+        _, respawns = _run_with_faults(
+            monkeypatch, STAGED_SRC, _staged_env(), "worker-exit"
+        )
+        assert respawns >= 1

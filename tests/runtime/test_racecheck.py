@@ -112,3 +112,47 @@ def test_compiled_backend_reports_identical_races():
             r2 = check_loop_races(result.program, loop, e2, backend="compiled")
             assert r1.iterations == r2.iterations
             assert [str(c) for c in r1.conflicts] == [str(c) for c in r2.conflicts]
+
+
+# -- static mode ------------------------------------------------------------
+
+
+def test_static_mode_disjoint_answers_without_executing():
+    rep = check("for (i = 0; i < 8; i++) a[i] = i;", {"a": np.zeros(8)}, mode="static")
+    assert rep.clean
+    assert rep.mode == "static"
+    assert rep.iterations == 0  # nothing was run
+    assert "stride 1" in rep.static_reason
+
+
+def test_static_mode_overlapping_reports_symbolic_conflict():
+    rep = check("for (i = 0; i < 8; i++) a[0] = i;", {"a": np.zeros(8)}, mode="static")
+    assert not rep.clean
+    assert rep.mode == "static"
+    assert rep.conflicts[0].array == "a"
+    assert "static conflict" in str(rep.conflicts[0])
+
+
+def test_static_mode_unknown_falls_back_to_trace():
+    env = {"key": np.array([1, 2, 1, 3]), "bucket": np.zeros(5, dtype=np.int64)}
+    rep = check(
+        "for (i = 0; i < 4; i++) bucket[key[i]] = bucket[key[i]] + 1;",
+        env,
+        mode="static",
+    )
+    assert rep.mode == "trace"  # no static proof: the trace ran
+    assert not rep.clean  # and found the genuine conflict
+
+
+def test_static_mode_agrees_with_trace_on_clean_loop():
+    src = "for (i = 0; i < 8; i++) a[i] = a[i] * 2;"
+    srep = check(src, {"a": np.ones(8)}, mode="static")
+    trep = check(src, {"a": np.ones(8)})
+    assert srep.clean and trep.clean
+
+
+def test_unknown_mode_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="racecheck mode"):
+        check("for (i = 0; i < 4; i++) a[i] = i;", {"a": np.zeros(4)}, mode="sideways")

@@ -21,7 +21,7 @@ class TestStaticChunks:
     def test_covers_all_iterations(self):
         chunks = static_chunks(17, 5)
         assert chunks[0][0] == 0 and chunks[-1][1] == 17
-        for (a, b), (c, d) in zip(chunks, chunks[1:]):
+        for (_a, b), (c, _d) in zip(chunks, chunks[1:]):
             assert b == c
 
     def test_more_threads_than_iterations(self):
@@ -69,7 +69,7 @@ class TestBalancedChunkBoundsDegenerate:
 
     def _assert_covers(self, bounds, lo, n):
         assert bounds[0][0] == lo and bounds[-1][1] == lo + n
-        for (a, b), (c, d) in zip(bounds, bounds[1:]):
+        for (_a, b), (c, _d) in zip(bounds, bounds[1:]):
             assert b == c
         assert all(b > a for a, b in bounds)
 

@@ -57,3 +57,26 @@ def test_requires_top_level_loop():
     other = parse_program("for (i = 0; i < 2; i++) { }").stmts[0]
     with pytest.raises(ValueError):
         meter_loop_work(prog, other, {})
+
+
+def test_format_summary_empty_without_measurements():
+    """Cost-model-only records must not render blank timing rows."""
+    from repro.runtime import workmeter
+
+    workmeter.reset()
+    try:
+        assert workmeter.format_summary() == ""
+        # a prediction alone belongs to the decision table, not the
+        # timing block — still nothing to print
+        workmeter.record_prediction(
+            "L0", choice="compiled", tier="vector", trips=8, work=8,
+            predicted={"compiled": 0.5},
+        )
+        assert workmeter.format_summary() == ""
+        # a real measurement brings the block back
+        workmeter.record_loop("L1", 0.25)
+        out = workmeter.format_summary()
+        assert "loop timings" in out and "L1" in out
+        assert "L0" not in out
+    finally:
+        workmeter.reset()

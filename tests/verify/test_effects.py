@@ -1,0 +1,158 @@
+"""Symbolic effect summaries: every subscript shape classifies honestly.
+
+Each test parses one mini-C loop and checks the derived per-iteration
+footprint — kind, injectivity, stride — plus the helper predicates the
+chunk-race classifier builds on (span disjointness, trip-count proofs).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.normalize import normalize_program
+from repro.analysis.properties import ArrayProperty, MonoKind, PropertyStore
+from repro.ir.ranges import SymRange
+from repro.ir.symbols import IntLit, Sym
+from repro.lang.astnodes import For
+from repro.lang.cparser import parse_program
+from repro.verify.effects import (
+    AFFINE,
+    INDIRECT,
+    INVARIANT,
+    OPAQUE,
+    WINDOW,
+    format_effects,
+    loop_effects,
+    spans_disjoint,
+    trips_at_least_two,
+)
+
+
+def _loop(src: str, k: int = 0) -> For:
+    prog = normalize_program(parse_program(src))
+    return [s for s in prog.stmts if isinstance(s, For)][k]
+
+
+def _props(array: str, kind: MonoKind, value_range=None) -> PropertyStore:
+    store = PropertyStore()
+    store.record(ArrayProperty(array=array, kind=kind, value_range=value_range))
+    return store
+
+
+def test_affine_stride_one_write():
+    eff = loop_effects(_loop("for (i = 0; i < n; i++) a[i] = i;"))
+    assert eff.eligible and eff.index == "i"
+    assert eff.index_span is not None
+    [w] = eff.arrays["a"].writes
+    assert w.kind == AFFINE and w.injective and w.coeff == 1
+    assert eff.written_arrays() == ["a"]
+
+
+def test_affine_stride_two_write():
+    eff = loop_effects(_loop("for (i = 0; i < n; i++) a[2*i] = i;"))
+    [w] = eff.arrays["a"].writes
+    assert w.kind == AFFINE and w.injective and w.coeff == 2
+
+
+def test_loop_invariant_write():
+    eff = loop_effects(_loop("for (i = 0; i < n; i++) a[0] = i;"))
+    [w] = eff.arrays["a"].writes
+    assert w.kind == INVARIANT and not w.injective
+    assert w.span is not None  # a single-point span
+
+
+def test_non_affine_subscript_is_opaque():
+    eff = loop_effects(_loop("for (i = 0; i < n; i++) a[i * i] = i;"))
+    [w] = eff.arrays["a"].writes
+    assert w.kind == OPAQUE and not w.injective
+
+
+def test_indirection_without_property_is_opaque():
+    eff = loop_effects(_loop("for (i = 0; i < n; i++) y[idx[i]] = i;"))
+    [w] = eff.arrays["y"].writes
+    assert w.kind == OPAQUE and not w.injective
+    assert "idx" in w.detail
+
+
+def test_indirection_with_sma_property_is_injective():
+    props = _props("idx", MonoKind.SMA, SymRange(IntLit(0), Sym("m")))
+    eff = loop_effects(
+        _loop("for (i = 0; i < n; i++) y[idx[i]] = x[i];"), properties=props
+    )
+    [w] = eff.arrays["y"].writes
+    assert w.kind == INDIRECT and w.injective
+    assert w.via == "idx" and w.via_kind is MonoKind.SMA
+    assert w.pos_coeff == 1
+    assert w.span is not None  # inherited from the property's value range
+
+
+def test_indirection_with_ma_property_is_not_injective():
+    props = _props("idx", MonoKind.MA)
+    eff = loop_effects(
+        _loop("for (i = 0; i < n; i++) y[idx[i]] = x[i];"), properties=props
+    )
+    [w] = eff.arrays["y"].writes
+    assert w.kind == INDIRECT and not w.injective
+
+
+def test_monotonic_window_is_injective():
+    src = (
+        "for (i = 0; i < n; i++) {\n"
+        "  for (j = p[i]; j < p[i + 1]; j++) {\n"
+        "    a[j] = a[j] + x[i];\n"
+        "  }\n"
+        "}"
+    )
+    props = _props("p", MonoKind.MA)  # MA suffices: windows stay disjoint
+    eff = loop_effects(_loop(src), properties=props)
+    [w] = eff.arrays["a"].writes
+    assert w.kind == WINDOW and w.injective and w.via == "p"
+
+
+def test_window_without_property_is_opaque():
+    src = (
+        "for (i = 0; i < n; i++) {\n"
+        "  for (j = p[i]; j < p[i + 1]; j++) {\n"
+        "    a[j] = x[i];\n"
+        "  }\n"
+        "}"
+    )
+    [w] = loop_effects(_loop(src)).arrays["a"].writes
+    assert w.kind == OPAQUE
+
+
+def test_assigned_scalars_are_collected():
+    src = "for (i = 0; i < n; i++) { t = a[i]; b[i] = t * 2; }"
+    eff = loop_effects(_loop(src))
+    assert eff.scalars == {"t"}
+
+
+def test_guarded_access_flagged():
+    src = "for (i = 0; i < n; i++) { if (d[i] > 0) { a[0] = i; } }"
+    [w] = loop_effects(_loop(src)).arrays["a"].writes
+    assert w.kind == INVARIANT and w.guarded
+
+
+def test_format_effects_renders():
+    eff = loop_effects(_loop("for (i = 0; i < n; i++) a[i] = b[i];"))
+    text = format_effects(eff)
+    assert "W a:" in text and "R b:" in text
+
+
+def test_spans_disjoint():
+    a = SymRange(IntLit(0), IntLit(7))
+    b = SymRange(IntLit(8), IntLit(15))
+    c = SymRange(IntLit(4), IntLit(9))
+    assert spans_disjoint(a, b)
+    assert spans_disjoint(b, a)
+    assert not spans_disjoint(a, c)
+    assert not spans_disjoint(a, None)
+    # symbolic bounds without facts: not provable, answer False
+    s = SymRange(Sym("m"), Sym("m"))
+    assert not spans_disjoint(a, s)
+
+
+def test_trips_at_least_two():
+    assert trips_at_least_two(SymRange(IntLit(0), IntLit(7)))
+    assert trips_at_least_two(SymRange(IntLit(0), IntLit(1)))
+    assert not trips_at_least_two(SymRange(IntLit(0), IntLit(0)))
+    # symbolic upper bound without facts is unproven
+    assert not trips_at_least_two(SymRange(IntLit(0), Sym("n")))

@@ -108,3 +108,58 @@ def test_verify_ir_off_skips_linter(monkeypatch):
     config = dataclasses.replace(AnalysisConfig.new_algorithm(), verify_ir=False)
     res = analyze_program(KERNEL + "// linter off\n", config)
     assert not any(d.kind == "internal-error" for d in res.diagnostics)
+
+
+# -- lowering lint (REPRO_VERIFY_LOWERING) ----------------------------------
+
+
+def _compiled(src: str, parallel: bool = False):
+    from repro.analysis import AnalysisConfig
+    from repro.parallelizer import parallelize
+    from repro.runtime.compile import compile_program
+
+    res = parallelize(src, AnalysisConfig.new_algorithm())
+    par = {lid for lid, d in res.decisions.items() if d.parallel}
+    return compile_program(
+        res.program, res.decisions, parallel=parallel, parallel_loops=par
+    )
+
+
+def test_lint_lowering_accepts_real_compile():
+    from repro.verify.lint import lint_lowering
+
+    cp = _compiled("for (i = 0; i < n; i++) a[i] = b[i] + 1;", parallel=True)
+    lint_lowering(cp)  # must not raise
+
+
+def test_lint_lowering_rejects_tampered_chunk_meta():
+    from repro.verify.lint import lint_lowering
+
+    cp = _compiled("for (i = 0; i < n; i++) a[i] = b[i] + 1;", parallel=True)
+    assert cp.chunk_meta, "expected a parallel chunk dispatch"
+    key = next(iter(cp.chunk_meta))
+    cp.chunk_meta[key]["rw"] = ["ghost"]  # array the loop never touches
+    with pytest.raises(LintError, match="ghost"):
+        lint_lowering(cp)
+
+
+def test_lint_lowering_rejects_unlisted_snapshot_free():
+    from repro.verify.lint import lint_lowering
+
+    cp = _compiled("for (i = 0; i < n; i++) a[i] = b[i] + 1;", parallel=True)
+    key = next(iter(cp.chunk_meta))
+    # snapshot-free must be a subset of the rw overlap set
+    cp.chunk_meta[key]["snapshot_free"] = ["a"]
+    with pytest.raises(LintError, match="snapshot"):
+        lint_lowering(cp)
+
+
+def test_compile_program_runs_lint_under_env_gate(monkeypatch):
+    from repro.runtime import compile as rcompile
+
+    monkeypatch.setenv("REPRO_VERIFY_LOWERING", "1")
+    cp = _compiled("for (i = 0; i < n; i++) a[i] = b[i] * 2;", parallel=True)
+    assert cp.backend == "compiled"  # lint ran inside compile_program, clean
+    monkeypatch.setenv("REPRO_VERIFY_LOWERING", "0")
+    cp2 = _compiled("for (i = 0; i < n; i++) a[i] = b[i] * 2;", parallel=True)
+    assert cp2.backend == "compiled"

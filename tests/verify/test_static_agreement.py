@@ -1,0 +1,123 @@
+"""Differential agreement gate: static chunk verdicts vs dynamic traces.
+
+Soundness of the static classifier, checked over the fuzz corpus:
+
+* a loop the static analysis calls ``chunk-disjoint`` must be race-free
+  under the dynamic trace checker on a real execution (static-disjoint
+  implies dynamic race-free — the direction the runtime relies on when
+  it skips dynamic machinery);
+* no loop the driver marked PARALLEL may classify ``overlapping`` (the
+  driver's own sanitizer demotes those before they ever reach here);
+* every known-racy production classifies ``overlapping``/``unknown``.
+
+Plus the registry half of the acceptance bar: every parallel loop of
+every registered benchmark classifies ``chunk-disjoint`` or an explicit
+``unknown`` with a recorded reason.
+
+``REPRO_STATIC_FUZZ_COUNT`` scales the corpus (default 300).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.benchmarks import BENCHMARK_NAMES, get_benchmark
+from repro.lang.astnodes import For
+from repro.parallelizer import parallelize
+from repro.runtime.parexec import IndexNotFound
+from repro.runtime.racecheck import check_loop_races
+from repro.verify.staticrace import DISJOINT, OVERLAPPING, UNKNOWN, classify_loop
+
+from tests.fuzz.gen import generate
+from tests.fuzz.test_fuzz_gate import _checks_hold, _top_parallel_loops
+
+FUZZ_COUNT = int(os.environ.get("REPRO_STATIC_FUZZ_COUNT", "300"))
+SHARDS = 6
+
+
+@pytest.mark.parametrize("shard", range(SHARDS))
+def test_static_disjoint_implies_dynamic_race_free(shard):
+    config = AnalysisConfig.new_algorithm()
+    for seed in range(shard, FUZZ_COUNT, SHARDS):
+        fp = generate(seed)
+        result = parallelize(fp.source, config)
+        props = result.analysis.properties
+        for loop, dec in _top_parallel_loops(result):
+            verdict = classify_loop(loop, decision=dec, properties=props)
+            # the driver's sanitizer must have demoted any proven overlap
+            assert verdict.classification != OVERLAPPING, (
+                f"seed {seed}: PARALLEL loop {dec.loop_id} statically "
+                f"overlapping: {verdict.reason}\n{fp.source}"
+            )
+            if verdict.classification != DISJOINT:
+                continue
+            if not _checks_hold(result.program, loop, fp.fresh_env(), dec.checks):
+                continue  # the proof is conditional on the failed if-clause
+            try:
+                rep = check_loop_races(result.program, loop, fp.fresh_env())
+            except IndexNotFound:
+                continue
+            assert rep.clean, (
+                f"seed {seed}: loop {dec.loop_id} statically chunk-disjoint "
+                f"({verdict.reason}) but dynamically racy: "
+                + "; ".join(str(c) for c in rep.conflicts)
+                + f"\n{fp.source}"
+            )
+
+
+def test_static_mode_racecheck_agrees_with_trace():
+    """``mode="static"`` clean answers must match a real trace."""
+    config = AnalysisConfig.new_algorithm()
+    checked = 0
+    for seed in range(0, FUZZ_COUNT, SHARDS):
+        fp = generate(seed)
+        result = parallelize(fp.source, config)
+        props = result.analysis.properties
+        for loop, dec in _top_parallel_loops(result):
+            if not _checks_hold(result.program, loop, fp.fresh_env(), dec.checks):
+                continue
+            try:
+                srep = check_loop_races(
+                    result.program, loop, fp.fresh_env(),
+                    mode="static", decision=dec, properties=props,
+                )
+            except IndexNotFound:
+                continue
+            if srep.mode != "static" or not srep.clean:
+                continue
+            trep = check_loop_races(result.program, loop, fp.fresh_env())
+            assert trep.clean, (
+                f"seed {seed}: static mode cleared loop {dec.loop_id} "
+                f"({srep.static_reason}) but the trace found: "
+                + "; ".join(str(c) for c in trep.conflicts)
+            )
+            checked += 1
+    assert checked > 0, "gate exercised no static-mode answers"
+
+
+def test_all_registry_benchmarks_classify_disjoint_or_explained():
+    """Acceptance bar: every parallel loop of every registered benchmark
+    is ``chunk-disjoint`` or an explicit ``unknown`` with a reason."""
+    for name in BENCHMARK_NAMES:
+        b = get_benchmark(name)
+        result = parallelize(b.source, AnalysisConfig.new_algorithm())
+        props = result.analysis.properties
+        seen = 0
+        for stmt in result.program.walk():
+            if not isinstance(stmt, For):
+                continue
+            dec = result.decisions.get(stmt.loop_id or "")
+            if dec is None or not dec.parallel:
+                continue
+            seen += 1
+            verdict = classify_loop(stmt, decision=dec, properties=props)
+            assert verdict.classification in (DISJOINT, UNKNOWN), (
+                f"{name}: parallel loop {dec.loop_id} classified "
+                f"{verdict.classification}: {verdict.reason}"
+            )
+            assert verdict.reason, f"{name}: {dec.loop_id} verdict lacks a reason"
+        # benchmarks without parallel decisions are vacuously fine
+        print(f"{name}: {seen} parallel loops classified")

@@ -1,0 +1,232 @@
+"""Chunk-race classifier: negative paths, demotion, and snapshot-freedom.
+
+The negative-path suite is the load-bearing half: known-racy shapes
+(overlapping scatter, non-injective index arrays, cross-chunk
+accumulation without privatization, loop-invariant stores) must classify
+``overlapping`` or ``unknown`` — never ``chunk-disjoint``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.normalize import normalize_program
+from repro.analysis.properties import ArrayProperty, MonoKind, PropertyStore
+from repro.diagnostics import STATIC_RACE_DETECTED
+from repro.lang.astnodes import For
+from repro.lang.cparser import parse_program
+from repro.parallelizer import parallelize
+from repro.parallelizer.driver import LoopDecision, _static_race_audit
+from repro.parallelizer.explain import _find_nest, format_audit
+from repro.verify.staticrace import (
+    DISJOINT,
+    OVERLAPPING,
+    UNKNOWN,
+    classify_decisions,
+    classify_loop,
+    format_verdict,
+)
+
+from tests.fuzz.gen import racy_corpus
+
+
+def _classify(src: str, k: int = 0, **kw):
+    prog = normalize_program(parse_program(src))
+    loops = [s for s in prog.stmts if isinstance(s, For)]
+    return classify_loop(loops[k], **kw)
+
+
+def _decision(**kw) -> LoopDecision:
+    base = dict(loop_id="L", index="i", depth=0, parallel=True, reason="test")
+    base.update(kw)
+    return LoopDecision(**base)
+
+
+# -- positive paths ---------------------------------------------------------
+
+
+def test_stride_one_writes_are_disjoint():
+    v = _classify("for (i = 0; i < 8; i++) a[i] = i;")
+    assert v.classification == DISJOINT
+    assert v.verdict_of("a").classification == DISJOINT
+
+
+def test_no_array_writes_is_disjoint():
+    v = _classify(
+        "for (i = 0; i < 8; i++) s = s + a[i];",
+        decision=_decision(reductions=[("+", "s")]),
+    )
+    assert v.classification == DISJOINT
+    assert "no shared-array writes" in v.reason
+
+
+def test_sma_scatter_is_disjoint():
+    props = PropertyStore()
+    props.record(ArrayProperty(array="idx", kind=MonoKind.SMA))
+    v = _classify("for (i = 0; i < 8; i++) y[idx[i]] = x[i];", properties=props)
+    assert v.classification == DISJOINT
+
+
+# -- negative paths (the suite ISSUE satellite 3 demands) -------------------
+
+
+def test_overlapping_scatter_never_disjoint():
+    v = _classify("for (i = 0; i < 8; i++) a[idx[i]] = i;")
+    assert v.classification in (OVERLAPPING, UNKNOWN)
+    assert v.classification != DISJOINT
+
+
+def test_ma_only_index_array_never_disjoint():
+    # monotonic but not strictly: values may repeat, writes may collide
+    props = PropertyStore()
+    props.record(ArrayProperty(array="idx", kind=MonoKind.MA))
+    v = _classify("for (i = 0; i < 8; i++) a[idx[i]] = i;", properties=props)
+    assert v.classification == UNKNOWN
+
+
+def test_unprivatized_accumulation_is_unknown():
+    # cross-chunk reduction with no privatization contract
+    v = _classify("for (i = 0; i < 8; i++) { s = s + a[i]; b[i] = s; }")
+    assert v.classification == UNKNOWN
+    assert "s" in v.reason
+
+
+def test_loop_invariant_store_is_overlapping():
+    v = _classify("for (i = 0; i < 8; i++) a[0] = i;")
+    assert v.classification == OVERLAPPING
+    assert "trip count" in v.verdict_of("a").reason
+
+
+def test_guarded_invariant_store_is_unknown_not_overlapping():
+    # the guard may fire at most once — no overlap *proof*
+    v = _classify("for (i = 0; i < 8; i++) { if (d[i] > 0) { a[0] = i; } }")
+    assert v.classification == UNKNOWN
+
+
+def test_offset_colliding_writes_are_overlapping():
+    v = _classify("for (i = 0; i < 8; i++) { a[i] = b[i]; a[i + 1] = c[i]; }")
+    assert v.classification == OVERLAPPING
+
+
+def test_symbolic_trip_count_blocks_invariant_overlap_proof():
+    # n could be 1: the invariant store is suspicious but not proven racy
+    v = _classify("for (i = 0; i < n; i++) a[0] = i;")
+    assert v.classification == UNKNOWN
+
+
+def test_racy_corpus_never_classifies_disjoint():
+    for fp in racy_corpus():
+        prog = normalize_program(parse_program(fp.source))
+        loops = [s for s in prog.stmts if isinstance(s, For)]
+        v = classify_loop(loops[-1])
+        assert v.classification != DISJOINT, (
+            f"racy seed {fp.seed} classified chunk-disjoint\n{fp.source}"
+        )
+
+
+# -- snapshot-freedom (feedback-free reads) ---------------------------------
+
+
+def test_rmw_same_element_not_snapshot_free():
+    # re-running a partial chunk would double-apply the increment
+    v = _classify("for (i = 0; i < 8; i++) a[i] = a[i] + 1;")
+    assert v.classification == DISJOINT
+    assert not v.verdict_of("a").snapshot_free
+
+
+def test_write_before_read_is_snapshot_free():
+    # a[i] is rewritten from unwritten data before any read: idempotent
+    v = _classify("for (i = 0; i < 8; i++) { a[i] = b[i]; c[i] = a[i] * 2; }")
+    assert v.classification == DISJOINT
+    assert v.verdict_of("a").snapshot_free
+    assert not v.verdict_of("c").snapshot_free  # no reads of c at all
+
+
+def test_disjoint_read_span_is_snapshot_free():
+    # reads [8:15] never observe writes [0:7]
+    v = _classify("for (i = 0; i < 8; i++) a[i] = a[i + 8];")
+    assert v.classification == DISJOINT
+    assert v.verdict_of("a").snapshot_free
+
+
+def test_guarded_write_defeats_write_before_read():
+    src = (
+        "for (i = 0; i < 8; i++) {\n"
+        "  if (d[i] > 0) { a[i] = b[i]; }\n"
+        "  c[i] = a[i] + 1;\n"
+        "}"
+    )
+    v = _classify(src)
+    av = v.verdict_of("a")
+    if av is not None:  # classification of `a` itself may vary
+        assert not av.snapshot_free
+
+
+def test_format_verdict_renders():
+    v = _classify("for (i = 0; i < 8; i++) { a[i] = b[i]; c[i] = a[i] * 2; }")
+    text = format_verdict(v)
+    assert "chunk classification" in text
+    assert "[snapshot-free]" in text
+
+
+# -- driver demotion + diagnostic (ISSUE satellite 1) -----------------------
+
+
+def test_static_race_audit_demotes_and_records_diagnostic():
+    src = "for (i = 0; i < 8; i++) a[0] = i;"
+    res = parallelize(src, AnalysisConfig.new_algorithm())
+    (lid,) = [s.loop_id for s in res.program.stmts if isinstance(s, For)]
+    d = res.decisions[lid]
+    assert not d.parallel  # the dependence test already refuses this loop
+
+    # simulate an earlier-phase bug handing the sanitizer a parallel verdict
+    forced = dataclasses.replace(d, parallel=True, reason="forced for test")
+    nest = _find_nest(res, lid)
+    before = len(res.analysis.diagnostics)
+    demoted = _static_race_audit(forced, nest, res.analysis, res.analysis.properties)
+
+    assert not demoted.parallel
+    assert demoted.reason.startswith("static race detected")
+    assert demoted.blockers
+    new = res.analysis.diagnostics[before:]
+    assert any(di.kind == STATIC_RACE_DETECTED for di in new)
+    (diag,) = [di for di in new if di.kind == STATIC_RACE_DETECTED]
+    assert diag.nest_id == lid
+    assert "a" in diag.detail
+
+
+def test_format_audit_shows_demotion_trail():
+    src = "for (i = 0; i < 8; i++) a[0] = i;"
+    res = parallelize(src, AnalysisConfig.new_algorithm())
+    (lid,) = [s.loop_id for s in res.program.stmts if isinstance(s, For)]
+    forced = dataclasses.replace(res.decisions[lid], parallel=True)
+    nest = _find_nest(res, lid)
+    res.decisions[lid] = _static_race_audit(
+        forced, nest, res.analysis, res.analysis.properties
+    )
+    audit = format_audit(res)
+    assert "DEMOTED" in audit
+    assert "static race detected" in audit
+
+
+def test_audit_includes_effect_summary_for_parallel_loops():
+    src = "for (i = 0; i < n; i++) a[i] = b[i] + 1;"
+    res = parallelize(src, AnalysisConfig.new_algorithm())
+    audit = format_audit(res)
+    assert "effects of loop" in audit
+    assert "chunk classification" in audit
+
+
+def test_classify_decisions_covers_nested_parallel_loops():
+    # parallel loop nested under a serial outer loop must still be classified
+    src = (
+        "for (t = 0; t < 4; t++) {\n"
+        "  for (i = 0; i < n; i++) { a[i] = a[i] + b[i]; }\n"
+        "}"
+    )
+    res = parallelize(src, AnalysisConfig.new_algorithm())
+    verdicts = classify_decisions(res)
+    par = [lid for lid, d in res.decisions.items() if d.parallel]
+    for lid in par:
+        assert lid in verdicts
