@@ -27,7 +27,7 @@ from repro.ir import perfstats
 from repro.analysis.collapse import CollapsedLoop, MarkerBounds, subst_range
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.irbridge import eval_expr
-from repro.analysis.loopinfo import LoopNest, assigned_arrays, assigned_scalars, find_loop_nests
+from repro.analysis.loopinfo import LoopNest, assigned_arrays, assigned_scalars, find_loop_nests, remap_nests
 from repro.analysis.normalize import normalize_program
 from repro.analysis.phase1 import Phase1Result, run_phase1
 from repro.analysis.phase2 import Phase2Result, run_phase2
@@ -37,6 +37,8 @@ from repro.ir.ranges import Sign, SymRange, sign_of
 from repro.ir.symbols import ArrayRef, BigLambda, Expr, IntLit, Sym
 from repro.lang.astnodes import ArrayAccess, Assign, Compound, Decl, For, Id, Program, Statement
 from repro.lang.cparser import parse_program
+from repro.lang.digest import node_fingerprint
+from repro.lang.printer import to_c
 from repro.verify.lint import lint_phase1, lint_phase2, lint_property
 
 
@@ -138,11 +140,12 @@ class AnalysisResult:
         ``record``/``kill`` cannot leak back into the original.
         """
         program = self.program.clone()
+        nests = remap_nests(self.nests, program)
         return AnalysisResult(
             program=program,
             config=self.config,
             properties=self.properties.copy(),
-            nests=find_loop_nests(program),
+            nests=nests if nests is not None else find_loop_nests(program),
             loop_results=dict(self.loop_results),
             phase1_results=dict(self.phase1_results),
             facts=self.facts,
@@ -175,7 +178,9 @@ class ProgramAnalyzer:
         same way.
         """
         if isinstance(prog, str):
-            prog = parse_program(prog)
+            # the statement-level parse memo rides the same production-only
+            # gate as the per-nest caches (verify_ir keeps positions exact)
+            prog = parse_program(prog, cache=not self.config.verify_ir)
         try:
             return self._analyze_ast(prog)
         except Exception as exc:
@@ -203,23 +208,83 @@ class ProgramAnalyzer:
         nests = find_loop_nests(prog)
         nest_by_loop = {id(n.loop): n for nst in nests for n in nst.walk()}
 
+        # every loop_id currently assigned anywhere in the program: a
+        # cached nest's ids may only be installed when they collide with
+        # none of these (minus the nest's own ids, which they replace)
+        used_ids: Set[str] = {
+            n.loop_id
+            for s in prog.stmts
+            for n in s.walk()
+            if isinstance(n, For) and n.loop_id
+        }
         for stmt in prog.stmts:
             if isinstance(stmt, For):
                 nest = nest_by_loop[id(stmt)]
                 entry_facts = self._facts_from_state(state, facts)
+                # debug-assertions mode (verify_ir) disables per-nest reuse:
+                # the IR/SVD linter and any injected faults must genuinely
+                # re-run, not be served from a pre-fault cached analysis
+                incremental = not self.config.verify_ir
+                key = _nest_key(nest, entry_facts, self.config)
+                entry = _nest_cache_lookup(key) if incremental else None
+                own_ids = {i for i in _nest_for_ids(stmt) if i}
+                if entry is not None and _rebase_nest_ids(
+                    stmt, entry.ids, used_ids - own_ids
+                ):
+                    # per-nest incremental hit: the nest's source and the
+                    # entry facts it can observe are unchanged, so its
+                    # Phase-1/Phase-2 results are reused verbatim (with the
+                    # cached loop_ids written onto this AST's For nodes);
+                    # only the program-state application re-runs, because
+                    # it reads state this nest does NOT key on (elements)
+                    perfstats.STATS.nest_hits += 1
+                    used_ids -= own_ids
+                    used_ids.update(i for i in entry.ids if i)
+                    loop_results.update(entry.loop_results)
+                    phase1_results.update(entry.phase1_results)
+                    if entry.fault is not None:
+                        diagnostics.append(
+                            dataclasses.replace(
+                                entry.fault,
+                                nest_id=nest.loop.loop_id,
+                                span=nest.loop.pos,
+                            )
+                        )
+                    facts = self._apply_collapsed_to_state(entry.collapsed, state, store, facts)
+                    continue
+                perfstats.STATS.nest_misses += 1
+                fault: Optional[Diagnostic] = None
                 try:
                     with scoped_budget(self.config.budget):
                         cl = self._analyze_nest(nest, loop_results, phase1_results, entry_facts)
                         facts = self._apply_collapsed_to_state(cl, state, store, facts)
                 except Exception as exc:
-                    diagnostics.append(
-                        diagnostic_from_exception(
-                            exc, nest_id=nest.loop.loop_id, span=nest.loop.pos
-                        )
+                    fault = diagnostic_from_exception(
+                        exc, nest_id=nest.loop.loop_id, span=nest.loop.pos
                     )
+                    diagnostics.append(fault)
                     cl = _conservative_collapse(nest)
                     self._drop_partial_results(nest, loop_results, phase1_results)
                     facts = self._apply_collapsed_to_state(cl, state, store, facts)
+                ids = _nest_for_ids(stmt)
+                used_ids.update(i for i in ids if i)
+                nest_ids = {i for i in ids if i}
+                if not incremental:
+                    continue
+                _nest_cache_store(
+                    key,
+                    _NestEntry(
+                        ids=ids,
+                        loop_results={
+                            k: v for k, v in loop_results.items() if k in nest_ids
+                        },
+                        phase1_results={
+                            k: v for k, v in phase1_results.items() if k in nest_ids
+                        },
+                        collapsed=cl,
+                        fault=fault,
+                    ),
+                )
             else:
                 self._exec_straightline(stmt, state, store)
 
@@ -504,13 +569,139 @@ def _sub_expr(a: Expr, b: Expr) -> Expr:
 #: pristine whole-program results keyed by (source digest, config
 #: fingerprint); entries are never handed out directly — callers always
 #: receive a clone (see analyze_program)
-_ANALYSIS_CACHE: Dict[Tuple[str, str], AnalysisResult] = {}
+_ANALYSIS_CACHE = perfstats.BoundedCache()
 
 perfstats.register_cache("analysis", _ANALYSIS_CACHE.__len__, _ANALYSIS_CACHE.clear)
 
 
 def _source_digest(source: str) -> str:
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# per-nest incremental cache (memory + disk tier, kind "nest")
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _NestEntry:
+    """Pristine analysis fragment of one top-level loop nest.
+
+    ``ids`` records the ``loop_id`` of every ``For`` node in the nest
+    subtree, preorder; on a hit those ids are written back onto the new
+    AST's loops (:func:`_rebase_nest_ids`) so the cached Phase-1/Phase-2
+    results, collapsed effects, and property ``source_loop`` references
+    stay internally consistent without rewriting any dataclass.
+    """
+
+    ids: Tuple[Optional[str], ...]
+    loop_results: Dict[str, Phase2Result]
+    phase1_results: Dict[str, Phase1Result]
+    collapsed: CollapsedLoop
+    #: recorded fault diagnostic when the nest's analysis was aborted
+    fault: Optional[Diagnostic] = None
+
+
+#: per-nest pristine fragments keyed by (nest digest, config fingerprint);
+#: the digest covers the nest's normalized source AND the slice of the
+#: entry facts the nest can observe, so a hit is valid wherever the nest
+#: reappears — other nests may change freely
+_NEST_CACHE = perfstats.BoundedCache()
+
+perfstats.register_cache("nest", _NEST_CACHE.__len__, _NEST_CACHE.clear)
+
+
+def _observed_names(loop: For) -> Set[str]:
+    """Every identifier/array name the nest subtree mentions."""
+    out: Set[str] = set()
+    for node in loop.walk():
+        if isinstance(node, Id):
+            out.add(node.name)
+        elif isinstance(node, ArrayAccess):
+            out.add(node.name)
+        elif isinstance(node, Decl):
+            out.add(node.name)
+    return out
+
+
+def _entry_slice(entry_facts: RangeDict, observed: Set[str]) -> str:
+    """Canonical rendering of the facts the nest can observe.
+
+    A fact participates when any free symbol of its key names something
+    the nest mentions; facts about unrelated symbols cannot influence the
+    nest's analysis and are deliberately excluded so edits elsewhere in
+    the program do not invalidate this nest's cache entry.
+    """
+    parts = []
+    for k, v in entry_facts.items():
+        names = {s.name for s in k.free_symbols()}
+        if isinstance(k, (BigLambda,)):
+            names.add(k.var)
+        if names & observed:
+            parts.append(f"{k}={v}")
+    return "\n".join(sorted(parts))
+
+
+def _nest_key(
+    nest, entry_facts: RangeDict, config: AnalysisConfig
+) -> Tuple[str, str]:
+    if nest.fingerprint is None:
+        nest.fingerprint = node_fingerprint(nest.loop)
+    if nest.observed is None:
+        nest.observed = _observed_names(nest.loop)
+    payload = nest.fingerprint + "\x00" + _entry_slice(entry_facts, nest.observed)
+    return (
+        hashlib.sha256(payload.encode("utf-8")).hexdigest(),
+        config.fingerprint(),
+    )
+
+
+def _nest_for_ids(stmt: For) -> Tuple[Optional[str], ...]:
+    """``loop_id`` of every For node in the subtree, preorder."""
+    return tuple(n.loop_id for n in stmt.walk() if isinstance(n, For))
+
+
+def _rebase_nest_ids(
+    stmt: For, cached_ids: Tuple[Optional[str], ...], used_ids: Set[str]
+) -> bool:
+    """Assign the cached loop_ids onto the new AST's For nodes.
+
+    Returns False — caller treats the lookup as a miss — when the cached
+    ids cannot be installed consistently: shape mismatch, an id already
+    claimed by an earlier nest of this program (two textually identical
+    nests share a cache entry), or internal duplicates from a foreign
+    disk entry.
+    """
+    fors = [n for n in stmt.walk() if isinstance(n, For)]
+    if len(fors) != len(cached_ids):
+        return False
+    concrete = [i for i in cached_ids if i]
+    if len(set(concrete)) != len(concrete) or any(i in used_ids for i in concrete):
+        return False
+    for node, lid in zip(fors, cached_ids):
+        if lid:
+            node.loop_id = lid
+    return True
+
+
+def _nest_cache_lookup(key: Tuple[str, str]) -> Optional[_NestEntry]:
+    hit = _NEST_CACHE.get(key)
+    if hit is not None:
+        return hit
+    from repro import cache as _disk
+
+    disk = _disk.load("nest", key)
+    if disk is not None:
+        _NEST_CACHE[key] = disk
+        return disk
+    return None
+
+
+def _nest_cache_store(key: Tuple[str, str], entry: _NestEntry) -> None:
+    _NEST_CACHE[key] = entry
+    from repro import cache as _disk
+
+    _disk.store("nest", key, entry)
 
 
 def analyze_program(
@@ -547,5 +738,6 @@ def analyze_program(
     perfstats.STATS.analysis_misses += 1
     result = ProgramAnalyzer(config).analyze(prog)
     _ANALYSIS_CACHE[key] = result.clone()
-    _disk.store("analysis", key, result.clone())
+    if _disk.cache_dir():  # don't pay the snapshot clone with the tier off
+        _disk.store("analysis", key, result.clone())
     return result

@@ -59,6 +59,11 @@ class AnalysisConfig:
     #: run the IR/SVD invariant linter after Phase-1/Phase-2 (debug-mode
     #: assertions; on by default under the test suite via REPRO_VERIFY_IR)
     verify_ir: bool = dataclasses.field(default_factory=_verify_ir_default)
+    #: speculative inspector-executor tier: for loops whose only obstacle
+    #: is an *unproven* (not disproven) monotonicity property, emit a
+    #: conditional certificate validated by a dispatch-time scan of the
+    #: live index array (``--no-speculate`` disables); fingerprint-relevant
+    speculate: bool = True
 
     @staticmethod
     def classical() -> "AnalysisConfig":

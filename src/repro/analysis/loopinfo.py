@@ -28,6 +28,11 @@ class LoopNest:
     inner: List["LoopNest"]
     eligible: bool
     reason: str = ""
+    #: memoized pure functions of the subtree's structure, filled lazily
+    #: by the analyzer's cache-key computation and reused by the driver
+    #: (``remap_nests`` carries them across structural clones)
+    fingerprint: Optional[str] = None
+    observed: Optional[Set[str]] = None
 
     @property
     def index(self) -> Optional[str]:
@@ -59,13 +64,68 @@ def direct_inner_loops(body: Statement) -> List[For]:
     return out
 
 
-def build_nest(loop: For) -> LoopNest:
+def _collect_events(root: For) -> dict:
+    """Preorder eligibility events per ``For`` subtree, in one walk.
+
+    An "event" is anything :func:`_check_eligible` cares about: a scalar
+    assignment, ``break``, ``while``, or a call with possible side
+    effects.  Each event is appended, in preorder, to the list of every
+    loop whose *body* contains it — a loop's own header statements are
+    visited before its scope activates, exactly matching the old
+    per-loop ``body.walk()`` (which saw inner loops' headers but never
+    its own).  Checking each loop then costs O(events) instead of
+    re-walking every subtree per nesting level.
+    """
+    events: dict = {}
+    active: List[list] = []
+    ENTER, EXIT = 0, 1
+    stack: List[tuple] = [(ENTER, root)]
+    while stack:
+        action, node = stack.pop()
+        if action == EXIT:
+            active.pop()
+            continue
+        if isinstance(node, For):
+            ev = events[id(node)] = []
+            # pop order: init/cond/step (scope inactive), then activate,
+            # then body, then deactivate
+            stack.append((EXIT, None))
+            stack.append((ENTER, node.body))
+            stack.append((-1, ev))
+            for part in (node.step, node.cond, node.init):
+                if part is not None:
+                    stack.append((ENTER, part))
+            continue
+        if action == -1:
+            active.append(node)
+            continue
+        if isinstance(node, Assign) and isinstance(node.lhs, Id):
+            for lst in active:
+                lst.append(("assign", node.lhs.name))
+        elif isinstance(node, Break):
+            for lst in active:
+                lst.append(("break", ""))
+        elif isinstance(node, While):
+            for lst in active:
+                lst.append(("while", ""))
+        elif isinstance(node, Call) and node.name not in SIDE_EFFECT_FREE_CALLS:
+            for lst in active:
+                lst.append(("call", node.name))
+        children = node.children()
+        if children:
+            stack.extend((ENTER, c) for c in reversed(children))
+    return events
+
+
+def build_nest(loop: For, events: Optional[dict] = None) -> LoopNest:
     """Build the :class:`LoopNest` tree rooted at ``loop``."""
     if loop.loop_id is None:
         loop.loop_id = f"L{next(_loop_counter)}"
+    if events is None:
+        events = _collect_events(loop)
     header = match_header(loop)
-    inner = [build_nest(l) for l in direct_inner_loops(loop.body)]
-    eligible, reason = _check_eligible(loop, header)
+    inner = [build_nest(l, events) for l in direct_inner_loops(loop.body)]
+    eligible, reason = _check_eligible(loop, header, events)
     return LoopNest(loop, header, inner, eligible, reason)
 
 
@@ -74,21 +134,63 @@ def find_loop_nests(prog: Program) -> List[LoopNest]:
     return [build_nest(l) for l in direct_inner_loops(Compound(prog.stmts))]
 
 
-def _check_eligible(loop: For, header: Optional[LoopHeader]) -> tuple:
+def remap_nests(nests: List[LoopNest], prog: Program) -> Optional[List[LoopNest]]:
+    """Rebind a nest forest onto a structural clone of its program.
+
+    ``Node.clone`` preserves ``loop_id``, so a cloned program contains the
+    same loops under the same ids; the eligibility verdicts and headers
+    are structure-determined and can be carried over instead of re-derived
+    (eligibility re-walks every subtree — the dominant cost of
+    result-clone on deep benchmark nests).  Returns ``None`` when the
+    clone does not line up (an id missing or duplicated), in which case
+    the caller falls back to :func:`find_loop_nests`.
+    """
+    by_id = {}
+    for node in prog.walk():
+        if isinstance(node, For):
+            if node.loop_id in by_id:
+                return None
+            by_id[node.loop_id] = node
+
+    def rebind(n: LoopNest) -> Optional[LoopNest]:
+        loop = by_id.get(n.loop.loop_id)
+        if loop is None:
+            return None
+        inner = []
+        for child in n.inner:
+            r = rebind(child)
+            if r is None:
+                return None
+            inner.append(r)
+        header = match_header(loop) if n.header is not None else None
+        return LoopNest(
+            loop, header, inner, n.eligible, n.reason, n.fingerprint, n.observed
+        )
+
+    out = []
+    for n in nests:
+        r = rebind(n)
+        if r is None:
+            return None
+        out.append(r)
+    return out
+
+
+def _check_eligible(loop: For, header: Optional[LoopHeader], events: dict) -> tuple:
     if header is None:
         return False, "non-canonical loop header"
-    for node in loop.body.walk():
-        if isinstance(node, Break):
-            return False, "loop contains break"
-        if isinstance(node, While):
-            return False, "loop contains while"
-        if isinstance(node, Call) and node.name not in SIDE_EFFECT_FREE_CALLS:
-            return False, f"call to {node.name}() may have side effects"
-    # the index must not be assigned in the body
+    # the preorder event list replays exactly what walking the body found
     idx = header.index
-    for node in loop.body.walk():
-        if isinstance(node, Assign) and isinstance(node.lhs, Id) and node.lhs.name == idx:
-            return False, "loop index assigned in body"
+    for kind, payload in events.get(id(loop), ()):
+        if kind == "assign":
+            if payload == idx:
+                return False, "loop index assigned in body"
+        elif kind == "break":
+            return False, "loop contains break"
+        elif kind == "while":
+            return False, "loop contains while"
+        else:
+            return False, f"call to {payload}() may have side effects"
     return True, ""
 
 

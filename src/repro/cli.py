@@ -100,6 +100,12 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="MS",
             help="budget: wall-clock deadline per loop nest, in milliseconds",
         )
+        sp.add_argument(
+            "--no-speculate",
+            action="store_true",
+            help="disable the speculative inspector-executor tier (no "
+            "conditional certificates, no dispatch-time monotonicity scans)",
+        )
 
     sp = sub.add_parser("parallelize", help="emit the OpenMP-annotated program")
     add_common(sp)
@@ -164,6 +170,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             from repro.runtime.workmeter import (
                 format_decision_table,
                 format_fault_log,
+                format_inspector_table,
                 format_summary,
             )
 
@@ -174,6 +181,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             table = format_decision_table()
             if table:
                 print(table, file=sys.stderr)
+            inspections = format_inspector_table()
+            if inspections:
+                print(inspections, file=sys.stderr)
             faults = format_fault_log()
             if faults:
                 print(faults, file=sys.stderr)
@@ -308,6 +318,8 @@ def _config_from_args(args) -> AnalysisConfig:
     )
     if not budget.is_unlimited:
         config = dataclasses.replace(config, budget=budget)
+    if getattr(args, "no_speculate", False):
+        config = dataclasses.replace(config, speculate=False)
     return config
 
 

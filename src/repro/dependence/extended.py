@@ -317,6 +317,69 @@ def _pair_independent(
     return False, [], None
 
 
+def speculative_candidates(
+    accesses: Sequence[AccessInfo],
+    index: str,
+    props: PropertyStore,
+    inner: Dict[str, InnerLoopInfo],
+) -> Dict[str, str]:
+    """Subscript arrays whose *missing* monotonicity blocks a known route.
+
+    Scans every write pair the way :func:`extended_independent` does, but
+    instead of failing on an unproven property it records the hypothesis
+    that would unblock the pair: ``{array: "strict" | "monotonic"}``
+    (direct indirection needs injectivity, bound indirection only
+    ordering).  The caller re-runs the extended test under a hypothetical
+    property store seeded with these — only loops where the hypothesis
+    actually completes the disproof become speculative candidates, so this
+    scan may safely over-approximate.  Arrays that already carry a strong
+    enough proven property are excluded (nothing to speculate on).
+    """
+    out: Dict[str, str] = {}
+
+    def note(arr: str, required: str) -> None:
+        if required == "strict" or out.get(arr) != "strict":
+            out[arr] = required
+
+    by_array: Dict[str, List[AccessInfo]] = {}
+    for acc in accesses:
+        by_array.setdefault(acc.array, []).append(acc)
+    for _, accs in sorted(by_array.items()):
+        writes = [a for a in accs if a.is_write]
+        for w in writes:
+            for other in accs:
+                if len(w.subs) != len(other.subs):
+                    continue
+                for sa, sb in zip(w.subs, other.subs):
+                    if subscript_pair_independent(sa, sb):
+                        break
+                    if (
+                        sa.indirection is not None
+                        and sb.indirection is not None
+                        and sa.indirection[0] == sb.indirection[0]
+                    ):
+                        arr = sa.indirection[0]
+                        prop = props.any_property_of(arr)
+                        if prop is None or prop.kind is not MonoKind.SMA:
+                            note(arr, "strict")
+                    if sa.inner_index is not None and sa.inner_index == sb.inner_index:
+                        info = inner.get(sa.inner_index)
+                        if info is not None and not info.inclusive:
+                            ind = _indirection_of(info.lb)
+                            ind2 = _indirection_of(info.ub)
+                            if (
+                                ind is not None
+                                and ind2 is not None
+                                and ind[0] == ind2[0]
+                                and len(ind[1]) == 1
+                            ):
+                                arr = ind[0]
+                                prop = props.property_of(arr, 0)
+                                if prop is None or not prop.kind.monotonic:
+                                    note(arr, "monotonic")
+    return out
+
+
 def _diagnose_pair(
     a: AccessInfo,
     b: AccessInfo,

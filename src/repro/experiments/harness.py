@@ -11,11 +11,13 @@ machine model.  All figures are tables of these cells.
 ``ProcessPoolExecutor``.  The pool explicitly requests the ``fork`` start
 method where the platform offers it (so workers inherit the parent's warm
 analysis caches); elsewhere — ``spawn`` on Windows/macOS — workers start
-cold and simply redo the per-worker analyses.  Either way, worker-process
-perf counters and cache hits are **not** aggregated back into the parent,
-so the CLI ``--stats`` report and the analysis-cache hit accounting are
-only meaningful on the serial path: set ``REPRO_JOBS=1`` when measuring
-cache behavior.  The worker count defaults to ``os.cpu_count()`` and is
+cold and simply redo the per-worker analyses.  Each worker snapshots its
+:mod:`repro.ir.perfstats` counters (and tier/fallback histograms) around
+the cell and ships the delta back alongside the result over the existing
+reply pipe; the parent folds every delta into its own counters via
+:func:`repro.ir.perfstats.merge_counts`, so the CLI ``--stats`` report
+and the cache-hit accounting cover the whole run regardless of
+``REPRO_JOBS``.  The worker count defaults to ``os.cpu_count()`` and is
 overridden by the ``REPRO_JOBS`` environment variable or the ``jobs=``
 argument; ``REPRO_JOBS=1`` forces the fully serial path (no pool at all).
 Results come back in spec order, and each cell computes exactly the same
@@ -187,6 +189,44 @@ def run_cell(spec: CellSpec) -> BenchRun:
     return run_benchmark(bench, spec.dataset, spec.pipeline, spec.cores, spec.schedule, spec.chunk)
 
 
+def _run_cell_stats(spec: CellSpec):
+    """Worker entry point: run one cell and return its perfstats delta.
+
+    Module-level (picklable) wrapper around :func:`run_cell`.  The delta
+    covers only this cell's work — counters inherited from a forked
+    parent are subtracted out — so the parent can fold deltas from many
+    workers without double counting.
+    """
+    from repro.ir import perfstats
+
+    before = perfstats.STATS.as_dict()
+    tiers_before = dict(perfstats.TIERS)
+    falls_before = dict(perfstats.FALLBACKS)
+    result = run_cell(spec)
+    after = perfstats.STATS.as_dict()
+    counts = {k: after[k] - before.get(k, 0) for k in after if after[k] != before.get(k, 0)}
+    tiers = {
+        k: v - tiers_before.get(k, 0)
+        for k, v in perfstats.TIERS.items()
+        if v != tiers_before.get(k, 0)
+    }
+    falls = {
+        k: v - falls_before.get(k, 0)
+        for k, v in perfstats.FALLBACKS.items()
+        if v != falls_before.get(k, 0)
+    }
+    return result, counts, tiers, falls
+
+
+def _merge_cell_stats(payload) -> "BenchRun":
+    """Unpack a worker's (result, deltas) payload, folding stats into STATS."""
+    from repro.ir import perfstats
+
+    result, counts, tiers, falls = payload
+    perfstats.merge_counts(counts, tiers, falls)
+    return result
+
+
 def resolved_jobs(jobs: Optional[int] = None) -> int:
     """Worker count: explicit ``jobs`` > ``REPRO_JOBS`` env > cpu count."""
     if jobs is not None:
@@ -283,11 +323,11 @@ def run_cells(
     pool_broken = False
     timed_out = False
     try:
-        futures = {i: pool.submit(run_cell, s) for i, s in enumerate(specs)}
+        futures = {i: pool.submit(_run_cell_stats, s) for i, s in enumerate(specs)}
         for i, fut in futures.items():
             spec = specs[i]
             try:
-                results[i] = fut.result(timeout=timeout)
+                results[i] = _merge_cell_stats(fut.result(timeout=timeout))
             except FutureTimeoutError:
                 timed_out = True
                 fut.cancel()

@@ -15,19 +15,22 @@ via :func:`register_cache` so :func:`snapshot` can report sizes and
 :func:`clear_caches` can drop memoized results without import cycles.
 The CLI surfaces everything via ``python -m repro --stats <command>``.
 
-**Retention.**  Intern tables and every registered cache grow without
-bound and are never evicted: each distinct expression and each analyzed
-(source, config) pair built during the process stays reachable.  That is
-the right trade-off for a compiler run over the paper's bounded benchmark
-set, but a long-lived process sweeping many *generated* sources should
-call :func:`clear_caches` (memoized results only) or :func:`clear_all`
-(caches **and** intern tables) between batches to release memory.  See
+**Retention.**  Result caches are bounded :class:`BoundedCache` LRU maps
+(default ``DEFAULT_CACHE_MAX_ENTRIES`` entries each) and the hash-consing
+intern tables evict their oldest half when they outgrow a per-class cap,
+so a long-lived process sweeping many *generated* sources no longer
+grows without bound.  ``REPRO_CACHE_MAX_ENTRIES`` overrides the cap
+(``0`` restores the old unbounded behavior); evictions are counted in
+``cache_evictions`` / ``intern_evictions``.  :func:`clear_caches` /
+:func:`clear_all` still release everything at once between batches.  See
 the retention section of ``docs/performance.md``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 
 class Counters:
@@ -46,10 +49,21 @@ class Counters:
         "analysis_misses",
         "parallelize_hits",
         "parallelize_misses",
+        "nest_hits",
+        "nest_misses",
+        "nestdec_hits",
+        "nestdec_misses",
+        "parse_hits",
+        "parse_misses",
         "budget_checks",
         "budget_stops",
         "disk_hits",
         "disk_writes",
+        "cache_evictions",
+        "intern_evictions",
+        "inspect_passes",
+        "inspect_fails",
+        "inspect_memo_hits",
     )
 
     def __init__(self):
@@ -65,6 +79,152 @@ class Counters:
 
 #: the process-wide counter set
 STATS = Counters()
+
+
+def merge_counts(
+    counters: Dict[str, int],
+    tiers: Optional[Dict[str, int]] = None,
+    fallbacks: Optional[Dict[str, int]] = None,
+) -> None:
+    """Fold counter deltas from another process into :data:`STATS`.
+
+    The experiment harness runs cells in worker processes; each worker
+    snapshots its counters around the cell and ships the delta back over
+    the existing reply pipe so ``--stats`` aggregates the whole run even
+    with ``REPRO_JOBS > 1``.  Unknown counter names are ignored (version
+    skew between parent and worker must not crash the harness).
+    """
+    for name, value in counters.items():
+        if value and name in Counters.__slots__:
+            setattr(STATS, name, getattr(STATS, name) + value)
+    for name, value in (tiers or {}).items():
+        if value:
+            TIERS[name] = TIERS.get(name, 0) + value
+    for name, value in (fallbacks or {}).items():
+        if value:
+            FALLBACKS[name] = FALLBACKS.get(name, 0) + value
+
+
+# ---------------------------------------------------------------------------
+# bounded caches (LRU) and intern-table caps
+# ---------------------------------------------------------------------------
+
+#: default size cap for each registered result cache (LRU entries)
+DEFAULT_CACHE_MAX_ENTRIES = 4096
+
+#: default per-class cap for hash-consing intern tables; far larger than
+#: the result-cache cap because nodes are small and shared pervasively
+DEFAULT_INTERN_MAX_ENTRIES = 262_144
+
+_cap_memo: Tuple[Optional[str], int, int] = (None, DEFAULT_CACHE_MAX_ENTRIES, DEFAULT_INTERN_MAX_ENTRIES)
+
+
+def _caps() -> Tuple[int, int]:
+    """(result-cache cap, intern-table cap); 0 means unbounded.
+
+    ``REPRO_CACHE_MAX_ENTRIES`` overrides the result-cache cap and scales
+    the intern cap with it (``0`` disables both bounds).  The parsed value
+    is memoized against the raw env string so the per-insertion check is
+    two dict lookups.
+    """
+    global _cap_memo
+    raw = os.environ.get("REPRO_CACHE_MAX_ENTRIES")
+    if raw == _cap_memo[0]:
+        return _cap_memo[1], _cap_memo[2]
+    cache_cap, intern_cap = DEFAULT_CACHE_MAX_ENTRIES, DEFAULT_INTERN_MAX_ENTRIES
+    if raw is not None:
+        try:
+            cache_cap = max(int(raw.strip()), 0)
+        except ValueError:
+            cache_cap = DEFAULT_CACHE_MAX_ENTRIES
+        intern_cap = 0 if cache_cap == 0 else max(cache_cap * 64, DEFAULT_INTERN_MAX_ENTRIES)
+    _cap_memo = (raw, cache_cap, intern_cap)
+    return cache_cap, intern_cap
+
+
+def cache_max_entries() -> int:
+    """Effective size cap for result caches (0 = unbounded)."""
+    return _caps()[0]
+
+
+def intern_max_entries() -> int:
+    """Effective per-class size cap for intern tables (0 = unbounded)."""
+    return _caps()[1]
+
+
+class BoundedCache:
+    """Dict-like LRU cache with a process-wide configurable size cap.
+
+    Drop-in for the plain dicts previously backing the memoized result
+    caches: ``get``/``__setitem__``/``__contains__``/``clear``/``len``.
+    Hits refresh recency; inserting past the cap evicts the least
+    recently used entry and bumps ``STATS.cache_evictions``.  The cap is
+    re-read from ``REPRO_CACHE_MAX_ENTRIES`` on every insertion, so tests
+    (and long-lived drivers) can tighten or lift it at run time.
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self) -> None:
+        self._data: "OrderedDict" = OrderedDict()
+
+    def get(self, key, default=None):
+        data = self._data
+        try:
+            value = data[key]
+        except KeyError:
+            return default
+        data.move_to_end(key)
+        return value
+
+    def __getitem__(self, key):
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        data = self._data
+        data[key] = value
+        data.move_to_end(key)
+        cap = _caps()[0]
+        if cap:
+            while len(data) > cap:
+                data.popitem(last=False)
+                STATS.cache_evictions += 1
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def pop(self, key, default=None):
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+def evict_intern_overflow(table: dict) -> None:
+    """FIFO-half batch eviction for one hash-consing intern table.
+
+    Called by the interning constructor after an insertion pushes the
+    table past the cap: the *oldest half* of the entries (dict insertion
+    order) is dropped in one sweep, so the hot path pays no per-hit LRU
+    bookkeeping.  Eviction is safe — nodes alive elsewhere keep working
+    through structural equality, they only lose identity sharing with
+    nodes built later.
+    """
+    cap = _caps()[1]
+    if not cap or len(table) <= cap:
+        return
+    drop = [k for i, k in enumerate(table) if i < len(table) // 2]
+    for k in drop:
+        del table[k]
+    STATS.intern_evictions += len(drop)
 
 #: compiled-loop vectorization-tier histogram: tier name (``segmented``,
 #: ``masked``, ``flattened``, ``vectorized``, ``scalar``,
@@ -179,11 +339,21 @@ def format_stats(snap: Optional[Dict[str, object]] = None) -> str:
     c = snap["counters"]
     lines = ["perf stats"]
     lines.append(f"{'layer':<16} {'hits':>10} {'misses':>10} {'hit rate':>9}")
-    for layer in ("intern", "simplify", "expand", "affine", "analysis", "parallelize"):
+    for layer in ("intern", "simplify", "expand", "affine", "analysis", "parallelize", "nest", "nestdec"):
         h, m = c[f"{layer}_hits"], c[f"{layer}_misses"]
         lines.append(f"{layer:<16} {h:>10} {m:>10} {_ratio(h, m):>9}")
     if c.get("disk_hits") or c.get("disk_writes"):
         lines.append(f"disk cache: {c['disk_hits']} hits, {c['disk_writes']} writes")
+    if c.get("cache_evictions") or c.get("intern_evictions"):
+        lines.append(
+            f"evictions: {c['cache_evictions']} cache entries, "
+            f"{c['intern_evictions']} intern nodes"
+        )
+    if c.get("inspect_passes") or c.get("inspect_fails") or c.get("inspect_memo_hits"):
+        lines.append(
+            f"speculative inspections: {c['inspect_passes']} pass, "
+            f"{c['inspect_fails']} fail, {c['inspect_memo_hits']} memo hits"
+        )
     if c.get("budget_checks") or c.get("budget_stops"):
         lines.append(
             f"budget checkpoints: {c['budget_checks']} checks, {c['budget_stops']} stops"

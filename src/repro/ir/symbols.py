@@ -26,19 +26,28 @@ return ``self`` and pickling round-trips through the interning constructors.
 The memoized simplifier (:mod:`repro.ir.simplify`) and the analysis caches
 lean on these identity semantics.
 
-Intern tables hold strong references and are **never evicted**: every
-distinct expression built during the process stays reachable for its
-lifetime.  That is the right trade-off for a compiler run over a bounded
-program set, but a long-lived driver sweeping many *generated* sources
-should call :func:`repro.ir.perfstats.clear_all` between batches (see
-``docs/performance.md``).
+Intern tables hold strong references but are **bounded**: when a table
+outgrows its cap (``REPRO_CACHE_MAX_ENTRIES`` scales it; see
+:func:`repro.ir.perfstats.intern_max_entries`) the oldest half is evicted
+in one FIFO sweep, counted in ``STATS.intern_evictions``.  Evicted nodes
+alive elsewhere keep working — equality falls back to the cached
+structural key — they only lose identity sharing with nodes built later.
+A long-lived driver sweeping many *generated* sources can still call
+:func:`repro.ir.perfstats.clear_all` between batches for a full reset
+(see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, Mapping, Sequence, Tuple, Union
 
-from repro.ir.perfstats import STATS, register_intern_clearer, register_intern_table
+from repro.ir.perfstats import (
+    STATS,
+    evict_intern_overflow,
+    intern_max_entries,
+    register_intern_clearer,
+    register_intern_table,
+)
 
 Number = int
 ExprLike = Union["Expr", int]
@@ -70,7 +79,10 @@ class _InternMeta(type):
         object.__setattr__(obj, "_hash", obj._compute_hash())
         obj.key()  # precompute + cache the canonical key
         # setdefault so concurrent constructions agree on one winner
-        return table.setdefault(ck, obj)
+        obj = table.setdefault(ck, obj)
+        if len(table) > intern_max_entries() > 0:
+            evict_intern_overflow(table)
+        return obj
 
 
 class Expr(metaclass=_InternMeta):

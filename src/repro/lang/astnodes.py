@@ -37,10 +37,19 @@ class Node:
         raise NotImplementedError(f"{type(self).__name__}.clone")
 
     def walk(self) -> Iterator["Node"]:
-        """Pre-order traversal of the subtree."""
-        yield self
-        for c in self.children():
-            yield from c.walk()
+        """Pre-order traversal of the subtree.
+
+        Iterative: nested ``yield from`` chains cost O(depth) per node,
+        which dominated nest discovery on deep benchmark nests.
+        """
+        stack = [self]
+        pop = stack.pop
+        while stack:
+            node = pop()
+            yield node
+            children = node.children()
+            if children:
+                stack.extend(reversed(children))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         from repro.lang.printer import to_c

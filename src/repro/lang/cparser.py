@@ -36,6 +36,7 @@ from repro.lang.astnodes import (
     While,
     is_lvalue,
 )
+from repro.ir import perfstats
 from repro.lang.lexer import Token, tokenize
 
 
@@ -89,16 +90,20 @@ class _Parser:
         j = min(self.i + k, len(self.toks) - 1)
         return self.toks[j]
 
+    # the helpers index ``toks`` directly instead of going through the
+    # ``cur`` property: the extra descriptor call per token touch is
+    # measurable on the warm (all-cache-hit) analysis path
     def at(self, kind: str, text: Optional[str] = None) -> bool:
-        t = self.cur
+        t = self.toks[self.i]
         return t.kind == kind and (text is None or t.text == text)
 
     def at_punct(self, text: str) -> bool:
-        return self.at("PUNCT", text)
+        t = self.toks[self.i]
+        return t.kind == "PUNCT" and t.text == text
 
     def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
-        if self.at(kind, text):
-            t = self.cur
+        t = self.toks[self.i]
+        if t.kind == kind and (text is None or t.text == text):
             self.i += 1
             return t
         return None
@@ -125,8 +130,9 @@ class _Parser:
 
     def _binary(self, min_prec: int) -> Expression:
         lhs = self._unary()
+        toks = self.toks
         while True:
-            t = self.cur
+            t = toks[self.i]
             if t.kind != "PUNCT":
                 break
             prec = _PREC.get(t.text)
@@ -138,34 +144,39 @@ class _Parser:
         return lhs
 
     def _unary(self) -> Expression:
-        t = self.cur
-        if t.kind == "PUNCT" and t.text in ("-", "+", "!", "~"):
-            self.i += 1
-            return UnOp(t.text, self._unary(), (t.line, t.col))
-        if t.kind == "PUNCT" and t.text in ("++", "--"):
-            self.i += 1
-            target = self._unary()
-            if not is_lvalue(target):
-                raise ParseError("++/-- requires an lvalue", t)
-            return IncDec(t.text, target, prefix=True, pos=(t.line, t.col))
-        # cast like (int) or (double)
-        if (
-            t.kind == "PUNCT"
-            and t.text == "("
-            and self.peek().kind == "KW"
-            and self.peek().text in _TYPE_KWS
-            and self.peek(2).kind == "PUNCT"
-            and self.peek(2).text == ")"
-        ):
-            self.i += 3  # casts are dropped: the analysis is integer-typed
-            return self._unary()
+        t = self.toks[self.i]
+        if t.kind == "PUNCT":
+            text = t.text
+            if text in ("-", "+", "!", "~"):
+                self.i += 1
+                return UnOp(text, self._unary(), (t.line, t.col))
+            if text in ("++", "--"):
+                self.i += 1
+                target = self._unary()
+                if not is_lvalue(target):
+                    raise ParseError("++/-- requires an lvalue", t)
+                return IncDec(text, target, prefix=True, pos=(t.line, t.col))
+            # cast like (int) or (double)
+            if (
+                text == "("
+                and self.peek().kind == "KW"
+                and self.peek().text in _TYPE_KWS
+                and self.peek(2).kind == "PUNCT"
+                and self.peek(2).text == ")"
+            ):
+                self.i += 3  # casts are dropped: the analysis is integer-typed
+                return self._unary()
         return self._postfix()
 
     def _postfix(self) -> Expression:
         e = self._primary()
+        toks = self.toks
         while True:
-            t = self.cur
-            if self.at_punct("["):
+            t = toks[self.i]
+            if t.kind != "PUNCT":
+                break
+            text = t.text
+            if text == "[":
                 indices = []
                 while self.accept("PUNCT", "["):
                     indices.append(self.parse_expression())
@@ -176,17 +187,17 @@ class _Parser:
                     e.indices.extend(indices)
                 else:
                     raise ParseError("cannot subscript this expression", t)
-            elif t.kind == "PUNCT" and t.text in ("++", "--"):
+            elif text in ("++", "--"):
                 self.i += 1
                 if not is_lvalue(e):
                     raise ParseError("++/-- requires an lvalue", t)
-                e = IncDec(t.text, e, prefix=False, pos=(t.line, t.col))
+                e = IncDec(text, e, prefix=False, pos=(t.line, t.col))
             else:
                 break
         return e
 
     def _primary(self) -> Expression:
-        t = self.cur
+        t = self.toks[self.i]
         if t.kind == "INT":
             self.i += 1
             return Num(int(t.text, 0), (t.line, t.col))
@@ -218,37 +229,47 @@ class _Parser:
     # -- statements ---------------------------------------------------------
 
     def parse_statement(self) -> Statement:
-        t = self.cur
-        if t.kind == "PRAGMA":
+        t = self.toks[self.i]
+        kind = t.kind
+        if kind == "PRAGMA":
             self.i += 1
             return Pragma(t.text, (t.line, t.col))
-        if self.at_punct("{"):
-            return self._compound()
-        if self.at("KW", "for"):
-            return self._for()
-        if self.at("KW", "while"):
-            return self._while()
-        if self.at("KW", "if"):
-            return self._if()
-        if self.accept("KW", "break"):
-            self.expect("PUNCT", ";")
-            return Break((t.line, t.col))
-        if self.accept("KW", "continue"):
-            raise ParseError("continue is not supported by the analysis subset", t)
-        if self.at("KW") and t.text in _TYPE_KWS:
-            return self._decl()
-        if self.accept("PUNCT", ";"):
-            return Compound([], (t.line, t.col))
+        if kind == "PUNCT":
+            if t.text == "{":
+                return self._compound()
+            if t.text == ";":
+                self.i += 1
+                return Compound([], (t.line, t.col))
+        elif kind == "KW":
+            text = t.text
+            if text == "for":
+                return self._for()
+            if text == "while":
+                return self._while()
+            if text == "if":
+                return self._if()
+            if text == "break":
+                self.i += 1
+                self.expect("PUNCT", ";")
+                return Break((t.line, t.col))
+            if text == "continue":
+                raise ParseError("continue is not supported by the analysis subset", t)
+            if text in _TYPE_KWS:
+                return self._decl()
         return self._simple_stmt(terminator=";")
 
     def _compound(self) -> Compound:
         t = self.expect("PUNCT", "{")
         stmts: List[Statement] = []
-        while not self.at_punct("}"):
-            if self.at("EOF"):
-                raise ParseError("unterminated block", self.cur)
+        toks = self.toks
+        while True:
+            nxt = toks[self.i]
+            if nxt.kind == "PUNCT" and nxt.text == "}":
+                break
+            if nxt.kind == "EOF":
+                raise ParseError("unterminated block", nxt)
             stmts.append(self.parse_statement())
-        self.expect("PUNCT", "}")
+        self.i += 1  # the '}'
         return Compound(stmts, (t.line, t.col))
 
     def _decl(self) -> Statement:
@@ -283,10 +304,11 @@ class _Parser:
 
     def _simple_stmt(self, terminator: Optional[str]) -> Statement:
         """An assignment or expression statement (no trailing ';' if None)."""
-        t = self.cur
+        t = self.toks[self.i]
         e = self.parse_expression()
-        if self.cur.kind == "PUNCT" and self.cur.text in Assign.OPS:
-            op = self.cur.text
+        nxt = self.toks[self.i]
+        if nxt.kind == "PUNCT" and nxt.text in Assign.OPS:
+            op = nxt.text
             self.i += 1
             rhs = self.parse_expression()
             if not is_lvalue(e):
@@ -346,15 +368,95 @@ class _Parser:
         return Program(stmts)
 
 
-def parse_program(src: str) -> Program:
+#: incremental parse memo: a bucket key (the statement's first tokens) maps
+#: to recently parsed top-level statements, each stored as its exact token
+#: span plus a pristine AST.  A hit must match the span token-for-token,
+#: so the bucket key is purely a candidate selector, never a correctness
+#: boundary.  Entry ASTs carry the positions of their *first* parse; the
+#: cache is therefore opt-in (``cache=True``) and only the incremental
+#: analysis path — which never reports positions from untouched nests —
+#: enables it.
+_STMT_CACHE = perfstats.BoundedCache()
+
+perfstats.register_cache("parse", _STMT_CACHE.__len__, _STMT_CACHE.clear)
+
+#: tokens hashed into the candidate-selector bucket key
+_BUCKET_TOKENS = 12
+
+#: distinct statements retained per bucket (identical leading tokens)
+_BUCKET_CANDIDATES = 8
+
+
+def _bucket_key(toks: List[Token], i: int) -> tuple:
+    parts = []
+    for t in toks[i : i + _BUCKET_TOKENS]:
+        parts.append(t.kind)
+        parts.append(t.text)
+    return tuple(parts)
+
+
+def _span_matches(toks: List[Token], i: int, span: tuple) -> bool:
+    if i + len(span) > len(toks):
+        return False
+    k = i
+    for kind, text in span:
+        t = toks[k]
+        if t.kind != kind or t.text != text:
+            return False
+        k += 1
+    return True
+
+
+def _parse_program_cached(toks: List[Token]) -> Program:
+    stats = perfstats.STATS
+    p = _Parser(toks)
+    stmts: List[Statement] = []
+    while toks[p.i].kind != "EOF":
+        i = p.i
+        key = _bucket_key(toks, i)
+        candidates = _STMT_CACHE.get(key)
+        hit = None
+        if candidates:
+            for span, ast in candidates:
+                if _span_matches(toks, i, span):
+                    hit = (span, ast)
+                    break
+        if hit is not None:
+            stats.parse_hits += 1
+            stmts.append(hit[1].clone())
+            p.i = i + len(hit[0])
+            continue
+        stats.parse_misses += 1
+        s = p.parse_statement()
+        span = tuple((t.kind, t.text) for t in toks[i : p.i])
+        entry = (span, s.clone())
+        if candidates:
+            candidates = (candidates + [entry])[-_BUCKET_CANDIDATES:]
+        else:
+            candidates = [entry]
+        _STMT_CACHE[key] = candidates
+        stmts.append(s)
+    return Program(stmts)
+
+
+def parse_program(src: str, cache: bool = False) -> Program:
     """Parse a translation unit (statement list) from C source text.
+
+    With ``cache=True``, top-level statements whose token spans were
+    parsed before are served as clones from the statement memo — editing
+    one nest of a large program re-parses only that nest.  Cached
+    subtrees keep the source positions of their first parse, so callers
+    that report exact positions should keep the default.
 
     Pathologically deep nesting (parenthesization, block nesting) is
     reported as a :class:`ParseError` rather than crashing the host
     interpreter with a ``RecursionError``.
     """
     try:
-        return _Parser(tokenize(src)).parse_program()
+        toks = tokenize(src)
+        if cache:
+            return _parse_program_cached(toks)
+        return _Parser(toks).parse_program()
     except RecursionError:
         raise ParseError("program too deeply nested") from None
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from typing import List, NamedTuple
 
 
@@ -83,6 +84,16 @@ _PUNCTS = [
 ]
 
 
+#: punctuators bucketed by length: longest-slice-first lookup replaces the
+#: linear startswith scan over the whole table (the lexer's hot loop)
+_P3 = frozenset(p for p in _PUNCTS if len(p) == 3)
+_P2 = frozenset(p for p in _PUNCTS if len(p) == 2)
+_P1 = frozenset(p for p in _PUNCTS if len(p) == 1)
+
+_ID_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_WS_RE = re.compile(r"[ \t\r\n]+")
+
+
 class LexError(Exception):
     """Raised on an unrecognized character."""
 
@@ -101,24 +112,28 @@ def tokenize(src: str) -> List[Token]:
     toks: List[Token] = []
     i = 0
     line = 1
-    col = 1
+    line_start = 0  # index just past the most recent newline; col = i - line_start + 1
     n = len(src)
 
     def advance(k: int):
-        nonlocal i, line, col
-        for _ in range(k):
-            if i < n and src[i] == "\n":
-                line += 1
-                col = 1
-            else:
-                col += 1
-            i += 1
+        # region-based position update: count newlines in the skipped
+        # slice instead of stepping one character at a time (the per-char
+        # loop dominated tokenization of the larger benchmark sources)
+        nonlocal i, line, line_start
+        j = i + k
+        seg = src[i:j]
+        nl = seg.count("\n")
+        if nl:
+            line += nl
+            line_start = i + seg.rindex("\n") + 1
+        i = j
 
     while i < n:
         c = src[i]
+        col = i - line_start + 1
         # whitespace
         if c in " \t\r\n":
-            advance(1)
+            advance(_WS_RE.match(src, i).end() - i)
             continue
         # comments
         if src.startswith("//", i):
@@ -140,14 +155,12 @@ def tokenize(src: str) -> List[Token]:
             advance(len(text))
             continue
         # identifiers / keywords
-        if c.isalpha() or c == "_":
-            j = i
-            while j < n and (src[j].isalnum() or src[j] == "_"):
-                j += 1
-            text = src[i:j]
+        m = _ID_RE.match(src, i)
+        if m is not None:
+            text = m.group()
             kind = "KW" if text in KEYWORDS else "ID"
             toks.append(Token(kind, text, line, col))
-            advance(j - i)
+            i = m.end()  # identifiers never contain newlines
             continue
         # numbers
         if c.isdigit() or (c == "." and i + 1 < n and src[i + 1].isdigit()):
@@ -167,7 +180,7 @@ def tokenize(src: str) -> List[Token]:
                 toks.append(Token("FLOAT", text, line, col))
             else:
                 toks.append(Token("INT", text, line, col))
-            advance(j - i)
+            i = j  # numbers never contain newlines
             continue
         # string / char literals
         if c in "\"'":
@@ -182,14 +195,22 @@ def tokenize(src: str) -> List[Token]:
             toks.append(Token("STR", src[i : j + 1], line, col))
             advance(j + 1 - i)
             continue
-        # punctuators
-        for p in _PUNCTS:
-            if src.startswith(p, i):
-                toks.append(Token("PUNCT", p, line, col))
-                advance(len(p))
-                break
-        else:
-            raise LexError(f"unexpected character {c!r}", line, col)
+        # punctuators: longest slice first (maximal munch), set lookups
+        p = src[i : i + 3]
+        if p in _P3:
+            toks.append(Token("PUNCT", p, line, col))
+            i += 3
+            continue
+        p = src[i : i + 2]
+        if p in _P2:
+            toks.append(Token("PUNCT", p, line, col))
+            i += 2
+            continue
+        if c in _P1:
+            toks.append(Token("PUNCT", c, line, col))
+            i += 1
+            continue
+        raise LexError(f"unexpected character {c!r}", line, col)
 
-    toks.append(Token("EOF", "", line, col))
+    toks.append(Token("EOF", "", line, i - line_start + 1))
     return toks

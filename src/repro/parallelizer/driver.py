@@ -13,33 +13,48 @@ parallelize the inner loops of AMGmk/SDDMM/UA (Figure 13 discussion).
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.analysis.analyzer import AnalysisResult, _source_digest, analyze_program
+from repro.analysis.analyzer import (
+    AnalysisResult,
+    _observed_names,
+    _source_digest,
+    analyze_program,
+)
 from repro.analysis.config import AnalysisConfig
+from repro.analysis.properties import ArrayProperty, MonoKind
 from repro.diagnostics import Diagnostic, diagnostic_from_exception
 from repro.ir import perfstats
 from repro.analysis.irbridge import eval_expr
 from repro.analysis.loopinfo import LoopNest
 from repro.dependence.accesses import collect_accesses, collect_inner_loops
 from repro.dependence.classic import classic_independent
-from repro.dependence.extended import RuntimeCheck, extended_independent
+from repro.dependence.extended import (
+    RuntimeCheck,
+    extended_independent,
+    speculative_candidates,
+)
 from repro.dependence.privatize import classify_scalars
 from repro.diagnostics import CERTIFICATE_REJECTED, FUSION_REJECTED, STATIC_RACE_DETECTED
 from repro.parallelizer.fusion import FusionDecision, propose_fusions
 from repro.ir.simplify import simplify
 from repro.ir.symbols import IntLit, Sym, sub
 from repro.lang.astnodes import For, Program
+from repro.lang.digest import node_fingerprint
 from repro.lang.printer import to_c
 from repro.verify.certificate import (
     ROUTE_CLASSICAL,
+    SPEC_MONOTONIC,
+    SPEC_STRICT,
     Certificate,
     DisproofStep,
     MonoStep,
     ScalarStep,
+    SpeculativeStep,
     SSRStep,
 )
-from repro.verify.checker import check_certificate, check_fusion_step
+from repro.verify.checker import CheckResult, check_certificate, check_fusion_step
 
 
 @dataclasses.dataclass
@@ -61,6 +76,14 @@ class LoopDecision:
     certificate_verified: bool = False
     #: structured obstacles for serial loops (which property was missing)
     blockers: List[str] = dataclasses.field(default_factory=list)
+    #: conditional certificate for the speculative inspector-executor tier:
+    #: the verdict stays serial (``parallel`` is False), but IF the named
+    #: index arrays pass a dispatch-time monotonicity scan the runtime may
+    #: promote this loop to the compiled-parallel executor
+    speculation: Optional[Certificate] = None
+    #: the trusted-core checker accepted the conditional certificate; only
+    #: verified speculations are ever lowered to inspector-executor pairs
+    speculation_verified: bool = False
 
     def clone(self) -> "LoopDecision":
         """Copy with private list fields (RuntimeChecks are shared, read-only)."""
@@ -134,10 +157,132 @@ class ParallelizationResult:
 
 #: pristine whole-pipeline results keyed by (source digest, config
 #: fingerprint); entries are never handed out directly — callers always
-#: receive a clone (see parallelize)
-_PARALLELIZE_CACHE: Dict[Tuple[str, str], "ParallelizationResult"] = {}
+#: receive a clone (see parallelize); LRU-bounded (REPRO_CACHE_MAX_ENTRIES)
+_PARALLELIZE_CACHE: perfstats.BoundedCache = perfstats.BoundedCache()
 
 perfstats.register_cache("parallelize", _PARALLELIZE_CACHE.__len__, _PARALLELIZE_CACHE.clear)
+
+
+# ---------------------------------------------------------------------------
+# per-nest decision cache (incremental re-parallelization)
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _DecisionEntry:
+    """Pristine decision delta for one top-level nest.
+
+    ``decisions`` holds every :class:`LoopDecision` the nest produced
+    (outer loop plus all inner loops); ``diagnostics`` the diagnostics the
+    decision pass appended while deciding it.  Entries are cloned on every
+    hit and diagnostic spans are rebased onto the current AST's positions.
+    """
+
+    decisions: Dict[str, LoopDecision]
+    diagnostics: List[Diagnostic]
+
+
+#: pristine per-nest decision deltas keyed by (digest, config fingerprint);
+#: the digest covers the nest's source text, its loop ids, the property-store
+#: slice the nest can observe (including each property's fill-loop AST) and
+#: the program facts — so an edit elsewhere in the program that leaves all
+#: of those untouched re-uses the decision without re-running the dependence
+#: tests or the certificate checker
+_NESTDEC_CACHE: perfstats.BoundedCache = perfstats.BoundedCache()
+
+perfstats.register_cache("nestdec", _NESTDEC_CACHE.__len__, _NESTDEC_CACHE.clear)
+
+
+def _mono_sig(ev: MonoStep) -> str:
+    """Deterministic identity string for one piece of derivation evidence."""
+    ssr = ev.ssr
+    ssr_sig = f"{ssr.var}|{ssr.kind}|{ssr.k}|{ssr.conditional}" if ssr is not None else "-"
+    return (
+        f"{ev.array}|{ev.lemma}|{ev.kind}|{ev.dim}|{ev.source_loop}|{ev.counter_var}|"
+        f"{ev.counter_max}|{ev.value_is_index}|{ev.ssr_var}|{ev.alpha}|{ev.rem_range}|"
+        f"{ev.region}|{ssr_sig}"
+    )
+
+
+def _nest_decision_key(
+    nest: LoopNest,
+    analysis: AnalysisResult,
+    config: AnalysisConfig,
+    loops: Dict[str, For],
+) -> Tuple[str, str]:
+    """Cache key capturing everything a nest's decisions can depend on.
+
+    The property slice keeps only properties of arrays the nest mentions,
+    and folds in a digest of each property's *fill-loop AST* — the checker
+    re-derives monotonicity claims against that loop, so a changed fill
+    must miss even when the consumer nest itself is untouched.
+    """
+    src = nest.fingerprint or node_fingerprint(nest.loop)
+    ids = ",".join(sn.loop.loop_id or "?" for sn in nest.walk())
+    observed = nest.observed if nest.observed is not None else _observed_names(nest.loop)
+    parts: List[str] = []
+    # source-loop digests the analyzer already computed (top-level nests)
+    loop_sigs: Dict[str, str] = {
+        tn.loop.loop_id: tn.fingerprint[:16]
+        for tn in analysis.nests
+        if tn.loop.loop_id and tn.fingerprint
+    }
+    for prop in analysis.properties.all_properties():
+        if prop.array not in observed:
+            continue
+        ev_sig = _mono_sig(prop.evidence) if prop.evidence is not None else "-"
+        loop_sig = "-"
+        if prop.source_loop is not None and prop.source_loop in loops:
+            loop_sig = loop_sigs.get(prop.source_loop) or loop_sigs.setdefault(
+                prop.source_loop, node_fingerprint(loops[prop.source_loop])[:16]
+            )
+        parts.append(
+            f"{prop.array}|{prop.kind}|{prop.dim}|{prop.region}|{prop.value_range}|"
+            f"{prop.intermittent}|{prop.counter_max}|{prop.counter_var}|"
+            f"{prop.source_loop}|{ev_sig}|{loop_sig}"
+        )
+    facts_sig = str(analysis.facts) + "||" + ";".join(
+        f"{k}={v}" for k, v in sorted(analysis.state.scalars.items(), key=lambda kv: kv[0])
+    )
+    payload = "\x00".join((src, ids, "\n".join(sorted(parts)), facts_sig))
+    digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+    return (digest, config.fingerprint())
+
+
+def _nestdec_lookup(key: Tuple[str, str]) -> Optional[_DecisionEntry]:
+    entry = _NESTDEC_CACHE.get(key)
+    if entry is not None:
+        return entry
+    from repro import cache as _disk
+
+    disk = _disk.load("nestdec", key)
+    if disk is not None:
+        _NESTDEC_CACHE[key] = disk
+    return disk
+
+
+def _nestdec_store(key: Tuple[str, str], entry: _DecisionEntry) -> None:
+    _NESTDEC_CACHE[key] = entry
+    from repro import cache as _disk
+
+    _disk.store("nestdec", key, entry)
+
+
+def _nestdec_install(
+    entry: _DecisionEntry,
+    decisions: Dict[str, LoopDecision],
+    analysis: AnalysisResult,
+    loops: Dict[str, For],
+) -> None:
+    """Replay a cached decision delta onto the current program."""
+    for lid, d in entry.decisions.items():
+        decisions[lid] = d.clone()
+    for diag in entry.diagnostics:
+        span = diag.span
+        target = loops.get(diag.nest_id) if diag.nest_id else None
+        if target is not None:
+            span = target.pos
+        analysis.diagnostics.append(dataclasses.replace(diag, span=span))
 
 
 def parallelize(
@@ -182,6 +327,19 @@ def parallelize(
             # serial, no classical retry on a half-analyzed nest
             _serialize_nest(nest, 0, "analysis aborted: conservative serial", decisions)
             continue
+        # debug-assertions mode (verify_ir) disables per-nest reuse so the
+        # decision pass, the checker and any injected faults genuinely re-run
+        incremental = not config.verify_ir
+        dec_key = _nest_decision_key(nest, analysis, config, loops) if incremental else None
+        if dec_key is not None:
+            cached = _nestdec_lookup(dec_key)
+            if cached is not None:
+                perfstats.STATS.nestdec_hits += 1
+                _nestdec_install(cached, decisions, analysis, loops)
+                continue
+            perfstats.STATS.nestdec_misses += 1
+        n_decisions = dict(decisions)
+        n_diags = len(analysis.diagnostics)
         try:
             _decide_nest(nest, 0, False, config, analysis, decisions, loops)
         except Exception as exc:
@@ -190,6 +348,16 @@ def parallelize(
                 diagnostic_from_exception(exc, nest_id=loop_id, span=nest.loop.pos)
             )
             _serialize_nest(nest, 0, "analysis aborted: conservative serial", decisions)
+        if dec_key is not None:
+            _nestdec_store(
+                dec_key,
+                _DecisionEntry(
+                    decisions={
+                        k: d.clone() for k, d in decisions.items() if k not in n_decisions
+                    },
+                    diagnostics=list(analysis.diagnostics[n_diags:]),
+                ),
+            )
     # attach pragmas to the AST
     for nest in analysis.nests:
         for sub_nest in nest.walk():
@@ -210,7 +378,8 @@ def parallelize(
         _PARALLELIZE_CACHE[key] = result.clone()
         from repro import cache as _disk
 
-        _disk.store("parallelize", key, result.clone())
+        if _disk.cache_dir():  # don't pay the snapshot clone with the tier off
+            _disk.store("parallelize", key, result.clone())
     return result
 
 
@@ -317,6 +486,11 @@ def _decide_nest(
 
     props = scope_properties if scope_properties is not None else analysis.properties
     d = _try_loop(nest, depth, config, analysis, props)
+    if d.speculation is not None:
+        # conditional certificates gate RUNTIME promotion, so the trusted
+        # core must accept them unconditionally — even when the caller
+        # opted out of auditing the (weaker) static verdicts
+        d = _audit_speculation(d, nest, analysis, loops or {})
     if d.parallel and config.verify_certificates:
         # independent re-validation: any PARALLEL verdict must carry a
         # checker-accepted certificate, else it is demoted BEFORE the
@@ -352,6 +526,13 @@ def _audit_decision(
     """Run the trusted-core checker over a PARALLEL decision's certificate."""
     if d.certificate is None:
         failures = ["no certificate emitted for PARALLEL verdict"]
+    elif d.certificate.speculative:
+        # a conditional certificate can never back an *unconditional*
+        # PARALLEL verdict — its hypotheses are only discharged at dispatch
+        failures = [
+            "certificate carries speculative steps and cannot back an "
+            "unconditional PARALLEL verdict"
+        ]
     else:
         res = check_certificate(d.certificate, loops)
         if res.ok:
@@ -375,6 +556,38 @@ def _audit_decision(
         certificate_verified=False,
         blockers=list(failures),
     )
+
+
+def _audit_speculation(
+    d: LoopDecision,
+    nest: LoopNest,
+    analysis: AnalysisResult,
+    loops: Dict[str, For],
+) -> LoopDecision:
+    """Validate a conditional certificate; drop the speculation on reject.
+
+    Unlike :func:`_audit_decision` this never changes the (serial) verdict
+    — a rejected conditional certificate just loses its runtime-promotion
+    privilege and the loop stays on the compiled-serial path.
+    """
+    try:
+        res = check_certificate(d.speculation, loops)
+    except Exception as exc:  # pragma: no cover - checker must not crash
+        res = CheckResult(False, [f"checker crashed: {exc}"])
+    if res.ok:
+        d.speculation_verified = True
+        return d
+    failures = res.failures or ["certificate rejected"]
+    analysis.diagnostics.append(
+        Diagnostic(
+            CERTIFICATE_REJECTED,
+            f"speculative certificate rejected: {failures[0]}",
+            nest_id=d.loop_id,
+            span=nest.loop.pos,
+            detail="; ".join(failures),
+        )
+    )
+    return dataclasses.replace(d, speculation=None, speculation_verified=False)
 
 
 def _static_race_audit(
@@ -511,10 +724,112 @@ def _try_loop(
             checks=ext.checks,
             certificate=cert,
         )
-    return base(
+    decision = base(
         False,
         "; ".join(reasons + ext.reasons),
         blockers=list(ext.reasons) or list(reasons),
+    )
+    if config.speculate:
+        spec = _try_speculative(
+            loop_id, index, accesses, (lo.lb, last), inner, properties, analysis, scalars
+        )
+        if spec is not None:
+            decision.speculation = spec
+            decision.reason += " (speculative inspector-executor candidate)"
+            # the runtime promotion path honors the same scalar contract an
+            # unconditional PARALLEL verdict would carry
+            decision.private = scalars.private
+            decision.reductions = scalars.reductions
+    return decision
+
+
+def _try_speculative(
+    loop_id: str,
+    index: str,
+    accesses,
+    index_range,
+    inner,
+    properties,
+    analysis: AnalysisResult,
+    scalars,
+) -> Optional[Certificate]:
+    """Build a *conditional* certificate for a serial-by-uncertainty loop.
+
+    The static verdict stands — this never flips ``parallel``.  But when
+    the only obstacle is an index array whose monotonicity the lemmas could
+    not establish (as opposed to *disproved* dependences), the dependence
+    test is re-run under the hypothesis that the array is (strictly)
+    monotonic.  If it then passes, the derivation is packaged as a
+    certificate whose :class:`SpeculativeStep` entries name the hypotheses;
+    the runtime inspector discharges them by scanning the live array at
+    dispatch time, and a failing scan falls back to the serial loop.
+    """
+    cands = speculative_candidates(accesses, index, properties, inner)
+    if not cands:
+        return None
+    # predicate persistence: the hypothesis must survive the whole loop
+    # execution, so a loop writing its own hypothesized index array is out
+    written = {a.array for a in accesses if a.is_write}
+    cands = {arr: req for arr, req in cands.items() if arr not in written}
+    if not cands:
+        return None
+    hyp = properties.copy()
+    for arr, req in cands.items():
+        kind = MonoKind.SMA if req == SPEC_STRICT else MonoKind.MA
+        hyp.record(ArrayProperty(array=arr, kind=kind, dim=0, region=None))
+    ext = extended_independent(accesses, index, index_range, hyp, inner)
+    if not ext.independent:
+        return None
+    if ext.checks:
+        # the hypothetical pass demanded extra run-time region checks; the
+        # compiled speculative dispatch does not thread those through yet,
+        # so decline rather than under-check
+        return None
+    spec_steps: List[SpeculativeStep] = []
+    monotonic: List[MonoStep] = []
+    recurrences: List[SSRStep] = []
+    for step in ext.disproofs:
+        if step.via_array is None:
+            continue
+        if step.via_array in cands:
+            req = cands[step.via_array]
+            need = "strictly increasing" if req == SPEC_STRICT else "nondecreasing"
+            sp = SpeculativeStep(
+                array=step.via_array,
+                required=req,
+                predicate=f"inspect({step.via_array}) is {need} over the live array",
+            )
+            if sp not in spec_steps:
+                spec_steps.append(sp)
+            continue
+        # disproof through a *proven* property: demand real evidence,
+        # exactly as _build_certificate does for unconditional verdicts
+        prop = properties.property_of(step.via_array, step.via_dim)
+        if prop is None:
+            prop = properties.any_property_of(step.via_array)
+        ev = prop.evidence if prop is not None else None
+        if ev is None:
+            return None
+        if ev not in monotonic:
+            monotonic.append(ev)
+        if ev.ssr is not None and ev.ssr not in recurrences:
+            recurrences.append(ev.ssr)
+    if not spec_steps:
+        return None
+    scalar_steps = [ScalarStep(v, "private") for v in scalars.private]
+    scalar_steps += [ScalarStep(v, f"reduction:{op}") for op, v in scalars.reductions]
+    facts = analysis.facts
+    for name, r in analysis.state.scalars.items():
+        facts = facts.set(Sym(name), r)
+    return Certificate(
+        loop_id=loop_id,
+        index=index,
+        recurrences=tuple(recurrences),
+        monotonic=tuple(monotonic),
+        disproofs=tuple(ext.disproofs),
+        scalars=tuple(scalar_steps),
+        speculative=tuple(spec_steps),
+        facts=facts,
     )
 
 

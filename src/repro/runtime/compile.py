@@ -269,6 +269,24 @@ def _pred_s(loop_key):
         return None
 
 
+def _spec_ok(loop_key, reqs):
+    """Speculative dispatch gate: every hypothesis must pass live inspection.
+
+    ``reqs`` is a tuple of ``(array_value, required, name)`` triples from a
+    verified conditional certificate.  Fails closed: any inspection error
+    keeps the loop on the compiled-serial fallback arm.
+    """
+    try:
+        from repro.runtime import inspector
+
+        for arr, required, name in reqs:
+            if not inspector.dispatch_check(arr, required, loop_key, array=name):
+                return False
+        return True
+    except Exception:  # pragma: no cover - inspection must never crash the kernel
+        return False
+
+
 def _exec_namespace() -> Dict[str, Any]:
     """Globals for generated code (also used by pool workers)."""
     import time
@@ -289,6 +307,7 @@ def _exec_namespace() -> Dict[str, Any]:
         "_time": time.perf_counter,
         "_wm": _wm_record,
         "_pred_s": _pred_s,
+        "_spec_ok": _spec_ok,
         "_unknown_fn": _unknown_fn,
         "_MISSING": _MISSING,
     }
@@ -538,6 +557,7 @@ class _Lowerer:
         trace: bool = False,
         parallel: bool = False,
         parallel_loops: Optional[Set[str]] = None,
+        speculative_loops: Optional[Set[str]] = None,
     ):
         self.prog = prog
         self.decisions = decisions or {}
@@ -547,6 +567,9 @@ class _Lowerer:
         #: when set, only these loop_ids get pool dispatch (backend=auto's
         #: per-loop choice); None = every certified loop (legacy behavior)
         self.parallel_loops = parallel_loops
+        #: when set, only these loop_ids get speculative inspector-executor
+        #: dispatch; None = every checker-verified speculative decision
+        self.speculative_loops = speculative_loops
         self.lines: List[str] = []
         self.depth = 1
         self._tmp = 0
@@ -818,6 +841,26 @@ class _Lowerer:
             d = self.decisions.get(s.loop_id or "")
             if d is not None and getattr(d, "parallel", False):
                 done = self._parallel_for(s, h, d, lo, hi)
+            elif (
+                d is not None
+                and getattr(d, "speculation_verified", False)
+                and getattr(d, "speculation", None) is not None
+                and (
+                    self.speculative_loops is None
+                    or (s.loop_id or "") in self.speculative_loops
+                )
+            ):
+                # speculative inspector-executor pair: same pool dispatch,
+                # but the if-clause additionally requires every hypothesis
+                # of the conditional certificate to pass live inspection;
+                # a failing scan takes the compiled-serial arm below
+                done = self._parallel_for(
+                    s, h, d, lo, hi,
+                    spec=[
+                        (sp.array, sp.required)
+                        for sp in d.speculation.speculative
+                    ],
+                )
         if not done:
             self._serial_loop(s, h, lo, hi)
         if timed:
@@ -955,7 +998,9 @@ class _Lowerer:
 
     # -- parallel dispatch --------------------------------------------------
 
-    def _parallel_for(self, s: For, h: LoopHeader, d, lo: str, hi: str) -> bool:
+    def _parallel_for(
+        self, s: For, h: LoopHeader, d, lo: str, hi: str, spec=None
+    ) -> bool:
         """Emit pool dispatch + serial fallback for a certified loop.
 
         Returns False (caller lowers serially) when the decision cannot be
@@ -963,6 +1008,12 @@ class _Lowerer:
         contract, reduction operators other than +/*, arrays declared
         inside the program (workers only see shared-memory env arrays), or
         a runtime-check symbol that cannot be resolved at the loop entry.
+
+        ``spec`` (speculative tier) lists ``(array, required)`` hypotheses
+        from a verified conditional certificate; they are appended to the
+        dispatch condition as a ``_spec_ok`` call over the *live* array
+        values at the loop's program point, so an index array rewritten by
+        an earlier loop is inspected in its current state.
         """
         privates = set(getattr(d, "private", ()) or ()) - {h.index}
         reds = list(getattr(d, "reductions", ()) or ())
@@ -993,6 +1044,8 @@ class _Lowerer:
         meta: Dict[str, Any] = {
             "rw": sorted(_rw_overlap_arrays(s.body) & set(arrays))
         }
+        if spec:
+            meta["speculative"] = sorted({a for a, _ in spec})
         # static chunk-race verdict: a proven-overlapping loop is refused
         # parallel dispatch outright; a proven chunk-disjoint loop records
         # its proof so the pool can skip snapshotting feedback-free arrays
@@ -1032,6 +1085,11 @@ class _Lowerer:
         cond = f"_pool is not None and ({hi} - {lo}) >= 2"
         for code in checks:
             cond += f" and ({code})"
+        if spec:
+            args = ", ".join(
+                f"({_mangle(a)}, {r!r}, {a!r})" for a, r in sorted(spec)
+            )
+            cond += f" and _spec_ok({key!r}, ({args},))"
         self.emit(f"{pr} = None")
         self.emit(f"if {cond}:")
         # bindings that are still undefined here (e.g. a private first
@@ -2174,6 +2232,7 @@ def compile_program(
     trace: bool = False,
     parallel: bool = False,
     parallel_loops: Optional[Set[str]] = None,
+    speculative_loops: Optional[Set[str]] = None,
     fusions: Optional[Sequence[Any]] = None,
 ) -> CompiledProgram:
     """Lower ``prog``; on any lowering failure return an interp-backed shim.
@@ -2191,6 +2250,7 @@ def compile_program(
         trace=trace,
         parallel=parallel,
         parallel_loops=parallel_loops,
+        speculative_loops=speculative_loops,
         fusions=fusions,
     )
     if cp.backend == "compiled" and os.environ.get("REPRO_VERIFY_LOWERING", "") not in ("", "0"):
@@ -2208,6 +2268,7 @@ def _compile_program_impl(
     trace: bool = False,
     parallel: bool = False,
     parallel_loops: Optional[Set[str]] = None,
+    speculative_loops: Optional[Set[str]] = None,
     fusions: Optional[Sequence[Any]] = None,
 ) -> CompiledProgram:
     """Lower ``prog``; on any lowering failure return an interp-backed shim.
@@ -2254,6 +2315,7 @@ def _compile_program_impl(
                 trace=trace,
                 parallel=parallel,
                 parallel_loops=parallel_loops,
+                speculative_loops=speculative_loops,
             )
             source = low.lower_program()
             if applied_groups:

@@ -408,7 +408,13 @@ def plan_program(
         predicted = {"compiled": t_serial, "interp": t_interp}
         choice = "compiled"
         d = cp.lowered_decisions.get(lid)
-        can_par = bool(d is not None and getattr(d, "parallel", False))
+        speculative = bool(
+            d is not None
+            and not getattr(d, "parallel", False)
+            and getattr(d, "speculation_verified", False)
+            and getattr(d, "speculation", None) is not None
+        )
+        can_par = bool(d is not None and (getattr(d, "parallel", False) or speculative))
         if can_par:
             # circuit breaker: after repeated dispatch failures the pool
             # suspends itself; plan serial until the cooldown re-probe
@@ -417,11 +423,33 @@ def plan_program(
             can_par = dispatch_allowed()
         if can_par and workers > 1 and trips >= MIN_PAR_TRIPS:
             t_par = predict_parallel(cal, tier, work, workers)
+            if speculative:
+                # price the dispatch-time inspection into the parallel
+                # estimate (content-memoized repeats are nearly free, but
+                # the conservative first-scan cost gates the promotion)
+                t_inspect = _inspect_seconds(cal, d, env)
+                predicted["inspect"] = t_inspect
+                t_par += t_inspect
             predicted["compiled-parallel"] = t_par
             if t_par * PAR_MARGIN < t_serial:
                 choice = "compiled-parallel"
         plans.append(LoopPlan(lid, tier, trips, work, choice, predicted))
     return plans
+
+
+def _inspect_seconds(cal: Calibration, d, env: Dict[str, Any]) -> float:
+    """Predicted cost of one speculative inspection pass for loop ``d``.
+
+    The inspector is a vectorized ``np.diff`` scan over each hypothesized
+    index array, so the vectorized tier's calibrated element rate is the
+    right price; arrays missing from ``env`` contribute nothing (the
+    dispatch condition would fail before inspecting them anyway).
+    """
+    n = 0
+    for sp in getattr(getattr(d, "speculation", None), "speculative", ()) or ():
+        arr = env.get(sp.array)
+        n += int(getattr(arr, "size", 0) or 0)
+    return cal.overhead("vectorized") + n / max(cal.rate("vectorized"), 1.0)
 
 
 def program_prefers_interp(plans: List[LoopPlan]) -> bool:

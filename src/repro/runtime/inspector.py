@@ -15,12 +15,23 @@ two classic run-time alternatives:
 This module provides (a) a *real* inspector over NumPy index arrays — used
 to validate compile-time claims — and (b) cost models for both schemes so
 the break-even experiment can be reproduced.
+
+It is also the engine of the compiled backend's **speculative tier**
+(:func:`dispatch_check`): loops whose monotonicity the static lemmas could
+not prove carry a conditional certificate, and the generated code calls
+``dispatch_check`` on the live index array immediately before pool
+dispatch — parallel executor on pass, compiled-serial fallback on fail.
+Verdicts are memoized by array *content* (sha256 of the bytes), so the
+paper's §5 amortization concern collapses to one scan per distinct array
+state instead of one per invocation.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional
+import hashlib
+import time
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -78,6 +89,89 @@ def inspect_segment_weights(
     if len(region) <= 1:
         return np.zeros(0, dtype=np.int64)
     return np.maximum(np.diff(region), 0).astype(np.int64, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# speculative dispatch checks (inspector-executor tier of the compiled backend)
+# ---------------------------------------------------------------------------
+
+#: requirement tags (mirror repro.verify.certificate.SPEC_*; no import to
+#: keep this module free of verifier dependencies for the pool workers)
+_REQ_STRICT = "strict"
+_REQ_MONOTONIC = "monotonic"
+
+#: content-keyed verdict memo: (sha256(bytes), required) -> bool.  Bounded
+#: like every other in-memory cache (REPRO_CACHE_MAX_ENTRIES).
+_VERDICT_MEMO = None  # created lazily: perfstats import is cheap but cyclic-prone
+
+
+def _memo():
+    global _VERDICT_MEMO
+    if _VERDICT_MEMO is None:
+        from repro.ir import perfstats
+
+        _VERDICT_MEMO = perfstats.BoundedCache()
+        perfstats.register_cache("inspect", _VERDICT_MEMO.__len__, _VERDICT_MEMO.clear)
+    return _VERDICT_MEMO
+
+
+def dispatch_check(arr, required: str, loop_key: str = "?", array: str = "?") -> bool:
+    """Decide one speculative hypothesis against the live array.
+
+    ``required`` is ``"strict"`` (injectivity needed: the disproof route
+    was direct indirection) or ``"monotonic"`` (ordering only: bound
+    indirection).  The scan covers the *full* array — a sound
+    over-approximation of the subscript region the loop actually touches.
+    Unknown requirement tags fail closed (serial execution).
+
+    Verdicts are memoized by array content, so repeated invocations over
+    an unchanged index array pay one O(n) scan total; pass/fail/memo-hit
+    counts land in :mod:`repro.ir.perfstats` and per-event records in
+    :mod:`repro.runtime.workmeter` for ``--stats``.
+    """
+    from repro.ir import perfstats
+    from repro.runtime import workmeter
+
+    if required not in (_REQ_STRICT, _REQ_MONOTONIC):
+        perfstats.STATS.inspect_fails += 1
+        return False
+    a = np.asarray(arr)
+    key: Optional[Tuple[str, str]] = None
+    memo = _memo()
+    try:
+        key = (hashlib.sha256(a.tobytes()).hexdigest(), required)
+    except Exception:  # non-contiguous exotic views: just scan
+        key = None
+    if key is not None:
+        hit = memo.get(key)
+        if hit is not None:
+            perfstats.STATS.inspect_memo_hits += 1
+            try:
+                workmeter.record_inspection(
+                    loop_key, required=required, passed=hit,
+                    elements=0, seconds=0.0, array=array, memo_hit=True,
+                )
+            except Exception:  # pragma: no cover
+                pass
+            return hit
+    t0 = time.perf_counter()
+    res = inspect_monotonicity(a)
+    ok = res.strict if required == _REQ_STRICT else res.monotonic
+    dt = time.perf_counter() - t0
+    if ok:
+        perfstats.STATS.inspect_passes += 1
+    else:
+        perfstats.STATS.inspect_fails += 1
+    if key is not None:
+        memo[key] = ok
+    try:
+        workmeter.record_inspection(
+            loop_key, required=required, passed=ok,
+            elements=res.elements_scanned, seconds=dt, array=array,
+        )
+    except Exception:  # pragma: no cover - stats must never block dispatch
+        pass
+    return ok
 
 
 # ---------------------------------------------------------------------------

@@ -45,6 +45,10 @@ _FAULTS: List[Dict[str, str]] = []
 #: graceful-degradation ladder steps (``{"loop", "from", "to", "reason"}``)
 _DEGRADATIONS: List[Dict[str, str]] = []
 
+#: speculative dispatch inspections (``{"loop", "array", "required",
+#: "passed", "elements", "seconds", "memo_hit"}``) from the inspector tier
+_INSPECTIONS: List[Dict[str, Any]] = []
+
 #: bound on the fault/degradation logs — a runaway fault storm must not
 #: turn the metrics registry into a memory leak
 _EVENT_CAP = 512
@@ -67,6 +71,7 @@ def reset(keep_events: bool = False) -> None:
         if not keep_events:
             _FAULTS.clear()
             _DEGRADATIONS.clear()
+            _INSPECTIONS.clear()
 
 
 def record_prediction(
@@ -140,6 +145,70 @@ def degradation_events() -> List[Dict[str, str]]:
     """Copy of the recorded degradation-ladder steps (dispatch order)."""
     with _LOCK:
         return [dict(e) for e in _DEGRADATIONS]
+
+
+def record_inspection(
+    loop_id: str,
+    *,
+    required: str,
+    passed: bool,
+    elements: int,
+    seconds: float,
+    array: str = "?",
+    memo_hit: bool = False,
+) -> None:
+    """Record one speculative dispatch-time inspection (inspector tier)."""
+    with _LOCK:
+        _INSPECTIONS.append(
+            {
+                "loop": str(loop_id),
+                "array": str(array),
+                "required": str(required),
+                "passed": bool(passed),
+                "elements": int(elements),
+                "seconds": float(seconds),
+                "memo_hit": bool(memo_hit),
+            }
+        )
+        del _INSPECTIONS[:-_EVENT_CAP]
+
+
+def inspection_events() -> List[Dict[str, Any]]:
+    """Copy of the recorded speculative inspections (dispatch order)."""
+    with _LOCK:
+        return [dict(e) for e in _INSPECTIONS]
+
+
+def format_inspector_table() -> str:
+    """Per-loop speculative inspection table for ``--stats`` (may be '')."""
+    events = inspection_events()
+    if not events:
+        return ""
+    agg: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    for e in events:
+        key = (e["loop"], e["array"], e["required"])
+        row = agg.setdefault(
+            key, {"pass": 0, "fail": 0, "memo": 0, "elements": 0, "seconds": 0.0}
+        )
+        if e["memo_hit"]:
+            row["memo"] += 1
+        elif e["passed"]:
+            row["pass"] += 1
+        else:
+            row["fail"] += 1
+        row["elements"] += e["elements"]
+        row["seconds"] += e["seconds"]
+    lines = ["speculative inspections (dispatch-time monotonicity checks)"]
+    lines.append(
+        f"  {'loop':<14} {'array':<10} {'requires':<10} {'pass':>5} {'fail':>5} "
+        f"{'memo':>5} {'elems':>9} {'seconds':>9}"
+    )
+    for (loop, array, req), row in sorted(agg.items()):
+        lines.append(
+            f"  {loop:<14} {array:<10} {req:<10} {row['pass']:>5} {row['fail']:>5} "
+            f"{row['memo']:>5} {row['elements']:>9} {row['seconds']:>9.6f}"
+        )
+    return "\n".join(lines)
 
 
 def format_fault_log() -> str:

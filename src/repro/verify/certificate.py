@@ -115,6 +115,34 @@ class ScalarStep:
     role: str
 
 
+#: requirement tags a :class:`SpeculativeStep` may carry
+SPEC_STRICT = "strict"
+SPEC_MONOTONIC = "monotonic"
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeculativeStep:
+    """A monotonicity *hypothesis* to be established at dispatch time.
+
+    The static lemmas could not prove the property, but the loop's
+    dependence structure was recognized: IF ``array`` is (strictly)
+    monotonic at run time, the recorded disproof routes go through.  The
+    runtime inspector (:func:`repro.runtime.inspector.dispatch_check`)
+    scans the live array immediately before dispatch; only a passing scan
+    licenses the parallel executor, a failing scan falls back to the
+    compiled-serial loop.  The checker validates the *conditional* claim:
+    the disproofs must be re-derivable under the hypothesis, and the loop
+    must never write ``array`` (else the predicate could be invalidated
+    mid-run).
+    """
+
+    array: str
+    #: SPEC_STRICT (injectivity needed) or SPEC_MONOTONIC (ordering only)
+    required: str
+    #: human-readable predicate text (CLI --audit / inspector table)
+    predicate: str = ""
+
+
 @dataclasses.dataclass(frozen=True)
 class FusionStep:
     """Legality claim for fusing a run of adjacent top-level loops.
@@ -152,6 +180,10 @@ class Certificate:
     monotonic: Tuple[MonoStep, ...] = ()
     disproofs: Tuple[DisproofStep, ...] = ()
     scalars: Tuple[ScalarStep, ...] = ()
+    #: runtime monotonicity hypotheses (inspector-executor tier); a
+    #: certificate carrying any of these is *conditional* — it licenses
+    #: parallel execution only behind a passing dispatch-time inspection
+    speculative: Tuple[SpeculativeStep, ...] = ()
     #: symbol-range hypotheses the derivation may assume (program facts:
     #: pre-loop scalar values, counter_max bounds, nonnegative trip counts);
     #: these are part of the *trusted base* — the checker validates the
@@ -160,7 +192,7 @@ class Certificate:
 
     @property
     def steps(self) -> Tuple[object, ...]:
-        return self.recurrences + self.monotonic + self.disproofs + self.scalars
+        return self.recurrences + self.monotonic + self.disproofs + self.scalars + self.speculative
 
 
 def mono_step_from_result(
@@ -241,6 +273,11 @@ def format_certificate(cert: Certificate, verified: Optional[bool] = None) -> st
             lines.append(f"               {d.detail}")
         for c in d.checks:
             lines.append(f"               requires run-time check: {c}")
+    for sp in cert.speculative:
+        need = "strictly monotonic (injective)" if sp.required == SPEC_STRICT else "monotonic"
+        lines.append(f"  speculative: {sp.array} must be {need} — verified by dispatch-time inspection")
+        if sp.predicate:
+            lines.append(f"               predicate: {sp.predicate}")
     for sc in cert.scalars:
         lines.append(f"  scalar     : {sc.var} is {sc.role}")
     if len(lines) == 1:

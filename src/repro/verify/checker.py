@@ -24,7 +24,13 @@ survives if this module can re-derive its certificate:
   derivable and every required run-time check must appear verbatim in the
   certificate;
 * **scalar steps** — every scalar assigned in the loop body carries a
-  validated private/reduction role.
+  validated private/reduction role;
+* **speculative steps** — a runtime monotonicity *hypothesis* is admitted
+  as a pseudo property (valid only behind a passing dispatch-time
+  inspection) provided the loop never writes the hypothesized array; the
+  disproof re-derivation then proceeds under the hypothesis, so a
+  checker-accepted speculative certificate is sound *conditional on* the
+  inspector predicate.
 
 Trusted base (checked dynamically by the differential gate, not here): the
 symbol-range hypotheses in ``Certificate.facts``, and the resolved property
@@ -74,11 +80,22 @@ from repro.verify.certificate import (
     ROUTE_BOUND,
     ROUTE_CLASSICAL,
     ROUTE_DIRECT,
+    SPEC_MONOTONIC,
+    SPEC_STRICT,
     Certificate,
     FusionStep,
     MonoStep,
     SSRStep,
 )
+
+
+def _assigned_arrays(node) -> Set[str]:
+    """Array names stored to anywhere under ``node`` (own trusted copy)."""
+    out: Set[str] = set()
+    for n in node.walk():
+        if isinstance(n, Assign) and isinstance(n.lhs, ArrayAccess):
+            out.add(n.lhs.name)
+    return out
 
 
 @dataclasses.dataclass
@@ -114,6 +131,35 @@ def check_certificate(cert: Certificate, loops: Mapping[str, For]) -> CheckResul
             failures.extend(errs)
         else:
             valid_mono[(m.array, m.dim)] = m
+
+    # speculative hypotheses: each is admitted as a *pseudo* monotonicity
+    # step — valid only because the runtime inspector re-establishes it at
+    # every dispatch — provided the loop can never invalidate it mid-run
+    # (the hypothesized array must not be written inside the loop)
+    for sp in cert.speculative:
+        if sp.required not in (SPEC_STRICT, SPEC_MONOTONIC):
+            failures.append(
+                f"speculative step for '{sp.array}': unknown requirement '{sp.required}'"
+            )
+            continue
+        if sp.array in _assigned_arrays(loop):
+            failures.append(
+                f"speculative step for '{sp.array}': the loop writes the "
+                f"hypothesized array, so a passing inspection could be "
+                f"invalidated mid-run"
+            )
+            continue
+        kind = MonoKind.SMA if sp.required == SPEC_STRICT else MonoKind.MA
+        key = (sp.array, 0)
+        if key not in valid_mono:
+            valid_mono[key] = MonoStep(
+                array=sp.array,
+                lemma="speculative",
+                kind=kind,
+                dim=0,
+                source_loop=cert.loop_id,
+                region=None,
+            )
 
     # every listed recurrence must back some property derivation, and every
     # property that rides on an SSR must list it — corrupting either side
@@ -1299,7 +1345,7 @@ class _BodyFacts:
                     # uses inside this loop (header included) are fine —
                     # the init re-assigns before the body can read
                     return False
-            for child in _children(node):
+            for child in node.children():
                 if isinstance(child, Id) and child.name == name:
                     return True
                 if visit(child):
@@ -1307,14 +1353,6 @@ class _BodyFacts:
             return False
 
         return visit(body)
-
-
-def _children(node: Node) -> List[Node]:
-    out: List[Node] = []
-    for n in node.walk():
-        if n is not node:
-            out.append(n)
-    return out
 
 
 def _body_break_at_level(body: Statement) -> bool:

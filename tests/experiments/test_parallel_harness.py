@@ -234,3 +234,50 @@ class TestFaultTolerance:
         monkeypatch.setenv("REPRO_CELL_TIMEOUT", "junk")
         with pytest.raises(ValueError, match="REPRO_CELL_TIMEOUT"):
             harness.resolved_cell_timeout()
+
+
+class TestWorkerStatsAggregation:
+    """Worker-side perfstats ship back over the reply pipe, so ``--stats``
+    aggregates the whole run without forcing ``REPRO_JOBS=1``."""
+
+    def test_run_cell_stats_returns_counter_deltas(self):
+        from repro.ir import perfstats
+
+        spec = CellSpec("AMGmk", None, "Cetus+NewAlgo", 4)
+        result, counts, tiers, falls = harness._run_cell_stats(spec)
+        assert result.benchmark == "AMGmk"
+        # only non-zero deltas travel, and every name is a real counter
+        assert all(v != 0 for v in counts.values())
+        assert all(name in perfstats.Counters.__slots__ for name in counts)
+
+    def test_merge_cell_stats_folds_into_parent(self):
+        from repro.ir import perfstats
+
+        spec = CellSpec("AMGmk", None, "Cetus+NewAlgo", 8)
+        payload = harness._run_cell_stats(spec)
+        fake = (payload[0], {"analysis_misses": 3, "unknown_counter": 9},
+                {"vectorized": 2}, {"why": 1})
+        before = perfstats.STATS.analysis_misses
+        tier_before = perfstats.TIERS.get("vectorized", 0)
+        result = harness._merge_cell_stats(fake)
+        assert result.benchmark == "AMGmk"
+        assert perfstats.STATS.analysis_misses == before + 3
+        assert perfstats.TIERS.get("vectorized", 0) == tier_before + 2
+        assert perfstats.FALLBACKS.get("why", 0) >= 1
+
+    def test_pooled_run_cells_surfaces_worker_counters(self):
+        """End to end: with jobs>1 the parent's counters still move —
+        the workers' analysis/cache activity is merged, not lost."""
+        from repro.ir import perfstats
+
+        specs = [
+            CellSpec("AMGmk", "MATRIX1", "Cetus+NewAlgo", p) for p in (4, 8)
+        ]
+        perfstats.reset_counters()
+        runs = run_cells(specs, jobs=2)
+        assert [r.cores for r in runs] == [4, 8]
+        moved = perfstats.STATS.as_dict()
+        assert sum(abs(v) for v in moved.values()) > 0, (
+            "jobs=2 run left every parent counter at zero: worker stats "
+            "were not aggregated"
+        )

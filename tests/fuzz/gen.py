@@ -311,6 +311,37 @@ class _Gen:
             )
         return "\n".join(parts)
 
+    def seg_almost_monotonic_scatter(self) -> str:
+        """Env-provided index array that is monotone except (maybe) one spot.
+
+        The array arrives through the environment, so the static analysis
+        can prove nothing about it and the scatter consumer lands in the
+        speculative inspector-executor tier: a dispatch-time monotonicity
+        scan decides between the compiled-parallel and serial arms.  Half
+        the time the fill is genuinely strictly increasing (inspector
+        passes, parallel arm); otherwise exactly one position violates
+        monotonicity (inspector fails, serial arm).  Either way every
+        value stays in ``[0, bound)`` so execution is safe, and the race
+        check validates whichever arm actually ran.
+        """
+        idx = self.fresh("idx")
+        self.index_arrays.append(idx)
+        # the inspector scans the whole array, so a strictly increasing
+        # fill over [0, bound) has to be exactly 0..bound-1
+        vals = list(range(self.bound))
+        if self.rng.random() < 0.5:
+            # violate exactly one interior position (stay nonnegative)
+            p = self.rng.randint(1, self.bound - 1)
+            vals[p] = max(vals[p - 1] - self.rng.randint(1, 2), 0)
+        self.env[idx] = np.array(vals, dtype=np.int64)
+        dst = self.any_data_array()
+        srcv = self.any_data_array()
+        i = self.fresh("i")
+        return (
+            f"for ({i} = 0; {i} < {self.ub()}; {i}++) "
+            f"{dst}[{idx}[{i}]] = {dst}[{idx}[{i}]] + {srcv}[{i}];"
+        )
+
     def seg_while(self) -> str:
         # ineligible construct: the analysis must fall back conservatively
         dst = self.any_data_array()
@@ -346,6 +377,7 @@ class _Gen:
         ("guarded_elementwise", 3),
         ("csr_nest", 3),
         ("fusable_pair", 3),
+        ("almost_monotonic_scatter", 2),
         ("while", 1),
         ("break", 1),
     )

@@ -1,0 +1,142 @@
+"""Incremental (per-nest) analysis and decision caching.
+
+Editing one nest of a multi-nest program must re-run phases 1/2,
+certification, and lowering only for the changed nest: every untouched
+top-level nest is served from the per-nest caches (``nest`` in the
+analyzer, ``nestdec`` in the parallelizer driver), and the warm result is
+indistinguishable from a fully cold run of the edited source.
+
+The per-nest tier is production-only: ``verify_ir`` (the suite-wide
+debug-assertions mode) disables it so lint faults and injected errors
+genuinely re-run, which is why every test here pins ``verify_ir=False``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis import AnalysisConfig, analyze_program
+from repro.analysis.analyzer import _ANALYSIS_CACHE, _NEST_CACHE
+from repro.benchmarks import get_benchmark
+from repro.ir import perfstats
+from repro.lang.cparser import _STMT_CACHE
+from repro.parallelizer import parallelize
+from repro.parallelizer.driver import _NESTDEC_CACHE, _PARALLELIZE_CACHE
+
+
+def _incremental_config() -> AnalysisConfig:
+    return dataclasses.replace(AnalysisConfig.new_algorithm(), verify_ir=False)
+
+
+def _clear_all_caches() -> None:
+    _ANALYSIS_CACHE.clear()
+    _PARALLELIZE_CACHE.clear()
+    _NEST_CACHE.clear()
+    _NESTDEC_CACHE.clear()
+    _STMT_CACHE.clear()
+
+
+def _decision_tuples(result):
+    """Positionally comparable decision facts (loop ids are a global
+    counter, so names differ between runs)."""
+    return [
+        (d.index, d.depth, d.parallel, d.reason, d.pragma,
+         sorted(d.private), sorted(d.reductions))
+        for d in result.decisions.values()
+    ]
+
+
+SRC_THREE_NESTS = """
+m = 0;
+for (i = 0; i < n; i++) {
+    p[i] = m;
+    m = m + 1;
+}
+for (i = 0; i < n; i++) {
+    x[p[i]] = x[p[i]] + 1;
+}
+for (i = 0; i < n; i++) {
+    y[i] = y[i] * 2;
+}
+"""
+
+
+class TestEditOneNest:
+    def test_untouched_nests_hit_both_per_nest_caches(self):
+        """Acceptance: mutate one nest of CG; the other top-level nests
+        are cache hits in both the analyzer and the decision driver, and
+        the warm verdicts are identical to a fully cold run."""
+        src = get_benchmark("CG").source
+        assert src.count("\nfor") >= 2
+        config = _incremental_config()
+        _clear_all_caches()
+        perfstats.reset_counters()
+        parallelize(src, config)
+        assert perfstats.STATS.nest_misses >= 3
+        assert perfstats.STATS.nestdec_misses >= 3
+        n_nests = perfstats.STATS.nest_misses
+
+        # edit exactly one nest: the q = w copy gains a scaling factor
+        edited = src.replace("q[j] = w[j];", "q[j] = w[j] * 2;")
+        assert edited != src
+        before = perfstats.STATS.as_dict()
+        warm = parallelize(edited, config)
+        after = perfstats.STATS.as_dict()
+        # every untouched nest is a per-nest hit; only the edited one re-runs
+        assert after["nest_hits"] - before["nest_hits"] == n_nests - 1
+        assert after["nest_misses"] - before["nest_misses"] == 1
+        assert after["nestdec_hits"] - before["nestdec_hits"] == n_nests - 1
+        assert after["nestdec_misses"] - before["nestdec_misses"] == 1
+
+        # warm-after-edit result == fully cold run of the edited source
+        _clear_all_caches()
+        cold = parallelize(edited, config)
+        assert _decision_tuples(warm) == _decision_tuples(cold)
+        assert warm.to_c() == cold.to_c()
+        assert sorted(map(str, warm.analysis.properties.all_properties())) == sorted(
+            map(str, cold.analysis.properties.all_properties())
+        )
+
+    def test_editing_a_producer_nest_invalidates_its_consumers(self):
+        """The decision key covers the property slice *and* the source of
+        each property's producer loop, so editing the fill loop must not
+        serve the consumer's stale decision."""
+        config = _incremental_config()
+        _clear_all_caches()
+        cold = parallelize(SRC_THREE_NESTS, config)
+        assert any(d.parallel for d in cold.decisions.values())
+
+        # break the monotonic fill: the consumer's x[p[i]] scatter verdict
+        # must be recomputed (and flip to serial), not replayed
+        edited = SRC_THREE_NESTS.replace("m = m + 1;", "m = 0;")
+        warm = parallelize(edited, config)
+        _clear_all_caches()
+        cold2 = parallelize(edited, config)
+        assert _decision_tuples(warm) == _decision_tuples(cold2)
+        assert warm.to_c() == cold2.to_c()
+
+    def test_verify_ir_disables_the_per_nest_tier(self):
+        """Debug-assertions mode must re-run every nest (lint faults and
+        injected errors depend on it), so the per-nest caches stay cold."""
+        config = dataclasses.replace(AnalysisConfig.new_algorithm(), verify_ir=True)
+        _clear_all_caches()
+        perfstats.reset_counters()
+        parallelize(SRC_THREE_NESTS, config)
+        parallelize(SRC_THREE_NESTS + "\n// touch\n", config)
+        assert perfstats.STATS.nest_hits == 0
+        assert perfstats.STATS.nestdec_hits == 0
+        assert len(_NEST_CACHE) == 0
+        assert len(_NESTDEC_CACHE) == 0
+
+    def test_whole_program_rerun_is_all_nest_hits(self):
+        """Re-analyzing unchanged source with a cold whole-program cache
+        (comment-only edit) reuses every nest."""
+        config = _incremental_config()
+        _clear_all_caches()
+        perfstats.reset_counters()
+        analyze_program(SRC_THREE_NESTS, config)
+        n = perfstats.STATS.nest_misses
+        assert n == 3
+        analyze_program("// header comment\n" + SRC_THREE_NESTS, config)
+        assert perfstats.STATS.nest_hits == n
+        assert perfstats.STATS.nest_misses == n

@@ -1,0 +1,165 @@
+"""Speculative inspector-executor tier, end to end.
+
+A scatter through an environment-provided index array is statically
+uncertifiable — nothing in the program proves the array monotonic — so
+the verdict is serial.  The speculative tier attaches a *conditional*
+certificate (``SpeculativeStep``: "parallel IF a dispatch-time inspection
+finds the array strictly increasing"), the independent checker validates
+it, and the compiled runtime decides per dispatch:
+
+* pass arm — the live array is monotone: the loop runs compiled-parallel
+  through the worker pool (chunk records prove it) and the race checker
+  confirms the execution was race-free;
+* fail arm — the live array violates monotonicity: the inspection fails
+  closed and the loop runs serially (the race checker confirms parallel
+  execution would have raced).
+
+Both arms must be bit-identical to the interpreter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisConfig
+from repro.ir import perfstats
+from repro.lang.astnodes import For
+from repro.parallelizer import parallelize
+from repro.parallelizer.driver import _loops_by_id
+from repro.runtime import workmeter
+from repro.runtime.compile import execute
+from repro.runtime.interp import run_program
+from repro.runtime.parexec import states_equivalent
+from repro.runtime.racecheck import check_loop_races
+from repro.verify import check_certificate
+from repro.verify.certificate import SPEC_STRICT, SpeculativeStep
+
+# env-provided idx: the analysis can prove nothing about its contents
+SRC = "for (i = 0; i < n; i++) { x[idx[i]] = x[idx[i]] + y[i]; }\n"
+
+N = 128  # above MIN_PAR_TRIPS so the pool accepts the dispatch
+
+
+def _env(monotone: bool):
+    idx = np.arange(N, dtype=np.int64)
+    if not monotone:
+        idx[N // 2] = idx[N // 2 - 1]  # one duplicate: scatter now races
+    return {
+        "n": N,
+        "idx": idx,
+        "x": np.zeros(N, dtype=np.int64),
+        "y": np.arange(N, dtype=np.int64),
+    }
+
+
+@pytest.fixture()
+def result():
+    return parallelize(SRC, AnalysisConfig.new_algorithm())
+
+
+@pytest.fixture()
+def loop(result):
+    (stmt,) = [s for s in result.program.stmts if isinstance(s, For)]
+    return stmt
+
+
+class TestSpeculativeDecision:
+    def test_statically_uncertifiable_loop_gets_conditional_certificate(self, result, loop):
+        d = result.decisions[loop.loop_id]
+        assert not d.parallel  # the static verdict stays serial
+        assert d.speculation is not None
+        assert d.speculation_verified
+        steps = d.speculation.speculative
+        assert any(sp.array == "idx" and sp.required == SPEC_STRICT for sp in steps)
+
+    def test_checker_accepts_the_stored_certificate(self, result, loop):
+        d = result.decisions[loop.loop_id]
+        loops = _loops_by_id(result.analysis.program)
+        res = check_certificate(d.speculation, loops)
+        assert res.ok, res.failures
+
+    def test_checker_rejects_corrupted_speculative_steps(self, result, loop):
+        d = result.decisions[loop.loop_id]
+        loops = _loops_by_id(result.analysis.program)
+        cert = d.speculation
+        # unknown hypothesis kind
+        bad = dataclasses.replace(
+            cert,
+            speculative=tuple(
+                dataclasses.replace(sp, required="wavy") for sp in cert.speculative
+            ),
+        )
+        assert not check_certificate(bad, loops).ok
+        # hypothesis about an array the certified loop itself writes
+        bad = dataclasses.replace(
+            cert,
+            speculative=cert.speculative
+            + (SpeculativeStep(array="x", required=SPEC_STRICT, predicate="bogus"),),
+        )
+        assert not check_certificate(bad, loops).ok
+
+    def test_no_speculate_config_disables_the_tier(self):
+        config = dataclasses.replace(AnalysisConfig.new_algorithm(), speculate=False)
+        res = parallelize(SRC, config)
+        assert all(d.speculation is None for d in res.decisions.values())
+
+
+class TestSpeculativeExecution:
+    def test_pass_arm_runs_compiled_parallel_and_matches_interp(self, result, loop):
+        workmeter.reset()
+        before = perfstats.STATS.as_dict()
+        env_c = _env(monotone=True)
+        execute(result.program, env_c, decisions=result.decisions,
+                backend="compiled-parallel")
+        after = perfstats.STATS.as_dict()
+        assert after["inspect_passes"] - before["inspect_passes"] >= 1
+        assert after["inspect_fails"] == before["inspect_fails"]
+        # the worker pool really ran the loop (>= 1 chunk record; the
+        # chunk count equals the healthy-worker count on this machine)
+        chunks = workmeter._CHUNKS.get(loop.loop_id or "", [])
+        assert chunks, "pass arm did not dispatch through the pool"
+        env_i = _env(monotone=True)
+        run_program(result.program, env_i)
+        assert states_equivalent(env_i, env_c)
+        # the parallel arm was sound: the execution is race-free
+        race = check_loop_races(result.program, loop, _env(monotone=True))
+        assert race.clean
+
+    def test_fail_arm_falls_back_to_serial_and_matches_interp(self, result, loop):
+        workmeter.reset()
+        before = perfstats.STATS.as_dict()
+        env_c = _env(monotone=False)
+        execute(result.program, env_c, decisions=result.decisions,
+                backend="compiled-parallel")
+        after = perfstats.STATS.as_dict()
+        assert after["inspect_fails"] - before["inspect_fails"] >= 1
+        assert not workmeter._CHUNKS.get(loop.loop_id or "", [])
+        env_i = _env(monotone=False)
+        run_program(result.program, env_i)
+        assert states_equivalent(env_i, env_c)
+        # serial was the only sound choice: parallel would have raced
+        race = check_loop_races(result.program, loop, _env(monotone=False))
+        assert not race.clean
+
+    def test_inspection_is_memoized_per_array_content(self, result):
+        perfstats.clear_caches()
+        before = perfstats.STATS.as_dict()
+        env = _env(monotone=True)
+        execute(result.program, dict(env), decisions=result.decisions,
+                backend="compiled-parallel")
+        execute(result.program, dict(env), decisions=result.decisions,
+                backend="compiled-parallel")
+        after = perfstats.STATS.as_dict()
+        assert after["inspect_passes"] - before["inspect_passes"] == 1
+        assert after["inspect_memo_hits"] - before["inspect_memo_hits"] >= 1
+
+    def test_inspections_surface_in_the_stats_table(self, result):
+        workmeter.reset()
+        execute(result.program, _env(monotone=True), decisions=result.decisions,
+                backend="compiled-parallel")
+        table = workmeter.format_inspector_table()
+        assert "speculative inspections" in table
+        assert "idx" in table

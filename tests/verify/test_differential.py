@@ -139,6 +139,91 @@ def test_checker_accepted_fusions_are_output_equivalent(shard):
     print(f"shard {shard}: {fused} fused groups exercised")
 
 
+def test_speculative_decisions_are_sound_and_differentially_equal():
+    """Speculative-tier soundness on the fuzz corpus.
+
+    Every surviving speculative decision must carry a conditional
+    certificate the independent checker accepts (the driver audits it, but
+    the stored bit must be reproducible here).  Dynamically, the inspector
+    arm is classified at the loop's entry point: when the index array
+    really is monotone as hypothesized, the loop must be race-free (the
+    parallel arm is safe); either way the compiled execution with
+    speculative dispatch enabled must match the interpreter bit-for-bit.
+    The almost-monotonic fuzz production guarantees both arms appear."""
+    from repro.runtime.compile import execute
+    from repro.runtime.inspector import inspect_monotonicity
+    from repro.runtime.interp import Interpreter, run_program
+    from repro.runtime.parexec import states_equivalent
+
+    config = AnalysisConfig.new_algorithm()
+    arms = {"pass": 0, "fail": 0}
+    for seed in range(min(FUZZ_COUNT, 240)):
+        fp = generate(seed)
+        result = parallelize(fp.source, config)
+        loops = _loops_by_id(result.analysis.program)
+        spec = [
+            (lid, d)
+            for lid, d in result.decisions.items()
+            if d.speculation is not None
+        ]
+        if not spec:
+            continue
+        for lid, d in spec:
+            # a speculative certificate never backs an unconditional verdict
+            assert not d.parallel, f"seed {seed}: speculative loop {lid} marked parallel"
+            assert d.speculation_verified, (
+                f"seed {seed}: unaudited speculation survived on {lid}"
+            )
+            res = check_certificate(d.speculation, loops)
+            assert res.ok, f"seed {seed}: loop {lid}: {res.failures}"
+        # classify each top-level speculative loop's inspector arm at its
+        # entry point and racecheck the parallel arm
+        for stmt in result.program.stmts:
+            if not isinstance(stmt, For):
+                continue
+            d = result.decisions.get(stmt.loop_id or "")
+            if d is None or d.speculation is None:
+                continue
+            interp = Interpreter(fp.fresh_env())
+            for s in result.program.stmts:
+                if s is stmt:
+                    break
+                interp.exec_stmt(s)
+            holds = True
+            for sp in d.speculation.speculative:
+                arr = interp.env.get(sp.array)
+                if arr is None:
+                    holds = False
+                    break
+                rep = inspect_monotonicity(np.asarray(arr))
+                ok = rep.strict if sp.required == "strict" else rep.monotonic
+                holds = holds and bool(ok)
+            arms["pass" if holds else "fail"] += 1
+            if holds:
+                try:
+                    race = check_loop_races(result.program, stmt, fp.fresh_env())
+                except IndexNotFound:
+                    continue
+                assert race.clean, (
+                    f"seed {seed}: inspector-passing loop {stmt.loop_id} races: "
+                    + "; ".join(str(c) for c in race.conflicts)
+                    + f"\n{fp.source}"
+                )
+        # differential leg: compiled execution with speculative dispatch
+        # enabled must agree with the interpreter regardless of the arm
+        env_c = fp.fresh_env()
+        execute(result.program, env_c, decisions=result.decisions,
+                backend="compiled-parallel")
+        env_i = fp.fresh_env()
+        run_program(result.program, env_i)
+        assert states_equivalent(env_i, env_c), (
+            f"seed {seed}: speculative execution diverged\n{fp.source}"
+        )
+    assert arms["pass"] and arms["fail"], (
+        f"corpus failed to exercise both inspector arms: {arms}"
+    )
+
+
 def test_corrupted_fusion_steps_are_rejected():
     """Mutation leg for FusionStep: flip each field of a real accepted step
     and the checker must reject the result."""
