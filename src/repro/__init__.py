@@ -30,7 +30,7 @@ from repro.analysis import (
 )
 from repro.parallelizer import LoopDecision, ParallelizationResult, format_report, parallelize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnalysisConfig",

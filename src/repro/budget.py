@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import threading
 import time
 from typing import Iterator, Optional
 
@@ -90,8 +91,15 @@ class _BudgetState:
         )
 
 
-#: the currently active budget scope (None = unlimited, checkpoints free)
-_STATE: Optional[_BudgetState] = None
+#: the currently active budget scope, **per thread** (None = unlimited,
+#: checkpoints free).  Thread-local so the analysis daemon can run
+#: requests with independent deadlines on different threads without one
+#: request's budget tripping another's checkpoints.
+_SCOPE = threading.local()
+
+
+def _current() -> Optional[_BudgetState]:
+    return getattr(_SCOPE, "state", None)
 
 
 @contextlib.contextmanager
@@ -100,18 +108,17 @@ def scoped_budget(budget: Optional[AnalysisBudget]) -> Iterator[None]:
 
     An unlimited (or ``None``) budget leaves the checkpoint fast path
     untouched.  Scopes nest: an inner scope shadows the outer one and the
-    outer counters resume on exit.
+    outer counters resume on exit.  Scopes are per-thread.
     """
-    global _STATE
     if budget is None or budget.is_unlimited:
         yield
         return
-    prev = _STATE
-    _STATE = _BudgetState(budget)
+    prev = _current()
+    _SCOPE.state = _BudgetState(budget)
     try:
         yield
     finally:
-        _STATE = prev
+        _SCOPE.state = prev
 
 
 def _stop(limit: str, spent: object, cap: object) -> None:
@@ -126,7 +133,7 @@ def _check_deadline(st: _BudgetState) -> None:
 
 def charge_simplify() -> None:
     """Checkpoint: one uncached simplify/expand/affine rewrite."""
-    st = _STATE
+    st = _current()
     if st is None:
         return
     STATS.budget_checks += 1
@@ -139,7 +146,7 @@ def charge_simplify() -> None:
 
 def charge_phase() -> None:
     """Checkpoint: one Phase-1 CFG-node visit or Phase-2 aggregation step."""
-    st = _STATE
+    st = _current()
     if st is None:
         return
     STATS.budget_checks += 1
@@ -157,7 +164,7 @@ def check_expr(e) -> None:
     so the unlimited path pays a single ``None`` check.  The count stops
     early at the cap — a pathological expression is never fully walked.
     """
-    st = _STATE
+    st = _current()
     if st is None:
         return
     cap = st.budget.max_expr_nodes
@@ -173,4 +180,5 @@ def check_expr(e) -> None:
 
 def active_budget() -> Optional[AnalysisBudget]:
     """The budget of the innermost active scope, if any (introspection)."""
-    return _STATE.budget if _STATE is not None else None
+    st = _current()
+    return st.budget if st is not None else None

@@ -23,15 +23,35 @@ that still *parses* as pickle (bit rot, a torn write landing on a pickle
 boundary, an overwrite by a crashed writer) reads as a clean miss.
 Corrupt, stale, or unreadable entries are deleted best-effort and never
 raise — the disk tier is a cache, not storage.
+
+**Sharing one cache directory across processes.**  Entries fan out into
+256 key-prefix shard subdirectories per kind (leading digest byte), so N
+daemon processes plus any number of CLI invocations can point at one
+``REPRO_CACHE_DIR`` without directory-size or rename contention.  Writes
+take a per-shard advisory ``flock`` (released automatically if the
+writer dies, so a crash can never leave the cache wedged) around the
+atomic replace, and the corrupt-entry self-delete is race-tolerant: if a
+read comes up corrupt but the path has been *replaced* since we opened
+it — a concurrent writer finishing mid-read — the read retries against
+the fresh entry (counted as ``disk_race_retries`` in perfstats) instead
+of deleting a file some other process just produced.  Deletion only
+happens under the shard lock, and only when the path still names the
+same inode that produced the corrupt bytes.
 """
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import pickle
 import tempfile
-from typing import Any, Optional, Tuple
+from typing import Any, Iterator, Optional, Tuple
+
+try:  # advisory shard locks (POSIX); the tier degrades gracefully without
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 from repro.ir import perfstats
 
@@ -69,14 +89,62 @@ def _entry_path(root: str, kind: str, key: Tuple[str, str]) -> str:
     # the config fingerprint is a human-readable string of unbounded
     # length — hash it down to keep filenames within OS limits
     fp = hashlib.sha256(fingerprint.encode("utf-8")).hexdigest()[:16]
-    # fan out on the leading digest byte to keep directories small
+    # fan out on the leading digest byte: 256 shard subdirectories per
+    # kind keep directories small and spread multi-process writers
     return os.path.join(root, kind, digest[:2], f"{digest}-{fp}.pkl")
 
 
-def _drop_entry(path: str) -> None:
-    """Best-effort self-delete of a bad entry (missing file is fine)."""
+@contextlib.contextmanager
+def _shard_lock(path: str) -> Iterator[None]:
+    """Advisory per-shard lock (best-effort; no-op where flock is absent).
+
+    Guards the shard's replace/unlink operations across processes.  The
+    kernel drops the lock when the holder exits, crashed or not, so a
+    dead writer can never leave the shard wedged — and the ``.lock``
+    file itself is inert state: a leftover one never blocks a restart.
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_path = os.path.join(os.path.dirname(path), ".lock")
+    fd = None
     try:
-        os.unlink(path)
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        fcntl.flock(fd, fcntl.LOCK_EX)
+    except OSError:
+        # lock unavailable (read-only fs, NFS quirks): fall back to the
+        # plain atomic-replace discipline rather than failing the cache op
+        if fd is not None:
+            os.close(fd)
+            fd = None
+    try:
+        yield
+    finally:
+        if fd is not None:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            finally:
+                os.close(fd)
+
+
+def _drop_entry(path: str, inode: Optional[int] = None) -> None:
+    """Best-effort self-delete of a bad entry (missing file is fine).
+
+    When ``inode`` is given the unlink happens under the shard lock and
+    only if the path *still* names that inode — a concurrent writer that
+    replaced the entry since we read it keeps its fresh copy.
+    """
+    try:
+        if inode is None:
+            os.unlink(path)
+            return
+        with _shard_lock(path):
+            try:
+                if os.stat(path).st_ino != inode:
+                    return  # replaced since we read the corrupt bytes
+            except OSError:
+                return  # already gone (concurrent replace or delete)
+            os.unlink(path)
     except OSError:
         pass
 
@@ -85,8 +153,13 @@ def load(kind: str, key: Tuple[str, str]) -> Optional[Any]:
     """Fetch a cached value, or ``None`` on miss/corruption/disabled.
 
     Never raises: any anomaly — truncation, version skew, digest
-    mismatch, unpicklable garbage — deletes the entry and reads as a
-    clean miss.
+    mismatch, unpicklable garbage — reads as a clean miss.  A corrupt
+    read retries once when the entry was concurrently *replaced* while
+    we were reading it (another process finishing its atomic write
+    wins; counted as ``disk_race_retries``); an entry that is stably
+    corrupt is deleted under the shard lock, and only while the path
+    still names the inode whose bytes failed verification — never a
+    fresh entry some other writer just published.
     """
     root = cache_dir()
     if root is None:
@@ -100,30 +173,51 @@ def load(kind: str, key: Tuple[str, str]) -> Optional[Any]:
         clause = faultplan.check("cache-read", kind=kind)
         if clause is not None and clause.kind == "cache-corrupt":
             faultplan.corrupt_file(path)
-    try:
-        with open(path, "rb") as fh:
-            entry = pickle.load(fh)
-        version, digest, blob = entry
-        if version != FORMAT_VERSION:
-            raise ValueError("cache format version skew")
-        if (
-            not isinstance(blob, bytes)
-            or hashlib.sha256(blob).hexdigest() != digest
-        ):
-            raise ValueError("cache entry digest mismatch")
-        value = pickle.loads(blob)
-    except FileNotFoundError:
-        return None
-    except Exception:
-        # torn write, version skew, bit rot, or unpicklable garbage
-        _drop_entry(path)
-        return None
-    perfstats.STATS.disk_hits += 1
-    return value
+    for attempt in (0, 1):
+        inode_read: Optional[int] = None
+        try:
+            with open(path, "rb") as fh:
+                inode_read = os.fstat(fh.fileno()).st_ino
+                entry = pickle.load(fh)
+            version, digest, blob = entry
+            if version != FORMAT_VERSION:
+                raise ValueError("cache format version skew")
+            if (
+                not isinstance(blob, bytes)
+                or hashlib.sha256(blob).hexdigest() != digest
+            ):
+                raise ValueError("cache entry digest mismatch")
+            value = pickle.loads(blob)
+        except FileNotFoundError:
+            # miss — or a writer mid-replace deleted-and-renamed on an
+            # exotic filesystem; either way, a clean miss
+            return None
+        except Exception:
+            try:
+                now_inode = os.stat(path).st_ino
+            except OSError:
+                return None  # entry vanished: concurrent replace/delete
+            if attempt == 0 and now_inode != inode_read:
+                # the path points at a different file than the one whose
+                # bytes failed: a concurrent writer replaced the entry —
+                # retry against the fresh copy instead of condemning it
+                perfstats.STATS.disk_race_retries += 1
+                continue
+            _drop_entry(path, inode=now_inode)
+            return None
+        perfstats.STATS.disk_hits += 1
+        return value
+    return None
 
 
 def store(kind: str, key: Tuple[str, str], value: Any) -> None:
-    """Atomically persist a value; failures are silent (cache, not storage)."""
+    """Atomically persist a value; failures are silent (cache, not storage).
+
+    The temp-file write happens outside the shard lock (it is private
+    until the rename); the ``os.replace`` publishing it runs under the
+    advisory lock so concurrent writers and the corrupt-entry deleter
+    serialize on the shard.
+    """
     root = cache_dir()
     if root is None:
         return
@@ -136,7 +230,8 @@ def store(kind: str, key: Tuple[str, str], value: Any) -> None:
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump((FORMAT_VERSION, digest, blob), fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
+            with _shard_lock(path):
+                os.replace(tmp, path)
             perfstats.STATS.disk_writes += 1
         except BaseException:
             try:

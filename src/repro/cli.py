@@ -8,6 +8,9 @@
     python -m repro properties kernel.c               # subscript-array facts
     python -m repro run AMGmk --backend compiled      # execute + time a kernel
     python -m repro figures                           # regenerate §4 tables
+    python -m repro serve --socket /tmp/repro.sock    # analysis daemon
+    python -m repro client parallelize kernel.c --socket /tmp/repro.sock
+    python -m repro ping --socket /tmp/repro.sock     # daemon health check
 
 Pipelines: ``classical`` (Cetus), ``base`` (ICS'21), ``new`` (default,
 this paper).
@@ -42,10 +45,13 @@ def _read_source(path: str) -> str:
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     p = argparse.ArgumentParser(
         prog="repro",
         description="Subscripted-subscript recurrence analysis & parallelization (PPoPP'24 reproduction)",
     )
+    p.add_argument("--version", action="version", version=f"repro {__version__}")
     p.add_argument(
         "--stats",
         action="store_true",
@@ -148,6 +154,64 @@ def _build_parser() -> argparse.ArgumentParser:
                     help="also run the interpreter and verify the outputs agree")
 
     sub.add_parser("figures", help="regenerate the paper's Table 1 and Figures 13-17")
+
+    def add_endpoint(sp):
+        sp.add_argument("--host", default="127.0.0.1", help="TCP host (default 127.0.0.1)")
+        sp.add_argument("--port", type=int, default=None, help="TCP port")
+        sp.add_argument("--socket", default=None, metavar="PATH",
+                        help="Unix-domain socket path (preferred locally)")
+        sp.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="client connect/IO timeout in seconds")
+
+    sp = sub.add_parser(
+        "serve", help="run the long-lived analysis daemon (see docs/service.md)"
+    )
+    sp.add_argument("--host", default="127.0.0.1")
+    sp.add_argument("--port", type=int, default=0,
+                    help="TCP port (0 = ephemeral; the bound port is printed)")
+    sp.add_argument("--socket", default=None, metavar="PATH",
+                    help="serve on a Unix-domain socket instead of TCP")
+    sp.add_argument("--queue-size", type=int, default=128,
+                    help="admission queue bound; requests past it get an "
+                    "immediate 503-style 'overloaded' reply")
+    sp.add_argument("--compute-threads", type=int, default=1,
+                    help="threads in the compute executor (default 1; the "
+                    "analysis is GIL-bound)")
+    sp.add_argument("--procs", type=int, default=0,
+                    help="worker processes for cold batch fan-out (0 = inline)")
+    sp.add_argument("--breaker-threshold", type=int, default=3,
+                    help="consecutive execute failures that open the circuit "
+                    "breaker (degrades execute to analyze-only)")
+    sp.add_argument("--breaker-cooldown-s", type=float, default=30.0)
+    sp.add_argument("--test-ops", action="store_true",
+                    help="honor __test_sleep_ms in requests (tests/benchmarks "
+                    "use this to saturate the admission queue deterministically)")
+
+    sp = sub.add_parser(
+        "client", help="send one request to a running analysis daemon"
+    )
+    add_endpoint(sp)
+    sp.add_argument("action", choices=["ping", "metrics", "analyze", "parallelize",
+                                       "execute", "shutdown"])
+    sp.add_argument("sources", nargs="*",
+                    help="C source files for analyze/parallelize (N files = one "
+                    "batch request), or the benchmark name for execute")
+    sp.add_argument("--pipeline", choices=sorted(PIPELINES), default="new")
+    sp.add_argument("--deadline-ms", type=float, default=None,
+                    help="per-request deadline (bounds queue wait and analysis)")
+    sp.add_argument("--backend", default="auto",
+                    choices=["interp", "compiled", "compiled-parallel", "auto"],
+                    help="execute action only")
+    sp.add_argument("--scale", choices=["small", "paper"], default="small",
+                    help="execute action only")
+    sp.add_argument("--repeats", type=int, default=1, help="execute action only")
+    sp.add_argument("--raw", action="store_true",
+                    help="print the raw JSON reply instead of a rendering")
+
+    sp = sub.add_parser(
+        "ping", help="health-check a running analysis daemon (exit 0 iff alive)"
+    )
+    add_endpoint(sp)
     return p
 
 
@@ -212,6 +276,10 @@ def _run_command(args) -> int:
 
     if args.command == "run":
         return _run_kernel(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command in ("client", "ping"):
+        return _run_client(args)
 
     src = _read_source(args.source)
     config = _config_from_args(args)
@@ -298,6 +366,118 @@ def _run_kernel(args) -> int:
               f"outputs {'match' if ok else 'DIVERGE'}")
         return 0 if ok else 1
     return 0
+
+
+def _run_serve(args) -> int:
+    """``repro serve``: run the analysis daemon until SIGTERM/shutdown."""
+    from repro.service.server import ServeConfig, serve
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_path=args.socket,
+        queue_size=args.queue_size,
+        compute_threads=args.compute_threads,
+        procs=args.procs,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
+        allow_test_ops=args.test_ops,
+    )
+    return serve(config)
+
+
+def _run_client(args) -> int:
+    """``repro client`` / ``repro ping``: one request to a running daemon."""
+    import json
+
+    from repro.service.client import DEFAULT_TIMEOUT_S, ServiceClient, ServiceError
+
+    if args.port is None and args.socket is None:
+        print("error: need --port or --socket to reach the daemon", file=sys.stderr)
+        return 2
+    action = "ping" if args.command == "ping" else args.action
+    # validate arguments (and read local files) before touching the network
+    programs = None
+    if action == "execute":
+        if len(args.sources) != 1:
+            print("error: execute takes exactly one benchmark name", file=sys.stderr)
+            return 2
+    elif action in ("analyze", "parallelize"):
+        if not args.sources:
+            print("error: need at least one source file", file=sys.stderr)
+            return 2
+        try:
+            programs = [
+                {"id": path, "source": _read_source(path)} for path in args.sources
+            ]
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    timeout = args.timeout if args.timeout else (
+        5.0 if action == "ping" else DEFAULT_TIMEOUT_S
+    )
+    client = ServiceClient(
+        host=args.host, port=args.port, unix_path=args.socket, timeout_s=timeout
+    )
+    try:
+        with client:
+            if action == "ping":
+                reply = client.ping()
+                print(f"ok: repro {reply.get('version')} pid {reply.get('pid')}")
+                return 0
+            if action == "metrics":
+                print(json.dumps(client.metrics(), indent=2, default=str))
+                return 0
+            if action == "shutdown":
+                client.shutdown_server()
+                print("shutdown acknowledged")
+                return 0
+            if action == "execute":
+                reply = client.execute(
+                    args.sources[0], backend=args.backend, scale=args.scale,
+                    repeats=args.repeats, pipeline=args.pipeline, check=False,
+                )
+            else:  # analyze / parallelize
+                fn = client.analyze if action == "analyze" else client.parallelize
+                reply = fn(
+                    programs, pipeline=args.pipeline,
+                    deadline_ms=args.deadline_ms, check=False,
+                )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except (OSError, ConnectionError) as exc:
+        print(f"error: cannot reach daemon: {exc}", file=sys.stderr)
+        return 1
+    if args.raw:
+        print(json.dumps(reply, indent=2, default=str))
+    else:
+        _render_client_reply(action, reply)
+    return 0 if reply.get("status") in ("ok", "degraded") else 1
+
+
+def _render_client_reply(action: str, reply: dict) -> None:
+    status = reply.get("status")
+    if status not in ("ok", "degraded", "partial"):
+        print(f"{status}: {reply.get('error', '')}", file=sys.stderr)
+        return
+    if status != "ok":
+        print(f"[{status}] {reply.get('error', '')}", file=sys.stderr)
+    for res in reply.get("results", ()):
+        label = res.get("id", res.get("benchmark", "?"))
+        if "error" in res:
+            print(f"== {label}: ERROR {res['error']}")
+        elif action == "execute":
+            print(f"== {label}: {res.get('benchmark')} {res.get('seconds')}s "
+                  f"backend={res.get('backend')} scale={res.get('scale')}")
+        elif action == "analyze":
+            print(f"== {label}")
+            for prop in res.get("properties", ()):
+                print(f"  {prop}")
+        else:  # parallelize
+            print(f"== {label} (parallel: "
+                  f"{', '.join(res.get('parallel_loops', ())) or 'none'})")
+            print(res.get("annotated_c", ""), end="")
 
 
 def _print_audit(args, result) -> None:

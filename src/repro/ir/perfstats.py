@@ -29,6 +29,7 @@ the retention section of ``docs/performance.md``.
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -59,6 +60,7 @@ class Counters:
         "budget_stops",
         "disk_hits",
         "disk_writes",
+        "disk_race_retries",
         "cache_evictions",
         "intern_evictions",
         "inspect_passes",
@@ -161,51 +163,69 @@ class BoundedCache:
     recently used entry and bumps ``STATS.cache_evictions``.  The cap is
     re-read from ``REPRO_CACHE_MAX_ENTRIES`` on every insertion, so tests
     (and long-lived drivers) can tighten or lift it at run time.
+
+    **Thread safety.**  Every operation holds a per-cache lock: the
+    analysis daemon's event loop, its compute thread and the worker
+    pool's reply paths all touch the same result caches, and an
+    ``OrderedDict``'s ``move_to_end``-on-hit is not atomic under
+    concurrent mutation.  The lock is uncontended in single-threaded
+    use and costs ~100ns per operation — noise next to the clone a hit
+    pays anyway.
     """
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_lock")
 
     def __init__(self) -> None:
         self._data: "OrderedDict" = OrderedDict()
+        self._lock = threading.RLock()
 
     def get(self, key, default=None):
-        data = self._data
-        try:
-            value = data[key]
-        except KeyError:
-            return default
-        data.move_to_end(key)
-        return value
+        with self._lock:
+            data = self._data
+            try:
+                value = data[key]
+            except KeyError:
+                return default
+            data.move_to_end(key)
+            return value
 
     def __getitem__(self, key):
-        value = self._data[key]
-        self._data.move_to_end(key)
-        return value
+        with self._lock:
+            value = self._data[key]
+            self._data.move_to_end(key)
+            return value
 
     def __setitem__(self, key, value) -> None:
-        data = self._data
-        data[key] = value
-        data.move_to_end(key)
-        cap = _caps()[0]
-        if cap:
-            while len(data) > cap:
-                data.popitem(last=False)
-                STATS.cache_evictions += 1
+        with self._lock:
+            data = self._data
+            data[key] = value
+            data.move_to_end(key)
+            cap = _caps()[0]
+            if cap:
+                while len(data) > cap:
+                    data.popitem(last=False)
+                    STATS.cache_evictions += 1
 
     def __contains__(self, key) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __iter__(self) -> Iterator:
-        return iter(self._data)
+        # snapshot: callers may mutate the cache while iterating
+        with self._lock:
+            return iter(list(self._data))
 
     def pop(self, key, default=None):
-        return self._data.pop(key, default)
+        with self._lock:
+            return self._data.pop(key, default)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
 
 def evict_intern_overflow(table: dict) -> None:
@@ -342,8 +362,11 @@ def format_stats(snap: Optional[Dict[str, object]] = None) -> str:
     for layer in ("intern", "simplify", "expand", "affine", "analysis", "parallelize", "nest", "nestdec"):
         h, m = c[f"{layer}_hits"], c[f"{layer}_misses"]
         lines.append(f"{layer:<16} {h:>10} {m:>10} {_ratio(h, m):>9}")
-    if c.get("disk_hits") or c.get("disk_writes"):
-        lines.append(f"disk cache: {c['disk_hits']} hits, {c['disk_writes']} writes")
+    if c.get("disk_hits") or c.get("disk_writes") or c.get("disk_race_retries"):
+        lines.append(
+            f"disk cache: {c['disk_hits']} hits, {c['disk_writes']} writes, "
+            f"{c['disk_race_retries']} race retries"
+        )
     if c.get("cache_evictions") or c.get("intern_evictions"):
         lines.append(
             f"evictions: {c['cache_evictions']} cache entries, "

@@ -1,0 +1,26 @@
+"""Analysis-as-a-service: a concurrent daemon over the cache tiers.
+
+The pipeline's latency story — ~200us warm whole-program hits, per-nest
+incremental reuse for edited sources, a shared on-disk tier, and a
+persistent worker pool for execution — only pays off for service-style
+traffic if callers stop paying process startup on every request.  This
+package is the long-running front end:
+
+* :mod:`repro.service.protocol` — the length-prefixed JSON wire format;
+* :mod:`repro.service.server` — the asyncio daemon (``repro serve``):
+  bounded admission queue with fast-fail backpressure, batch submission
+  deduplicated by source digest, per-request deadlines via
+  :class:`repro.budget.AnalysisBudget`, a circuit breaker degrading
+  execute requests under fault storms, and a ``metrics`` op exporting
+  perfstats/workmeter counters plus p50/p99 latency histograms;
+* :mod:`repro.service.client` — the synchronous client library behind
+  ``repro client`` and ``repro ping``;
+* :mod:`repro.service.metrics` — service-side counters and histograms.
+
+See ``docs/service.md`` for the protocol and deployment reference.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.protocol import ProtocolError
+
+__all__ = ["ServiceClient", "ServiceError", "ProtocolError"]

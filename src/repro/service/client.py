@@ -1,0 +1,202 @@
+"""Synchronous client for the analysis daemon.
+
+One persistent connection per :class:`ServiceClient`; every public call
+is one request/reply round trip over the length-prefixed JSON protocol.
+The client is what ``repro client``/``repro ping`` shell out to and what
+the service load benchmark drives from its worker threads (each thread
+owns its own client — a connection is not shareable across threads).
+
+    >>> from repro.service import ServiceClient
+    >>> with ServiceClient(unix_path="/tmp/repro.sock") as c:
+    ...     c.ping()["version"]
+    ...     c.parallelize(["for (i=0;i<n;i++) a[i]=b[i]+1;"])
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.service import protocol
+
+#: default connect/IO timeout; generous because a cold paper-scale
+#: analysis behind a saturated queue can legitimately take seconds
+DEFAULT_TIMEOUT_S = 120.0
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with a non-ok status.
+
+    ``reply`` carries the full response object, so callers can branch on
+    ``reply["status"]`` (``overloaded``, ``timeout``, ``degraded``, ...)
+    and ``reply.get("code")`` without string-matching the message.
+    """
+
+    def __init__(self, reply: Dict[str, Any]):
+        self.reply = reply
+        super().__init__(
+            f"service replied {reply.get('status')!r}"
+            + (f" ({reply.get('code')})" if reply.get("code") else "")
+            + (f": {reply.get('error')}" if reply.get("error") else "")
+        )
+
+
+class ServiceClient:
+    """Blocking client over TCP (``host``/``port``) or a Unix socket."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ):
+        if port is None and unix_path is None:
+            raise ValueError("need a TCP port or a unix_path")
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.timeout_s = timeout_s
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection management --------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._sock is not None:
+            return self
+        if self.unix_path:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout_s)
+            sock.connect(self.unix_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, int(self.port)), timeout=self.timeout_s
+            )
+        self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw round trip ----------------------------------------------------
+
+    def request(self, obj: Dict[str, Any], check: bool = True) -> Dict[str, Any]:
+        """Send one request, return the reply object.
+
+        ``check=True`` raises :class:`ServiceError` on any non-``ok``
+        status (including ``overloaded``/``timeout`` backpressure
+        replies); ``check=False`` returns them for the caller to branch
+        on — what the load benchmark uses to count 503s.
+        """
+        self.connect()
+        assert self._sock is not None
+        try:
+            protocol.send_frame(self._sock, obj)
+            reply = protocol.recv_frame(self._sock)
+        except (OSError, protocol.ProtocolError):
+            # one reconnect: the daemon may have restarted between calls
+            self.close()
+            self.connect()
+            assert self._sock is not None
+            protocol.send_frame(self._sock, obj)
+            reply = protocol.recv_frame(self._sock)
+        if check and reply.get("status") != "ok":
+            raise ServiceError(reply)
+        return reply
+
+    # -- typed helpers -----------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request({"op": "metrics"})["metrics"]
+
+    def shutdown_server(self) -> Dict[str, Any]:
+        return self.request({"op": "shutdown"})
+
+    @staticmethod
+    def _programs(sources: Union[str, Sequence[Union[str, Dict[str, str]]]]) -> List[Dict[str, str]]:
+        if isinstance(sources, str):
+            sources = [sources]
+        out = []
+        for i, s in enumerate(sources):
+            if isinstance(s, dict):
+                out.append({"id": str(s.get("id", i)), "source": s["source"]})
+            else:
+                out.append({"id": str(i), "source": s})
+        return out
+
+    def analyze(
+        self,
+        sources: Union[str, Sequence[Union[str, Dict[str, str]]]],
+        *,
+        pipeline: str = "new",
+        deadline_ms: Optional[float] = None,
+        check: bool = True,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        req: Dict[str, Any] = {
+            "op": "analyze",
+            "programs": self._programs(sources),
+            "pipeline": pipeline,
+        }
+        if deadline_ms is not None:
+            req["deadline_ms"] = deadline_ms
+        req.update(options)
+        return self.request(req, check=check)
+
+    def parallelize(
+        self,
+        sources: Union[str, Sequence[Union[str, Dict[str, str]]]],
+        *,
+        pipeline: str = "new",
+        deadline_ms: Optional[float] = None,
+        schedule: Optional[str] = None,
+        chunk: Optional[int] = None,
+        check: bool = True,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        req: Dict[str, Any] = {
+            "op": "parallelize",
+            "programs": self._programs(sources),
+            "pipeline": pipeline,
+        }
+        if deadline_ms is not None:
+            req["deadline_ms"] = deadline_ms
+        if schedule is not None:
+            req["schedule"] = schedule
+        if chunk is not None:
+            req["chunk"] = chunk
+        req.update(options)
+        return self.request(req, check=check)
+
+    def execute(
+        self,
+        benchmark: str,
+        *,
+        backend: str = "auto",
+        scale: str = "small",
+        repeats: int = 1,
+        check: bool = True,
+        **options: Any,
+    ) -> Dict[str, Any]:
+        req: Dict[str, Any] = {
+            "op": "execute",
+            "benchmark": benchmark,
+            "backend": backend,
+            "scale": scale,
+            "repeats": repeats,
+        }
+        req.update(options)
+        return self.request(req, check=check)

@@ -1,0 +1,155 @@
+"""Service-side metrics: request counters and p50/p99 latency histograms.
+
+The daemon's observability layer, deliberately tiny: log-spaced latency
+buckets (no per-request allocation beyond one list index bump), plain
+int counters behind one lock, and a ``snapshot()`` that folds in the
+process-wide :mod:`repro.ir.perfstats` counters and the
+:mod:`repro.runtime.workmeter` digest so one ``metrics`` request answers
+"what is the service doing and why" — queue depth, per-tier hit rates,
+per-op latency percentiles — without a second round trip.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, List, Optional
+
+#: histogram bucket upper bounds in seconds: log-spaced 10us .. 60s.
+#: Percentiles are reported as the bucket's upper bound — a conservative
+#: (never flattering) estimate with <= 26% relative error per bucket.
+_BUCKET_BOUNDS_S: List[float] = []
+_b = 10e-6
+while _b < 60.0:
+    _BUCKET_BOUNDS_S.append(_b)
+    _b *= 1.26
+_BUCKET_BOUNDS_S.append(float("inf"))
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with percentile extraction."""
+
+    __slots__ = ("_counts", "_total", "_sum_s", "_max_s")
+
+    def __init__(self) -> None:
+        self._counts = [0] * len(_BUCKET_BOUNDS_S)
+        self._total = 0
+        self._sum_s = 0.0
+        self._max_s = 0.0
+
+    def record(self, seconds: float) -> None:
+        i = bisect.bisect_left(_BUCKET_BOUNDS_S, seconds)
+        self._counts[i] += 1
+        self._total += 1
+        self._sum_s += seconds
+        if seconds > self._max_s:
+            self._max_s = seconds
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Latency (seconds) at percentile ``p`` in [0, 100]; None if empty.
+
+        Returns the upper bound of the bucket containing the p-th sample
+        (the top bucket reports the observed max instead of infinity).
+        """
+        if not self._total:
+            return None
+        rank = max(1, int(round(p / 100.0 * self._total)))
+        seen = 0
+        for i, n in enumerate(self._counts):
+            seen += n
+            if seen >= rank:
+                bound = _BUCKET_BOUNDS_S[i]
+                return self._max_s if bound == float("inf") else bound
+        return self._max_s
+
+    def snapshot(self) -> Dict[str, float]:
+        out: Dict[str, float] = {"count": float(self._total)}
+        if self._total:
+            out["mean_ms"] = 1e3 * self._sum_s / self._total
+            out["max_ms"] = 1e3 * self._max_s
+            for p, name in ((50.0, "p50_ms"), (90.0, "p90_ms"), (99.0, "p99_ms")):
+                v = self.percentile(p)
+                if v is not None:
+                    out[name] = 1e3 * v
+        return {k: round(v, 4) for k, v in out.items()}
+
+
+class ServiceStats:
+    """Thread-safe counter/histogram registry for one daemon instance."""
+
+    _COUNTERS = (
+        "requests_total",
+        "programs_total",
+        "batch_dedup_hits",
+        "overload_rejections",
+        "deadline_misses",
+        "degraded_executes",
+        "protocol_errors",
+        "internal_errors",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {name: 0 for name in self._COUNTERS}
+        self._per_op: Dict[str, int] = {}
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    def bump(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[name] = self._counts.get(name, 0) + n
+
+    def count_request(self, op: str) -> None:
+        with self._lock:
+            self._counts["requests_total"] += 1
+            self._per_op[op] = self._per_op.get(op, 0) + 1
+
+    def record_latency(self, op: str, seconds: float) -> None:
+        with self._lock:
+            hist = self._latency.get(op)
+            if hist is None:
+                hist = self._latency[op] = LatencyHistogram()
+            hist.record(seconds)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counts.get(name, 0)
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "counters": dict(self._counts),
+                "requests_by_op": dict(self._per_op),
+                "latency": {op: h.snapshot() for op, h in self._latency.items()},
+            }
+
+
+def full_snapshot(stats: ServiceStats, queue_depth: int, queue_capacity: int) -> Dict[str, object]:
+    """The ``metrics`` reply body: service + perfstats + workmeter state."""
+    from repro.ir import perfstats
+    from repro.runtime import workmeter
+
+    snap = stats.snapshot()
+    snap["queue"] = {"depth": queue_depth, "capacity": queue_capacity}
+    snap["perfstats"] = perfstats.snapshot()
+    snap["workmeter"] = workmeter.summary()
+    c = perfstats.STATS
+    tiers = {}
+    for layer in ("analysis", "parallelize", "nest", "nestdec", "parse"):
+        h = getattr(c, f"{layer}_hits")
+        m = getattr(c, f"{layer}_misses")
+        tiers[layer] = {
+            "hits": h,
+            "misses": m,
+            "hit_rate": round(h / (h + m), 4) if (h + m) else None,
+        }
+    tiers["disk"] = {
+        "hits": c.disk_hits,
+        "writes": c.disk_writes,
+        "race_retries": c.disk_race_retries,
+    }
+    snap["cache_tiers"] = tiers
+    return snap

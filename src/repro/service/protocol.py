@@ -1,0 +1,119 @@
+"""Length-prefixed JSON wire protocol for the analysis daemon.
+
+Framing: every message is a 4-byte big-endian unsigned length followed
+by that many bytes of UTF-8 JSON.  One object per frame, request and
+reply alike, over TCP or a Unix-domain socket.  The format is
+deliberately transport-boring: any language can speak it with ten lines
+of code, and `netcat`-level debugging stays possible.
+
+Requests are JSON objects with an ``op`` field::
+
+    {"op": "ping"}
+    {"op": "analyze",     "programs": [{"id": "k0", "source": "..."}],
+     "pipeline": "new", "deadline_ms": 250}
+    {"op": "parallelize", "source": "...", "schedule": "static"}
+    {"op": "execute",     "benchmark": "AMGmk", "backend": "auto",
+     "scale": "small", "repeats": 1}
+    {"op": "metrics"}
+    {"op": "shutdown"}
+
+``analyze``/``parallelize`` accept either a single ``source`` string or
+a ``programs`` batch; batch members are deduplicated by source digest
+server-side.  Replies always carry ``status``: ``ok``, or an error
+status (``overloaded``, ``timeout``, ``degraded``, ``bad-request``,
+``error``) plus a ``code`` mirroring HTTP semantics (503, 504, ...) and
+an ``error`` message.  See ``docs/service.md`` for the full field
+reference.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any, Dict, Optional
+
+#: frame size cap — a malformed or hostile length prefix must not make
+#: the server (or client) attempt a multi-gigabyte allocation
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(Exception):
+    """Malformed frame: bad length prefix, oversized frame, or non-JSON."""
+
+
+def encode_frame(obj: Dict[str, Any]) -> bytes:
+    """Serialize one message to its on-wire bytes."""
+    body = json.dumps(obj, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME_BYTES}")
+    return _LEN.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Dict[str, Any]:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# asyncio side (server)
+# ---------------------------------------------------------------------------
+
+
+async def read_frame_async(reader: "asyncio.StreamReader") -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF before a length prefix."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between frames
+        raise ProtocolError("connection closed mid-length-prefix") from exc
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_body(body)
+
+
+async def write_frame_async(writer: "asyncio.StreamWriter", obj: Dict[str, Any]) -> None:
+    writer.write(encode_frame(obj))
+    await writer.drain()
+
+
+# ---------------------------------------------------------------------------
+# blocking-socket side (client)
+# ---------------------------------------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = sock.recv(min(n, 1 << 20))
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, obj: Dict[str, Any]) -> None:
+    sock.sendall(encode_frame(obj))
+
+
+def recv_frame(sock: socket.socket) -> Dict[str, Any]:
+    header = _recv_exact(sock, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds {MAX_FRAME_BYTES}")
+    return decode_body(_recv_exact(sock, length))

@@ -58,6 +58,57 @@ class TestBoundedCache:
         for cache in (_ANALYSIS_CACHE, _NEST_CACHE, _NESTDEC_CACHE, _PARALLELIZE_CACHE):
             assert isinstance(cache, perfstats.BoundedCache)
 
+    def test_concurrent_hammer(self, monkeypatch):
+        """8 threads of mixed get/set/pop/iter/clear traffic stay safe.
+
+        The daemon's reply cache and the analysis result caches are hit
+        from the event loop and compute threads concurrently — the lock
+        must keep the LRU structurally intact (no KeyError from a
+        mid-eviction read, no over-cap growth, no wedged lock).
+        """
+        import random
+        import threading
+
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "64")
+        c = perfstats.BoundedCache()
+        errors = []
+
+        def worker(tid):
+            rng = random.Random(tid)
+            try:
+                for i in range(4000):
+                    k = rng.randrange(256)
+                    op = i % 7
+                    if op in (0, 1):
+                        c[k] = (tid, i)
+                    elif op == 2:
+                        v = c.get(k)
+                        assert v is None or isinstance(v, tuple)
+                    elif op == 3:
+                        k in c  # noqa: B015 - exercising __contains__
+                    elif op == 4:
+                        assert len(c) <= 64
+                    elif op == 5:
+                        c.pop(k)
+                    else:
+                        for kk in c:  # snapshot iteration under writes
+                            c.get(kk)
+                if tid == 0:
+                    c.clear()
+            except Exception as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not any(t.is_alive() for t in threads), "hammer wedged"
+        assert not errors, errors
+        assert len(c) <= 64
+        c["after"] = 1
+        assert c.get("after") == 1  # still functional after the storm
+
     def test_analysis_survives_a_cap_of_one(self, monkeypatch):
         """Correctness under extreme pressure: with room for one entry the
         caches thrash but results stay right."""

@@ -1,0 +1,135 @@
+"""Wire-format units: framing, size caps, malformed input, histograms."""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.service import protocol
+from repro.service.metrics import LatencyHistogram
+
+
+def _loopback_pair():
+    """A connected (client, server) socket pair."""
+    return socket.socketpair()
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        a, b = _loopback_pair()
+        try:
+            msg = {"op": "analyze", "programs": [{"id": "x", "source": "s" * 500}]}
+            protocol.send_frame(a, msg)
+            assert protocol.recv_frame(b) == msg
+        finally:
+            a.close()
+            b.close()
+
+    def test_multiple_frames_stay_separate(self):
+        a, b = _loopback_pair()
+        try:
+            for i in range(5):
+                protocol.send_frame(a, {"i": i})
+            for i in range(5):
+                assert protocol.recv_frame(b) == {"i": i}
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_length_prefix_rejected(self):
+        a, b = _loopback_pair()
+        try:
+            a.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+            with pytest.raises(protocol.ProtocolError, match="exceeds"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_encode_rejects_oversized_payload(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 64)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.encode_frame({"pad": "x" * 100})
+
+    def test_truncated_frame_raises(self):
+        a, b = _loopback_pair()
+        try:
+            frame = protocol.encode_frame({"op": "ping"})
+            a.sendall(frame[: len(frame) - 3])
+            a.close()
+            with pytest.raises(protocol.ProtocolError, match="mid-frame"):
+                protocol.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_non_json_body_raises(self):
+        a, b = _loopback_pair()
+        try:
+            body = b"\xff\xfe not json"
+            a.sendall(struct.pack(">I", len(body)) + body)
+            with pytest.raises(protocol.ProtocolError, match="JSON"):
+                protocol.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_non_object_body_raises(self):
+        with pytest.raises(protocol.ProtocolError, match="object"):
+            protocol.decode_body(b"[1, 2, 3]")
+
+    def test_concurrent_senders_do_not_interleave(self):
+        # sendall of one encoded frame is atomic enough over a socketpair;
+        # this guards the invariant the client library relies on
+        a, b = _loopback_pair()
+        try:
+            n_threads, per_thread = 4, 25
+
+            def sender(tid):
+                for i in range(per_thread):
+                    protocol.send_frame(a, {"tid": tid, "i": i, "pad": "p" * 64})
+
+            threads = [threading.Thread(target=sender, args=(t,)) for t in range(n_threads)]
+            for t in threads:
+                t.start()
+            seen = 0
+            for _ in range(n_threads * per_thread):
+                msg = protocol.recv_frame(b)
+                assert set(msg) == {"tid", "i", "pad"}
+                seen += 1
+            for t in threads:
+                t.join()
+            assert seen == n_threads * per_thread
+        finally:
+            a.close()
+            b.close()
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.percentile(99) is None
+        assert h.snapshot() == {"count": 0.0}
+
+    def test_percentiles_order(self):
+        h = LatencyHistogram()
+        for us in (100, 200, 300, 400, 50000):
+            h.record(us / 1e6)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["p50_ms"] <= snap["p90_ms"] <= snap["p99_ms"]
+        # conservative: the reported bound is >= the true percentile
+        assert snap["p99_ms"] >= 50.0 * 0.99
+
+    def test_bucket_bound_is_conservative(self):
+        h = LatencyHistogram()
+        h.record(0.001)
+        # reported p50 is the bucket upper bound: >= sample, < 26% above
+        assert 0.001 <= h.percentile(50) < 0.0013
+
+    def test_outlier_lands_in_max(self):
+        h = LatencyHistogram()
+        h.record(120.0)  # beyond the last finite bucket
+        assert h.percentile(99) == 120.0

@@ -208,3 +208,62 @@ def test_deadline_flag_accepted(amg_file, capsys):
     # generous deadline: same decisions as the unbudgeted run
     assert main(["report", amg_file, "--deadline-ms", "60000"]) == 0
     assert "PARALLEL" in capsys.readouterr().out
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as ei:
+        main(["--version"])
+    assert ei.value.code == 0
+    assert f"repro {__version__}" in capsys.readouterr().out
+
+
+def test_ping_requires_endpoint(capsys):
+    assert main(["ping"]) == 2
+    assert "need --port or --socket" in capsys.readouterr().err
+
+
+def test_ping_unreachable_daemon_exits_1(tmp_path, capsys):
+    assert main(["ping", "--socket", str(tmp_path / "nope.sock")]) == 1
+    assert "cannot reach daemon" in capsys.readouterr().err
+
+
+def test_client_requires_endpoint(capsys):
+    assert main(["client", "metrics"]) == 2
+    assert "need --port or --socket" in capsys.readouterr().err
+
+
+def test_client_analyze_requires_sources(tmp_path, capsys):
+    assert main(["client", "analyze", "--socket", str(tmp_path / "x.sock")]) == 2
+    assert "at least one source" in capsys.readouterr().err
+
+
+def test_ping_round_trip_against_live_daemon(tmp_path, capsys):
+    import json
+    import os
+    import subprocess
+    import sys as _sys
+
+    sock = str(tmp_path / "cli.sock")
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [_sys.executable, "-m", "repro", "serve", "--socket", sock],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, env=env, text=True,
+    )
+    try:
+        ready = json.loads(proc.stdout.readline())
+        assert ready["ready"] is True
+        assert main(["ping", "--socket", sock]) == 0
+        out = capsys.readouterr().out
+        assert "ok" in out and str(ready["pid"]) in out
+        assert main(["client", "shutdown", "--socket", sock]) == 0
+        capsys.readouterr()
+        assert proc.wait(timeout=45) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+        proc.stdout.close()

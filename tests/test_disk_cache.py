@@ -163,6 +163,122 @@ def test_disable_blocks_reads_and_writes(cache_dir):
         cache.enable()
 
 
+def test_shard_layout_fans_out_on_digest_prefix(cache_dir):
+    import hashlib
+
+    for seed in ("alpha", "beta", "gamma"):
+        digest = hashlib.sha256(seed.encode()).hexdigest()
+        cache.store("analysis", (digest, "fp"), {"seed": seed})
+        path = cache._entry_path(str(cache_dir), "analysis", (digest, "fp"))
+        assert os.path.basename(os.path.dirname(path)) == digest[:2]
+        assert os.path.exists(path)
+
+
+def test_corrupt_read_retries_against_concurrent_replace(cache_dir):
+    """A torn read races a finishing writer: retry, don't delete.
+
+    Simulates the multi-process interleaving where we open an entry, a
+    concurrent writer atomically replaces it, and our bytes then fail
+    verification: the path now names a *different* inode, so load must
+    retry against the fresh entry (counting ``disk_race_retries``)
+    instead of condemning the file the other process just published.
+    """
+    import builtins
+
+    from repro.ir import perfstats
+
+    key = ("c" * 64, "fp")
+    cache.store("analysis", key, {"x": 42})
+    path = cache._entry_path(str(cache_dir), "analysis", key)
+    decoy = path + ".stale"  # stands in for the pre-replace inode
+    with open(decoy, "wb") as fh:
+        fh.write(b"torn bytes from the entry as it looked before the replace")
+
+    real_open = builtins.open
+    redirected = []
+
+    def first_open_sees_stale_inode(file, *args, **kwargs):
+        if file == path and not redirected:
+            redirected.append(file)
+            return real_open(decoy, *args, **kwargs)
+        return real_open(file, *args, **kwargs)
+
+    before = perfstats.STATS.disk_race_retries
+    builtins.open = first_open_sees_stale_inode
+    try:
+        got = cache.load("analysis", key)
+    finally:
+        builtins.open = real_open
+    assert redirected  # the stale read really happened
+    assert got == {"x": 42}  # served from the fresh replacement
+    assert perfstats.STATS.disk_race_retries == before + 1
+    assert os.path.exists(path), "the fresh entry must not be deleted"
+
+
+def test_stably_corrupt_entry_does_not_count_a_retry(cache_dir):
+    from repro.ir import perfstats
+
+    key = ("d" * 64, "fp")
+    cache.store("analysis", key, {"x": 1})
+    path = cache._entry_path(str(cache_dir), "analysis", key)
+    with open(path, "wb") as fh:
+        fh.write(b"stably corrupt")
+    before = perfstats.STATS.disk_race_retries
+    assert cache.load("analysis", key) is None
+    assert perfstats.STATS.disk_race_retries == before  # same inode: no retry
+    assert not os.path.exists(path)
+
+
+def _stress_child(root: str, proc_idx: int, iters: int) -> None:
+    """One writer/reader process in the shared-cache stress test."""
+    import hashlib
+
+    os.environ["REPRO_CACHE_DIR"] = root
+    cache.enable()
+    shared = [hashlib.sha256(f"shared{j}".encode()).hexdigest() for j in range(4)]
+    mine = hashlib.sha256(f"proc{proc_idx}".encode()).hexdigest()
+    for i in range(iters):
+        for d in shared:
+            cache.store("stress", (d, "fp"), {"k": d, "p": proc_idx, "i": i, "pad": "x" * 256})
+            got = cache.load("stress", (d, "fp"))
+            # a concurrent read may miss (mid-replace) but must NEVER
+            # return bytes that fail integrity or belong to another key
+            assert got is None or got["k"] == d, got
+        cache.store("stress", (mine, "fp"), {"k": mine, "i": i})
+        got = cache.load("stress", (mine, "fp"))
+        assert got is not None and got["k"] == mine, got  # sole writer: no loss
+
+
+def test_multiprocess_shared_cache_stress(cache_dir):
+    """8 processes hammer one cache dir: no corrupt reads, no lost entries."""
+    import hashlib
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX
+        pytest.skip("fork start method unavailable")
+    procs = [
+        ctx.Process(target=_stress_child, args=(str(cache_dir), p, 25))
+        for p in range(8)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=120)
+    assert all(p.exitcode == 0 for p in procs), [p.exitcode for p in procs]
+    # zero lost entries: every key written is present and intact
+    for j in range(4):
+        d = hashlib.sha256(f"shared{j}".encode()).hexdigest()
+        got = cache.load("stress", (d, "fp"))
+        assert got is not None and got["k"] == d
+    for pidx in range(8):
+        d = hashlib.sha256(f"proc{pidx}".encode()).hexdigest()
+        got = cache.load("stress", (d, "fp"))
+        assert got is not None and got["k"] == d
+    assert not glob.glob(str(cache_dir / "stress" / "*" / "*.tmp"))  # no torn tmps
+
+
 def test_cli_no_disk_cache_flag(cache_dir, tmp_path, capsys):
     from repro.cli import main
 
